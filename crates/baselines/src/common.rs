@@ -1,0 +1,44 @@
+//! Shared pieces for the baseline simulators.
+
+use std::time::Duration;
+
+use llmss_model::{IterationWorkload, ModelSpec, SeqSlot};
+
+/// Result of running a baseline simulator for one serving iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// Wall-clock the baseline simulator itself consumed.
+    pub wall: Duration,
+    /// Simulated accelerator cycles for the iteration.
+    pub simulated_cycles: u64,
+    /// Fine-grained simulation steps executed (events / lines / quanta).
+    pub steps: u64,
+    /// Checksum accumulated across steps (prevents the stepping loops from
+    /// being optimized away; has no semantic meaning).
+    pub checksum: u64,
+}
+
+/// Builds the standard "one iteration" workload the simulation-time
+/// experiments use: `batch` prefill requests of `seq_len` tokens each
+/// (the paper's batch-32 / seq-512 and batch-64 / seq-1024 points).
+pub fn uniform_prefill_workload(
+    spec: &ModelSpec,
+    batch: usize,
+    seq_len: usize,
+) -> IterationWorkload {
+    let slots: Vec<SeqSlot> =
+        (0..batch as u64).map(|id| SeqSlot::prefill(id, seq_len)).collect();
+    IterationWorkload::build(spec, &slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_workload_shapes() {
+        let w = uniform_prefill_workload(&ModelSpec::gpt2(), 4, 128);
+        assert_eq!(w.new_tokens_total(), 512);
+        assert_eq!(w.slots().len(), 4);
+    }
+}

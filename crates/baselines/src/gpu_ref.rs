@@ -1,0 +1,234 @@
+//! vLLM-on-GPU reference serving model (the Figure 6 ground truth).
+//!
+//! The paper validates LLMServingSim against a real vLLM deployment on
+//! 4x RTX 3090. Without the hardware, this module provides the stand-in:
+//! an *independent* kernel-level timing model of the same Orca/paged-KV
+//! schedule. Kernels are priced on a GPU roofline with empirical
+//! efficiency factors and FlashAttention semantics (attention reads the KV
+//! cache once, never materializing the score matrix) — precisely the
+//! kernel optimization the paper notes its NPU model lacks, which is where
+//! the residual sim-vs-real error comes from.
+
+use llmss_core::{IterationRecord, ReuseStats, SimReport, WallBreakdown};
+use llmss_model::{IterationWorkload, ModelSpec, OpKind, Phase, Roofline};
+use llmss_net::{collective_time_ps, CollectiveKind, LinkSpec, TimePs};
+use llmss_sched::{KvCache, KvCacheConfig, Request, Scheduler, SchedulerConfig};
+
+/// Timing parameters of the GPU reference system.
+#[derive(Debug, Clone)]
+pub struct GpuRefConfig {
+    /// Per-GPU roofline.
+    pub roofline: Roofline,
+    /// Tensor-parallel GPU count.
+    pub n_gpus: usize,
+    /// Device memory per GPU, bytes.
+    pub mem_per_gpu: u64,
+    /// Fraction of peak FLOPs large GEMMs achieve.
+    pub gemm_efficiency: f64,
+    /// Fraction of peak bandwidth streaming kernels achieve.
+    pub bw_efficiency: f64,
+    /// Per-kernel launch overhead in nanoseconds.
+    pub kernel_overhead_ns: f64,
+    /// Inter-GPU link for tensor-parallel all-reduces.
+    pub link: LinkSpec,
+    /// Host link for KV swaps.
+    pub host_link: LinkSpec,
+}
+
+impl GpuRefConfig {
+    /// The paper's validation platform: `n` RTX 3090s over PCIe 4.0.
+    pub fn rtx3090(n_gpus: usize) -> Self {
+        Self {
+            roofline: Roofline::rtx3090(),
+            n_gpus,
+            mem_per_gpu: 24 * (1 << 30),
+            gemm_efficiency: 0.72,
+            bw_efficiency: 0.82,
+            kernel_overhead_ns: 4_000.0,
+            link: LinkSpec::pcie4_x16(),
+            host_link: LinkSpec::host_pcie(),
+        }
+    }
+
+    fn peak_flops(&self) -> f64 {
+        self.roofline.peak_flops * self.gemm_efficiency
+    }
+
+    fn eff_bw(&self) -> f64 {
+        self.roofline.mem_bw * self.bw_efficiency
+    }
+}
+
+/// Prices one iteration of the workload on the GPU system, in picoseconds.
+pub fn iteration_latency_ps(
+    cfg: &GpuRefConfig,
+    spec: &ModelSpec,
+    workload: &IterationWorkload,
+    swap_bytes: u64,
+) -> TimePs {
+    let n = cfg.n_gpus as f64;
+    let mut block_s = 0.0f64;
+    let mut kernels_per_block = 0.0f64;
+
+    for op in workload.block_ops() {
+        match op.kind {
+            // Sharded GEMMs: compute or weight-streaming bound.
+            OpKind::QkvGen | OpKind::OutProj | OpKind::FfnUp | OpKind::FfnDown => {
+                let flops = op.flops() as f64 / n;
+                let bytes = op.bytes_total() as f64 / n;
+                block_s += (flops / cfg.peak_flops()).max(bytes / cfg.eff_bw());
+                kernels_per_block += 1.0;
+            }
+            // FlashAttention: fused Score+Softmax+Attend; decode reads the
+            // KV cache once, prefill is compute bound.
+            OpKind::Score => {
+                kernels_per_block += 1.0 / workload.slots().len().max(1) as f64;
+                if op.phase == Phase::Generation {
+                    let kv = op.dims.n; // cached tokens
+                    let bytes =
+                        (2 * kv * spec.d_model * spec.elem_bytes) as f64 / n;
+                    block_s += bytes / cfg.eff_bw();
+                } else {
+                    // 2 * (score + attend) flops, counted on Score only.
+                    let flops = 2.0 * op.flops() as f64 / n;
+                    // FlashAttention prefill sustains about half of GEMM
+                    // efficiency (recomputation + softmax interleaving).
+                    block_s += flops / (0.5 * cfg.peak_flops());
+                }
+            }
+            // Folded into the FlashAttention kernel.
+            OpKind::Softmax | OpKind::Attend => {}
+            // Streaming element-wise kernels.
+            OpKind::LayerNorm | OpKind::Residual | OpKind::Activation => {
+                block_s += op.bytes_total() as f64 / n / cfg.eff_bw();
+                kernels_per_block += 1.0;
+            }
+            _ => {}
+        }
+    }
+    kernels_per_block += 1.0; // the fused attention launch
+    block_s += kernels_per_block * cfg.kernel_overhead_ns * 1e-9;
+
+    // Two ring all-reduces per block under tensor parallelism.
+    let t = workload.new_tokens_total();
+    let ar_bytes = (t * spec.d_model * spec.elem_bytes) as u64;
+    let ar_s = if cfg.n_gpus > 1 {
+        2.0 * collective_time_ps(CollectiveKind::AllReduce, cfg.n_gpus, ar_bytes, &cfg.link)
+            as f64
+            / 1e12
+    } else {
+        0.0
+    };
+
+    let mut total_s = spec.n_layers as f64 * (block_s + ar_s);
+
+    // Bookends: embedding read + final norm + LM head.
+    for op in workload.pre_ops().iter().chain(workload.post_ops()) {
+        let flops = op.flops() as f64 / n;
+        let bytes = op.bytes_total() as f64 / n;
+        total_s += (flops / cfg.peak_flops()).max(bytes / cfg.eff_bw());
+    }
+
+    // KV swaps serialize on the host link.
+    total_s += cfg.host_link.transfer_ps(swap_bytes) as f64 / 1e12;
+
+    (total_s * 1e12) as TimePs
+}
+
+/// Runs the reference system over a request trace, producing a report in
+/// the same shape as the simulator's for apples-to-apples comparison.
+///
+/// # Panics
+///
+/// Panics if the model does not fit in the GPUs' aggregate memory.
+pub fn run_gpu_reference(
+    cfg: &GpuRefConfig,
+    spec: &ModelSpec,
+    requests: Vec<Request>,
+) -> SimReport {
+    let total_mem = cfg.n_gpus as u64 * cfg.mem_per_gpu;
+    let weights = spec.weight_bytes();
+    let reserve = cfg.n_gpus as u64 * (1 << 30);
+    assert!(weights + reserve < total_mem, "model does not fit on the GPU system");
+    let kv_budget = total_mem - weights - reserve;
+    let kv = KvCache::new(KvCacheConfig::paged(kv_budget, spec.kv_bytes_per_token()));
+    let mut sched = Scheduler::new(SchedulerConfig::default(), kv, requests);
+
+    let mut iterations = Vec::new();
+    while let Some(batch) = sched.next_batch() {
+        let workload = IterationWorkload::build(spec, &batch.slots);
+        let latency = iteration_latency_ps(cfg, spec, &workload, batch.swap_bytes());
+        iterations.push(IterationRecord {
+            index: sched.iterations(),
+            start_ps: sched.clock_ps(),
+            latency_ps: latency,
+            batch_size: batch.batch_size(),
+            prompt_tokens: batch.prompt_tokens(),
+            generated_tokens: batch.generated_tokens(),
+            evictions: batch.evictions.len(),
+            reloads: batch.reloads.len(),
+            graph_ops: 0,
+            net_events: 0,
+        });
+        sched.complete_iteration(latency);
+    }
+
+    SimReport {
+        sim_duration_ps: sched.clock_ps(),
+        completions: sched.completions().to_vec(),
+        iterations,
+        wall: WallBreakdown::default(),
+        reuse: ReuseStats::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_model::SeqSlot;
+    use llmss_sched::{Dataset, TraceGenerator};
+
+    #[test]
+    fn decode_iteration_is_weight_stream_bound() {
+        // GPT3-7B decode at batch 32: the 13.4 GB of weights dominate;
+        // latency must exceed weights / effective bandwidth.
+        let cfg = GpuRefConfig::rtx3090(1);
+        let spec = ModelSpec::gpt3_7b();
+        let slots: Vec<_> = (0..32).map(|i| SeqSlot::decode(i, 512)).collect();
+        let w = IterationWorkload::build(&spec, &slots);
+        let ps = iteration_latency_ps(&cfg, &spec, &w, 0);
+        let floor_s = spec.weight_bytes() as f64 / cfg.eff_bw();
+        assert!(ps as f64 / 1e12 > floor_s);
+        assert!((ps as f64 / 1e12) < 4.0 * floor_s, "decode should stay near the floor");
+    }
+
+    #[test]
+    fn prefill_latency_tracks_flops() {
+        let cfg = GpuRefConfig::rtx3090(1);
+        let spec = ModelSpec::gpt2();
+        let short = IterationWorkload::build(&spec, &[SeqSlot::prefill(0, 128)]);
+        let long = IterationWorkload::build(&spec, &[SeqSlot::prefill(0, 1024)]);
+        let a = iteration_latency_ps(&cfg, &spec, &short, 0);
+        let b = iteration_latency_ps(&cfg, &spec, &long, 0);
+        assert!(b > 4 * a, "8x tokens must be >4x slower: {a} vs {b}");
+    }
+
+    #[test]
+    fn tensor_parallel_helps_until_allreduce_dominates() {
+        let spec = ModelSpec::gpt3_7b();
+        let slots: Vec<_> = (0..8).map(|i| SeqSlot::decode(i, 256)).collect();
+        let w = IterationWorkload::build(&spec, &slots);
+        let t1 = iteration_latency_ps(&GpuRefConfig::rtx3090(1), &spec, &w, 0);
+        let t4 = iteration_latency_ps(&GpuRefConfig::rtx3090(4), &spec, &w, 0);
+        assert!(t4 < t1);
+        assert!(t4 > t1 / 4, "all-reduce cost prevents ideal scaling");
+    }
+
+    #[test]
+    fn reference_run_completes_trace() {
+        let trace = TraceGenerator::new(Dataset::Alpaca, 3).rate_per_s(20.0).generate(6);
+        let report = run_gpu_reference(&GpuRefConfig::rtx3090(1), &ModelSpec::gpt2(), trace);
+        assert_eq!(report.completions.len(), 6);
+        assert!(report.sim_duration_ps > 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! NeuPIMs-system reference model (the Figure 7 ground truth).
+//!
+//! Figure 7 compares LLMServingSim's throughput against the NeuPIMs
+//! heterogeneous NPU+PIM system across models and parallelization schemes.
+//! This module models that system analytically and *optimistically*: NPU
+//! and PIM work overlap perfectly via sub-batch interleaving, pipeline
+//! stages scale ideally, and — crucially — inter-device link transfers and
+//! synchronization are free. LLMServingSim models those costs, which is
+//! exactly why the paper reports it trailing NeuPIMs by a margin under 20%
+//! (geometric-mean error 8.88%).
+
+use llmss_core::{IterationRecord, ReuseStats, SimReport, WallBreakdown};
+use llmss_model::{IterationWorkload, ModelSpec, OpKind, Phase};
+use llmss_net::{collective_time_ps, CollectiveKind, LinkSpec, TimePs};
+use llmss_npu::NpuConfig;
+use llmss_pim::PimConfig;
+use llmss_sched::{KvCache, KvCacheConfig, Request, Scheduler, SchedulerConfig};
+
+/// The NeuPIMs reference system: `tp x pp` NPU+PIM devices.
+#[derive(Debug, Clone)]
+pub struct NeuPimsRefConfig {
+    /// NPU hardware (Table I).
+    pub npu: NpuConfig,
+    /// PIM hardware (Table I).
+    pub pim: PimConfig,
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Pipeline-parallel degree.
+    pub pp: usize,
+    /// Per-operator device-synchronization cost in nanoseconds.
+    pub sync_ns: f64,
+    /// Inter-device link for tensor-parallel all-reduces.
+    pub link: LinkSpec,
+}
+
+impl NeuPimsRefConfig {
+    /// Table-I devices in a `tp x pp` layout.
+    pub fn table1(tp: usize, pp: usize) -> Self {
+        Self {
+            npu: NpuConfig::table1(),
+            pim: PimConfig::table1(),
+            tp,
+            pp,
+            sync_ns: 2_000.0,
+            link: LinkSpec::pcie4_x16(),
+        }
+    }
+
+    /// Total devices.
+    pub fn n_devices(&self) -> usize {
+        self.tp * self.pp
+    }
+}
+
+/// Prices one iteration on the idealized NeuPIMs system, in picoseconds.
+pub fn iteration_latency_ps(
+    cfg: &NeuPimsRefConfig,
+    spec: &ModelSpec,
+    workload: &IterationWorkload,
+) -> TimePs {
+    let npu_peak = cfg.npu.peak_tflops() * 1e12 * 0.75;
+    let npu_bw = cfg.npu.mem_bw_gbps * 1e9 * 0.85;
+    let pim_bw = cfg.pim.internal_bw_gbps * 1e9 * 0.9;
+    let tp = cfg.tp as f64;
+
+    let mut npu_s = 0.0f64;
+    let mut pim_s = 0.0f64;
+    for op in workload.block_ops() {
+        let is_pim_op = op.kind.is_attention()
+            && op.kind.is_matmul()
+            && op.phase == Phase::Generation;
+        if is_pim_op {
+            pim_s += op.bytes_total() as f64 / tp / pim_bw;
+        } else if op.kind == OpKind::Softmax && op.phase == Phase::Generation {
+            // Softmax rides the NPU vector unit between PIM GEMVs.
+            npu_s += op.bytes_total() as f64 / tp / npu_bw;
+        } else {
+            let flops = op.flops() as f64 / tp;
+            let bytes = op.bytes_total() as f64 / tp;
+            npu_s += (flops / npu_peak).max(bytes / npu_bw);
+        }
+    }
+    // Tensor parallelism pays two ring all-reduces per block (the real
+    // NeuPIMs system communicates too; what it does *not* model is the
+    // per-request inter-pool transfers and link contention LLMServingSim
+    // adds on top).
+    let t = workload.new_tokens_total();
+    let comm_s = if cfg.tp > 1 {
+        let bytes = (t * spec.d_model * spec.elem_bytes) as u64;
+        2.0 * collective_time_ps(CollectiveKind::AllReduce, cfg.tp, bytes, &cfg.link) as f64
+            / 1e12
+    } else {
+        0.0
+    };
+    // Sub-batch interleaving overlaps the two devices; the barrier costs a
+    // sync per block.
+    let block_s = npu_s.max(pim_s) + comm_s + cfg.sync_ns * 1e-9;
+
+    let mut total_s = spec.n_layers as f64 * block_s;
+    for op in workload.pre_ops().iter().chain(workload.post_ops()) {
+        let flops = op.flops() as f64 / tp;
+        let bytes = op.bytes_total() as f64 / tp;
+        total_s += (flops / npu_peak).max(bytes / npu_bw);
+    }
+    // Pipeline stages process disjoint layer ranges serially within one
+    // iteration (decode is dominated by weight streaming, which pipelining
+    // cannot reduce: every stage's weights are read once per iteration
+    // either way). `pp` therefore does not divide the iteration latency;
+    // its benefit is the tensor-parallel width it frees within each stage.
+    let _ = cfg.pp;
+
+    (total_s * 1e12) as TimePs
+}
+
+/// Runs the NeuPIMs reference over a request trace.
+///
+/// # Panics
+///
+/// Panics if the model does not fit in the devices' aggregate memory.
+pub fn run_neupims_reference(
+    cfg: &NeuPimsRefConfig,
+    spec: &ModelSpec,
+    requests: Vec<Request>,
+) -> SimReport {
+    let per_dev = (cfg.npu.mem_capacity_gib * (1u64 << 30) as f64) as u64
+        + (cfg.pim.mem_capacity_gib * (1u64 << 30) as f64) as u64;
+    let total_mem = cfg.n_devices() as u64 * per_dev;
+    let weights = spec.weight_bytes();
+    let reserve = cfg.n_devices() as u64 * (1 << 30);
+    assert!(weights + reserve < total_mem, "model does not fit on the NeuPIMs system");
+    let kv = KvCache::new(KvCacheConfig::paged(
+        total_mem - weights - reserve,
+        spec.kv_bytes_per_token(),
+    ));
+    let mut sched = Scheduler::new(SchedulerConfig::default(), kv, requests);
+
+    let mut iterations = Vec::new();
+    while let Some(batch) = sched.next_batch() {
+        let workload = IterationWorkload::build(spec, &batch.slots);
+        let latency = iteration_latency_ps(cfg, spec, &workload);
+        iterations.push(IterationRecord {
+            index: sched.iterations(),
+            start_ps: sched.clock_ps(),
+            latency_ps: latency,
+            batch_size: batch.batch_size(),
+            prompt_tokens: batch.prompt_tokens(),
+            generated_tokens: batch.generated_tokens(),
+            evictions: batch.evictions.len(),
+            reloads: batch.reloads.len(),
+            graph_ops: 0,
+            net_events: 0,
+        });
+        sched.complete_iteration(latency);
+    }
+
+    SimReport {
+        sim_duration_ps: sched.clock_ps(),
+        completions: sched.completions().to_vec(),
+        iterations,
+        wall: WallBreakdown::default(),
+        reuse: ReuseStats::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_model::SeqSlot;
+    use llmss_sched::{Dataset, TraceGenerator};
+
+    #[test]
+    fn pim_overlap_bounds_decode_latency() {
+        // With attention on PIM overlapped against NPU weight streaming,
+        // the decode block is bounded by the larger of the two, not the sum.
+        let cfg = NeuPimsRefConfig::table1(1, 1);
+        let spec = ModelSpec::gpt3_7b();
+        let slots: Vec<_> = (0..32).map(|i| SeqSlot::decode(i, 1024)).collect();
+        let w = IterationWorkload::build(&spec, &slots);
+        let latency_s = iteration_latency_ps(&cfg, &spec, &w) as f64 / 1e12;
+        let weights_s = spec.weight_bytes() as f64 / (936e9 * 0.85);
+        assert!(latency_s < 2.2 * weights_s, "{latency_s} vs floor {weights_s}");
+    }
+
+    #[test]
+    fn parallelism_scales_throughput() {
+        let spec = ModelSpec::gpt3_7b();
+        let slots: Vec<_> = (0..16).map(|i| SeqSlot::decode(i, 512)).collect();
+        let w = IterationWorkload::build(&spec, &slots);
+        let base = iteration_latency_ps(&NeuPimsRefConfig::table1(1, 1), &spec, &w);
+        let tp4 = iteration_latency_ps(&NeuPimsRefConfig::table1(4, 1), &spec, &w);
+        let hybrid = iteration_latency_ps(&NeuPimsRefConfig::table1(2, 2), &spec, &w);
+        // TP shards compute almost ideally (minus all-reduce cost); hybrid
+        // only shards by its tensor width — stages serialize.
+        assert!(tp4 < (base * 4) / 10);
+        assert!(hybrid < (base * 7) / 10);
+        assert!(hybrid > tp4, "stage serialization cannot beat full TP here");
+    }
+
+    #[test]
+    fn reference_completes_trace() {
+        let trace = TraceGenerator::new(Dataset::Alpaca, 1).generate_burst(8);
+        let cfg = NeuPimsRefConfig::table1(2, 1);
+        let report = run_neupims_reference(&cfg, &ModelSpec::gpt2(), trace);
+        assert_eq!(report.completions.len(), 8);
+    }
+}

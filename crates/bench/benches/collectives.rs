@@ -1,0 +1,38 @@
+//! System-simulator bench: ring-collective step simulation across group
+//! sizes (the cost that makes pure tensor parallelism expensive to
+//! simulate at scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmss_net::{
+    simulate_graph, CollectiveKind, ExecGraph, ExecPayload, LinkSpec, Topology,
+};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce");
+    group.sample_size(20);
+    for n in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let topo = Topology::flat_npus(n, LinkSpec::pcie4_x16());
+            b.iter(|| {
+                let mut g = ExecGraph::new();
+                for _ in 0..8 {
+                    g.add(
+                        0,
+                        ExecPayload::Collective {
+                            kind: CollectiveKind::AllReduce,
+                            bytes: 1 << 20,
+                            group: 0,
+                        },
+                        &[],
+                        "ar",
+                    );
+                }
+                simulate_graph(&g, &topo).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

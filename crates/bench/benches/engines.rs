@@ -1,0 +1,45 @@
+//! Engine bench: NPU vs PIM on the operators the mapper splits, plus the
+//! compile/simulate cost structure the reuse cache amortizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmss_model::{Op, OpDims, OpKind, Phase};
+use llmss_npu::{NpuConfig, NpuEngine};
+use llmss_pim::{PimConfig, PimEngine};
+
+fn decode_score() -> Op {
+    Op::new(OpKind::Score, OpDims::batched(32, 1, 128, 1024), 2).in_phase(Phase::Generation)
+}
+
+fn prefill_ffn() -> Op {
+    Op::new(OpKind::FfnUp, OpDims::matmul(512, 4096, 16_384), 2)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(20);
+
+    group.bench_function("npu_compile_prefill_ffn", |b| {
+        let mut e = NpuEngine::new(NpuConfig::table1());
+        let op = prefill_ffn();
+        b.iter(|| e.compile(&op));
+    });
+    group.bench_function("npu_simulate_prefill_ffn", |b| {
+        let mut e = NpuEngine::new(NpuConfig::table1());
+        let codelet = e.compile(&prefill_ffn());
+        b.iter(|| e.simulate(&codelet));
+    });
+    group.bench_function("npu_decode_attention", |b| {
+        let mut e = NpuEngine::new(NpuConfig::table1());
+        let op = decode_score();
+        b.iter(|| e.run(&op));
+    });
+    group.bench_function("pim_decode_attention", |b| {
+        let mut e = PimEngine::new(PimConfig::table1());
+        let op = decode_score();
+        b.iter(|| e.run(&op));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ablation bench: computation reuse on vs off (the paper's core
+//! fast-simulation technique, Figure 9's microcosm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmss_bench::run_single_iteration;
+use llmss_model::ModelSpec;
+
+fn bench_reuse(c: &mut Criterion) {
+    let spec = ModelSpec::gpt2();
+    let mut group = c.benchmark_group("iteration_simulation");
+    group.sample_size(10);
+    for reuse in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("gpt2_b8_s128_tp2", if reuse { "reuse" } else { "no_reuse" }),
+            &reuse,
+            |b, &reuse| {
+                b.iter(|| run_single_iteration(&spec, 2, 1, 8, 128, reuse));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Scalability bench: simulation cost vs NPU count (Figure 10's
+//! microcosm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llmss_bench::run_single_iteration;
+use llmss_model::ModelSpec;
+
+fn bench_scale(c: &mut Criterion) {
+    let spec = ModelSpec::gpt2();
+    let mut group = c.benchmark_group("npu_scaling");
+    group.sample_size(10);
+    for npus in [2usize, 4, 8, 16] {
+        group.throughput(Throughput::Elements(npus as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(npus), &npus, |b, &n| {
+            b.iter(|| run_single_iteration(&spec, n, 1, 8, 64, true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Scheduler bench: iteration-level batch formation with paged KV cache
+//! under memory pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmss_sched::{
+    Dataset, KvCache, KvCacheConfig, Scheduler, SchedulerConfig, TraceGenerator,
+};
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    for &(label, pages) in &[("ample_memory", 1usize << 16), ("tight_memory", 1 << 9)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &pages, |b, &pages| {
+            let trace =
+                TraceGenerator::new(Dataset::Alpaca, 5).rate_per_s(1_000.0).generate(64);
+            b.iter(|| {
+                let kv =
+                    KvCache::new(KvCacheConfig::paged(pages as u64 * 16 * 1024, 1024));
+                let mut s = Scheduler::new(SchedulerConfig::default(), kv, trace.clone());
+                let mut iters = 0u64;
+                while let Some(_b) = s.next_batch() {
+                    s.complete_iteration(1_000_000);
+                    iters += 1;
+                }
+                iters
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

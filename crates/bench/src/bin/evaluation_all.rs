@@ -1,0 +1,44 @@
+//! Runs every evaluation (Table I, Figures 2a/2b/6/7/8/9/10) in sequence —
+//! the artifact's `evaluation_all.sh`.
+//!
+//! Pass `--quick` to run every experiment at reduced scale.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bins =
+        ["table1", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10"];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("==================== {bin} ====================");
+        let mut cmd = Command::new(dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                failures.push(bin);
+            }
+        }
+        println!();
+    }
+    if failures.is_empty() {
+        println!(
+            "all evaluations completed; outputs under {}/",
+            if quick { "evaluation-quick" } else { "evaluation" }
+        );
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

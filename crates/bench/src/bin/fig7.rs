@@ -1,0 +1,101 @@
+//! Figure 7 — heterogeneous NPU+PIM throughput validation against the
+//! NeuPIMs reference system.
+//!
+//! Six configurations: GPT3-7B (TP4·PP1, TP2·PP2), GPT3-13B (TP8·PP1,
+//! TP4·PP2) and GPT3-30B (TP8·PP2, TP4·PP4), each serving a 256-request
+//! Alpaca-like burst with sub-batch interleaving on. Expected shape
+//! (paper): LLMServingSim shows somewhat lower throughput than NeuPIMs —
+//! it models inter-device links and synchronization the idealized system
+//! ignores — with per-config error below 20% and a geometric-mean error
+//! of 8.88%.
+
+use llmss_baselines::{run_neupims_reference, NeuPimsRefConfig};
+use llmss_bench::{eval_dir, geomean, quick_mode, write_tsv};
+use llmss_core::{ServingSimulator, SimConfig};
+use llmss_model::ModelSpec;
+use llmss_sched::{Dataset, TraceGenerator};
+
+fn main() {
+    let quick = quick_mode();
+    let n_requests = if quick { 32 } else { 256 };
+    // (model, tp, pp)
+    let configs: Vec<(ModelSpec, usize, usize)> = if quick {
+        vec![(ModelSpec::gpt2(), 2, 1), (ModelSpec::gpt2(), 1, 2)]
+    } else {
+        vec![
+            (ModelSpec::gpt3_7b(), 4, 1),
+            (ModelSpec::gpt3_7b(), 2, 2),
+            (ModelSpec::gpt3_13b(), 8, 1),
+            (ModelSpec::gpt3_13b(), 4, 2),
+            (ModelSpec::gpt3_30b(), 8, 2),
+            (ModelSpec::gpt3_30b(), 4, 4),
+        ]
+    };
+
+    println!("Figure 7 — LLMServingSim vs NeuPIMs reference (256 Alpaca requests, NPU+PIM devices)\n");
+    println!(
+        "{:<12} {:>8} {:>14} {:>14} {:>8}",
+        "model", "layout", "neupims(tok/s)", "llmss(tok/s)", "err"
+    );
+
+    let mut tsv = String::from("model\ttp\tpp\tneupims_tps\tllmservingsim_tps\terror\n");
+    let mut errors = Vec::new();
+    for (spec, tp, pp) in &configs {
+        let trace =
+            TraceGenerator::new(Dataset::Alpaca, 69).generate_burst(n_requests);
+        let n_devices = tp * pp;
+
+        let ref_cfg = NeuPimsRefConfig::table1(*tp, *pp);
+        let reference = run_neupims_reference(&ref_cfg, spec, trace.clone());
+
+        // NeuPIMs devices are NPU+PIM packages (paper Figure 5a): use the
+        // local PIM mode, whose internal scheduler maps decode attention to
+        // the attached PIM without inter-pool transfers. The engine prices
+        // that attention at PIM speed, which is what NeuPIMs' sub-batch
+        // interleaving achieves inside the device; graph-level sub-batch
+        // splitting (a pool-mode technique) would only re-stream weights.
+        let mut config = SimConfig::new(spec.clone())
+            .npu_num(n_devices)
+            .hybrid_parallel(*pp)
+            .pim_local();
+        // Match the reference's per-device memory (NPU + attached PIM).
+        config.npu_mem_gib = Some(
+            config.npu_config.mem_capacity_gib + config.pim_config.mem_capacity_gib,
+        );
+        let sim = ServingSimulator::new(config, trace)
+            .expect("valid figure-7 configuration")
+            .run();
+
+        // Total token throughput (prompt + generated) per second.
+        let tput = |r: &llmss_core::SimReport| {
+            (r.total_prompt_tokens() + r.total_generated_tokens()) as f64
+                / r.sim_duration_s()
+        };
+        let ref_tps = tput(&reference);
+        let sim_tps = tput(&sim);
+        let err = ((sim_tps - ref_tps) / ref_tps).abs();
+        errors.push(err.max(1e-4));
+        println!(
+            "{:<12} {:>8} {:>14.0} {:>14.0} {:>7.1}%",
+            spec.name,
+            format!("TP{tp}PP{pp}"),
+            ref_tps,
+            sim_tps,
+            err * 100.0
+        );
+        tsv.push_str(&format!(
+            "{}\t{}\t{}\t{:.1}\t{:.1}\t{:.4}\n",
+            spec.name, tp, pp, ref_tps, sim_tps, err
+        ));
+
+        // gpt2-scale quick runs are dominated by fixed per-op costs; only
+        // the full-size configurations carry the paper's error band.
+        if !quick {
+            assert!(err < 0.30, "{}: error {:.1}% exceeds the band", spec.name, err * 100.0);
+        }
+    }
+
+    let gm = geomean(&errors);
+    println!("\ngeometric-mean error: {:.2}% (paper: 8.88%, margins < 20%)", gm * 100.0);
+    write_tsv(&eval_dir("fig7"), "throughput.tsv", &tsv);
+}

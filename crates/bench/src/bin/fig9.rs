@@ -1,0 +1,83 @@
+//! Figure 9 — simulation-time breakdown with and without computation
+//! reuse, across parallelism strategies.
+//!
+//! GPT3-30B, one iteration at batch 64 / sequence 1024 on 64 NPUs, swept
+//! over TP64·PP1, TP16·PP4, TP8·PP8, TP4·PP16 and TP1·PP64. Expected
+//! shape (paper): reuse yields a 6.4–12.2x speedup; without reuse the
+//! execution-engine stack dominates; with reuse the ASTRA-sim component is
+//! largest for TP-heavy configurations and total time shrinks as tensor
+//! parallelism gives way to pipeline parallelism.
+
+use llmss_bench::{eval_dir, quick_mode, run_single_iteration, write_tsv};
+use llmss_model::ModelSpec;
+
+fn main() {
+    let spec = if quick_mode() { ModelSpec::gpt2() } else { ModelSpec::gpt3_30b() };
+    let (batch, seq) = if quick_mode() { (8, 128) } else { (64, 1024) };
+    let configs: Vec<(usize, usize)> = if quick_mode() {
+        vec![(4, 1), (2, 2), (1, 4)]
+    } else {
+        vec![(64, 1), (16, 4), (8, 8), (4, 16), (1, 64)]
+    };
+
+    println!(
+        "Figure 9 — breakdown w/ and w/o reuse, {} batch {batch} seq {seq}\n",
+        spec.name
+    );
+    println!(
+        "{:<10} {:>6} {:>11} {:>11} {:>11} {:>11} {:>9}",
+        "config", "reuse", "engine(s)", "convert(s)", "astra(s)", "total(s)", "speedup"
+    );
+
+    let mut tsv = String::from(
+        "config\treuse\tengine_s\tconverter_s\tastra_sim_s\ttotal_s\tsim_latency_ms\n",
+    );
+    let mut speedups = Vec::new();
+    for &(tp, pp) in &configs {
+        let label = format!("TP{tp}PP{pp}");
+        let without = run_single_iteration(&spec, tp, pp, batch, seq, false);
+        let with = run_single_iteration(&spec, tp, pp, batch, seq, true);
+        // Same simulated answer either way.
+        assert_eq!(
+            with.sim_latency_ps, without.sim_latency_ps,
+            "{label}: reuse changed the simulation result"
+        );
+        let speedup =
+            without.wall.total().as_secs_f64() / with.wall.total().as_secs_f64();
+        speedups.push(speedup);
+        for (tag, r) in [("no", &without), ("yes", &with)] {
+            println!(
+                "{:<10} {:>6} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>9}",
+                label,
+                tag,
+                r.wall.engine.as_secs_f64(),
+                r.wall.converter.as_secs_f64(),
+                r.wall.network.as_secs_f64(),
+                r.wall.total().as_secs_f64(),
+                if tag == "yes" { format!("{speedup:.1}x") } else { String::new() }
+            );
+            tsv.push_str(&format!(
+                "{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.3}\n",
+                label,
+                tag,
+                r.wall.engine.as_secs_f64(),
+                r.wall.converter.as_secs_f64(),
+                r.wall.network.as_secs_f64(),
+                r.wall.total().as_secs_f64(),
+                r.sim_latency_ps as f64 / 1e9,
+            ));
+        }
+        // Sub-millisecond quick runs make wall-clock ratios noisy; assert
+        // the speedup only at full scale and always check the cache works.
+        assert!(with.reuse.hits() > 0, "{label}: reuse cache never hit");
+        if !quick_mode() {
+            assert!(speedup > 1.5, "{label}: reuse speedup {speedup:.2}x too small");
+        }
+    }
+
+    let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("\nreuse speedup range: {min:.1}x – {max:.1}x (paper: 6.4x – 12.2x)");
+
+    write_tsv(&eval_dir("fig9"), "breakdown.tsv", &tsv);
+}

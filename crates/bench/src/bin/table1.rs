@@ -1,0 +1,48 @@
+//! Table I — hardware specification of the simulated NPU, PIM, and
+//! inter-device link.
+
+use llmss_bench::{eval_dir, write_tsv};
+use llmss_net::LinkSpec;
+use llmss_npu::NpuConfig;
+use llmss_pim::PimConfig;
+
+fn main() {
+    let npu = NpuConfig::table1();
+    let pim = PimConfig::table1();
+    let link = LinkSpec::pcie4_x16();
+
+    println!("Table I — LLMServingSim hardware specification\n");
+    println!("NPU configuration");
+    println!("  Systolic Array      {}x{}", npu.systolic_rows, npu.systolic_cols);
+    println!("  Vector Unit         {}x1", npu.vector_lanes);
+    println!("  Frequency           {} GHz", npu.freq_ghz);
+    println!("  Memory Capacity     {} GB", npu.mem_capacity_gib);
+    println!("  Internal Bandwidth  {} GB/s", npu.mem_bw_gbps);
+    println!("PIM configuration");
+    println!("  Banks / Bankgroup   {}", pim.banks_per_bankgroup);
+    println!("  Banks / Channel     {}", pim.banks_per_channel);
+    println!("  Frequency           {} GHz", pim.freq_ghz);
+    println!("  Memory Capacity     {} GB", pim.mem_capacity_gib);
+    println!("  Internal Bandwidth  {} GB/s", pim.internal_bw_gbps / 1000.0 * 1000.0);
+    println!("Inter-device Link configuration");
+    println!("  Bandwidth           {} GB/s", link.bw_gbps);
+    println!("  Latency             {} ns", link.latency_ns);
+
+    let dir = eval_dir("table1");
+    let mut tsv = String::from("device\tparameter\tvalue\n");
+    tsv.push_str(&format!(
+        "npu\tsystolic_array\t{}x{}\nnpu\tvector_unit\t{}x1\nnpu\tfrequency_ghz\t{}\nnpu\tmemory_capacity_gb\t{}\nnpu\tinternal_bandwidth_gbps\t{}\n",
+        npu.systolic_rows, npu.systolic_cols, npu.vector_lanes, npu.freq_ghz,
+        npu.mem_capacity_gib, npu.mem_bw_gbps
+    ));
+    tsv.push_str(&format!(
+        "pim\tbanks_per_bankgroup\t{}\npim\tbanks_per_channel\t{}\npim\tfrequency_ghz\t{}\npim\tmemory_capacity_gb\t{}\npim\tinternal_bandwidth_gbps\t{}\n",
+        pim.banks_per_bankgroup, pim.banks_per_channel, pim.freq_ghz,
+        pim.mem_capacity_gib, pim.internal_bw_gbps
+    ));
+    tsv.push_str(&format!(
+        "link\tbandwidth_gbps\t{}\nlink\tlatency_ns\t{}\n",
+        link.bw_gbps, link.latency_ns
+    ));
+    write_tsv(&dir, "table1.tsv", &tsv);
+}

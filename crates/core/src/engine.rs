@@ -1,0 +1,225 @@
+//! The pluggable execution-engine interface (the paper's "skeleton").
+//!
+//! LLMServingSim treats accelerator compiler-and-simulator stacks as
+//! plugins: any engine that can price a model operator can join the engine
+//! stack. This module defines the [`ExecutionEngine`] trait and provides
+//! the three engines the paper evaluates with: the GeneSys-analog NPU, the
+//! in-house-analog PIM, and a combined NPU+PIM device whose internal
+//! scheduler does the operator mapping (the paper's Figure 5a).
+
+use llmss_model::{Op, Phase};
+use llmss_net::TimePs;
+use llmss_npu::{NpuConfig, NpuEngine};
+use llmss_pim::{PimConfig, PimEngine};
+
+/// A pluggable accelerator compiler-and-simulator stack.
+///
+/// Implementations price one operator at a time: `execute` runs the full
+/// compile + hardware-simulation pipeline and returns the operator latency
+/// in picoseconds. Result reuse is handled *outside* the engine by the
+/// engine stack's cache, so implementations should always do the real work.
+pub trait ExecutionEngine: std::fmt::Debug + Send {
+    /// Engine name for traces and reports.
+    fn name(&self) -> &str;
+
+    /// Whether this engine can execute the operator.
+    fn supports(&self, op: &Op) -> bool;
+
+    /// Compiles and simulates the operator, returning its latency.
+    fn execute(&mut self, op: &Op) -> TimePs;
+
+    /// Abstract work units performed so far (compiles + simulations),
+    /// used by evaluation harnesses to attribute simulation cost.
+    fn work_units(&self) -> u64;
+}
+
+/// The GeneSys-analog NPU engine as a plugin.
+#[derive(Debug)]
+pub struct NpuPlugin {
+    engine: NpuEngine,
+}
+
+impl NpuPlugin {
+    /// Creates the plugin from an NPU configuration.
+    pub fn new(config: NpuConfig) -> Self {
+        Self { engine: NpuEngine::new(config) }
+    }
+
+    /// Access to the wrapped engine (for stats).
+    pub fn engine(&self) -> &NpuEngine {
+        &self.engine
+    }
+}
+
+impl ExecutionEngine for NpuPlugin {
+    fn name(&self) -> &str {
+        "npu"
+    }
+
+    fn supports(&self, _op: &Op) -> bool {
+        // The NPU runs every operator kind (GEMM, GEMV, vector, DMA).
+        true
+    }
+
+    fn execute(&mut self, op: &Op) -> TimePs {
+        let r = self.engine.run(op);
+        self.engine.cycles_to_ps(r.cycles)
+    }
+
+    fn work_units(&self) -> u64 {
+        let s = self.engine.stats();
+        s.compiles + s.simulations
+    }
+}
+
+/// The PIM engine as a plugin.
+#[derive(Debug)]
+pub struct PimPlugin {
+    engine: PimEngine,
+}
+
+impl PimPlugin {
+    /// Creates the plugin from a PIM configuration.
+    pub fn new(config: PimConfig) -> Self {
+        Self { engine: PimEngine::new(config) }
+    }
+
+    /// Access to the wrapped engine (for stats).
+    pub fn engine(&self) -> &PimEngine {
+        &self.engine
+    }
+}
+
+impl ExecutionEngine for PimPlugin {
+    fn name(&self) -> &str {
+        "pim"
+    }
+
+    fn supports(&self, op: &Op) -> bool {
+        PimEngine::supports(op)
+    }
+
+    fn execute(&mut self, op: &Op) -> TimePs {
+        let r = self.engine.run(op);
+        self.engine.cycles_to_ps(r.cycles)
+    }
+
+    fn work_units(&self) -> u64 {
+        let s = self.engine.stats();
+        s.compiles + s.simulations
+    }
+}
+
+/// A combined NPU+PIM device (paper Figure 5a): one system-level node whose
+/// *internal* scheduler maps decode-phase attention GEMVs to the attached
+/// PIM and everything else to the NPU.
+#[derive(Debug)]
+pub struct NpuPimLocalPlugin {
+    npu: NpuEngine,
+    pim: PimEngine,
+}
+
+impl NpuPimLocalPlugin {
+    /// Creates the combined device from both configurations.
+    pub fn new(npu: NpuConfig, pim: PimConfig) -> Self {
+        Self { npu: NpuEngine::new(npu), pim: PimEngine::new(pim) }
+    }
+
+    /// Whether the internal mapper sends this op to the PIM side.
+    pub fn maps_to_pim(op: &Op) -> bool {
+        op.phase == Phase::Generation && PimEngine::supports(op) && op.kind.is_matmul()
+    }
+}
+
+impl ExecutionEngine for NpuPimLocalPlugin {
+    fn name(&self) -> &str {
+        "npu+pim"
+    }
+
+    fn supports(&self, _op: &Op) -> bool {
+        true
+    }
+
+    fn execute(&mut self, op: &Op) -> TimePs {
+        if Self::maps_to_pim(op) {
+            let r = self.pim.run(op);
+            self.pim.cycles_to_ps(r.cycles)
+        } else {
+            let r = self.npu.run(op);
+            self.npu.cycles_to_ps(r.cycles)
+        }
+    }
+
+    fn work_units(&self) -> u64 {
+        let n = self.npu.stats();
+        let p = self.pim.stats();
+        n.compiles + n.simulations + p.compiles + p.simulations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_model::{OpDims, OpKind};
+
+    fn decode_score() -> Op {
+        Op::new(OpKind::Score, OpDims::batched(32, 1, 128, 1024), 2)
+            .in_phase(Phase::Generation)
+    }
+
+    fn prefill_score() -> Op {
+        Op::new(OpKind::Score, OpDims::batched(32, 256, 128, 256), 2)
+            .in_phase(Phase::Initiation)
+    }
+
+    #[test]
+    fn npu_plugin_supports_everything() {
+        let p = NpuPlugin::new(NpuConfig::table1());
+        let ffn = Op::new(OpKind::FfnUp, OpDims::matmul(64, 512, 2048), 2);
+        assert!(p.supports(&ffn));
+        assert!(p.supports(&decode_score()));
+    }
+
+    #[test]
+    fn pim_plugin_rejects_gemm_kinds() {
+        let p = PimPlugin::new(PimConfig::table1());
+        assert!(p.supports(&decode_score()));
+        assert!(!p.supports(&Op::new(OpKind::FfnUp, OpDims::matmul(64, 512, 2048), 2)));
+    }
+
+    #[test]
+    fn local_mapper_routes_decode_attention_to_pim() {
+        assert!(NpuPimLocalPlugin::maps_to_pim(&decode_score()));
+        assert!(!NpuPimLocalPlugin::maps_to_pim(&prefill_score()));
+        let ln = Op::new(OpKind::LayerNorm, OpDims::elementwise(32, 4096), 2)
+            .in_phase(Phase::Generation);
+        assert!(!NpuPimLocalPlugin::maps_to_pim(&ln));
+    }
+
+    #[test]
+    fn local_device_beats_npu_only_on_decode_attention() {
+        let mut combined = NpuPimLocalPlugin::new(NpuConfig::table1(), PimConfig::table1());
+        let mut npu_only = NpuPlugin::new(NpuConfig::table1());
+        let op = decode_score();
+        assert!(combined.execute(&op) < npu_only.execute(&op));
+    }
+
+    #[test]
+    fn work_units_accumulate() {
+        let mut p = NpuPlugin::new(NpuConfig::table1());
+        assert_eq!(p.work_units(), 0);
+        p.execute(&decode_score());
+        assert_eq!(p.work_units(), 2); // one compile + one simulate
+    }
+
+    #[test]
+    fn engines_are_object_safe() {
+        let engines: Vec<Box<dyn ExecutionEngine>> = vec![
+            Box::new(NpuPlugin::new(NpuConfig::table1())),
+            Box::new(PimPlugin::new(PimConfig::table1())),
+            Box::new(NpuPimLocalPlugin::new(NpuConfig::table1(), PimConfig::table1())),
+        ];
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["npu", "pim", "npu+pim"]);
+    }
+}

@@ -1,0 +1,55 @@
+//! LLMServingSim core: the hardware/software co-simulation loop.
+//!
+//! This crate is the paper's primary contribution rebuilt in Rust. It wires
+//! the substrates together into the Figure 4 workflow:
+//!
+//! 1. **Scheduler** (`llmss-sched`) — iteration-level batching with paged
+//!    KV-cache management.
+//! 2. **Execution engine stack** ([`EngineStack`]) — pluggable
+//!    compiler-and-simulator engines ([`ExecutionEngine`]) behind a
+//!    computation-[`ReuseCache`], with operator [mapping](map_op) across
+//!    heterogeneous devices.
+//! 3. **Graph converter** ([`GraphConverter`]) — engine traces become
+//!    Chakra-like execution graphs with tensor/pipeline/hybrid parallelism,
+//!    selective batching, PIM-pool offload transfers, and KV paging ops.
+//! 4. **System simulator** (`llmss-net`) — executes the graph and feeds the
+//!    iteration latency back to the scheduler.
+//!
+//! [`ServingSimulator`] drives the loop and produces a [`SimReport`] with
+//! throughput series, latency statistics, reuse statistics, and the
+//! per-component wall-clock breakdown the paper's evaluation uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use llmss_core::{ServingSimulator, SimConfig};
+//! use llmss_model::ModelSpec;
+//! use llmss_sched::{Dataset, TraceGenerator};
+//!
+//! let config = SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel();
+//! let trace = TraceGenerator::new(Dataset::Alpaca, 1).rate_per_s(20.0).generate(4);
+//! let report = ServingSimulator::new(config, trace)?.run();
+//! assert_eq!(report.completions.len(), 4);
+//! # Ok::<(), llmss_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod convert;
+mod engine;
+mod mapping;
+mod report;
+mod reuse;
+mod sim;
+mod stack;
+
+pub use config::{ConfigError, KvManage, ParallelismKind, ParallelismSpec, SimConfig};
+pub use convert::GraphConverter;
+pub use engine::{ExecutionEngine, NpuPimLocalPlugin, NpuPlugin, PimPlugin};
+pub use mapping::{map_op, DeviceKind, PimMode};
+pub use report::{IterationRecord, SimReport, ThroughputBin, WallBreakdown};
+pub use reuse::{ReuseCache, ReuseStats};
+pub use sim::ServingSimulator;
+pub use stack::EngineStack;

@@ -1,0 +1,314 @@
+//! Results collection: throughput series, latency statistics, and the
+//! per-component simulation-time breakdown.
+//!
+//! Mirrors the artifact's three outputs: standard-output summary,
+//! `*-throughput.tsv` (prompt and generation token rates over time), and
+//! `*-simulation-time.tsv` (wall-clock per simulator component — the
+//! paper's Figure 9 breakdown).
+
+use std::time::Duration;
+
+use llmss_net::TimePs;
+use llmss_sched::Completion;
+use serde::{Deserialize, Serialize};
+
+use crate::ReuseStats;
+
+/// Per-iteration record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration index.
+    pub index: u64,
+    /// Simulated start time.
+    pub start_ps: TimePs,
+    /// Simulated iteration latency (graph makespan).
+    pub latency_ps: TimePs,
+    /// Sequences in the batch.
+    pub batch_size: usize,
+    /// Prompt tokens processed.
+    pub prompt_tokens: usize,
+    /// Tokens generated.
+    pub generated_tokens: usize,
+    /// KV evictions this iteration.
+    pub evictions: usize,
+    /// KV reloads this iteration.
+    pub reloads: usize,
+    /// Execution-graph operations simulated.
+    pub graph_ops: usize,
+    /// Network-simulator events processed.
+    pub net_events: u64,
+}
+
+/// Wall-clock time spent in each simulator component (Figure 9's stack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WallBreakdown {
+    /// Scheduler (batching, KV management).
+    pub scheduler: Duration,
+    /// Execution engine stack (compiles + hardware simulation).
+    pub engine: Duration,
+    /// Graph converter.
+    pub converter: Duration,
+    /// System/network simulation (ASTRA-sim analog).
+    pub network: Duration,
+}
+
+impl WallBreakdown {
+    /// Total wall-clock across components.
+    pub fn total(&self) -> Duration {
+        self.scheduler + self.engine + self.converter + self.network
+    }
+
+    /// TSV rows matching the artifact's `*-simulation-time.tsv`.
+    pub fn to_tsv(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            "component\tms\nscheduler\t{:.3}\nexecution_engine\t{:.3}\ngraph_converter\t{:.3}\nastra_sim\t{:.3}\ntotal\t{:.3}\n",
+            ms(self.scheduler),
+            ms(self.engine),
+            ms(self.converter),
+            ms(self.network),
+            ms(self.total()),
+        )
+    }
+}
+
+/// One bin of the throughput-over-time series (Figure 6's y values).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputBin {
+    /// Bin start, seconds of simulated time.
+    pub t_s: f64,
+    /// Prompt tokens per second in this bin.
+    pub prompt_tps: f64,
+    /// Generated tokens per second in this bin.
+    pub gen_tps: f64,
+}
+
+/// The full result of one serving simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-iteration records, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Per-request completion records.
+    pub completions: Vec<Completion>,
+    /// Wall-clock breakdown by component.
+    pub wall: WallBreakdown,
+    /// Reuse-cache statistics.
+    pub reuse: ReuseStats,
+    /// Total simulated time (scheduler clock at the end).
+    pub sim_duration_ps: TimePs,
+}
+
+impl SimReport {
+    /// Total prompt tokens processed.
+    pub fn total_prompt_tokens(&self) -> u64 {
+        self.iterations.iter().map(|i| i.prompt_tokens as u64).sum()
+    }
+
+    /// Total tokens generated.
+    pub fn total_generated_tokens(&self) -> u64 {
+        self.iterations.iter().map(|i| i.generated_tokens as u64).sum()
+    }
+
+    /// Simulated duration in seconds.
+    pub fn sim_duration_s(&self) -> f64 {
+        self.sim_duration_ps as f64 / 1e12
+    }
+
+    /// Overall generation throughput (tokens/s of simulated time).
+    pub fn generation_throughput(&self) -> f64 {
+        let s = self.sim_duration_s();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.total_generated_tokens() as f64 / s
+    }
+
+    /// Overall prompt throughput (tokens/s of simulated time).
+    pub fn prompt_throughput(&self) -> f64 {
+        let s = self.sim_duration_s();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.total_prompt_tokens() as f64 / s
+    }
+
+    /// Mean end-to-end request latency in seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.completions.iter().map(|c| c.latency_ps() as f64).sum();
+        sum / self.completions.len() as f64 / 1e12
+    }
+
+    /// Latency percentile (e.g. `0.5`, `0.99`) in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<TimePs> = self.completions.iter().map(|c| c.latency_ps()).collect();
+        lat.sort_unstable();
+        let idx = ((lat.len() - 1) as f64 * p).round() as usize;
+        lat[idx] as f64 / 1e12
+    }
+
+    /// Bins token production over simulated time (Figure 6's series).
+    ///
+    /// Tokens are attributed to the bin containing their iteration's end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_s` is not strictly positive.
+    pub fn throughput_series(&self, bin_s: f64) -> Vec<ThroughputBin> {
+        assert!(bin_s > 0.0, "bin width must be positive");
+        let end_s = self.sim_duration_s();
+        let n_bins = (end_s / bin_s).ceil().max(1.0) as usize;
+        let mut prompt = vec![0u64; n_bins];
+        let mut gen = vec![0u64; n_bins];
+        for it in &self.iterations {
+            let t = (it.start_ps + it.latency_ps) as f64 / 1e12;
+            let b = ((t / bin_s) as usize).min(n_bins - 1);
+            prompt[b] += it.prompt_tokens as u64;
+            gen[b] += it.generated_tokens as u64;
+        }
+        (0..n_bins)
+            .map(|b| ThroughputBin {
+                t_s: b as f64 * bin_s,
+                prompt_tps: prompt[b] as f64 / bin_s,
+                gen_tps: gen[b] as f64 / bin_s,
+            })
+            .collect()
+    }
+
+    /// TSV matching the artifact's `*-throughput.tsv`.
+    pub fn throughput_tsv(&self, bin_s: f64) -> String {
+        let mut out = String::from("time_s\tprompt_tps\tgeneration_tps\n");
+        for b in self.throughput_series(bin_s) {
+            out.push_str(&format!("{:.1}\t{:.2}\t{:.2}\n", b.t_s, b.prompt_tps, b.gen_tps));
+        }
+        out
+    }
+
+    /// One-paragraph human summary (the artifact's standard output).
+    pub fn summary(&self) -> String {
+        format!(
+            "iterations={} requests={} sim_time={:.2}s prompt_tok={} gen_tok={} \
+             gen_tput={:.1} tok/s mean_lat={:.2}s reuse_hit_rate={:.1}% wall={:.2}s \
+             (sched {:.2}s, engine {:.2}s, convert {:.2}s, net {:.2}s)",
+            self.iterations.len(),
+            self.completions.len(),
+            self.sim_duration_s(),
+            self.total_prompt_tokens(),
+            self.total_generated_tokens(),
+            self.generation_throughput(),
+            self.mean_latency_s(),
+            self.reuse.hit_rate() * 100.0,
+            self.wall.total().as_secs_f64(),
+            self.wall.scheduler.as_secs_f64(),
+            self.wall.engine.as_secs_f64(),
+            self.wall.converter.as_secs_f64(),
+            self.wall.network.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: u64, start: TimePs, lat: TimePs, prompt: usize, gen: usize) -> IterationRecord {
+        IterationRecord {
+            index,
+            start_ps: start,
+            latency_ps: lat,
+            batch_size: 1,
+            prompt_tokens: prompt,
+            generated_tokens: gen,
+            evictions: 0,
+            reloads: 0,
+            graph_ops: 10,
+            net_events: 20,
+        }
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            iterations: vec![
+                record(0, 0, 500_000_000_000, 100, 0),
+                record(1, 500_000_000_000, 500_000_000_000, 0, 5),
+                record(2, 1_000_000_000_000, 1_000_000_000_000, 0, 5),
+            ],
+            completions: vec![
+                Completion {
+                    id: 0,
+                    arrival_ps: 0,
+                    first_token_ps: 500_000_000_000,
+                    finish_ps: 2_000_000_000_000,
+                    input_len: 100,
+                    output_len: 11,
+                },
+            ],
+            wall: WallBreakdown {
+                scheduler: Duration::from_millis(1),
+                engine: Duration::from_millis(20),
+                converter: Duration::from_millis(4),
+                network: Duration::from_millis(10),
+            },
+            reuse: ReuseStats::default(),
+            sim_duration_ps: 2_000_000_000_000,
+        }
+    }
+
+    #[test]
+    fn token_totals() {
+        let r = report();
+        assert_eq!(r.total_prompt_tokens(), 100);
+        assert_eq!(r.total_generated_tokens(), 10);
+        assert_eq!(r.generation_throughput(), 5.0);
+        assert_eq!(r.prompt_throughput(), 50.0);
+    }
+
+    #[test]
+    fn throughput_series_bins_by_completion_time() {
+        let r = report();
+        let bins = r.throughput_series(1.0);
+        assert_eq!(bins.len(), 2);
+        // Iteration 0 ends at 0.5 s (bin 0); iterations 1 and 2 end at
+        // 1.0 s and 2.0 s, both landing in the final bin.
+        assert_eq!(bins[0].prompt_tps, 100.0);
+        assert_eq!(bins[0].gen_tps, 0.0);
+        assert_eq!(bins[1].gen_tps, 10.0);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let r = report();
+        assert!((r.mean_latency_s() - 2.0).abs() < 1e-9);
+        assert!((r.latency_percentile_s(0.5) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_tsv_has_all_components() {
+        let tsv = report().wall.to_tsv();
+        for c in ["scheduler", "execution_engine", "graph_converter", "astra_sim", "total"] {
+            assert!(tsv.contains(c), "missing {c} in {tsv}");
+        }
+    }
+
+    #[test]
+    fn summary_mentions_throughput() {
+        let s = report().summary();
+        assert!(s.contains("gen_tput"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_rejected() {
+        report().throughput_series(0.0);
+    }
+}

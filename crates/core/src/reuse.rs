@@ -1,0 +1,207 @@
+//! Computation-reuse caches (paper Section IV-C).
+//!
+//! LLMServingSim avoids re-running the compiler and hardware simulator by
+//! caching results keyed on operator signatures. Two redundancies feed the
+//! cache:
+//!
+//! * **Model redundancy**: all transformer blocks share one template, so a
+//!   block compiles once and replicates (`n_layers - 1` free hits per op).
+//! * **Iteration redundancy**: non-attention operators keep the same shapes
+//!   across decode iterations (only attention shapes track the KV length),
+//!   so prior iterations' results keep serving.
+
+use std::collections::HashMap;
+
+use llmss_model::OpSignature;
+use llmss_net::TimePs;
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceKind;
+
+/// Hit/miss counters, split by attention vs non-attention operators so the
+/// evaluation can show where the savings come from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseStats {
+    /// Cache hits on attention operators.
+    pub attention_hits: u64,
+    /// Cache misses on attention operators.
+    pub attention_misses: u64,
+    /// Cache hits on non-attention operators.
+    pub other_hits: u64,
+    /// Cache misses on non-attention operators.
+    pub other_misses: u64,
+}
+
+impl ReuseStats {
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.attention_hits + self.other_hits
+    }
+
+    /// Total misses (engine executions actually performed).
+    pub fn misses(&self) -> u64 {
+        self.attention_misses + self.other_misses
+    }
+
+    /// Hit rate in [0, 1] (0 when nothing was priced).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits() as f64 / total as f64
+    }
+}
+
+/// The compile+simulation result cache.
+///
+/// Keys combine the target device with the operator signature, so an op
+/// priced on the NPU never answers for the same shape on PIM. The cache can
+/// be disabled (`enabled = false`) to reproduce the paper's "w/o reuse"
+/// configurations — lookups then always miss but statistics still count.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_core::{DeviceKind, ReuseCache};
+/// use llmss_model::{Op, OpDims, OpKind};
+///
+/// let mut cache = ReuseCache::new(true);
+/// let op = Op::new(OpKind::QkvGen, OpDims::matmul(64, 768, 2304), 2);
+/// let mut executions = 0;
+/// for _ in 0..10 {
+///     cache.price(DeviceKind::Npu, &op.signature(), op.kind.is_attention(), || {
+///         executions += 1;
+///         12_345
+///     });
+/// }
+/// assert_eq!(executions, 1); // nine hits
+/// assert_eq!(cache.stats().hits(), 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseCache {
+    enabled: bool,
+    entries: HashMap<(DeviceKind, OpSignature), TimePs>,
+    stats: ReuseStats,
+}
+
+impl ReuseCache {
+    /// Creates a cache; `enabled = false` forces every lookup to miss.
+    pub fn new(enabled: bool) -> Self {
+        Self { enabled, entries: HashMap::new(), stats: ReuseStats::default() }
+    }
+
+    /// Whether reuse is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Returns the cached latency or computes it via `execute`.
+    pub fn price(
+        &mut self,
+        device: DeviceKind,
+        signature: &OpSignature,
+        is_attention: bool,
+        execute: impl FnOnce() -> TimePs,
+    ) -> TimePs {
+        if self.enabled {
+            if let Some(&ps) = self.entries.get(&(device, *signature)) {
+                if is_attention {
+                    self.stats.attention_hits += 1;
+                } else {
+                    self.stats.other_hits += 1;
+                }
+                return ps;
+            }
+        }
+        if is_attention {
+            self.stats.attention_misses += 1;
+        } else {
+            self.stats.other_misses += 1;
+        }
+        let ps = execute();
+        if self.enabled {
+            self.entries.insert((device, *signature), ps);
+        }
+        ps
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> ReuseStats {
+        self.stats
+    }
+
+    /// Clears entries and statistics.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = ReuseStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_model::{Op, OpDims, OpKind};
+
+    fn sig(m: usize) -> OpSignature {
+        Op::new(OpKind::QkvGen, OpDims::matmul(m, 64, 192), 2).signature()
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let mut c = ReuseCache::new(false);
+        let mut execs = 0;
+        for _ in 0..5 {
+            c.price(DeviceKind::Npu, &sig(8), false, || {
+                execs += 1;
+                1
+            });
+        }
+        assert_eq!(execs, 5);
+        assert_eq!(c.stats().hits(), 0);
+        assert_eq!(c.stats().misses(), 5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn device_keys_are_distinct() {
+        let mut c = ReuseCache::new(true);
+        let s = sig(8);
+        c.price(DeviceKind::Npu, &s, false, || 100);
+        let pim = c.price(DeviceKind::Pim, &s, false, || 200);
+        assert_eq!(pim, 200);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn attention_split_in_stats() {
+        let mut c = ReuseCache::new(true);
+        c.price(DeviceKind::Npu, &sig(1), true, || 1);
+        c.price(DeviceKind::Npu, &sig(1), true, || 1);
+        c.price(DeviceKind::Npu, &sig(2), false, || 1);
+        let s = c.stats();
+        assert_eq!(s.attention_misses, 1);
+        assert_eq!(s.attention_hits, 1);
+        assert_eq!(s.other_misses, 1);
+        assert!((c.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = ReuseCache::new(true);
+        c.price(DeviceKind::Npu, &sig(4), false, || 9);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), ReuseStats::default());
+    }
+}

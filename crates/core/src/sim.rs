@@ -1,0 +1,247 @@
+//! The serving simulator: the paper's Figure 4 loop.
+//!
+//! Each iteration: the scheduler forms a batch under KV-memory constraints,
+//! the engine stack prices the (sharded) operators through the reuse
+//! caches, the graph converter builds the execution graph, and the system
+//! simulator returns the iteration latency, which advances the scheduler's
+//! clock. Wall-clock spent in each component is recorded for the Figure 9
+//! breakdown.
+
+use std::time::Instant;
+
+use llmss_net::{simulate_graph, Topology};
+use llmss_sched::{Request, Scheduler};
+
+use crate::{
+    ConfigError, EngineStack, GraphConverter, IterationRecord, SimConfig, SimReport,
+    WallBreakdown,
+};
+
+/// An end-to-end LLM serving simulation.
+///
+/// # Examples
+///
+/// ```no_run
+/// use llmss_core::{ServingSimulator, SimConfig};
+/// use llmss_model::ModelSpec;
+/// use llmss_sched::{Dataset, TraceGenerator};
+///
+/// let config = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+/// let trace = TraceGenerator::new(Dataset::Alpaca, 42).rate_per_s(8.0).generate(32);
+/// let report = ServingSimulator::new(config, trace)?.run();
+/// println!("{}", report.summary());
+/// # Ok::<(), llmss_core::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct ServingSimulator {
+    topology: Topology,
+    converter: GraphConverter,
+    stack: EngineStack,
+    scheduler: Scheduler,
+    records: Vec<IterationRecord>,
+    wall: WallBreakdown,
+}
+
+impl ServingSimulator {
+    /// Builds a simulator from a configuration and a request trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration cannot be realized
+    /// (invalid parallelism, model does not fit in memory, ...).
+    pub fn new(config: SimConfig, requests: Vec<Request>) -> Result<Self, ConfigError> {
+        let parallelism = config.parallelism()?;
+        let topology = config.topology()?;
+        let kv = config.kv_cache()?;
+        let converter = GraphConverter::new(
+            config.model.clone(),
+            parallelism,
+            &topology,
+            config.pim_mode,
+            config.selective_batching,
+            config.sub_batch,
+        );
+        let stack = EngineStack::for_pim_mode(
+            config.pim_mode,
+            config.npu_config.clone(),
+            config.pim_config.clone(),
+            config.reuse,
+        );
+        let scheduler = Scheduler::new(config.scheduler_config(), kv, requests);
+        Ok(Self {
+            topology,
+            converter,
+            stack,
+            scheduler,
+            records: Vec::new(),
+            wall: WallBreakdown::default(),
+        })
+    }
+
+    /// Runs one iteration; returns `false` when the trace is drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated execution graph is inconsistent with the
+    /// topology (a bug, not a user error).
+    pub fn step(&mut self) -> bool {
+        let t0 = Instant::now();
+        let Some(batch) = self.scheduler.next_batch() else {
+            return false;
+        };
+        let sched_elapsed = t0.elapsed();
+
+        let engine_before = self.stack.engine_wall();
+        let t1 = Instant::now();
+        let graph = self.converter.convert(&batch, &mut self.stack);
+        let convert_total = t1.elapsed();
+        let engine_elapsed = self.stack.engine_wall() - engine_before;
+
+        let t2 = Instant::now();
+        let outcome =
+            simulate_graph(&graph, &self.topology).expect("converter emits valid graphs");
+        let net_elapsed = t2.elapsed();
+
+        let start_ps = self.scheduler.clock_ps();
+        self.records.push(IterationRecord {
+            index: self.scheduler.iterations(),
+            start_ps,
+            latency_ps: outcome.makespan_ps,
+            batch_size: batch.batch_size(),
+            prompt_tokens: batch.prompt_tokens(),
+            generated_tokens: batch.generated_tokens(),
+            evictions: batch.evictions.len(),
+            reloads: batch.reloads.len(),
+            graph_ops: graph.len(),
+            net_events: outcome.events,
+        });
+
+        let t3 = Instant::now();
+        self.scheduler.complete_iteration(outcome.makespan_ps);
+        self.wall.scheduler += sched_elapsed + t3.elapsed();
+        self.wall.engine += engine_elapsed;
+        self.wall.converter += convert_total.saturating_sub(engine_elapsed);
+        self.wall.network += net_elapsed;
+        true
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        while self.step() {}
+        self.into_report()
+    }
+
+    /// Runs at most `max_iterations` and returns the (possibly partial)
+    /// report — useful for long traces in benchmarks.
+    pub fn run_bounded(mut self, max_iterations: u64) -> SimReport {
+        let mut n = 0;
+        while n < max_iterations && self.step() {
+            n += 1;
+        }
+        self.into_report()
+    }
+
+    /// The scheduler (for inspection between steps).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The engine stack (for reuse statistics between steps).
+    pub fn stack(&self) -> &EngineStack {
+        &self.stack
+    }
+
+    fn into_report(self) -> SimReport {
+        SimReport {
+            sim_duration_ps: self.scheduler.clock_ps(),
+            completions: self.scheduler.completions().to_vec(),
+            iterations: self.records,
+            wall: self.wall,
+            reuse: self.stack.reuse_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_model::ModelSpec;
+    use llmss_sched::{Dataset, TraceGenerator};
+
+    fn small_trace(n: usize) -> Vec<Request> {
+        TraceGenerator::new(Dataset::Alpaca, 11).rate_per_s(50.0).generate(n)
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel()
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let report = ServingSimulator::new(config(), small_trace(6)).unwrap().run();
+        assert_eq!(report.completions.len(), 6);
+        assert!(report.sim_duration_ps > 0);
+        assert!(!report.iterations.is_empty());
+    }
+
+    #[test]
+    fn iteration_latencies_are_positive_and_clock_advances() {
+        let report = ServingSimulator::new(config(), small_trace(4)).unwrap().run();
+        for it in &report.iterations {
+            assert!(it.latency_ps > 0, "iteration {} has zero latency", it.index);
+        }
+        let last = report.iterations.last().unwrap();
+        assert_eq!(report.sim_duration_ps, last.start_ps + last.latency_ps);
+    }
+
+    #[test]
+    fn reuse_dramatically_reduces_engine_work() {
+        let with = ServingSimulator::new(config().reuse(true), small_trace(4)).unwrap().run();
+        let without =
+            ServingSimulator::new(config().reuse(false), small_trace(4)).unwrap().run();
+        assert!(with.reuse.hit_rate() > 0.8, "hit rate {:.2}", with.reuse.hit_rate());
+        assert_eq!(without.reuse.hits(), 0);
+        // Same simulated results either way: reuse is a speed optimization.
+        assert_eq!(with.sim_duration_ps, without.sim_duration_ps);
+        assert!(without.reuse.misses() > 5 * with.reuse.misses());
+    }
+
+    #[test]
+    fn tensor_parallel_run_is_faster_in_sim_time() {
+        let trace = small_trace(4);
+        let tp1 = ServingSimulator::new(config(), trace.clone()).unwrap().run();
+        let tp4 = ServingSimulator::new(
+            SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel(),
+            trace,
+        )
+        .unwrap()
+        .run();
+        assert!(tp4.sim_duration_ps < tp1.sim_duration_ps);
+    }
+
+    #[test]
+    fn run_bounded_stops_early() {
+        let sim = ServingSimulator::new(config(), small_trace(32)).unwrap();
+        let report = sim.run_bounded(3);
+        assert_eq!(report.iterations.len(), 3);
+    }
+
+    #[test]
+    fn pim_pool_config_runs_end_to_end() {
+        let cfg = SimConfig::new(ModelSpec::gpt2())
+            .npu_num(2)
+            .tensor_parallel()
+            .pim_pool(2)
+            .sub_batch(true);
+        let report = ServingSimulator::new(cfg, small_trace(4)).unwrap().run();
+        assert_eq!(report.completions.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let a = ServingSimulator::new(config(), small_trace(5)).unwrap().run();
+        let b = ServingSimulator::new(config(), small_trace(5)).unwrap().run();
+        assert_eq!(a.sim_duration_ps, b.sim_duration_ps);
+        assert_eq!(a.iterations.len(), b.iterations.len());
+    }
+}

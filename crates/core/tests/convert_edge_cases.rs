@@ -1,0 +1,156 @@
+//! Graph-converter edge cases: hybrid layouts with PIM pools, uneven
+//! layer splits, non-power-of-two shapes, and degenerate batches.
+
+use llmss_core::{
+    EngineStack, GraphConverter, ParallelismSpec, PimMode, SimConfig,
+};
+use llmss_model::{ModelSpec, SeqSlot};
+use llmss_net::{simulate_graph, ExecPayload, LinkSpec, Topology};
+use llmss_npu::NpuConfig;
+use llmss_pim::PimConfig;
+use llmss_sched::IterationBatch;
+
+fn batch(slots: Vec<SeqSlot>) -> IterationBatch {
+    IterationBatch { slots, evictions: vec![], reloads: vec![] }
+}
+
+#[test]
+fn hybrid_with_pim_pool_runs_and_routes_attention() {
+    // 2 stages x 2 TP with a 2-node PIM pool: decode attention must hop to
+    // pool nodes from whichever stage owns the block.
+    let topo = Topology::npu_pim_pools(4, 2, 2, LinkSpec::pcie4_x16(), LinkSpec::cxl());
+    let conv = GraphConverter::new(
+        ModelSpec::gpt2(),
+        ParallelismSpec { tp: 2, pp: 2 },
+        &topo,
+        PimMode::Pool,
+        true,
+        false,
+    );
+    let mut stack = EngineStack::for_pim_mode(
+        PimMode::Pool,
+        NpuConfig::table1(),
+        PimConfig::table1(),
+        true,
+    );
+    let g = conv.convert(&batch(vec![SeqSlot::decode(0, 100), SeqSlot::decode(1, 200)]), &mut stack);
+    // PIM nodes are 4 and 5.
+    let pim_ops = g
+        .iter()
+        .filter(|(_, o)| matches!(o.payload, ExecPayload::Compute { .. }) && o.node >= 4)
+        .count();
+    assert_eq!(pim_ops, 12 * 2 * 2, "score+attend per block per request on PIM");
+    let out = simulate_graph(&g, &topo).unwrap();
+    assert!(out.makespan_ps > 0);
+}
+
+#[test]
+fn uneven_layer_split_assigns_remainders_to_early_stages() {
+    // 12 layers over 5 stages: 3+3+2+2+2.
+    let topo = Topology::grouped_npus(5, 5, LinkSpec::pcie4_x16());
+    let conv = GraphConverter::new(
+        ModelSpec::gpt2(),
+        ParallelismSpec { tp: 1, pp: 5 },
+        &topo,
+        PimMode::None,
+        true,
+        false,
+    );
+    let lens: Vec<u32> = conv.stage_layers().iter().map(|r| r.end - r.start).collect();
+    assert_eq!(lens, vec![3, 3, 2, 2, 2]);
+    assert_eq!(conv.stage_layers().last().unwrap().end, 12);
+}
+
+#[test]
+fn single_token_prompt_converts() {
+    let topo = Topology::flat_npus(2, LinkSpec::pcie4_x16());
+    let conv = GraphConverter::new(
+        ModelSpec::gpt2(),
+        ParallelismSpec { tp: 2, pp: 1 },
+        &topo,
+        PimMode::None,
+        true,
+        false,
+    );
+    let mut stack = EngineStack::homogeneous(NpuConfig::table1(), true);
+    let g = conv.convert(&batch(vec![SeqSlot::prefill(0, 1)]), &mut stack);
+    let out = simulate_graph(&g, &topo).unwrap();
+    assert!(out.makespan_ps > 0);
+}
+
+#[test]
+fn odd_tp_degree_shards_with_ceiling() {
+    // tp = 3 does not divide d_model-derived shapes evenly; sharding must
+    // round up rather than lose columns.
+    let topo = Topology::flat_npus(3, LinkSpec::pcie4_x16());
+    let conv = GraphConverter::new(
+        ModelSpec::gpt2(),
+        ParallelismSpec { tp: 3, pp: 1 },
+        &topo,
+        PimMode::None,
+        true,
+        false,
+    );
+    let mut stack = EngineStack::homogeneous(NpuConfig::table1(), true);
+    let g = conv.convert(&batch(vec![SeqSlot::prefill(0, 32)]), &mut stack);
+    let out = simulate_graph(&g, &topo).unwrap();
+    assert!(out.makespan_ps > 0);
+    assert!(out.utilization() > 0.0);
+}
+
+#[test]
+fn very_long_kv_contexts_convert_and_scale() {
+    let topo = Topology::flat_npus(1, LinkSpec::pcie4_x16());
+    let conv = GraphConverter::new(
+        ModelSpec::gpt2(),
+        ParallelismSpec { tp: 1, pp: 1 },
+        &topo,
+        PimMode::None,
+        true,
+        false,
+    );
+    let mut stack = EngineStack::homogeneous(NpuConfig::table1(), true);
+    let short = conv.convert(&batch(vec![SeqSlot::decode(0, 128)]), &mut stack);
+    let long = conv.convert(&batch(vec![SeqSlot::decode(0, 2047)]), &mut stack);
+    let t_short = simulate_graph(&short, &topo).unwrap().makespan_ps;
+    let t_long = simulate_graph(&long, &topo).unwrap().makespan_ps;
+    assert!(t_long > t_short, "longer KV must cost more: {t_short} vs {t_long}");
+}
+
+#[test]
+fn sim_config_end_to_end_consistency_for_all_pim_modes() {
+    // The SimConfig-driven path must build converters whose graphs
+    // simulate cleanly for every PIM mode.
+    for (mode_name, cfg) in [
+        ("none", SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel()),
+        ("local", SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_local()),
+        (
+            "pool",
+            SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_pool(1),
+        ),
+    ] {
+        let topo = cfg.topology().unwrap();
+        let parallelism = cfg.parallelism().unwrap();
+        let conv = GraphConverter::new(
+            cfg.model.clone(),
+            parallelism,
+            &topo,
+            cfg.pim_mode,
+            cfg.selective_batching,
+            cfg.sub_batch,
+        );
+        let mut stack = EngineStack::for_pim_mode(
+            cfg.pim_mode,
+            cfg.npu_config.clone(),
+            cfg.pim_config.clone(),
+            cfg.reuse,
+        );
+        let g = conv.convert(
+            &batch(vec![SeqSlot::prefill(0, 16), SeqSlot::decode(1, 64)]),
+            &mut stack,
+        );
+        let out = simulate_graph(&g, &topo)
+            .unwrap_or_else(|e| panic!("{mode_name}: {e}"));
+        assert!(out.makespan_ps > 0, "{mode_name}");
+    }
+}

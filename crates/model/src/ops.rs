@@ -1,0 +1,368 @@
+//! Operator-level intermediate representation.
+//!
+//! Each [`Op`] is one schedulable unit of work for an execution engine:
+//! a (possibly batched) matrix multiply, an element-wise layer, an embedding
+//! gather, or a KV-cache memory transfer. The analytical methods
+//! ([`Op::flops`], [`Op::bytes_read`], [`Op::bytes_written`],
+//! [`Op::arithmetic_intensity`]) drive every timing model in the workspace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Phase;
+
+/// What kind of computation an operator performs.
+///
+/// The split mirrors the paper's Figure 1: QKV generation, multi-head
+/// attention (Score / Softmax / Attend), feed-forward networks, plus
+/// embedding/LM-head bookends and the memory-transfer ops the graph
+/// converter inserts for KV-cache paging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Token-embedding gather (memory only).
+    Embedding,
+    /// Layer normalization (element-wise, bandwidth bound).
+    LayerNorm,
+    /// Fused Q/K/V projection GEMM: `[t, d] x [d, 3d]`.
+    QkvGen,
+    /// Attention score: per-head `Q x K^T`, `[t, d_head] x [d_head, kv]`.
+    Score,
+    /// Softmax over attention scores (element-wise).
+    Softmax,
+    /// Attention output: per-head `P x V`, `[t, kv] x [kv, d_head]`.
+    Attend,
+    /// Attention output projection GEMM: `[t, d] x [d, d]`.
+    OutProj,
+    /// FFN up-projection GEMM: `[t, d] x [d, d_ff]` (twice for SwiGLU).
+    FfnUp,
+    /// FFN nonlinearity (GELU / SiLU-gate), element-wise.
+    Activation,
+    /// FFN down-projection GEMM: `[t, d_ff] x [d_ff, d]`.
+    FfnDown,
+    /// Residual addition (element-wise).
+    Residual,
+    /// Language-model head GEMM: `[t, d] x [d, vocab]`.
+    LmHead,
+    /// KV-cache page load from host memory (inserted by the graph converter).
+    KvLoad,
+    /// KV-cache page store (eviction) to host memory.
+    KvStore,
+}
+
+impl OpKind {
+    /// Whether this op belongs to the multi-head-attention group whose cost
+    /// depends on the KV length (the only ops that differ between the
+    /// initiation and generation phases).
+    pub fn is_attention(self) -> bool {
+        matches!(self, OpKind::Score | OpKind::Softmax | OpKind::Attend)
+    }
+
+    /// Whether this op is a matrix multiply (GEMM or batched GEMV).
+    pub fn is_matmul(self) -> bool {
+        matches!(
+            self,
+            OpKind::QkvGen
+                | OpKind::Score
+                | OpKind::Attend
+                | OpKind::OutProj
+                | OpKind::FfnUp
+                | OpKind::FfnDown
+                | OpKind::LmHead
+        )
+    }
+
+    /// Whether this op is a pure memory transfer.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Embedding | OpKind::KvLoad | OpKind::KvStore)
+    }
+
+    /// Short lowercase label used in traces and TSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Embedding => "embedding",
+            OpKind::LayerNorm => "layernorm",
+            OpKind::QkvGen => "qkv_gen",
+            OpKind::Score => "score",
+            OpKind::Softmax => "softmax",
+            OpKind::Attend => "attend",
+            OpKind::OutProj => "out_proj",
+            OpKind::FfnUp => "ffn_up",
+            OpKind::Activation => "activation",
+            OpKind::FfnDown => "ffn_down",
+            OpKind::Residual => "residual",
+            OpKind::LmHead => "lm_head",
+            OpKind::KvLoad => "kv_load",
+            OpKind::KvStore => "kv_store",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Dimensions of an operator.
+///
+/// Matmul ops compute `batch` independent `[m, k] x [k, n]` products.
+/// Element-wise ops treat `batch * m * n` as the element count (with `k = 1`).
+/// Memory ops move `batch * m * n` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpDims {
+    /// Number of independent sub-problems (e.g. attention heads).
+    pub batch: usize,
+    /// Rows of the left operand.
+    pub m: usize,
+    /// Contraction dimension.
+    pub k: usize,
+    /// Columns of the right operand.
+    pub n: usize,
+}
+
+impl OpDims {
+    /// A single (non-batched) matmul `[m, k] x [k, n]`.
+    pub fn matmul(m: usize, k: usize, n: usize) -> Self {
+        Self { batch: 1, m, k, n }
+    }
+
+    /// A batched matmul: `batch` independent `[m, k] x [k, n]` products.
+    pub fn batched(batch: usize, m: usize, k: usize, n: usize) -> Self {
+        Self { batch, m, k, n }
+    }
+
+    /// An element-wise grid of `rows x cols` elements.
+    pub fn elementwise(rows: usize, cols: usize) -> Self {
+        Self { batch: 1, m: rows, k: 1, n: cols }
+    }
+
+    /// Total number of output elements.
+    pub fn out_elems(&self) -> u64 {
+        self.batch as u64 * self.m as u64 * self.n as u64
+    }
+}
+
+/// One schedulable operator instance.
+///
+/// `block` identifies the transformer block the op belongs to (`None` for
+/// embedding / LM-head bookends); `request` tags per-request attention ops
+/// so selective batching can fan them out to different accelerator nodes.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_model::{Op, OpKind, OpDims, Phase};
+///
+/// // QKV projection for 128 prompt tokens of a d=4096 model.
+/// let op = Op::new(OpKind::QkvGen, OpDims::matmul(128, 4096, 3 * 4096), 2)
+///     .in_phase(Phase::Initiation);
+/// assert_eq!(op.flops(), 2 * 128 * 4096 * 3 * 4096);
+/// assert!(op.arithmetic_intensity() > 100.0); // compute bound
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// Computation kind.
+    pub kind: OpKind,
+    /// Problem dimensions.
+    pub dims: OpDims,
+    /// Bytes per element.
+    pub elem_bytes: usize,
+    /// Transformer-block index, if the op lives inside a block.
+    pub block: Option<u32>,
+    /// Owning request for per-request (selective-batching) attention ops.
+    pub request: Option<u64>,
+    /// Inference phase this op instance belongs to.
+    pub phase: Phase,
+}
+
+impl Op {
+    /// Creates an op with no block/request tags in the initiation phase.
+    pub fn new(kind: OpKind, dims: OpDims, elem_bytes: usize) -> Self {
+        Self { kind, dims, elem_bytes, block: None, request: None, phase: Phase::Initiation }
+    }
+
+    /// Tags the op with a transformer-block index.
+    pub fn in_block(mut self, block: u32) -> Self {
+        self.block = Some(block);
+        self
+    }
+
+    /// Tags the op with an owning request (selective batching).
+    pub fn for_request(mut self, request: u64) -> Self {
+        self.request = Some(request);
+        self
+    }
+
+    /// Sets the inference phase.
+    pub fn in_phase(mut self, phase: Phase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// The signature used by compile/simulation reuse caches: two ops with
+    /// the same signature take the same time on the same engine, regardless
+    /// of which block, request, or iteration they belong to.
+    pub fn signature(&self) -> OpSignature {
+        OpSignature { kind: self.kind, dims: self.dims, elem_bytes: self.elem_bytes }
+    }
+
+    /// Floating-point operations performed.
+    ///
+    /// Matmuls count multiply-accumulate as 2 FLOPs. Element-wise ops use
+    /// conventional per-element costs (LayerNorm 5, Softmax 5, GELU 8,
+    /// residual 1). Memory ops perform no FLOPs.
+    pub fn flops(&self) -> u64 {
+        let d = &self.dims;
+        let elems = d.out_elems();
+        match self.kind {
+            k if k.is_matmul() => 2 * d.batch as u64 * d.m as u64 * d.k as u64 * d.n as u64,
+            OpKind::LayerNorm => 5 * elems,
+            OpKind::Softmax => 5 * elems,
+            OpKind::Activation => 8 * elems,
+            OpKind::Residual => elems,
+            OpKind::Embedding | OpKind::KvLoad | OpKind::KvStore => 0,
+            _ => unreachable!("all op kinds covered"),
+        }
+    }
+
+    /// Bytes read from device memory (operands and weights; no reuse of
+    /// cached operands across ops is assumed at this level).
+    pub fn bytes_read(&self) -> u64 {
+        let d = &self.dims;
+        let w = self.elem_bytes as u64;
+        let b = d.batch as u64;
+        let (m, k, n) = (d.m as u64, d.k as u64, d.n as u64);
+        match self.kind {
+            kind if kind.is_matmul() => b * (m * k + k * n) * w,
+            OpKind::LayerNorm | OpKind::Softmax | OpKind::Activation => b * m * n * w,
+            // Residual reads both addends.
+            OpKind::Residual => 2 * b * m * n * w,
+            // Embedding reads one d-sized row per token (the table row).
+            OpKind::Embedding => b * m * n * w,
+            OpKind::KvLoad | OpKind::KvStore => b * m * n * w,
+            _ => unreachable!("all op kinds covered"),
+        }
+    }
+
+    /// Bytes written to device memory (the output tensor).
+    pub fn bytes_written(&self) -> u64 {
+        self.dims.out_elems() * self.elem_bytes as u64
+    }
+
+    /// Total bytes moved (reads + writes).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read() + self.bytes_written()
+    }
+
+    /// Arithmetic intensity in FLOPs per byte moved.
+    ///
+    /// Memory-only ops have intensity 0.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.bytes_total();
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.flops() as f64 / bytes as f64
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}x({},{},{})]",
+            self.kind, self.dims.batch, self.dims.m, self.dims.k, self.dims.n
+        )?;
+        if let Some(b) = self.block {
+            write!(f, "@blk{b}")?;
+        }
+        if let Some(r) = self.request {
+            write!(f, "@req{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Cache key identifying operators that are identical for timing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpSignature {
+    /// Computation kind.
+    pub kind: OpKind,
+    /// Problem dimensions.
+    pub dims: OpDims,
+    /// Bytes per element.
+    pub elem_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qkv(m: usize) -> Op {
+        Op::new(OpKind::QkvGen, OpDims::matmul(m, 4096, 3 * 4096), 2)
+    }
+
+    #[test]
+    fn matmul_flops_are_2mnk() {
+        let op = qkv(128);
+        assert_eq!(op.flops(), 2 * 128 * 4096 * 12288);
+    }
+
+    #[test]
+    fn batched_matmul_scales_with_batch() {
+        let a = Op::new(OpKind::Score, OpDims::batched(32, 1, 128, 512), 2);
+        let b = Op::new(OpKind::Score, OpDims::batched(1, 1, 128, 512), 2);
+        assert_eq!(a.flops(), 32 * b.flops());
+        assert_eq!(a.bytes_total(), 32 * b.bytes_total());
+    }
+
+    #[test]
+    fn gemm_is_compute_bound_gemv_is_memory_bound() {
+        // Prefill QKV GEMM: high arithmetic intensity.
+        let gemm = qkv(512);
+        // Generation-phase Score GEMV: one query row against 512 cached keys.
+        let gemv = Op::new(OpKind::Score, OpDims::batched(32, 1, 128, 512), 2);
+        assert!(gemm.arithmetic_intensity() > 100.0, "{}", gemm.arithmetic_intensity());
+        assert!(gemv.arithmetic_intensity() < 2.0, "{}", gemv.arithmetic_intensity());
+    }
+
+    #[test]
+    fn memory_ops_have_zero_flops_and_intensity() {
+        let ld = Op::new(OpKind::KvLoad, OpDims::elementwise(4096, 16), 2);
+        assert_eq!(ld.flops(), 0);
+        assert_eq!(ld.arithmetic_intensity(), 0.0);
+        assert!(ld.bytes_total() > 0);
+    }
+
+    #[test]
+    fn signature_ignores_block_and_request() {
+        let a = qkv(64).in_block(3).for_request(7);
+        let b = qkv(64).in_block(9);
+        assert_eq!(a.signature(), b.signature());
+        let c = qkv(65);
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn residual_reads_two_operands() {
+        let r = Op::new(OpKind::Residual, OpDims::elementwise(128, 4096), 2);
+        assert_eq!(r.bytes_read(), 2 * 128 * 4096 * 2);
+        assert_eq!(r.bytes_written(), 128 * 4096 * 2);
+    }
+
+    #[test]
+    fn attention_classification() {
+        assert!(OpKind::Score.is_attention());
+        assert!(OpKind::Softmax.is_attention());
+        assert!(OpKind::Attend.is_attention());
+        assert!(!OpKind::QkvGen.is_attention());
+        assert!(!OpKind::FfnUp.is_attention());
+    }
+
+    #[test]
+    fn display_includes_kind_and_dims() {
+        let op = qkv(8).in_block(1);
+        let s = op.to_string();
+        assert!(s.contains("qkv_gen"), "{s}");
+        assert!(s.contains("blk1"), "{s}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Inference phases and per-sequence iteration state.
+
+use serde::{Deserialize, Serialize};
+
+/// The two phases of autoregressive decoder inference.
+///
+/// The *initiation* (prefill) phase processes the whole prompt at once and is
+/// dominated by GEMMs; the *generation* (decode) phase processes one new
+/// token per sequence against the KV cache and is dominated by GEMVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Prompt processing (prefill).
+    Initiation,
+    /// Autoregressive token generation (decode).
+    Generation,
+}
+
+impl Phase {
+    /// Short label used in TSV output ("prompt" / "generation").
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Initiation => "prompt",
+            Phase::Generation => "generation",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The slice of work one sequence contributes to one scheduler iteration.
+///
+/// `new_tokens` is the number of tokens processed this iteration (the full
+/// prompt length during initiation, 1 during generation); `kv_past` is the
+/// number of tokens already present in the KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeqSlot {
+    /// Owning request id.
+    pub request: u64,
+    /// Tokens processed this iteration.
+    pub new_tokens: usize,
+    /// Tokens already in the KV cache before this iteration.
+    pub kv_past: usize,
+}
+
+impl SeqSlot {
+    /// A prefill slot: the whole `prompt_len` is processed, no KV history.
+    pub fn prefill(request: u64, prompt_len: usize) -> Self {
+        Self { request, new_tokens: prompt_len, kv_past: 0 }
+    }
+
+    /// A decode slot: one new token against `kv_past` cached tokens.
+    pub fn decode(request: u64, kv_past: usize) -> Self {
+        Self { request, new_tokens: 1, kv_past }
+    }
+
+    /// KV length visible to attention this iteration (past + new).
+    pub fn kv_total(&self) -> usize {
+        self.kv_past + self.new_tokens
+    }
+
+    /// Phase this slot is in.
+    pub fn phase(&self) -> Phase {
+        if self.kv_past == 0 {
+            Phase::Initiation
+        } else {
+            Phase::Generation
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_slot_is_initiation() {
+        let s = SeqSlot::prefill(1, 128);
+        assert_eq!(s.phase(), Phase::Initiation);
+        assert_eq!(s.kv_total(), 128);
+        assert_eq!(s.new_tokens, 128);
+    }
+
+    #[test]
+    fn decode_slot_is_generation() {
+        let s = SeqSlot::decode(1, 128);
+        assert_eq!(s.phase(), Phase::Generation);
+        assert_eq!(s.kv_total(), 129);
+        assert_eq!(s.new_tokens, 1);
+    }
+
+    #[test]
+    fn phase_labels() {
+        assert_eq!(Phase::Initiation.label(), "prompt");
+        assert_eq!(Phase::Generation.to_string(), "generation");
+    }
+}

@@ -1,0 +1,72 @@
+//! JSON exchange format for workloads (the reproduction's ONNX stand-in).
+//!
+//! The original LLMServingSim ingests ONNX graphs; this reproduction uses a
+//! JSON serialization of [`IterationWorkload`] so workloads can be produced
+//! by external tools, stored next to evaluation outputs, and re-loaded for
+//! replay. The information content matches what the simulator consumed from
+//! ONNX: an ordered op list with shapes.
+
+use crate::IterationWorkload;
+
+/// Error produced when parsing a serialized workload fails.
+#[derive(Debug)]
+pub struct GraphFormatError {
+    message: String,
+}
+
+impl std::fmt::Display for GraphFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid workload graph: {}", self.message)
+    }
+}
+
+impl std::error::Error for GraphFormatError {}
+
+/// Serializes a workload to pretty-printed JSON.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_model::{from_json, to_json, IterationWorkload, ModelSpec, SeqSlot};
+///
+/// let work = IterationWorkload::build(&ModelSpec::gpt2(), &[SeqSlot::prefill(0, 8)]);
+/// let json = to_json(&work);
+/// let back = from_json(&json)?;
+/// assert_eq!(work, back);
+/// # Ok::<(), llmss_model::GraphFormatError>(())
+/// ```
+pub fn to_json(workload: &IterationWorkload) -> String {
+    serde_json::to_string_pretty(workload).expect("workload serialization is infallible")
+}
+
+/// Parses a workload from its JSON serialization.
+///
+/// # Errors
+///
+/// Returns [`GraphFormatError`] if the JSON is malformed or does not match
+/// the workload schema.
+pub fn from_json(json: &str) -> Result<IterationWorkload, GraphFormatError> {
+    serde_json::from_str(json).map_err(|e| GraphFormatError { message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelSpec, SeqSlot};
+
+    #[test]
+    fn round_trip_preserves_workload() {
+        let w = IterationWorkload::build(
+            &ModelSpec::llama_7b(),
+            &[SeqSlot::prefill(3, 77), SeqSlot::decode(4, 123)],
+        );
+        let back = from_json(&to_json(&w)).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let err = from_json("{not json").unwrap_err();
+        assert!(err.to_string().contains("invalid workload graph"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Model hyper-parameter specifications for decoder-based transformer LLMs.
+//!
+//! A [`ModelSpec`] carries everything the simulator needs to derive the
+//! per-iteration operator workload: layer count, hidden dimensions, head
+//! geometry, feed-forward width, vocabulary size, and element width.
+//!
+//! Presets mirror the models evaluated in the paper (GPT-3 and LLaMA from
+//! 7B to 175B parameters).
+
+use serde::{Deserialize, Serialize};
+
+/// Nonlinearity used inside the feed-forward network.
+///
+/// GPT-style models use GELU with a single up-projection; LLaMA-style models
+/// use SiLU with a gated (SwiGLU) up-projection, which adds a third matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FfnActivation {
+    /// GELU, one up-projection (`d_ff = 4 * d_model` conventionally).
+    Gelu,
+    /// SiLU with gated up-projection (SwiGLU): two up-projections of `d_ff`.
+    SwiGlu,
+}
+
+/// Hyper-parameters of a decoder-based transformer model.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_model::ModelSpec;
+///
+/// let spec = ModelSpec::gpt3_7b();
+/// assert_eq!(spec.n_layers, 32);
+/// // ~6.7e9 parameters for the "7B" GPT-3 variant
+/// assert!(spec.param_count() > 6_000_000_000 && spec.param_count() < 7_500_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable model name, e.g. `"gpt3-7b"`.
+    pub name: String,
+    /// Number of transformer decoder blocks.
+    pub n_layers: usize,
+    /// Hidden (embedding) dimension.
+    pub d_model: usize,
+    /// Number of attention heads. Must divide `d_model`.
+    pub n_heads: usize,
+    /// Feed-forward inner dimension.
+    pub d_ff: usize,
+    /// Vocabulary size (embedding and LM-head width).
+    pub vocab: usize,
+    /// Bytes per element (2 for fp16/bf16, 4 for fp32, 1 for int8).
+    pub elem_bytes: usize,
+    /// Maximum sequence length the model supports.
+    pub max_seq: usize,
+    /// Feed-forward activation style.
+    pub ffn_activation: FfnActivation,
+}
+
+impl ModelSpec {
+    /// Creates a GPT-style spec (GELU FFN with `d_ff = 4 * d_model`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_heads` does not divide `d_model`.
+    pub fn gpt_style(name: &str, n_layers: usize, d_model: usize, n_heads: usize) -> Self {
+        assert!(d_model.is_multiple_of(n_heads), "n_heads must divide d_model");
+        Self {
+            name: name.to_owned(),
+            n_layers,
+            d_model,
+            n_heads,
+            d_ff: 4 * d_model,
+            vocab: 50_257,
+            elem_bytes: 2,
+            max_seq: 2_048,
+            ffn_activation: FfnActivation::Gelu,
+        }
+    }
+
+    /// Creates a LLaMA-style spec (SwiGLU FFN with explicit `d_ff`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_heads` does not divide `d_model`.
+    pub fn llama_style(
+        name: &str,
+        n_layers: usize,
+        d_model: usize,
+        n_heads: usize,
+        d_ff: usize,
+    ) -> Self {
+        assert!(d_model.is_multiple_of(n_heads), "n_heads must divide d_model");
+        Self {
+            name: name.to_owned(),
+            n_layers,
+            d_model,
+            n_heads,
+            d_ff,
+            vocab: 32_000,
+            elem_bytes: 2,
+            max_seq: 2_048,
+            ffn_activation: FfnActivation::SwiGlu,
+        }
+    }
+
+    /// GPT-2 small (124M): the artifact's default `model_name=gpt2`.
+    pub fn gpt2() -> Self {
+        Self::gpt_style("gpt2", 12, 768, 12)
+    }
+
+    /// GPT-3 6.7B — the paper's "GPT3-7B".
+    pub fn gpt3_7b() -> Self {
+        Self::gpt_style("gpt3-7b", 32, 4_096, 32)
+    }
+
+    /// GPT-3 13B.
+    pub fn gpt3_13b() -> Self {
+        // The GPT-3 paper lists d_model = 5140 for 13B; we use the
+        // head-aligned 5120 (40 heads x 128) as Megatron/OPT do.
+        Self::gpt_style("gpt3-13b", 40, 5_120, 40)
+    }
+
+    /// GPT-3 scale 30B.
+    ///
+    /// There is no official GPT-3 30B configuration; this uses 64 layers of
+    /// d_model 6144 (29.3B parameters), deep enough for the paper's
+    /// 64-stage pipeline-parallel experiment (Figure 9's TP1 PP64 point).
+    pub fn gpt3_30b() -> Self {
+        Self::gpt_style("gpt3-30b", 64, 6_144, 48)
+    }
+
+    /// GPT-3 175B.
+    pub fn gpt3_175b() -> Self {
+        Self::gpt_style("gpt3-175b", 96, 12_288, 96)
+    }
+
+    /// LLaMA 7B.
+    pub fn llama_7b() -> Self {
+        Self::llama_style("llama-7b", 32, 4_096, 32, 11_008)
+    }
+
+    /// LLaMA 13B.
+    pub fn llama_13b() -> Self {
+        Self::llama_style("llama-13b", 40, 5_120, 40, 13_824)
+    }
+
+    /// LLaMA 30B (the 32.5B "33B" checkpoint).
+    pub fn llama_30b() -> Self {
+        Self::llama_style("llama-30b", 60, 6_656, 52, 17_920)
+    }
+
+    /// Looks a preset up by its artifact-style name (e.g. `"gpt3-30b"`).
+    ///
+    /// Returns `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "gpt2" => Some(Self::gpt2()),
+            "gpt3-7b" => Some(Self::gpt3_7b()),
+            "gpt3-13b" => Some(Self::gpt3_13b()),
+            "gpt3-30b" => Some(Self::gpt3_30b()),
+            "gpt3-175b" => Some(Self::gpt3_175b()),
+            "llama-7b" => Some(Self::llama_7b()),
+            "llama-13b" => Some(Self::llama_13b()),
+            "llama-30b" => Some(Self::llama_30b()),
+            _ => None,
+        }
+    }
+
+    /// Dimension of one attention head.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Number of FFN up-projection matrices (1 for GELU, 2 for SwiGLU).
+    pub fn ffn_up_mats(&self) -> usize {
+        match self.ffn_activation {
+            FfnActivation::Gelu => 1,
+            FfnActivation::SwiGlu => 2,
+        }
+    }
+
+    /// Total parameter count (embedding + blocks + final norm + LM head).
+    ///
+    /// The LM head is assumed tied to the input embedding (GPT-2/LLaMA
+    /// convention), so it is not double counted.
+    pub fn param_count(&self) -> u64 {
+        let d = self.d_model as u64;
+        let dff = self.d_ff as u64;
+        let up = self.ffn_up_mats() as u64;
+        // Per block: QKV (3 d^2), out-proj (d^2), FFN up (up * d * dff),
+        // FFN down (dff * d), 2 LayerNorms (2 * 2d), biases folded in
+        // approximately via the 4d term.
+        let per_block = 4 * d * d + (up + 1) * d * dff + 4 * d;
+        let blocks = self.n_layers as u64 * per_block;
+        let embedding = self.vocab as u64 * d;
+        let final_norm = 2 * d;
+        embedding + blocks + final_norm
+    }
+
+    /// Bytes occupied by the model weights at `elem_bytes` precision.
+    pub fn weight_bytes(&self) -> u64 {
+        self.param_count() * self.elem_bytes as u64
+    }
+
+    /// KV-cache bytes for a single token position (all layers, K and V).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.n_layers as u64 * self.d_model as u64 * self.elem_bytes as u64
+    }
+}
+
+impl Default for ModelSpec {
+    /// The artifact's default model (`gpt2`).
+    fn default() -> Self {
+        Self::gpt2()
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (L={}, d={}, h={}, ff={}, vocab={})",
+            self.name, self.n_layers, self.d_model, self.n_heads, self.d_ff, self.vocab
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt3_7b_param_count_near_6_7b() {
+        let p = ModelSpec::gpt3_7b().param_count();
+        assert!((6_400_000_000..7_200_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn gpt3_13b_param_count_near_13b() {
+        let p = ModelSpec::gpt3_13b().param_count();
+        assert!((12_000_000_000..14_000_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn gpt3_30b_param_count_near_30b() {
+        let p = ModelSpec::gpt3_30b().param_count();
+        assert!((28_000_000_000..33_000_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn gpt3_175b_param_count_near_175b() {
+        let p = ModelSpec::gpt3_175b().param_count();
+        assert!((170_000_000_000..180_000_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn llama_7b_param_count_near_6_7b() {
+        let p = ModelSpec::llama_7b().param_count();
+        assert!((6_200_000_000..7_200_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn llama_30b_param_count_near_32b() {
+        let p = ModelSpec::llama_30b().param_count();
+        assert!((30_000_000_000..35_000_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn d_head_consistent() {
+        for spec in [
+            ModelSpec::gpt2(),
+            ModelSpec::gpt3_7b(),
+            ModelSpec::gpt3_13b(),
+            ModelSpec::gpt3_30b(),
+            ModelSpec::gpt3_175b(),
+            ModelSpec::llama_7b(),
+            ModelSpec::llama_13b(),
+            ModelSpec::llama_30b(),
+        ] {
+            assert_eq!(spec.d_head() * spec.n_heads, spec.d_model, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips_presets() {
+        for name in [
+            "gpt2", "gpt3-7b", "gpt3-13b", "gpt3-30b", "gpt3-175b", "llama-7b", "llama-13b",
+            "llama-30b",
+        ] {
+            let spec = ModelSpec::by_name(name).expect(name);
+            assert_eq!(spec.name, name);
+        }
+        assert!(ModelSpec::by_name("bert").is_none());
+    }
+
+    #[test]
+    fn kv_bytes_per_token_matches_formula() {
+        let s = ModelSpec::gpt3_7b();
+        assert_eq!(s.kv_bytes_per_token(), 2 * 32 * 4096 * 2);
+    }
+
+    #[test]
+    fn weight_bytes_is_fp16_twice_params() {
+        let s = ModelSpec::gpt3_7b();
+        assert_eq!(s.weight_bytes(), 2 * s.param_count());
+    }
+}

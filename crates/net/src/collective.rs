@@ -1,0 +1,170 @@
+//! Collective communication models (ring algorithms).
+//!
+//! Tensor parallelism inserts ALL-REDUCE operators into the execution graph
+//! (paper Section IV-A); this module provides the step-level timing the
+//! graph simulator executes. Ring algorithms are modeled at *step*
+//! granularity — every step all participants exchange one chunk with their
+//! neighbors — so simulation cost grows with group size the way ASTRA-sim's
+//! does, while staying tractable at thousands of nodes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinkSpec, TimePs};
+
+/// The collective operations the graph converter emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Ring all-reduce (reduce-scatter + all-gather).
+    AllReduce,
+    /// Ring all-gather.
+    AllGather,
+    /// Ring reduce-scatter.
+    ReduceScatter,
+    /// One-to-all broadcast (pipelined ring).
+    Broadcast,
+    /// All-to-all personalized exchange (MoE expert dispatch; paper
+    /// Section V-B's mixture-of-experts extension routes tokens between
+    /// expert nodes with this pattern).
+    AllToAll,
+}
+
+impl CollectiveKind {
+    /// Number of ring steps for a group of `n` participants.
+    pub fn steps(self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        match self {
+            CollectiveKind::AllReduce => 2 * (n - 1),
+            CollectiveKind::AllGather
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllToAll
+            | CollectiveKind::Broadcast => n - 1,
+        }
+    }
+
+    /// Bytes each participant sends per step for a `bytes`-sized payload.
+    pub fn chunk_bytes(self, n: usize, bytes: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        match self {
+            CollectiveKind::AllReduce
+            | CollectiveKind::AllGather
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllToAll => bytes.div_ceil(n as u64),
+            CollectiveKind::Broadcast => bytes,
+        }
+    }
+
+    /// Short label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::AllToAll => "all_to_all",
+        }
+    }
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Time for one ring step: neighbor-link latency plus chunk serialization.
+pub fn step_time_ps(kind: CollectiveKind, n: usize, bytes: u64, link: &LinkSpec) -> TimePs {
+    if n <= 1 {
+        return 0;
+    }
+    link.transfer_ps(kind.chunk_bytes(n, bytes))
+}
+
+/// Total analytic time of a collective over `n` participants.
+///
+/// This is the closed form the step-level simulation converges to when the
+/// group is otherwise idle; the graph simulator uses the step events so
+/// contention with other work is captured.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_net::{collective_time_ps, CollectiveKind, LinkSpec};
+///
+/// let link = LinkSpec::pcie4_x16();
+/// let t4 = collective_time_ps(CollectiveKind::AllReduce, 4, 1 << 20, &link);
+/// let t8 = collective_time_ps(CollectiveKind::AllReduce, 8, 1 << 20, &link);
+/// // More participants: more (smaller) steps; latency term grows.
+/// assert!(t8 > t4 / 2);
+/// ```
+pub fn collective_time_ps(
+    kind: CollectiveKind,
+    n: usize,
+    bytes: u64,
+    link: &LinkSpec,
+) -> TimePs {
+    kind.steps(n) as TimePs * step_time_ps(kind, n, bytes, link)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec::new(64.0, 100.0)
+    }
+
+    #[test]
+    fn allreduce_has_2n_minus_2_steps() {
+        assert_eq!(CollectiveKind::AllReduce.steps(4), 6);
+        assert_eq!(CollectiveKind::AllGather.steps(4), 3);
+        assert_eq!(CollectiveKind::AllReduce.steps(1), 0);
+    }
+
+    #[test]
+    fn single_node_collective_is_free() {
+        assert_eq!(collective_time_ps(CollectiveKind::AllReduce, 1, 1 << 30, &link()), 0);
+    }
+
+    #[test]
+    fn allreduce_moves_2x_payload_per_node() {
+        // Ring all-reduce: each node sends 2*(n-1)/n * bytes total.
+        let n = 8;
+        let bytes = 1u64 << 24;
+        let t = collective_time_ps(CollectiveKind::AllReduce, n, bytes, &link());
+        let sent = 2 * (n as u64 - 1) * bytes.div_ceil(n as u64);
+        let ser = link().serialize_ps(sent / (2 * (n as u64 - 1)) ) * 2 * (n as u64 - 1);
+        let lat = 2 * (n as u64 - 1) * 100_000;
+        assert_eq!(t, ser + lat);
+    }
+
+    #[test]
+    fn latency_dominates_small_payloads_at_scale() {
+        // For tiny payloads, time grows linearly with group size (latency
+        // per step), the effect that makes pure-TP expensive at scale.
+        let small = 1024u64;
+        let t64 = collective_time_ps(CollectiveKind::AllReduce, 64, small, &link());
+        let t512 = collective_time_ps(CollectiveKind::AllReduce, 512, small, &link());
+        assert!(t512 > 7 * t64);
+    }
+
+    #[test]
+    fn broadcast_sends_full_payload_each_step() {
+        assert_eq!(CollectiveKind::Broadcast.chunk_bytes(4, 1000), 1000);
+        assert_eq!(CollectiveKind::AllGather.chunk_bytes(4, 1000), 250);
+    }
+
+    #[test]
+    fn all_to_all_matches_all_gather_cost_shape() {
+        // Same step count and chunking as all-gather under the ring model.
+        let l = link();
+        assert_eq!(CollectiveKind::AllToAll.steps(8), 7);
+        assert_eq!(
+            collective_time_ps(CollectiveKind::AllToAll, 8, 1 << 20, &l),
+            collective_time_ps(CollectiveKind::AllGather, 8, 1 << 20, &l)
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Chakra-analog execution graphs.
+//!
+//! The graph converter in `llmss-core` translates engine traces into an
+//! [`ExecGraph`]: a DAG of compute, collective, point-to-point and
+//! host-memory operations, each bound to an accelerator node. The graph
+//! simulator ([`crate::simulate_graph`]) then executes it on a
+//! [`crate::Topology`].
+
+use crate::{CollectiveKind, GroupId, NodeId, TimePs};
+
+/// Index of an operation in an [`ExecGraph`].
+pub type ExecNodeId = usize;
+
+/// What an execution-graph operation does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecPayload {
+    /// Busy the accelerator for a fixed duration (engine-simulated op).
+    Compute {
+        /// Duration in picoseconds.
+        ps: TimePs,
+    },
+    /// A collective over a topology group (inserted for tensor parallelism).
+    Collective {
+        /// Which collective algorithm.
+        kind: CollectiveKind,
+        /// Payload bytes per participant.
+        bytes: u64,
+        /// Topology group that participates.
+        group: GroupId,
+    },
+    /// Point-to-point activation transfer (pipeline-stage boundary or
+    /// NPU-pool to PIM-pool hop).
+    P2p {
+        /// Bytes transferred.
+        bytes: u64,
+        /// Destination accelerator.
+        dst: NodeId,
+    },
+    /// KV-cache page eviction to host memory.
+    HostStore {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// KV-cache page reload from host memory.
+    HostLoad {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+}
+
+/// One operation bound to an accelerator node, with dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOp {
+    /// Executing accelerator (for collectives: any member of the group).
+    pub node: NodeId,
+    /// The operation payload.
+    pub payload: ExecPayload,
+    /// Operations that must complete first (always earlier ids).
+    pub deps: Vec<ExecNodeId>,
+    /// Static label for traces and debugging.
+    pub label: &'static str,
+}
+
+/// A DAG of operations, topologically ordered by construction.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_net::{ExecGraph, ExecPayload};
+///
+/// let mut g = ExecGraph::new();
+/// let a = g.add(0, ExecPayload::Compute { ps: 1_000 }, &[], "qkv");
+/// let b = g.add(0, ExecPayload::Compute { ps: 2_000 }, &[a], "ffn");
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.op(b).deps, vec![a]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecGraph {
+    ops: Vec<ExecOp>,
+}
+
+impl ExecGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self { ops: Vec::new() }
+    }
+
+    /// Creates an empty graph with room for `n` operations.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { ops: Vec::with_capacity(n) }
+    }
+
+    /// Appends an operation and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency id refers to a not-yet-added operation
+    /// (which would create a cycle or dangling edge).
+    pub fn add(
+        &mut self,
+        node: NodeId,
+        payload: ExecPayload,
+        deps: &[ExecNodeId],
+        label: &'static str,
+    ) -> ExecNodeId {
+        let id = self.ops.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} does not precede op {id}");
+        }
+        self.ops.push(ExecOp { node, payload, deps: deps.to_vec(), label });
+        id
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: ExecNodeId) -> &ExecOp {
+        &self.ops[id]
+    }
+
+    /// Iterates over all operations in insertion (topological) order.
+    pub fn iter(&self) -> impl Iterator<Item = (ExecNodeId, &ExecOp)> {
+        self.ops.iter().enumerate()
+    }
+
+    /// Total compute picoseconds across all compute ops (lower bound on
+    /// aggregate busy time).
+    pub fn total_compute_ps(&self) -> TimePs {
+        self.ops
+            .iter()
+            .map(|o| match o.payload {
+                ExecPayload::Compute { ps } => ps,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Count of operations by coarse category: (compute, comm, memory).
+    pub fn op_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for o in &self.ops {
+            match o.payload {
+                ExecPayload::Compute { .. } => c.0 += 1,
+                ExecPayload::Collective { .. } | ExecPayload::P2p { .. } => c.1 += 1,
+                ExecPayload::HostStore { .. } | ExecPayload::HostLoad { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut g = ExecGraph::new();
+        let a = g.add(0, ExecPayload::Compute { ps: 1 }, &[], "a");
+        let b = g.add(1, ExecPayload::Compute { ps: 2 }, &[a], "b");
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not precede")]
+    fn forward_dependency_rejected() {
+        let mut g = ExecGraph::new();
+        g.add(0, ExecPayload::Compute { ps: 1 }, &[3], "bad");
+    }
+
+    #[test]
+    fn op_counts_by_category() {
+        let mut g = ExecGraph::new();
+        g.add(0, ExecPayload::Compute { ps: 5 }, &[], "c");
+        g.add(0, ExecPayload::HostStore { bytes: 64 }, &[], "evict");
+        g.add(
+            0,
+            ExecPayload::Collective { kind: CollectiveKind::AllReduce, bytes: 64, group: 0 },
+            &[],
+            "ar",
+        );
+        g.add(0, ExecPayload::P2p { bytes: 64, dst: 1 }, &[], "send");
+        assert_eq!(g.op_counts(), (1, 2, 1));
+        assert_eq!(g.total_compute_ps(), 5);
+    }
+}

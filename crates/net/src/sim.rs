@@ -1,0 +1,399 @@
+//! The system-level graph simulator (ASTRA-sim analog).
+//!
+//! Executes an [`ExecGraph`] on a [`Topology`]: accelerators run their
+//! operations in dependency + readiness order, collectives occupy whole
+//! groups and advance in ring steps, point-to-point transfers serialize on
+//! sender links, and host transfers contend on the shared host link.
+//!
+//! Collectives are simulated step-by-step (one event per ring step), so the
+//! simulation cost — like ASTRA-sim's — grows with the number of nodes;
+//! this is the effect the paper's Figure 10 measures.
+
+use crate::{EventQueue, ExecGraph, ExecNodeId, ExecPayload, TimePs, Topology};
+
+#[cfg(test)]
+use crate::CollectiveKind;
+
+/// Per-run outcome of a graph simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Completion time of the last operation (iteration latency).
+    pub makespan_ps: TimePs,
+    /// Busy picoseconds per accelerator node.
+    pub node_busy_ps: Vec<TimePs>,
+    /// Completion time of every graph operation.
+    pub completions: Vec<TimePs>,
+    /// Total events processed (proxy for simulator work).
+    pub events: u64,
+    /// Aggregate time spent in compute ops.
+    pub compute_ps: TimePs,
+    /// Aggregate time spent in communication ops (collectives + P2P).
+    pub comm_ps: TimePs,
+    /// Aggregate time spent in host memory transfers.
+    pub host_ps: TimePs,
+}
+
+impl SimOutcome {
+    /// Average accelerator utilization over the makespan.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ps == 0 || self.node_busy_ps.is_empty() {
+            return 0.0;
+        }
+        let busy: u128 = self.node_busy_ps.iter().map(|&b| b as u128).sum();
+        busy as f64 / (self.makespan_ps as f64 * self.node_busy_ps.len() as f64)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Ready(ExecNodeId),
+    Done(ExecNodeId),
+    /// One ring step of a collective finished (bookkeeping only; the
+    /// final step carries the `Done`).
+    Step,
+}
+
+/// Errors a graph simulation can report before running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An op references an accelerator outside the topology.
+    NodeOutOfRange {
+        /// Offending op id.
+        op: ExecNodeId,
+        /// Referenced accelerator node.
+        node: usize,
+    },
+    /// A collective references a group the topology does not define.
+    GroupOutOfRange {
+        /// Offending op id.
+        op: ExecNodeId,
+        /// Referenced group.
+        group: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NodeOutOfRange { op, node } => {
+                write!(f, "op {op} targets accelerator {node} outside the topology")
+            }
+            SimError::GroupOutOfRange { op, group } => {
+                write!(f, "op {op} targets undefined group {group}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Executes `graph` on `topology`, returning timing and utilization.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the graph references nodes or groups that do not
+/// exist in the topology.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_net::{simulate_graph, ExecGraph, ExecPayload, LinkSpec, Topology};
+///
+/// let topo = Topology::flat_npus(2, LinkSpec::pcie4_x16());
+/// let mut g = ExecGraph::new();
+/// let a = g.add(0, ExecPayload::Compute { ps: 1_000 }, &[], "a");
+/// let b = g.add(1, ExecPayload::Compute { ps: 2_000 }, &[], "b");
+/// g.add(0, ExecPayload::Compute { ps: 500 }, &[a, b], "join");
+/// let out = simulate_graph(&g, &topo)?;
+/// assert_eq!(out.makespan_ps, 2_500); // parallel 1000/2000, then 500
+/// # Ok::<(), llmss_net::SimError>(())
+/// ```
+pub fn simulate_graph(graph: &ExecGraph, topology: &Topology) -> Result<SimOutcome, SimError> {
+    validate(graph, topology)?;
+
+    let n_ops = graph.len();
+    let mut indegree = vec![0usize; n_ops];
+    let mut successors: Vec<Vec<ExecNodeId>> = vec![Vec::new(); n_ops];
+    for (id, op) in graph.iter() {
+        indegree[id] = op.deps.len();
+        for &d in &op.deps {
+            successors[d].push(id);
+        }
+    }
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (id, &deg) in indegree.iter().enumerate() {
+        if deg == 0 {
+            queue.push(0, Event::Ready(id));
+        }
+    }
+
+    let mut node_free = vec![0 as TimePs; topology.n_nodes()];
+    let mut node_busy = vec![0 as TimePs; topology.n_nodes()];
+    let mut host_free: TimePs = 0;
+    let mut completions = vec![0 as TimePs; n_ops];
+    let mut compute_ps: TimePs = 0;
+    let mut comm_ps: TimePs = 0;
+    let mut host_ps: TimePs = 0;
+    let mut makespan: TimePs = 0;
+    let mut done = 0usize;
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Step => {}
+            Event::Ready(id) => {
+                let op = graph.op(id);
+                match op.payload {
+                    ExecPayload::Compute { ps } => {
+                        let start = now.max(node_free[op.node]);
+                        let end = start + ps;
+                        node_free[op.node] = end;
+                        node_busy[op.node] += ps;
+                        compute_ps += ps;
+                        queue.push(end, Event::Done(id));
+                    }
+                    ExecPayload::Collective { kind, bytes, group } => {
+                        let members = &topology.groups()[group];
+                        let n = members.len();
+                        let link = topology.group_link(group);
+                        let start = members
+                            .iter()
+                            .fold(now, |acc, &m| acc.max(node_free[m]));
+                        let steps = kind.steps(n);
+                        let step_ps = crate::step_time_ps(kind, n, bytes, &link);
+                        let end = start + steps as TimePs * step_ps;
+                        for &m in members {
+                            node_free[m] = end;
+                            node_busy[m] += end - start;
+                        }
+                        comm_ps += end - start;
+                        // One event per intermediate ring step models the
+                        // per-step coordination cost of the system simulator.
+                        for s in 1..steps {
+                            queue.push(start + s as TimePs * step_ps, Event::Step);
+                        }
+                        queue.push(end, Event::Done(id));
+                    }
+                    ExecPayload::P2p { bytes, dst } => {
+                        let link = topology.link_between(op.node, dst);
+                        let start = now.max(node_free[op.node]);
+                        let ser = link.serialize_ps(bytes);
+                        let arrive = start + link.transfer_ps(bytes);
+                        // Sender occupied for serialization only.
+                        node_free[op.node] = start + ser;
+                        node_busy[op.node] += ser;
+                        comm_ps += arrive - start;
+                        queue.push(arrive, Event::Done(id));
+                    }
+                    ExecPayload::HostStore { bytes } | ExecPayload::HostLoad { bytes } => {
+                        let link = topology.host_link();
+                        let start = now.max(node_free[op.node]).max(host_free);
+                        let end = start + link.transfer_ps(bytes);
+                        host_free = end;
+                        node_free[op.node] = node_free[op.node].max(end);
+                        host_ps += end - start;
+                        queue.push(end, Event::Done(id));
+                    }
+                }
+            }
+            Event::Done(id) => {
+                completions[id] = now;
+                makespan = makespan.max(now);
+                done += 1;
+                for &s in &successors[id] {
+                    indegree[s] -= 1;
+                    if indegree[s] == 0 {
+                        queue.push(now, Event::Ready(s));
+                    }
+                }
+            }
+        }
+    }
+
+    debug_assert_eq!(done, n_ops, "all ops must complete");
+    Ok(SimOutcome {
+        makespan_ps: makespan,
+        node_busy_ps: node_busy,
+        completions,
+        events: queue.processed(),
+        compute_ps,
+        comm_ps,
+        host_ps,
+    })
+}
+
+fn validate(graph: &ExecGraph, topology: &Topology) -> Result<(), SimError> {
+    for (id, op) in graph.iter() {
+        if op.node >= topology.n_nodes() {
+            return Err(SimError::NodeOutOfRange { op: id, node: op.node });
+        }
+        match op.payload {
+            ExecPayload::Collective { group, .. } if group >= topology.groups().len() => {
+                return Err(SimError::GroupOutOfRange { op: id, group });
+            }
+            ExecPayload::P2p { dst, .. } if dst >= topology.n_nodes() => {
+                return Err(SimError::NodeOutOfRange { op: id, node: dst });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkSpec;
+
+    fn topo(n: usize) -> Topology {
+        Topology::flat_npus(n, LinkSpec::new(64.0, 100.0))
+    }
+
+    #[test]
+    fn sequential_compute_accumulates() {
+        let mut g = ExecGraph::new();
+        let a = g.add(0, ExecPayload::Compute { ps: 100 }, &[], "a");
+        let b = g.add(0, ExecPayload::Compute { ps: 200 }, &[a], "b");
+        g.add(0, ExecPayload::Compute { ps: 300 }, &[b], "c");
+        let out = simulate_graph(&g, &topo(1)).unwrap();
+        assert_eq!(out.makespan_ps, 600);
+        assert_eq!(out.node_busy_ps, vec![600]);
+        assert!((out.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_ops_on_one_node_serialize() {
+        let mut g = ExecGraph::new();
+        g.add(0, ExecPayload::Compute { ps: 100 }, &[], "a");
+        g.add(0, ExecPayload::Compute { ps: 100 }, &[], "b");
+        let out = simulate_graph(&g, &topo(1)).unwrap();
+        assert_eq!(out.makespan_ps, 200);
+    }
+
+    #[test]
+    fn independent_ops_on_two_nodes_overlap() {
+        let mut g = ExecGraph::new();
+        g.add(0, ExecPayload::Compute { ps: 100 }, &[], "a");
+        g.add(1, ExecPayload::Compute { ps: 150 }, &[], "b");
+        let out = simulate_graph(&g, &topo(2)).unwrap();
+        assert_eq!(out.makespan_ps, 150);
+    }
+
+    #[test]
+    fn collective_waits_for_all_members() {
+        let mut g = ExecGraph::new();
+        g.add(0, ExecPayload::Compute { ps: 1_000 }, &[], "slow");
+        let ar = g.add(
+            1,
+            ExecPayload::Collective { kind: CollectiveKind::AllReduce, bytes: 1 << 20, group: 0 },
+            &[],
+            "ar",
+        );
+        let out = simulate_graph(&g, &topo(2)).unwrap();
+        // All-reduce cannot start before node 0 finishes its compute.
+        let expected = crate::collective_time_ps(
+            CollectiveKind::AllReduce,
+            2,
+            1 << 20,
+            &LinkSpec::new(64.0, 100.0),
+        );
+        assert_eq!(out.completions[ar], 1_000 + expected);
+    }
+
+    #[test]
+    fn collective_step_events_scale_with_group_size() {
+        let run = |n: usize| {
+            let mut g = ExecGraph::new();
+            g.add(
+                0,
+                ExecPayload::Collective {
+                    kind: CollectiveKind::AllReduce,
+                    bytes: 1 << 20,
+                    group: 0,
+                },
+                &[],
+                "ar",
+            );
+            simulate_graph(&g, &topo(n)).unwrap().events
+        };
+        let e8 = run(8);
+        let e64 = run(64);
+        assert!(e64 > 6 * e8, "events must grow with group size: {e8} -> {e64}");
+    }
+
+    #[test]
+    fn p2p_delivers_after_latency_and_serialization() {
+        let mut g = ExecGraph::new();
+        let send = g.add(0, ExecPayload::P2p { bytes: 64_000_000, dst: 1 }, &[], "send");
+        g.add(1, ExecPayload::Compute { ps: 10 }, &[send], "recv-work");
+        let out = simulate_graph(&g, &topo(2)).unwrap();
+        // 64 MB at 64 GB/s = 1 ms = 1e9 ps, plus 100 ns latency.
+        assert_eq!(out.completions[send], 1_000_000_000 + 100_000);
+        assert_eq!(out.makespan_ps, out.completions[send] + 10);
+    }
+
+    #[test]
+    fn host_transfers_contend_on_host_link() {
+        let mut g = ExecGraph::new();
+        g.add(0, ExecPayload::HostStore { bytes: 32_000_000 }, &[], "evict0");
+        g.add(1, ExecPayload::HostStore { bytes: 32_000_000 }, &[], "evict1");
+        let out = simulate_graph(&g, &topo(2)).unwrap();
+        // Host link (32 GB/s): each 32 MB store takes 1 ms; they serialize.
+        let one = LinkSpec::host_pcie().transfer_ps(32_000_000);
+        assert_eq!(out.makespan_ps, 2 * one);
+    }
+
+    #[test]
+    fn diamond_dependencies_join_correctly() {
+        let mut g = ExecGraph::new();
+        let a = g.add(0, ExecPayload::Compute { ps: 10 }, &[], "a");
+        let b = g.add(0, ExecPayload::Compute { ps: 20 }, &[a], "b");
+        let c = g.add(1, ExecPayload::Compute { ps: 50 }, &[a], "c");
+        let d = g.add(0, ExecPayload::Compute { ps: 5 }, &[b, c], "d");
+        let out = simulate_graph(&g, &topo(2)).unwrap();
+        assert_eq!(out.completions[d], 10 + 50 + 5);
+    }
+
+    #[test]
+    fn invalid_node_reported() {
+        let mut g = ExecGraph::new();
+        g.add(7, ExecPayload::Compute { ps: 1 }, &[], "x");
+        let err = simulate_graph(&g, &topo(2)).unwrap_err();
+        assert_eq!(err, SimError::NodeOutOfRange { op: 0, node: 7 });
+    }
+
+    #[test]
+    fn invalid_group_reported() {
+        let mut g = ExecGraph::new();
+        g.add(
+            0,
+            ExecPayload::Collective { kind: CollectiveKind::AllGather, bytes: 1, group: 9 },
+            &[],
+            "x",
+        );
+        let err = simulate_graph(&g, &topo(2)).unwrap_err();
+        assert_eq!(err, SimError::GroupOutOfRange { op: 0, group: 9 });
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let out = simulate_graph(&ExecGraph::new(), &topo(1)).unwrap();
+        assert_eq!(out.makespan_ps, 0);
+        assert_eq!(out.events, 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let mut g = ExecGraph::new();
+            for i in 0..50 {
+                let deps: Vec<_> = if i >= 2 { vec![i - 2] } else { vec![] };
+                g.add(i % 4, ExecPayload::Compute { ps: 10 + i as u64 }, &deps, "op");
+            }
+            g
+        };
+        let a = simulate_graph(&build(), &topo(4)).unwrap();
+        let b = simulate_graph(&build(), &topo(4)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the DES under contention: shared nodes, groups,
+//! and host links behaving like queued resources.
+
+use llmss_net::{
+    collective_time_ps, simulate_graph, CollectiveKind, ExecGraph, ExecPayload, LinkSpec,
+    Topology,
+};
+
+fn topo(n: usize) -> Topology {
+    Topology::flat_npus(n, LinkSpec::new(64.0, 100.0))
+}
+
+#[test]
+fn back_to_back_collectives_serialize_on_the_group() {
+    let mut g = ExecGraph::new();
+    for _ in 0..4 {
+        g.add(
+            0,
+            ExecPayload::Collective { kind: CollectiveKind::AllReduce, bytes: 1 << 20, group: 0 },
+            &[],
+            "ar",
+        );
+    }
+    let out = simulate_graph(&g, &topo(4)).unwrap();
+    let one = collective_time_ps(CollectiveKind::AllReduce, 4, 1 << 20, &LinkSpec::new(64.0, 100.0));
+    assert_eq!(out.makespan_ps, 4 * one, "collectives on one group cannot overlap");
+}
+
+#[test]
+fn compute_on_non_member_overlaps_with_collective() {
+    // Two groups of 2: group 0's all-reduce leaves group 1 free.
+    let topo = Topology::grouped_npus(4, 2, LinkSpec::new(64.0, 100.0));
+    let mut g = ExecGraph::new();
+    g.add(
+        0,
+        ExecPayload::Collective { kind: CollectiveKind::AllReduce, bytes: 1 << 24, group: 0 },
+        &[],
+        "ar",
+    );
+    let c = g.add(2, ExecPayload::Compute { ps: 1_000 }, &[], "free");
+    let out = simulate_graph(&g, &topo).unwrap();
+    assert_eq!(out.completions[c], 1_000, "node 2 must not wait for group 0");
+}
+
+#[test]
+fn p2p_sender_frees_after_serialization_not_arrival() {
+    // Node 0 sends a large payload, then immediately computes: compute
+    // starts after serialization, not after the receiver gets the data.
+    let mut g = ExecGraph::new();
+    let send = g.add(0, ExecPayload::P2p { bytes: 64_000_000, dst: 1 }, &[], "send");
+    let work = g.add(0, ExecPayload::Compute { ps: 1_000 }, &[], "work");
+    let out = simulate_graph(&g, &topo(2)).unwrap();
+    let ser = LinkSpec::new(64.0, 100.0).serialize_ps(64_000_000);
+    assert_eq!(out.completions[work], ser + 1_000);
+    assert!(out.completions[send] > out.completions[work]);
+}
+
+#[test]
+fn host_link_is_a_single_shared_resource() {
+    let mut g = ExecGraph::new();
+    for node in 0..4 {
+        g.add(node, ExecPayload::HostStore { bytes: 8_000_000 }, &[], "evict");
+    }
+    let out = simulate_graph(&g, &topo(4)).unwrap();
+    let one = LinkSpec::host_pcie().transfer_ps(8_000_000);
+    assert_eq!(out.makespan_ps, 4 * one, "host transfers must serialize");
+}
+
+#[test]
+fn pipeline_of_stages_overlaps_across_chains() {
+    // Two independent 2-stage chains on 2 nodes: A0->A1 and B0->B1 where
+    // second stages run on node 1. With 100-unit stages, the pipelined
+    // makespan is 300, not 400.
+    let mut g = ExecGraph::new();
+    let a0 = g.add(0, ExecPayload::Compute { ps: 100 }, &[], "a0");
+    let _a1 = g.add(1, ExecPayload::Compute { ps: 100 }, &[a0], "a1");
+    let b0 = g.add(0, ExecPayload::Compute { ps: 100 }, &[], "b0");
+    let _b1 = g.add(1, ExecPayload::Compute { ps: 100 }, &[b0], "b1");
+    let out = simulate_graph(&g, &topo(2)).unwrap();
+    assert_eq!(out.makespan_ps, 300);
+}
+
+#[test]
+fn event_count_grows_with_work_not_just_time() {
+    let small = {
+        let mut g = ExecGraph::new();
+        g.add(0, ExecPayload::Compute { ps: 1_000_000 }, &[], "one-big");
+        simulate_graph(&g, &topo(1)).unwrap().events
+    };
+    let large = {
+        let mut g = ExecGraph::new();
+        let mut prev = None;
+        for _ in 0..100 {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add(0, ExecPayload::Compute { ps: 10_000 }, &deps, "small"));
+        }
+        simulate_graph(&g, &topo(1)).unwrap().events
+    };
+    assert!(large > 50 * small, "{large} vs {small}");
+}
+
+#[test]
+fn utilization_reflects_idle_nodes() {
+    let mut g = ExecGraph::new();
+    g.add(0, ExecPayload::Compute { ps: 1_000 }, &[], "only-node-0");
+    let out = simulate_graph(&g, &topo(4)).unwrap();
+    assert!((out.utilization() - 0.25).abs() < 1e-9);
+}

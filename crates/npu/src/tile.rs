@@ -1,0 +1,226 @@
+//! GEMM tiling: tile shapes, dataflows, and DRAM-traffic models.
+//!
+//! The compiler searches over [`TileChoice`] candidates (tile dimensions x
+//! dataflow) to minimize estimated execution time under the scratchpad
+//! capacity constraint — the real work that LLMServingSim's compile-reuse
+//! optimization later avoids repeating.
+
+use serde::{Deserialize, Serialize};
+
+use crate::NpuConfig;
+
+/// Which operand stays resident in the scratchpad across the innermost
+/// tile loop, determining DRAM traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Output tile resident; A and B stream (accumulate over k in place).
+    OutputStationary,
+    /// Weight (B) tile resident; A streams, C is spilled per k-tile.
+    WeightStationary,
+    /// Input (A) tile resident; B streams, C is spilled per k-tile.
+    InputStationary,
+}
+
+impl Dataflow {
+    /// All dataflows, in search order.
+    pub const ALL: [Dataflow; 3] =
+        [Dataflow::OutputStationary, Dataflow::WeightStationary, Dataflow::InputStationary];
+}
+
+/// A concrete tiling decision for one GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileChoice {
+    /// Tile rows (of A and C).
+    pub tm: usize,
+    /// Tile contraction depth.
+    pub tk: usize,
+    /// Tile columns (of B and C).
+    pub tn: usize,
+    /// Residency strategy.
+    pub dataflow: Dataflow,
+}
+
+impl TileChoice {
+    /// Scratchpad bytes needed by this tile (A, B and C tiles, with
+    /// double-buffering on the streamed operands).
+    pub fn sram_bytes(&self, elem_bytes: usize) -> usize {
+        let a = self.tm * self.tk;
+        let b = self.tk * self.tn;
+        let c = self.tm * self.tn;
+        // Streamed operands are double-buffered; the resident one is not.
+        let (resident, streamed) = match self.dataflow {
+            Dataflow::OutputStationary => (c, a + b),
+            Dataflow::WeightStationary => (b, a + c),
+            Dataflow::InputStationary => (a, b + c),
+        };
+        (resident + 2 * streamed) * elem_bytes
+    }
+
+    /// Number of tiles along each GEMM dimension for an `(m, k, n)` problem.
+    pub fn grid(&self, m: usize, k: usize, n: usize) -> (usize, usize, usize) {
+        (m.div_ceil(self.tm), k.div_ceil(self.tk), n.div_ceil(self.tn))
+    }
+
+    /// Estimated DRAM traffic in bytes for an `(m, k, n)` GEMM under this
+    /// tiling, following the classic residency analysis.
+    pub fn dram_traffic(&self, m: usize, k: usize, n: usize, elem_bytes: usize) -> u64 {
+        let (mo, ko, _no) = self.grid(m, k, n);
+        let (m, k, n) = (m as u64, k as u64, n as u64);
+        let w = elem_bytes as u64;
+        let (mo, ko) = (mo as u64, ko as u64);
+        let no = n.div_ceil(self.tn as u64);
+        match self.dataflow {
+            // C resident over the k loop: A re-read per n-tile, B per m-tile.
+            Dataflow::OutputStationary => (no * m * k + mo * k * n + m * n) * w,
+            // B resident: loaded once; A re-read per n-tile; C spilled
+            // (read+write) per k-tile beyond the first.
+            Dataflow::WeightStationary => {
+                (k * n + no * m * k + (2 * ko - 1) * m * n) * w
+            }
+            // A resident: loaded once; B re-read per m-tile; C spilled.
+            Dataflow::InputStationary => {
+                (m * k + mo * k * n + (2 * ko - 1) * m * n) * w
+            }
+        }
+    }
+}
+
+/// Enumerates tile candidates for an `(m, k, n)` GEMM on `config`.
+///
+/// Tile rows/columns are multiples of the systolic-array dimensions (clamped
+/// to the problem), tile depth sweeps powers of two; all three dataflows are
+/// crossed in. Candidates that exceed the scratchpad are filtered out.
+/// The returned set is never empty: a minimal array-sized tile is always
+/// included as a fallback.
+pub fn enumerate_candidates(
+    config: &NpuConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    elem_bytes: usize,
+) -> Vec<TileChoice> {
+    let sram = config.sram_bytes();
+    let mut out = Vec::new();
+
+    let dim_steps = |unit: usize, limit: usize| -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut t = unit;
+        loop {
+            v.push(t.min(limit.max(1)));
+            if t >= limit || v.len() >= 6 {
+                break;
+            }
+            t *= 2;
+        }
+        v.dedup();
+        v
+    };
+
+    let tms = dim_steps(config.systolic_rows, m);
+    let tns = dim_steps(config.systolic_cols, n);
+    let tks: Vec<usize> = {
+        let mut v = Vec::new();
+        let mut t = 64usize;
+        while t < k && v.len() < 8 {
+            v.push(t);
+            t *= 2;
+        }
+        v.push(k.max(1));
+        v.dedup();
+        v
+    };
+
+    for &tm in &tms {
+        for &tn in &tns {
+            for &tk in &tks {
+                for dataflow in Dataflow::ALL {
+                    let c = TileChoice { tm, tk, tn, dataflow };
+                    if c.sram_bytes(elem_bytes) <= sram {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    if out.is_empty() {
+        // Degenerate scratchpads still get a working (if slow) tile.
+        out.push(TileChoice {
+            tm: config.systolic_rows.min(m.max(1)),
+            tk: 64.min(k.max(1)),
+            tn: config.systolic_cols.min(n.max(1)),
+            dataflow: Dataflow::OutputStationary,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::table1()
+    }
+
+    #[test]
+    fn candidates_respect_sram() {
+        let c = cfg();
+        for cand in enumerate_candidates(&c, 4096, 4096, 4096, 2) {
+            assert!(cand.sram_bytes(2) <= c.sram_bytes(), "{cand:?}");
+        }
+    }
+
+    #[test]
+    fn candidates_nonempty_even_for_tiny_problems() {
+        let c = cfg();
+        assert!(!enumerate_candidates(&c, 1, 1, 1, 2).is_empty());
+        assert!(!enumerate_candidates(&c, 1, 128, 512, 2).is_empty());
+    }
+
+    #[test]
+    fn candidate_space_is_a_real_search() {
+        let c = cfg();
+        let n = enumerate_candidates(&c, 4096, 4096, 12_288, 2).len();
+        assert!(n > 100, "search space too small to be meaningful: {n}");
+    }
+
+    #[test]
+    fn output_stationary_traffic_lower_bound_is_operands_once() {
+        let t = TileChoice { tm: 4096, tk: 4096, tn: 4096, dataflow: Dataflow::OutputStationary };
+        // Single tile covering the whole problem: every operand moves once.
+        let traffic = t.dram_traffic(4096, 4096, 4096, 2);
+        let minimal = (3 * 4096u64 * 4096) * 2;
+        assert_eq!(traffic, minimal);
+    }
+
+    #[test]
+    fn smaller_tiles_increase_traffic() {
+        let big = TileChoice { tm: 1024, tk: 1024, tn: 1024, dataflow: Dataflow::OutputStationary };
+        let small = TileChoice { tm: 128, tk: 128, tn: 128, dataflow: Dataflow::OutputStationary };
+        assert!(
+            small.dram_traffic(4096, 4096, 4096, 2) > big.dram_traffic(4096, 4096, 4096, 2)
+        );
+    }
+
+    #[test]
+    fn grid_covers_problem() {
+        let t = TileChoice { tm: 128, tk: 256, tn: 128, dataflow: Dataflow::OutputStationary };
+        let (mo, ko, no) = t.grid(300, 512, 129);
+        assert_eq!((mo, ko, no), (3, 2, 2));
+    }
+
+    #[test]
+    fn weight_stationary_loads_weights_once() {
+        let t = TileChoice { tm: 128, tk: 512, tn: 512, dataflow: Dataflow::WeightStationary };
+        let (m, k, n) = (4096usize, 512usize, 512usize);
+        let traffic = t.dram_traffic(m, k, n, 2);
+        // B term is exactly k*n once.
+        let b_bytes = (k * n * 2) as u64;
+        assert!(traffic >= b_bytes);
+        // Doubling m should not change the B contribution: difference between
+        // traffic(2m) and 2*traffic-ish checks monotonicity instead.
+        let traffic2 = t.dram_traffic(2 * m, k, n, 2);
+        assert!(traffic2 > traffic);
+    }
+}

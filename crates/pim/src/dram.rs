@@ -1,0 +1,103 @@
+//! DRAM timing parameters for the PIM device.
+
+use serde::{Deserialize, Serialize};
+
+/// Core DRAM timing constraints, in device clock cycles.
+///
+/// Only the parameters that matter to bank-level GEMV execution are modeled:
+/// row activate-to-read delay, burst-to-burst gap, precharge, and row-buffer
+/// geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Row activate to column read (tRCD), cycles.
+    pub t_rcd: u64,
+    /// Column-to-column delay between bursts in a bank (tCCD), cycles.
+    pub t_ccd: u64,
+    /// Row precharge (tRP), cycles.
+    pub t_rp: u64,
+    /// Bytes transferred per burst from a bank's row buffer.
+    pub burst_bytes: usize,
+    /// Row buffer (page) size per bank, bytes.
+    pub row_buffer_bytes: usize,
+}
+
+impl DramTiming {
+    /// Typical DDR-class timings normalized to a 1 GHz device clock
+    /// (tRCD = tRP = 14 ns, 32-byte bursts every 2 cycles, 1 KiB pages).
+    pub fn ddr_1ghz() -> Self {
+        Self { t_rcd: 14, t_ccd: 2, t_rp: 14, burst_bytes: 32, row_buffer_bytes: 1024 }
+    }
+
+    /// Cycles to activate and later precharge one row.
+    pub fn row_cycle_cost(&self) -> u64 {
+        self.t_rcd + self.t_rp
+    }
+
+    /// Cycles for one bank to stream `bytes` through its row buffer,
+    /// including row activations.
+    pub fn bank_stream_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let rows = bytes.div_ceil(self.row_buffer_bytes as u64);
+        let bursts = bytes.div_ceil(self.burst_bytes as u64);
+        rows * self.row_cycle_cost() + bursts * self.t_ccd
+    }
+
+    /// Checks that timings are self-consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.burst_bytes == 0 || self.row_buffer_bytes == 0 {
+            return Err("burst and row-buffer sizes must be non-zero".into());
+        }
+        if self.row_buffer_bytes < self.burst_bytes {
+            return Err("row buffer must hold at least one burst".into());
+        }
+        if self.t_ccd == 0 {
+            return Err("tCCD must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::ddr_1ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_cycles_include_activations() {
+        let t = DramTiming::ddr_1ghz();
+        // Exactly one row: 1 activation + 32 bursts.
+        let one_row = t.bank_stream_cycles(1024);
+        assert_eq!(one_row, (14 + 14) + 32 * 2);
+        // Two rows doubles both terms.
+        assert_eq!(t.bank_stream_cycles(2048), 2 * one_row);
+    }
+
+    #[test]
+    fn zero_bytes_take_zero_cycles() {
+        assert_eq!(DramTiming::ddr_1ghz().bank_stream_cycles(0), 0);
+    }
+
+    #[test]
+    fn partial_rows_round_up() {
+        let t = DramTiming::ddr_1ghz();
+        assert_eq!(t.bank_stream_cycles(1), t.row_cycle_cost() + t.t_ccd);
+    }
+
+    #[test]
+    fn validation_rejects_tiny_row_buffer() {
+        let mut t = DramTiming::ddr_1ghz();
+        t.row_buffer_bytes = 16;
+        assert!(t.validate().is_err());
+    }
+}

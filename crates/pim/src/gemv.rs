@@ -1,0 +1,165 @@
+//! Bank-parallel GEMV timing model.
+//!
+//! A GEMV distributes the matrix operand's rows across all banks; each bank
+//! streams its shard through the row buffer into its MAC lanes, and partial
+//! sums are reduced on the way out. Execution time is the maximum of the
+//! aggregate-internal-bandwidth bound, the per-bank DRAM-timing bound, and
+//! the MAC-throughput bound, plus input-vector broadcast and command
+//! overhead — the standard operating regime of HBM-PIM-class devices.
+
+use llmss_model::OpSignature;
+use serde::{Deserialize, Serialize};
+
+use crate::PimConfig;
+
+/// Fixed command/issue overhead per GEMV operation, in cycles.
+pub const PIM_CMD_CYCLES: u64 = 64;
+
+/// Result of simulating one operator on the PIM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimResult {
+    /// Total execution cycles (critical path).
+    pub cycles: u64,
+    /// Cycles bound by aggregate internal bandwidth.
+    pub stream_cycles: u64,
+    /// Cycles bound by per-bank DRAM timing (activations + bursts).
+    pub bank_cycles: u64,
+    /// Cycles bound by MAC throughput.
+    pub compute_cycles: u64,
+    /// Cycles spent broadcasting the input vector(s).
+    pub broadcast_cycles: u64,
+    /// Matrix bytes streamed out of the banks.
+    pub matrix_bytes: u64,
+    /// Row activations issued per bank.
+    pub activations_per_bank: u64,
+}
+
+/// Simulates a (batched) GEMV `y = A x` on the PIM device.
+///
+/// The signature is interpreted as `batch` independent `[m, k] x [k, n]`
+/// products (attention Score/Attend ops have `m` = new tokens, typically 1).
+/// The matrix operand (`k x n` per batch) is the streamed shard; inputs are
+/// broadcast, outputs leave over the result bus (charged to the caller's
+/// interconnect model at the system level).
+pub fn simulate_gemv(config: &PimConfig, sig: &OpSignature) -> PimResult {
+    let d = sig.dims;
+    let w = sig.elem_bytes as u64;
+    let b = d.batch as u64;
+    let (m, k, n) = (d.m as u64, d.k as u64, d.n as u64);
+
+    let matrix_bytes = b * k * n * w;
+    let banks = config.total_banks() as u64;
+    let per_bank_bytes = matrix_bytes.div_ceil(banks);
+
+    let bank_cycles = config.timing.bank_stream_cycles(per_bank_bytes);
+    let activations = per_bank_bytes.div_ceil(config.timing.row_buffer_bytes as u64);
+
+    let stream_cycles =
+        (matrix_bytes as f64 / config.internal_bytes_per_cycle()).ceil() as u64;
+
+    let macs = b * m * k * n;
+    let compute_cycles = macs.div_ceil(config.macs_per_cycle());
+
+    // Each batch instance broadcasts its m x k input rows to the banks.
+    let broadcast_bytes = b * m * k * w;
+    let broadcast_cycles =
+        broadcast_bytes.div_ceil(config.broadcast_bytes_per_cycle as u64);
+
+    let body = stream_cycles.max(bank_cycles).max(compute_cycles);
+    PimResult {
+        cycles: PIM_CMD_CYCLES + broadcast_cycles + body,
+        stream_cycles,
+        bank_cycles,
+        compute_cycles,
+        broadcast_cycles,
+        matrix_bytes,
+        activations_per_bank: activations,
+    }
+}
+
+/// Simulates a bulk in-memory transfer (KV page move inside PIM capacity).
+pub fn simulate_transfer(config: &PimConfig, bytes: u64) -> PimResult {
+    let stream_cycles = (bytes as f64 / config.internal_bytes_per_cycle()).ceil() as u64;
+    let per_bank = bytes.div_ceil(config.total_banks() as u64);
+    let bank_cycles = config.timing.bank_stream_cycles(per_bank);
+    PimResult {
+        cycles: PIM_CMD_CYCLES + stream_cycles.max(bank_cycles),
+        stream_cycles,
+        bank_cycles,
+        compute_cycles: 0,
+        broadcast_cycles: 0,
+        matrix_bytes: bytes,
+        activations_per_bank: per_bank.div_ceil(config.timing.row_buffer_bytes as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_model::{Op, OpDims, OpKind};
+
+    fn cfg() -> PimConfig {
+        PimConfig::table1()
+    }
+
+    fn score(batch: usize, kv: usize) -> OpSignature {
+        Op::new(OpKind::Score, OpDims::batched(batch, 1, 128, kv), 2).signature()
+    }
+
+    #[test]
+    fn gemv_time_scales_with_kv_length() {
+        let c = cfg();
+        let short = simulate_gemv(&c, &score(32, 256));
+        let long = simulate_gemv(&c, &score(32, 2048));
+        assert!(long.cycles > short.cycles);
+        assert_eq!(long.matrix_bytes, 8 * short.matrix_bytes);
+    }
+
+    #[test]
+    fn pim_beats_bandwidth_equivalent_npu_on_gemv() {
+        // The whole point of PIM: a decode attention GEMV at 1 TB/s internal
+        // must comfortably beat the 936 GB/s NPU's streaming path once its
+        // per-head switch costs are included. Compare against the ideal
+        // NPU time (bytes / bw) with zero overhead: PIM should be within
+        // ~2x of its own internal-bandwidth ideal.
+        let c = cfg();
+        let s = score(32, 1024);
+        let r = simulate_gemv(&c, &s);
+        let ideal = (r.matrix_bytes as f64 / c.internal_bytes_per_cycle()).ceil() as u64;
+        assert!(r.cycles < 2 * ideal, "cycles {} vs ideal {}", r.cycles, ideal);
+    }
+
+    #[test]
+    fn command_overhead_dominates_tiny_ops() {
+        let c = cfg();
+        let r = simulate_gemv(&c, &score(1, 16));
+        assert!(r.cycles >= PIM_CMD_CYCLES);
+        assert!(r.stream_cycles < PIM_CMD_CYCLES);
+    }
+
+    #[test]
+    fn activations_track_per_bank_shard() {
+        let c = cfg();
+        let r = simulate_gemv(&c, &score(32, 2048));
+        // 32 heads * 128 * 2048 * 2B = 16 MiB over 512 banks = 32 KiB/bank
+        // = 32 rows of 1 KiB.
+        assert_eq!(r.activations_per_bank, 32);
+    }
+
+    #[test]
+    fn transfer_is_bandwidth_bound_for_large_moves() {
+        let c = cfg();
+        let r = simulate_transfer(&c, 64 * 1024 * 1024);
+        let ideal = (64.0 * 1024.0 * 1024.0 / c.internal_bytes_per_cycle()).ceil() as u64;
+        assert!(r.cycles >= ideal);
+        assert!(r.cycles < ideal + 10 * PIM_CMD_CYCLES + r.bank_cycles);
+    }
+
+    #[test]
+    fn broadcast_counts_input_rows_only() {
+        let c = cfg();
+        let r = simulate_gemv(&c, &score(32, 1024));
+        // 32 heads * 1 row * 128 elems * 2B = 8 KiB over 256 B/cycle.
+        assert_eq!(r.broadcast_cycles, 32);
+    }
+}

@@ -1,0 +1,79 @@
+//! Accelerator memory accounting: weights, activations, KV budget.
+//!
+//! ASTRA-sim's memory model lacks capacity constraints; the paper adds
+//! them because LLM serving is capacity-sensitive. This module computes the
+//! system-aggregate KV budget: model weights are stored exactly once across
+//! the system under any parallelism strategy (sharded by TP, split by PP),
+//! so `KV budget = total capacity - weights - activation reserve`.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate device-memory model for a serving system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Total device memory across all accelerators, bytes.
+    pub total_capacity: u64,
+    /// Model weight bytes (stored once across the system).
+    pub weight_bytes: u64,
+    /// Reserved activation/workspace bytes (aggregate).
+    pub activation_reserve: u64,
+}
+
+impl MemoryModel {
+    /// Builds the model for `n_devices` accelerators of `per_device_bytes`
+    /// capacity each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights plus reserve do not fit in total capacity —
+    /// such a system cannot serve at all.
+    pub fn new(
+        n_devices: usize,
+        per_device_bytes: u64,
+        weight_bytes: u64,
+        activation_reserve_per_device: u64,
+    ) -> Self {
+        let total_capacity = n_devices as u64 * per_device_bytes;
+        let activation_reserve = n_devices as u64 * activation_reserve_per_device;
+        assert!(
+            weight_bytes + activation_reserve <= total_capacity,
+            "model ({weight_bytes} B) + reserve does not fit in {total_capacity} B"
+        );
+        Self { total_capacity, weight_bytes, activation_reserve }
+    }
+
+    /// Bytes available for KV cache.
+    pub fn kv_budget(&self) -> u64 {
+        self.total_capacity - self.weight_bytes - self.activation_reserve
+    }
+
+    /// Fraction of capacity consumed by weights.
+    pub fn weight_fraction(&self) -> f64 {
+        self.weight_bytes as f64 / self.total_capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn kv_budget_subtracts_weights_and_reserve() {
+        let m = MemoryModel::new(4, 24 * GIB, 14 * GIB, GIB);
+        assert_eq!(m.kv_budget(), (96 - 14 - 4) * GIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_model_rejected() {
+        MemoryModel::new(1, 24 * GIB, 30 * GIB, 0);
+    }
+
+    #[test]
+    fn weight_fraction_sane() {
+        let m = MemoryModel::new(2, 24 * GIB, 12 * GIB, 0);
+        assert!((m.weight_fraction() - 0.25).abs() < 1e-12);
+    }
+}

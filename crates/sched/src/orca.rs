@@ -1,0 +1,566 @@
+//! Iteration-level scheduling (Orca) with KV-cache-aware admission.
+//!
+//! The scheduler re-forms the batch every iteration: finished requests
+//! retire, newly arrived requests join (when KV memory admits them), decode
+//! sequences grow their KV allocation — evicting the most recently admitted
+//! sequences to host memory under pressure and reloading them when space
+//! frees up (paper Section IV-A, "KV cache-aware memory modeling").
+//!
+//! A request-level policy (classic static batching: the batch runs until
+//! *all* members finish) is included as the contrast Orca §6.1 draws.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use llmss_model::SeqSlot;
+
+use crate::{
+    Completion, IterationBatch, KvCache, KvError, KvTransfer, Request, RequestState, TimePs,
+};
+
+/// Batch re-formation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Orca-style iteration-level scheduling (the artifact's
+    /// `scheduling=orca` default).
+    IterationLevel,
+    /// Static request-level batching: admit only when the running batch
+    /// has fully drained.
+    RequestLevel,
+}
+
+/// Scheduler configuration (the artifact's `scheduling`, `max_batch`,
+/// `batch_delay` parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Batch re-formation policy.
+    pub policy: SchedulingPolicy,
+    /// Maximum concurrent sequences (0 = unlimited, the artifact default).
+    pub max_batch: usize,
+    /// Extra delay applied when waking up for newly arrived requests.
+    pub batch_delay_ps: TimePs,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self { policy: SchedulingPolicy::IterationLevel, max_batch: 0, batch_delay_ps: 0 }
+    }
+}
+
+/// A sequence the scheduler is tracking.
+#[derive(Debug, Clone)]
+struct Seq {
+    req: Request,
+    state: RequestState,
+    /// Output tokens produced so far.
+    generated: usize,
+    first_token_ps: Option<TimePs>,
+}
+
+impl Seq {
+    /// KV tokens resident for this sequence (prompt + generated history).
+    fn kv_tokens(&self) -> usize {
+        // The token produced at the end of iteration i is appended to the
+        // cache when iteration i+1 processes it; the last one never is.
+        self.req.input_len + self.generated.saturating_sub(1)
+    }
+}
+
+/// The iteration-level serving scheduler.
+///
+/// Drive it in a loop: [`next_batch`](Self::next_batch) produces the batch
+/// for one iteration (or `None` when all requests have completed), the
+/// caller simulates the iteration, and
+/// [`complete_iteration`](Self::complete_iteration) advances the clock and
+/// sequence states.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_sched::{
+///     KvCache, KvCacheConfig, Request, Scheduler, SchedulerConfig,
+/// };
+///
+/// let kv = KvCache::new(KvCacheConfig::paged(1 << 20, 256));
+/// let requests = vec![Request::new(0, 32, 4, 0)];
+/// let mut sched = Scheduler::new(SchedulerConfig::default(), kv, requests);
+/// let mut iterations = 0;
+/// while let Some(batch) = sched.next_batch() {
+///     assert!(!batch.slots.is_empty());
+///     sched.complete_iteration(1_000_000); // pretend 1 us per iteration
+///     iterations += 1;
+/// }
+/// assert_eq!(iterations, 4); // 1 prefill + 3 decode iterations
+/// assert_eq!(sched.completions().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    kv: KvCache,
+    pending: VecDeque<Request>,
+    active: Vec<Seq>,
+    /// Evicted sequences in eviction order (FIFO reload priority).
+    evicted: VecDeque<Seq>,
+    completions: Vec<Completion>,
+    clock_ps: TimePs,
+    iterations: u64,
+    total_requests: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over a fixed request trace.
+    ///
+    /// Requests are sorted by arrival time; ids must be unique.
+    pub fn new(config: SchedulerConfig, kv: KvCache, mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| (r.arrival_ps, r.id));
+        let total = requests.len();
+        Self {
+            config,
+            kv,
+            pending: requests.into(),
+            active: Vec::new(),
+            evicted: VecDeque::new(),
+            completions: Vec::new(),
+            clock_ps: 0,
+            iterations: 0,
+            total_requests: total,
+        }
+    }
+
+    /// Current scheduler clock.
+    pub fn clock_ps(&self) -> TimePs {
+        self.clock_ps
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Whether every request has finished.
+    pub fn is_done(&self) -> bool {
+        self.completions.len() == self.total_requests
+    }
+
+    /// Completion records for finished requests (in finish order).
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Number of sequences currently running.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of sequences currently evicted to host.
+    pub fn evicted_len(&self) -> usize {
+        self.evicted.len()
+    }
+
+    /// The KV cache (for utilization metrics).
+    pub fn kv(&self) -> &KvCache {
+        &self.kv
+    }
+
+    /// Forms the batch for the next iteration.
+    ///
+    /// Returns `None` once all requests have completed. If no sequence is
+    /// runnable but requests are still pending, the clock fast-forwards to
+    /// the next arrival (plus the configured batch delay).
+    pub fn next_batch(&mut self) -> Option<IterationBatch> {
+        if self.is_done() {
+            return None;
+        }
+
+        // Fast-forward when idle.
+        if self.active.is_empty() && self.evicted.is_empty() {
+            let next_arrival = self.pending.front()?.arrival_ps;
+            if next_arrival > self.clock_ps {
+                self.clock_ps = next_arrival + self.config.batch_delay_ps;
+            }
+        }
+
+        let mut evictions: Vec<KvTransfer> = Vec::new();
+        let mut reloads: Vec<KvTransfer> = Vec::new();
+
+        // 1. Grow KV for decode sequences (the token generated last
+        //    iteration is appended as it is processed). Under pressure,
+        //    evict the most recently admitted other sequence; if none
+        //    exists, the growing sequence itself is evicted.
+        let mut forced_out: Vec<u64> = Vec::new();
+        for i in 0..self.active.len() {
+            if self.active[i].state != RequestState::Generating
+                || self.active[i].generated == 0
+            {
+                continue;
+            }
+            let id = self.active[i].req.id;
+            if forced_out.contains(&id) {
+                // Already evicted as a victim of an earlier sequence's
+                // growth in this same pass.
+                continue;
+            }
+            loop {
+                match self.kv.append_token(id) {
+                    Ok(_) => break,
+                    Err(KvError::OutOfMemory) => {
+                        match self.kv.evict_victim(Some(id)) {
+                            Some(t) => {
+                                forced_out.push(t.request);
+                                evictions.push(t);
+                            }
+                            None => {
+                                // Nothing else to evict: push this sequence
+                                // itself to host and stop growing it.
+                                if let Some(t) = self.kv.evict_victim(None) {
+                                    forced_out.push(t.request);
+                                    evictions.push(t);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => unreachable!("append on resident sequence failed: {e}"),
+                }
+            }
+        }
+        if !forced_out.is_empty() {
+            // Move evicted sequences out of the active set (most recently
+            // admitted first, matching eviction order).
+            let mut moved: Vec<Seq> = Vec::new();
+            self.active.retain_mut(|s| {
+                if forced_out.contains(&s.req.id) {
+                    let mut out = s.clone();
+                    out.state = RequestState::Evicted;
+                    moved.push(out);
+                    false
+                } else {
+                    true
+                }
+            });
+            moved.sort_by_key(|s| s.req.id);
+            self.evicted.extend(moved);
+        }
+
+        // 2. Reload evicted sequences (FIFO) while memory permits.
+        while let Some(front) = self.evicted.front() {
+            if self.batch_full() {
+                break;
+            }
+            match self.kv.reload(front.req.id) {
+                Ok(t) => {
+                    reloads.push(t);
+                    let mut seq = self.evicted.pop_front().expect("front exists");
+                    seq.state = RequestState::Generating;
+                    self.active.push(seq);
+                }
+                Err(KvError::OutOfMemory) => break,
+                Err(e) => unreachable!("reload of evicted sequence failed: {e}"),
+            }
+        }
+
+        // 3. Admit newly arrived requests while memory and max_batch allow.
+        let admission_open = match self.config.policy {
+            SchedulingPolicy::IterationLevel => true,
+            SchedulingPolicy::RequestLevel => {
+                self.active.is_empty() && self.evicted.is_empty()
+            }
+        };
+        if admission_open {
+            while let Some(front) = self.pending.front() {
+                if front.arrival_ps > self.clock_ps || self.batch_full() {
+                    break;
+                }
+                if !self.kv.try_admit(front.id, front.input_len) {
+                    // A request that fails admission into an *empty* cache
+                    // can never run; dropping it silently would corrupt the
+                    // experiment, so fail loudly.
+                    assert!(
+                        self.kv.used_pages() > 0
+                            || !self.active.is_empty()
+                            || !self.evicted.is_empty(),
+                        "request {} needs {} KV pages but the cache only holds {}: \
+                         it can never be served",
+                        front.id,
+                        self.kv.pages_for(front.input_len),
+                        self.kv.free_pages(),
+                    );
+                    break;
+                }
+                let req = self.pending.pop_front().expect("front exists");
+                self.active.push(Seq {
+                    req,
+                    state: RequestState::Admitted,
+                    generated: 0,
+                    first_token_ps: None,
+                });
+            }
+        }
+
+        if self.active.is_empty() {
+            // Everything evicted and nothing reloadable: the system is
+            // wedged only if memory cannot hold a single sequence, which
+            // the KV sizing rules out; otherwise retry after advancing to
+            // the next arrival.
+            return self.next_batch_after_stall();
+        }
+
+        let slots: Vec<SeqSlot> = self
+            .active
+            .iter()
+            .map(|s| match s.state {
+                RequestState::Admitted => SeqSlot::prefill(s.req.id, s.req.input_len),
+                RequestState::Generating => SeqSlot::decode(s.req.id, s.kv_tokens()),
+                other => unreachable!("active sequence in state {other:?}"),
+            })
+            .collect();
+
+        Some(IterationBatch { slots, evictions, reloads })
+    }
+
+    fn next_batch_after_stall(&mut self) -> Option<IterationBatch> {
+        // Called when eviction pressure emptied the active set; reload the
+        // oldest evicted sequence by force (it must fit alone).
+        if let Some(front) = self.evicted.front() {
+            match self.kv.reload(front.req.id) {
+                Ok(t) => {
+                    let mut seq = self.evicted.pop_front().expect("front exists");
+                    seq.state = RequestState::Generating;
+                    let slot = SeqSlot::decode(seq.req.id, seq.kv_tokens());
+                    self.active.push(seq);
+                    return Some(IterationBatch {
+                        slots: vec![slot],
+                        evictions: Vec::new(),
+                        reloads: vec![t],
+                    });
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    fn batch_full(&self) -> bool {
+        self.config.max_batch > 0 && self.active.len() >= self.config.max_batch
+    }
+
+    /// Records that the iteration produced by the last
+    /// [`next_batch`](Self::next_batch) took `latency_ps`: advances the
+    /// clock, produces tokens, and retires finished sequences.
+    pub fn complete_iteration(&mut self, latency_ps: TimePs) {
+        self.clock_ps += latency_ps;
+        self.iterations += 1;
+        let now = self.clock_ps;
+
+        let mut finished: Vec<Seq> = Vec::new();
+        for s in &mut self.active {
+            match s.state {
+                RequestState::Admitted => {
+                    s.generated = 1;
+                    s.first_token_ps = Some(now);
+                    s.state = RequestState::Generating;
+                }
+                RequestState::Generating => {
+                    s.generated += 1;
+                }
+                other => unreachable!("active sequence in state {other:?}"),
+            }
+            if s.generated >= s.req.output_len {
+                s.state = RequestState::Finished;
+            }
+        }
+        self.active.retain(|s| {
+            if s.state == RequestState::Finished {
+                finished.push(s.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for s in finished {
+            self.kv.release(s.req.id);
+            self.completions.push(Completion {
+                id: s.req.id,
+                arrival_ps: s.req.arrival_ps,
+                first_token_ps: s.first_token_ps.unwrap_or(now),
+                finish_ps: now,
+                input_len: s.req.input_len,
+                output_len: s.generated,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvCacheConfig;
+
+    fn kv(pages: usize) -> KvCache {
+        // 16-token pages at 64 B/token.
+        KvCache::new(KvCacheConfig::paged(pages as u64 * 16 * 64, 64))
+    }
+
+    fn sched(requests: Vec<Request>) -> Scheduler {
+        Scheduler::new(SchedulerConfig::default(), kv(1024), requests)
+    }
+
+    #[test]
+    fn single_request_runs_prefill_then_decode() {
+        let mut s = sched(vec![Request::new(0, 100, 3, 0)]);
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.prompt_tokens(), 100);
+        s.complete_iteration(10);
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.generated_tokens(), 1);
+        assert_eq!(b2.slots[0].kv_past, 100);
+        s.complete_iteration(10);
+        let b3 = s.next_batch().unwrap();
+        assert_eq!(b3.slots[0].kv_past, 101);
+        s.complete_iteration(10);
+        assert!(s.next_batch().is_none());
+        assert!(s.is_done());
+        let c = s.completions()[0];
+        assert_eq!(c.output_len, 3);
+        assert_eq!(c.finish_ps, 30);
+        assert_eq!(c.first_token_ps, 10);
+    }
+
+    #[test]
+    fn iteration_level_admits_mid_flight() {
+        let mut s = sched(vec![Request::new(0, 64, 10, 0), Request::new(1, 32, 2, 15)]);
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.batch_size(), 1);
+        s.complete_iteration(20); // clock = 20 > 15: request 1 has arrived
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.batch_size(), 2);
+        assert_eq!(b2.prompt_tokens(), 32); // request 1 prefills
+        assert_eq!(b2.generated_tokens(), 2); // both emit a token
+    }
+
+    #[test]
+    fn request_level_waits_for_drain() {
+        let cfg = SchedulerConfig {
+            policy: SchedulingPolicy::RequestLevel,
+            ..SchedulerConfig::default()
+        };
+        let mut s = Scheduler::new(
+            cfg,
+            kv(1024),
+            vec![Request::new(0, 64, 3, 0), Request::new(1, 32, 2, 1)],
+        );
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.batch_size(), 1, "static batching admits only at drain");
+        s.complete_iteration(10);
+        // Request 0 still running: request 1 must keep waiting.
+        for _ in 0..2 {
+            let b = s.next_batch().unwrap();
+            assert_eq!(b.batch_size(), 1);
+            s.complete_iteration(10);
+        }
+        // Batch drained; request 1 finally admitted.
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.batch_size(), 1);
+        assert_eq!(b.prompt_tokens(), 32);
+    }
+
+    #[test]
+    fn max_batch_caps_concurrency() {
+        let cfg = SchedulerConfig { max_batch: 2, ..SchedulerConfig::default() };
+        let reqs = (0..5).map(|i| Request::new(i, 16, 4, 0)).collect();
+        let mut s = Scheduler::new(cfg, kv(1024), reqs);
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.batch_size(), 2);
+    }
+
+    #[test]
+    fn clock_fast_forwards_to_arrivals() {
+        let mut s = sched(vec![Request::new(0, 16, 1, 5_000)]);
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.batch_size(), 1);
+        assert_eq!(s.clock_ps(), 5_000);
+    }
+
+    #[test]
+    fn batch_delay_applies_on_wakeup() {
+        let cfg = SchedulerConfig { batch_delay_ps: 500, ..SchedulerConfig::default() };
+        let mut s = Scheduler::new(cfg, kv(64), vec![Request::new(0, 16, 1, 1_000)]);
+        s.next_batch().unwrap();
+        assert_eq!(s.clock_ps(), 1_500);
+    }
+
+    #[test]
+    fn memory_pressure_evicts_and_reloads() {
+        // 4 pages of 16 tokens: two 32-token sequences fill memory; growth
+        // forces an eviction, and the victim reloads after the other
+        // request finishes.
+        let reqs = vec![Request::new(0, 32, 20, 0), Request::new(1, 32, 20, 0)];
+        let mut s = Scheduler::new(SchedulerConfig::default(), kv(4), reqs);
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.batch_size(), 2);
+        s.complete_iteration(10);
+        // Both want to append token 33 -> two new pages needed, none free.
+        let b2 = s.next_batch().unwrap();
+        assert!(!b2.evictions.is_empty(), "growth must evict under pressure");
+        assert_eq!(s.evicted_len() + s.active_len(), 2);
+        // Drive to completion; every request must eventually finish.
+        let mut guard = 0;
+        s.complete_iteration(10);
+        while let Some(_b) = s.next_batch() {
+            s.complete_iteration(10);
+            guard += 1;
+            assert!(guard < 500, "scheduler failed to converge");
+        }
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn admission_blocked_until_memory_frees() {
+        // One page short: the second request waits for the first to retire.
+        let reqs = vec![Request::new(0, 48, 2, 0), Request::new(1, 48, 2, 0)];
+        let mut s = Scheduler::new(SchedulerConfig::default(), kv(4), reqs);
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.batch_size(), 1, "only one 3-page sequence fits");
+        s.complete_iteration(10);
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.batch_size(), 1);
+        s.complete_iteration(10);
+        // Request 0 done; request 1 admitted now.
+        let b3 = s.next_batch().unwrap();
+        assert_eq!(b3.prompt_tokens(), 48);
+        s.complete_iteration(10);
+        s.next_batch().unwrap();
+        s.complete_iteration(10);
+        assert!(s.is_done());
+        assert_eq!(s.completions().len(), 2);
+    }
+
+    #[test]
+    fn completions_record_ttft_and_latency() {
+        let mut s = sched(vec![Request::new(0, 16, 3, 100)]);
+        while let Some(_b) = s.next_batch() {
+            s.complete_iteration(50);
+        }
+        let c = s.completions()[0];
+        assert_eq!(c.arrival_ps, 100);
+        assert_eq!(c.ttft_ps(), 50);
+        assert_eq!(c.latency_ps(), 150);
+    }
+
+    #[test]
+    fn deterministic_run() {
+        let run = || {
+            let reqs: Vec<Request> =
+                (0..20).map(|i| Request::new(i, 16 + (i as usize * 7) % 64, 4, i * 100)).collect();
+            let mut s = Scheduler::new(SchedulerConfig::default(), kv(64), reqs);
+            let mut sig = Vec::new();
+            while let Some(b) = s.next_batch() {
+                sig.push((b.batch_size(), b.prompt_tokens(), b.evictions.len()));
+                s.complete_iteration(1_000);
+            }
+            sig
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate serving a small LLM on one NPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use llmservingsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a model and a hardware/system configuration.
+    //    GPT-2 on a single Table-I NPU (128x128 systolic array, 24 GB).
+    let config = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+
+    // 2. Generate a request trace: 32 Alpaca-like requests arriving as a
+    //    Poisson process at 8 requests/second (seeded — reruns identical).
+    let trace = TraceGenerator::new(Dataset::Alpaca, 42).rate_per_s(8.0).generate(32);
+
+    // 3. Run the co-simulation: iteration-level scheduling, NPU engine
+    //    pricing with computation reuse, graph conversion, and
+    //    system-level simulation, looped until the trace drains.
+    let report = ServingSimulator::new(config, trace)?.run();
+
+    // 4. Inspect the results.
+    println!("{}", report.summary());
+    println!();
+    println!("per-request latencies:");
+    for c in &report.completions {
+        println!(
+            "  request {:>2}: in={:>3} out={:>3}  ttft={:>7.1} ms  total={:>8.1} ms",
+            c.id,
+            c.input_len,
+            c.output_len,
+            c.ttft_ps() as f64 / 1e9,
+            c.latency_ps() as f64 / 1e9,
+        );
+    }
+    println!();
+    println!(
+        "reuse cache: {} hits / {} misses ({:.1}% hit rate)",
+        report.reuse.hits(),
+        report.reuse.misses(),
+        report.reuse.hit_rate() * 100.0
+    );
+    Ok(())
+}

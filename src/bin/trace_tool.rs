@@ -1,0 +1,155 @@
+//! Request-trace tooling: generate, inspect, and validate the TSV traces
+//! the simulator consumes (the artifact's `dataset/` helper scripts).
+//!
+//! ```text
+//! trace_tool generate --dataset sharegpt --n 500 --rate 2.0 --seed 7 --out trace.tsv
+//! trace_tool stats trace.tsv
+//! trace_tool head trace.tsv 10
+//! ```
+
+use std::process::ExitCode;
+
+use llmservingsim::sched::{trace_from_tsv, trace_to_tsv, Dataset, Request, TraceGenerator};
+
+const USAGE: &str = "\
+trace_tool — generate and inspect LLMServingSim request traces
+
+USAGE:
+  trace_tool generate [--dataset sharegpt|alpaca|fixed] [--n N] [--rate R]
+                      [--seed S] [--burst] [--input-len L] [--output-len L]
+                      [--out PATH]
+  trace_tool stats PATH
+  trace_tool head PATH [N]
+";
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let mut dataset = "alpaca".to_owned();
+    let mut n = 64usize;
+    let mut rate = 4.0f64;
+    let mut seed = 42u64;
+    let mut burst = false;
+    let mut input_len = 512usize;
+    let mut output_len = 64usize;
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} requires a value"))
+        };
+        match a.as_str() {
+            "--dataset" => dataset = val("--dataset")?,
+            "--n" => n = val("--n")?.parse().map_err(|e| format!("{e}"))?,
+            "--rate" => rate = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--burst" => burst = true,
+            "--input-len" => input_len = val("--input-len")?.parse().map_err(|e| format!("{e}"))?,
+            "--output-len" => {
+                output_len = val("--output-len")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => out = Some(val("--out")?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    let ds = match dataset.as_str() {
+        "sharegpt" => Dataset::ShareGpt,
+        "alpaca" => Dataset::Alpaca,
+        "fixed" => Dataset::Fixed { input_len, output_len },
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let generator = TraceGenerator::new(ds, seed).rate_per_s(rate);
+    let trace = if burst { generator.generate_burst(n) } else { generator.generate(n) };
+    let tsv = trace_to_tsv(&trace);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, tsv).map_err(|e| e.to_string())?;
+            eprintln!("wrote {n} requests to {path}");
+        }
+        None => print!("{tsv}"),
+    }
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Vec<Request>, String> {
+    let tsv = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    trace_from_tsv(&tsv)
+}
+
+fn percentile(sorted: &[usize], p: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let mut inputs: Vec<usize> = trace.iter().map(|r| r.input_len).collect();
+    let mut outputs: Vec<usize> = trace.iter().map(|r| r.output_len).collect();
+    inputs.sort_unstable();
+    outputs.sort_unstable();
+    let span_s = trace.iter().map(|r| r.arrival_ps).max().unwrap() as f64 / 1e12;
+    let rate = if span_s > 0.0 { trace.len() as f64 / span_s } else { f64::INFINITY };
+
+    println!("requests        : {}", trace.len());
+    println!("arrival span    : {span_s:.2} s (mean rate {rate:.2} req/s)");
+    for (name, v) in [("input tokens", &inputs), ("output tokens", &outputs)] {
+        println!(
+            "{name:<16}: min {} p50 {} p90 {} p99 {} max {} (mean {:.1})",
+            v.first().unwrap(),
+            percentile(v, 0.50),
+            percentile(v, 0.90),
+            percentile(v, 0.99),
+            v.last().unwrap(),
+            v.iter().sum::<usize>() as f64 / v.len() as f64,
+        );
+    }
+    let total_kv: usize = trace.iter().map(Request::max_kv_tokens).sum();
+    println!("peak KV demand  : {total_kv} tokens if fully concurrent");
+    Ok(())
+}
+
+fn head(path: &str, n: usize) -> Result<(), String> {
+    let trace = load(path)?;
+    println!("id\tinput\toutput\tarrival_ms");
+    for r in trace.iter().take(n) {
+        println!("{}\t{}\t{}\t{:.3}", r.id, r.input_len, r.output_len, r.arrival_ps as f64 / 1e9);
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("stats") => {
+            let path = args.get(1).ok_or("stats needs a PATH")?;
+            stats(path)
+        }
+        Some("head") => {
+            let path = args.get(1).ok_or("head needs a PATH")?;
+            let n = args.get(2).map_or(Ok(10), |s| s.parse().map_err(|e| format!("{e}")))?;
+            head(path, n)
+        }
+        Some("-h") | Some("--help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The `llmservingsim` command-line simulator.
+//!
+//! Mirrors the original artifact's interface: the same 16 parameters
+//! (model, npu_num, max_batch, batch_delay, scheduling, parallel,
+//! npu_group, npu_mem, kv_manage, pim_type, sub_batch, dataset, network,
+//! output, gen, fast_run) and the same three outputs — a standard-output
+//! summary, `{output}-throughput.tsv`, and `{output}-simulation-time.tsv`.
+//!
+//! ```text
+//! llmservingsim --model gpt3-7b --npu-num 4 --parallel tensor \
+//!               --dataset trace.tsv --output results/run1
+//! ```
+
+use std::process::ExitCode;
+
+use llmservingsim::core::{ParallelismKind, ServingSimulator, SimConfig};
+use llmservingsim::model::ModelSpec;
+use llmservingsim::sched::{
+    trace_from_tsv, Dataset, Request, SchedulingPolicy, TraceGenerator,
+};
+
+/// Parsed command-line options (artifact parameter set).
+#[derive(Debug)]
+struct Options {
+    model: String,
+    npu_num: usize,
+    max_batch: usize,
+    batch_delay_ms: f64,
+    scheduling: String,
+    parallel: String,
+    npu_group: usize,
+    npu_mem_gib: Option<f64>,
+    kv_manage: String,
+    pim_type: String,
+    sub_batch: bool,
+    dataset: Option<String>,
+    synthetic: String,
+    n_requests: usize,
+    rate: f64,
+    seed: u64,
+    network_json: Option<String>,
+    output: String,
+    gen_only: bool,
+    fast_run: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            model: "gpt2".into(),
+            npu_num: 16,
+            max_batch: 0,
+            batch_delay_ms: 0.0,
+            scheduling: "orca".into(),
+            parallel: "hybrid".into(),
+            npu_group: 1,
+            npu_mem_gib: None,
+            kv_manage: "vllm".into(),
+            pim_type: "none".into(),
+            sub_batch: false,
+            dataset: None,
+            synthetic: "alpaca".into(),
+            n_requests: 64,
+            rate: 4.0,
+            seed: 42,
+            network_json: None,
+            output: "output/llmservingsim".into(),
+            gen_only: false,
+            fast_run: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+llmservingsim — HW/SW co-simulation for LLM inference serving
+
+USAGE:
+  llmservingsim [OPTIONS]
+
+OPTIONS (artifact-compatible):
+  --model NAME          gpt2 | gpt3-7b | gpt3-13b | gpt3-30b | gpt3-175b |
+                        llama-7b | llama-13b | llama-30b        [gpt2]
+  --npu-num N           number of NPU devices                   [16]
+  --max-batch N         max batch size, 0 = unlimited           [0]
+  --batch-delay MS      batching delay in milliseconds          [0]
+  --scheduling S        orca | request                          [orca]
+  --parallel P          tensor | pipeline | hybrid              [hybrid]
+  --npu-group N         NPU groups (pipeline stages) for hybrid [1]
+  --npu-mem GIB         per-NPU memory override in GiB
+  --kv-manage K         vllm | max                              [vllm]
+  --pim-type T          none | local | pool                     [none]
+  --sub-batch           enable NeuPIMs-style sub-batch interleaving
+  --dataset PATH        request trace TSV (input, output, arrival_ms)
+  --synthetic D         sharegpt | alpaca (when no --dataset)   [alpaca]
+  --n-requests N        synthetic request count                 [64]
+  --rate R              synthetic Poisson rate, req/s           [4]
+  --seed N              synthetic trace seed                    [42]
+  --network PATH        NPU hardware config JSON (Table-I default)
+  --output PREFIX       output file prefix       [output/llmservingsim]
+  --gen                 skip the initiation phase (prompts pre-cached)
+  --fast-run            alias of computation reuse (always on unless
+                        --no-reuse)
+  --no-reuse            disable computation-reuse caches
+  -h, --help            show this help
+";
+
+fn parse_args() -> Result<(Options, bool), String> {
+    let mut opts = Options::default();
+    let mut reuse = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--model" => opts.model = value("--model")?,
+            "--npu-num" => {
+                opts.npu_num = value("--npu-num")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-batch" => {
+                opts.max_batch = value("--max-batch")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--batch-delay" => {
+                opts.batch_delay_ms =
+                    value("--batch-delay")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--scheduling" => opts.scheduling = value("--scheduling")?,
+            "--parallel" => opts.parallel = value("--parallel")?,
+            "--npu-group" => {
+                opts.npu_group = value("--npu-group")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--npu-mem" => {
+                opts.npu_mem_gib =
+                    Some(value("--npu-mem")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--kv-manage" => opts.kv_manage = value("--kv-manage")?,
+            "--pim-type" => opts.pim_type = value("--pim-type")?,
+            "--sub-batch" => opts.sub_batch = true,
+            "--dataset" => opts.dataset = Some(value("--dataset")?),
+            "--synthetic" => opts.synthetic = value("--synthetic")?,
+            "--n-requests" => {
+                opts.n_requests =
+                    value("--n-requests")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--rate" => opts.rate = value("--rate")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--network" => opts.network_json = Some(value("--network")?),
+            "--output" => opts.output = value("--output")?,
+            "--gen" => opts.gen_only = true,
+            "--fast-run" => opts.fast_run = true,
+            "--no-reuse" => reuse = false,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok((opts, reuse))
+}
+
+fn build_config(opts: &Options, reuse: bool) -> Result<SimConfig, String> {
+    let model = ModelSpec::by_name(&opts.model)
+        .ok_or_else(|| format!("unknown model '{}'", opts.model))?;
+    let mut cfg = SimConfig::new(model);
+    cfg.npu_num = opts.npu_num;
+    cfg.max_batch = opts.max_batch;
+    cfg.batch_delay_ms = opts.batch_delay_ms;
+    cfg.npu_group = opts.npu_group;
+    cfg.npu_mem_gib = opts.npu_mem_gib;
+    cfg.sub_batch = opts.sub_batch;
+    cfg = cfg.reuse(reuse);
+    cfg.scheduling = match opts.scheduling.as_str() {
+        "orca" => SchedulingPolicy::IterationLevel,
+        "request" => SchedulingPolicy::RequestLevel,
+        other => return Err(format!("unknown scheduling '{other}'")),
+    };
+    cfg.parallel = match opts.parallel.as_str() {
+        "tensor" => ParallelismKind::Tensor,
+        "pipeline" => ParallelismKind::Pipeline,
+        "hybrid" => ParallelismKind::Hybrid,
+        other => return Err(format!("unknown parallelism '{other}'")),
+    };
+    cfg = match opts.kv_manage.as_str() {
+        "vllm" => cfg,
+        "max" => cfg.kv_max_len(),
+        other => return Err(format!("unknown kv_manage '{other}'")),
+    };
+    cfg = match opts.pim_type.as_str() {
+        "none" => cfg,
+        "local" => cfg.pim_local(),
+        "pool" => cfg.pim_pool(opts.npu_num),
+        other => return Err(format!("unknown pim_type '{other}'")),
+    };
+    if let Some(path) = &opts.network_json {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        cfg.npu_config = llmservingsim::npu::NpuConfig::from_json(&json)?;
+    }
+    Ok(cfg)
+}
+
+fn load_trace(opts: &Options) -> Result<Vec<Request>, String> {
+    let mut trace = match &opts.dataset {
+        Some(path) => {
+            let tsv = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            trace_from_tsv(&tsv)?
+        }
+        None => {
+            let dataset = match opts.synthetic.as_str() {
+                "sharegpt" => Dataset::ShareGpt,
+                "alpaca" => Dataset::Alpaca,
+                other => return Err(format!("unknown synthetic dataset '{other}'")),
+            };
+            TraceGenerator::new(dataset, opts.seed)
+                .rate_per_s(opts.rate)
+                .generate(opts.n_requests)
+        }
+    };
+    if opts.gen_only {
+        // The artifact's `gen` flag skips the initiation phase: model the
+        // prompts as already cached by shrinking them to a single token.
+        for r in &mut trace {
+            *r = Request::new(r.id, 1, r.output_len, r.arrival_ps);
+        }
+    }
+    Ok(trace)
+}
+
+fn run() -> Result<(), String> {
+    let (opts, mut reuse) = parse_args()?;
+    if opts.fast_run {
+        reuse = true;
+    }
+    let cfg = build_config(&opts, reuse)?;
+    let trace = load_trace(&opts)?;
+    println!(
+        "llmservingsim: model={} npus={} parallel={:?} pim={:?} requests={}",
+        cfg.model.name,
+        cfg.npu_num,
+        cfg.parallel,
+        cfg.pim_mode,
+        trace.len()
+    );
+
+    let report = ServingSimulator::new(cfg, trace)
+        .map_err(|e| e.to_string())?
+        .run();
+
+    println!("{}", report.summary());
+
+    if let Some(dir) = std::path::Path::new(&opts.output).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    let tput_path = format!("{}-throughput.tsv", opts.output);
+    std::fs::write(&tput_path, report.throughput_tsv(1.0)).map_err(|e| e.to_string())?;
+    let time_path = format!("{}-simulation-time.tsv", opts.output);
+    std::fs::write(&time_path, report.wall.to_tsv()).map_err(|e| e.to_string())?;
+    println!("wrote {tput_path}");
+    println!("wrote {time_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with --help for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

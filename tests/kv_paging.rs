@@ -1,0 +1,62 @@
+//! Integration tests for KV-cache paging under memory pressure.
+
+use llmservingsim::prelude::*;
+
+/// A configuration with deliberately tight device memory so the KV cache
+/// is the binding constraint.
+fn tight(paged: bool) -> SimConfig {
+    let mut c = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+    // ~0.25 GB weights + 1 GiB reserve leaves ~0.2 GiB of KV: enough for
+    // one max-length (2048-token) reservation or ~25 actual sequences.
+    c.npu_mem_gib = Some(1.45);
+    if !paged {
+        c = c.kv_max_len();
+    }
+    c
+}
+
+fn workload(n: usize) -> Vec<Request> {
+    (0..n as u64).map(|i| Request::new(i, 48, 64, 0)).collect()
+}
+
+#[test]
+fn tight_memory_still_completes_everything() {
+    let report = ServingSimulator::new(tight(true), workload(24)).unwrap().run();
+    assert_eq!(report.completions.len(), 24);
+}
+
+#[test]
+fn paged_kv_admits_bigger_batches_than_max_len() {
+    let paged = ServingSimulator::new(tight(true), workload(24)).unwrap().run();
+    let maxlen = ServingSimulator::new(tight(false), workload(24)).unwrap().run();
+    let max_batch = |r: &SimReport| r.iterations.iter().map(|i| i.batch_size).max().unwrap();
+    assert!(
+        max_batch(&paged) > max_batch(&maxlen),
+        "paged {} vs maxlen {}",
+        max_batch(&paged),
+        max_batch(&maxlen)
+    );
+    // And bigger batches translate into earlier finishes.
+    assert!(paged.sim_duration_ps <= maxlen.sim_duration_ps);
+}
+
+#[test]
+fn evictions_and_reloads_appear_under_pressure_and_cost_time() {
+    // Make memory so tight that concurrent growth forces swapping.
+    let mut c = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+    c.npu_mem_gib = Some(1.26);
+    let reqs: Vec<Request> = (0..12).map(|i| Request::new(i, 128, 256, 0)).collect();
+    let report = ServingSimulator::new(c, reqs).unwrap().run();
+    let evictions: usize = report.iterations.iter().map(|i| i.evictions).sum();
+    let reloads: usize = report.iterations.iter().map(|i| i.reloads).sum();
+    assert!(evictions > 0, "expected KV pressure to evict");
+    assert!(reloads > 0, "evicted requests must reload to finish");
+    assert_eq!(report.completions.len(), 12, "everyone finishes eventually");
+}
+
+#[test]
+fn ample_memory_never_swaps() {
+    let config = SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel();
+    let report = ServingSimulator::new(config, workload(16)).unwrap().run();
+    assert!(report.iterations.iter().all(|i| i.evictions == 0 && i.reloads == 0));
+}

@@ -1,0 +1,80 @@
+//! Integration tests for parallelism strategies across the converter and
+//! system simulator.
+
+use llmservingsim::prelude::*;
+
+fn burst(n: usize) -> Vec<Request> {
+    (0..n as u64).map(|i| Request::new(i, 64, 8, 0)).collect()
+}
+
+fn run(config: SimConfig, n: usize) -> SimReport {
+    ServingSimulator::new(config, burst(n)).unwrap().run()
+}
+
+#[test]
+fn all_strategies_complete_the_same_work() {
+    let reports = [
+        run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel(), 8),
+        run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).pipeline_parallel(), 8),
+        run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).hybrid_parallel(2), 8),
+    ];
+    for r in &reports {
+        assert_eq!(r.completions.len(), 8);
+        assert_eq!(r.total_generated_tokens(), 8 * 8);
+    }
+}
+
+#[test]
+fn tensor_parallelism_shortens_iterations() {
+    let tp1 = run(SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel(), 4);
+    let tp4 = run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel(), 4);
+    assert!(tp4.sim_duration_ps < tp1.sim_duration_ps);
+    // Collectives forbid super-linear scaling.
+    assert!(tp4.sim_duration_ps > tp1.sim_duration_ps / 4);
+}
+
+#[test]
+fn pipeline_stages_serialize_within_an_iteration() {
+    // With a single sequence, pipelining cannot beat one node (stage
+    // transfers only add latency).
+    let single = run(SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel(), 1);
+    let pp4 = run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).pipeline_parallel(), 1);
+    assert!(pp4.sim_duration_ps >= single.sim_duration_ps);
+}
+
+#[test]
+fn hybrid_sits_between_pure_strategies_in_comm_volume() {
+    // Count collective events via net_events: TP-heavy configs process
+    // more ring steps than PP-heavy ones at equal node count.
+    let tp = run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel(), 4);
+    let hy = run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).hybrid_parallel(2), 4);
+    let pp = run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).pipeline_parallel(), 4);
+    let events = |r: &SimReport| -> u64 { r.iterations.iter().map(|i| i.net_events).sum() };
+    assert!(events(&tp) > events(&hy), "tp {} vs hybrid {}", events(&tp), events(&hy));
+    assert!(events(&hy) > events(&pp), "hybrid {} vs pp {}", events(&hy), events(&pp));
+}
+
+#[test]
+fn invalid_layouts_are_rejected_cleanly() {
+    // 16 stages for a 12-layer model.
+    let bad = SimConfig::new(ModelSpec::gpt2()).npu_num(16).pipeline_parallel();
+    assert!(ServingSimulator::new(bad, burst(1)).is_err());
+    // Non-dividing hybrid groups.
+    let bad = SimConfig::new(ModelSpec::gpt2()).npu_num(6).hybrid_parallel(4);
+    assert!(ServingSimulator::new(bad, burst(1)).is_err());
+}
+
+#[test]
+fn selective_batching_balances_attention_across_group() {
+    // With selective batching off, every node runs the full attention of
+    // its head shard; makespans should still be close, but the graphs
+    // differ structurally (covered in unit tests). Here: both settings
+    // complete and produce identical token counts.
+    let on = run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel(), 6);
+    let off = run(
+        SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel().selective_batching(false),
+        6,
+    );
+    assert_eq!(on.total_generated_tokens(), off.total_generated_tokens());
+    assert!(on.sim_duration_ps > 0 && off.sim_duration_ps > 0);
+}

@@ -1,0 +1,190 @@
+//! Property-based tests on core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use llmservingsim::core::{DeviceKind, EngineStack};
+use llmservingsim::model::{
+    IterationWorkload, ModelSpec, Op, OpDims, OpKind, Roofline, SeqSlot,
+};
+use llmservingsim::net::{
+    simulate_graph, ExecGraph, ExecPayload, LinkSpec, Topology,
+};
+use llmservingsim::npu::{enumerate_candidates, NpuConfig};
+use llmservingsim::sched::{
+    partition_sub_batches, KvCache, KvCacheConfig, PartitionCriteria, Request, Scheduler,
+    SchedulerConfig,
+};
+
+fn arb_matmul_dims() -> impl Strategy<Value = OpDims> {
+    (1usize..=8, 1usize..=512, 1usize..=512, 1usize..=512)
+        .prop_map(|(b, m, k, n)| OpDims::batched(b, m, k, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FLOPs, bytes and intensity are consistent for any matmul shape.
+    #[test]
+    fn op_cost_model_invariants(dims in arb_matmul_dims()) {
+        let op = Op::new(OpKind::QkvGen, dims, 2);
+        let flops = op.flops();
+        let bytes = op.bytes_total();
+        prop_assert_eq!(
+            flops,
+            2 * dims.batch as u64 * dims.m as u64 * dims.k as u64 * dims.n as u64
+        );
+        prop_assert!(bytes > 0);
+        let ai = op.arithmetic_intensity();
+        prop_assert!(ai > 0.0);
+        prop_assert!((ai - flops as f64 / bytes as f64).abs() < 1e-9);
+    }
+
+    /// Every enumerated tile candidate fits the scratchpad.
+    #[test]
+    fn tile_candidates_respect_sram(
+        m in 1usize..4096,
+        k in 1usize..4096,
+        n in 1usize..4096,
+    ) {
+        let cfg = NpuConfig::table1();
+        let candidates = enumerate_candidates(&cfg, m, k, n, 2);
+        prop_assert!(!candidates.is_empty());
+        for c in candidates {
+            prop_assert!(c.sram_bytes(2) <= cfg.sram_bytes());
+        }
+    }
+
+    /// Engine latencies are positive and monotone in problem size.
+    #[test]
+    fn engine_latency_monotone_in_tokens(m in 16usize..256, scale in 2usize..4) {
+        let mut stack = EngineStack::homogeneous(NpuConfig::table1(), false);
+        let small = Op::new(OpKind::FfnUp, OpDims::matmul(m, 768, 3072), 2);
+        let large = Op::new(OpKind::FfnUp, OpDims::matmul(m * scale, 768, 3072), 2);
+        let a = stack.price(&small, DeviceKind::Npu);
+        let b = stack.price(&large, DeviceKind::Npu);
+        prop_assert!(a > 0);
+        prop_assert!(b > a, "{}x tokens gave {} -> {}", scale, a, b);
+    }
+
+    /// The roofline never exceeds its own peak and achieves it for
+    /// sufficiently dense ops.
+    #[test]
+    fn roofline_bounded_by_peak(intensity in 0.01f64..10_000.0) {
+        let r = Roofline::rtx3090();
+        let f = r.attainable_flops(intensity);
+        prop_assert!(f <= r.peak_flops * (1.0 + 1e-12));
+        prop_assert!(f > 0.0);
+    }
+
+    /// Sub-batch partitioning is a permutation of the input slots.
+    #[test]
+    fn partition_is_permutation(
+        n in 1usize..40,
+        k in 1usize..6,
+        mem in proptest::bool::ANY,
+    ) {
+        let slots: Vec<SeqSlot> =
+            (0..n as u64).map(|i| SeqSlot::decode(i, 10 + (i as usize * 37) % 500)).collect();
+        let criteria =
+            if mem { PartitionCriteria::MemoryAccess } else { PartitionCriteria::ComputeLoad };
+        let parts = partition_sub_batches(&slots, k, criteria);
+        let mut ids: Vec<u64> = parts.iter().flatten().map(|s| s.request).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n as u64).collect::<Vec<_>>());
+        prop_assert!(parts.len() <= k);
+    }
+
+    /// The scheduler always drains every request, the clock is monotone,
+    /// and KV pages never leak.
+    #[test]
+    fn scheduler_always_drains(
+        seed in 0u64..1000,
+        n in 1usize..24,
+        pages in 8usize..64,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let reqs: Vec<Request> = (0..n as u64)
+            .map(|i| {
+                Request::new(
+                    i,
+                    rng.gen_range(1..100),
+                    rng.gen_range(1..40),
+                    rng.gen_range(0..1_000_000u64),
+                )
+            })
+            .collect();
+        let kv = KvCache::new(KvCacheConfig::paged(pages as u64 * 16 * 64, 64));
+        // Guarantee the largest request fits alone, else admission stalls.
+        prop_assume!(reqs.iter().all(|r| r.max_kv_tokens() <= pages * 16));
+        let mut s = Scheduler::new(SchedulerConfig::default(), kv, reqs);
+        let mut last_clock = 0;
+        let mut guard = 0;
+        while let Some(batch) = s.next_batch() {
+            prop_assert!(!batch.slots.is_empty());
+            s.complete_iteration(1_000);
+            prop_assert!(s.clock_ps() > last_clock);
+            last_clock = s.clock_ps();
+            guard += 1;
+            prop_assert!(guard < 20_000, "scheduler failed to converge");
+        }
+        prop_assert_eq!(s.completions().len(), n);
+        prop_assert_eq!(s.kv().used_pages(), 0, "KV pages leaked");
+    }
+
+    /// Random DAGs execute with a makespan bounded below by the busiest
+    /// node and above by total serialization.
+    #[test]
+    fn graph_simulation_bounds(
+        seed in 0u64..500,
+        n_ops in 1usize..60,
+        n_nodes in 1usize..6,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = Topology::flat_npus(n_nodes, LinkSpec::pcie4_x16());
+        let mut g = ExecGraph::new();
+        for i in 0..n_ops {
+            let node = rng.gen_range(0..n_nodes);
+            let deps: Vec<usize> = if i > 0 && rng.gen_bool(0.7) {
+                vec![rng.gen_range(0..i)]
+            } else {
+                vec![]
+            };
+            g.add(node, ExecPayload::Compute { ps: rng.gen_range(1..10_000) }, &deps, "op");
+        }
+        let out = simulate_graph(&g, &topo).unwrap();
+        let busiest = out.node_busy_ps.iter().max().copied().unwrap_or(0);
+        prop_assert!(out.makespan_ps >= busiest);
+        prop_assert!(out.makespan_ps <= g.total_compute_ps());
+        prop_assert!(out.utilization() <= 1.0 + 1e-9);
+    }
+
+    /// Iteration workloads conserve token counts for arbitrary batches.
+    #[test]
+    fn workload_token_conservation(
+        prefills in proptest::collection::vec(1usize..200, 0..5),
+        decodes in proptest::collection::vec(1usize..500, 0..5),
+    ) {
+        prop_assume!(!prefills.is_empty() || !decodes.is_empty());
+        let mut slots = Vec::new();
+        let mut id = 0u64;
+        for &p in &prefills {
+            slots.push(SeqSlot::prefill(id, p));
+            id += 1;
+        }
+        for &d in &decodes {
+            slots.push(SeqSlot::decode(id, d));
+            id += 1;
+        }
+        let w = IterationWorkload::build(&ModelSpec::gpt2(), &slots);
+        prop_assert_eq!(w.prompt_tokens(), prefills.iter().sum::<usize>());
+        // Every sequence emits one token per iteration.
+        prop_assert_eq!(w.generated_tokens(), prefills.len() + decodes.len());
+        prop_assert_eq!(
+            w.new_tokens_total(),
+            prefills.iter().sum::<usize>() + decodes.len()
+        );
+        prop_assert!(w.total_flops() > 0);
+    }
+}
