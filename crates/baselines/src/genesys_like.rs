@@ -36,11 +36,7 @@ pub fn simulate_iteration(config: &NpuConfig, workload: &IterationWorkload) -> B
 }
 
 /// Compiles and quantum-steps a single operator.
-pub fn simulate_op(
-    compiler: &NpuCompiler,
-    config: &NpuConfig,
-    op: &Op,
-) -> (u64, u64, u64) {
+pub fn simulate_op(compiler: &NpuCompiler, config: &NpuConfig, op: &Op) -> (u64, u64, u64) {
     // Full compile: the tile search runs for every op instance.
     let codelet = compiler.compile(op);
     let result = simulate_codelet(config, &codelet);
@@ -79,8 +75,10 @@ mod tests {
     #[test]
     fn bigger_batch_means_more_steps() {
         let cfg = NpuConfig::table1();
-        let small = simulate_iteration(&cfg, &uniform_prefill_workload(&ModelSpec::gpt2(), 1, 32));
-        let large = simulate_iteration(&cfg, &uniform_prefill_workload(&ModelSpec::gpt2(), 4, 32));
+        let small =
+            simulate_iteration(&cfg, &uniform_prefill_workload(&ModelSpec::gpt2(), 1, 32));
+        let large =
+            simulate_iteration(&cfg, &uniform_prefill_workload(&ModelSpec::gpt2(), 4, 32));
         assert!(large.steps > 2 * small.steps);
     }
 }

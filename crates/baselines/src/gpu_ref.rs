@@ -85,8 +85,7 @@ pub fn iteration_latency_ps(
                 kernels_per_block += 1.0 / workload.slots().len().max(1) as f64;
                 if op.phase == Phase::Generation {
                     let kv = op.dims.n; // cached tokens
-                    let bytes =
-                        (2 * kv * spec.d_model * spec.elem_bytes) as f64 / n;
+                    let bytes = (2 * kv * spec.d_model * spec.elem_bytes) as f64 / n;
                     block_s += bytes / cfg.eff_bw();
                 } else {
                     // 2 * (score + attend) flops, counted on Score only.

@@ -96,10 +96,8 @@ pub fn simulate_iteration(config: &NpuConfig, workload: &IterationWorkload) -> B
             steps += 1;
             line += 1;
         }
-        checksum = checksum
-            .wrapping_add(op_cycles)
-            .wrapping_add(codelet.est_cycles)
-            .rotate_left(11);
+        checksum =
+            checksum.wrapping_add(op_cycles).wrapping_add(codelet.est_cycles).rotate_left(11);
         // Arbitration: cores share the DRAM channel; contention stretches
         // the op by the serialized access time across cores.
         cycles += codelet.est_cycles.max(op_cycles / CORES as u64);

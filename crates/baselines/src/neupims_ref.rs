@@ -66,9 +66,8 @@ pub fn iteration_latency_ps(
     let mut npu_s = 0.0f64;
     let mut pim_s = 0.0f64;
     for op in workload.block_ops() {
-        let is_pim_op = op.kind.is_attention()
-            && op.kind.is_matmul()
-            && op.phase == Phase::Generation;
+        let is_pim_op =
+            op.kind.is_attention() && op.kind.is_matmul() && op.phase == Phase::Generation;
         if is_pim_op {
             pim_s += op.bytes_total() as f64 / tp / pim_bw;
         } else if op.kind == OpKind::Softmax && op.phase == Phase::Generation {

@@ -1,0 +1,40 @@
+//! Cluster-simulator bench: multi-replica virtual-time interleaving cost
+//! under round-robin vs load-aware routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llmss_cluster::{
+    bursty_trace, BurstyTraceSpec, ClusterConfig, ClusterSimulator, RoutingPolicyKind,
+};
+use llmss_core::SimConfig;
+use llmss_model::ModelSpec;
+
+fn bench_cluster(c: &mut Criterion) {
+    let spec = BurstyTraceSpec { bursts: 4, burst_size: 16, ..BurstyTraceSpec::default() };
+    let trace = bursty_trace(&spec);
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in [RoutingPolicyKind::RoundRobin, RoutingPolicyKind::PowerOfTwoChoices] {
+        for replicas in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.as_str(), replicas),
+                &replicas,
+                |b, &replicas| {
+                    b.iter(|| {
+                        let config =
+                            SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+                        let cluster = ClusterConfig::new(replicas).routing(kind).seed(3);
+                        ClusterSimulator::new(config, cluster, trace.clone())
+                            .expect("valid config")
+                            .run()
+                            .total_completions()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -3,9 +3,7 @@
 //! simulate at scale).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use llmss_net::{
-    simulate_graph, CollectiveKind, ExecGraph, ExecPayload, LinkSpec, Topology,
-};
+use llmss_net::{simulate_graph, CollectiveKind, ExecGraph, ExecPayload, LinkSpec, Topology};
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("ring_allreduce");

@@ -14,8 +14,7 @@ fn bench_sched(c: &mut Criterion) {
             let trace =
                 TraceGenerator::new(Dataset::Alpaca, 5).rate_per_s(1_000.0).generate(64);
             b.iter(|| {
-                let kv =
-                    KvCache::new(KvCacheConfig::paged(pages as u64 * 16 * 1024, 1024));
+                let kv = KvCache::new(KvCacheConfig::paged(pages as u64 * 16 * 1024, 1024));
                 let mut s = Scheduler::new(SchedulerConfig::default(), kv, trace.clone());
                 let mut iters = 0u64;
                 while let Some(_b) = s.next_batch() {

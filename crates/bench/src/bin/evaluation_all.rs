@@ -7,8 +7,7 @@ use std::process::Command;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let bins =
-        ["table1", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10"];
+    let bins = ["table1", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9", "fig10"];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
 

@@ -23,10 +23,17 @@ fn main() {
         vec![ModelSpec::gpt3_7b(), ModelSpec::gpt3_30b(), ModelSpec::gpt3_175b()]
     };
 
-    println!("Figure 10 — simulation time vs #NPUs (TP only, no reuse, batch {batch}, seq {seq})\n");
-    println!("{:<12} {:>7} {:>12} {:>12} {:>12}", "model", "npus", "total(s)", "graph_ops", "events");
+    println!(
+        "Figure 10 — simulation time vs #NPUs (TP only, no reuse, batch {batch}, seq {seq})\n"
+    );
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>12}",
+        "model", "npus", "total(s)", "graph_ops", "events"
+    );
 
-    let mut tsv = String::from("model\tnpus\ttotal_s\tengine_s\tconverter_s\tastra_sim_s\tgraph_ops\tevents\n");
+    let mut tsv = String::from(
+        "model\tnpus\ttotal_s\tengine_s\tconverter_s\tastra_sim_s\tgraph_ops\tevents\n",
+    );
     for spec in &models {
         let mut prev: Option<(usize, f64)> = None;
         for &n in &sweep {
@@ -50,11 +57,7 @@ fn main() {
             if let Some((pn, pt)) = prev {
                 // Growth sanity: doubling NPUs must not shrink work.
                 let scale = n as f64 / pn as f64;
-                assert!(
-                    total > pt / 2.0,
-                    "{}: time collapsed going {pn}->{n} NPUs",
-                    spec.name
-                );
+                assert!(total > pt / 2.0, "{}: time collapsed going {pn}->{n} NPUs", spec.name);
                 let _ = scale;
             }
             prev = Some((n, total));

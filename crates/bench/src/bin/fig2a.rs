@@ -17,7 +17,10 @@ fn main() {
     let npu = NpuConfig::table1();
     let pim = PimConfig::table1();
 
-    println!("Figure 2(a) — one-iteration simulation time, {} (batch {batch}, seq {seq})\n", spec.name);
+    println!(
+        "Figure 2(a) — one-iteration simulation time, {} (batch {batch}, seq {seq})\n",
+        spec.name
+    );
     let m = mnpusim_like::simulate_iteration(&npu, &w);
     let g = genesys_like::simulate_iteration(&npu, &w);
     let n = neupims_like::simulate_iteration(&npu, &pim, &w);

@@ -66,10 +66,7 @@ fn main() {
             .find(|l| l.starts_with(phase) && l.contains(op))
             .unwrap_or_else(|| panic!("missing {phase}/{op}"));
         let is_mem = row.ends_with("true");
-        assert_eq!(
-            is_mem, expect_mem,
-            "{phase}/{op}: expected memory_bound={expect_mem}"
-        );
+        assert_eq!(is_mem, expect_mem, "{phase}/{op}: expected memory_bound={expect_mem}");
     };
     check(&tsv, "initiation", "layernorm", true);
     check(&tsv, "initiation", "qkv_gen", false);

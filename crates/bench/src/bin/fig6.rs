@@ -38,7 +38,8 @@ fn main() {
     );
 
     let dir = eval_dir("fig6");
-    let mut summary = String::from("model\ttp\tref_gen_tps\tsim_gen_tps\tprompt_mape\tgen_mape\tavg_mape\n");
+    let mut summary =
+        String::from("model\ttp\tref_gen_tps\tsim_gen_tps\tprompt_mape\tgen_mape\tavg_mape\n");
     let mut errors = Vec::new();
     for (spec, tp, rate) in &panels {
         let trace =
@@ -46,9 +47,8 @@ fn main() {
 
         let reference = run_gpu_reference(&GpuRefConfig::rtx3090(*tp), spec, trace.clone());
         let config = SimConfig::new(spec.clone()).npu_num(*tp).tensor_parallel();
-        let sim = ServingSimulator::new(config, trace)
-            .expect("valid figure-6 configuration")
-            .run();
+        let sim =
+            ServingSimulator::new(config, trace).expect("valid figure-6 configuration").run();
 
         let (rp, mp, rg, mg) = aligned_throughput(&reference, &sim, bin_s);
         let prompt_err = mape(&rp, &mp);
@@ -81,7 +81,8 @@ fn main() {
         ));
 
         // Per-panel time series (the artifact's *-throughput.tsv shape).
-        let mut series = String::from("time_s\tref_prompt_tps\tsim_prompt_tps\tref_gen_tps\tsim_gen_tps\n");
+        let mut series =
+            String::from("time_s\tref_prompt_tps\tsim_prompt_tps\tref_gen_tps\tsim_gen_tps\n");
         for i in 0..rp.len() {
             series.push_str(&format!(
                 "{:.1}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\n",

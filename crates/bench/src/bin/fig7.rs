@@ -41,8 +41,7 @@ fn main() {
     let mut tsv = String::from("model\ttp\tpp\tneupims_tps\tllmservingsim_tps\terror\n");
     let mut errors = Vec::new();
     for (spec, tp, pp) in &configs {
-        let trace =
-            TraceGenerator::new(Dataset::Alpaca, 69).generate_burst(n_requests);
+        let trace = TraceGenerator::new(Dataset::Alpaca, 69).generate_burst(n_requests);
         let n_devices = tp * pp;
 
         let ref_cfg = NeuPimsRefConfig::table1(*tp, *pp);
@@ -54,22 +53,17 @@ fn main() {
         // that attention at PIM speed, which is what NeuPIMs' sub-batch
         // interleaving achieves inside the device; graph-level sub-batch
         // splitting (a pool-mode technique) would only re-stream weights.
-        let mut config = SimConfig::new(spec.clone())
-            .npu_num(n_devices)
-            .hybrid_parallel(*pp)
-            .pim_local();
+        let mut config =
+            SimConfig::new(spec.clone()).npu_num(n_devices).hybrid_parallel(*pp).pim_local();
         // Match the reference's per-device memory (NPU + attached PIM).
-        config.npu_mem_gib = Some(
-            config.npu_config.mem_capacity_gib + config.pim_config.mem_capacity_gib,
-        );
-        let sim = ServingSimulator::new(config, trace)
-            .expect("valid figure-7 configuration")
-            .run();
+        config.npu_mem_gib =
+            Some(config.npu_config.mem_capacity_gib + config.pim_config.mem_capacity_gib);
+        let sim =
+            ServingSimulator::new(config, trace).expect("valid figure-7 configuration").run();
 
         // Total token throughput (prompt + generated) per second.
         let tput = |r: &llmss_core::SimReport| {
-            (r.total_prompt_tokens() + r.total_generated_tokens()) as f64
-                / r.sim_duration_s()
+            (r.total_prompt_tokens() + r.total_generated_tokens()) as f64 / r.sim_duration_s()
         };
         let ref_tps = tput(&reference);
         let sim_tps = tput(&sim);

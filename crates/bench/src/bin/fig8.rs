@@ -33,7 +33,14 @@ fn main() {
     println!("Figure 8 — one-iteration simulation time (batch {batch}, seq {seq})\n");
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>14} {:>9} {:>9} {:>9}",
-        "model", "mNPUsim(s)", "GeneSys(s)", "NeuPIMs(s)", "LLMSS(s)", "x_mnpu", "x_gene", "x_neup"
+        "model",
+        "mNPUsim(s)",
+        "GeneSys(s)",
+        "NeuPIMs(s)",
+        "LLMSS(s)",
+        "x_mnpu",
+        "x_gene",
+        "x_neup"
     );
 
     let mut tsv =
@@ -46,8 +53,7 @@ fn main() {
         let n = neupims_like::simulate_iteration(&npu, &pim, &w);
         let ours = run_single_iteration(spec, 1, 1, batch, seq, true);
         let ours_s = ours.wall.total().as_secs_f64();
-        let (ms, gs, ns) =
-            (m.wall.as_secs_f64(), g.wall.as_secs_f64(), n.wall.as_secs_f64());
+        let (ms, gs, ns) = (m.wall.as_secs_f64(), g.wall.as_secs_f64(), n.wall.as_secs_f64());
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>14.4} {:>8.1}x {:>8.1}x {:>8.1}x",
             spec.name,

@@ -20,10 +20,7 @@ fn main() {
         vec![(64, 1), (16, 4), (8, 8), (4, 16), (1, 64)]
     };
 
-    println!(
-        "Figure 9 — breakdown w/ and w/o reuse, {} batch {batch} seq {seq}\n",
-        spec.name
-    );
+    println!("Figure 9 — breakdown w/ and w/o reuse, {} batch {batch} seq {seq}\n", spec.name);
     println!(
         "{:<10} {:>6} {:>11} {:>11} {:>11} {:>11} {:>9}",
         "config", "reuse", "engine(s)", "convert(s)", "astra(s)", "total(s)", "speedup"
@@ -42,8 +39,7 @@ fn main() {
             with.sim_latency_ps, without.sim_latency_ps,
             "{label}: reuse changed the simulation result"
         );
-        let speedup =
-            without.wall.total().as_secs_f64() / with.wall.total().as_secs_f64();
+        let speedup = without.wall.total().as_secs_f64() / with.wall.total().as_secs_f64();
         speedups.push(speedup);
         for (tag, r) in [("no", &without), ("yes", &with)] {
             println!(

@@ -9,8 +9,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use llmss_core::{
-    EngineStack, GraphConverter, ParallelismSpec, PimMode, ReuseStats, SimReport,
-    WallBreakdown,
+    EngineStack, GraphConverter, ParallelismSpec, PimMode, ReuseStats, SimReport, WallBreakdown,
 };
 use llmss_model::{ModelSpec, SeqSlot};
 use llmss_net::{simulate_graph, LinkSpec, TimePs, Topology};

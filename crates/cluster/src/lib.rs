@@ -1,0 +1,57 @@
+//! Cluster-scale serving: a fleet of LLMServingSim replicas behind a
+//! front-end router.
+//!
+//! The original paper simulates one serving cluster; production traffic is
+//! served by *many* replicas of that cluster behind a load-balancing
+//! router (the direction LLMServingSim 2.0 and TokenSim explore). This
+//! crate adds that layer on top of `llmss-core`:
+//!
+//! * [`ClusterSimulator`] owns N independent [`ServingSimulator`]
+//!   replicas and advances them in virtual time with a min-heap event
+//!   loop, injecting each trace request into a replica chosen by the
+//!   router at its arrival time (online request injection — replicas
+//!   never see the future of the trace).
+//! * [`RoutingPolicy`] is the pluggable router: round-robin,
+//!   least-outstanding-requests, least-KV-load, and power-of-two-choices
+//!   ship built in ([`RoutingPolicyKind`]).
+//! * [`ClusterReport`] aggregates cluster-level SLO metrics — p50/p95/p99
+//!   TTFT, TPOT and end-to-end latency, per-replica utilization, and
+//!   load-imbalance statistics.
+//!
+//! # Examples
+//!
+//! Serve a ShareGPT-like trace on a 4-replica cluster with
+//! power-of-two-choices routing:
+//!
+//! ```
+//! use llmss_cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
+//! use llmss_core::SimConfig;
+//! use llmss_model::ModelSpec;
+//! use llmss_sched::{Dataset, TraceGenerator};
+//!
+//! let replica = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+//! let cluster = ClusterConfig::new(4).routing(RoutingPolicyKind::PowerOfTwoChoices);
+//! let trace = TraceGenerator::new(Dataset::ShareGpt, 42).rate_per_s(40.0).generate(32);
+//! let report = ClusterSimulator::new(replica, cluster, trace)?.run();
+//! assert_eq!(report.total_completions(), 32);
+//! println!("{}", report.summary());
+//! # Ok::<(), llmss_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod report;
+mod route;
+mod sim;
+mod trace;
+
+pub use report::{ClusterReport, ReplicaStats};
+pub use route::{
+    LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReplicaSnapshot, RoundRobin,
+    RoutingPolicy, RoutingPolicyKind,
+};
+pub use sim::{ClusterConfig, ClusterSimulator};
+pub use trace::{bursty_trace, BurstyTraceSpec};
+
+pub use llmss_core::ServingSimulator;

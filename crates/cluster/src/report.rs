@@ -1,0 +1,308 @@
+//! Cluster-level results: SLO percentiles, per-replica utilization, and
+//! load-imbalance statistics.
+
+use llmss_core::{percentiles_from_ps, PercentileSummary, SimReport};
+use llmss_sched::{Completion, TimePs};
+
+/// Per-replica aggregate statistics derived from its [`SimReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaStats {
+    /// Replica index.
+    pub replica: usize,
+    /// Requests the router assigned to this replica.
+    pub routed_requests: usize,
+    /// Requests it finished.
+    pub completions: usize,
+    /// Serving iterations it ran.
+    pub iterations: usize,
+    /// Simulated time spent executing iterations.
+    pub busy_ps: TimePs,
+    /// The replica's final clock.
+    pub final_clock_ps: TimePs,
+    /// Prompt tokens processed.
+    pub prompt_tokens: u64,
+    /// Tokens generated.
+    pub generated_tokens: u64,
+}
+
+impl ReplicaStats {
+    /// Fraction of the cluster makespan this replica spent executing
+    /// iterations (`0.0` for an empty makespan).
+    pub fn utilization(&self, makespan_ps: TimePs) -> f64 {
+        if makespan_ps == 0 {
+            return 0.0;
+        }
+        self.busy_ps as f64 / makespan_ps as f64
+    }
+}
+
+/// The aggregated result of one cluster simulation.
+///
+/// Wraps the per-replica [`SimReport`]s and derives the cluster-level
+/// view: merged completions, SLO percentiles (via the shared
+/// [`percentiles_from_ps`] helpers), utilization, and imbalance.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Name of the routing policy that produced this run.
+    pub policy: String,
+    /// One full serving report per replica, by replica index.
+    pub replica_reports: Vec<SimReport>,
+    /// `(request id, replica index)` in routing order.
+    pub assignments: Vec<(u64, usize)>,
+    routed: Vec<usize>,
+    makespan_ps: TimePs,
+}
+
+impl ClusterReport {
+    /// Assembles a report from per-replica results.
+    pub(crate) fn new(
+        policy: String,
+        replica_reports: Vec<SimReport>,
+        routed: Vec<usize>,
+        assignments: Vec<(u64, usize)>,
+    ) -> Self {
+        let makespan_ps = replica_reports.iter().map(|r| r.sim_duration_ps).max().unwrap_or(0);
+        Self { policy, replica_reports, assignments, routed, makespan_ps }
+    }
+
+    /// Cluster makespan: the latest replica clock (simulated time until
+    /// the last request finished anywhere).
+    pub fn makespan_ps(&self) -> TimePs {
+        self.makespan_ps
+    }
+
+    /// Cluster makespan in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_ps as f64 / 1e12
+    }
+
+    /// All completions across replicas.
+    pub fn completions(&self) -> impl Iterator<Item = &Completion> {
+        self.replica_reports.iter().flat_map(|r| r.completions.iter())
+    }
+
+    /// Total requests finished cluster-wide.
+    pub fn total_completions(&self) -> usize {
+        self.replica_reports.iter().map(|r| r.completions.len()).sum()
+    }
+
+    /// Cluster-wide generation throughput (tokens per simulated second).
+    pub fn generation_throughput(&self) -> f64 {
+        let s = self.makespan_s();
+        if s == 0.0 {
+            return 0.0;
+        }
+        let tokens: u64 =
+            self.replica_reports.iter().map(SimReport::total_generated_tokens).sum();
+        tokens as f64 / s
+    }
+
+    /// p50/p95/p99 time to first token, cluster-wide.
+    pub fn ttft_percentiles(&self) -> PercentileSummary {
+        percentiles_from_ps(self.completions().map(|c| c.ttft_ps() as f64))
+    }
+
+    /// p50/p95/p99 time per output token, cluster-wide (single-token
+    /// requests excluded, matching [`SimReport::tpot_percentiles`]).
+    pub fn tpot_percentiles(&self) -> PercentileSummary {
+        percentiles_from_ps(
+            self.completions().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
+        )
+    }
+
+    /// p50/p95/p99 end-to-end request latency, cluster-wide.
+    pub fn latency_percentiles(&self) -> PercentileSummary {
+        percentiles_from_ps(self.completions().map(|c| c.latency_ps() as f64))
+    }
+
+    /// Per-replica statistics, by replica index.
+    pub fn per_replica(&self) -> Vec<ReplicaStats> {
+        self.replica_reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ReplicaStats {
+                replica: i,
+                routed_requests: self.routed.get(i).copied().unwrap_or(0),
+                completions: r.completions.len(),
+                iterations: r.iterations.len(),
+                busy_ps: r.iterations.iter().map(|it| it.latency_ps).sum(),
+                final_clock_ps: r.sim_duration_ps,
+                prompt_tokens: r.total_prompt_tokens(),
+                generated_tokens: r.total_generated_tokens(),
+            })
+            .collect()
+    }
+
+    /// Load imbalance as max/mean routed requests per replica (`1.0` is
+    /// perfectly balanced; only meaningful once requests were routed).
+    pub fn load_imbalance(&self) -> f64 {
+        let max = self.routed.iter().copied().max().unwrap_or(0);
+        let total: usize = self.routed.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.routed.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Coefficient of variation (stddev/mean) of per-replica busy time —
+    /// `0.0` when every replica worked equally long.
+    pub fn utilization_imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .replica_reports
+            .iter()
+            .map(|r| r.iterations.iter().map(|it| it.latency_ps as f64).sum())
+            .collect();
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = busy.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / busy.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// One-paragraph human summary (the cluster analog of
+    /// [`SimReport::summary`]).
+    pub fn summary(&self) -> String {
+        let ttft = self.ttft_percentiles();
+        let tpot = self.tpot_percentiles();
+        let latency = self.latency_percentiles();
+        format!(
+            "cluster policy={} replicas={} requests={} makespan={:.2}s \
+             gen_tput={:.1} tok/s ttft[{ttft}] tpot[{tpot}] latency[{latency}] \
+             imbalance={:.2} util_cv={:.3}",
+            self.policy,
+            self.replica_reports.len(),
+            self.total_completions(),
+            self.makespan_s(),
+            self.generation_throughput(),
+            self.load_imbalance(),
+            self.utilization_imbalance(),
+        )
+    }
+
+    /// Per-replica TSV (the CLI's `{output}-cluster.tsv`): one row per
+    /// replica plus a `cluster` totals row carrying the SLO percentiles.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "replica\trouted\tcompleted\titerations\tbusy_s\tutilization\
+             \tprompt_tok\tgen_tok\tttft_p50\tttft_p95\tttft_p99\
+             \tlat_p50\tlat_p95\tlat_p99\n",
+        );
+        let makespan = self.makespan_ps();
+        let per_replica = self.per_replica();
+        for (stats, report) in per_replica.iter().zip(&self.replica_reports) {
+            let ttft = report.ttft_percentiles();
+            let lat = report.latency_percentiles();
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\n",
+                stats.replica,
+                stats.routed_requests,
+                stats.completions,
+                stats.iterations,
+                stats.busy_ps as f64 / 1e12,
+                stats.utilization(makespan),
+                stats.prompt_tokens,
+                stats.generated_tokens,
+                ttft.to_tsv_fields(),
+                lat.to_tsv_fields(),
+            ));
+        }
+        let ttft = self.ttft_percentiles();
+        let lat = self.latency_percentiles();
+        out.push_str(&format!(
+            "cluster\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\n",
+            self.assignments.len(),
+            self.total_completions(),
+            per_replica.iter().map(|s| s.iterations).sum::<usize>(),
+            per_replica.iter().map(|s| s.busy_ps).sum::<TimePs>() as f64 / 1e12,
+            // Mean, not sum: a fleet-level utilization above 1.0 would
+            // read as nonsense in the totals row.
+            per_replica.iter().map(|s| s.utilization(makespan)).sum::<f64>()
+                / per_replica.len().max(1) as f64,
+            per_replica.iter().map(|s| s.prompt_tokens).sum::<u64>(),
+            per_replica.iter().map(|s| s.generated_tokens).sum::<u64>(),
+            ttft.to_tsv_fields(),
+            lat.to_tsv_fields(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_core::{ReuseStats, WallBreakdown};
+    use llmss_sched::Completion;
+
+    fn completion(id: u64, arrival: TimePs, first: TimePs, finish: TimePs) -> Completion {
+        Completion {
+            id,
+            arrival_ps: arrival,
+            first_token_ps: first,
+            finish_ps: finish,
+            input_len: 16,
+            output_len: 4,
+        }
+    }
+
+    fn report_with(completions: Vec<Completion>, duration: TimePs) -> SimReport {
+        SimReport {
+            iterations: Vec::new(),
+            completions,
+            wall: WallBreakdown::default(),
+            reuse: ReuseStats::default(),
+            sim_duration_ps: duration,
+        }
+    }
+
+    fn two_replica_report() -> ClusterReport {
+        ClusterReport::new(
+            "round-robin".into(),
+            vec![
+                report_with(
+                    vec![completion(0, 0, 1_000, 5_000), completion(2, 0, 2_000, 9_000)],
+                    9_000,
+                ),
+                report_with(vec![completion(1, 0, 4_000, 6_000)], 6_000),
+            ],
+            vec![2, 1],
+            vec![(0, 0), (1, 1), (2, 0)],
+        )
+    }
+
+    #[test]
+    fn makespan_is_latest_replica_clock() {
+        let r = two_replica_report();
+        assert_eq!(r.makespan_ps(), 9_000);
+        assert_eq!(r.total_completions(), 3);
+    }
+
+    #[test]
+    fn ttft_percentiles_merge_replicas() {
+        let r = two_replica_report();
+        // TTFTs: 1000, 2000, 4000 ps → p50 = 2000 ps.
+        assert!((r.ttft_percentiles().p50_s - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn load_imbalance_of_uneven_split() {
+        let r = two_replica_report();
+        // routed = [2, 1]: max 2 / mean 1.5.
+        assert!((r.load_imbalance() - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_has_per_replica_and_cluster_rows() {
+        let tsv = two_replica_report().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 4, "{tsv}"); // header + 2 replicas + cluster
+        assert!(lines[0].starts_with("replica\t"));
+        assert!(lines[3].starts_with("cluster\t"));
+    }
+
+    #[test]
+    fn summary_names_the_policy() {
+        assert!(two_replica_report().summary().contains("round-robin"));
+    }
+}

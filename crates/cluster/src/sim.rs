@@ -1,0 +1,321 @@
+//! The cluster simulator: N serving replicas interleaved in virtual time
+//! behind a routing front-end.
+//!
+//! Each replica is a complete [`ServingSimulator`] (scheduler → engine
+//! stack → graph converter → network DES) with its own clock. The cluster
+//! advances whichever event is earliest in *virtual* time:
+//!
+//! * **request arrival** — the router inspects replica load snapshots and
+//!   injects the request into the chosen replica
+//!   ([`ServingSimulator::push_request`]);
+//! * **replica iteration** — the replica with the smallest
+//!   [`next_ready_ps`](ServingSimulator::next_ready_ps) runs one
+//!   iteration of its serving loop.
+//!
+//! Replica ready-times live in a min-heap with lazy invalidation: every
+//! mutation bumps the replica's stamp and pushes a fresh entry; stale
+//! entries are discarded on pop. Routing happens strictly in arrival
+//! order, and never after a replica was stepped past the arrival — so a
+//! request can join, at most, after the iteration that was already in
+//! flight at its arrival instant, exactly like a real front-end queue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use llmss_core::{ConfigError, ServingSimulator, SimConfig};
+use llmss_sched::{Request, TimePs};
+
+use crate::{ClusterReport, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind};
+
+/// Cluster-level configuration: fleet size and routing.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_cluster::{ClusterConfig, RoutingPolicyKind};
+///
+/// let cfg = ClusterConfig::new(8)
+///     .routing(RoutingPolicyKind::LeastOutstanding)
+///     .seed(7);
+/// assert_eq!(cfg.replicas, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of serving replicas (≥ 1).
+    pub replicas: usize,
+    /// Routing policy for the front-end.
+    pub routing: RoutingPolicyKind,
+    /// Seed for randomized routing policies (power-of-two-choices).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A cluster of `replicas` replicas with round-robin routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        Self { replicas, routing: RoutingPolicyKind::RoundRobin, seed: 0 }
+    }
+
+    /// Sets the routing policy.
+    pub fn routing(mut self, routing: RoutingPolicyKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the routing seed (power-of-two-choices sampling).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A fleet of serving replicas behind a router, advanced in virtual time.
+#[derive(Debug)]
+pub struct ClusterSimulator {
+    replicas: Vec<ServingSimulator>,
+    router: Box<dyn RoutingPolicy>,
+    /// Global arrival stream, earliest first (online injection source).
+    arrivals: VecDeque<Request>,
+    /// `(request id, replica index)` in routing order.
+    assignments: Vec<(u64, usize)>,
+    /// Per-replica routed-request counters.
+    routed: Vec<usize>,
+    /// Min-heap of `(ready time, replica, stamp)` with lazy invalidation.
+    heap: BinaryHeap<Reverse<(TimePs, usize, u64)>>,
+    /// Latest stamp per replica; heap entries with older stamps are stale.
+    stamps: Vec<u64>,
+    stamp_counter: u64,
+}
+
+impl ClusterSimulator {
+    /// Builds a cluster of identical replicas from one replica
+    /// configuration and a global request trace.
+    ///
+    /// The trace is *not* pre-partitioned: requests are injected online,
+    /// at their arrival times, into the replica the router picks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the replica configuration cannot be
+    /// realized (invalid parallelism, model does not fit, ...).
+    pub fn new(
+        replica_config: SimConfig,
+        cluster: ClusterConfig,
+        mut trace: Vec<Request>,
+    ) -> Result<Self, ConfigError> {
+        let mut replicas = Vec::with_capacity(cluster.replicas);
+        for _ in 0..cluster.replicas {
+            replicas.push(ServingSimulator::new(replica_config.clone(), Vec::new())?);
+        }
+        trace.sort_by_key(|r| (r.arrival_ps, r.id));
+        Ok(Self {
+            router: cluster.routing.build(cluster.seed),
+            routed: vec![0; cluster.replicas],
+            stamps: vec![0; cluster.replicas],
+            replicas,
+            arrivals: trace.into(),
+            assignments: Vec::new(),
+            heap: BinaryHeap::new(),
+            stamp_counter: 0,
+        })
+    }
+
+    /// The routing policy driving this cluster.
+    pub fn policy_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// The replicas (for inspection between steps).
+    pub fn replicas(&self) -> &[ServingSimulator] {
+        &self.replicas
+    }
+
+    /// `(request id, replica)` assignments made so far, in routing order.
+    pub fn assignments(&self) -> &[(u64, usize)] {
+        &self.assignments
+    }
+
+    fn snapshot(&self, index: usize) -> ReplicaSnapshot {
+        let sched = self.replicas[index].scheduler();
+        ReplicaSnapshot {
+            index,
+            clock_ps: sched.clock_ps(),
+            outstanding_requests: sched.outstanding(),
+            active_sequences: sched.active_len(),
+            kv_used_pages: sched.kv().used_pages(),
+            kv_total_pages: sched.kv().config().total_pages(),
+            completed_requests: sched.completions().len(),
+        }
+    }
+
+    /// Re-keys `replica` in the heap after a mutation.
+    fn refresh(&mut self, replica: usize) {
+        self.stamp_counter += 1;
+        self.stamps[replica] = self.stamp_counter;
+        if let Some(t) = self.replicas[replica].next_ready_ps() {
+            self.heap.push(Reverse((t, replica, self.stamp_counter)));
+        }
+    }
+
+    /// The earliest live heap entry, discarding stale ones.
+    fn peek_ready(&mut self) -> Option<(TimePs, usize)> {
+        while let Some(&Reverse((t, idx, stamp))) = self.heap.peek() {
+            if self.stamps[idx] == stamp {
+                return Some((t, idx));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Processes the earliest virtual-time event: routes one arrival or
+    /// runs one replica iteration. Returns `false` when the trace is
+    /// drained and every replica is idle.
+    pub fn step(&mut self) -> bool {
+        let next_ready = self.peek_ready();
+        let next_arrival = self.arrivals.front().map(|r| r.arrival_ps);
+        // Arrivals route first on ties so the router always sees the
+        // request before the replica simulates past its arrival time.
+        let route_arrival = match (next_arrival, next_ready) {
+            (Some(at), Some((rt, _))) => at <= rt,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        match (route_arrival, next_ready) {
+            (true, _) => {
+                let request = self.arrivals.pop_front().expect("checked above");
+                let snapshots: Vec<ReplicaSnapshot> =
+                    (0..self.replicas.len()).map(|i| self.snapshot(i)).collect();
+                let chosen = self.router.route(&request, &snapshots);
+                assert!(
+                    chosen < self.replicas.len(),
+                    "router returned replica {chosen} of {}",
+                    self.replicas.len()
+                );
+                self.assignments.push((request.id, chosen));
+                self.routed[chosen] += 1;
+                self.replicas[chosen].push_request(request);
+                self.refresh(chosen);
+                true
+            }
+            (false, Some((_, idx))) => {
+                self.heap.pop();
+                self.replicas[idx].step();
+                self.refresh(idx);
+                true
+            }
+            (false, None) => false,
+        }
+    }
+
+    /// Runs the cluster to completion and aggregates the report.
+    pub fn run(mut self) -> ClusterReport {
+        while self.step() {}
+        let policy = self.router.name().to_owned();
+        let routed = self.routed;
+        let replica_reports =
+            self.replicas.into_iter().map(ServingSimulator::into_report).collect();
+        ClusterReport::new(policy, replica_reports, routed, self.assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_model::ModelSpec;
+    use llmss_sched::{Dataset, TraceGenerator};
+
+    fn replica_config() -> SimConfig {
+        SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel()
+    }
+
+    fn trace(n: usize, rate: f64) -> Vec<Request> {
+        TraceGenerator::new(Dataset::Alpaca, 13).rate_per_s(rate).generate(n)
+    }
+
+    #[test]
+    fn single_replica_cluster_matches_standalone_simulator() {
+        let t = trace(12, 40.0);
+        let standalone = ServingSimulator::new(replica_config(), t.clone()).unwrap().run();
+        let cluster =
+            ClusterSimulator::new(replica_config(), ClusterConfig::new(1), t).unwrap().run();
+        assert_eq!(cluster.total_completions(), standalone.completions.len());
+        assert_eq!(cluster.makespan_ps(), standalone.sim_duration_ps);
+        // Same requests, same finish times: the router layer is
+        // transparent when there is nothing to balance.
+        let mut a: Vec<_> = standalone.completions.clone();
+        let mut b: Vec<_> = cluster.completions().cloned().collect();
+        a.sort_by_key(|c| c.id);
+        b.sort_by_key(|c| c.id);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_request_served_exactly_once_across_replicas() {
+        for kind in RoutingPolicyKind::ALL {
+            let cluster = ClusterSimulator::new(
+                replica_config(),
+                ClusterConfig::new(3).routing(kind).seed(5),
+                trace(30, 100.0),
+            )
+            .unwrap()
+            .run();
+            let mut ids: Vec<u64> = cluster.completions().map(|c| c.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..30).collect::<Vec<u64>>(), "policy {kind}");
+            assert_eq!(cluster.assignments.len(), 30);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let cluster =
+            ClusterSimulator::new(replica_config(), ClusterConfig::new(4), trace(32, 100.0))
+                .unwrap()
+                .run();
+        for stats in cluster.per_replica() {
+            assert_eq!(stats.routed_requests, 8);
+        }
+    }
+
+    #[test]
+    fn arrivals_route_before_later_replica_work() {
+        // A burst at t=0 followed by a straggler: the straggler must be
+        // routed when the cluster's virtual time reaches its arrival,
+        // seeing queue depths that reflect the burst's progress.
+        let mut t = trace(8, 1_000.0);
+        t.push(Request::new(8, 64, 4, 2_000_000_000)); // 2 ms
+        let mut sim = ClusterSimulator::new(
+            replica_config(),
+            ClusterConfig::new(2).routing(RoutingPolicyKind::LeastOutstanding),
+            t,
+        )
+        .unwrap();
+        while sim.step() {}
+        assert_eq!(sim.assignments().len(), 9);
+    }
+
+    #[test]
+    fn replica_clocks_stay_interleaved() {
+        let mut sim =
+            ClusterSimulator::new(replica_config(), ClusterConfig::new(2), trace(16, 200.0))
+                .unwrap();
+        let mut max_skew = 0i128;
+        while sim.step() {
+            let clocks: Vec<TimePs> = sim.replicas().iter().map(|r| r.clock_ps()).collect();
+            // Busy replicas may drift apart by the length of the
+            // iterations in flight, but the min-heap keeps them from
+            // racing unboundedly ahead of one another.
+            if sim.replicas().iter().all(|r| r.next_ready_ps().is_some()) {
+                let skew = clocks[0] as i128 - clocks[1] as i128;
+                max_skew = max_skew.max(skew.abs());
+            }
+        }
+        // Generous bound: a single gpt2 iteration is far below 50 ms.
+        assert!(max_skew < 50_000_000_000, "skew {max_skew} ps");
+    }
+}

@@ -1,0 +1,122 @@
+//! Skewed, bursty request traces for routing experiments.
+//!
+//! Poisson traces ([`llmss_sched::TraceGenerator`]) average out quickly
+//! across replicas, so every sane policy looks alike on them. Routing
+//! policies separate on *adversarial* traffic: requests arriving in tight
+//! bursts with heavy-tailed sizes, where a load-blind router can pile the
+//! expensive requests onto one replica. [`bursty_trace`] generates exactly
+//! that shape, deterministically.
+
+use llmss_sched::{Request, TimePs};
+
+/// Shape of a bursty, size-skewed trace.
+///
+/// Requests arrive in `bursts` bursts of `burst_size`, separated by
+/// `burst_gap_ms` of silence. Within a burst, arrivals are 1 µs apart
+/// (ordered, effectively simultaneous at serving timescales). Every
+/// `heavy_every`-th request (by global index) is a heavy request with
+/// `heavy` input/output token counts; the rest use `light`.
+///
+/// The periodic heavy placement is deliberately adversarial to
+/// round-robin: when `heavy_every` is a multiple of the replica count,
+/// round-robin funnels *all* heavy requests to the same replicas while
+/// load-aware policies spread them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyTraceSpec {
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Requests per burst.
+    pub burst_size: usize,
+    /// Idle gap between bursts, in milliseconds.
+    pub burst_gap_ms: f64,
+    /// Every `heavy_every`-th request is heavy (0 disables heavies).
+    pub heavy_every: usize,
+    /// `(input_len, output_len)` of light requests.
+    pub light: (usize, usize),
+    /// `(input_len, output_len)` of heavy requests.
+    pub heavy: (usize, usize),
+}
+
+impl Default for BurstyTraceSpec {
+    fn default() -> Self {
+        Self {
+            bursts: 8,
+            burst_size: 25,
+            burst_gap_ms: 40.0,
+            heavy_every: 4,
+            light: (32, 8),
+            heavy: (512, 64),
+        }
+    }
+}
+
+impl BurstyTraceSpec {
+    /// Total requests the spec generates.
+    pub fn total_requests(&self) -> usize {
+        self.bursts * self.burst_size
+    }
+}
+
+/// Generates the bursty trace described by `spec` (see
+/// [`BurstyTraceSpec`]). Fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_cluster::{bursty_trace, BurstyTraceSpec};
+///
+/// let trace = bursty_trace(&BurstyTraceSpec::default());
+/// assert_eq!(trace.len(), 200);
+/// assert!(trace.windows(2).all(|w| w[0].arrival_ps < w[1].arrival_ps));
+/// ```
+pub fn bursty_trace(spec: &BurstyTraceSpec) -> Vec<Request> {
+    let gap_ps = (spec.burst_gap_ms * 1e9) as TimePs;
+    let intra_ps: TimePs = 1_000_000; // 1 µs between arrivals in a burst
+    let mut out = Vec::with_capacity(spec.total_requests());
+    for burst in 0..spec.bursts {
+        for slot in 0..spec.burst_size {
+            let id = (burst * spec.burst_size + slot) as u64;
+            let heavy = spec.heavy_every > 0 && (id as usize).is_multiple_of(spec.heavy_every);
+            let (input_len, output_len) = if heavy { spec.heavy } else { spec.light };
+            let arrival = burst as TimePs * gap_ps + slot as TimePs * intra_ps;
+            out.push(Request::new(id, input_len, output_len, arrival));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_requests_land_periodically() {
+        let spec = BurstyTraceSpec::default();
+        let trace = bursty_trace(&spec);
+        for (i, r) in trace.iter().enumerate() {
+            let expect_heavy = i % spec.heavy_every == 0;
+            assert_eq!(r.input_len == spec.heavy.0, expect_heavy, "request {i}");
+        }
+    }
+
+    #[test]
+    fn bursts_are_separated_by_gaps() {
+        let spec = BurstyTraceSpec {
+            bursts: 3,
+            burst_size: 4,
+            burst_gap_ms: 10.0,
+            ..BurstyTraceSpec::default()
+        };
+        let trace = bursty_trace(&spec);
+        // Last of burst 0 to first of burst 1 spans (almost) the gap.
+        let intra = trace[3].arrival_ps - trace[0].arrival_ps;
+        let inter = trace[4].arrival_ps - trace[3].arrival_ps;
+        assert!(inter > 100 * intra);
+    }
+
+    #[test]
+    fn zero_heavy_every_disables_heavies() {
+        let spec = BurstyTraceSpec { heavy_every: 0, ..BurstyTraceSpec::default() };
+        assert!(bursty_trace(&spec).iter().all(|r| r.input_len == spec.light.0));
+    }
+}

@@ -389,8 +389,7 @@ mod tests {
 
     #[test]
     fn pool_mode_topology_has_pim_nodes() {
-        let cfg =
-            SimConfig::new(ModelSpec::gpt3_7b()).npu_num(4).tensor_parallel().pim_pool(2);
+        let cfg = SimConfig::new(ModelSpec::gpt3_7b()).npu_num(4).tensor_parallel().pim_pool(2);
         let topo = cfg.topology().unwrap();
         assert_eq!(topo.n_nodes(), 6);
         assert_eq!(topo.nodes_of_class(llmss_net::NodeClass::Pim).len(), 2);

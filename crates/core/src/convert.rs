@@ -136,9 +136,8 @@ impl GraphConverter {
     ///
     /// `stack` prices every (sharded) operator, consulting its reuse cache.
     pub fn convert(&self, batch: &IterationBatch, stack: &mut EngineStack) -> ExecGraph {
-        let mut graph = ExecGraph::with_capacity(
-            16 + self.spec.n_layers * self.parallelism.n_nodes() * 10,
-        );
+        let mut graph =
+            ExecGraph::with_capacity(16 + self.spec.n_layers * self.parallelism.n_nodes() * 10);
 
         // KV paging transfers gate the iteration (paper: the converter
         // inserts memory store/load operators based on scheduler decisions).
@@ -157,7 +156,11 @@ impl GraphConverter {
         }
 
         let sub_slots: Vec<Vec<SeqSlot>> = if self.sub_batches > 1 && batch.slots.len() > 1 {
-            partition_sub_batches(&batch.slots, self.sub_batches, PartitionCriteria::MemoryAccess)
+            partition_sub_batches(
+                &batch.slots,
+                self.sub_batches,
+                PartitionCriteria::MemoryAccess,
+            )
         } else {
             vec![batch.slots.clone()]
         };
@@ -202,12 +205,8 @@ impl GraphConverter {
                 for (i, &src) in prev.iter().enumerate() {
                     let dst = nodes[i];
                     let deps: Vec<_> = chain[src].into_iter().collect();
-                    let id = graph.add(
-                        src,
-                        ExecPayload::P2p { bytes, dst },
-                        &deps,
-                        "stage_xfer",
-                    );
+                    let id =
+                        graph.add(src, ExecPayload::P2p { bytes, dst }, &deps, "stage_xfer");
                     chain[dst] = Some(id);
                 }
             }
@@ -258,9 +257,9 @@ impl GraphConverter {
         debug_assert_eq!(tail[0].kind, OpKind::OutProj);
 
         let emit_replicated = |graph: &mut ExecGraph,
-                                   stack: &mut EngineStack,
-                                   op: &Op,
-                                   chain: &mut [Option<ExecNodeId>]| {
+                               stack: &mut EngineStack,
+                               op: &Op,
+                               chain: &mut [Option<ExecNodeId>]| {
             for &node in nodes {
                 let ps = stack.price(op, DeviceKind::Npu);
                 let deps: Vec<_> = chain[node].into_iter().collect();
@@ -269,9 +268,9 @@ impl GraphConverter {
             }
         };
         let emit_sharded = |graph: &mut ExecGraph,
-                                stack: &mut EngineStack,
-                                op: &Op,
-                                chain: &mut [Option<ExecNodeId>]| {
+                            stack: &mut EngineStack,
+                            op: &Op,
+                            chain: &mut [Option<ExecNodeId>]| {
             let sharded = self.shard(op);
             for &node in nodes {
                 let ps = stack.price(&sharded, DeviceKind::Npu);
@@ -285,8 +284,7 @@ impl GraphConverter {
                                bytes: u64,
                                label: &'static str,
                                chain: &mut [Option<ExecNodeId>]| {
-            let deps: Vec<ExecNodeId> =
-                nodes.iter().filter_map(|&n| chain[n]).collect();
+            let deps: Vec<ExecNodeId> = nodes.iter().filter_map(|&n| chain[n]).collect();
             let id = graph.add(
                 nodes[0],
                 ExecPayload::Collective { kind, bytes, group },
@@ -339,12 +337,8 @@ impl GraphConverter {
                 }
             } else {
                 // Single node: join the per-request chains on a zero-cost op.
-                let id = graph.add(
-                    nodes[0],
-                    ExecPayload::Compute { ps: 0 },
-                    &att_final,
-                    "att_join",
-                );
+                let id =
+                    graph.add(nodes[0], ExecPayload::Compute { ps: 0 }, &att_final, "att_join");
                 chain[nodes[0]] = Some(id);
             }
         } else {
@@ -354,18 +348,17 @@ impl GraphConverter {
             for op in attention {
                 let sharded = self.shard(op);
                 let device = map_op(&sharded, self.pim_mode);
-                let device =
-                    if device == DeviceKind::Pim && !stack.has_pim() { DeviceKind::Npu } else { device };
+                let device = if device == DeviceKind::Pim && !stack.has_pim() {
+                    DeviceKind::Npu
+                } else {
+                    device
+                };
                 ps_total += stack.price(&sharded, device);
             }
             for &node in nodes {
                 let deps: Vec<_> = chain[node].into_iter().collect();
-                let id = graph.add(
-                    node,
-                    ExecPayload::Compute { ps: ps_total },
-                    &deps,
-                    "attention",
-                );
+                let id =
+                    graph.add(node, ExecPayload::Compute { ps: ps_total }, &deps, "attention");
                 chain[node] = Some(id);
             }
         }
@@ -410,11 +403,12 @@ impl GraphConverter {
             let mut last: Option<ExecNodeId> = None;
             for op in [score, softmax, attend] {
                 let ps = stack.price(op, DeviceKind::Npu);
-                let deps: Vec<_> = last.into_iter().chain(pre.iter().copied().take(
-                    usize::from(last.is_none()),
-                ))
-                .collect();
-                last = Some(graph.add(owner, ExecPayload::Compute { ps }, &deps, op.kind.label()));
+                let deps: Vec<_> = last
+                    .into_iter()
+                    .chain(pre.iter().copied().take(usize::from(last.is_none())))
+                    .collect();
+                last =
+                    Some(graph.add(owner, ExecPayload::Compute { ps }, &deps, op.kind.label()));
             }
             return last.expect("attention trio emitted");
         }
@@ -425,14 +419,12 @@ impl GraphConverter {
         // NeuPIMs reference in Figure 7).
         let pim = self.pim_pool[(slot.request as usize) % self.pim_pool.len()];
         let q_bytes = (slot.new_tokens * self.spec.d_model) as u64 * w;
-        let score_bytes =
-            (self.spec.n_heads * slot.new_tokens * slot.kv_total()) as u64 * w;
+        let score_bytes = (self.spec.n_heads * slot.new_tokens * slot.kv_total()) as u64 * w;
 
         let q_send =
             graph.add(owner, ExecPayload::P2p { bytes: q_bytes, dst: pim }, &pre, "q_xfer");
         let score_ps = stack.price(score, DeviceKind::Pim);
-        let score_c =
-            graph.add(pim, ExecPayload::Compute { ps: score_ps }, &[q_send], "score");
+        let score_c = graph.add(pim, ExecPayload::Compute { ps: score_ps }, &[q_send], "score");
         let s_back = graph.add(
             pim,
             ExecPayload::P2p { bytes: score_bytes, dst: owner },
@@ -534,11 +526,8 @@ mod tests {
         let slots: Vec<_> = (0..8).map(|i| SeqSlot::decode(i, 128 + 64 * i as usize)).collect();
         let g = conv.convert(&batch(slots), &mut stack);
         // Attention computes must appear on all 4 nodes.
-        let mut att_nodes: Vec<NodeId> = g
-            .iter()
-            .filter(|(_, o)| o.label == "score")
-            .map(|(_, o)| o.node)
-            .collect();
+        let mut att_nodes: Vec<NodeId> =
+            g.iter().filter(|(_, o)| o.label == "score").map(|(_, o)| o.node).collect();
         att_nodes.sort_unstable();
         att_nodes.dedup();
         assert_eq!(att_nodes, vec![0, 1, 2, 3]);
@@ -588,9 +577,7 @@ mod tests {
         // Score/Attend land on PIM nodes (ids 2,3), with 4 transfers each.
         let pim_computes: Vec<_> = g
             .iter()
-            .filter(|(_, o)| {
-                matches!(o.payload, ExecPayload::Compute { .. }) && o.node >= 2
-            })
+            .filter(|(_, o)| matches!(o.payload, ExecPayload::Compute { .. }) && o.node >= 2)
             .collect();
         assert_eq!(pim_computes.len(), 12 * 2, "score+attend per block on PIM");
         let xfers = g

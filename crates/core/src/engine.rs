@@ -163,8 +163,7 @@ mod tests {
     use llmss_model::{OpDims, OpKind};
 
     fn decode_score() -> Op {
-        Op::new(OpKind::Score, OpDims::batched(32, 1, 128, 1024), 2)
-            .in_phase(Phase::Generation)
+        Op::new(OpKind::Score, OpDims::batched(32, 1, 128, 1024), 2).in_phase(Phase::Generation)
     }
 
     fn prefill_score() -> Op {

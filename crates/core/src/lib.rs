@@ -49,7 +49,10 @@ pub use config::{ConfigError, KvManage, ParallelismKind, ParallelismSpec, SimCon
 pub use convert::GraphConverter;
 pub use engine::{ExecutionEngine, NpuPimLocalPlugin, NpuPlugin, PimPlugin};
 pub use mapping::{map_op, DeviceKind, PimMode};
-pub use report::{IterationRecord, SimReport, ThroughputBin, WallBreakdown};
+pub use report::{
+    percentile, percentiles_from_ps, IterationRecord, PercentileSummary, SimReport,
+    ThroughputBin, WallBreakdown,
+};
 pub use reuse::{ReuseCache, ReuseStats};
 pub use sim::ServingSimulator;
 pub use stack::EngineStack;

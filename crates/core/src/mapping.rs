@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn pool_mode_offloads_decode_attention_only() {
-        assert_eq!(map_op(&op(OpKind::Score, Phase::Generation), PimMode::Pool), DeviceKind::Pim);
+        assert_eq!(
+            map_op(&op(OpKind::Score, Phase::Generation), PimMode::Pool),
+            DeviceKind::Pim
+        );
         assert_eq!(
             map_op(&op(OpKind::Attend, Phase::Generation), PimMode::Pool),
             DeviceKind::Pim
@@ -90,8 +93,14 @@ mod tests {
             map_op(&op(OpKind::Softmax, Phase::Generation), PimMode::Pool),
             DeviceKind::Npu
         );
-        assert_eq!(map_op(&op(OpKind::Score, Phase::Initiation), PimMode::Pool), DeviceKind::Npu);
-        assert_eq!(map_op(&op(OpKind::FfnUp, Phase::Generation), PimMode::Pool), DeviceKind::Npu);
+        assert_eq!(
+            map_op(&op(OpKind::Score, Phase::Initiation), PimMode::Pool),
+            DeviceKind::Npu
+        );
+        assert_eq!(
+            map_op(&op(OpKind::FfnUp, Phase::Generation), PimMode::Pool),
+            DeviceKind::Npu
+        );
     }
 
     #[test]

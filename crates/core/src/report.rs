@@ -83,6 +83,65 @@ pub struct ThroughputBin {
     pub gen_tps: f64,
 }
 
+/// p50/p95/p99 summary of one latency metric, in seconds of simulated
+/// time — the serving-SLO shape (median, tail, extreme tail).
+///
+/// Built by [`percentiles_from_ps`]; used for single-replica metrics via
+/// [`SimReport::ttft_percentiles`] and friends, and for cluster-level SLOs
+/// by `llmss-cluster`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PercentileSummary {
+    /// Median (50th percentile).
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+}
+
+impl PercentileSummary {
+    /// TSV fragment `p50\tp95\tp99` with values in seconds.
+    pub fn to_tsv_fields(&self) -> String {
+        format!("{:.4}\t{:.4}\t{:.4}", self.p50_s, self.p95_s, self.p99_s)
+    }
+}
+
+impl std::fmt::Display for PercentileSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p50={:.3}s p95={:.3}s p99={:.3}s", self.p50_s, self.p95_s, self.p99_s)
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample (`p` in `[0, 1]`);
+/// zero for an empty sample. The index rule matches
+/// [`SimReport::latency_percentile_s`] so single-run and cluster metrics
+/// agree.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn percentile(values: &mut [f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((values.len() - 1) as f64 * p).round() as usize;
+    values[idx]
+}
+
+/// Summarizes picosecond samples into p50/p95/p99 seconds.
+pub fn percentiles_from_ps(values_ps: impl IntoIterator<Item = f64>) -> PercentileSummary {
+    let mut v: Vec<f64> = values_ps.into_iter().collect();
+    // One sort would do, but `percentile` re-sorting keeps it
+    // self-contained and the samples here are per-request, not per-token.
+    PercentileSummary {
+        p50_s: percentile(&mut v, 0.50) / 1e12,
+        p95_s: percentile(&mut v, 0.95) / 1e12,
+        p99_s: percentile(&mut v, 0.99) / 1e12,
+    }
+}
+
 /// The full result of one serving simulation.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -147,14 +206,27 @@ impl SimReport {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn latency_percentile_s(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
-        if self.completions.is_empty() {
-            return 0.0;
-        }
-        let mut lat: Vec<TimePs> = self.completions.iter().map(|c| c.latency_ps()).collect();
-        lat.sort_unstable();
-        let idx = ((lat.len() - 1) as f64 * p).round() as usize;
-        lat[idx] as f64 / 1e12
+        let mut lat: Vec<f64> =
+            self.completions.iter().map(|c| c.latency_ps() as f64).collect();
+        percentile(&mut lat, p) / 1e12
+    }
+
+    /// p50/p95/p99 end-to-end request latency.
+    pub fn latency_percentiles(&self) -> PercentileSummary {
+        percentiles_from_ps(self.completions.iter().map(|c| c.latency_ps() as f64))
+    }
+
+    /// p50/p95/p99 time to first token.
+    pub fn ttft_percentiles(&self) -> PercentileSummary {
+        percentiles_from_ps(self.completions.iter().map(|c| c.ttft_ps() as f64))
+    }
+
+    /// p50/p95/p99 mean time per output token (requests generating a
+    /// single token, whose TPOT is undefined, are excluded).
+    pub fn tpot_percentiles(&self) -> PercentileSummary {
+        percentiles_from_ps(
+            self.completions.iter().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
+        )
     }
 
     /// Bins token production over simulated time (Figure 6's series).
@@ -221,7 +293,13 @@ impl SimReport {
 mod tests {
     use super::*;
 
-    fn record(index: u64, start: TimePs, lat: TimePs, prompt: usize, gen: usize) -> IterationRecord {
+    fn record(
+        index: u64,
+        start: TimePs,
+        lat: TimePs,
+        prompt: usize,
+        gen: usize,
+    ) -> IterationRecord {
         IterationRecord {
             index,
             start_ps: start,
@@ -243,16 +321,14 @@ mod tests {
                 record(1, 500_000_000_000, 500_000_000_000, 0, 5),
                 record(2, 1_000_000_000_000, 1_000_000_000_000, 0, 5),
             ],
-            completions: vec![
-                Completion {
-                    id: 0,
-                    arrival_ps: 0,
-                    first_token_ps: 500_000_000_000,
-                    finish_ps: 2_000_000_000_000,
-                    input_len: 100,
-                    output_len: 11,
-                },
-            ],
+            completions: vec![Completion {
+                id: 0,
+                arrival_ps: 0,
+                first_token_ps: 500_000_000_000,
+                finish_ps: 2_000_000_000_000,
+                input_len: 100,
+                output_len: 11,
+            }],
             wall: WallBreakdown {
                 scheduler: Duration::from_millis(1),
                 engine: Duration::from_millis(20),
@@ -290,6 +366,56 @@ mod tests {
         let r = report();
         assert!((r.mean_latency_s() - 2.0).abs() < 1e-9);
         assert!((r.latency_percentile_s(0.5) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 1.0), 100.0);
+        assert_eq!(percentile(&mut v, 0.5), 51.0); // round(99 * 0.5) = 50
+        assert_eq!(percentile(&mut v, 0.99), 99.0);
+        assert_eq!(percentile(&mut [], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_rejected() {
+        percentile(&mut [1.0], 1.5);
+    }
+
+    #[test]
+    fn percentile_summaries_convert_ps_to_seconds() {
+        let s = percentiles_from_ps((1..=100).map(|i| i as f64 * 1e12));
+        assert_eq!(s.p50_s, 51.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.to_tsv_fields().split('\t').count(), 3);
+    }
+
+    #[test]
+    fn report_percentiles_cover_all_metrics() {
+        let r = report();
+        // Single completion: every percentile equals its one sample.
+        assert!((r.latency_percentiles().p99_s - 2.0).abs() < 1e-9);
+        assert!((r.ttft_percentiles().p50_s - 0.5).abs() < 1e-9);
+        // TPOT: (finish - first token) / (output_len - 1) = 1.5s / 10.
+        assert!((r.tpot_percentiles().p50_s - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tpot_percentiles_skip_single_token_requests() {
+        let mut r = report();
+        r.completions.push(Completion {
+            id: 1,
+            arrival_ps: 0,
+            first_token_ps: 1,
+            finish_ps: 1,
+            input_len: 4,
+            output_len: 1,
+        });
+        // The single-token request would contribute a bogus 0.0 sample.
+        assert!(r.tpot_percentiles().p50_s > 0.0);
     }
 
     #[test]

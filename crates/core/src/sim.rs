@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use llmss_net::{simulate_graph, Topology};
-use llmss_sched::{Request, Scheduler};
+use llmss_sched::{Request, Scheduler, TimePs};
 
 use crate::{
     ConfigError, EngineStack, GraphConverter, IterationRecord, SimConfig, SimReport,
@@ -141,6 +141,32 @@ impl ServingSimulator {
         self.into_report()
     }
 
+    /// Injects one request online (the cluster router's entry point).
+    ///
+    /// The simulator does not have to be idle: the request queues at the
+    /// scheduler and joins batch formation once the replica's clock
+    /// reaches its arrival time (immediately, if the clock is already
+    /// past it).
+    pub fn push_request(&mut self, request: Request) {
+        self.scheduler.push_request(request);
+    }
+
+    /// The earliest simulated time the next [`step`](Self::step) would
+    /// act, or `None` when the simulator has drained all injected work.
+    ///
+    /// This is the interleaving key for multi-replica simulation: a
+    /// cluster driver repeatedly steps whichever replica reports the
+    /// smallest ready time, keeping all replica clocks loosely
+    /// synchronized without a global lockstep barrier.
+    pub fn next_ready_ps(&self) -> Option<TimePs> {
+        self.scheduler.next_ready_ps()
+    }
+
+    /// The replica's current simulated clock.
+    pub fn clock_ps(&self) -> TimePs {
+        self.scheduler.clock_ps()
+    }
+
     /// The scheduler (for inspection between steps).
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
@@ -151,7 +177,10 @@ impl ServingSimulator {
         &self.stack
     }
 
-    fn into_report(self) -> SimReport {
+    /// Finalizes the simulator into its report (used directly by drivers
+    /// that interleave [`step`](Self::step) calls, e.g. the cluster
+    /// simulator; [`run`](Self::run) is the single-replica shorthand).
+    pub fn into_report(self) -> SimReport {
         SimReport {
             sim_duration_ps: self.scheduler.clock_ps(),
             completions: self.scheduler.completions().to_vec(),

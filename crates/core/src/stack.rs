@@ -90,9 +90,7 @@ impl EngineStack {
     pub fn price(&mut self, op: &Op, device: DeviceKind) -> TimePs {
         let engine: &mut Box<dyn ExecutionEngine> = match device {
             DeviceKind::Npu => &mut self.npu,
-            DeviceKind::Pim => {
-                self.pim.as_mut().expect("no PIM engine in this stack")
-            }
+            DeviceKind::Pim => self.pim.as_mut().expect("no PIM engine in this stack"),
         };
         let wall = &mut self.engine_wall;
         self.cache.price(device, &op.signature(), op.kind.is_attention(), || {
@@ -159,8 +157,12 @@ mod tests {
 
     #[test]
     fn pool_stack_prices_both_devices() {
-        let mut s =
-            EngineStack::for_pim_mode(PimMode::Pool, NpuConfig::table1(), PimConfig::table1(), true);
+        let mut s = EngineStack::for_pim_mode(
+            PimMode::Pool,
+            NpuConfig::table1(),
+            PimConfig::table1(),
+            true,
+        );
         assert!(s.has_pim());
         let op = decode_score();
         let npu = s.price(&op, DeviceKind::Npu);

@@ -1,9 +1,7 @@
 //! Graph-converter edge cases: hybrid layouts with PIM pools, uneven
 //! layer splits, non-power-of-two shapes, and degenerate batches.
 
-use llmss_core::{
-    EngineStack, GraphConverter, ParallelismSpec, PimMode, SimConfig,
-};
+use llmss_core::{EngineStack, GraphConverter, ParallelismSpec, PimMode, SimConfig};
 use llmss_model::{ModelSpec, SeqSlot};
 use llmss_net::{simulate_graph, ExecPayload, LinkSpec, Topology};
 use llmss_npu::NpuConfig;
@@ -33,7 +31,8 @@ fn hybrid_with_pim_pool_runs_and_routes_attention() {
         PimConfig::table1(),
         true,
     );
-    let g = conv.convert(&batch(vec![SeqSlot::decode(0, 100), SeqSlot::decode(1, 200)]), &mut stack);
+    let g = conv
+        .convert(&batch(vec![SeqSlot::decode(0, 100), SeqSlot::decode(1, 200)]), &mut stack);
     // PIM nodes are 4 and 5.
     let pim_ops = g
         .iter()
@@ -124,10 +123,7 @@ fn sim_config_end_to_end_consistency_for_all_pim_modes() {
     for (mode_name, cfg) in [
         ("none", SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel()),
         ("local", SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_local()),
-        (
-            "pool",
-            SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_pool(1),
-        ),
+        ("pool", SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_pool(1)),
     ] {
         let topo = cfg.topology().unwrap();
         let parallelism = cfg.parallelism().unwrap();
@@ -145,12 +141,9 @@ fn sim_config_end_to_end_consistency_for_all_pim_modes() {
             cfg.pim_config.clone(),
             cfg.reuse,
         );
-        let g = conv.convert(
-            &batch(vec![SeqSlot::prefill(0, 16), SeqSlot::decode(1, 64)]),
-            &mut stack,
-        );
-        let out = simulate_graph(&g, &topo)
-            .unwrap_or_else(|e| panic!("{mode_name}: {e}"));
+        let g = conv
+            .convert(&batch(vec![SeqSlot::prefill(0, 16), SeqSlot::decode(1, 64)]), &mut stack);
+        let out = simulate_graph(&g, &topo).unwrap_or_else(|e| panic!("{mode_name}: {e}"));
         assert!(out.makespan_ps > 0, "{mode_name}");
     }
 }

@@ -59,8 +59,7 @@ impl IterationWorkload {
         let mut block_ops = Vec::with_capacity(8 + 3 * slots.len());
         block_ops
             .push(Op::new(OpKind::LayerNorm, OpDims::elementwise(t, d), w).in_phase(phase));
-        block_ops
-            .push(Op::new(OpKind::QkvGen, OpDims::matmul(t, d, 3 * d), w).in_phase(phase));
+        block_ops.push(Op::new(OpKind::QkvGen, OpDims::matmul(t, d, 3 * d), w).in_phase(phase));
         // Attention ops are per sequence: shapes depend on each KV length
         // (selective batching; Orca splits the batch here).
         for s in slots {
@@ -94,8 +93,7 @@ impl IterationWorkload {
             );
         }
         block_ops.push(Op::new(OpKind::OutProj, OpDims::matmul(t, d, d), w).in_phase(phase));
-        block_ops
-            .push(Op::new(OpKind::Residual, OpDims::elementwise(t, d), w).in_phase(phase));
+        block_ops.push(Op::new(OpKind::Residual, OpDims::elementwise(t, d), w).in_phase(phase));
         block_ops
             .push(Op::new(OpKind::LayerNorm, OpDims::elementwise(t, d), w).in_phase(phase));
         block_ops.push(
@@ -107,8 +105,7 @@ impl IterationWorkload {
         );
         block_ops
             .push(Op::new(OpKind::FfnDown, OpDims::matmul(t, spec.d_ff, d), w).in_phase(phase));
-        block_ops
-            .push(Op::new(OpKind::Residual, OpDims::elementwise(t, d), w).in_phase(phase));
+        block_ops.push(Op::new(OpKind::Residual, OpDims::elementwise(t, d), w).in_phase(phase));
 
         // Only the last token of each sequence needs logits.
         let sample_rows = slots.len();
@@ -169,10 +166,11 @@ impl IterationWorkload {
     /// Flattens the workload into the full per-iteration op list, tagging
     /// each block replica with its block index.
     pub fn flatten(&self) -> Vec<Op> {
-        let mut ops =
-            Vec::with_capacity(self.pre_ops.len()
+        let mut ops = Vec::with_capacity(
+            self.pre_ops.len()
                 + self.spec.n_layers * self.block_ops.len()
-                + self.post_ops.len());
+                + self.post_ops.len(),
+        );
         ops.extend(self.pre_ops.iter().cloned());
         for blk in 0..self.spec.n_layers as u32 {
             ops.extend(self.block_ops.iter().cloned().map(|o| o.in_block(blk)));
@@ -188,11 +186,7 @@ impl IterationWorkload {
 
     /// New *prompt* tokens processed this iteration.
     pub fn prompt_tokens(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.phase() == Phase::Initiation)
-            .map(|s| s.new_tokens)
-            .sum()
+        self.slots.iter().filter(|s| s.phase() == Phase::Initiation).map(|s| s.new_tokens).sum()
     }
 
     /// New tokens *generated* by this iteration: every sequence emits one
@@ -284,7 +278,8 @@ mod tests {
 
     #[test]
     fn token_accounting_splits_phases() {
-        let slots = vec![SeqSlot::prefill(0, 64), SeqSlot::decode(1, 99), SeqSlot::decode(2, 5)];
+        let slots =
+            vec![SeqSlot::prefill(0, 64), SeqSlot::decode(1, 99), SeqSlot::decode(2, 5)];
         let w = IterationWorkload::build(&spec(), &slots);
         assert_eq!(w.new_tokens_total(), 66);
         assert_eq!(w.prompt_tokens(), 64);
@@ -322,7 +317,8 @@ mod tests {
     #[test]
     fn kv_append_counts_all_new_tokens() {
         let s = spec();
-        let w = IterationWorkload::build(&s, &[SeqSlot::prefill(0, 10), SeqSlot::decode(1, 50)]);
+        let w =
+            IterationWorkload::build(&s, &[SeqSlot::prefill(0, 10), SeqSlot::decode(1, 50)]);
         assert_eq!(w.kv_append_bytes(), 11 * s.kv_bytes_per_token());
     }
 

@@ -283,7 +283,13 @@ mod tests {
     #[test]
     fn by_name_round_trips_presets() {
         for name in [
-            "gpt2", "gpt3-7b", "gpt3-13b", "gpt3-30b", "gpt3-175b", "llama-7b", "llama-13b",
+            "gpt2",
+            "gpt3-7b",
+            "gpt3-13b",
+            "gpt3-30b",
+            "gpt3-175b",
+            "llama-7b",
+            "llama-13b",
             "llama-30b",
         ] {
             let spec = ModelSpec::by_name(name).expect(name);

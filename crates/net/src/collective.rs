@@ -136,7 +136,7 @@ mod tests {
         let bytes = 1u64 << 24;
         let t = collective_time_ps(CollectiveKind::AllReduce, n, bytes, &link());
         let sent = 2 * (n as u64 - 1) * bytes.div_ceil(n as u64);
-        let ser = link().serialize_ps(sent / (2 * (n as u64 - 1)) ) * 2 * (n as u64 - 1);
+        let ser = link().serialize_ps(sent / (2 * (n as u64 - 1))) * 2 * (n as u64 - 1);
         let lat = 2 * (n as u64 - 1) * 100_000;
         assert_eq!(t, ser + lat);
     }

@@ -156,9 +156,7 @@ pub fn simulate_graph(graph: &ExecGraph, topology: &Topology) -> Result<SimOutco
                         let members = &topology.groups()[group];
                         let n = members.len();
                         let link = topology.group_link(group);
-                        let start = members
-                            .iter()
-                            .fold(now, |acc, &m| acc.max(node_free[m]));
+                        let start = members.iter().fold(now, |acc, &m| acc.max(node_free[m]));
                         let steps = kind.steps(n);
                         let step_ps = crate::step_time_ps(kind, n, bytes, &link);
                         let end = start + steps as TimePs * step_ps;
@@ -285,7 +283,11 @@ mod tests {
         g.add(0, ExecPayload::Compute { ps: 1_000 }, &[], "slow");
         let ar = g.add(
             1,
-            ExecPayload::Collective { kind: CollectiveKind::AllReduce, bytes: 1 << 20, group: 0 },
+            ExecPayload::Collective {
+                kind: CollectiveKind::AllReduce,
+                bytes: 1 << 20,
+                group: 0,
+            },
             &[],
             "ar",
         );

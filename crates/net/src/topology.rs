@@ -115,8 +115,7 @@ impl Topology {
             "groups must evenly divide nodes ({n_nodes} into {n_groups})"
         );
         let per = n_nodes / n_groups;
-        let groups =
-            (0..n_groups).map(|g| (g * per..(g + 1) * per).collect()).collect();
+        let groups = (0..n_groups).map(|g| (g * per..(g + 1) * per).collect()).collect();
         Self {
             classes: vec![NodeClass::Npu; n_nodes],
             groups,

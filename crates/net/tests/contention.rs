@@ -16,13 +16,18 @@ fn back_to_back_collectives_serialize_on_the_group() {
     for _ in 0..4 {
         g.add(
             0,
-            ExecPayload::Collective { kind: CollectiveKind::AllReduce, bytes: 1 << 20, group: 0 },
+            ExecPayload::Collective {
+                kind: CollectiveKind::AllReduce,
+                bytes: 1 << 20,
+                group: 0,
+            },
             &[],
             "ar",
         );
     }
     let out = simulate_graph(&g, &topo(4)).unwrap();
-    let one = collective_time_ps(CollectiveKind::AllReduce, 4, 1 << 20, &LinkSpec::new(64.0, 100.0));
+    let one =
+        collective_time_ps(CollectiveKind::AllReduce, 4, 1 << 20, &LinkSpec::new(64.0, 100.0));
     assert_eq!(out.makespan_ps, 4 * one, "collectives on one group cannot overlap");
 }
 

@@ -74,13 +74,9 @@ impl TileChoice {
             Dataflow::OutputStationary => (no * m * k + mo * k * n + m * n) * w,
             // B resident: loaded once; A re-read per n-tile; C spilled
             // (read+write) per k-tile beyond the first.
-            Dataflow::WeightStationary => {
-                (k * n + no * m * k + (2 * ko - 1) * m * n) * w
-            }
+            Dataflow::WeightStationary => (k * n + no * m * k + (2 * ko - 1) * m * n) * w,
             // A resident: loaded once; B re-read per m-tile; C spilled.
-            Dataflow::InputStationary => {
-                (m * k + mo * k * n + (2 * ko - 1) * m * n) * w
-            }
+            Dataflow::InputStationary => (m * k + mo * k * n + (2 * ko - 1) * m * n) * w,
         }
     }
 }
@@ -187,7 +183,8 @@ mod tests {
 
     #[test]
     fn output_stationary_traffic_lower_bound_is_operands_once() {
-        let t = TileChoice { tm: 4096, tk: 4096, tn: 4096, dataflow: Dataflow::OutputStationary };
+        let t =
+            TileChoice { tm: 4096, tk: 4096, tn: 4096, dataflow: Dataflow::OutputStationary };
         // Single tile covering the whole problem: every operand moves once.
         let traffic = t.dram_traffic(4096, 4096, 4096, 2);
         let minimal = (3 * 4096u64 * 4096) * 2;
@@ -196,8 +193,10 @@ mod tests {
 
     #[test]
     fn smaller_tiles_increase_traffic() {
-        let big = TileChoice { tm: 1024, tk: 1024, tn: 1024, dataflow: Dataflow::OutputStationary };
-        let small = TileChoice { tm: 128, tk: 128, tn: 128, dataflow: Dataflow::OutputStationary };
+        let big =
+            TileChoice { tm: 1024, tk: 1024, tn: 1024, dataflow: Dataflow::OutputStationary };
+        let small =
+            TileChoice { tm: 128, tk: 128, tn: 128, dataflow: Dataflow::OutputStationary };
         assert!(
             small.dram_traffic(4096, 4096, 4096, 2) > big.dram_traffic(4096, 4096, 4096, 2)
         );

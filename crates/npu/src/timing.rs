@@ -313,8 +313,10 @@ mod tests {
     fn batch_scales_linearly() {
         let c = cfg();
         let t = TileChoice { tm: 128, tk: 128, tn: 128, dataflow: Dataflow::OutputStationary };
-        let one = simulate_matmul(&c, &sig(OpKind::Score, OpDims::batched(1, 64, 128, 256)), &t);
-        let many = simulate_matmul(&c, &sig(OpKind::Score, OpDims::batched(8, 64, 128, 256)), &t);
+        let one =
+            simulate_matmul(&c, &sig(OpKind::Score, OpDims::batched(1, 64, 128, 256)), &t);
+        let many =
+            simulate_matmul(&c, &sig(OpKind::Score, OpDims::batched(8, 64, 128, 256)), &t);
         assert_eq!(many.cycles, 8 * one.cycles);
         assert_eq!(many.dram_bytes, 8 * one.dram_bytes);
     }
@@ -350,7 +352,8 @@ mod tests {
     #[test]
     fn gemv_stream_switch_cost_scales_with_heads() {
         let c = cfg();
-        let few = simulate_gemv_stream(&c, &sig(OpKind::Attend, OpDims::batched(1, 1, 256, 128)));
+        let few =
+            simulate_gemv_stream(&c, &sig(OpKind::Attend, OpDims::batched(1, 1, 256, 128)));
         let many =
             simulate_gemv_stream(&c, &sig(OpKind::Attend, OpDims::batched(64, 1, 256, 128)));
         assert!(many.cycles >= 64 * (few.cycles - GEMV_SWITCH_CYCLES));

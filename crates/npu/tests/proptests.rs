@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use llmss_model::{Op, OpDims, OpKind};
 use llmss_npu::{
-    enumerate_candidates, simulate_codelet, simulate_gemv_stream, simulate_matmul,
-    NpuCompiler, NpuConfig, GEMV_M_THRESHOLD,
+    enumerate_candidates, simulate_codelet, simulate_gemv_stream, simulate_matmul, NpuCompiler,
+    NpuConfig, GEMV_M_THRESHOLD,
 };
 
 fn cfg() -> NpuConfig {

@@ -109,10 +109,8 @@ impl PimEngine {
             simulate_gemv(&self.config, &program.signature)
         } else {
             let d = program.signature.dims;
-            let bytes = d.batch as u64
-                * d.m as u64
-                * d.n as u64
-                * program.signature.elem_bytes as u64;
+            let bytes =
+                d.batch as u64 * d.m as u64 * d.n as u64 * program.signature.elem_bytes as u64;
             simulate_transfer(&self.config, 2 * bytes)
         };
         self.stats.activations += r.activations_per_bank;

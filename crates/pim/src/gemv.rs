@@ -54,16 +54,14 @@ pub fn simulate_gemv(config: &PimConfig, sig: &OpSignature) -> PimResult {
     let bank_cycles = config.timing.bank_stream_cycles(per_bank_bytes);
     let activations = per_bank_bytes.div_ceil(config.timing.row_buffer_bytes as u64);
 
-    let stream_cycles =
-        (matrix_bytes as f64 / config.internal_bytes_per_cycle()).ceil() as u64;
+    let stream_cycles = (matrix_bytes as f64 / config.internal_bytes_per_cycle()).ceil() as u64;
 
     let macs = b * m * k * n;
     let compute_cycles = macs.div_ceil(config.macs_per_cycle());
 
     // Each batch instance broadcasts its m x k input rows to the banks.
     let broadcast_bytes = b * m * k * w;
-    let broadcast_cycles =
-        broadcast_bytes.div_ceil(config.broadcast_bytes_per_cycle as u64);
+    let broadcast_cycles = broadcast_bytes.div_ceil(config.broadcast_bytes_per_cycle as u64);
 
     let body = stream_cycles.max(bank_cycles).max(compute_cycles);
     PimResult {

@@ -26,11 +26,7 @@ pub struct IterationBatch {
 impl IterationBatch {
     /// Prompt tokens processed (initiation-phase slots).
     pub fn prompt_tokens(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.kv_past == 0)
-            .map(|s| s.new_tokens)
-            .sum()
+        self.slots.iter().filter(|s| s.kv_past == 0).map(|s| s.new_tokens).sum()
     }
 
     /// Tokens generated: every participating sequence emits exactly one
@@ -105,10 +101,8 @@ pub fn partition_sub_batches(
 
     let mut bins: Vec<(u64, Vec<SeqSlot>)> = vec![(0, Vec::new()); k.min(slots.len()).max(1)];
     for s in sorted {
-        let lightest = bins
-            .iter_mut()
-            .min_by_key(|(w, b)| (*w, b.len()))
-            .expect("at least one bin");
+        let lightest =
+            bins.iter_mut().min_by_key(|(w, b)| (*w, b.len())).expect("at least one bin");
         lightest.0 += weight(&s);
         lightest.1.push(s);
     }
@@ -123,7 +117,11 @@ mod tests {
     #[test]
     fn token_accounting() {
         let b = IterationBatch {
-            slots: vec![SeqSlot::prefill(0, 64), SeqSlot::decode(1, 100), SeqSlot::decode(2, 5)],
+            slots: vec![
+                SeqSlot::prefill(0, 64),
+                SeqSlot::decode(1, 100),
+                SeqSlot::decode(2, 5),
+            ],
             evictions: vec![],
             reloads: vec![],
         };
@@ -137,8 +135,7 @@ mod tests {
     fn partition_covers_all_slots_exactly_once() {
         let slots: Vec<_> = (0..13).map(|i| SeqSlot::decode(i, 10 + i as usize * 7)).collect();
         let subs = partition_sub_batches(&slots, 4, PartitionCriteria::MemoryAccess);
-        let mut ids: Vec<u64> =
-            subs.iter().flatten().map(|s| s.request).collect();
+        let mut ids: Vec<u64> = subs.iter().flatten().map(|s| s.request).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..13).collect::<Vec<_>>());
     }
@@ -147,10 +144,8 @@ mod tests {
     fn partition_balances_memory_weight() {
         let slots: Vec<_> = (0..16).map(|i| SeqSlot::decode(i, 64 + i as usize * 64)).collect();
         let subs = partition_sub_batches(&slots, 2, PartitionCriteria::MemoryAccess);
-        let loads: Vec<u64> = subs
-            .iter()
-            .map(|b| b.iter().map(|s| s.kv_total() as u64).sum())
-            .collect();
+        let loads: Vec<u64> =
+            subs.iter().map(|b| b.iter().map(|s| s.kv_total() as u64).sum()).collect();
         let max = *loads.iter().max().unwrap() as f64;
         let min = *loads.iter().min().unwrap() as f64;
         assert!(max / min < 1.25, "imbalanced: {loads:?}");

@@ -224,12 +224,7 @@ pub fn trace_from_tsv(tsv: &str) -> Result<Vec<Request>, String> {
         if input == 0 || output == 0 {
             return Err(format!("line {}: lengths must be positive", i + 1));
         }
-        out.push(Request::new(
-            out.len() as u64,
-            input,
-            output,
-            (arrival_ms * 1e9) as TimePs,
-        ));
+        out.push(Request::new(out.len() as u64, input, output, (arrival_ms * 1e9) as TimePs));
     }
     Ok(out)
 }
@@ -305,8 +300,8 @@ mod tests {
 
     #[test]
     fn malformed_tsv_reports_line() {
-        let err = trace_from_tsv("input_toks\toutput_toks\tarrival_ms\n12\toops\t3.5\n")
-            .unwrap_err();
+        let err =
+            trace_from_tsv("input_toks\toutput_toks\tarrival_ms\n12\toops\t3.5\n").unwrap_err();
         assert!(err.contains("line 2"), "{err}");
     }
 }

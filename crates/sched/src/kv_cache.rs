@@ -237,15 +237,9 @@ impl KvCache {
     /// Returns the transfer record, or `None` if no evictable victim
     /// exists.
     pub fn evict_victim(&mut self, except: Option<u64>) -> Option<KvTransfer> {
-        let victim = self
-            .order
-            .iter()
-            .rev()
-            .copied()
-            .find(|id| {
-                Some(*id) != except
-                    && self.entries.get(id).is_some_and(|e| !e.on_host)
-            })?;
+        let victim = self.order.iter().rev().copied().find(|id| {
+            Some(*id) != except && self.entries.get(id).is_some_and(|e| !e.on_host)
+        })?;
         let entry = self.entries.get_mut(&victim).expect("victim exists");
         entry.on_host = true;
         let pages = entry.pages;

@@ -111,7 +111,9 @@ pub struct Scheduler {
 impl Scheduler {
     /// Creates a scheduler over a fixed request trace.
     ///
-    /// Requests are sorted by arrival time; ids must be unique.
+    /// Requests are sorted by arrival time; ids must be unique. The trace
+    /// may be empty — a front-end (e.g. a cluster router) can then inject
+    /// requests online with [`push_request`](Self::push_request).
     pub fn new(config: SchedulerConfig, kv: KvCache, mut requests: Vec<Request>) -> Self {
         requests.sort_by_key(|r| (r.arrival_ps, r.id));
         let total = requests.len();
@@ -126,6 +128,64 @@ impl Scheduler {
             iterations: 0,
             total_requests: total,
         }
+    }
+
+    /// Injects one request online (cluster-router entry point).
+    ///
+    /// Unlike the trace passed to [`new`](Self::new), pushed requests
+    /// arrive while the simulation is running: the request joins the
+    /// pending queue in `(arrival, id)` order and is admitted by the next
+    /// [`next_batch`](Self::next_batch) whose clock has reached its
+    /// arrival time. Pushing a request whose arrival is already in the
+    /// past (relative to the scheduler clock) is allowed — it models a
+    /// request that queued at the front-end while an iteration was in
+    /// flight, and is admitted at the current clock.
+    pub fn push_request(&mut self, request: Request) {
+        self.total_requests += 1;
+        let at = self
+            .pending
+            .iter()
+            .position(|r| (r.arrival_ps, r.id) > (request.arrival_ps, request.id))
+            .unwrap_or(self.pending.len());
+        self.pending.insert(at, request);
+    }
+
+    /// The earliest simulated time this scheduler can make progress, or
+    /// `None` when it is fully drained (every known request completed).
+    ///
+    /// * With running (or evicted) sequences, the next iteration forms at
+    ///   the current clock.
+    /// * Otherwise the scheduler is idle until its earliest pending
+    ///   arrival (plus the configured batch delay).
+    ///
+    /// A cluster driver interleaves replicas by stepping whichever
+    /// reports the smallest ready time; a `None` replica wakes up again
+    /// when [`push_request`](Self::push_request) hands it new work.
+    pub fn next_ready_ps(&self) -> Option<TimePs> {
+        if !self.active.is_empty() || !self.evicted.is_empty() {
+            return Some(self.clock_ps);
+        }
+        let front = self.pending.front()?;
+        // Mirror next_batch's fast-forward exactly: the batch delay is a
+        // wake-up cost, charged only when the scheduler is actually asleep
+        // ahead of the arrival — a pending request already behind the
+        // clock is served at the clock, delay-free.
+        Some(if front.arrival_ps > self.clock_ps {
+            front.arrival_ps + self.config.batch_delay_ps
+        } else {
+            self.clock_ps
+        })
+    }
+
+    /// Requests accepted but not yet finished (pending + active +
+    /// evicted) — the router's queue-depth load signal.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len() + self.active.len() + self.evicted.len()
+    }
+
+    /// Requests waiting for admission.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// Current scheduler clock.
@@ -190,8 +250,7 @@ impl Scheduler {
         //    exists, the growing sequence itself is evicted.
         let mut forced_out: Vec<u64> = Vec::new();
         for i in 0..self.active.len() {
-            if self.active[i].state != RequestState::Generating
-                || self.active[i].generated == 0
+            if self.active[i].state != RequestState::Generating || self.active[i].generated == 0
             {
                 continue;
             }
@@ -263,9 +322,7 @@ impl Scheduler {
         // 3. Admit newly arrived requests while memory and max_batch allow.
         let admission_open = match self.config.policy {
             SchedulingPolicy::IterationLevel => true,
-            SchedulingPolicy::RequestLevel => {
-                self.active.is_empty() && self.evicted.is_empty()
-            }
+            SchedulingPolicy::RequestLevel => self.active.is_empty() && self.evicted.is_empty(),
         };
         if admission_open {
             while let Some(front) = self.pending.front() {
@@ -549,10 +606,82 @@ mod tests {
     }
 
     #[test]
+    fn online_injection_into_empty_scheduler() {
+        let mut s = sched(Vec::new());
+        assert!(s.next_batch().is_none(), "no work yet");
+        assert_eq!(s.next_ready_ps(), None);
+        s.push_request(Request::new(0, 16, 2, 1_000));
+        assert_eq!(s.next_ready_ps(), Some(1_000));
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.prompt_tokens(), 16);
+        s.complete_iteration(10);
+        assert_eq!(s.next_ready_ps(), Some(s.clock_ps()));
+        s.next_batch().unwrap();
+        s.complete_iteration(10);
+        assert!(s.is_done());
+        assert_eq!(s.next_ready_ps(), None);
+        // A drained scheduler accepts more work.
+        s.push_request(Request::new(1, 8, 1, 5_000));
+        assert!(!s.is_done());
+        assert_eq!(s.next_ready_ps(), Some(5_000));
+        s.next_batch().unwrap();
+        s.complete_iteration(10);
+        assert_eq!(s.completions().len(), 2);
+    }
+
+    #[test]
+    fn pushed_request_with_past_arrival_joins_now() {
+        let mut s = sched(vec![Request::new(0, 64, 8, 0)]);
+        s.next_batch().unwrap();
+        s.complete_iteration(1_000);
+        // Arrival 200 is already behind the clock (1000).
+        s.push_request(Request::new(1, 32, 2, 200));
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.batch_size(), 2);
+        assert_eq!(b.prompt_tokens(), 32);
+    }
+
+    #[test]
+    fn push_request_keeps_arrival_order() {
+        let mut s = sched(Vec::new());
+        s.push_request(Request::new(2, 8, 1, 3_000));
+        s.push_request(Request::new(0, 8, 1, 1_000));
+        s.push_request(Request::new(1, 8, 1, 2_000));
+        assert_eq!(s.outstanding(), 3);
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.slots[0].request, 0, "earliest arrival admitted first");
+        assert_eq!(s.clock_ps(), 1_000);
+    }
+
+    #[test]
+    fn next_ready_applies_batch_delay_when_idle() {
+        let cfg = SchedulerConfig { batch_delay_ps: 500, ..SchedulerConfig::default() };
+        let mut s = Scheduler::new(cfg, kv(64), Vec::new());
+        s.push_request(Request::new(0, 16, 1, 1_000));
+        assert_eq!(s.next_ready_ps(), Some(1_500));
+    }
+
+    #[test]
+    fn next_ready_matches_next_batch_for_past_arrivals_under_batch_delay() {
+        // A pending request already behind the clock is served at the
+        // clock with no wake-up delay; next_ready_ps must agree with
+        // where next_batch will actually form the batch.
+        let cfg = SchedulerConfig { batch_delay_ps: 5_000, ..SchedulerConfig::default() };
+        let mut s = Scheduler::new(cfg, kv(64), vec![Request::new(0, 16, 1, 0)]);
+        s.next_batch().unwrap();
+        s.complete_iteration(1_000); // clock = 1_000 (no idle fast-forward)
+        s.push_request(Request::new(1, 16, 1, 400)); // arrival in the past
+        assert_eq!(s.next_ready_ps(), Some(1_000), "no delay for past arrivals");
+        s.next_batch().unwrap();
+        assert_eq!(s.clock_ps(), 1_000, "batch forms at the clock, not arrival+delay");
+    }
+
+    #[test]
     fn deterministic_run() {
         let run = || {
-            let reqs: Vec<Request> =
-                (0..20).map(|i| Request::new(i, 16 + (i as usize * 7) % 64, 4, i * 100)).collect();
+            let reqs: Vec<Request> = (0..20)
+                .map(|i| Request::new(i, 16 + (i as usize * 7) % 64, 4, i * 100))
+                .collect();
             let mut s = Scheduler::new(SchedulerConfig::default(), kv(64), reqs);
             let mut sig = Vec::new();
             while let Some(b) = s.next_batch() {

@@ -88,8 +88,7 @@ impl Completion {
         if self.output_len <= 1 {
             return 0.0;
         }
-        self.finish_ps.saturating_sub(self.first_token_ps) as f64
-            / (self.output_len - 1) as f64
+        self.finish_ps.saturating_sub(self.first_token_ps) as f64 / (self.output_len - 1) as f64
     }
 }
 

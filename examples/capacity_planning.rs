@@ -16,8 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("— arrival-rate sweep (GPT-2, 2 NPUs, paged KV) —");
     println!("{:>10} {:>12} {:>12} {:>12}", "req/s", "gen tok/s", "mean lat", "p99 lat");
     for rate in [2.0, 8.0, 32.0, 128.0] {
-        let trace =
-            TraceGenerator::new(Dataset::Alpaca, 11).rate_per_s(rate).generate(32);
+        let trace = TraceGenerator::new(Dataset::Alpaca, 11).rate_per_s(rate).generate(32);
         let config = SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel();
         let report = ServingSimulator::new(config, trace)?.run();
         println!(
@@ -44,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = TraceGenerator::new(Dataset::Alpaca, 23).rate_per_s(64.0).generate(48);
     for (name, config) in [("paged (vLLM)", mk(true)), ("max-length prealloc", mk(false))] {
         let report = ServingSimulator::new(config, trace.clone())?.run();
-        let max_batch =
-            report.iterations.iter().map(|i| i.batch_size).max().unwrap_or(0);
+        let max_batch = report.iterations.iter().map(|i| i.batch_size).max().unwrap_or(0);
         println!(
             "{:<22} max_batch={:>3}  gen={:>6.0} tok/s  mean_lat={:>6.2}s  iters={}",
             name,

@@ -1,0 +1,56 @@
+//! Routing-policy shoot-out on a multi-replica cluster.
+//!
+//! Serves the same bursty, size-skewed trace on a 4-replica GPT-2 cluster
+//! under each built-in routing policy and prints the cluster SLO metrics
+//! side by side. The trace is adversarial to load-blind routing: every
+//! 4th request is ~10x heavier, so round-robin funnels all heavy
+//! requests to one replica while load-aware policies absorb them.
+//!
+//! Run with `cargo run --release --example cluster_routing`.
+
+use llmservingsim::prelude::*;
+
+fn main() {
+    let spec = BurstyTraceSpec::default();
+    let trace = bursty_trace(&spec);
+    println!(
+        "trace: {} requests in {} bursts, heavy request every {} \
+         ({}in/{}out vs {}in/{}out tokens)\n",
+        trace.len(),
+        spec.bursts,
+        spec.heavy_every,
+        spec.heavy.0,
+        spec.heavy.1,
+        spec.light.0,
+        spec.light.1,
+    );
+
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "policy", "ttft_p50", "ttft_p99", "lat_p99", "makespan", "imbalance"
+    );
+    for kind in RoutingPolicyKind::ALL {
+        let config = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+        let cluster = ClusterConfig::new(4).routing(kind).seed(42);
+        let report = ClusterSimulator::new(config, cluster, trace.clone())
+            .expect("gpt2 fits a single Table-I NPU")
+            .run();
+        assert_eq!(report.total_completions(), trace.len());
+        let ttft = report.ttft_percentiles();
+        let lat = report.latency_percentiles();
+        println!(
+            "{:<18} {:>8.3}s {:>8.3}s {:>8.3}s {:>9.3}s {:>10.2}",
+            kind.to_string(),
+            ttft.p50_s,
+            ttft.p99_s,
+            lat.p99_s,
+            report.makespan_s(),
+            report.load_imbalance(),
+        );
+    }
+
+    println!(
+        "\nround-robin sends every heavy request to replica 0; \
+         load-aware policies spread them, cutting the TTFT tail."
+    );
+}

@@ -14,14 +14,10 @@ use llmservingsim::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Decode-heavy workload: short prompts, long generations, arriving in
     // one burst so batching stays dense.
-    let trace: Vec<Request> =
-        (0..24).map(|i| Request::new(i, 16, 192, 0)).collect();
+    let trace: Vec<Request> = (0..24).map(|i| Request::new(i, 16, 192, 0)).collect();
 
     let systems: Vec<(&str, SimConfig)> = vec![
-        (
-            "npu-only (4 NPUs)",
-            SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel(),
-        ),
+        ("npu-only (4 NPUs)", SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel()),
         (
             "npu+pim local (4 devices, Fig. 5a)",
             SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel().pim_local(),
@@ -55,9 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "local PIM speedup over NPU-only: {:.2}x (decode attention offloaded in-package)",
         results[1] / results[0]
     );
-    println!(
-        "pooled PIM pays inter-pool transfers: {:.2}x vs local",
-        results[2] / results[1]
-    );
+    println!("pooled PIM pays inter-pool transfers: {:.2}x vs local", results[2] / results[1]);
     Ok(())
 }

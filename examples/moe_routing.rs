@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Each expert processes roughly tokens/n_experts rows through its FFN.
     let per_expert = tokens.div_ceil(n_experts);
     let expert_up = Op::new(OpKind::FfnUp, OpDims::matmul(per_expert, d, spec.d_ff), w);
-    let expert_act =
-        Op::new(OpKind::Activation, OpDims::elementwise(per_expert, spec.d_ff), w);
+    let expert_act = Op::new(OpKind::Activation, OpDims::elementwise(per_expert, spec.d_ff), w);
     let expert_down = Op::new(OpKind::FfnDown, OpDims::matmul(per_expert, spec.d_ff, d), w);
 
     // One MoE layer per transformer block.
@@ -69,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let down_ps = price(&mut stack, &expert_down);
             let a = g.add(e, ExecPayload::Compute { ps: up_ps }, &[dispatch], "expert_up");
             let b = g.add(e, ExecPayload::Compute { ps: act_ps }, &[a], "expert_act");
-            let c =
-                g.add(e, ExecPayload::Compute { ps: down_ps }, &[b], "expert_down");
+            let c = g.add(e, ExecPayload::Compute { ps: down_ps }, &[b], "expert_down");
             outs.push(c);
         }
         // Gather results back.
@@ -93,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("MoE decode iteration across {n_experts} expert nodes:");
     println!("  graph ops        : {}", g.len());
     println!("  makespan         : {:.3} ms", out.makespan_ps as f64 / 1e9);
-    println!("  comm share       : {:.1}%", out.comm_ps as f64 / out.makespan_ps as f64 * 100.0);
+    println!(
+        "  comm share       : {:.1}%",
+        out.comm_ps as f64 / out.makespan_ps as f64 * 100.0
+    );
     println!("  utilization      : {:.1}%", out.utilization() * 100.0);
 
     // Dense-FFN comparison: all tokens through one node's full FFN.

@@ -17,9 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 8 NPUs arranged five ways: TP8, 4x2, 2x4 hybrids, PP8.
     let layouts: Vec<(String, SimConfig)> = vec![
         ("tensor (TP8)".into(), SimConfig::new(ModelSpec::gpt2()).npu_num(8).tensor_parallel()),
-        ("hybrid (TP4 PP2)".into(), SimConfig::new(ModelSpec::gpt2()).npu_num(8).hybrid_parallel(2)),
-        ("hybrid (TP2 PP4)".into(), SimConfig::new(ModelSpec::gpt2()).npu_num(8).hybrid_parallel(4)),
-        ("pipeline (PP8)".into(), SimConfig::new(ModelSpec::gpt2()).npu_num(8).pipeline_parallel()),
+        (
+            "hybrid (TP4 PP2)".into(),
+            SimConfig::new(ModelSpec::gpt2()).npu_num(8).hybrid_parallel(2),
+        ),
+        (
+            "hybrid (TP2 PP4)".into(),
+            SimConfig::new(ModelSpec::gpt2()).npu_num(8).hybrid_parallel(4),
+        ),
+        (
+            "pipeline (PP8)".into(),
+            SimConfig::new(ModelSpec::gpt2()).npu_num(8).pipeline_parallel(),
+        ),
     ];
 
     println!(
@@ -28,12 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (name, config) in layouts {
         let report = ServingSimulator::new(config, trace.clone())?.run();
-        let mean_iter_ms = report
-            .iterations
-            .iter()
-            .map(|i| i.latency_ps as f64 / 1e9)
-            .sum::<f64>()
-            / report.iterations.len() as f64;
+        let mean_iter_ms =
+            report.iterations.iter().map(|i| i.latency_ps as f64 / 1e9).sum::<f64>()
+                / report.iterations.len() as f64;
         let events: u64 = report.iterations.iter().map(|i| i.net_events).sum();
         println!(
             "{:<20} {:>11.0} {:>11.2}ms {:>11.2}s {:>9}",

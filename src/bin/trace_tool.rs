@@ -43,7 +43,9 @@ fn generate(args: &[String]) -> Result<(), String> {
             "--rate" => rate = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--burst" => burst = true,
-            "--input-len" => input_len = val("--input-len")?.parse().map_err(|e| format!("{e}"))?,
+            "--input-len" => {
+                input_len = val("--input-len")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--output-len" => {
                 output_len = val("--output-len")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -117,7 +119,13 @@ fn head(path: &str, n: usize) -> Result<(), String> {
     let trace = load(path)?;
     println!("id\tinput\toutput\tarrival_ms");
     for r in trace.iter().take(n) {
-        println!("{}\t{}\t{}\t{:.3}", r.id, r.input_len, r.output_len, r.arrival_ps as f64 / 1e9);
+        println!(
+            "{}\t{}\t{}\t{:.3}",
+            r.id,
+            r.input_len,
+            r.output_len,
+            r.arrival_ps as f64 / 1e9
+        );
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! | [`net`] | `llmss-net` | ASTRA-sim-analog DES system simulator |
 //! | [`sched`] | `llmss-sched` | request traces, Orca scheduling, paged KV cache |
 //! | [`core`] | `llmss-core` | engine stack, graph converter, serving simulator |
+//! | [`cluster`] | `llmss-cluster` | multi-replica fleet, routing policies, SLO metrics |
 //! | [`baselines`] | `llmss-baselines` | mNPUsim/GeneSys/NeuPIMs-like sims + reference systems |
 //!
 //! # Quickstart
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub use llmss_baselines as baselines;
+pub use llmss_cluster as cluster;
 pub use llmss_core as core;
 pub use llmss_model as model;
 pub use llmss_net as net;
@@ -42,10 +44,14 @@ pub use llmss_sched as sched;
 
 /// Convenient single-import surface for the common workflow.
 pub mod prelude {
+    pub use llmss_cluster::{
+        bursty_trace, BurstyTraceSpec, ClusterConfig, ClusterReport, ClusterSimulator,
+        RoutingPolicy, RoutingPolicyKind,
+    };
     pub use llmss_core::{
         map_op, DeviceKind, EngineStack, ExecutionEngine, GraphConverter, KvManage,
-        ParallelismKind, ParallelismSpec, PimMode, ReuseCache, ServingSimulator, SimConfig,
-        SimReport,
+        ParallelismKind, ParallelismSpec, PercentileSummary, PimMode, ReuseCache,
+        ServingSimulator, SimConfig, SimReport,
     };
     pub use llmss_model::{
         IterationWorkload, ModelSpec, Op, OpDims, OpKind, Phase, Roofline, SeqSlot,

@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use llmservingsim::cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
 use llmservingsim::core::{ParallelismKind, ServingSimulator, SimConfig};
 use llmservingsim::model::ModelSpec;
 use llmservingsim::sched::{
@@ -42,6 +43,8 @@ struct Options {
     output: String,
     gen_only: bool,
     fast_run: bool,
+    replicas: usize,
+    routing: RoutingPolicyKind,
 }
 
 impl Default for Options {
@@ -67,6 +70,8 @@ impl Default for Options {
             output: "output/llmservingsim".into(),
             gen_only: false,
             fast_run: false,
+            replicas: 1,
+            routing: RoutingPolicyKind::RoundRobin,
         }
     }
 }
@@ -102,6 +107,11 @@ OPTIONS (artifact-compatible):
                         --no-reuse)
   --no-reuse            disable computation-reuse caches
   -h, --help            show this help
+
+CLUSTER MODE (multi-replica serving behind a router):
+  --replicas N          serving replicas; N >= 2 enables cluster mode [1]
+  --routing P           round-robin | least-outstanding | least-kv |
+                        power-of-two                       [round-robin]
 ";
 
 fn parse_args() -> Result<(Options, bool), String> {
@@ -139,13 +149,19 @@ fn parse_args() -> Result<(Options, bool), String> {
             "--dataset" => opts.dataset = Some(value("--dataset")?),
             "--synthetic" => opts.synthetic = value("--synthetic")?,
             "--n-requests" => {
-                opts.n_requests =
-                    value("--n-requests")?.parse().map_err(|e| format!("{e}"))?
+                opts.n_requests = value("--n-requests")?.parse().map_err(|e| format!("{e}"))?
             }
             "--rate" => opts.rate = value("--rate")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--network" => opts.network_json = Some(value("--network")?),
             "--output" => opts.output = value("--output")?,
+            "--replicas" => {
+                opts.replicas = value("--replicas")?.parse().map_err(|e| format!("{e}"))?;
+                if opts.replicas == 0 {
+                    return Err("--replicas must be at least 1".into());
+                }
+            }
+            "--routing" => opts.routing = value("--routing")?.parse()?,
             "--gen" => opts.gen_only = true,
             "--fast-run" => opts.fast_run = true,
             "--no-reuse" => reuse = false,
@@ -193,8 +209,8 @@ fn build_config(opts: &Options, reuse: bool) -> Result<SimConfig, String> {
         other => return Err(format!("unknown pim_type '{other}'")),
     };
     if let Some(path) = &opts.network_json {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         cfg.npu_config = llmservingsim::npu::NpuConfig::from_json(&json)?;
     }
     Ok(cfg)
@@ -228,6 +244,44 @@ fn load_trace(opts: &Options) -> Result<Vec<Request>, String> {
     Ok(trace)
 }
 
+fn ensure_output_dir(output: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(output).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn run_single(cfg: SimConfig, trace: Vec<Request>, output: &str) -> Result<(), String> {
+    let report = ServingSimulator::new(cfg, trace).map_err(|e| e.to_string())?.run();
+
+    println!("{}", report.summary());
+
+    ensure_output_dir(output)?;
+    let tput_path = format!("{output}-throughput.tsv");
+    std::fs::write(&tput_path, report.throughput_tsv(1.0)).map_err(|e| e.to_string())?;
+    let time_path = format!("{output}-simulation-time.tsv");
+    std::fs::write(&time_path, report.wall.to_tsv()).map_err(|e| e.to_string())?;
+    println!("wrote {tput_path}");
+    println!("wrote {time_path}");
+    Ok(())
+}
+
+fn run_cluster(cfg: SimConfig, trace: Vec<Request>, opts: &Options) -> Result<(), String> {
+    let cluster_cfg = ClusterConfig::new(opts.replicas).routing(opts.routing).seed(opts.seed);
+    let report =
+        ClusterSimulator::new(cfg, cluster_cfg, trace).map_err(|e| e.to_string())?.run();
+
+    println!("{}", report.summary());
+
+    ensure_output_dir(&opts.output)?;
+    let cluster_path = format!("{}-cluster.tsv", opts.output);
+    std::fs::write(&cluster_path, report.to_tsv()).map_err(|e| e.to_string())?;
+    println!("wrote {cluster_path}");
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let (opts, mut reuse) = parse_args()?;
     if opts.fast_run {
@@ -236,32 +290,20 @@ fn run() -> Result<(), String> {
     let cfg = build_config(&opts, reuse)?;
     let trace = load_trace(&opts)?;
     println!(
-        "llmservingsim: model={} npus={} parallel={:?} pim={:?} requests={}",
+        "llmservingsim: model={} npus={} parallel={:?} pim={:?} requests={} replicas={}",
         cfg.model.name,
         cfg.npu_num,
         cfg.parallel,
         cfg.pim_mode,
-        trace.len()
+        trace.len(),
+        opts.replicas,
     );
 
-    let report = ServingSimulator::new(cfg, trace)
-        .map_err(|e| e.to_string())?
-        .run();
-
-    println!("{}", report.summary());
-
-    if let Some(dir) = std::path::Path::new(&opts.output).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-        }
+    if opts.replicas > 1 {
+        run_cluster(cfg, trace, &opts)
+    } else {
+        run_single(cfg, trace, &opts.output)
     }
-    let tput_path = format!("{}-throughput.tsv", opts.output);
-    std::fs::write(&tput_path, report.throughput_tsv(1.0)).map_err(|e| e.to_string())?;
-    let time_path = format!("{}-simulation-time.tsv", opts.output);
-    std::fs::write(&time_path, report.wall.to_tsv()).map_err(|e| e.to_string())?;
-    println!("wrote {tput_path}");
-    println!("wrote {time_path}");
-    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -24,8 +24,7 @@ fn local_pim_accelerates_decode_heavy_serving() {
 #[test]
 fn pool_mode_runs_and_pays_interconnect_costs() {
     let local = SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_local();
-    let pool =
-        SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_pool(2);
+    let pool = SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel().pim_pool(2);
     let local_r = ServingSimulator::new(local, decode_heavy(8)).unwrap().run();
     let pool_r = ServingSimulator::new(pool, decode_heavy(8)).unwrap().run();
     assert_eq!(pool_r.completions.len(), 8);
@@ -38,8 +37,7 @@ fn pool_mode_runs_and_pays_interconnect_costs() {
 fn prefill_heavy_workloads_see_little_pim_benefit() {
     // Prefill attention is a GEMM and stays on the NPU, so PIM barely
     // helps prompt-dominated traffic.
-    let prefill_heavy: Vec<Request> =
-        (0..8).map(|i| Request::new(i, 256, 2, 0)).collect();
+    let prefill_heavy: Vec<Request> = (0..8).map(|i| Request::new(i, 256, 2, 0)).collect();
     let npu_only = SimConfig::new(ModelSpec::gpt2()).npu_num(2).tensor_parallel();
     let with_pim = npu_only.clone().pim_local();
     let base = ServingSimulator::new(npu_only, prefill_heavy.clone()).unwrap().run();

@@ -72,7 +72,10 @@ fn selective_batching_balances_attention_across_group() {
     // complete and produce identical token counts.
     let on = run(SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel(), 6);
     let off = run(
-        SimConfig::new(ModelSpec::gpt2()).npu_num(4).tensor_parallel().selective_batching(false),
+        SimConfig::new(ModelSpec::gpt2())
+            .npu_num(4)
+            .tensor_parallel()
+            .selective_batching(false),
         6,
     );
     assert_eq!(on.total_generated_tokens(), off.total_generated_tokens());

@@ -6,9 +6,7 @@ use llmservingsim::core::{DeviceKind, EngineStack};
 use llmservingsim::model::{
     IterationWorkload, ModelSpec, Op, OpDims, OpKind, Roofline, SeqSlot,
 };
-use llmservingsim::net::{
-    simulate_graph, ExecGraph, ExecPayload, LinkSpec, Topology,
-};
+use llmservingsim::net::{simulate_graph, ExecGraph, ExecPayload, LinkSpec, Topology};
 use llmservingsim::npu::{enumerate_candidates, NpuConfig};
 use llmservingsim::sched::{
     partition_sub_batches, KvCache, KvCacheConfig, PartitionCriteria, Request, Scheduler,

@@ -61,9 +61,7 @@ fn identical_seeds_reproduce_identical_reports() {
 fn request_level_scheduling_is_slower_than_iteration_level() {
     let trace = alpaca(12, 5);
     let orca = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
-    let legacy = orca
-        .clone()
-        .scheduling(llmservingsim::sched::SchedulingPolicy::RequestLevel);
+    let legacy = orca.clone().scheduling(llmservingsim::sched::SchedulingPolicy::RequestLevel);
     let orca_report = ServingSimulator::new(orca, trace.clone()).unwrap().run();
     let legacy_report = ServingSimulator::new(legacy, trace).unwrap().run();
     // Orca's iteration-level scheduling admits work earlier, so mean
@@ -74,6 +72,49 @@ fn request_level_scheduling_is_slower_than_iteration_level() {
         orca_report.mean_latency_s(),
         legacy_report.mean_latency_s()
     );
+}
+
+#[test]
+fn request_level_scheduling_serves_batches_to_full_drain() {
+    // Static batching end-to-end: a batch admitted together must fully
+    // drain before the next batch prefills. Observable from completions:
+    // requests sharing a prefill iteration share `first_token_ps`, and
+    // each later batch's first token comes strictly after every earlier
+    // batch's last finish.
+    let config = SimConfig::new(ModelSpec::gpt2())
+        .npu_num(1)
+        .tensor_parallel()
+        .scheduling(llmservingsim::sched::SchedulingPolicy::RequestLevel);
+    let trace = alpaca(14, 21);
+    let report = ServingSimulator::new(config, trace.clone()).unwrap().run();
+    assert_eq!(report.completions.len(), 14, "every request must complete");
+
+    let mut by_first_token = report.completions.clone();
+    by_first_token.sort_by_key(|c| (c.first_token_ps, c.id));
+    let mut batches: Vec<Vec<llmservingsim::sched::Completion>> = Vec::new();
+    for c in by_first_token {
+        match batches.last_mut() {
+            Some(batch) if batch[0].first_token_ps == c.first_token_ps => batch.push(c),
+            _ => batches.push(vec![c]),
+        }
+    }
+    assert!(batches.len() >= 2, "trace should need more than one static batch");
+    for pair in batches.windows(2) {
+        let drained = pair[0].iter().map(|c| c.finish_ps).max().unwrap();
+        let next_first = pair[1][0].first_token_ps;
+        assert!(
+            next_first > drained,
+            "batch prefilled at {next_first} before the previous drained at {drained}"
+        );
+    }
+
+    // And the run is reproducible.
+    let config2 = SimConfig::new(ModelSpec::gpt2())
+        .npu_num(1)
+        .tensor_parallel()
+        .scheduling(llmservingsim::sched::SchedulingPolicy::RequestLevel);
+    let again = ServingSimulator::new(config2, trace).unwrap().run();
+    assert_eq!(report.completions, again.completions);
 }
 
 #[test]

@@ -1,0 +1,252 @@
+//! Offline stand-in for `criterion`, covering the surface this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and `black_box`.
+//!
+//! Measurement is deliberately simple: each benchmark runs `sample_size`
+//! timed samples after one warm-up and reports min/median/mean wall-clock
+//! per iteration on stdout. No statistics beyond that, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { text: format!("{name}/{parameter}") }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one warm-up plus `sample_size` measured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b));
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    /// Ends the group (report flushing happens per-bench; kept for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher { samples, results: Vec::new() };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    b.results.sort_unstable();
+    let min = b.results[0];
+    let median = b.results[b.results.len() / 2];
+    let mean = b.results.iter().sum::<Duration>() / u32::try_from(b.results.len()).unwrap_or(1);
+    let per = |d: Duration| format_duration(d);
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:.1} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median.as_secs_f64() > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} min {:>10}  median {:>10}  mean {:>10}{extra}",
+        per(min),
+        per(median),
+        per(mean),
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry object.
+#[derive(Debug)]
+pub struct Criterion {
+    benches_run: usize,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { benches_run: 0, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored; the
+    /// stand-in has no tunables).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.default_sample_size, None, |b| f(b));
+        self.benches_run += 1;
+        self
+    }
+}
+
+/// Defines a benchmark group function from bench target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Defines `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.sample_size(3).bench_with_input(
+            BenchmarkId::from_parameter("x"),
+            &7u64,
+            |b, &x| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(x * 2)
+                })
+            },
+        );
+        group.finish();
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for plain structs with named fields and enums with unit or struct
+//! variants — exactly the shapes this workspace derives on.
+//!
+//! The input is parsed directly from the raw [`TokenStream`] (no `syn`),
+//! and the generated impls target the value-tree model in the sibling
+//! `serde` stand-in (`to_value` / `from_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree renderer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree reader).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+/// The derivable shapes.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(field names)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+/// Skips outer attributes (including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility qualifier starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive stand-in does not support generic type `{name}`")
+        }
+        other => panic!(
+            "derive stand-in supports only brace-bodied types, found {other:?} on `{name}`"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("cannot derive for `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` out of a brace group, ignoring attributes,
+/// visibility, and the types themselves (only names matter to the impls).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket
+        // depth zero (commas inside `HashMap<K, V>` belong to the type).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive stand-in does not support tuple variant `{name}`")
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn obj_entries(prefix: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value({prefix}{f})),"
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries = obj_entries("&self.", fields);
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = obj_entries("", fields);
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(v, \"{name}\", \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let struct_lookups: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vn, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::__private::field(\
+                                 inner, \"{name}::{vn}\", \"{f}\")?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = v.get(\"{vn}\") {{\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         {struct_lookups}\n\
+                         ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"no variant of {name} matches {{v:?}}\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
