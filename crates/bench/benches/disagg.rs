@@ -1,0 +1,53 @@
+//! Disaggregated-simulator bench: prefill/decode pool interleaving and
+//! KV-transfer bookkeeping cost vs. an equivalent unified cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llmss_cluster::{bursty_trace, BurstyTraceSpec, ClusterConfig, ClusterSimulator};
+use llmss_core::SimConfig;
+use llmss_disagg::{DisaggConfig, DisaggSimulator};
+use llmss_model::ModelSpec;
+
+fn bench_disagg(c: &mut Criterion) {
+    let spec = BurstyTraceSpec { bursts: 2, ..BurstyTraceSpec::prefill_heavy_mix(0.4, 5) };
+    let trace = bursty_trace(&spec);
+    let replica = || SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+
+    let mut group = c.benchmark_group("disagg");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for pools in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("disagg", format!("{pools}x{pools}")),
+            &pools,
+            |b, &pools| {
+                b.iter(|| {
+                    DisaggSimulator::new(
+                        replica(),
+                        replica(),
+                        DisaggConfig::new(pools, pools).seed(5),
+                        trace.clone(),
+                    )
+                    .expect("valid config")
+                    .run()
+                    .total_completions()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("unified", 2 * pools), &pools, |b, &pools| {
+            b.iter(|| {
+                ClusterSimulator::new(
+                    replica(),
+                    ClusterConfig::new(2 * pools).seed(5),
+                    trace.clone(),
+                )
+                .expect("valid config")
+                .run()
+                .total_completions()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disagg);
+criterion_main!(benches);

@@ -48,10 +48,10 @@ mod trace;
 
 pub use report::{ClusterReport, ReplicaStats};
 pub use route::{
-    LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReplicaSnapshot, RoundRobin,
-    RoutingPolicy, RoutingPolicyKind,
+    LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReplicaRole, ReplicaSnapshot, RoundRobin,
+    RoutingPolicy, RoutingPolicyKind, Sticky,
 };
-pub use sim::{ClusterConfig, ClusterSimulator};
+pub use sim::{ClusterConfig, ClusterSimulator, ReadyHeap};
 pub use trace::{bursty_trace, BurstyTraceSpec};
 
 pub use llmss_core::ServingSimulator;

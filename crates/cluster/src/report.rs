@@ -97,21 +97,24 @@ impl ClusterReport {
         tokens as f64 / s
     }
 
-    /// p50/p95/p99 time to first token, cluster-wide.
-    pub fn ttft_percentiles(&self) -> PercentileSummary {
+    /// p50/p95/p99 time to first token, cluster-wide (`None` with zero
+    /// completions).
+    pub fn ttft_percentiles(&self) -> Option<PercentileSummary> {
         percentiles_from_ps(self.completions().map(|c| c.ttft_ps() as f64))
     }
 
     /// p50/p95/p99 time per output token, cluster-wide (single-token
-    /// requests excluded, matching [`SimReport::tpot_percentiles`]).
-    pub fn tpot_percentiles(&self) -> PercentileSummary {
+    /// requests excluded, matching [`SimReport::tpot_percentiles`];
+    /// `None` when no request generated more than one token).
+    pub fn tpot_percentiles(&self) -> Option<PercentileSummary> {
         percentiles_from_ps(
             self.completions().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
         )
     }
 
-    /// p50/p95/p99 end-to-end request latency, cluster-wide.
-    pub fn latency_percentiles(&self) -> PercentileSummary {
+    /// p50/p95/p99 end-to-end request latency, cluster-wide (`None` with
+    /// zero completions).
+    pub fn latency_percentiles(&self) -> Option<PercentileSummary> {
         percentiles_from_ps(self.completions().map(|c| c.latency_ps() as f64))
     }
 
@@ -164,9 +167,9 @@ impl ClusterReport {
     /// One-paragraph human summary (the cluster analog of
     /// [`SimReport::summary`]).
     pub fn summary(&self) -> String {
-        let ttft = self.ttft_percentiles();
-        let tpot = self.tpot_percentiles();
-        let latency = self.latency_percentiles();
+        let ttft = PercentileSummary::display_or_na(self.ttft_percentiles());
+        let tpot = PercentileSummary::display_or_na(self.tpot_percentiles());
+        let latency = PercentileSummary::display_or_na(self.latency_percentiles());
         format!(
             "cluster policy={} replicas={} requests={} makespan={:.2}s \
              gen_tput={:.1} tok/s ttft[{ttft}] tpot[{tpot}] latency[{latency}] \
@@ -192,10 +195,12 @@ impl ClusterReport {
         let makespan = self.makespan_ps();
         let per_replica = self.per_replica();
         for (stats, report) in per_replica.iter().zip(&self.replica_reports) {
-            let ttft = report.ttft_percentiles();
-            let lat = report.latency_percentiles();
+            // A replica that finished nothing has no percentiles: dashes,
+            // never NaN, so the TSV stays machine-parseable.
+            let ttft = PercentileSummary::tsv_fields_or_dashes(report.ttft_percentiles());
+            let lat = PercentileSummary::tsv_fields_or_dashes(report.latency_percentiles());
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{ttft}\t{lat}\n",
                 stats.replica,
                 stats.routed_requests,
                 stats.completions,
@@ -204,14 +209,12 @@ impl ClusterReport {
                 stats.utilization(makespan),
                 stats.prompt_tokens,
                 stats.generated_tokens,
-                ttft.to_tsv_fields(),
-                lat.to_tsv_fields(),
             ));
         }
-        let ttft = self.ttft_percentiles();
-        let lat = self.latency_percentiles();
+        let ttft = PercentileSummary::tsv_fields_or_dashes(self.ttft_percentiles());
+        let lat = PercentileSummary::tsv_fields_or_dashes(self.latency_percentiles());
         out.push_str(&format!(
-            "cluster\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\n",
+            "cluster\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{ttft}\t{lat}\n",
             self.assignments.len(),
             self.total_completions(),
             per_replica.iter().map(|s| s.iterations).sum::<usize>(),
@@ -222,8 +225,6 @@ impl ClusterReport {
                 / per_replica.len().max(1) as f64,
             per_replica.iter().map(|s| s.prompt_tokens).sum::<u64>(),
             per_replica.iter().map(|s| s.generated_tokens).sum::<u64>(),
-            ttft.to_tsv_fields(),
-            lat.to_tsv_fields(),
         ));
         out
     }
@@ -282,7 +283,23 @@ mod tests {
     fn ttft_percentiles_merge_replicas() {
         let r = two_replica_report();
         // TTFTs: 1000, 2000, 4000 ps → p50 = 2000 ps.
-        assert!((r.ttft_percentiles().p50_s - 2e-9).abs() < 1e-15);
+        assert!((r.ttft_percentiles().unwrap().p50_s - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_completion_sets_render_dashes_not_nan() {
+        let r = ClusterReport::new(
+            "round-robin".into(),
+            vec![report_with(Vec::new(), 0), report_with(Vec::new(), 0)],
+            vec![0, 0],
+            Vec::new(),
+        );
+        assert_eq!(r.ttft_percentiles(), None);
+        assert_eq!(r.latency_percentiles(), None);
+        let tsv = r.to_tsv();
+        assert!(!tsv.contains("NaN"), "TSV leaked NaN: {tsv}");
+        assert!(tsv.lines().nth(1).unwrap().contains("-\t-\t-"), "{tsv}");
+        assert!(r.summary().contains("n/a"), "{}", r.summary());
     }
 
     #[test]

@@ -8,13 +8,59 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use llmss_sched::{Request, TimePs};
+use llmss_sched::{Request, SchedulerMode, TimePs};
+
+/// The serving role a replica plays in the fleet.
+///
+/// A classic cluster is all-[`Unified`](ReplicaRole::Unified); a
+/// disaggregated deployment splits the fleet into a prefill pool and a
+/// decode pool with a KV-cache handoff in between (`llmss-disagg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaRole {
+    /// Serves requests end to end (prefill + decode).
+    Unified,
+    /// Prefill pool member: builds KV caches, completes at end-of-prefill.
+    Prefill,
+    /// Decode pool member: streams tokens from KV caches shipped to it.
+    Decode,
+}
+
+impl ReplicaRole {
+    /// Whether the front-end router may send *new* requests here. Decode
+    /// replicas only receive work through KV-cache handoff, never fresh
+    /// arrivals.
+    pub fn accepts_arrivals(&self) -> bool {
+        !matches!(self, ReplicaRole::Decode)
+    }
+}
+
+impl From<SchedulerMode> for ReplicaRole {
+    fn from(mode: SchedulerMode) -> Self {
+        match mode {
+            SchedulerMode::Unified => ReplicaRole::Unified,
+            SchedulerMode::PrefillOnly => ReplicaRole::Prefill,
+            SchedulerMode::DecodeOnly => ReplicaRole::Decode,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplicaRole::Unified => "unified",
+            ReplicaRole::Prefill => "prefill",
+            ReplicaRole::Decode => "decode",
+        })
+    }
+}
 
 /// What the router can observe about one replica at routing time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaSnapshot {
     /// Replica index in the cluster.
     pub index: usize,
+    /// The replica's serving role.
+    pub role: ReplicaRole,
     /// The replica's simulated clock.
     pub clock_ps: TimePs,
     /// Requests accepted but not yet finished (queue depth).
@@ -30,6 +76,28 @@ pub struct ReplicaSnapshot {
 }
 
 impl ReplicaSnapshot {
+    /// Captures what a front-end can observe about `sim` right now —
+    /// the shared snapshot constructor for every driver (cluster router,
+    /// disaggregated pairing) built on
+    /// [`ServingSimulator`](llmss_core::ServingSimulator).
+    pub fn capture(
+        sim: &llmss_core::ServingSimulator,
+        index: usize,
+        role: ReplicaRole,
+    ) -> Self {
+        let sched = sim.scheduler();
+        Self {
+            index,
+            role,
+            clock_ps: sched.clock_ps(),
+            outstanding_requests: sched.outstanding(),
+            active_sequences: sched.active_len(),
+            kv_used_pages: sched.kv().used_pages(),
+            kv_total_pages: sched.kv().config().total_pages(),
+            completed_requests: sched.completions().len(),
+        }
+    }
+
     /// Fraction of KV pages in use (`0.0` when the cache has no pages).
     pub fn kv_load(&self) -> f64 {
         if self.kv_total_pages == 0 {
@@ -41,9 +109,11 @@ impl ReplicaSnapshot {
 
 /// A pluggable request-routing policy.
 ///
-/// `route` returns the index of the replica that should serve `request`;
-/// the cluster simulator injects the request there. Policies may keep
-/// state (round-robin cursors, RNGs) — hence `&mut self` — but must be
+/// `route` returns the cluster index of the replica that should serve
+/// `request`; the cluster simulator injects the request there. The same
+/// trait drives decode-replica *pairing* in disaggregated serving, where
+/// the candidate set is the decode pool. Policies may keep state
+/// (round-robin cursors, RNGs) — hence `&mut self` — but must be
 /// deterministic functions of their construction seed and the observed
 /// snapshot sequence, so that cluster runs reproduce exactly.
 pub trait RoutingPolicy: std::fmt::Debug {
@@ -52,8 +122,10 @@ pub trait RoutingPolicy: std::fmt::Debug {
 
     /// Chooses a replica for `request`.
     ///
-    /// `replicas` is never empty; implementations must return a valid
-    /// index into it.
+    /// `replicas` is never empty but may be a *subset* of the fleet (for
+    /// example, only the replicas whose role accepts arrivals).
+    /// Implementations must return the [`ReplicaSnapshot::index`] of one
+    /// of the provided snapshots — never a bare position in the slice.
     fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize;
 }
 
@@ -69,15 +141,19 @@ pub enum RoutingPolicyKind {
     /// Sample two distinct replicas uniformly, send to the less loaded
     /// (Mitzenmacher's "power of two choices").
     PowerOfTwoChoices,
+    /// Session affinity: the request id picks the replica, so a request
+    /// (or retry of it) always lands on the same place regardless of load.
+    Sticky,
 }
 
 impl RoutingPolicyKind {
     /// Every built-in policy (for sweeps and exhaustive tests).
-    pub const ALL: [RoutingPolicyKind; 4] = [
+    pub const ALL: [RoutingPolicyKind; 5] = [
         RoutingPolicyKind::RoundRobin,
         RoutingPolicyKind::LeastOutstanding,
         RoutingPolicyKind::LeastKvLoad,
         RoutingPolicyKind::PowerOfTwoChoices,
+        RoutingPolicyKind::Sticky,
     ];
 
     /// Instantiates the policy. `seed` feeds randomized policies
@@ -88,6 +164,7 @@ impl RoutingPolicyKind {
             RoutingPolicyKind::LeastOutstanding => Box::new(LeastOutstanding),
             RoutingPolicyKind::LeastKvLoad => Box::new(LeastKvLoad),
             RoutingPolicyKind::PowerOfTwoChoices => Box::new(PowerOfTwoChoices::new(seed)),
+            RoutingPolicyKind::Sticky => Box::new(Sticky),
         }
     }
 
@@ -98,6 +175,7 @@ impl RoutingPolicyKind {
             RoutingPolicyKind::LeastOutstanding => "least-outstanding",
             RoutingPolicyKind::LeastKvLoad => "least-kv",
             RoutingPolicyKind::PowerOfTwoChoices => "power-of-two",
+            RoutingPolicyKind::Sticky => "sticky",
         }
     }
 }
@@ -117,9 +195,10 @@ impl std::str::FromStr for RoutingPolicyKind {
             "least-outstanding" | "lor" => Ok(RoutingPolicyKind::LeastOutstanding),
             "least-kv" | "kv" => Ok(RoutingPolicyKind::LeastKvLoad),
             "power-of-two" | "p2c" => Ok(RoutingPolicyKind::PowerOfTwoChoices),
+            "sticky" => Ok(RoutingPolicyKind::Sticky),
             other => Err(format!(
-                "unknown routing policy '{other}' \
-                 (expected round-robin | least-outstanding | least-kv | power-of-two)"
+                "unknown routing policy '{other}' (expected round-robin | \
+                 least-outstanding | least-kv | power-of-two | sticky)"
             )),
         }
     }
@@ -144,8 +223,10 @@ impl RoutingPolicy for RoundRobin {
     }
 
     fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
-        let chosen = self.next % replicas.len();
-        self.next = (self.next + 1) % replicas.len();
+        // The candidate set may be a filtered subset of the fleet, so the
+        // cursor indexes the slice but the *snapshot* names the replica.
+        let chosen = replicas[self.next % replicas.len()].index;
+        self.next = self.next.wrapping_add(1);
         chosen
     }
 }
@@ -229,6 +310,25 @@ impl RoutingPolicy for PowerOfTwoChoices {
     }
 }
 
+/// Session-affinity routing: the request id alone picks the replica.
+///
+/// Every request (and any retry carrying the same id) lands on the same
+/// replica no matter the load — the classic consistent-assignment
+/// front-end, and the "sticky" decode-pairing policy for disaggregated
+/// serving (KV locality beats load balance when caches are reused).
+#[derive(Debug, Default)]
+pub struct Sticky;
+
+impl RoutingPolicy for Sticky {
+    fn name(&self) -> &'static str {
+        "sticky"
+    }
+
+    fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
+        replicas[(request.id % replicas.len() as u64) as usize].index
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +336,7 @@ mod tests {
     fn snap(index: usize, outstanding: usize, kv: usize) -> ReplicaSnapshot {
         ReplicaSnapshot {
             index,
+            role: ReplicaRole::Unified,
             clock_ps: 0,
             outstanding_requests: outstanding,
             active_sequences: outstanding,
@@ -291,6 +392,43 @@ mod tests {
     fn p2c_single_replica_is_total() {
         let mut p = PowerOfTwoChoices::new(1);
         assert_eq!(p.route(&req(0), &[snap(0, 3, 3)]), 0);
+    }
+
+    #[test]
+    fn sticky_ignores_load_and_follows_request_id() {
+        let mut p = Sticky;
+        let snaps = [snap(0, 100, 100), snap(1, 0, 0), snap(2, 50, 50)];
+        assert_eq!(p.route(&req(4), &snaps), 1, "4 % 3 == 1 despite replica 1's load");
+        assert_eq!(p.route(&req(4), &snaps), 1, "same id always lands the same place");
+        assert_eq!(p.route(&req(5), &snaps), 2);
+    }
+
+    #[test]
+    fn policies_return_snapshot_indices_on_filtered_subsets() {
+        // A disaggregated front-end routes over a subset of the fleet
+        // (e.g. replicas 2 and 5 of 8): policies must answer with the
+        // snapshot's cluster index, not a position in the slice.
+        let subset = [snap(2, 1, 1), snap(5, 0, 0)];
+        for kind in RoutingPolicyKind::ALL {
+            let mut p = kind.build(9);
+            for id in 0..16 {
+                let chosen = p.route(&req(id), &subset);
+                assert!(
+                    chosen == 2 || chosen == 5,
+                    "{kind} returned {chosen}, not a snapshot index"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_role_rejects_arrivals() {
+        assert!(ReplicaRole::Unified.accepts_arrivals());
+        assert!(ReplicaRole::Prefill.accepts_arrivals());
+        assert!(!ReplicaRole::Decode.accepts_arrivals());
+        assert_eq!(ReplicaRole::from(SchedulerMode::PrefillOnly), ReplicaRole::Prefill);
+        assert_eq!(ReplicaRole::from(SchedulerMode::DecodeOnly), ReplicaRole::Decode);
+        assert_eq!(ReplicaRole::from(SchedulerMode::Unified), ReplicaRole::Unified);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use llmss_core::{ConfigError, ServingSimulator, SimConfig};
 use llmss_sched::{Request, TimePs};
 
-use crate::{ClusterReport, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind};
+use crate::{ClusterReport, ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind};
 
 /// Cluster-level configuration: fleet size and routing.
 ///
@@ -73,10 +73,64 @@ impl ClusterConfig {
     }
 }
 
+/// A min-heap of replica ready-times with lazy invalidation: every
+/// mutation re-keys the replica under a fresh stamp, and stale entries
+/// are discarded on peek. This is the interleaving core shared by the
+/// cluster and disaggregated simulators — any driver juggling N
+/// independently-clocked [`ServingSimulator`]s can use it.
+#[derive(Debug, Default)]
+pub struct ReadyHeap {
+    /// `(ready time, replica, stamp)` entries, earliest first.
+    heap: BinaryHeap<Reverse<(TimePs, usize, u64)>>,
+    /// Latest stamp per replica; heap entries with older stamps are stale.
+    stamps: Vec<u64>,
+    counter: u64,
+}
+
+impl ReadyHeap {
+    /// An empty heap over `n` replicas.
+    pub fn new(n: usize) -> Self {
+        Self { heap: BinaryHeap::new(), stamps: vec![0; n], counter: 0 }
+    }
+
+    /// Re-keys `replica` after a mutation: its previous entry (if any)
+    /// goes stale, and `ready` (when `Some`) becomes its live entry.
+    pub fn refresh(&mut self, replica: usize, ready: Option<TimePs>) {
+        self.counter += 1;
+        self.stamps[replica] = self.counter;
+        if let Some(t) = ready {
+            self.heap.push(Reverse((t, replica, self.counter)));
+        }
+    }
+
+    /// The earliest live entry, discarding stale ones.
+    pub fn peek(&mut self) -> Option<(TimePs, usize)> {
+        while let Some(&Reverse((t, idx, stamp))) = self.heap.peek() {
+            if self.stamps[idx] == stamp {
+                return Some((t, idx));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Removes and returns the earliest live entry.
+    pub fn pop(&mut self) -> Option<(TimePs, usize)> {
+        let live = self.peek();
+        if live.is_some() {
+            self.heap.pop();
+        }
+        live
+    }
+}
+
 /// A fleet of serving replicas behind a router, advanced in virtual time.
 #[derive(Debug)]
 pub struct ClusterSimulator {
     replicas: Vec<ServingSimulator>,
+    /// Per-replica serving role (all [`ReplicaRole::Unified`] for the
+    /// homogeneous constructor).
+    roles: Vec<ReplicaRole>,
     router: Box<dyn RoutingPolicy>,
     /// Global arrival stream, earliest first (online injection source).
     arrivals: VecDeque<Request>,
@@ -84,11 +138,8 @@ pub struct ClusterSimulator {
     assignments: Vec<(u64, usize)>,
     /// Per-replica routed-request counters.
     routed: Vec<usize>,
-    /// Min-heap of `(ready time, replica, stamp)` with lazy invalidation.
-    heap: BinaryHeap<Reverse<(TimePs, usize, u64)>>,
-    /// Latest stamp per replica; heap entries with older stamps are stale.
-    stamps: Vec<u64>,
-    stamp_counter: u64,
+    /// Replica ready-times with lazy invalidation.
+    heap: ReadyHeap,
 }
 
 impl ClusterSimulator {
@@ -105,28 +156,82 @@ impl ClusterSimulator {
     pub fn new(
         replica_config: SimConfig,
         cluster: ClusterConfig,
+        trace: Vec<Request>,
+    ) -> Result<Self, ConfigError> {
+        let configs = vec![replica_config; cluster.replicas];
+        Self::heterogeneous(configs, cluster, trace)
+    }
+
+    /// Builds a cluster of *heterogeneous* replicas: one [`SimConfig`]
+    /// per replica, so the fleet may mix batch limits, KV capacities,
+    /// hardware shapes — and serving roles ([`ReplicaRole`], derived from
+    /// each config's scheduler mode). The router only offers replicas
+    /// whose role accepts fresh arrivals; decode-role replicas take no
+    /// fresh work and idle here, since only `llmss-disagg`'s
+    /// `DisaggSimulator` implements the KV-cache handoff that feeds them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when any replica configuration cannot be
+    /// realized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs.len() != cluster.replicas`; if any replica is
+    /// prefill-only (a plain cluster has no KV handoff, so its requests
+    /// would silently complete with truncated output — use
+    /// `DisaggSimulator`); or if the trace is non-empty and no replica
+    /// accepts arrivals (an all-decode fleet can never serve it).
+    pub fn heterogeneous(
+        configs: Vec<SimConfig>,
+        cluster: ClusterConfig,
         mut trace: Vec<Request>,
     ) -> Result<Self, ConfigError> {
-        let mut replicas = Vec::with_capacity(cluster.replicas);
-        for _ in 0..cluster.replicas {
-            replicas.push(ServingSimulator::new(replica_config.clone(), Vec::new())?);
+        assert_eq!(
+            configs.len(),
+            cluster.replicas,
+            "cluster declares {} replicas but {} configs were provided",
+            cluster.replicas,
+            configs.len()
+        );
+        let roles: Vec<ReplicaRole> = configs.iter().map(|c| c.mode.into()).collect();
+        // A plain cluster has no KV handoff: a prefill-only replica would
+        // accept arrivals and silently "complete" them at end-of-prefill
+        // with one token instead of output_len. Refuse rather than report
+        // a healthy-looking run with truncated generation.
+        assert!(
+            !roles.contains(&ReplicaRole::Prefill),
+            "prefill-only replicas complete at end-of-prefill with no KV handoff; \
+             disaggregated fleets need llmss-disagg's DisaggSimulator"
+        );
+        assert!(
+            trace.is_empty() || roles.iter().any(ReplicaRole::accepts_arrivals),
+            "no replica accepts arrivals: an all-decode fleet cannot serve the trace"
+        );
+        let mut replicas = Vec::with_capacity(configs.len());
+        for config in configs {
+            replicas.push(ServingSimulator::new(config, Vec::new())?);
         }
         trace.sort_by_key(|r| (r.arrival_ps, r.id));
         Ok(Self {
             router: cluster.routing.build(cluster.seed),
             routed: vec![0; cluster.replicas],
-            stamps: vec![0; cluster.replicas],
+            heap: ReadyHeap::new(cluster.replicas),
             replicas,
+            roles,
             arrivals: trace.into(),
             assignments: Vec::new(),
-            heap: BinaryHeap::new(),
-            stamp_counter: 0,
         })
     }
 
     /// The routing policy driving this cluster.
     pub fn policy_name(&self) -> &'static str {
         self.router.name()
+    }
+
+    /// Per-replica serving roles, by replica index.
+    pub fn roles(&self) -> &[ReplicaRole] {
+        &self.roles
     }
 
     /// The replicas (for inspection between steps).
@@ -140,43 +245,19 @@ impl ClusterSimulator {
     }
 
     fn snapshot(&self, index: usize) -> ReplicaSnapshot {
-        let sched = self.replicas[index].scheduler();
-        ReplicaSnapshot {
-            index,
-            clock_ps: sched.clock_ps(),
-            outstanding_requests: sched.outstanding(),
-            active_sequences: sched.active_len(),
-            kv_used_pages: sched.kv().used_pages(),
-            kv_total_pages: sched.kv().config().total_pages(),
-            completed_requests: sched.completions().len(),
-        }
+        ReplicaSnapshot::capture(&self.replicas[index], index, self.roles[index])
     }
 
     /// Re-keys `replica` in the heap after a mutation.
     fn refresh(&mut self, replica: usize) {
-        self.stamp_counter += 1;
-        self.stamps[replica] = self.stamp_counter;
-        if let Some(t) = self.replicas[replica].next_ready_ps() {
-            self.heap.push(Reverse((t, replica, self.stamp_counter)));
-        }
-    }
-
-    /// The earliest live heap entry, discarding stale ones.
-    fn peek_ready(&mut self) -> Option<(TimePs, usize)> {
-        while let Some(&Reverse((t, idx, stamp))) = self.heap.peek() {
-            if self.stamps[idx] == stamp {
-                return Some((t, idx));
-            }
-            self.heap.pop();
-        }
-        None
+        self.heap.refresh(replica, self.replicas[replica].next_ready_ps());
     }
 
     /// Processes the earliest virtual-time event: routes one arrival or
     /// runs one replica iteration. Returns `false` when the trace is
     /// drained and every replica is idle.
     pub fn step(&mut self) -> bool {
-        let next_ready = self.peek_ready();
+        let next_ready = self.heap.peek();
         let next_arrival = self.arrivals.front().map(|r| r.arrival_ps);
         // Arrivals route first on ties so the router always sees the
         // request before the replica simulates past its arrival time.
@@ -188,13 +269,16 @@ impl ClusterSimulator {
         match (route_arrival, next_ready) {
             (true, _) => {
                 let request = self.arrivals.pop_front().expect("checked above");
-                let snapshots: Vec<ReplicaSnapshot> =
-                    (0..self.replicas.len()).map(|i| self.snapshot(i)).collect();
+                // Offer only the replicas whose role takes fresh work.
+                let snapshots: Vec<ReplicaSnapshot> = (0..self.replicas.len())
+                    .filter(|&i| self.roles[i].accepts_arrivals())
+                    .map(|i| self.snapshot(i))
+                    .collect();
                 let chosen = self.router.route(&request, &snapshots);
                 assert!(
-                    chosen < self.replicas.len(),
-                    "router returned replica {chosen} of {}",
-                    self.replicas.len()
+                    snapshots.iter().any(|s| s.index == chosen),
+                    "router returned replica {chosen}, not one of the {} offered",
+                    snapshots.len()
                 );
                 self.assignments.push((request.id, chosen));
                 self.routed[chosen] += 1;
@@ -297,6 +381,68 @@ mod tests {
         .unwrap();
         while sim.step() {}
         assert_eq!(sim.assignments().len(), 9);
+    }
+
+    #[test]
+    fn heterogeneous_replicas_carry_distinct_configs() {
+        // Replica 0 batches freely; replica 1 is capped at one sequence.
+        // Both serve, and each iteration trace reflects its own config.
+        let roomy = replica_config();
+        let tight = replica_config().max_batch(1);
+        let sim = ClusterSimulator::heterogeneous(
+            vec![roomy, tight],
+            ClusterConfig::new(2),
+            trace(20, 2_000.0),
+        )
+        .unwrap();
+        assert_eq!(sim.roles(), [ReplicaRole::Unified, ReplicaRole::Unified]);
+        let report = sim.run();
+        assert_eq!(report.total_completions(), 20);
+        let max_batch = |r: usize| {
+            report.replica_reports[r].iterations.iter().map(|it| it.batch_size).max().unwrap()
+        };
+        assert!(max_batch(0) > 1, "the roomy replica should batch under a burst");
+        assert_eq!(max_batch(1), 1, "the capped replica must never exceed its limit");
+    }
+
+    #[test]
+    fn decode_replicas_never_receive_fresh_arrivals() {
+        let unified = replica_config();
+        let decode = replica_config().decode_only();
+        let mut sim = ClusterSimulator::heterogeneous(
+            vec![unified, decode],
+            ClusterConfig::new(2).routing(RoutingPolicyKind::LeastOutstanding),
+            trace(10, 200.0),
+        )
+        .unwrap();
+        assert_eq!(sim.roles()[1], ReplicaRole::Decode);
+        while sim.step() {}
+        assert!(
+            sim.assignments().iter().all(|&(_, replica)| replica == 0),
+            "the decode replica took a fresh arrival"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no KV handoff")]
+    fn prefill_only_replicas_rejected_without_handoff() {
+        // A plain cluster would route arrivals to the prefill replica and
+        // report them "complete" with one token — refuse loudly instead.
+        let _ = ClusterSimulator::heterogeneous(
+            vec![replica_config().prefill_only(), replica_config()],
+            ClusterConfig::new(2),
+            trace(4, 100.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "configs were provided")]
+    fn mismatched_config_count_panics() {
+        let _ = ClusterSimulator::heterogeneous(
+            vec![replica_config()],
+            ClusterConfig::new(2),
+            Vec::new(),
+        );
     }
 
     #[test]

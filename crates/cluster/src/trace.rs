@@ -7,20 +7,29 @@
 //! expensive requests onto one replica. [`bursty_trace`] generates exactly
 //! that shape, deterministically.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use llmss_sched::{Request, TimePs};
 
 /// Shape of a bursty, size-skewed trace.
 ///
 /// Requests arrive in `bursts` bursts of `burst_size`, separated by
 /// `burst_gap_ms` of silence. Within a burst, arrivals are 1 µs apart
-/// (ordered, effectively simultaneous at serving timescales). Every
-/// `heavy_every`-th request (by global index) is a heavy request with
-/// `heavy` input/output token counts; the rest use `light`.
+/// (ordered, effectively simultaneous at serving timescales) unless
+/// `poisson_rate_per_s` is set, in which case intra-burst gaps are drawn
+/// from a seeded exponential distribution (a Poisson arrival process).
 ///
-/// The periodic heavy placement is deliberately adversarial to
-/// round-robin: when `heavy_every` is a multiple of the replica count,
-/// round-robin funnels *all* heavy requests to the same replicas while
-/// load-aware policies spread them.
+/// Heavy requests carry the `heavy` input/output token counts; the rest
+/// use `light`. Placement is either *periodic* (every `heavy_every`-th
+/// request by global index — deliberately adversarial to round-robin:
+/// when `heavy_every` is a multiple of the replica count, round-robin
+/// funnels *all* heavy requests to the same replicas) or *stochastic*
+/// (`heavy_frac > 0`: each request is heavy with that probability,
+/// seeded). The heavy/light pairs double as the long-prompt/short-decode
+/// mixture knob for disaggregation experiments — see
+/// [`prefill_heavy_mix`](Self::prefill_heavy_mix) and
+/// [`decode_heavy_mix`](Self::decode_heavy_mix).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstyTraceSpec {
     /// Number of bursts.
@@ -29,12 +38,22 @@ pub struct BurstyTraceSpec {
     pub burst_size: usize,
     /// Idle gap between bursts, in milliseconds.
     pub burst_gap_ms: f64,
-    /// Every `heavy_every`-th request is heavy (0 disables heavies).
+    /// Every `heavy_every`-th request is heavy (0 disables the periodic
+    /// rule; ignored when `heavy_frac > 0`).
     pub heavy_every: usize,
+    /// Probability that any given request is heavy (0.0 keeps the
+    /// periodic `heavy_every` rule).
+    pub heavy_frac: f64,
     /// `(input_len, output_len)` of light requests.
     pub light: (usize, usize),
     /// `(input_len, output_len)` of heavy requests.
     pub heavy: (usize, usize),
+    /// Mean intra-burst arrival rate in requests/s; 0.0 keeps the fixed
+    /// 1 µs spacing, > 0 draws exponential inter-arrival gaps.
+    pub poisson_rate_per_s: f64,
+    /// Seed for the stochastic knobs (`heavy_frac`,
+    /// `poisson_rate_per_s`).
+    pub seed: u64,
 }
 
 impl Default for BurstyTraceSpec {
@@ -44,8 +63,11 @@ impl Default for BurstyTraceSpec {
             burst_size: 25,
             burst_gap_ms: 40.0,
             heavy_every: 4,
+            heavy_frac: 0.0,
             light: (32, 8),
             heavy: (512, 64),
+            poisson_rate_per_s: 0.0,
+            seed: 0,
         }
     }
 }
@@ -55,10 +77,53 @@ impl BurstyTraceSpec {
     pub fn total_requests(&self) -> usize {
         self.bursts * self.burst_size
     }
+
+    /// A prefill-heavy mixture: `frac` of requests carry long prompts
+    /// with short decodes (the disaggregation sweet spot — big KV builds
+    /// that stall co-batched decoders), the rest are light conversational
+    /// requests. Arrivals within a burst follow a seeded Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]`.
+    pub fn prefill_heavy_mix(frac: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "mixture fraction must be in [0, 1]");
+        Self {
+            heavy: (1024, 8), // long prompt, short decode
+            light: (32, 48),
+            heavy_every: 0,
+            heavy_frac: frac,
+            poisson_rate_per_s: 5_000.0,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A decode-heavy mixture: `frac` of requests stream long outputs
+    /// from short prompts (disaggregation pays for the transfer without
+    /// relieving much prefill pressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]`.
+    pub fn decode_heavy_mix(frac: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "mixture fraction must be in [0, 1]");
+        Self {
+            heavy: (32, 256), // short prompt, long decode
+            light: (32, 48),
+            heavy_every: 0,
+            heavy_frac: frac,
+            poisson_rate_per_s: 5_000.0,
+            seed,
+            ..Self::default()
+        }
+    }
 }
 
 /// Generates the bursty trace described by `spec` (see
-/// [`BurstyTraceSpec`]). Fully deterministic.
+/// [`BurstyTraceSpec`]). Fully deterministic: the stochastic knobs
+/// (Poisson arrivals, Bernoulli heavy placement) are driven by
+/// `spec.seed`, and arrivals are strictly increasing either way.
 ///
 /// # Examples
 ///
@@ -68,19 +133,45 @@ impl BurstyTraceSpec {
 /// let trace = bursty_trace(&BurstyTraceSpec::default());
 /// assert_eq!(trace.len(), 200);
 /// assert!(trace.windows(2).all(|w| w[0].arrival_ps < w[1].arrival_ps));
+///
+/// // Seeded Poisson arrivals + 40% long-prompt/short-decode mix.
+/// let mix = bursty_trace(&BurstyTraceSpec::prefill_heavy_mix(0.4, 7));
+/// assert_eq!(mix, bursty_trace(&BurstyTraceSpec::prefill_heavy_mix(0.4, 7)));
+/// assert!(mix.windows(2).all(|w| w[0].arrival_ps < w[1].arrival_ps));
 /// ```
 pub fn bursty_trace(spec: &BurstyTraceSpec) -> Vec<Request> {
     let gap_ps = (spec.burst_gap_ms * 1e9) as TimePs;
     let intra_ps: TimePs = 1_000_000; // 1 µs between arrivals in a burst
+    let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut out = Vec::with_capacity(spec.total_requests());
+    let mut clock: TimePs = 0;
     for burst in 0..spec.bursts {
+        // Poisson tails may spill past the nominal burst boundary; never
+        // let a later burst start behind an earlier arrival.
+        clock = clock.max(burst as TimePs * gap_ps);
         for slot in 0..spec.burst_size {
             let id = (burst * spec.burst_size + slot) as u64;
-            let heavy = spec.heavy_every > 0 && (id as usize).is_multiple_of(spec.heavy_every);
+            let heavy = if spec.heavy_frac > 0.0 {
+                rng.gen_bool(spec.heavy_frac)
+            } else {
+                spec.heavy_every > 0 && (id as usize).is_multiple_of(spec.heavy_every)
+            };
             let (input_len, output_len) = if heavy { spec.heavy } else { spec.light };
-            let arrival = burst as TimePs * gap_ps + slot as TimePs * intra_ps;
+            let arrival = if spec.poisson_rate_per_s > 0.0 {
+                if slot > 0 {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let gap_s = -u.ln() / spec.poisson_rate_per_s;
+                    clock += ((gap_s * 1e12) as TimePs).max(1);
+                }
+                clock
+            } else {
+                burst as TimePs * gap_ps + slot as TimePs * intra_ps
+            };
+            clock = arrival;
             out.push(Request::new(id, input_len, output_len, arrival));
         }
+        // Keep monotonicity across bursts even if a tail spilled over.
+        clock += 1;
     }
     out
 }
@@ -118,5 +209,52 @@ mod tests {
     fn zero_heavy_every_disables_heavies() {
         let spec = BurstyTraceSpec { heavy_every: 0, ..BurstyTraceSpec::default() };
         assert!(bursty_trace(&spec).iter().all(|r| r.input_len == spec.light.0));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_seeded_and_monotone() {
+        let spec =
+            BurstyTraceSpec { poisson_rate_per_s: 10_000.0, seed: 3, ..Default::default() };
+        let a = bursty_trace(&spec);
+        let b = bursty_trace(&spec);
+        assert_eq!(a, b, "same seed must reproduce the same arrivals");
+        assert!(a.windows(2).all(|w| w[0].arrival_ps < w[1].arrival_ps));
+        // Exponential gaps vary; the fixed 1 µs spacing does not.
+        let gaps: Vec<TimePs> = a[..spec.burst_size]
+            .windows(2)
+            .map(|w| w[1].arrival_ps - w[0].arrival_ps)
+            .collect();
+        let distinct: std::collections::HashSet<_> = gaps.iter().collect();
+        assert!(distinct.len() > 3, "gaps look deterministic: {gaps:?}");
+        let other = bursty_trace(&BurstyTraceSpec { seed: 4, ..spec });
+        assert_ne!(a, other, "different seeds must differ");
+    }
+
+    #[test]
+    fn mixture_fraction_controls_heavy_share() {
+        let all_heavy = bursty_trace(&BurstyTraceSpec::prefill_heavy_mix(1.0, 1));
+        assert!(all_heavy.iter().all(|r| r.input_len == 1024 && r.output_len == 8));
+        let none_heavy = bursty_trace(&BurstyTraceSpec::prefill_heavy_mix(0.0, 1));
+        assert!(none_heavy.iter().all(|r| r.input_len == 32));
+        let half = bursty_trace(&BurstyTraceSpec::prefill_heavy_mix(0.5, 1));
+        let heavies = half.iter().filter(|r| r.input_len == 1024).count();
+        assert!(
+            (60..140).contains(&heavies),
+            "50% mix over 200 requests gave {heavies} heavies"
+        );
+    }
+
+    #[test]
+    fn decode_heavy_mix_streams_long_outputs() {
+        let trace = bursty_trace(&BurstyTraceSpec::decode_heavy_mix(1.0, 9));
+        assert!(trace.iter().all(|r| r.output_len == 256 && r.input_len == 32));
+    }
+
+    #[test]
+    fn legacy_fixed_spacing_is_unchanged() {
+        // The stochastic knobs default off: the trace shape predates them.
+        let trace = bursty_trace(&BurstyTraceSpec::default());
+        assert_eq!(trace[1].arrival_ps - trace[0].arrival_ps, 1_000_000);
+        assert_eq!(trace[0].arrival_ps, 0);
     }
 }

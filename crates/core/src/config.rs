@@ -4,7 +4,9 @@ use llmss_model::ModelSpec;
 use llmss_net::{LinkSpec, TimePs, Topology};
 use llmss_npu::NpuConfig;
 use llmss_pim::PimConfig;
-use llmss_sched::{KvCache, KvCacheConfig, MemoryModel, SchedulerConfig, SchedulingPolicy};
+use llmss_sched::{
+    KvCache, KvCacheConfig, MemoryModel, SchedulerConfig, SchedulerMode, SchedulingPolicy,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::PimMode;
@@ -101,6 +103,9 @@ pub struct SimConfig {
     pub batch_delay_ms: f64,
     /// Scheduling policy.
     pub scheduling: SchedulingPolicy,
+    /// Which serving phases this replica runs (unified, prefill-only, or
+    /// decode-only — the disaggregated-serving knob).
+    pub mode: SchedulerMode,
     /// Parallelism strategy.
     pub parallel: ParallelismKind,
     /// NPU groups for hybrid parallelism (= pipeline stages).
@@ -140,6 +145,7 @@ impl SimConfig {
             max_batch: 0,
             batch_delay_ms: 0.0,
             scheduling: SchedulingPolicy::IterationLevel,
+            mode: SchedulerMode::Unified,
             parallel: ParallelismKind::Hybrid,
             npu_group: 1,
             npu_mem_gib: None,
@@ -228,6 +234,20 @@ impl SimConfig {
     /// Sets the scheduling policy.
     pub fn scheduling(mut self, policy: SchedulingPolicy) -> Self {
         self.scheduling = policy;
+        self
+    }
+
+    /// Runs this replica as a prefill-pool member: requests complete at
+    /// the end of their prefill iteration, KV ready to ship.
+    pub fn prefill_only(mut self) -> Self {
+        self.mode = SchedulerMode::PrefillOnly;
+        self
+    }
+
+    /// Runs this replica as a decode-pool member: admitted requests
+    /// arrive with their prompt KV already computed elsewhere.
+    pub fn decode_only(mut self) -> Self {
+        self.mode = SchedulerMode::DecodeOnly;
         self
     }
 
@@ -340,6 +360,7 @@ impl SimConfig {
     pub fn scheduler_config(&self) -> SchedulerConfig {
         SchedulerConfig {
             policy: self.scheduling,
+            mode: self.mode,
             max_batch: self.max_batch,
             batch_delay_ps: (self.batch_delay_ms * 1e9) as TimePs,
         }

@@ -86,9 +86,11 @@ pub struct ThroughputBin {
 /// p50/p95/p99 summary of one latency metric, in seconds of simulated
 /// time — the serving-SLO shape (median, tail, extreme tail).
 ///
-/// Built by [`percentiles_from_ps`]; used for single-replica metrics via
-/// [`SimReport::ttft_percentiles`] and friends, and for cluster-level SLOs
-/// by `llmss-cluster`.
+/// Built by [`percentiles_from_ps`], which yields `None` for an empty
+/// sample set (a run with zero completions has no percentiles — callers
+/// skip the row or print placeholders instead of NaN); used for
+/// single-replica metrics via [`SimReport::ttft_percentiles`] and
+/// friends, and for cluster-level SLOs by `llmss-cluster`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PercentileSummary {
     /// Median (50th percentile).
@@ -103,6 +105,25 @@ impl PercentileSummary {
     /// TSV fragment `p50\tp95\tp99` with values in seconds.
     pub fn to_tsv_fields(&self) -> String {
         format!("{:.4}\t{:.4}\t{:.4}", self.p50_s, self.p95_s, self.p99_s)
+    }
+
+    /// TSV fragment for an optional summary: `-` placeholders keep the
+    /// columns aligned when the sample set was empty, instead of emitting
+    /// NaN into the output.
+    pub fn tsv_fields_or_dashes(summary: Option<PercentileSummary>) -> String {
+        match summary {
+            Some(s) => s.to_tsv_fields(),
+            None => "-\t-\t-".to_owned(),
+        }
+    }
+
+    /// Human-readable rendering of an optional summary (`n/a` when the
+    /// sample set was empty).
+    pub fn display_or_na(summary: Option<PercentileSummary>) -> String {
+        match summary {
+            Some(s) => s.to_string(),
+            None => "n/a".to_owned(),
+        }
     }
 }
 
@@ -130,16 +151,23 @@ pub fn percentile(values: &mut [f64], p: f64) -> f64 {
     values[idx]
 }
 
-/// Summarizes picosecond samples into p50/p95/p99 seconds.
-pub fn percentiles_from_ps(values_ps: impl IntoIterator<Item = f64>) -> PercentileSummary {
+/// Summarizes picosecond samples into p50/p95/p99 seconds, or `None` for
+/// an empty sample set (no completions means the metric is undefined —
+/// never a zero or NaN masquerading as a measurement).
+pub fn percentiles_from_ps(
+    values_ps: impl IntoIterator<Item = f64>,
+) -> Option<PercentileSummary> {
     let mut v: Vec<f64> = values_ps.into_iter().collect();
+    if v.is_empty() {
+        return None;
+    }
     // One sort would do, but `percentile` re-sorting keeps it
     // self-contained and the samples here are per-request, not per-token.
-    PercentileSummary {
+    Some(PercentileSummary {
         p50_s: percentile(&mut v, 0.50) / 1e12,
         p95_s: percentile(&mut v, 0.95) / 1e12,
         p99_s: percentile(&mut v, 0.99) / 1e12,
-    }
+    })
 }
 
 /// The full result of one serving simulation.
@@ -211,19 +239,21 @@ impl SimReport {
         percentile(&mut lat, p) / 1e12
     }
 
-    /// p50/p95/p99 end-to-end request latency.
-    pub fn latency_percentiles(&self) -> PercentileSummary {
+    /// p50/p95/p99 end-to-end request latency (`None` with zero
+    /// completions).
+    pub fn latency_percentiles(&self) -> Option<PercentileSummary> {
         percentiles_from_ps(self.completions.iter().map(|c| c.latency_ps() as f64))
     }
 
-    /// p50/p95/p99 time to first token.
-    pub fn ttft_percentiles(&self) -> PercentileSummary {
+    /// p50/p95/p99 time to first token (`None` with zero completions).
+    pub fn ttft_percentiles(&self) -> Option<PercentileSummary> {
         percentiles_from_ps(self.completions.iter().map(|c| c.ttft_ps() as f64))
     }
 
     /// p50/p95/p99 mean time per output token (requests generating a
-    /// single token, whose TPOT is undefined, are excluded).
-    pub fn tpot_percentiles(&self) -> PercentileSummary {
+    /// single token, whose TPOT is undefined, are excluded; `None` when
+    /// no request generated more than one token).
+    pub fn tpot_percentiles(&self) -> Option<PercentileSummary> {
         percentiles_from_ps(
             self.completions.iter().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
         )
@@ -386,7 +416,7 @@ mod tests {
 
     #[test]
     fn percentile_summaries_convert_ps_to_seconds() {
-        let s = percentiles_from_ps((1..=100).map(|i| i as f64 * 1e12));
+        let s = percentiles_from_ps((1..=100).map(|i| i as f64 * 1e12)).unwrap();
         assert_eq!(s.p50_s, 51.0);
         assert_eq!(s.p95_s, 95.0);
         assert_eq!(s.p99_s, 99.0);
@@ -394,13 +424,31 @@ mod tests {
     }
 
     #[test]
+    fn empty_sample_sets_have_no_percentiles() {
+        assert_eq!(percentiles_from_ps(std::iter::empty()), None);
+        let empty = SimReport {
+            iterations: Vec::new(),
+            completions: Vec::new(),
+            wall: WallBreakdown::default(),
+            reuse: ReuseStats::default(),
+            sim_duration_ps: 0,
+        };
+        assert_eq!(empty.latency_percentiles(), None);
+        assert_eq!(empty.ttft_percentiles(), None);
+        assert_eq!(empty.tpot_percentiles(), None);
+        // The placeholder renderings never contain NaN.
+        assert_eq!(PercentileSummary::tsv_fields_or_dashes(None), "-\t-\t-");
+        assert_eq!(PercentileSummary::display_or_na(None), "n/a");
+    }
+
+    #[test]
     fn report_percentiles_cover_all_metrics() {
         let r = report();
         // Single completion: every percentile equals its one sample.
-        assert!((r.latency_percentiles().p99_s - 2.0).abs() < 1e-9);
-        assert!((r.ttft_percentiles().p50_s - 0.5).abs() < 1e-9);
+        assert!((r.latency_percentiles().unwrap().p99_s - 2.0).abs() < 1e-9);
+        assert!((r.ttft_percentiles().unwrap().p50_s - 0.5).abs() < 1e-9);
         // TPOT: (finish - first token) / (output_len - 1) = 1.5s / 10.
-        assert!((r.tpot_percentiles().p50_s - 0.15).abs() < 1e-9);
+        assert!((r.tpot_percentiles().unwrap().p50_s - 0.15).abs() < 1e-9);
     }
 
     #[test]
@@ -415,7 +463,7 @@ mod tests {
             output_len: 1,
         });
         // The single-token request would contribute a bogus 0.0 sample.
-        assert!(r.tpot_percentiles().p50_s > 0.0);
+        assert!(r.tpot_percentiles().unwrap().p50_s > 0.0);
     }
 
     #[test]

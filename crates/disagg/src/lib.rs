@@ -1,0 +1,58 @@
+//! Disaggregated prefill/decode serving with KV-cache transfer modeling.
+//!
+//! LLMServingSim 2.0, DistServe, and TokenSim all point the same way:
+//! under bursty, prefill-heavy traffic, co-locating prefill and decode on
+//! one engine lets long prompt passes stall every co-batched decoder, and
+//! the fix is to *disaggregate* — prefill on one replica pool, decode on
+//! another, with the prompt's KV cache shipped across an interconnect in
+//! between. This crate models that deployment end to end:
+//!
+//! * [`DisaggSimulator`] drives a **prefill pool** and a **decode pool**
+//!   of [`ServingSimulator`](llmss_core::ServingSimulator) replicas in one
+//!   virtual-time event loop (the same min-heap interleaving as
+//!   `llmss-cluster`). Fresh requests route to the prefill pool; at
+//!   end-of-prefill the request's KV cache is transferred to a decode
+//!   replica and decoding streams from the shipped cache.
+//! * The **KV transfer** is priced by the existing link model
+//!   ([`LinkSpec`](llmss_net::LinkSpec)): bytes = prompt tokens ×
+//!   `kv_bytes_per_token`, serialized FIFO over a configurable inter-pool
+//!   link, overlapping in virtual time with whatever the decode pool is
+//!   already running.
+//! * **Pairing policies** ([`PairingPolicyKind`]) pick the decode replica
+//!   at prefill-completion time, reusing the cluster
+//!   [`RoutingPolicy`](llmss_cluster::RoutingPolicy) trait: least KV
+//!   load, least outstanding, or sticky (session affinity).
+//! * [`DisaggReport`] splits TTFT into prefill / transfer / decode
+//!   components, reports transfer-time percentiles, per-pool utilization,
+//!   and TPOT — the numbers that show when disaggregation wins.
+//!
+//! # Examples
+//!
+//! ```
+//! use llmss_cluster::{bursty_trace, BurstyTraceSpec};
+//! use llmss_core::SimConfig;
+//! use llmss_disagg::{DisaggConfig, DisaggSimulator};
+//! use llmss_model::ModelSpec;
+//!
+//! let replica = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+//! let trace = bursty_trace(&BurstyTraceSpec {
+//!     bursts: 2,
+//!     burst_size: 6,
+//!     ..BurstyTraceSpec::default()
+//! });
+//! let config = DisaggConfig::new(1, 1).kv_link_gbps(128.0);
+//! let report =
+//!     DisaggSimulator::new(replica.clone(), replica, config, trace)?.run();
+//! assert_eq!(report.total_completions(), 12);
+//! println!("{}", report.summary());
+//! # Ok::<(), llmss_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod report;
+mod sim;
+
+pub use report::{DisaggCompletion, DisaggReport, PoolStats, TtftSplit};
+pub use sim::{DisaggConfig, DisaggSimulator, PairingPolicyKind};

@@ -1,0 +1,504 @@
+//! Disaggregated-serving results: per-request lifecycle records with the
+//! TTFT split into prefill / transfer / decode components, transfer-time
+//! percentiles, and per-pool utilization.
+
+use llmss_core::{percentiles_from_ps, PercentileSummary, SimReport};
+use llmss_sched::TimePs;
+
+/// Internal per-request transfer record captured at prefill completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Transfer {
+    pub prefill_replica: usize,
+    pub decode_replica: usize,
+    pub prefill_done_ps: TimePs,
+    pub start_ps: TimePs,
+    pub done_ps: TimePs,
+    pub bytes: u64,
+}
+
+/// One request's full disaggregated lifecycle: arrival → prefill-pool
+/// completion → KV transfer → decode-pool streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisaggCompletion {
+    /// The request id.
+    pub id: u64,
+    /// Arrival at the front end.
+    pub arrival_ps: TimePs,
+    /// Prompt length.
+    pub input_len: usize,
+    /// Tokens generated (all on the decode pool).
+    pub output_len: usize,
+    /// Prefill-pool replica that built the KV cache.
+    pub prefill_replica: usize,
+    /// Decode-pool replica that streamed the tokens.
+    pub decode_replica: usize,
+    /// When the prefill pass finished (KV ready to ship).
+    pub prefill_done_ps: TimePs,
+    /// When the KV transfer won the shared link.
+    pub transfer_start_ps: TimePs,
+    /// When the KV cache landed on the decode replica.
+    pub transfer_done_ps: TimePs,
+    /// When the first decode token was produced.
+    pub first_token_ps: TimePs,
+    /// When the final token was produced.
+    pub finish_ps: TimePs,
+    /// KV bytes shipped (prompt tokens × bytes per token).
+    pub kv_bytes: u64,
+}
+
+impl DisaggCompletion {
+    /// End-to-end latency.
+    pub fn latency_ps(&self) -> TimePs {
+        self.finish_ps.saturating_sub(self.arrival_ps)
+    }
+
+    /// Time to first token — in a disaggregated deployment the first
+    /// user-visible token leaves the *decode* pool, so TTFT spans
+    /// prefill, transfer, and decode-side queueing.
+    pub fn ttft_ps(&self) -> TimePs {
+        self.first_token_ps.saturating_sub(self.arrival_ps)
+    }
+
+    /// Mean time per output token after the first.
+    pub fn tpot_ps(&self) -> f64 {
+        if self.output_len <= 1 {
+            return 0.0;
+        }
+        self.finish_ps.saturating_sub(self.first_token_ps) as f64 / (self.output_len - 1) as f64
+    }
+
+    /// TTFT's prefill component: front-end arrival to end-of-prefill
+    /// (prefill-pool queueing + the prefill pass itself).
+    pub fn prefill_component_ps(&self) -> TimePs {
+        self.prefill_done_ps.saturating_sub(self.arrival_ps)
+    }
+
+    /// TTFT's transfer component: end-of-prefill to KV landed (link
+    /// queueing + wire time).
+    pub fn transfer_component_ps(&self) -> TimePs {
+        self.transfer_done_ps.saturating_sub(self.prefill_done_ps)
+    }
+
+    /// TTFT's decode component: KV landed to first token (decode-pool
+    /// queueing + the first decode step).
+    pub fn decode_component_ps(&self) -> TimePs {
+        self.first_token_ps.saturating_sub(self.transfer_done_ps)
+    }
+}
+
+/// Mean TTFT decomposition across all completed requests, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TtftSplit {
+    /// Mean prefill component (queueing + prefill pass).
+    pub prefill_s: f64,
+    /// Mean transfer component (link queueing + wire time).
+    pub transfer_s: f64,
+    /// Mean decode component (queueing + first decode step).
+    pub decode_s: f64,
+}
+
+impl TtftSplit {
+    /// Total mean TTFT.
+    pub fn total_s(&self) -> f64 {
+        self.prefill_s + self.transfer_s + self.decode_s
+    }
+}
+
+impl std::fmt::Display for TtftSplit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "prefill={:.4}s transfer={:.4}s decode={:.4}s",
+            self.prefill_s, self.transfer_s, self.decode_s
+        )
+    }
+}
+
+/// Per-replica aggregate statistics for one pool member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Replica index within its pool.
+    pub replica: usize,
+    /// Requests routed (prefill pool) or paired (decode pool) here.
+    pub routed_requests: usize,
+    /// Requests it finished.
+    pub completions: usize,
+    /// Serving iterations it ran.
+    pub iterations: usize,
+    /// Simulated time spent executing iterations.
+    pub busy_ps: TimePs,
+    /// The replica's final clock.
+    pub final_clock_ps: TimePs,
+}
+
+impl PoolStats {
+    /// Fraction of the deployment makespan spent executing iterations.
+    pub fn utilization(&self, makespan_ps: TimePs) -> f64 {
+        if makespan_ps == 0 {
+            return 0.0;
+        }
+        self.busy_ps as f64 / makespan_ps as f64
+    }
+}
+
+/// The aggregated result of one disaggregated serving simulation.
+#[derive(Debug, Clone)]
+pub struct DisaggReport {
+    /// Front-end routing policy over the prefill pool.
+    pub routing: String,
+    /// Decode-pairing policy.
+    pub pairing: String,
+    /// One full serving report per prefill replica.
+    pub prefill_reports: Vec<SimReport>,
+    /// One full serving report per decode replica.
+    pub decode_reports: Vec<SimReport>,
+    /// Per-request lifecycle records, sorted by id.
+    pub completions: Vec<DisaggCompletion>,
+    routed_prefill: Vec<usize>,
+    routed_decode: Vec<usize>,
+    makespan_ps: TimePs,
+}
+
+impl DisaggReport {
+    pub(crate) fn new(
+        routing: String,
+        pairing: String,
+        prefill_reports: Vec<SimReport>,
+        decode_reports: Vec<SimReport>,
+        completions: Vec<DisaggCompletion>,
+        routed_prefill: Vec<usize>,
+        routed_decode: Vec<usize>,
+    ) -> Self {
+        let makespan_ps = prefill_reports
+            .iter()
+            .chain(&decode_reports)
+            .map(|r| r.sim_duration_ps)
+            .max()
+            .unwrap_or(0);
+        Self {
+            routing,
+            pairing,
+            prefill_reports,
+            decode_reports,
+            completions,
+            routed_prefill,
+            routed_decode,
+            makespan_ps,
+        }
+    }
+
+    /// Deployment makespan: the latest replica clock in either pool.
+    pub fn makespan_ps(&self) -> TimePs {
+        self.makespan_ps
+    }
+
+    /// Deployment makespan in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_ps as f64 / 1e12
+    }
+
+    /// Requests that completed their full lifecycle (decode finished).
+    pub fn total_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Total KV bytes shipped across the inter-pool link.
+    pub fn total_kv_bytes(&self) -> u64 {
+        self.completions.iter().map(|c| c.kv_bytes).sum()
+    }
+
+    /// Generation throughput (decode-pool tokens per simulated second).
+    pub fn generation_throughput(&self) -> f64 {
+        let s = self.makespan_s();
+        if s == 0.0 {
+            return 0.0;
+        }
+        let tokens: u64 =
+            self.decode_reports.iter().map(SimReport::total_generated_tokens).sum();
+        tokens as f64 / s
+    }
+
+    /// p50/p95/p99 time to first token (arrival → first decode token).
+    pub fn ttft_percentiles(&self) -> Option<PercentileSummary> {
+        percentiles_from_ps(self.completions.iter().map(|c| c.ttft_ps() as f64))
+    }
+
+    /// p50/p95/p99 time per output token (single-token requests
+    /// excluded).
+    pub fn tpot_percentiles(&self) -> Option<PercentileSummary> {
+        percentiles_from_ps(
+            self.completions.iter().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
+        )
+    }
+
+    /// p50/p95/p99 end-to-end request latency.
+    pub fn latency_percentiles(&self) -> Option<PercentileSummary> {
+        percentiles_from_ps(self.completions.iter().map(|c| c.latency_ps() as f64))
+    }
+
+    /// p50/p95/p99 of TTFT's prefill component.
+    pub fn prefill_component_percentiles(&self) -> Option<PercentileSummary> {
+        percentiles_from_ps(self.completions.iter().map(|c| c.prefill_component_ps() as f64))
+    }
+
+    /// p50/p95/p99 of TTFT's KV-transfer component (link queueing + wire
+    /// time — the number a bandwidth-starved link inflates).
+    pub fn transfer_percentiles(&self) -> Option<PercentileSummary> {
+        percentiles_from_ps(self.completions.iter().map(|c| c.transfer_component_ps() as f64))
+    }
+
+    /// p50/p95/p99 of TTFT's decode component.
+    pub fn decode_component_percentiles(&self) -> Option<PercentileSummary> {
+        percentiles_from_ps(self.completions.iter().map(|c| c.decode_component_ps() as f64))
+    }
+
+    /// Mean TTFT decomposition (`None` with zero completions).
+    pub fn ttft_split(&self) -> Option<TtftSplit> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let n = self.completions.len() as f64;
+        let sum = |f: fn(&DisaggCompletion) -> TimePs| {
+            self.completions.iter().map(|c| f(c) as f64).sum::<f64>() / n / 1e12
+        };
+        Some(TtftSplit {
+            prefill_s: sum(DisaggCompletion::prefill_component_ps),
+            transfer_s: sum(DisaggCompletion::transfer_component_ps),
+            decode_s: sum(DisaggCompletion::decode_component_ps),
+        })
+    }
+
+    /// Per-replica statistics for the prefill pool.
+    pub fn prefill_stats(&self) -> Vec<PoolStats> {
+        pool_stats(&self.prefill_reports, &self.routed_prefill)
+    }
+
+    /// Per-replica statistics for the decode pool.
+    pub fn decode_stats(&self) -> Vec<PoolStats> {
+        pool_stats(&self.decode_reports, &self.routed_decode)
+    }
+
+    /// Mean utilization of the prefill pool over the makespan.
+    pub fn prefill_utilization(&self) -> f64 {
+        mean_utilization(&self.prefill_stats(), self.makespan_ps)
+    }
+
+    /// Mean utilization of the decode pool over the makespan.
+    pub fn decode_utilization(&self) -> f64 {
+        mean_utilization(&self.decode_stats(), self.makespan_ps)
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let ttft = PercentileSummary::display_or_na(self.ttft_percentiles());
+        let tpot = PercentileSummary::display_or_na(self.tpot_percentiles());
+        let transfer = PercentileSummary::display_or_na(self.transfer_percentiles());
+        let split = self.ttft_split().map_or_else(|| "n/a".to_owned(), |s| s.to_string());
+        format!(
+            "disagg {}P x {}D routing={} pairing={} requests={} makespan={:.2}s \
+             gen_tput={:.1} tok/s kv_shipped={:.1} MiB ttft[{ttft}] ttft_split[{split}] \
+             transfer[{transfer}] tpot[{tpot}] util[prefill={:.2} decode={:.2}]",
+            self.prefill_reports.len(),
+            self.decode_reports.len(),
+            self.routing,
+            self.pairing,
+            self.total_completions(),
+            self.makespan_s(),
+            self.generation_throughput(),
+            self.total_kv_bytes() as f64 / (1u64 << 20) as f64,
+            self.prefill_utilization(),
+            self.decode_utilization(),
+        )
+    }
+
+    /// Per-replica TSV (the CLI's `{output}-disagg.tsv`): one row per
+    /// pool member plus a `total` row per pool (utilization in the
+    /// totals rows is the pool mean, so it stays in `[0, 1]`).
+    pub fn to_tsv(&self) -> String {
+        let mut out =
+            String::from("pool\treplica\trouted\tcompleted\titerations\tbusy_s\tutilization\n");
+        let makespan = self.makespan_ps;
+        for (pool, stats) in
+            [("prefill", self.prefill_stats()), ("decode", self.decode_stats())]
+        {
+            for s in &stats {
+                out.push_str(&format!(
+                    "{pool}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\n",
+                    s.replica,
+                    s.routed_requests,
+                    s.completions,
+                    s.iterations,
+                    s.busy_ps as f64 / 1e12,
+                    s.utilization(makespan),
+                ));
+            }
+            out.push_str(&format!(
+                "{pool}\ttotal\t{}\t{}\t{}\t{:.4}\t{:.4}\n",
+                stats.iter().map(|s| s.routed_requests).sum::<usize>(),
+                stats.iter().map(|s| s.completions).sum::<usize>(),
+                stats.iter().map(|s| s.iterations).sum::<usize>(),
+                stats.iter().map(|s| s.busy_ps).sum::<TimePs>() as f64 / 1e12,
+                mean_utilization(&stats, makespan),
+            ));
+        }
+        out
+    }
+
+    /// Metric TSV (the CLI's `{output}-disagg-metrics.tsv`): TTFT and its
+    /// prefill/transfer/decode split, TPOT, and latency percentiles —
+    /// dashes (never NaN) for undefined rows.
+    pub fn metrics_tsv(&self) -> String {
+        let mut out = String::from("metric\tp50_s\tp95_s\tp99_s\n");
+        let rows: [(&str, Option<PercentileSummary>); 6] = [
+            ("ttft", self.ttft_percentiles()),
+            ("ttft_prefill", self.prefill_component_percentiles()),
+            ("ttft_transfer", self.transfer_percentiles()),
+            ("ttft_decode", self.decode_component_percentiles()),
+            ("tpot", self.tpot_percentiles()),
+            ("latency", self.latency_percentiles()),
+        ];
+        for (name, summary) in rows {
+            out.push_str(&format!(
+                "{name}\t{}\n",
+                PercentileSummary::tsv_fields_or_dashes(summary)
+            ));
+        }
+        out
+    }
+}
+
+fn pool_stats(reports: &[SimReport], routed: &[usize]) -> Vec<PoolStats> {
+    reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| PoolStats {
+            replica: i,
+            routed_requests: routed.get(i).copied().unwrap_or(0),
+            completions: r.completions.len(),
+            iterations: r.iterations.len(),
+            busy_ps: r.iterations.iter().map(|it| it.latency_ps).sum(),
+            final_clock_ps: r.sim_duration_ps,
+        })
+        .collect()
+}
+
+fn mean_utilization(stats: &[PoolStats], makespan_ps: TimePs) -> f64 {
+    if stats.is_empty() {
+        return 0.0;
+    }
+    stats.iter().map(|s| s.utilization(makespan_ps)).sum::<f64>() / stats.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_core::{ReuseStats, WallBreakdown};
+
+    fn completion(id: u64) -> DisaggCompletion {
+        DisaggCompletion {
+            id,
+            arrival_ps: 0,
+            input_len: 100,
+            output_len: 4,
+            prefill_replica: 0,
+            decode_replica: 0,
+            prefill_done_ps: 1_000,
+            transfer_start_ps: 1_200,
+            transfer_done_ps: 2_000,
+            first_token_ps: 2_500,
+            finish_ps: 5_500,
+            kv_bytes: 100 * 64,
+        }
+    }
+
+    fn empty_sim_report(duration: TimePs) -> SimReport {
+        SimReport {
+            iterations: Vec::new(),
+            completions: Vec::new(),
+            wall: WallBreakdown::default(),
+            reuse: ReuseStats::default(),
+            sim_duration_ps: duration,
+        }
+    }
+
+    fn report() -> DisaggReport {
+        DisaggReport::new(
+            "least-outstanding".into(),
+            "least-kv".into(),
+            vec![empty_sim_report(3_000)],
+            vec![empty_sim_report(5_500)],
+            vec![completion(0), completion(1)],
+            vec![2],
+            vec![2],
+        )
+    }
+
+    #[test]
+    fn components_partition_ttft() {
+        let c = completion(0);
+        assert_eq!(
+            c.prefill_component_ps() + c.transfer_component_ps() + c.decode_component_ps(),
+            c.ttft_ps()
+        );
+        assert_eq!(c.ttft_ps(), 2_500);
+        assert_eq!(c.transfer_component_ps(), 1_000);
+        // TPOT: 3 gaps over 3_000 ps.
+        assert!((c.tpot_ps() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_means_sum_to_mean_ttft() {
+        let r = report();
+        let split = r.ttft_split().unwrap();
+        assert!((split.total_s() - 2_500e-12).abs() < 1e-18);
+        assert!((split.transfer_s - 1_000e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn makespan_spans_both_pools() {
+        let r = report();
+        assert_eq!(r.makespan_ps(), 5_500);
+        assert_eq!(r.total_kv_bytes(), 2 * 100 * 64);
+    }
+
+    #[test]
+    fn tsvs_have_expected_shape_and_no_nan() {
+        let r = report();
+        let tsv = r.to_tsv();
+        // Header + (1P + totals) + (1D + totals).
+        assert_eq!(tsv.lines().count(), 5, "{tsv}");
+        assert!(tsv.lines().nth(1).unwrap().starts_with("prefill\t0"));
+        assert!(tsv.lines().nth(2).unwrap().starts_with("prefill\ttotal"));
+        assert!(tsv.lines().nth(3).unwrap().starts_with("decode\t0"));
+        assert!(tsv.lines().nth(4).unwrap().starts_with("decode\ttotal"));
+        let metrics = r.metrics_tsv();
+        assert_eq!(metrics.lines().count(), 7, "{metrics}");
+        assert!(!metrics.contains("NaN"));
+        for name in ["ttft_prefill", "ttft_transfer", "ttft_decode", "tpot"] {
+            assert!(metrics.contains(name), "missing {name} in {metrics}");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_all_dashes() {
+        let r = DisaggReport::new(
+            "rr".into(),
+            "sticky".into(),
+            vec![empty_sim_report(0)],
+            vec![empty_sim_report(0)],
+            Vec::new(),
+            vec![0],
+            vec![0],
+        );
+        assert_eq!(r.ttft_percentiles(), None);
+        assert_eq!(r.ttft_split(), None);
+        assert!(!r.metrics_tsv().contains("NaN"));
+        assert!(r.summary().contains("n/a"));
+    }
+
+    #[test]
+    fn summary_names_both_policies() {
+        let s = report().summary();
+        assert!(s.contains("least-outstanding") && s.contains("least-kv"), "{s}");
+    }
+}

@@ -1,0 +1,650 @@
+//! The disaggregated serving simulator: a prefill pool and a decode pool
+//! joined by a KV-transfer link, advanced in one virtual-time event loop.
+//!
+//! Requests route to the prefill pool at arrival. When a prefill replica
+//! finishes a request (its scheduler runs in
+//! [`SchedulerMode::PrefillOnly`](llmss_sched::SchedulerMode), completing
+//! at end-of-prefill), the request's KV cache — prompt tokens ×
+//! `kv_bytes_per_token` — is serialized FIFO over the inter-pool link and
+//! the request is injected into the decode replica the pairing policy
+//! picked, arriving when the transfer completes. Decode replicas run in
+//! [`SchedulerMode::DecodeOnly`](llmss_sched::SchedulerMode): admission
+//! reserves the shipped KV footprint and every iteration is a decode
+//! step. Transfers overlap decode-pool execution in virtual time: the
+//! decode replica keeps iterating on whatever it already holds while
+//! later handoffs are still in flight.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use llmss_cluster::{
+    ReadyHeap, ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind,
+};
+use llmss_core::{ConfigError, ServingSimulator, SimConfig};
+use llmss_net::LinkSpec;
+use llmss_sched::{Request, TimePs};
+
+use crate::report::{DisaggCompletion, DisaggReport, Transfer};
+
+/// How a finished prefill picks its decode replica.
+///
+/// All three reuse the cluster [`RoutingPolicy`] machinery over
+/// decode-pool snapshots; the decision runs at prefill-completion time,
+/// before the transfer starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairingPolicyKind {
+    /// Ship to the decode replica with the fewest KV pages in use — the
+    /// memory-pressure signal that matters most on a pool whose whole job
+    /// is holding caches.
+    LeastKvLoad,
+    /// Ship to the decode replica with the fewest unfinished requests.
+    LeastOutstanding,
+    /// Session affinity: the request id picks the replica regardless of
+    /// load (KV locality for multi-turn reuse).
+    Sticky,
+}
+
+impl PairingPolicyKind {
+    /// Every built-in pairing policy (for sweeps and exhaustive tests).
+    pub const ALL: [PairingPolicyKind; 3] = [
+        PairingPolicyKind::LeastKvLoad,
+        PairingPolicyKind::LeastOutstanding,
+        PairingPolicyKind::Sticky,
+    ];
+
+    /// Instantiates the policy as a cluster routing policy.
+    pub fn build(self) -> Box<dyn RoutingPolicy> {
+        match self {
+            PairingPolicyKind::LeastKvLoad => RoutingPolicyKind::LeastKvLoad.build(0),
+            PairingPolicyKind::LeastOutstanding => RoutingPolicyKind::LeastOutstanding.build(0),
+            PairingPolicyKind::Sticky => RoutingPolicyKind::Sticky.build(0),
+        }
+    }
+
+    /// The CLI spelling (`--pairing` flag values).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PairingPolicyKind::LeastKvLoad => "least-kv",
+            PairingPolicyKind::LeastOutstanding => "least-outstanding",
+            PairingPolicyKind::Sticky => "sticky",
+        }
+    }
+}
+
+impl std::fmt::Display for PairingPolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for PairingPolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "least-kv" | "kv" => Ok(PairingPolicyKind::LeastKvLoad),
+            "least-outstanding" | "lor" => Ok(PairingPolicyKind::LeastOutstanding),
+            "sticky" => Ok(PairingPolicyKind::Sticky),
+            other => Err(format!(
+                "unknown pairing policy '{other}' \
+                 (expected least-kv | least-outstanding | sticky)"
+            )),
+        }
+    }
+}
+
+/// Disaggregated-deployment configuration: pool sizes, routing/pairing
+/// policies, and the inter-pool KV link.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_disagg::{DisaggConfig, PairingPolicyKind};
+///
+/// let cfg = DisaggConfig::new(2, 2)
+///     .kv_link_gbps(32.0)
+///     .pairing(PairingPolicyKind::Sticky)
+///     .seed(7);
+/// assert_eq!((cfg.prefill_replicas, cfg.decode_replicas), (2, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisaggConfig {
+    /// Prefill-pool size (≥ 1).
+    pub prefill_replicas: usize,
+    /// Decode-pool size (≥ 1).
+    pub decode_replicas: usize,
+    /// Front-end routing over the prefill pool.
+    pub routing: RoutingPolicyKind,
+    /// Decode-replica selection at prefill-completion time.
+    pub pairing: PairingPolicyKind,
+    /// The inter-pool KV-transfer link (shared, FIFO-serialized).
+    pub kv_link: LinkSpec,
+    /// Seed for randomized routing policies.
+    pub seed: u64,
+}
+
+impl DisaggConfig {
+    /// A `prefill`×`decode` deployment with least-outstanding routing,
+    /// least-KV pairing, and a CXL-class KV link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either pool is empty.
+    pub fn new(prefill: usize, decode: usize) -> Self {
+        assert!(prefill > 0, "the prefill pool needs at least one replica");
+        assert!(decode > 0, "the decode pool needs at least one replica");
+        Self {
+            prefill_replicas: prefill,
+            decode_replicas: decode,
+            routing: RoutingPolicyKind::LeastOutstanding,
+            pairing: PairingPolicyKind::LeastKvLoad,
+            kv_link: LinkSpec::cxl(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the KV-link bandwidth in GB/s (latency stays CXL-class).
+    pub fn kv_link_gbps(mut self, gbps: f64) -> Self {
+        self.kv_link = LinkSpec::new(gbps, LinkSpec::cxl().latency_ns);
+        self
+    }
+
+    /// Sets the full KV-link spec (bandwidth and latency).
+    pub fn kv_link(mut self, link: LinkSpec) -> Self {
+        self.kv_link = link;
+        self
+    }
+
+    /// Sets the prefill-pool routing policy.
+    pub fn routing(mut self, routing: RoutingPolicyKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the decode-pairing policy.
+    pub fn pairing(mut self, pairing: PairingPolicyKind) -> Self {
+        self.pairing = pairing;
+        self
+    }
+
+    /// Sets the routing seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A disaggregated prefill/decode deployment, advanced in virtual time.
+#[derive(Debug)]
+pub struct DisaggSimulator {
+    prefill: Vec<ServingSimulator>,
+    decode: Vec<ServingSimulator>,
+    router: Box<dyn RoutingPolicy>,
+    pairer: Box<dyn RoutingPolicy>,
+    kv_link: LinkSpec,
+    kv_bytes_per_token: u64,
+    /// Global arrival stream, earliest first.
+    arrivals: VecDeque<Request>,
+    /// Original requests by id (handoffs need input/output lengths).
+    requests: HashMap<u64, Request>,
+    /// Per-request transfer records, filled when a transfer commits.
+    transfers: HashMap<u64, Transfer>,
+    /// Finished prefills whose transfers haven't committed to the link
+    /// yet: `(KV-ready time, request id, prefill replica)`, earliest
+    /// first. The link serves in *ready* order, not discovery order.
+    pending: BinaryHeap<Reverse<(TimePs, u64, usize)>>,
+    /// When the shared KV link frees up (FIFO serialization).
+    link_free_ps: TimePs,
+    /// Completions already drained per prefill replica.
+    prefill_seen: Vec<usize>,
+    /// Requests routed per prefill / paired per decode replica.
+    routed_prefill: Vec<usize>,
+    routed_decode: Vec<usize>,
+    /// Replica ready-times; prefill replicas occupy global indices
+    /// `0..P`, decode replicas `P..P+D`.
+    heap: ReadyHeap,
+    routing_name: String,
+    pairing_name: String,
+}
+
+impl DisaggSimulator {
+    /// Builds a disaggregated deployment from per-pool replica
+    /// configurations (they may differ — batch limits, KV capacity,
+    /// hardware — but must serve the same model) and a request trace.
+    ///
+    /// The configurations' scheduler modes are forced to
+    /// prefill-only/decode-only; callers don't need to set them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when either replica configuration cannot
+    /// be realized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two configurations name different models (the KV
+    /// bytes-per-token of the shipped caches must agree).
+    pub fn new(
+        prefill_config: SimConfig,
+        decode_config: SimConfig,
+        config: DisaggConfig,
+        mut trace: Vec<Request>,
+    ) -> Result<Self, ConfigError> {
+        assert_eq!(
+            prefill_config.model.name, decode_config.model.name,
+            "prefill and decode pools must serve the same model"
+        );
+        let kv_bytes_per_token = prefill_config.model.kv_bytes_per_token();
+        let prefill_config = prefill_config.prefill_only();
+        let decode_config = decode_config.decode_only();
+
+        let mut prefill = Vec::with_capacity(config.prefill_replicas);
+        for _ in 0..config.prefill_replicas {
+            prefill.push(ServingSimulator::new(prefill_config.clone(), Vec::new())?);
+        }
+        let mut decode = Vec::with_capacity(config.decode_replicas);
+        for _ in 0..config.decode_replicas {
+            decode.push(ServingSimulator::new(decode_config.clone(), Vec::new())?);
+        }
+
+        trace.sort_by_key(|r| (r.arrival_ps, r.id));
+        let requests = trace.iter().map(|r| (r.id, *r)).collect();
+        let router = config.routing.build(config.seed);
+        let pairer = config.pairing.build();
+        Ok(Self {
+            routing_name: router.name().to_owned(),
+            pairing_name: pairer.name().to_owned(),
+            router,
+            pairer,
+            kv_link: config.kv_link,
+            kv_bytes_per_token,
+            arrivals: trace.into(),
+            requests,
+            transfers: HashMap::new(),
+            pending: BinaryHeap::new(),
+            link_free_ps: 0,
+            prefill_seen: vec![0; config.prefill_replicas],
+            routed_prefill: vec![0; config.prefill_replicas],
+            routed_decode: vec![0; config.decode_replicas],
+            heap: ReadyHeap::new(config.prefill_replicas + config.decode_replicas),
+            prefill,
+            decode,
+        })
+    }
+
+    /// The prefill-pool replicas (for inspection between steps).
+    pub fn prefill_replicas(&self) -> &[ServingSimulator] {
+        &self.prefill
+    }
+
+    /// The decode-pool replicas (for inspection between steps).
+    pub fn decode_replicas(&self) -> &[ServingSimulator] {
+        &self.decode
+    }
+
+    /// KV bytes shipped per prompt token (from the model spec).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.kv_bytes_per_token
+    }
+
+    /// Re-keys a global replica index in the heap after a mutation.
+    fn refresh(&mut self, global: usize) {
+        let ready = if global < self.prefill.len() {
+            self.prefill[global].next_ready_ps()
+        } else {
+            self.decode[global - self.prefill.len()].next_ready_ps()
+        };
+        self.heap.refresh(global, ready);
+    }
+
+    fn prefill_snapshot(&self, index: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot::capture(&self.prefill[index], index, ReplicaRole::Prefill)
+    }
+
+    fn decode_snapshot(&self, index: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot::capture(&self.decode[index], index, ReplicaRole::Decode)
+    }
+
+    /// Queues any prefills replica `index` just finished for transfer.
+    /// The link is *not* booked here: events are discovered in
+    /// iteration-start order, so an earlier-ready transfer from another
+    /// replica may still surface — booking waits until it can happen in
+    /// KV-ready order ([`commit_ready_transfers`](Self::step)).
+    fn hand_off_finished_prefills(&mut self, index: usize) {
+        let completions = self.prefill[index].scheduler().completions();
+        let first_fresh = self.prefill_seen[index];
+        self.prefill_seen[index] = completions.len();
+        for done in &completions[first_fresh..] {
+            self.pending.push(Reverse((done.finish_ps, done.id, index)));
+        }
+    }
+
+    /// The earliest virtual time at which a *new* transfer could still
+    /// become ready: any future prefill completion lands strictly after
+    /// its replica's next event, and any unrouted arrival strictly after
+    /// its arrival time.
+    fn transfer_horizon(&self) -> TimePs {
+        let mut horizon = self.arrivals.front().map_or(TimePs::MAX, |r| r.arrival_ps);
+        for replica in &self.prefill {
+            if let Some(t) = replica.next_ready_ps() {
+                horizon = horizon.min(t);
+            }
+        }
+        horizon
+    }
+
+    /// Commits pending transfers to the shared link in KV-ready order:
+    /// each starts when its KV is ready *and* the link is free (FIFO by
+    /// readiness, never by event-discovery order), pairs its decode
+    /// replica, and injects the request with the transfer-completion
+    /// arrival time. The decode pool keeps executing underneath — only
+    /// the shipped request waits on the wire.
+    fn commit_ready_transfers(&mut self) {
+        let horizon = self.transfer_horizon();
+        while let Some(&Reverse((ready_ps, id, from))) = self.pending.peek() {
+            if ready_ps > horizon {
+                // A not-yet-simulated prefill or arrival could still beat
+                // this transfer onto the link; commit later.
+                return;
+            }
+            self.pending.pop();
+            let request = self.requests[&id];
+            let bytes = request.input_len as u64 * self.kv_bytes_per_token;
+            let start_ps = ready_ps.max(self.link_free_ps);
+            let done_ps = start_ps + self.kv_link.transfer_ps(bytes);
+            self.link_free_ps = done_ps;
+
+            let snapshots: Vec<ReplicaSnapshot> =
+                (0..self.decode.len()).map(|i| self.decode_snapshot(i)).collect();
+            let chosen = self.pairer.route(&request, &snapshots);
+            assert!(
+                chosen < self.decode.len(),
+                "pairing policy returned decode replica {chosen} of {}",
+                self.decode.len()
+            );
+            self.routed_decode[chosen] += 1;
+            self.transfers.insert(
+                id,
+                Transfer {
+                    prefill_replica: from,
+                    decode_replica: chosen,
+                    prefill_done_ps: ready_ps,
+                    start_ps,
+                    done_ps,
+                    bytes,
+                },
+            );
+            self.decode[chosen].push_request(Request::new(
+                id,
+                request.input_len,
+                request.output_len,
+                done_ps,
+            ));
+            self.refresh(self.prefill.len() + chosen);
+        }
+    }
+
+    /// Processes the earliest virtual-time event: commits any
+    /// transfer whose KV-ready order is settled, then routes one arrival
+    /// or runs one replica iteration (queueing any prefills it
+    /// finishes). Returns `false` when everything has drained.
+    pub fn step(&mut self) -> bool {
+        self.commit_ready_transfers();
+        let next_ready = self.heap.peek();
+        let next_arrival = self.arrivals.front().map(|r| r.arrival_ps);
+        let route_arrival = match (next_arrival, next_ready) {
+            (Some(at), Some((rt, _))) => at <= rt,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        match (route_arrival, next_ready) {
+            (true, _) => {
+                let request = self.arrivals.pop_front().expect("checked above");
+                let snapshots: Vec<ReplicaSnapshot> =
+                    (0..self.prefill.len()).map(|i| self.prefill_snapshot(i)).collect();
+                let chosen = self.router.route(&request, &snapshots);
+                assert!(
+                    chosen < self.prefill.len(),
+                    "router returned prefill replica {chosen} of {}",
+                    self.prefill.len()
+                );
+                self.routed_prefill[chosen] += 1;
+                self.prefill[chosen].push_request(request);
+                self.refresh(chosen);
+                true
+            }
+            (false, Some((_, global))) => {
+                self.heap.pop();
+                if global < self.prefill.len() {
+                    self.prefill[global].step();
+                    self.hand_off_finished_prefills(global);
+                } else {
+                    self.decode[global - self.prefill.len()].step();
+                }
+                self.refresh(global);
+                true
+            }
+            (false, None) => {
+                // With no arrivals and every replica idle the horizon is
+                // unbounded, so the commit pass above drained the queue.
+                debug_assert!(self.pending.is_empty(), "drained with transfers still pending");
+                false
+            }
+        }
+    }
+
+    /// Runs the deployment to completion and assembles the report.
+    pub fn run(mut self) -> DisaggReport {
+        while self.step() {}
+        let prefill_reports: Vec<_> =
+            self.prefill.into_iter().map(ServingSimulator::into_report).collect();
+        let decode_reports: Vec<_> =
+            self.decode.into_iter().map(ServingSimulator::into_report).collect();
+
+        let mut completions: Vec<DisaggCompletion> = decode_reports
+            .iter()
+            .flat_map(|r| r.completions.iter())
+            .map(|c| {
+                let transfer = self.transfers[&c.id];
+                let request = self.requests[&c.id];
+                DisaggCompletion {
+                    id: c.id,
+                    arrival_ps: request.arrival_ps,
+                    input_len: c.input_len,
+                    output_len: c.output_len,
+                    prefill_replica: transfer.prefill_replica,
+                    decode_replica: transfer.decode_replica,
+                    prefill_done_ps: transfer.prefill_done_ps,
+                    transfer_start_ps: transfer.start_ps,
+                    transfer_done_ps: transfer.done_ps,
+                    first_token_ps: c.first_token_ps,
+                    finish_ps: c.finish_ps,
+                    kv_bytes: transfer.bytes,
+                }
+            })
+            .collect();
+        completions.sort_by_key(|c| c.id);
+
+        DisaggReport::new(
+            self.routing_name,
+            self.pairing_name,
+            prefill_reports,
+            decode_reports,
+            completions,
+            self.routed_prefill,
+            self.routed_decode,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_cluster::{bursty_trace, BurstyTraceSpec};
+    use llmss_model::ModelSpec;
+
+    fn replica_config() -> SimConfig {
+        SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel()
+    }
+
+    fn small_trace() -> Vec<Request> {
+        bursty_trace(&BurstyTraceSpec {
+            bursts: 2,
+            burst_size: 8,
+            ..BurstyTraceSpec::default()
+        })
+    }
+
+    fn run(config: DisaggConfig, trace: Vec<Request>) -> DisaggReport {
+        DisaggSimulator::new(replica_config(), replica_config(), config, trace)
+            .expect("gpt2 fits a single Table-I NPU")
+            .run()
+    }
+
+    #[test]
+    fn every_request_prefills_transfers_and_decodes_once() {
+        let trace = small_trace();
+        let report = run(DisaggConfig::new(2, 2), trace.clone());
+        assert_eq!(report.total_completions(), trace.len());
+        let mut ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len(), "duplicated or lost requests");
+        for c in &report.completions {
+            assert!(c.prefill_done_ps > c.arrival_ps, "request {}: acausal prefill", c.id);
+            assert!(c.transfer_start_ps >= c.prefill_done_ps);
+            assert!(c.transfer_done_ps > c.transfer_start_ps);
+            assert!(c.first_token_ps > c.transfer_done_ps, "decode before KV arrived");
+            assert!(c.finish_ps >= c.first_token_ps);
+            assert_eq!(c.output_len, self_output_len(&trace, c.id));
+        }
+    }
+
+    fn self_output_len(trace: &[Request], id: u64) -> usize {
+        trace.iter().find(|r| r.id == id).unwrap().output_len
+    }
+
+    #[test]
+    fn transfer_bytes_follow_prompt_length() {
+        let report = run(DisaggConfig::new(1, 1), small_trace());
+        let per_token = ModelSpec::gpt2().kv_bytes_per_token();
+        for c in &report.completions {
+            assert_eq!(c.kv_bytes, c.input_len as u64 * per_token);
+        }
+    }
+
+    #[test]
+    fn shared_link_serializes_transfers_fifo() {
+        // A starved link forces queueing: transfers must never overlap,
+        // and each starts no earlier than its prefill finished.
+        let report = run(DisaggConfig::new(2, 1).kv_link_gbps(0.5), small_trace());
+        let mut transfers: Vec<_> = report
+            .completions
+            .iter()
+            .map(|c| (c.transfer_start_ps, c.transfer_done_ps))
+            .collect();
+        transfers.sort_unstable();
+        for pair in transfers.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "transfers overlap on the shared link");
+        }
+    }
+
+    #[test]
+    fn link_serves_transfers_in_kv_ready_order() {
+        // Two prefill replicas, mixed prompt sizes, a slow link: an
+        // early-*started* heavy prefill must not jump the queue ahead of
+        // a lighter prefill whose KV was *ready* first. Replaying the
+        // link FIFO in ready order must reproduce every start time
+        // exactly (no phantom queueing from event-discovery order).
+        let trace = bursty_trace(&BurstyTraceSpec {
+            bursts: 2,
+            burst_size: 10,
+            heavy_every: 2,
+            ..BurstyTraceSpec::default()
+        });
+        let report = run(
+            DisaggConfig::new(2, 2).kv_link_gbps(2.0).routing(RoutingPolicyKind::RoundRobin),
+            trace,
+        );
+        let mut by_ready: Vec<_> = report.completions.iter().collect();
+        by_ready.sort_by_key(|c| (c.prefill_done_ps, c.id));
+        let mut link_free = 0;
+        for c in by_ready {
+            assert_eq!(
+                c.transfer_start_ps,
+                c.prefill_done_ps.max(link_free),
+                "request {}: transfer not served in KV-ready order",
+                c.id
+            );
+            link_free = c.transfer_done_ps;
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let sig = |report: &DisaggReport| {
+            report
+                .completions
+                .iter()
+                .map(|c| (c.id, c.prefill_done_ps, c.transfer_done_ps, c.finish_ps))
+                .collect::<Vec<_>>()
+        };
+        let a = run(DisaggConfig::new(2, 2).seed(9), small_trace());
+        let b = run(DisaggConfig::new(2, 2).seed(9), small_trace());
+        assert_eq!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn sticky_pairing_follows_request_id() {
+        let report =
+            run(DisaggConfig::new(1, 3).pairing(PairingPolicyKind::Sticky), small_trace());
+        for c in &report.completions {
+            assert_eq!(c.decode_replica as u64, c.id % 3);
+        }
+    }
+
+    #[test]
+    fn pairing_policies_are_selectable_and_complete() {
+        for pairing in PairingPolicyKind::ALL {
+            let report = run(DisaggConfig::new(1, 2).pairing(pairing), small_trace());
+            assert_eq!(report.total_completions(), 16, "pairing {pairing}");
+            assert_eq!(report.pairing, pairing.as_str());
+        }
+    }
+
+    #[test]
+    fn decode_pool_overlaps_transfers_with_execution() {
+        // With a slow link and several requests, some decode iterations
+        // must run while later transfers are still in flight — the
+        // whole point of overlapping the handoff in virtual time.
+        let report = run(DisaggConfig::new(1, 1).kv_link_gbps(1.0), small_trace());
+        let decode = &report.decode_reports[0];
+        let overlapped = decode.iterations.iter().any(|it| {
+            report
+                .completions
+                .iter()
+                .any(|c| it.start_ps < c.transfer_done_ps && c.transfer_start_ps < it.start_ps)
+        });
+        assert!(overlapped, "no decode iteration overlapped an in-flight transfer");
+    }
+
+    #[test]
+    fn pairing_kind_round_trips_through_str() {
+        for kind in PairingPolicyKind::ALL {
+            let parsed: PairingPolicyKind = kind.as_str().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("nope".parse::<PairingPolicyKind>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "same model")]
+    fn mismatched_models_rejected() {
+        let _ = DisaggSimulator::new(
+            SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel(),
+            SimConfig::new(ModelSpec::gpt3_7b()).npu_num(4).tensor_parallel(),
+            DisaggConfig::new(1, 1),
+            Vec::new(),
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for disaggregated serving: KV-transfer byte
+//! conservation and decode-pool KV-capacity safety under handoff
+//! admission.
+
+use proptest::prelude::*;
+
+use llmss_cluster::RoutingPolicyKind;
+use llmss_core::SimConfig;
+use llmss_disagg::{DisaggConfig, DisaggSimulator, PairingPolicyKind};
+use llmss_model::ModelSpec;
+use llmss_sched::{Request, TimePs};
+
+fn arb_trace() -> impl Strategy<Value = Vec<Request>> {
+    proptest::collection::vec((16usize..600, 1usize..12, 0u64..50), 1..24).prop_map(|shapes| {
+        let mut clock: TimePs = 0;
+        shapes
+            .into_iter()
+            .enumerate()
+            .map(|(id, (input_len, output_len, gap_us))| {
+                clock += gap_us * 1_000_000;
+                Request::new(id as u64, input_len, output_len, clock)
+            })
+            .collect()
+    })
+}
+
+fn replica_config() -> SimConfig {
+    SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bytes shipped per request equal prompt_tokens × kv_bytes_per_token
+    /// exactly, for every pairing policy — the transfer model never
+    /// invents or loses cache bytes.
+    #[test]
+    fn kv_transfer_byte_accounting_conserves(
+        trace in arb_trace(),
+        pairing_idx in 0usize..PairingPolicyKind::ALL.len(),
+    ) {
+        let per_token = ModelSpec::gpt2().kv_bytes_per_token();
+        let expected_total: u64 =
+            trace.iter().map(|r| r.input_len as u64 * per_token).sum();
+        let config = DisaggConfig::new(2, 2)
+            .pairing(PairingPolicyKind::ALL[pairing_idx])
+            .routing(RoutingPolicyKind::RoundRobin);
+        let report =
+            DisaggSimulator::new(replica_config(), replica_config(), config, trace.clone())
+                .expect("gpt2 fits a single Table-I NPU")
+                .run();
+        prop_assert_eq!(report.total_completions(), trace.len());
+        prop_assert_eq!(report.total_kv_bytes(), expected_total);
+        for c in &report.completions {
+            let original = trace.iter().find(|r| r.id == c.id).unwrap();
+            prop_assert_eq!(c.kv_bytes, original.input_len as u64 * per_token);
+            prop_assert_eq!(c.input_len, original.input_len);
+        }
+    }
+
+    /// A decode-pool KV cache never exceeds its capacity, even when the
+    /// pool is memory-starved and handoff admissions contend with cache
+    /// growth — checked after every virtual-time event.
+    #[test]
+    fn decode_pool_kv_never_exceeds_capacity(trace in arb_trace(), seed in 0u64..32) {
+        // Starve the decode pool: barely more memory than weights +
+        // reserve, so admissions and decode growth fight over pages.
+        let decode_cfg = {
+            let mut cfg = replica_config();
+            cfg.npu_mem_gib = Some(1.45);
+            cfg
+        };
+        let config = DisaggConfig::new(1, 2).seed(seed);
+        let mut sim =
+            DisaggSimulator::new(replica_config(), decode_cfg, config, trace.clone())
+                .expect("decode pool must still fit the model");
+        while sim.step() {
+            for replica in sim.decode_replicas() {
+                let kv = replica.scheduler().kv();
+                prop_assert!(
+                    kv.used_pages() <= kv.config().total_pages(),
+                    "decode KV overcommitted: {} of {} pages",
+                    kv.used_pages(),
+                    kv.config().total_pages(),
+                );
+            }
+        }
+        let completed: usize =
+            sim.decode_replicas().iter().map(|r| r.scheduler().completions().len()).sum();
+        prop_assert_eq!(completed, trace.len(), "starved decode pool lost requests");
+    }
+}

@@ -30,12 +30,35 @@ pub enum SchedulingPolicy {
     RequestLevel,
 }
 
+/// Which serving phases this scheduler runs — the knob behind
+/// disaggregated prefill/decode serving.
+///
+/// A unified scheduler runs every request end to end. In a disaggregated
+/// deployment (LLMServingSim2.0, DistServe, TokenSim) a *prefill pool*
+/// only builds KV caches and a *decode pool* only streams tokens from KV
+/// caches shipped to it, so each pool's scheduler runs a restricted
+/// lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerMode {
+    /// Prefill and decode on the same engine (classic serving).
+    Unified,
+    /// Prefill pool: a request completes at the end of its prefill
+    /// iteration — its KV cache is then ready to ship to a decode pool.
+    PrefillOnly,
+    /// Decode pool: an admitted request arrives with its prompt KV
+    /// already computed elsewhere ([`KvCache::try_admit`] reserves the
+    /// shipped footprint) and runs decode iterations only.
+    DecodeOnly,
+}
+
 /// Scheduler configuration (the artifact's `scheduling`, `max_batch`,
 /// `batch_delay` parameters).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
     /// Batch re-formation policy.
     pub policy: SchedulingPolicy,
+    /// Which serving phases this scheduler runs.
+    pub mode: SchedulerMode,
     /// Maximum concurrent sequences (0 = unlimited, the artifact default).
     pub max_batch: usize,
     /// Extra delay applied when waking up for newly arrived requests.
@@ -44,7 +67,12 @@ pub struct SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        Self { policy: SchedulingPolicy::IterationLevel, max_batch: 0, batch_delay_ps: 0 }
+        Self {
+            policy: SchedulingPolicy::IterationLevel,
+            mode: SchedulerMode::Unified,
+            max_batch: 0,
+            batch_delay_ps: 0,
+        }
     }
 }
 
@@ -59,11 +87,20 @@ struct Seq {
 }
 
 impl Seq {
-    /// KV tokens resident for this sequence (prompt + generated history).
-    fn kv_tokens(&self) -> usize {
-        // The token produced at the end of iteration i is appended to the
-        // cache when iteration i+1 processes it; the last one never is.
-        self.req.input_len + self.generated.saturating_sub(1)
+    /// KV tokens this sequence's next decode step attends over (prompt
+    /// plus generated history).
+    fn kv_tokens(&self, mode: SchedulerMode) -> usize {
+        match mode {
+            // The first output token came out of the prefill pass; each
+            // token is appended to the cache when the next iteration
+            // processes it, and the last one never is.
+            SchedulerMode::Unified | SchedulerMode::PrefillOnly => {
+                self.req.input_len + self.generated.saturating_sub(1)
+            }
+            // No local prefill: the shipped prompt KV covers the first
+            // decode step, and every generated token extends it.
+            SchedulerMode::DecodeOnly => self.req.input_len + self.generated,
+        }
     }
 }
 
@@ -346,12 +383,17 @@ impl Scheduler {
                     break;
                 }
                 let req = self.pending.pop_front().expect("front exists");
-                self.active.push(Seq {
-                    req,
-                    state: RequestState::Admitted,
-                    generated: 0,
-                    first_token_ps: None,
-                });
+                // In decode-only mode the prompt KV just reserved by
+                // `try_admit` models the cache shipped from a prefill
+                // pool: the sequence skips prefill and decodes directly
+                // against it.
+                let state = match self.config.mode {
+                    SchedulerMode::DecodeOnly => RequestState::Generating,
+                    SchedulerMode::Unified | SchedulerMode::PrefillOnly => {
+                        RequestState::Admitted
+                    }
+                };
+                self.active.push(Seq { req, state, generated: 0, first_token_ps: None });
             }
         }
 
@@ -368,7 +410,9 @@ impl Scheduler {
             .iter()
             .map(|s| match s.state {
                 RequestState::Admitted => SeqSlot::prefill(s.req.id, s.req.input_len),
-                RequestState::Generating => SeqSlot::decode(s.req.id, s.kv_tokens()),
+                RequestState::Generating => {
+                    SeqSlot::decode(s.req.id, s.kv_tokens(self.config.mode))
+                }
                 other => unreachable!("active sequence in state {other:?}"),
             })
             .collect();
@@ -384,7 +428,7 @@ impl Scheduler {
                 Ok(t) => {
                     let mut seq = self.evicted.pop_front().expect("front exists");
                     seq.state = RequestState::Generating;
-                    let slot = SeqSlot::decode(seq.req.id, seq.kv_tokens());
+                    let slot = SeqSlot::decode(seq.req.id, seq.kv_tokens(self.config.mode));
                     self.active.push(seq);
                     return Some(IterationBatch {
                         slots: vec![slot],
@@ -420,10 +464,16 @@ impl Scheduler {
                 }
                 RequestState::Generating => {
                     s.generated += 1;
+                    // A decode-only sequence emits its first token from a
+                    // decode iteration, never a prefill one.
+                    if s.first_token_ps.is_none() {
+                        s.first_token_ps = Some(now);
+                    }
                 }
                 other => unreachable!("active sequence in state {other:?}"),
             }
-            if s.generated >= s.req.output_len {
+            if s.generated >= s.req.output_len || self.config.mode == SchedulerMode::PrefillOnly
+            {
                 s.state = RequestState::Finished;
             }
         }
@@ -674,6 +724,74 @@ mod tests {
         assert_eq!(s.next_ready_ps(), Some(1_000), "no delay for past arrivals");
         s.next_batch().unwrap();
         assert_eq!(s.clock_ps(), 1_000, "batch forms at the clock, not arrival+delay");
+    }
+
+    #[test]
+    fn prefill_only_completes_at_end_of_prefill() {
+        let cfg = SchedulerConfig { mode: SchedulerMode::PrefillOnly, ..Default::default() };
+        let mut s = Scheduler::new(cfg, kv(1024), vec![Request::new(0, 100, 50, 0)]);
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.prompt_tokens(), 100, "the one iteration is the prefill");
+        s.complete_iteration(1_000);
+        assert!(s.next_batch().is_none(), "no decode iterations in prefill-only mode");
+        assert!(s.is_done());
+        let c = s.completions()[0];
+        assert_eq!(c.finish_ps, 1_000);
+        assert_eq!(c.first_token_ps, 1_000);
+        assert_eq!(c.output_len, 1, "prefill produces the KV, not the output stream");
+        assert_eq!(s.kv().used_pages(), 0, "KV freed once ready to ship");
+    }
+
+    #[test]
+    fn decode_only_admits_with_prepopulated_kv_and_skips_prefill() {
+        let cfg = SchedulerConfig { mode: SchedulerMode::DecodeOnly, ..Default::default() };
+        let mut s = Scheduler::new(cfg, kv(1024), vec![Request::new(0, 64, 3, 0)]);
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.prompt_tokens(), 0, "no prefill slot in decode-only mode");
+        assert_eq!(b1.generated_tokens(), 1);
+        assert_eq!(b1.slots[0].kv_past, 64, "prompt KV arrived with the handoff");
+        // The shipped prompt KV is resident from admission.
+        assert_eq!(s.kv().tokens_of(0), Some(64));
+        s.complete_iteration(10);
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.slots[0].kv_past, 65, "decode grows the shipped cache");
+        s.complete_iteration(10);
+        s.next_batch().unwrap();
+        s.complete_iteration(10);
+        assert!(s.is_done());
+        let c = s.completions()[0];
+        assert_eq!(c.output_len, 3);
+        assert_eq!(c.first_token_ps, 10, "first token comes from the first decode step");
+        assert_eq!(c.finish_ps, 30);
+    }
+
+    #[test]
+    fn decode_only_matches_unified_decode_tail() {
+        // The decode-only scheduler must replay exactly the decode
+        // iterations a unified scheduler would run after prefill: same
+        // kv_past sequence, same token count.
+        let run = |mode: SchedulerMode| {
+            let cfg = SchedulerConfig { mode, ..Default::default() };
+            let mut s = Scheduler::new(cfg, kv(1024), vec![Request::new(0, 32, 5, 0)]);
+            let mut decode_kv = Vec::new();
+            while let Some(b) = s.next_batch() {
+                for slot in &b.slots {
+                    if slot.new_tokens == 1 {
+                        decode_kv.push(slot.kv_past);
+                    }
+                }
+                s.complete_iteration(10);
+            }
+            decode_kv
+        };
+        let unified = run(SchedulerMode::Unified);
+        let decode_only = run(SchedulerMode::DecodeOnly);
+        assert_eq!(unified, vec![32, 33, 34, 35]);
+        assert_eq!(decode_only, vec![32, 33, 34, 35, 36]);
+        // Unified emits tokens 2..=5 from decode (token 1 from prefill);
+        // decode-only emits all 5, so it runs one extra decode step. The
+        // kv_past progression over the shared steps is identical.
+        assert_eq!(unified, decode_only[..4].to_vec());
     }
 
     #[test]

@@ -36,8 +36,8 @@ fn main() {
             .expect("gpt2 fits a single Table-I NPU")
             .run();
         assert_eq!(report.total_completions(), trace.len());
-        let ttft = report.ttft_percentiles();
-        let lat = report.latency_percentiles();
+        let ttft = report.ttft_percentiles().expect("every run completes requests");
+        let lat = report.latency_percentiles().expect("every run completes requests");
         println!(
             "{:<18} {:>8.3}s {:>8.3}s {:>8.3}s {:>9.3}s {:>10.2}",
             kind.to_string(),

@@ -15,6 +15,7 @@
 //! | [`sched`] | `llmss-sched` | request traces, Orca scheduling, paged KV cache |
 //! | [`core`] | `llmss-core` | engine stack, graph converter, serving simulator |
 //! | [`cluster`] | `llmss-cluster` | multi-replica fleet, routing policies, SLO metrics |
+//! | [`disagg`] | `llmss-disagg` | disaggregated prefill/decode pools with KV-transfer modeling |
 //! | [`baselines`] | `llmss-baselines` | mNPUsim/GeneSys/NeuPIMs-like sims + reference systems |
 //!
 //! # Quickstart
@@ -36,6 +37,7 @@
 pub use llmss_baselines as baselines;
 pub use llmss_cluster as cluster;
 pub use llmss_core as core;
+pub use llmss_disagg as disagg;
 pub use llmss_model as model;
 pub use llmss_net as net;
 pub use llmss_npu as npu;
@@ -46,12 +48,16 @@ pub use llmss_sched as sched;
 pub mod prelude {
     pub use llmss_cluster::{
         bursty_trace, BurstyTraceSpec, ClusterConfig, ClusterReport, ClusterSimulator,
-        RoutingPolicy, RoutingPolicyKind,
+        ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind,
     };
     pub use llmss_core::{
         map_op, DeviceKind, EngineStack, ExecutionEngine, GraphConverter, KvManage,
         ParallelismKind, ParallelismSpec, PercentileSummary, PimMode, ReuseCache,
         ServingSimulator, SimConfig, SimReport,
+    };
+    pub use llmss_disagg::{
+        DisaggCompletion, DisaggConfig, DisaggReport, DisaggSimulator, PairingPolicyKind,
+        TtftSplit,
     };
     pub use llmss_model::{
         IterationWorkload, ModelSpec, Op, OpDims, OpKind, Phase, Roofline, SeqSlot,

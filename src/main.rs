@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 use llmservingsim::cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
 use llmservingsim::core::{ParallelismKind, ServingSimulator, SimConfig};
+use llmservingsim::disagg::{DisaggConfig, DisaggSimulator, PairingPolicyKind};
 use llmservingsim::model::ModelSpec;
 use llmservingsim::sched::{
     trace_from_tsv, Dataset, Request, SchedulingPolicy, TraceGenerator,
@@ -45,6 +46,10 @@ struct Options {
     fast_run: bool,
     replicas: usize,
     routing: RoutingPolicyKind,
+    /// `(prefill, decode)` pool sizes; `Some` enables disaggregated mode.
+    disagg: Option<(usize, usize)>,
+    kv_link_gbps: f64,
+    pairing: PairingPolicyKind,
 }
 
 impl Default for Options {
@@ -72,6 +77,9 @@ impl Default for Options {
             fast_run: false,
             replicas: 1,
             routing: RoutingPolicyKind::RoundRobin,
+            disagg: None,
+            kv_link_gbps: 128.0,
+            pairing: PairingPolicyKind::LeastKvLoad,
         }
     }
 }
@@ -111,7 +119,13 @@ OPTIONS (artifact-compatible):
 CLUSTER MODE (multi-replica serving behind a router):
   --replicas N          serving replicas; N >= 2 enables cluster mode [1]
   --routing P           round-robin | least-outstanding | least-kv |
-                        power-of-two                       [round-robin]
+                        power-of-two | sticky              [round-robin]
+
+DISAGGREGATED MODE (prefill pool -> KV transfer -> decode pool):
+  --disagg PxD          pool sizes, e.g. 2x2 (enables disagg mode)
+  --kv-link-gbps F      inter-pool KV-link bandwidth, GB/s      [128]
+  --pairing P           decode-replica pairing at prefill completion:
+                        least-kv | least-outstanding | sticky [least-kv]
 ";
 
 fn parse_args() -> Result<(Options, bool), String> {
@@ -162,6 +176,26 @@ fn parse_args() -> Result<(Options, bool), String> {
                 }
             }
             "--routing" => opts.routing = value("--routing")?.parse()?,
+            "--disagg" => {
+                let spec = value("--disagg")?;
+                let (p, d) = spec
+                    .split_once('x')
+                    .ok_or_else(|| format!("--disagg expects PxD (e.g. 2x2), got '{spec}'"))?;
+                let p: usize = p.parse().map_err(|e| format!("--disagg prefill: {e}"))?;
+                let d: usize = d.parse().map_err(|e| format!("--disagg decode: {e}"))?;
+                if p == 0 || d == 0 {
+                    return Err("--disagg pools must both be at least 1".into());
+                }
+                opts.disagg = Some((p, d));
+            }
+            "--kv-link-gbps" => {
+                opts.kv_link_gbps =
+                    value("--kv-link-gbps")?.parse().map_err(|e| format!("{e}"))?;
+                if opts.kv_link_gbps <= 0.0 {
+                    return Err("--kv-link-gbps must be positive".into());
+                }
+            }
+            "--pairing" => opts.pairing = value("--pairing")?.parse()?,
             "--gen" => opts.gen_only = true,
             "--fast-run" => opts.fast_run = true,
             "--no-reuse" => reuse = false,
@@ -268,6 +302,33 @@ fn run_single(cfg: SimConfig, trace: Vec<Request>, output: &str) -> Result<(), S
     Ok(())
 }
 
+fn run_disagg(
+    cfg: SimConfig,
+    trace: Vec<Request>,
+    opts: &Options,
+    pools: (usize, usize),
+) -> Result<(), String> {
+    let disagg_cfg = DisaggConfig::new(pools.0, pools.1)
+        .kv_link_gbps(opts.kv_link_gbps)
+        .routing(opts.routing)
+        .pairing(opts.pairing)
+        .seed(opts.seed);
+    let report = DisaggSimulator::new(cfg.clone(), cfg, disagg_cfg, trace)
+        .map_err(|e| e.to_string())?
+        .run();
+
+    println!("{}", report.summary());
+
+    ensure_output_dir(&opts.output)?;
+    let pool_path = format!("{}-disagg.tsv", opts.output);
+    std::fs::write(&pool_path, report.to_tsv()).map_err(|e| e.to_string())?;
+    let metrics_path = format!("{}-disagg-metrics.tsv", opts.output);
+    std::fs::write(&metrics_path, report.metrics_tsv()).map_err(|e| e.to_string())?;
+    println!("wrote {pool_path}");
+    println!("wrote {metrics_path}");
+    Ok(())
+}
+
 fn run_cluster(cfg: SimConfig, trace: Vec<Request>, opts: &Options) -> Result<(), String> {
     let cluster_cfg = ClusterConfig::new(opts.replicas).routing(opts.routing).seed(opts.seed);
     let report =
@@ -299,7 +360,12 @@ fn run() -> Result<(), String> {
         opts.replicas,
     );
 
-    if opts.replicas > 1 {
+    if let Some(pools) = opts.disagg {
+        if opts.replicas > 1 {
+            return Err("--disagg and --replicas are mutually exclusive".into());
+        }
+        run_disagg(cfg, trace, &opts, pools)
+    } else if opts.replicas > 1 {
         run_cluster(cfg, trace, &opts)
     } else {
         run_single(cfg, trace, &opts.output)

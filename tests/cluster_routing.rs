@@ -108,8 +108,8 @@ fn power_of_two_beats_round_robin_p99_ttft_on_skewed_bursty_trace() {
     assert_eq!(rr.total_completions(), trace.len());
     assert_eq!(p2c.total_completions(), trace.len());
 
-    let rr_p99 = rr.ttft_percentiles().p99_s;
-    let p2c_p99 = p2c.ttft_percentiles().p99_s;
+    let rr_p99 = rr.ttft_percentiles().unwrap().p99_s;
+    let p2c_p99 = p2c.ttft_percentiles().unwrap().p99_s;
     assert!(
         p2c_p99 < rr_p99,
         "power-of-two p99 TTFT ({p2c_p99:.4}s) should beat round-robin \
@@ -136,12 +136,12 @@ fn more_replicas_cut_tail_latency_on_the_same_trace() {
         .unwrap()
         .run()
     };
-    let one = run(1);
-    let four = run(4);
+    let one = run(1).latency_percentiles().unwrap();
+    let four = run(4).latency_percentiles().unwrap();
     assert!(
-        four.latency_percentiles().p99_s < one.latency_percentiles().p99_s,
+        four.p99_s < one.p99_s,
         "scaling out should relieve queueing: 4-replica p99 {:.3}s vs {:.3}s",
-        four.latency_percentiles().p99_s,
-        one.latency_percentiles().p99_s
+        four.p99_s,
+        one.p99_s
     );
 }
