@@ -148,13 +148,16 @@ pub fn run_neupims_reference(
             reloads: batch.reloads.len(),
             graph_ops: 0,
             net_events: 0,
+            compute_ps: latency,
+            comm_ps: 0,
+            host_ps: 0,
         });
         sched.complete_iteration(latency);
     }
 
     SimReport {
         sim_duration_ps: sched.clock_ps(),
-        completions: sched.completions().to_vec(),
+        completions: sched.take_completions(),
         iterations,
         wall: WallBreakdown::default(),
         reuse: ReuseStats::default(),

@@ -1,0 +1,288 @@
+//! simspeed — the repo's serving-simulator throughput baseline.
+//!
+//! Runs a decode-heavy 512-request bursty trace through the three serving
+//! shapes (single replica, 4-replica cluster, 2×2 disaggregated) with
+//! iteration-outcome memoization off, exact (KV bucket 1), and bucketed
+//! ([`KV_BUCKET`]), and writes `BENCH_simspeed.json` with wall-clock,
+//! iterations/second, the per-component wall breakdown, and the operator-
+//! and iteration-level reuse hit rates. This file is the perf-trajectory
+//! anchor: future PRs compare against it.
+//!
+//! `--smoke` shrinks the trace for CI and *gates*: the run fails (exit 1)
+//! if the bucketed iteration-reuse hit rate on the decode-heavy trace
+//! drops below 50% in any scenario, or if exact memoization changed the
+//! simulated duration (it must be bit-identical).
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use llmss_cluster::{bursty_trace, BurstyTraceSpec, ClusterConfig, ClusterSimulator};
+use llmss_core::{ReuseStats, SimConfig, SimReport, WallBreakdown};
+use llmss_disagg::{DisaggConfig, DisaggSimulator};
+use llmss_model::ModelSpec;
+use llmss_sched::Request;
+
+/// The bucketed-memoization granularity the headline numbers use.
+const KV_BUCKET: usize = 64;
+/// CI gate: minimum bucketed iteration-reuse hit rate.
+const MIN_ITER_HIT_RATE: f64 = 0.50;
+/// Serving-style batch cap: real deployments bound concurrency (the
+/// artifact's `max_batch`), which is also the regime where steady-state
+/// decode batches recur instead of absorbing every arrival burst.
+const MAX_BATCH: usize = 32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Memo {
+    Off,
+    Exact,
+    Bucketed,
+}
+
+impl Memo {
+    fn label(self) -> &'static str {
+        match self {
+            Memo::Off => "off",
+            Memo::Exact => "exact",
+            Memo::Bucketed => "bucketed",
+        }
+    }
+
+    fn apply(self, cfg: SimConfig) -> SimConfig {
+        match self {
+            Memo::Off => cfg.iteration_memo(false),
+            Memo::Exact => cfg.kv_bucket(1),
+            Memo::Bucketed => cfg.kv_bucket(KV_BUCKET),
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioResult {
+    scenario: String,
+    memo: String,
+    wall_s: f64,
+    iterations: u64,
+    iterations_per_s: f64,
+    sched_s: f64,
+    engine_s: f64,
+    convert_s: f64,
+    net_s: f64,
+    op_hit_rate: f64,
+    iter_hit_rate: f64,
+    sim_duration_ps: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct SimspeedReport {
+    smoke: bool,
+    requests: usize,
+    kv_bucket: usize,
+    results: Vec<ScenarioResult>,
+    /// Bucketed-vs-off wall-clock speedup per scenario.
+    speedup_single: f64,
+    speedup_cluster: f64,
+    speedup_disagg: f64,
+}
+
+fn replica_config() -> SimConfig {
+    SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel().max_batch(MAX_BATCH)
+}
+
+fn trace(smoke: bool) -> Vec<Request> {
+    // 90% of requests stream long outputs from short prompts: the
+    // steady-state decode regime the iteration cache targets.
+    let mut spec = BurstyTraceSpec::decode_heavy_mix(0.9, 42);
+    spec.heavy = (32, 512);
+    spec.light = (32, 64);
+    if smoke {
+        spec.bursts = 1;
+        spec.burst_size = 64; // 64 requests
+    } else {
+        spec.bursts = 4;
+        spec.burst_size = 128; // 512 requests
+    }
+    bursty_trace(&spec)
+}
+
+/// Collapses one or more replica reports into a scenario row.
+fn collect(
+    scenario: &str,
+    memo: Memo,
+    wall_s: f64,
+    reports: &[&SimReport],
+    reuse: ReuseStats,
+) -> ScenarioResult {
+    let mut wall = WallBreakdown::default();
+    let mut iterations = 0u64;
+    let mut sim_duration_ps = 0u64;
+    for r in reports {
+        wall.scheduler += r.wall.scheduler;
+        wall.engine += r.wall.engine;
+        wall.converter += r.wall.converter;
+        wall.network += r.wall.network;
+        iterations += r.iterations.len() as u64;
+        sim_duration_ps = sim_duration_ps.max(r.sim_duration_ps);
+    }
+    ScenarioResult {
+        scenario: scenario.to_owned(),
+        memo: memo.label().to_owned(),
+        wall_s,
+        iterations,
+        iterations_per_s: if wall_s > 0.0 { iterations as f64 / wall_s } else { 0.0 },
+        sched_s: wall.scheduler.as_secs_f64(),
+        engine_s: wall.engine.as_secs_f64(),
+        convert_s: wall.converter.as_secs_f64(),
+        net_s: wall.network.as_secs_f64(),
+        op_hit_rate: reuse.hit_rate(),
+        iter_hit_rate: reuse.iteration_hit_rate(),
+        sim_duration_ps,
+    }
+}
+
+fn run_single(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
+    let cfg = memo.apply(replica_config());
+    let t0 = Instant::now();
+    let report = llmss_core::ServingSimulator::new(cfg, requests)
+        .expect("gpt2 fits one Table-I NPU")
+        .run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    collect("single", memo, wall_s, &[&report], report.reuse)
+}
+
+fn run_cluster(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
+    let cfg = memo.apply(replica_config());
+    let t0 = Instant::now();
+    let report = ClusterSimulator::new(cfg, ClusterConfig::new(4), requests)
+        .expect("gpt2 fits one Table-I NPU")
+        .run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let refs: Vec<&SimReport> = report.replica_reports.iter().collect();
+    collect("cluster-4", memo, wall_s, &refs, report.aggregate_reuse())
+}
+
+fn run_disagg(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
+    let cfg = memo.apply(replica_config());
+    let t0 = Instant::now();
+    let report = DisaggSimulator::new(cfg.clone(), cfg, DisaggConfig::new(2, 2), requests)
+        .expect("gpt2 fits one Table-I NPU")
+        .run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let refs: Vec<&SimReport> =
+        report.prefill_reports.iter().chain(&report.decode_reports).collect();
+    collect("disagg-2x2", memo, wall_s, &refs, report.aggregate_reuse())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests = trace(smoke);
+    let n = requests.len();
+    println!(
+        "simspeed — decode-heavy trace, {n} requests{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>11} {:>9} {:>10} {:>12}",
+        "scenario", "memo", "wall(s)", "iters", "iters/s", "op-hit", "iter-hit"
+    );
+
+    type Runner = fn(Memo, Vec<Request>) -> ScenarioResult;
+    let runners: [(&str, Runner); 3] =
+        [("single", run_single), ("cluster-4", run_cluster), ("disagg-2x2", run_disagg)];
+
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    for (_, runner) in &runners {
+        for memo in [Memo::Off, Memo::Exact, Memo::Bucketed] {
+            let r = runner(memo, requests.clone());
+            println!(
+                "{:<12} {:>9} {:>9.3} {:>11} {:>9.0} {:>9.1}% {:>11.1}%",
+                r.scenario,
+                r.memo,
+                r.wall_s,
+                r.iterations,
+                r.iterations_per_s,
+                r.op_hit_rate * 100.0,
+                r.iter_hit_rate * 100.0,
+            );
+            results.push(r);
+        }
+    }
+
+    let wall_of = |scenario: &str, memo: Memo| {
+        results
+            .iter()
+            .find(|r| r.scenario == scenario && r.memo == memo.label())
+            .map(|r| r.wall_s)
+            .unwrap_or(0.0)
+    };
+    let speedup = |scenario: &str| {
+        let off = wall_of(scenario, Memo::Off);
+        let on = wall_of(scenario, Memo::Bucketed);
+        if on > 0.0 {
+            off / on
+        } else {
+            0.0
+        }
+    };
+    let (speedup_single, speedup_cluster, speedup_disagg) =
+        (speedup("single"), speedup("cluster-4"), speedup("disagg-2x2"));
+    println!(
+        "\nbucketed-vs-off speedup: single {speedup_single:.1}x, \
+         cluster {speedup_cluster:.1}x, disagg {speedup_disagg:.1}x"
+    );
+
+    let report = SimspeedReport {
+        smoke,
+        requests: n,
+        kv_bucket: KV_BUCKET,
+        results,
+        speedup_single,
+        speedup_cluster,
+        speedup_disagg,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_simspeed.json", json).expect("write BENCH_simspeed.json");
+    println!("wrote BENCH_simspeed.json");
+
+    // Exactness gate (always): exact memoization must not perturb the
+    // simulated duration relative to memo-off.
+    let mut failed = false;
+    for (scenario, _) in &runners {
+        let dur = |memo: Memo| {
+            report
+                .results
+                .iter()
+                .find(|r| r.scenario == *scenario && r.memo == memo.label())
+                .map(|r| r.sim_duration_ps)
+                .unwrap_or(0)
+        };
+        if dur(Memo::Off) != dur(Memo::Exact) {
+            eprintln!(
+                "FAIL: {scenario}: exact memoization changed the simulated duration \
+                 ({} vs {})",
+                dur(Memo::Off),
+                dur(Memo::Exact)
+            );
+            failed = true;
+        }
+    }
+
+    // Hit-rate gate (smoke/CI): the decode-heavy trace must keep the
+    // bucketed iteration cache above the floor in every serving shape.
+    if smoke {
+        for r in &report.results {
+            if r.memo == Memo::Bucketed.label() && r.iter_hit_rate < MIN_ITER_HIT_RATE {
+                eprintln!(
+                    "FAIL: {}: bucketed iteration hit rate {:.1}% below the {:.0}% floor",
+                    r.scenario,
+                    r.iter_hit_rate * 100.0,
+                    MIN_ITER_HIT_RATE * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

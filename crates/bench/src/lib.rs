@@ -50,7 +50,7 @@ pub fn run_single_iteration(
 ) -> SingleIterationResult {
     let parallelism = ParallelismSpec { tp, pp };
     let topology = Topology::grouped_npus(tp * pp, pp, LinkSpec::pcie4_x16());
-    let converter =
+    let mut converter =
         GraphConverter::new(spec.clone(), parallelism, &topology, PimMode::None, true, false);
     let mut stack = EngineStack::homogeneous(NpuConfig::table1(), reuse);
 

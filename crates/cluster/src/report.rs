@@ -164,16 +164,28 @@ impl ClusterReport {
         var.sqrt() / mean
     }
 
+    /// Fleet-wide reuse statistics: every replica's operator- and
+    /// iteration-level counters merged, so a cluster run reports one
+    /// combined hit rate for each cache tier.
+    pub fn aggregate_reuse(&self) -> llmss_core::ReuseStats {
+        let mut total = llmss_core::ReuseStats::default();
+        for r in &self.replica_reports {
+            total.merge(&r.reuse);
+        }
+        total
+    }
+
     /// One-paragraph human summary (the cluster analog of
     /// [`SimReport::summary`]).
     pub fn summary(&self) -> String {
         let ttft = PercentileSummary::display_or_na(self.ttft_percentiles());
         let tpot = PercentileSummary::display_or_na(self.tpot_percentiles());
         let latency = PercentileSummary::display_or_na(self.latency_percentiles());
+        let reuse = self.aggregate_reuse();
         format!(
             "cluster policy={} replicas={} requests={} makespan={:.2}s \
              gen_tput={:.1} tok/s ttft[{ttft}] tpot[{tpot}] latency[{latency}] \
-             imbalance={:.2} util_cv={:.3}",
+             imbalance={:.2} util_cv={:.3} op_reuse={:.1}% iter_reuse={:.1}%",
             self.policy,
             self.replica_reports.len(),
             self.total_completions(),
@@ -181,6 +193,8 @@ impl ClusterReport {
             self.generation_throughput(),
             self.load_imbalance(),
             self.utilization_imbalance(),
+            reuse.hit_rate() * 100.0,
+            reuse.iteration_hit_rate() * 100.0,
         )
     }
 

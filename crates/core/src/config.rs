@@ -126,6 +126,15 @@ pub struct SimConfig {
     pub selective_batching: bool,
     /// Computation-reuse caches enabled.
     pub reuse: bool,
+    /// Whole-iteration outcome memoization (requires `reuse`; see
+    /// [`kv_bucket`](Self::kv_bucket) for the fidelity knob).
+    pub iteration_memo: bool,
+    /// KV-length bucket granularity for iteration signatures, in tokens.
+    /// 1 (the default) keys iterations on exact KV lengths — memoized
+    /// runs are then bit-identical to unmemoized ones; larger buckets
+    /// price a decode iteration as its bucket representative, trading
+    /// bounded timing fidelity for much higher iteration hit rates.
+    pub kv_bucket: usize,
     /// NPU hardware configuration.
     pub npu_config: NpuConfig,
     /// PIM hardware configuration.
@@ -156,6 +165,8 @@ impl SimConfig {
             sub_batch: false,
             selective_batching: true,
             reuse: true,
+            iteration_memo: true,
+            kv_bucket: 1,
             npu_config: NpuConfig::table1(),
             pim_config: PimConfig::table1(),
             link: LinkSpec::pcie4_x16(),
@@ -197,6 +208,25 @@ impl SimConfig {
     /// Enables or disables the computation-reuse caches.
     pub fn reuse(mut self, enabled: bool) -> Self {
         self.reuse = enabled;
+        self
+    }
+
+    /// Enables or disables whole-iteration outcome memoization (on by
+    /// default; also requires [`reuse`](Self::reuse)).
+    pub fn iteration_memo(mut self, enabled: bool) -> Self {
+        self.iteration_memo = enabled;
+        self
+    }
+
+    /// Sets the KV-length bucket granularity for iteration signatures
+    /// (1 = exact; larger trades bounded fidelity for hit rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    pub fn kv_bucket(mut self, tokens: usize) -> Self {
+        assert!(tokens >= 1, "kv_bucket must be at least 1 token");
+        self.kv_bucket = tokens;
         self
     }
 

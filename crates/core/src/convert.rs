@@ -18,11 +18,27 @@
 //! * **KV paging** materializes the scheduler's eviction/reload decisions
 //!   as host memory-transfer operators gating the iteration.
 
-use llmss_model::{IterationWorkload, ModelSpec, Op, OpKind, SeqSlot};
+use std::borrow::Cow;
+
+use llmss_model::{IterationWorkload, ModelSpec, Op, OpKind, SeqSlot, SigLayout};
 use llmss_net::{CollectiveKind, ExecGraph, ExecNodeId, ExecPayload, NodeId, Topology};
 use llmss_sched::{partition_sub_batches, IterationBatch, PartitionCriteria};
 
 use crate::{map_op, DeviceKind, EngineStack, ParallelismSpec, PimMode};
+
+/// Reusable working buffers for graph construction, persisted across
+/// iterations so the steady-state convert path allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct ConvertScratch {
+    /// Per-node id of the last emitted op in the current sub-batch.
+    chain: Vec<Option<ExecNodeId>>,
+    /// Dependency-collection buffer for collectives and joins.
+    deps: Vec<ExecNodeId>,
+    /// Final attention op per request (selective batching join inputs).
+    att_final: Vec<ExecNodeId>,
+    /// KV-reload ops gating the iteration's entry.
+    entry_deps: Vec<ExecNodeId>,
+}
 
 /// Converts scheduler iterations into execution graphs for the system
 /// simulator.
@@ -36,6 +52,7 @@ pub struct GraphConverter {
     stage_groups: Vec<Vec<NodeId>>,
     pim_pool: Vec<NodeId>,
     stage_layers: Vec<std::ops::Range<u32>>,
+    scratch: ConvertScratch,
 }
 
 impl GraphConverter {
@@ -91,6 +108,7 @@ impl GraphConverter {
             stage_groups,
             pim_pool,
             stage_layers,
+            scratch: ConvertScratch::default(),
         }
     }
 
@@ -99,11 +117,40 @@ impl GraphConverter {
         &self.stage_layers
     }
 
+    /// The [`SigLayout`] describing everything this converter's graphs
+    /// are sensitive to beyond per-slot shapes, for iteration-outcome
+    /// memoization: the request-placement modulus (selective batching
+    /// fans attention out by `request % tp`, PIM-pool offload by
+    /// `request % pool_size`) and whether sub-batch partitioning makes
+    /// the weight/request-id sort order graph-relevant.
+    pub fn sig_layout(&self, kv_bucket: usize) -> SigLayout {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let placement_mod = if self.selective {
+            let tp = self.parallelism.tp as u64;
+            let pim = self.pim_pool.len().max(1) as u64;
+            tp / gcd(tp, pim) * pim
+        } else {
+            1
+        };
+        SigLayout::exact()
+            .kv_bucket(kv_bucket as u32)
+            .placement_mod(placement_mod)
+            .ranked(self.sub_batches > 1)
+    }
+
     /// Shards an operator for tensor parallelism (per-node shape).
-    fn shard(&self, op: &Op) -> Op {
+    /// Borrows the template unchanged when there is nothing to shard
+    /// (`tp == 1`), so the hot single-node path never clones.
+    fn shard<'a>(&self, op: &'a Op) -> Cow<'a, Op> {
         let tp = self.parallelism.tp;
         if tp == 1 {
-            return op.clone();
+            return Cow::Borrowed(op);
         }
         let mut out = op.clone();
         match op.kind {
@@ -129,21 +176,39 @@ impl GraphConverter {
             // LayerNorm / residual / embedding replicate.
             _ => {}
         }
-        out
+        Cow::Owned(out)
     }
 
-    /// Converts one scheduler iteration into an execution graph.
+    /// Converts one scheduler iteration into a freshly allocated graph
+    /// (convenience over [`convert_into`](Self::convert_into)).
     ///
     /// `stack` prices every (sharded) operator, consulting its reuse cache.
-    pub fn convert(&self, batch: &IterationBatch, stack: &mut EngineStack) -> ExecGraph {
+    pub fn convert(&mut self, batch: &IterationBatch, stack: &mut EngineStack) -> ExecGraph {
         let mut graph =
             ExecGraph::with_capacity(16 + self.spec.n_layers * self.parallelism.n_nodes() * 10);
+        self.convert_into(batch, stack, &mut graph);
+        graph
+    }
+
+    /// Converts one scheduler iteration into `graph`, which is cleared
+    /// first and whose arena is reused — the zero-realloc path a serving
+    /// loop drives every iteration.
+    pub fn convert_into(
+        &mut self,
+        batch: &IterationBatch,
+        stack: &mut EngineStack,
+        graph: &mut ExecGraph,
+    ) {
+        graph.clear();
+        // The scratch moves out so `&self` methods can run while its
+        // buffers are mutably borrowed; it moves back at the end.
+        let mut scratch = std::mem::take(&mut self.scratch);
 
         // KV paging transfers gate the iteration (paper: the converter
         // inserts memory store/load operators based on scheduler decisions).
         let tp = self.parallelism.tp;
         let stage0 = &self.stage_groups[0];
-        let mut entry_deps: Vec<ExecNodeId> = Vec::new();
+        scratch.entry_deps.clear();
         for t in &batch.evictions {
             let owner = stage0[(t.request as usize) % tp];
             graph.add(owner, ExecPayload::HostStore { bytes: t.bytes }, &[], "kv_evict");
@@ -152,23 +217,23 @@ impl GraphConverter {
             let owner = stage0[(t.request as usize) % tp];
             let id =
                 graph.add(owner, ExecPayload::HostLoad { bytes: t.bytes }, &[], "kv_reload");
-            entry_deps.push(id);
+            scratch.entry_deps.push(id);
         }
 
-        let sub_slots: Vec<Vec<SeqSlot>> = if self.sub_batches > 1 && batch.slots.len() > 1 {
-            partition_sub_batches(
+        if self.sub_batches > 1 && batch.slots.len() > 1 {
+            let sub_slots = partition_sub_batches(
                 &batch.slots,
                 self.sub_batches,
                 PartitionCriteria::MemoryAccess,
-            )
+            );
+            for slots in &sub_slots {
+                self.emit_sub_batch(graph, stack, slots, &mut scratch);
+            }
         } else {
-            vec![batch.slots.clone()]
-        };
-
-        for slots in &sub_slots {
-            self.emit_sub_batch(&mut graph, stack, slots, &entry_deps);
+            // Single sub-batch: emit straight from the batch, no copy.
+            self.emit_sub_batch(graph, stack, &batch.slots, &mut scratch);
         }
-        graph
+        self.scratch = scratch;
     }
 
     fn emit_sub_batch(
@@ -176,7 +241,7 @@ impl GraphConverter {
         graph: &mut ExecGraph,
         stack: &mut EngineStack,
         slots: &[SeqSlot],
-        entry_deps: &[ExecNodeId],
+        scratch: &mut ConvertScratch,
     ) {
         let workload = IterationWorkload::build(&self.spec, slots);
         let t = workload.new_tokens_total();
@@ -186,14 +251,16 @@ impl GraphConverter {
 
         // Per-node chain of the last emitted op in this sub-batch.
         let n_total = self.stage_groups.iter().flatten().copied().max().unwrap_or(0) + 1;
-        let mut chain: Vec<Option<ExecNodeId>> = vec![None; n_total.max(1)];
+        scratch.chain.clear();
+        scratch.chain.resize(n_total.max(1), None);
 
         // Stage 0 entry: embedding, gated by KV reloads.
         let embed = &workload.pre_ops()[0];
         for &node in &self.stage_groups[0] {
             let ps = stack.price(embed, DeviceKind::Npu);
-            let id = graph.add(node, ExecPayload::Compute { ps }, entry_deps, "embedding");
-            chain[node] = Some(id);
+            let id =
+                graph.add(node, ExecPayload::Compute { ps }, &scratch.entry_deps, "embedding");
+            scratch.chain[node] = Some(id);
         }
 
         for (stage, nodes) in self.stage_groups.iter().enumerate() {
@@ -204,14 +271,17 @@ impl GraphConverter {
                 let bytes = (t as u64 * d * w).div_ceil(tp as u64);
                 for (i, &src) in prev.iter().enumerate() {
                     let dst = nodes[i];
-                    let deps: Vec<_> = chain[src].into_iter().collect();
-                    let id =
-                        graph.add(src, ExecPayload::P2p { bytes, dst }, &deps, "stage_xfer");
-                    chain[dst] = Some(id);
+                    let id = graph.add(
+                        src,
+                        ExecPayload::P2p { bytes, dst },
+                        scratch.chain[src].as_slice(),
+                        "stage_xfer",
+                    );
+                    scratch.chain[dst] = Some(id);
                 }
             }
             for _blk in self.stage_layers[stage].clone() {
-                self.emit_block(graph, stack, &workload, slots, nodes, stage, &mut chain);
+                self.emit_block(graph, stack, &workload, slots, nodes, stage, scratch);
             }
         }
 
@@ -221,9 +291,13 @@ impl GraphConverter {
             for &node in last {
                 let sharded = self.shard(op);
                 let ps = stack.price(&sharded, DeviceKind::Npu);
-                let deps: Vec<_> = chain[node].into_iter().collect();
-                let id = graph.add(node, ExecPayload::Compute { ps }, &deps, op.kind.label());
-                chain[node] = Some(id);
+                let id = graph.add(
+                    node,
+                    ExecPayload::Compute { ps },
+                    scratch.chain[node].as_slice(),
+                    op.kind.label(),
+                );
+                scratch.chain[node] = Some(id);
             }
         }
     }
@@ -237,7 +311,7 @@ impl GraphConverter {
         slots: &[SeqSlot],
         nodes: &[NodeId],
         stage: usize,
-        chain: &mut [Option<ExecNodeId>],
+        scratch: &mut ConvertScratch,
     ) {
         let tp = nodes.len();
         let group = stage; // topology group id of this stage
@@ -259,46 +333,55 @@ impl GraphConverter {
         let emit_replicated = |graph: &mut ExecGraph,
                                stack: &mut EngineStack,
                                op: &Op,
-                               chain: &mut [Option<ExecNodeId>]| {
+                               scratch: &mut ConvertScratch| {
             for &node in nodes {
                 let ps = stack.price(op, DeviceKind::Npu);
-                let deps: Vec<_> = chain[node].into_iter().collect();
-                let id = graph.add(node, ExecPayload::Compute { ps }, &deps, op.kind.label());
-                chain[node] = Some(id);
+                let id = graph.add(
+                    node,
+                    ExecPayload::Compute { ps },
+                    scratch.chain[node].as_slice(),
+                    op.kind.label(),
+                );
+                scratch.chain[node] = Some(id);
             }
         };
         let emit_sharded = |graph: &mut ExecGraph,
                             stack: &mut EngineStack,
                             op: &Op,
-                            chain: &mut [Option<ExecNodeId>]| {
+                            scratch: &mut ConvertScratch| {
             let sharded = self.shard(op);
             for &node in nodes {
                 let ps = stack.price(&sharded, DeviceKind::Npu);
-                let deps: Vec<_> = chain[node].into_iter().collect();
-                let id = graph.add(node, ExecPayload::Compute { ps }, &deps, op.kind.label());
-                chain[node] = Some(id);
+                let id = graph.add(
+                    node,
+                    ExecPayload::Compute { ps },
+                    scratch.chain[node].as_slice(),
+                    op.kind.label(),
+                );
+                scratch.chain[node] = Some(id);
             }
         };
         let emit_collective = |graph: &mut ExecGraph,
                                kind: CollectiveKind,
                                bytes: u64,
                                label: &'static str,
-                               chain: &mut [Option<ExecNodeId>]| {
-            let deps: Vec<ExecNodeId> = nodes.iter().filter_map(|&n| chain[n]).collect();
+                               scratch: &mut ConvertScratch| {
+            scratch.deps.clear();
+            scratch.deps.extend(nodes.iter().filter_map(|&n| scratch.chain[n]));
             let id = graph.add(
                 nodes[0],
                 ExecPayload::Collective { kind, bytes, group },
-                &deps,
+                &scratch.deps,
                 label,
             );
             for &n in nodes {
-                chain[n] = Some(id);
+                scratch.chain[n] = Some(id);
             }
             id
         };
 
-        emit_replicated(graph, stack, ln1, chain); // LayerNorm 1
-        emit_sharded(graph, stack, qkv, chain); // QKV projection
+        emit_replicated(graph, stack, ln1, scratch); // LayerNorm 1
+        emit_sharded(graph, stack, qkv, scratch); // QKV projection
 
         if self.selective {
             // Redistribute QKV so each request's heads land on its owner.
@@ -308,20 +391,20 @@ impl GraphConverter {
                     CollectiveKind::AllGather,
                     (t * 3 * d * w).div_ceil(tp as u64),
                     "qkv_gather",
-                    chain,
+                    scratch,
                 );
             }
-            let mut att_final: Vec<ExecNodeId> = Vec::with_capacity(slots.len());
+            scratch.att_final.clear();
             for (si, slot) in slots.iter().enumerate() {
                 let owner = nodes[(slot.request as usize) % tp];
                 let trio = &attention[3 * si..3 * si + 3];
                 debug_assert_eq!(trio[0].kind, OpKind::Score);
-                let last = self.emit_request_attention(graph, stack, trio, slot, owner, chain);
-                att_final.push(last);
+                let last =
+                    self.emit_request_attention(graph, stack, trio, slot, owner, scratch);
+                scratch.att_final.push(last);
             }
             // Re-shard attention outputs for the row-parallel projection.
             if tp > 1 {
-                let deps: Vec<ExecNodeId> = att_final;
                 let id = graph.add(
                     nodes[0],
                     ExecPayload::Collective {
@@ -329,17 +412,21 @@ impl GraphConverter {
                         bytes: (t * d * w).div_ceil(tp as u64),
                         group,
                     },
-                    &deps,
+                    &scratch.att_final,
                     "att_gather",
                 );
                 for &n in nodes {
-                    chain[n] = Some(id);
+                    scratch.chain[n] = Some(id);
                 }
             } else {
                 // Single node: join the per-request chains on a zero-cost op.
-                let id =
-                    graph.add(nodes[0], ExecPayload::Compute { ps: 0 }, &att_final, "att_join");
-                chain[nodes[0]] = Some(id);
+                let id = graph.add(
+                    nodes[0],
+                    ExecPayload::Compute { ps: 0 },
+                    &scratch.att_final,
+                    "att_join",
+                );
+                scratch.chain[nodes[0]] = Some(id);
             }
         } else {
             // Head-sharded attention: one fused per-node attention op whose
@@ -356,28 +443,31 @@ impl GraphConverter {
                 ps_total += stack.price(&sharded, device);
             }
             for &node in nodes {
-                let deps: Vec<_> = chain[node].into_iter().collect();
-                let id =
-                    graph.add(node, ExecPayload::Compute { ps: ps_total }, &deps, "attention");
-                chain[node] = Some(id);
+                let id = graph.add(
+                    node,
+                    ExecPayload::Compute { ps: ps_total },
+                    scratch.chain[node].as_slice(),
+                    "attention",
+                );
+                scratch.chain[node] = Some(id);
             }
         }
 
         // OutProj, residual, LN2, FFN, residual — with all-reduces after
         // the two row-parallel projections.
-        emit_sharded(graph, stack, &tail[0], chain); // OutProj
+        emit_sharded(graph, stack, &tail[0], scratch); // OutProj
         if tp > 1 {
-            emit_collective(graph, CollectiveKind::AllReduce, t * d * w, "all_reduce", chain);
+            emit_collective(graph, CollectiveKind::AllReduce, t * d * w, "all_reduce", scratch);
         }
-        emit_replicated(graph, stack, &tail[1], chain); // residual
-        emit_replicated(graph, stack, &tail[2], chain); // LayerNorm 2
-        emit_sharded(graph, stack, &tail[3], chain); // FFN up
-        emit_sharded(graph, stack, &tail[4], chain); // activation
-        emit_sharded(graph, stack, &tail[5], chain); // FFN down
+        emit_replicated(graph, stack, &tail[1], scratch); // residual
+        emit_replicated(graph, stack, &tail[2], scratch); // LayerNorm 2
+        emit_sharded(graph, stack, &tail[3], scratch); // FFN up
+        emit_sharded(graph, stack, &tail[4], scratch); // activation
+        emit_sharded(graph, stack, &tail[5], scratch); // FFN down
         if tp > 1 {
-            emit_collective(graph, CollectiveKind::AllReduce, t * d * w, "all_reduce", chain);
+            emit_collective(graph, CollectiveKind::AllReduce, t * d * w, "all_reduce", scratch);
         }
-        emit_replicated(graph, stack, &tail[6], chain); // residual
+        emit_replicated(graph, stack, &tail[6], scratch); // residual
     }
 
     /// Emits one request's Score/Softmax/Attend, offloading the GEMVs to a
@@ -389,11 +479,11 @@ impl GraphConverter {
         trio: &[Op],
         slot: &SeqSlot,
         owner: NodeId,
-        chain: &mut [Option<ExecNodeId>],
+        scratch: &mut ConvertScratch,
     ) -> ExecNodeId {
         let (score, softmax, attend) = (&trio[0], &trio[1], &trio[2]);
         let w = self.spec.elem_bytes as u64;
-        let pre: Vec<ExecNodeId> = chain[owner].into_iter().collect();
+        let pre = scratch.chain[owner];
 
         let offload = self.pim_mode == PimMode::Pool
             && map_op(score, self.pim_mode) == DeviceKind::Pim
@@ -403,12 +493,15 @@ impl GraphConverter {
             let mut last: Option<ExecNodeId> = None;
             for op in [score, softmax, attend] {
                 let ps = stack.price(op, DeviceKind::Npu);
-                let deps: Vec<_> = last
-                    .into_iter()
-                    .chain(pre.iter().copied().take(usize::from(last.is_none())))
-                    .collect();
-                last =
-                    Some(graph.add(owner, ExecPayload::Compute { ps }, &deps, op.kind.label()));
+                // The first op of the trio chains off the owner's tail;
+                // the rest chain sequentially within the trio.
+                let dep = if last.is_some() { last } else { pre };
+                last = Some(graph.add(
+                    owner,
+                    ExecPayload::Compute { ps },
+                    dep.as_slice(),
+                    op.kind.label(),
+                ));
             }
             return last.expect("attention trio emitted");
         }
@@ -421,8 +514,12 @@ impl GraphConverter {
         let q_bytes = (slot.new_tokens * self.spec.d_model) as u64 * w;
         let score_bytes = (self.spec.n_heads * slot.new_tokens * slot.kv_total()) as u64 * w;
 
-        let q_send =
-            graph.add(owner, ExecPayload::P2p { bytes: q_bytes, dst: pim }, &pre, "q_xfer");
+        let q_send = graph.add(
+            owner,
+            ExecPayload::P2p { bytes: q_bytes, dst: pim },
+            pre.as_slice(),
+            "q_xfer",
+        );
         let score_ps = stack.price(score, DeviceKind::Pim);
         let score_c = graph.add(pim, ExecPayload::Compute { ps: score_ps }, &[q_send], "score");
         let s_back = graph.add(
@@ -477,7 +574,7 @@ mod tests {
 
     #[test]
     fn single_node_graph_simulates() {
-        let (conv, topo, mut stack) = homogeneous(1, 1);
+        let (mut conv, topo, mut stack) = homogeneous(1, 1);
         let g = conv.convert(&batch(vec![SeqSlot::prefill(0, 64)]), &mut stack);
         let out = simulate_graph(&g, &topo).unwrap();
         assert!(out.makespan_ps > 0);
@@ -487,7 +584,7 @@ mod tests {
 
     #[test]
     fn tensor_parallel_inserts_collectives() {
-        let (conv, _, mut stack) = homogeneous(4, 1);
+        let (mut conv, _, mut stack) = homogeneous(4, 1);
         let g = conv.convert(&batch(vec![SeqSlot::prefill(0, 64)]), &mut stack);
         let collectives = g
             .iter()
@@ -499,7 +596,7 @@ mod tests {
 
     #[test]
     fn pipeline_parallel_inserts_stage_transfers() {
-        let (conv, topo, mut stack) = homogeneous(1, 4);
+        let (mut conv, topo, mut stack) = homogeneous(1, 4);
         let g = conv.convert(&batch(vec![SeqSlot::prefill(0, 64)]), &mut stack);
         let xfers = g.iter().filter(|(_, o)| o.label == "stage_xfer").count();
         assert_eq!(xfers, 3, "pp=4 has 3 stage boundaries");
@@ -511,8 +608,8 @@ mod tests {
 
     #[test]
     fn tp_speeds_up_prefill_vs_single_node() {
-        let (c1, t1, mut s1) = homogeneous(1, 1);
-        let (c4, t4, mut s4) = homogeneous(4, 1);
+        let (mut c1, t1, mut s1) = homogeneous(1, 1);
+        let (mut c4, t4, mut s4) = homogeneous(4, 1);
         let b = batch(vec![SeqSlot::prefill(0, 512)]);
         let m1 = simulate_graph(&c1.convert(&b, &mut s1), &t1).unwrap().makespan_ps;
         let m4 = simulate_graph(&c4.convert(&b, &mut s4), &t4).unwrap().makespan_ps;
@@ -522,7 +619,7 @@ mod tests {
 
     #[test]
     fn selective_batching_distributes_attention() {
-        let (conv, _, mut stack) = homogeneous(4, 1);
+        let (mut conv, _, mut stack) = homogeneous(4, 1);
         let slots: Vec<_> = (0..8).map(|i| SeqSlot::decode(i, 128 + 64 * i as usize)).collect();
         let g = conv.convert(&batch(slots), &mut stack);
         // Attention computes must appear on all 4 nodes.
@@ -536,7 +633,7 @@ mod tests {
     #[test]
     fn non_selective_shards_heads_instead() {
         let topo = Topology::grouped_npus(4, 1, LinkSpec::pcie4_x16());
-        let conv = GraphConverter::new(
+        let mut conv = GraphConverter::new(
             spec(),
             ParallelismSpec { tp: 4, pp: 1 },
             &topo,
@@ -559,7 +656,7 @@ mod tests {
     #[test]
     fn pool_mode_offloads_decode_attention_with_transfers() {
         let topo = Topology::npu_pim_pools(2, 2, 1, LinkSpec::pcie4_x16(), LinkSpec::cxl());
-        let conv = GraphConverter::new(
+        let mut conv = GraphConverter::new(
             spec(),
             ParallelismSpec { tp: 2, pp: 1 },
             &topo,
@@ -592,7 +689,7 @@ mod tests {
     #[test]
     fn prefill_attention_stays_on_npu_in_pool_mode() {
         let topo = Topology::npu_pim_pools(1, 1, 1, LinkSpec::pcie4_x16(), LinkSpec::cxl());
-        let conv = GraphConverter::new(
+        let mut conv = GraphConverter::new(
             spec(),
             ParallelismSpec { tp: 1, pp: 1 },
             &topo,
@@ -613,7 +710,7 @@ mod tests {
 
     #[test]
     fn kv_transfers_materialize_as_host_ops() {
-        let (conv, topo, mut stack) = homogeneous(2, 1);
+        let (mut conv, topo, mut stack) = homogeneous(2, 1);
         let b = IterationBatch {
             slots: vec![SeqSlot::decode(0, 128)],
             evictions: vec![KvTransfer { request: 5, bytes: 1 << 20, pages: 64 }],
@@ -672,7 +769,7 @@ mod tests {
 
     #[test]
     fn deterministic_conversion() {
-        let (conv, _, mut stack) = homogeneous(2, 2);
+        let (mut conv, _, mut stack) = homogeneous(2, 2);
         let slots = vec![SeqSlot::prefill(0, 64), SeqSlot::decode(1, 100)];
         let a = conv.convert(&batch(slots.clone()), &mut stack);
         let b = conv.convert(&batch(slots), &mut stack);

@@ -53,6 +53,6 @@ pub use report::{
     percentile, percentiles_from_ps, IterationRecord, PercentileSummary, SimReport,
     ThroughputBin, WallBreakdown,
 };
-pub use reuse::{ReuseCache, ReuseStats};
+pub use reuse::{IterationCache, IterationLookup, IterationOutcome, ReuseCache, ReuseStats};
 pub use sim::ServingSimulator;
 pub use stack::EngineStack;

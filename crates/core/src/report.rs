@@ -37,6 +37,12 @@ pub struct IterationRecord {
     pub graph_ops: usize,
     /// Network-simulator events processed.
     pub net_events: u64,
+    /// Aggregate simulated time in compute operators.
+    pub compute_ps: TimePs,
+    /// Aggregate simulated time in communication operators.
+    pub comm_ps: TimePs,
+    /// Aggregate simulated time in host memory transfers.
+    pub host_ps: TimePs,
 }
 
 /// Wall-clock time spent in each simulator component (Figure 9's stack).
@@ -300,7 +306,8 @@ impl SimReport {
     pub fn summary(&self) -> String {
         format!(
             "iterations={} requests={} sim_time={:.2}s prompt_tok={} gen_tok={} \
-             gen_tput={:.1} tok/s mean_lat={:.2}s reuse_hit_rate={:.1}% wall={:.2}s \
+             gen_tput={:.1} tok/s mean_lat={:.2}s reuse_hit_rate={:.1}% \
+             iter_reuse={:.1}% wall={:.2}s \
              (sched {:.2}s, engine {:.2}s, convert {:.2}s, net {:.2}s)",
             self.iterations.len(),
             self.completions.len(),
@@ -310,6 +317,7 @@ impl SimReport {
             self.generation_throughput(),
             self.mean_latency_s(),
             self.reuse.hit_rate() * 100.0,
+            self.reuse.iteration_hit_rate() * 100.0,
             self.wall.total().as_secs_f64(),
             self.wall.scheduler.as_secs_f64(),
             self.wall.engine.as_secs_f64(),
@@ -341,6 +349,9 @@ mod tests {
             reloads: 0,
             graph_ops: 10,
             net_events: 20,
+            compute_ps: lat,
+            comm_ps: 0,
+            host_ps: 0,
         }
     }
 

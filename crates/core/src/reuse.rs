@@ -1,25 +1,38 @@
-//! Computation-reuse caches (paper Section IV-C).
+//! Computation-reuse caches (paper Section IV-C), at two granularities.
 //!
 //! LLMServingSim avoids re-running the compiler and hardware simulator by
 //! caching results keyed on operator signatures. Two redundancies feed the
-//! cache:
+//! per-operator [`ReuseCache`]:
 //!
 //! * **Model redundancy**: all transformer blocks share one template, so a
 //!   block compiles once and replicates (`n_layers - 1` free hits per op).
 //! * **Iteration redundancy**: non-attention operators keep the same shapes
 //!   across decode iterations (only attention shapes track the KV length),
 //!   so prior iterations' results keep serving.
+//!
+//! The [`IterationCache`] extends the same idea from operators to whole
+//! iterations: a [`BatchSignature`] keys the complete outcome (makespan,
+//! event/op counts, per-stage timing) of an iteration, so a steady-state
+//! decode step whose signature recurs skips graph construction *and* the
+//! network DES entirely. With unit KV buckets the signature is exact and
+//! memoized runs are bit-identical to unmemoized ones; coarser buckets
+//! trade bounded fidelity for hit rate.
+//!
+//! Both caches hash through the hand-rolled FNV-1a hasher
+//! ([`llmss_model::FnvHashMap`]) — these are trusted, short, deterministic
+//! keys on the hottest path in the simulator, where SipHash is wasted
+//! defense.
 
-use std::collections::HashMap;
-
-use llmss_model::OpSignature;
-use llmss_net::TimePs;
+use llmss_model::{BatchSignature, FnvHashMap, OpSignature, SigLayout, SignatureBuilder};
+use llmss_net::{SimOutcome, TimePs};
+use llmss_sched::IterationBatch;
 use serde::{Deserialize, Serialize};
 
 use crate::DeviceKind;
 
 /// Hit/miss counters, split by attention vs non-attention operators so the
-/// evaluation can show where the savings come from.
+/// evaluation can show where the savings come from, plus whole-iteration
+/// memoization counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReuseStats {
     /// Cache hits on attention operators.
@@ -30,6 +43,14 @@ pub struct ReuseStats {
     pub other_hits: u64,
     /// Cache misses on non-attention operators.
     pub other_misses: u64,
+    /// Iterations served wholesale from the iteration-outcome cache
+    /// (graph construction and network DES skipped).
+    pub iteration_hits: u64,
+    /// Iterations simulated in full and inserted into the cache.
+    pub iteration_misses: u64,
+    /// Iterations that bypassed the cache (KV paging traffic in the
+    /// batch, or memoization disabled).
+    pub iteration_uncacheable: u64,
 }
 
 impl ReuseStats {
@@ -50,6 +71,33 @@ impl ReuseStats {
             return 0.0;
         }
         self.hits() as f64 / total as f64
+    }
+
+    /// Total iterations the simulator ran.
+    pub fn iterations(&self) -> u64 {
+        self.iteration_hits + self.iteration_misses + self.iteration_uncacheable
+    }
+
+    /// Fraction of iterations served wholesale from the iteration cache
+    /// (0 when no iterations ran). Uncacheable iterations count against
+    /// the rate — they paid the full miss path.
+    pub fn iteration_hit_rate(&self) -> f64 {
+        let total = self.iterations();
+        if total == 0 {
+            return 0.0;
+        }
+        self.iteration_hits as f64 / total as f64
+    }
+
+    /// Folds another stats block into this one (fleet-level aggregation).
+    pub fn merge(&mut self, other: &ReuseStats) {
+        self.attention_hits += other.attention_hits;
+        self.attention_misses += other.attention_misses;
+        self.other_hits += other.other_hits;
+        self.other_misses += other.other_misses;
+        self.iteration_hits += other.iteration_hits;
+        self.iteration_misses += other.iteration_misses;
+        self.iteration_uncacheable += other.iteration_uncacheable;
     }
 }
 
@@ -81,14 +129,14 @@ impl ReuseStats {
 #[derive(Debug, Clone)]
 pub struct ReuseCache {
     enabled: bool,
-    entries: HashMap<(DeviceKind, OpSignature), TimePs>,
+    entries: FnvHashMap<(DeviceKind, OpSignature), TimePs>,
     stats: ReuseStats,
 }
 
 impl ReuseCache {
     /// Creates a cache; `enabled = false` forces every lookup to miss.
     pub fn new(enabled: bool) -> Self {
-        Self { enabled, entries: HashMap::new(), stats: ReuseStats::default() }
+        Self { enabled, entries: FnvHashMap::default(), stats: ReuseStats::default() }
     }
 
     /// Whether reuse is enabled.
@@ -148,6 +196,163 @@ impl ReuseCache {
     }
 }
 
+/// Everything a driver needs to record an iteration without re-deriving
+/// it: the simulated makespan plus the bookkeeping the reports surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationOutcome {
+    /// Simulated iteration latency (graph makespan).
+    pub makespan_ps: TimePs,
+    /// Execution-graph operations the iteration comprised.
+    pub graph_ops: usize,
+    /// Network-simulator events the DES processed.
+    pub net_events: u64,
+    /// Aggregate time in compute operators.
+    pub compute_ps: TimePs,
+    /// Aggregate time in communication operators (collectives + P2P).
+    pub comm_ps: TimePs,
+    /// Aggregate time in host memory transfers.
+    pub host_ps: TimePs,
+}
+
+impl IterationOutcome {
+    /// Captures the cacheable facts of a simulated graph.
+    pub fn capture(outcome: &SimOutcome, graph_ops: usize) -> Self {
+        Self {
+            makespan_ps: outcome.makespan_ps,
+            graph_ops,
+            net_events: outcome.events,
+            compute_ps: outcome.compute_ps,
+            comm_ps: outcome.comm_ps,
+            host_ps: outcome.host_ps,
+        }
+    }
+}
+
+/// What [`IterationCache::lookup_batch`] found for an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationLookup {
+    /// The outcome was cached: skip graph construction and the DES.
+    Hit(IterationOutcome),
+    /// The batch is cacheable but cold — simulate, then call
+    /// [`IterationCache::insert_current`].
+    Miss,
+    /// The batch cannot be cached (memoization disabled, or KV paging
+    /// traffic in the batch) — simulate, nothing to insert.
+    Uncacheable,
+}
+
+/// The iteration-outcome memoization cache.
+///
+/// Holds the [`SigLayout`] describing what the owning simulator's graph
+/// converter is sensitive to, and maps [`BatchSignature`]s to
+/// [`IterationOutcome`]s. The driver protocol per iteration is
+/// [`lookup_batch`](Self::lookup_batch) on the freshly formed batch,
+/// then — only on [`IterationLookup::Miss`] — simulate in full and
+/// [`insert_current`](Self::insert_current) the outcome. The signature
+/// is built into a scratch key reused across iterations and only cloned
+/// on the (rare) miss path, so the hit path allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_core::{IterationCache, IterationLookup};
+/// use llmss_model::{SeqSlot, SigLayout};
+/// use llmss_sched::IterationBatch;
+///
+/// let mut cache = IterationCache::new(true, SigLayout::exact());
+/// let batch = IterationBatch {
+///     slots: vec![SeqSlot::decode(0, 128)],
+///     evictions: vec![],
+///     reloads: vec![],
+/// };
+/// assert_eq!(cache.lookup_batch(&batch), IterationLookup::Miss); // cold
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterationCache {
+    enabled: bool,
+    layout: SigLayout,
+    entries: FnvHashMap<BatchSignature, IterationOutcome>,
+    /// Reusable signature builder (sort-permutation scratch).
+    builder: SignatureBuilder,
+    /// The current batch's signature, rebuilt in place each iteration.
+    key: BatchSignature,
+    hits: u64,
+    misses: u64,
+    uncacheable: u64,
+}
+
+impl IterationCache {
+    /// Creates a cache for a simulator whose converter matches `layout`;
+    /// `enabled = false` turns every iteration into an uncacheable one.
+    pub fn new(enabled: bool, layout: SigLayout) -> Self {
+        Self {
+            enabled,
+            layout,
+            entries: FnvHashMap::default(),
+            builder: SignatureBuilder::new(),
+            key: BatchSignature::empty(),
+            hits: 0,
+            misses: 0,
+            uncacheable: 0,
+        }
+    }
+
+    /// Whether memoization is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The signature layout this cache keys under.
+    pub fn layout(&self) -> &SigLayout {
+        &self.layout
+    }
+
+    /// Signs `batch` into the reusable scratch key and looks it up,
+    /// counting a hit, miss, or uncacheable iteration.
+    pub fn lookup_batch(&mut self, batch: &IterationBatch) -> IterationLookup {
+        if !self.enabled || !batch.is_steady() {
+            self.uncacheable += 1;
+            return IterationLookup::Uncacheable;
+        }
+        self.builder.build_into(&batch.slots, &self.layout, &mut self.key);
+        match self.entries.get(&self.key) {
+            Some(out) => {
+                self.hits += 1;
+                IterationLookup::Hit(*out)
+            }
+            None => {
+                self.misses += 1;
+                IterationLookup::Miss
+            }
+        }
+    }
+
+    /// Stores `outcome` under the signature built by the last
+    /// [`lookup_batch`](Self::lookup_batch) (which must have returned
+    /// [`IterationLookup::Miss`]); the scratch key is cloned here, on
+    /// the one path that has to own it.
+    pub fn insert_current(&mut self, outcome: IterationOutcome) {
+        self.entries.insert(self.key.clone(), outcome);
+    }
+
+    /// Cached iteration count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds this cache's counters into a stats block.
+    pub fn fill_stats(&self, stats: &mut ReuseStats) {
+        stats.iteration_hits = self.hits;
+        stats.iteration_misses = self.misses;
+        stats.iteration_uncacheable = self.uncacheable;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +408,85 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats(), ReuseStats::default());
+    }
+
+    use llmss_model::{SeqSlot, SigLayout};
+    use llmss_sched::{IterationBatch, KvTransfer};
+
+    fn steady(slots: Vec<SeqSlot>) -> IterationBatch {
+        IterationBatch { slots, evictions: vec![], reloads: vec![] }
+    }
+
+    fn outcome(makespan: TimePs) -> IterationOutcome {
+        IterationOutcome {
+            makespan_ps: makespan,
+            graph_ops: 10,
+            net_events: 20,
+            compute_ps: makespan,
+            comm_ps: 0,
+            host_ps: 0,
+        }
+    }
+
+    #[test]
+    fn iteration_cache_hits_on_recurring_signatures() {
+        let mut c = IterationCache::new(true, SigLayout::exact());
+        let batch = steady(vec![SeqSlot::decode(0, 100)]);
+        assert_eq!(c.lookup_batch(&batch), IterationLookup::Miss);
+        c.insert_current(outcome(42));
+        // A later iteration with the same shape (different request id,
+        // placement-insensitive layout) hits.
+        match c.lookup_batch(&steady(vec![SeqSlot::decode(7, 100)])) {
+            IterationLookup::Hit(out) => assert_eq!(out.makespan_ps, 42),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        let mut stats = ReuseStats::default();
+        c.fill_stats(&mut stats);
+        assert_eq!((stats.iteration_hits, stats.iteration_misses), (1, 1));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn paging_batches_are_uncacheable() {
+        let mut c = IterationCache::new(true, SigLayout::exact());
+        let batch = IterationBatch {
+            slots: vec![SeqSlot::decode(0, 64)],
+            evictions: vec![KvTransfer { request: 1, bytes: 1 << 20, pages: 16 }],
+            reloads: vec![],
+        };
+        assert_eq!(c.lookup_batch(&batch), IterationLookup::Uncacheable);
+        let mut stats = ReuseStats::default();
+        c.fill_stats(&mut stats);
+        assert_eq!(stats.iteration_uncacheable, 1);
+        assert_eq!(stats.iteration_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn disabled_iteration_cache_never_signs() {
+        let mut c = IterationCache::new(false, SigLayout::exact());
+        assert!(!c.enabled());
+        assert_eq!(
+            c.lookup_batch(&steady(vec![SeqSlot::decode(0, 64)])),
+            IterationLookup::Uncacheable
+        );
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = ReuseStats {
+            attention_hits: 1,
+            attention_misses: 2,
+            other_hits: 3,
+            other_misses: 4,
+            iteration_hits: 5,
+            iteration_misses: 6,
+            iteration_uncacheable: 7,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.hits(), 2 * a.hits());
+        assert_eq!(b.iterations(), 2 * a.iterations());
+        assert!((a.iteration_hit_rate() - 5.0 / 18.0).abs() < 1e-12);
     }
 }

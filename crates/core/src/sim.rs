@@ -6,15 +6,27 @@
 //! simulator returns the iteration latency, which advances the scheduler's
 //! clock. Wall-clock spent in each component is recorded for the Figure 9
 //! breakdown.
+//!
+//! Two levels of work avoidance keep the loop fast at serving scale:
+//!
+//! * **Iteration-outcome memoization** — a [`BatchSignature`] computed in
+//!   O(batch) keys the whole iteration's result, so recurring steady-state
+//!   decode batches skip graph construction *and* the network DES (see
+//!   [`IterationCache`]).
+//! * **A zero-realloc miss path** — one [`ExecGraph`] arena and one
+//!   [`GraphSimulator`] (event heap, dependency buffers) persist across
+//!   steps, cleared and refilled instead of rebuilt.
+//!
+//! [`BatchSignature`]: llmss_model::BatchSignature
 
 use std::time::Instant;
 
-use llmss_net::{simulate_graph, Topology};
+use llmss_net::{ExecGraph, GraphSimulator, Topology};
 use llmss_sched::{Request, Scheduler, TimePs};
 
 use crate::{
-    ConfigError, EngineStack, GraphConverter, IterationRecord, SimConfig, SimReport,
-    WallBreakdown,
+    ConfigError, EngineStack, GraphConverter, IterationCache, IterationLookup,
+    IterationOutcome, IterationRecord, SimConfig, SimReport, WallBreakdown,
 };
 
 /// An end-to-end LLM serving simulation.
@@ -40,6 +52,12 @@ pub struct ServingSimulator {
     scheduler: Scheduler,
     records: Vec<IterationRecord>,
     wall: WallBreakdown,
+    /// Persistent graph arena, cleared and refilled every miss.
+    graph: ExecGraph,
+    /// Persistent DES working state (event heap, CSR buffers).
+    des: GraphSimulator,
+    /// Whole-iteration outcome memoization.
+    memo: IterationCache,
 }
 
 impl ServingSimulator {
@@ -68,6 +86,10 @@ impl ServingSimulator {
             config.reuse,
         );
         let scheduler = Scheduler::new(config.scheduler_config(), kv, requests);
+        let memo = IterationCache::new(
+            config.reuse && config.iteration_memo,
+            converter.sig_layout(config.kv_bucket),
+        );
         Ok(Self {
             topology,
             converter,
@@ -75,6 +97,9 @@ impl ServingSimulator {
             scheduler,
             records: Vec::new(),
             wall: WallBreakdown::default(),
+            graph: ExecGraph::new(),
+            des: GraphSimulator::new(),
+            memo,
         })
     }
 
@@ -89,40 +114,70 @@ impl ServingSimulator {
         let Some(batch) = self.scheduler.next_batch() else {
             return false;
         };
+
+        // Iteration-outcome memoization: a recurring steady-state batch
+        // signature answers from the cache, skipping graph construction
+        // and the network DES entirely.
+        let lookup = self.memo.lookup_batch(&batch);
+        if let IterationLookup::Hit(cached) = lookup {
+            self.record_iteration(&batch, &cached);
+            self.scheduler.complete_iteration(cached.makespan_ps);
+            self.wall.scheduler += t0.elapsed();
+            return true;
+        }
         let sched_elapsed = t0.elapsed();
 
         let engine_before = self.stack.engine_wall();
         let t1 = Instant::now();
-        let graph = self.converter.convert(&batch, &mut self.stack);
+        self.converter.convert_into(&batch, &mut self.stack, &mut self.graph);
         let convert_total = t1.elapsed();
         let engine_elapsed = self.stack.engine_wall() - engine_before;
 
         let t2 = Instant::now();
-        let outcome =
-            simulate_graph(&graph, &self.topology).expect("converter emits valid graphs");
+        let outcome = self
+            .des
+            .simulate(&self.graph, &self.topology)
+            .expect("converter emits valid graphs");
+        let iteration = IterationOutcome::capture(outcome, self.graph.len());
         let net_elapsed = t2.elapsed();
+        if lookup == IterationLookup::Miss {
+            self.memo.insert_current(iteration);
+        }
 
-        let start_ps = self.scheduler.clock_ps();
+        self.record_iteration(&batch, &iteration);
+
+        let t3 = Instant::now();
+        self.scheduler.complete_iteration(iteration.makespan_ps);
+        self.wall.scheduler += sched_elapsed + t3.elapsed();
+        self.wall.engine += engine_elapsed;
+        self.wall.converter += convert_total.saturating_sub(engine_elapsed);
+        self.wall.network += net_elapsed;
+        true
+    }
+
+    /// Appends the iteration record shared by the memoized and simulated
+    /// paths (identical fields either way — that is the exactness
+    /// contract the bucket-1 equivalence tests pin down).
+    fn record_iteration(
+        &mut self,
+        batch: &llmss_sched::IterationBatch,
+        outcome: &IterationOutcome,
+    ) {
         self.records.push(IterationRecord {
             index: self.scheduler.iterations(),
-            start_ps,
+            start_ps: self.scheduler.clock_ps(),
             latency_ps: outcome.makespan_ps,
             batch_size: batch.batch_size(),
             prompt_tokens: batch.prompt_tokens(),
             generated_tokens: batch.generated_tokens(),
             evictions: batch.evictions.len(),
             reloads: batch.reloads.len(),
-            graph_ops: graph.len(),
-            net_events: outcome.events,
+            graph_ops: outcome.graph_ops,
+            net_events: outcome.net_events,
+            compute_ps: outcome.compute_ps,
+            comm_ps: outcome.comm_ps,
+            host_ps: outcome.host_ps,
         });
-
-        let t3 = Instant::now();
-        self.scheduler.complete_iteration(outcome.makespan_ps);
-        self.wall.scheduler += sched_elapsed + t3.elapsed();
-        self.wall.engine += engine_elapsed;
-        self.wall.converter += convert_total.saturating_sub(engine_elapsed);
-        self.wall.network += net_elapsed;
-        true
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -177,16 +232,27 @@ impl ServingSimulator {
         &self.stack
     }
 
+    /// Combined reuse statistics: per-operator counters from the engine
+    /// stack plus iteration-level memoization counters.
+    pub fn reuse_stats(&self) -> crate::ReuseStats {
+        let mut stats = self.stack.reuse_stats();
+        self.memo.fill_stats(&mut stats);
+        stats
+    }
+
     /// Finalizes the simulator into its report (used directly by drivers
     /// that interleave [`step`](Self::step) calls, e.g. the cluster
     /// simulator; [`run`](Self::run) is the single-replica shorthand).
-    pub fn into_report(self) -> SimReport {
+    pub fn into_report(mut self) -> SimReport {
+        let reuse = self.reuse_stats();
         SimReport {
             sim_duration_ps: self.scheduler.clock_ps(),
-            completions: self.scheduler.completions().to_vec(),
+            // Ownership moves from the scheduler — no copy of what can be
+            // millions of completion records.
+            completions: self.scheduler.take_completions(),
             iterations: self.records,
             wall: self.wall,
-            reuse: self.stack.reuse_stats(),
+            reuse,
         }
     }
 }

@@ -17,7 +17,7 @@ fn hybrid_with_pim_pool_runs_and_routes_attention() {
     // 2 stages x 2 TP with a 2-node PIM pool: decode attention must hop to
     // pool nodes from whichever stage owns the block.
     let topo = Topology::npu_pim_pools(4, 2, 2, LinkSpec::pcie4_x16(), LinkSpec::cxl());
-    let conv = GraphConverter::new(
+    let mut conv = GraphConverter::new(
         ModelSpec::gpt2(),
         ParallelismSpec { tp: 2, pp: 2 },
         &topo,
@@ -63,7 +63,7 @@ fn uneven_layer_split_assigns_remainders_to_early_stages() {
 #[test]
 fn single_token_prompt_converts() {
     let topo = Topology::flat_npus(2, LinkSpec::pcie4_x16());
-    let conv = GraphConverter::new(
+    let mut conv = GraphConverter::new(
         ModelSpec::gpt2(),
         ParallelismSpec { tp: 2, pp: 1 },
         &topo,
@@ -82,7 +82,7 @@ fn odd_tp_degree_shards_with_ceiling() {
     // tp = 3 does not divide d_model-derived shapes evenly; sharding must
     // round up rather than lose columns.
     let topo = Topology::flat_npus(3, LinkSpec::pcie4_x16());
-    let conv = GraphConverter::new(
+    let mut conv = GraphConverter::new(
         ModelSpec::gpt2(),
         ParallelismSpec { tp: 3, pp: 1 },
         &topo,
@@ -100,7 +100,7 @@ fn odd_tp_degree_shards_with_ceiling() {
 #[test]
 fn very_long_kv_contexts_convert_and_scale() {
     let topo = Topology::flat_npus(1, LinkSpec::pcie4_x16());
-    let conv = GraphConverter::new(
+    let mut conv = GraphConverter::new(
         ModelSpec::gpt2(),
         ParallelismSpec { tp: 1, pp: 1 },
         &topo,
@@ -127,7 +127,7 @@ fn sim_config_end_to_end_consistency_for_all_pim_modes() {
     ] {
         let topo = cfg.topology().unwrap();
         let parallelism = cfg.parallelism().unwrap();
-        let conv = GraphConverter::new(
+        let mut conv = GraphConverter::new(
             cfg.model.clone(),
             parallelism,
             &topo,

@@ -294,10 +294,12 @@ impl DisaggReport {
         let tpot = PercentileSummary::display_or_na(self.tpot_percentiles());
         let transfer = PercentileSummary::display_or_na(self.transfer_percentiles());
         let split = self.ttft_split().map_or_else(|| "n/a".to_owned(), |s| s.to_string());
+        let reuse = self.aggregate_reuse();
         format!(
             "disagg {}P x {}D routing={} pairing={} requests={} makespan={:.2}s \
              gen_tput={:.1} tok/s kv_shipped={:.1} MiB ttft[{ttft}] ttft_split[{split}] \
-             transfer[{transfer}] tpot[{tpot}] util[prefill={:.2} decode={:.2}]",
+             transfer[{transfer}] tpot[{tpot}] util[prefill={:.2} decode={:.2}] \
+             op_reuse={:.1}% iter_reuse={:.1}%",
             self.prefill_reports.len(),
             self.decode_reports.len(),
             self.routing,
@@ -308,7 +310,19 @@ impl DisaggReport {
             self.total_kv_bytes() as f64 / (1u64 << 20) as f64,
             self.prefill_utilization(),
             self.decode_utilization(),
+            reuse.hit_rate() * 100.0,
+            reuse.iteration_hit_rate() * 100.0,
         )
+    }
+
+    /// Deployment-wide reuse statistics: both pools' operator- and
+    /// iteration-level counters merged.
+    pub fn aggregate_reuse(&self) -> llmss_core::ReuseStats {
+        let mut total = llmss_core::ReuseStats::default();
+        for r in self.prefill_reports.iter().chain(&self.decode_reports) {
+            total.merge(&r.reuse);
+        }
+        total
     }
 
     /// Per-replica TSV (the CLI's `{output}-disagg.tsv`): one row per

@@ -30,16 +30,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fnv;
 mod graph;
 mod ops;
 mod phase;
 mod roofline;
 mod serialize;
+mod signature;
 mod spec;
 
+pub use fnv::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};
 pub use graph::IterationWorkload;
 pub use ops::{Op, OpDims, OpKind, OpSignature};
 pub use phase::{Phase, SeqSlot};
 pub use roofline::{analyze, Roofline, RooflinePoint};
 pub use serialize::{from_json, to_json, GraphFormatError};
+pub use signature::{BatchSignature, SigLayout, SignatureBuilder};
 pub use spec::{FfnActivation, ModelSpec};

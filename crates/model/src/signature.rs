@@ -1,0 +1,305 @@
+//! Iteration-level batch signatures for whole-iteration result reuse.
+//!
+//! The paper's Section IV-C reuse caches operate per *operator*; a serving
+//! simulator spends most of its wall-clock, however, re-deriving whole
+//! *iterations* whose outcome is already known: steady-state decode batches
+//! recur with the same composition, only their KV lengths creep forward.
+//! [`BatchSignature`] is a compact O(batch) key over everything that can
+//! change an iteration's execution graph — per-slot phase/new-token count,
+//! the KV length (bucketed at a configurable granularity), the placement
+//! class that decides which accelerator node owns each slot's attention,
+//! and (in sub-batch mode) the partition rank — so a driver can skip graph
+//! construction *and* the network DES when the outcome is cached.
+//!
+//! With [`SigLayout::kv_bucket`] = 1 the signature is **exact**: two
+//! batches share a key only if they produce bit-identical execution graphs
+//! and therefore bit-identical simulated timings. Coarser buckets trade
+//! bounded timing fidelity (a decode iteration is priced as its bucket
+//! representative) for much higher hit rates.
+
+use crate::SeqSlot;
+
+/// The converter-layout facts a [`BatchSignature`] must capture to be
+/// sound for a given simulator instance.
+///
+/// The layout is fixed per simulator; signatures from different layouts
+/// must never share a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigLayout {
+    /// KV-length bucket granularity in tokens (>= 1; 1 = exact).
+    pub kv_bucket: u32,
+    /// Modulus of the request-id classes that influence operator
+    /// placement (e.g. `lcm(tp, pim_pool)` under selective batching;
+    /// 1 when placement ignores request ids).
+    pub placement_mod: u64,
+    /// Whether the converter partitions batches into sub-batches, making
+    /// the (weight, request-id) sort permutation graph-relevant.
+    pub ranked: bool,
+}
+
+impl SigLayout {
+    /// An exact layout: unit buckets, placement-insensitive, unranked.
+    pub fn exact() -> Self {
+        Self { kv_bucket: 1, placement_mod: 1, ranked: false }
+    }
+
+    /// Sets the KV bucket granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_bucket` is zero.
+    pub fn kv_bucket(mut self, kv_bucket: u32) -> Self {
+        assert!(kv_bucket >= 1, "kv_bucket must be at least 1");
+        self.kv_bucket = kv_bucket;
+        self
+    }
+
+    /// Sets the placement-class modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement_mod` is zero, or exceeds 65536 — placement
+    /// classes are stored as `u16`, and a silently truncated modulus
+    /// would let distinct placements collide in a correctness-critical
+    /// cache key. Real moduli (`lcm(tp, pim_pool)`) are tiny.
+    pub fn placement_mod(mut self, placement_mod: u64) -> Self {
+        assert!(placement_mod >= 1, "placement_mod must be at least 1");
+        assert!(
+            placement_mod <= u64::from(u16::MAX) + 1,
+            "placement_mod {placement_mod} exceeds the u16 placement-class range"
+        );
+        self.placement_mod = placement_mod;
+        self
+    }
+
+    /// Enables partition-rank tracking (sub-batch mode).
+    pub fn ranked(mut self, ranked: bool) -> Self {
+        self.ranked = ranked;
+        self
+    }
+}
+
+impl Default for SigLayout {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+/// One slot's contribution to a [`BatchSignature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SlotSig {
+    /// Tokens processed this iteration (prompt length or 1).
+    new_tokens: u32,
+    /// `kv_past / kv_bucket` — the bucketed KV history length.
+    kv_bucket: u32,
+    /// `request % placement_mod` — the node-placement class.
+    placement: u16,
+    /// Position in the sub-batch partition's sort order (0 when the
+    /// layout is unranked).
+    rank: u16,
+}
+
+/// A compact, hashable key identifying all batches whose iteration
+/// outcome is interchangeable under a given [`SigLayout`].
+///
+/// # Examples
+///
+/// ```
+/// use llmss_model::{BatchSignature, SeqSlot, SigLayout};
+///
+/// let exact = SigLayout::exact();
+/// let a = BatchSignature::of(&[SeqSlot::decode(0, 100)], &exact);
+/// let b = BatchSignature::of(&[SeqSlot::decode(9, 100)], &exact);
+/// let c = BatchSignature::of(&[SeqSlot::decode(0, 101)], &exact);
+/// assert_eq!(a, b); // request ids don't matter when placement_mod == 1
+/// assert_ne!(a, c); // exact mode separates every KV length
+///
+/// // A 64-token bucket puts kv 100 and 101 in the same class.
+/// let coarse = SigLayout::exact().kv_bucket(64);
+/// let a64 = BatchSignature::of(&[SeqSlot::decode(0, 100)], &coarse);
+/// let c64 = BatchSignature::of(&[SeqSlot::decode(0, 101)], &coarse);
+/// assert_eq!(a64, c64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchSignature {
+    slots: Vec<SlotSig>,
+}
+
+impl BatchSignature {
+    /// An empty signature, ready to be filled by
+    /// [`SignatureBuilder::build_into`] (its buffer is reused across
+    /// refills).
+    pub fn empty() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Computes the signature of `slots` under `layout` into a fresh
+    /// allocation (convenience over [`SignatureBuilder`], which drivers
+    /// on the per-iteration hot path should prefer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch exceeds `u16::MAX` slots (far beyond any
+    /// serviceable batch).
+    pub fn of(slots: &[SeqSlot], layout: &SigLayout) -> Self {
+        let mut out = Self::empty();
+        SignatureBuilder::new().build_into(slots, layout, &mut out);
+        out
+    }
+
+    /// Number of slots the signature covers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the signature covers an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// A reusable [`BatchSignature`] builder: its sort-permutation scratch
+/// and the target signature's slot buffer persist across iterations, so
+/// the per-step signing path allocates nothing after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureBuilder {
+    /// Sort-permutation scratch for ranked layouts.
+    order: Vec<u32>,
+}
+
+impl SignatureBuilder {
+    /// Creates a builder with empty (lazily grown) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recomputes `out` as the signature of `slots` under `layout`,
+    /// reusing `out`'s buffer. Cost is O(batch) (O(batch log batch) in
+    /// ranked layouts, which need the partition sort permutation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch exceeds `u16::MAX` slots (far beyond any
+    /// serviceable batch).
+    pub fn build_into(
+        &mut self,
+        slots: &[SeqSlot],
+        layout: &SigLayout,
+        out: &mut BatchSignature,
+    ) {
+        assert!(slots.len() <= u16::MAX as usize, "batch too large to sign");
+        let bucket = layout.kv_bucket.max(1);
+        out.slots.clear();
+        out.slots.extend(slots.iter().map(|s| SlotSig {
+            new_tokens: s.new_tokens as u32,
+            kv_bucket: s.kv_past as u32 / bucket,
+            placement: (s.request % layout.placement_mod) as u16,
+            rank: 0,
+        }));
+        if layout.ranked && slots.len() > 1 {
+            // Mirror `partition_sub_batches`' sort: weight (the KV bytes
+            // touched, reconstructed from the bucketed history so
+            // same-bucket batches can still share a key) descending,
+            // request id ascending on ties. At bucket 1 the proxy equals
+            // the exact kv_total, so ranked signatures stay exact.
+            let sigs = &mut out.slots;
+            let weight = |sig: &SlotSig| {
+                u64::from(sig.kv_bucket) * u64::from(bucket) + u64::from(sig.new_tokens)
+            };
+            self.order.clear();
+            self.order.extend(0..slots.len() as u32);
+            self.order.sort_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                weight(&sigs[b])
+                    .cmp(&weight(&sigs[a]))
+                    .then(slots[a].request.cmp(&slots[b].request))
+            });
+            for (rank, &i) in self.order.iter().enumerate() {
+                sigs[i as usize].rank = rank as u16;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_mode_distinguishes_every_kv_length() {
+        let layout = SigLayout::exact();
+        for kv in 1..200 {
+            let a = BatchSignature::of(&[SeqSlot::decode(0, kv)], &layout);
+            let b = BatchSignature::of(&[SeqSlot::decode(0, kv + 1)], &layout);
+            assert_ne!(a, b, "kv {kv} collided with {}", kv + 1);
+        }
+    }
+
+    #[test]
+    fn bucketed_mode_merges_same_bucket_lengths() {
+        let layout = SigLayout::exact().kv_bucket(16);
+        let a = BatchSignature::of(&[SeqSlot::decode(0, 160)], &layout);
+        let b = BatchSignature::of(&[SeqSlot::decode(0, 175)], &layout);
+        let c = BatchSignature::of(&[SeqSlot::decode(0, 176)], &layout);
+        assert_eq!(a, b, "same bucket must share a key");
+        assert_ne!(a, c, "bucket boundary must split keys");
+    }
+
+    #[test]
+    fn placement_mod_separates_request_classes() {
+        let layout = SigLayout::exact().placement_mod(4);
+        let a = BatchSignature::of(&[SeqSlot::decode(1, 64)], &layout);
+        let b = BatchSignature::of(&[SeqSlot::decode(5, 64)], &layout);
+        let c = BatchSignature::of(&[SeqSlot::decode(2, 64)], &layout);
+        assert_eq!(a, b, "1 and 5 share placement class mod 4");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prefill_and_decode_never_collide() {
+        // A 1-token prompt and a decode step both process one new token,
+        // but differ in KV history.
+        let layout = SigLayout::exact();
+        let p = BatchSignature::of(&[SeqSlot::prefill(0, 1)], &layout);
+        let d = BatchSignature::of(&[SeqSlot::decode(0, 1)], &layout);
+        assert_ne!(p, d);
+    }
+
+    #[test]
+    fn ranked_layout_tracks_sort_permutation() {
+        let layout = SigLayout::exact().ranked(true);
+        // Heavier slot first vs last: same multiset, different batch
+        // order — the ordered signature list already separates them; the
+        // ranks additionally pin the partition's sort order.
+        let a =
+            BatchSignature::of(&[SeqSlot::decode(0, 100), SeqSlot::decode(1, 200)], &layout);
+        let b =
+            BatchSignature::of(&[SeqSlot::decode(0, 200), SeqSlot::decode(1, 100)], &layout);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn ranked_ties_follow_request_ids() {
+        let layout = SigLayout::exact().ranked(true);
+        // Equal weights: rank order is decided by request id, matching
+        // partition_sub_batches' deterministic tie-break.
+        let a =
+            BatchSignature::of(&[SeqSlot::decode(7, 100), SeqSlot::decode(3, 100)], &layout);
+        let b =
+            BatchSignature::of(&[SeqSlot::decode(3, 100), SeqSlot::decode(7, 100)], &layout);
+        // Batch position of the first-ranked slot differs.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signature_cost_is_linear_shape() {
+        // Smoke: signing a large batch is cheap and deterministic.
+        let slots: Vec<SeqSlot> = (0..4096).map(|i| SeqSlot::decode(i, 128)).collect();
+        let layout = SigLayout::exact().kv_bucket(32).placement_mod(8);
+        let a = BatchSignature::of(&slots, &layout);
+        let b = BatchSignature::of(&slots, &layout);
+        assert_eq!(a, b);
+    }
+}

@@ -104,9 +104,19 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Total events popped since construction.
+    /// Total events popped since construction (or the last
+    /// [`reset`](Self::reset)).
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Returns the queue to its initial state (time zero, zero events
+    /// processed) while keeping the heap's allocation for reuse.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = 0;
+        self.processed = 0;
     }
 }
 

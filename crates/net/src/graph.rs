@@ -48,6 +48,84 @@ pub enum ExecPayload {
     },
 }
 
+/// A dependency list with two inline slots.
+///
+/// Almost every operation the graph converter emits depends on zero or
+/// one predecessor (its per-node chain), so storing those inline keeps
+/// the hot convert path allocation-free; only collectives and attention
+/// joins (fan-in > 2) spill to the heap.
+///
+/// Dereferences to `&[ExecNodeId]`, so slice methods (`len`, `contains`,
+/// iteration) work directly.
+#[derive(Debug, Clone)]
+pub enum DepList {
+    /// Up to two dependencies stored inline.
+    Inline {
+        /// Number of live entries in `ids`.
+        len: u8,
+        /// Dependency ids (entries past `len` are zero padding).
+        ids: [ExecNodeId; 2],
+    },
+    /// Three or more dependencies, heap-allocated.
+    Heap(Vec<ExecNodeId>),
+}
+
+impl DepList {
+    /// Builds the canonical representation of `deps` (inline iff it fits).
+    pub fn from_slice(deps: &[ExecNodeId]) -> Self {
+        if deps.len() <= 2 {
+            let mut ids = [0; 2];
+            ids[..deps.len()].copy_from_slice(deps);
+            DepList::Inline { len: deps.len() as u8, ids }
+        } else {
+            DepList::Heap(deps.to_vec())
+        }
+    }
+
+    /// The dependencies as a slice.
+    pub fn as_slice(&self) -> &[ExecNodeId] {
+        match self {
+            DepList::Inline { len, ids } => &ids[..usize::from(*len)],
+            DepList::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for DepList {
+    type Target = [ExecNodeId];
+
+    fn deref(&self) -> &[ExecNodeId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for DepList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<ExecNodeId>> for DepList {
+    fn eq(&self, other: &Vec<ExecNodeId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[ExecNodeId]> for DepList {
+    fn eq(&self, other: &[ExecNodeId]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<'a> IntoIterator for &'a DepList {
+    type Item = &'a ExecNodeId;
+    type IntoIter = std::slice::Iter<'a, ExecNodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One operation bound to an accelerator node, with dependencies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecOp {
@@ -56,7 +134,7 @@ pub struct ExecOp {
     /// The operation payload.
     pub payload: ExecPayload,
     /// Operations that must complete first (always earlier ids).
-    pub deps: Vec<ExecNodeId>,
+    pub deps: DepList,
     /// Static label for traces and debugging.
     pub label: &'static str,
 }
@@ -107,8 +185,15 @@ impl ExecGraph {
         for &d in deps {
             assert!(d < id, "dependency {d} does not precede op {id}");
         }
-        self.ops.push(ExecOp { node, payload, deps: deps.to_vec(), label });
+        self.ops.push(ExecOp { node, payload, deps: DepList::from_slice(deps), label });
         id
+    }
+
+    /// Empties the graph while keeping its operation arena allocated, so
+    /// a driver can rebuild iteration graphs into one buffer without
+    /// re-allocating every step.
+    pub fn clear(&mut self) {
+        self.ops.clear();
     }
 
     /// Number of operations.

@@ -51,6 +51,6 @@ mod topology;
 
 pub use collective::{collective_time_ps, step_time_ps, CollectiveKind};
 pub use des::{EventQueue, TimePs};
-pub use graph::{ExecGraph, ExecNodeId, ExecOp, ExecPayload};
-pub use sim::{simulate_graph, SimError, SimOutcome};
+pub use graph::{DepList, ExecGraph, ExecNodeId, ExecOp, ExecPayload};
+pub use sim::{simulate_graph, GraphSimulator, SimError, SimOutcome};
 pub use topology::{GroupId, LinkSpec, NodeClass, NodeId, Topology};

@@ -15,7 +15,7 @@ use crate::{EventQueue, ExecGraph, ExecNodeId, ExecPayload, TimePs, Topology};
 use crate::CollectiveKind;
 
 /// Per-run outcome of a graph simulation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimOutcome {
     /// Completion time of the last operation (iteration latency).
     pub makespan_ps: TimePs,
@@ -87,7 +87,206 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// A graph simulator whose working state (dependency counts, CSR
+/// successor lists, node timelines, the event heap, and the outcome
+/// buffers) persists across runs.
+///
+/// [`simulate_graph`] builds this state from scratch on every call; a
+/// serving loop simulating hundreds of thousands of iteration graphs
+/// instead holds one `GraphSimulator` and amortizes every allocation —
+/// after warm-up the simulate path performs none.
+///
+/// # Examples
+///
+/// ```
+/// use llmss_net::{ExecGraph, ExecPayload, GraphSimulator, LinkSpec, Topology};
+///
+/// let topo = Topology::flat_npus(1, LinkSpec::pcie4_x16());
+/// let mut sim = GraphSimulator::new();
+/// let mut g = ExecGraph::new();
+/// for step in 0..3 {
+///     g.clear(); // reuse the graph arena, too
+///     let a = g.add(0, ExecPayload::Compute { ps: 100 * (step + 1) }, &[], "a");
+///     g.add(0, ExecPayload::Compute { ps: 50 }, &[a], "b");
+///     let out = sim.simulate(&g, &topo)?;
+///     assert_eq!(out.makespan_ps, 100 * (step + 1) + 50);
+/// }
+/// # Ok::<(), llmss_net::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphSimulator {
+    /// Unmet dependency count per op (consumed during the run).
+    indegree: Vec<u32>,
+    /// CSR offsets into `succ`: op `i`'s successors live at
+    /// `succ[succ_start[i]..succ_start[i + 1]]`.
+    succ_start: Vec<u32>,
+    /// Flattened successor ids.
+    succ: Vec<u32>,
+    /// Write cursors while filling `succ` (scratch).
+    cursor: Vec<u32>,
+    /// Next free time per accelerator node.
+    node_free: Vec<TimePs>,
+    /// The deterministic event heap (allocation reused across runs).
+    queue: EventQueue<Event>,
+    /// Outcome buffers, overwritten per run.
+    outcome: SimOutcome,
+}
+
+impl GraphSimulator {
+    /// Creates a simulator with empty (lazily grown) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes `graph` on `topology`; the returned outcome borrows this
+    /// simulator's buffers and is valid until the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the graph references nodes or groups that
+    /// do not exist in the topology.
+    pub fn simulate(
+        &mut self,
+        graph: &ExecGraph,
+        topology: &Topology,
+    ) -> Result<&SimOutcome, SimError> {
+        validate(graph, topology)?;
+
+        let n_ops = graph.len();
+        self.indegree.clear();
+        self.indegree.resize(n_ops, 0);
+        self.succ_start.clear();
+        self.succ_start.resize(n_ops + 1, 0);
+        for (id, op) in graph.iter() {
+            self.indegree[id] = op.deps.len() as u32;
+            for &d in &op.deps {
+                self.succ_start[d + 1] += 1;
+            }
+        }
+        for i in 0..n_ops {
+            self.succ_start[i + 1] += self.succ_start[i];
+        }
+        self.succ.clear();
+        self.succ.resize(self.succ_start[n_ops] as usize, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.succ_start[..n_ops]);
+        for (id, op) in graph.iter() {
+            for &d in &op.deps {
+                self.succ[self.cursor[d] as usize] = id as u32;
+                self.cursor[d] += 1;
+            }
+        }
+
+        self.queue.reset();
+        for (id, &deg) in self.indegree.iter().enumerate() {
+            if deg == 0 {
+                self.queue.push(0, Event::Ready(id));
+            }
+        }
+
+        self.node_free.clear();
+        self.node_free.resize(topology.n_nodes(), 0);
+        let out = &mut self.outcome;
+        out.node_busy_ps.clear();
+        out.node_busy_ps.resize(topology.n_nodes(), 0);
+        out.completions.clear();
+        out.completions.resize(n_ops, 0);
+        out.makespan_ps = 0;
+        out.compute_ps = 0;
+        out.comm_ps = 0;
+        out.host_ps = 0;
+
+        let node_free = &mut self.node_free;
+        let node_busy = &mut out.node_busy_ps;
+        let mut host_free: TimePs = 0;
+        let mut done = 0usize;
+
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::Step => {}
+                Event::Ready(id) => {
+                    let op = graph.op(id);
+                    match op.payload {
+                        ExecPayload::Compute { ps } => {
+                            let start = now.max(node_free[op.node]);
+                            let end = start + ps;
+                            node_free[op.node] = end;
+                            node_busy[op.node] += ps;
+                            out.compute_ps += ps;
+                            self.queue.push(end, Event::Done(id));
+                        }
+                        ExecPayload::Collective { kind, bytes, group } => {
+                            let members = &topology.groups()[group];
+                            let n = members.len();
+                            let link = topology.group_link(group);
+                            let start =
+                                members.iter().fold(now, |acc, &m| acc.max(node_free[m]));
+                            let steps = kind.steps(n);
+                            let step_ps = crate::step_time_ps(kind, n, bytes, &link);
+                            let end = start + steps as TimePs * step_ps;
+                            for &m in members {
+                                node_free[m] = end;
+                                node_busy[m] += end - start;
+                            }
+                            out.comm_ps += end - start;
+                            // One event per intermediate ring step models
+                            // the per-step coordination cost of the system
+                            // simulator.
+                            for s in 1..steps {
+                                self.queue.push(start + s as TimePs * step_ps, Event::Step);
+                            }
+                            self.queue.push(end, Event::Done(id));
+                        }
+                        ExecPayload::P2p { bytes, dst } => {
+                            let link = topology.link_between(op.node, dst);
+                            let start = now.max(node_free[op.node]);
+                            let ser = link.serialize_ps(bytes);
+                            let arrive = start + link.transfer_ps(bytes);
+                            // Sender occupied for serialization only.
+                            node_free[op.node] = start + ser;
+                            node_busy[op.node] += ser;
+                            out.comm_ps += arrive - start;
+                            self.queue.push(arrive, Event::Done(id));
+                        }
+                        ExecPayload::HostStore { bytes } | ExecPayload::HostLoad { bytes } => {
+                            let link = topology.host_link();
+                            let start = now.max(node_free[op.node]).max(host_free);
+                            let end = start + link.transfer_ps(bytes);
+                            host_free = end;
+                            node_free[op.node] = node_free[op.node].max(end);
+                            out.host_ps += end - start;
+                            self.queue.push(end, Event::Done(id));
+                        }
+                    }
+                }
+                Event::Done(id) => {
+                    out.completions[id] = now;
+                    out.makespan_ps = out.makespan_ps.max(now);
+                    done += 1;
+                    let lo = self.succ_start[id] as usize;
+                    let hi = self.succ_start[id + 1] as usize;
+                    for &s in &self.succ[lo..hi] {
+                        let s = s as usize;
+                        self.indegree[s] -= 1;
+                        if self.indegree[s] == 0 {
+                            self.queue.push(now, Event::Ready(s));
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert_eq!(done, n_ops, "all ops must complete");
+        out.events = self.queue.processed();
+        Ok(&self.outcome)
+    }
+}
+
 /// Executes `graph` on `topology`, returning timing and utilization.
+///
+/// One-shot convenience over [`GraphSimulator`]: state is built from
+/// scratch and the outcome is returned by value. Loops simulating many
+/// graphs should hold a `GraphSimulator` instead.
 ///
 /// # Errors
 ///
@@ -109,115 +308,9 @@ impl std::error::Error for SimError {}
 /// # Ok::<(), llmss_net::SimError>(())
 /// ```
 pub fn simulate_graph(graph: &ExecGraph, topology: &Topology) -> Result<SimOutcome, SimError> {
-    validate(graph, topology)?;
-
-    let n_ops = graph.len();
-    let mut indegree = vec![0usize; n_ops];
-    let mut successors: Vec<Vec<ExecNodeId>> = vec![Vec::new(); n_ops];
-    for (id, op) in graph.iter() {
-        indegree[id] = op.deps.len();
-        for &d in &op.deps {
-            successors[d].push(id);
-        }
-    }
-
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    for (id, &deg) in indegree.iter().enumerate() {
-        if deg == 0 {
-            queue.push(0, Event::Ready(id));
-        }
-    }
-
-    let mut node_free = vec![0 as TimePs; topology.n_nodes()];
-    let mut node_busy = vec![0 as TimePs; topology.n_nodes()];
-    let mut host_free: TimePs = 0;
-    let mut completions = vec![0 as TimePs; n_ops];
-    let mut compute_ps: TimePs = 0;
-    let mut comm_ps: TimePs = 0;
-    let mut host_ps: TimePs = 0;
-    let mut makespan: TimePs = 0;
-    let mut done = 0usize;
-
-    while let Some((now, event)) = queue.pop() {
-        match event {
-            Event::Step => {}
-            Event::Ready(id) => {
-                let op = graph.op(id);
-                match op.payload {
-                    ExecPayload::Compute { ps } => {
-                        let start = now.max(node_free[op.node]);
-                        let end = start + ps;
-                        node_free[op.node] = end;
-                        node_busy[op.node] += ps;
-                        compute_ps += ps;
-                        queue.push(end, Event::Done(id));
-                    }
-                    ExecPayload::Collective { kind, bytes, group } => {
-                        let members = &topology.groups()[group];
-                        let n = members.len();
-                        let link = topology.group_link(group);
-                        let start = members.iter().fold(now, |acc, &m| acc.max(node_free[m]));
-                        let steps = kind.steps(n);
-                        let step_ps = crate::step_time_ps(kind, n, bytes, &link);
-                        let end = start + steps as TimePs * step_ps;
-                        for &m in members {
-                            node_free[m] = end;
-                            node_busy[m] += end - start;
-                        }
-                        comm_ps += end - start;
-                        // One event per intermediate ring step models the
-                        // per-step coordination cost of the system simulator.
-                        for s in 1..steps {
-                            queue.push(start + s as TimePs * step_ps, Event::Step);
-                        }
-                        queue.push(end, Event::Done(id));
-                    }
-                    ExecPayload::P2p { bytes, dst } => {
-                        let link = topology.link_between(op.node, dst);
-                        let start = now.max(node_free[op.node]);
-                        let ser = link.serialize_ps(bytes);
-                        let arrive = start + link.transfer_ps(bytes);
-                        // Sender occupied for serialization only.
-                        node_free[op.node] = start + ser;
-                        node_busy[op.node] += ser;
-                        comm_ps += arrive - start;
-                        queue.push(arrive, Event::Done(id));
-                    }
-                    ExecPayload::HostStore { bytes } | ExecPayload::HostLoad { bytes } => {
-                        let link = topology.host_link();
-                        let start = now.max(node_free[op.node]).max(host_free);
-                        let end = start + link.transfer_ps(bytes);
-                        host_free = end;
-                        node_free[op.node] = node_free[op.node].max(end);
-                        host_ps += end - start;
-                        queue.push(end, Event::Done(id));
-                    }
-                }
-            }
-            Event::Done(id) => {
-                completions[id] = now;
-                makespan = makespan.max(now);
-                done += 1;
-                for &s in &successors[id] {
-                    indegree[s] -= 1;
-                    if indegree[s] == 0 {
-                        queue.push(now, Event::Ready(s));
-                    }
-                }
-            }
-        }
-    }
-
-    debug_assert_eq!(done, n_ops, "all ops must complete");
-    Ok(SimOutcome {
-        makespan_ps: makespan,
-        node_busy_ps: node_busy,
-        completions,
-        events: queue.processed(),
-        compute_ps,
-        comm_ps,
-        host_ps,
-    })
+    let mut sim = GraphSimulator::new();
+    sim.simulate(graph, topology)?;
+    Ok(sim.outcome)
 }
 
 fn validate(graph: &ExecGraph, topology: &Topology) -> Result<(), SimError> {

@@ -45,6 +45,15 @@ impl IterationBatch {
     pub fn swap_bytes(&self) -> u64 {
         self.evictions.iter().chain(&self.reloads).map(|t| t.bytes).sum()
     }
+
+    /// Whether this is a steady-state iteration — no KV paging traffic to
+    /// or from host memory. Only steady batches are candidates for
+    /// iteration-outcome memoization: eviction/reload transfers
+    /// materialize as host-memory operators whose bytes and placement
+    /// would otherwise have to join the signature.
+    pub fn is_steady(&self) -> bool {
+        self.evictions.is_empty() && self.reloads.is_empty()
+    }
 }
 
 /// The balance criterion for sub-batch partitioning (Algorithm 1's

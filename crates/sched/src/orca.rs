@@ -245,6 +245,15 @@ impl Scheduler {
         &self.completions
     }
 
+    /// Takes ownership of the completion records without copying them —
+    /// the report-assembly path for drivers that are done stepping this
+    /// scheduler. The scheduler afterwards reports no completions (and is
+    /// no longer [`is_done`](Self::is_done) if it had served any), so
+    /// this is a terminal operation.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
     /// Number of sequences currently running.
     pub fn active_len(&self) -> usize {
         self.active.len()
@@ -284,15 +293,22 @@ impl Scheduler {
         // 1. Grow KV for decode sequences (the token generated last
         //    iteration is appended as it is processed). Under pressure,
         //    evict the most recently admitted other sequence; if none
-        //    exists, the growing sequence itself is evicted.
+        //    exists, the growing sequence itself is evicted. The victim
+        //    set stays sorted so membership checks in this per-iteration
+        //    hot loop are O(log n) instead of a linear scan per sequence.
         let mut forced_out: Vec<u64> = Vec::new();
+        let mark_forced = |forced_out: &mut Vec<u64>, id: u64| {
+            if let Err(pos) = forced_out.binary_search(&id) {
+                forced_out.insert(pos, id);
+            }
+        };
         for i in 0..self.active.len() {
             if self.active[i].state != RequestState::Generating || self.active[i].generated == 0
             {
                 continue;
             }
             let id = self.active[i].req.id;
-            if forced_out.contains(&id) {
+            if forced_out.binary_search(&id).is_ok() {
                 // Already evicted as a victim of an earlier sequence's
                 // growth in this same pass.
                 continue;
@@ -303,14 +319,14 @@ impl Scheduler {
                     Err(KvError::OutOfMemory) => {
                         match self.kv.evict_victim(Some(id)) {
                             Some(t) => {
-                                forced_out.push(t.request);
+                                mark_forced(&mut forced_out, t.request);
                                 evictions.push(t);
                             }
                             None => {
                                 // Nothing else to evict: push this sequence
                                 // itself to host and stop growing it.
                                 if let Some(t) = self.kv.evict_victim(None) {
-                                    forced_out.push(t.request);
+                                    mark_forced(&mut forced_out, t.request);
                                     evictions.push(t);
                                 }
                                 break;
@@ -326,7 +342,7 @@ impl Scheduler {
             // admitted first, matching eviction order).
             let mut moved: Vec<Seq> = Vec::new();
             self.active.retain_mut(|s| {
-                if forced_out.contains(&s.req.id) {
+                if forced_out.binary_search(&s.req.id).is_ok() {
                     let mut out = s.clone();
                     out.state = RequestState::Evicted;
                     moved.push(out);

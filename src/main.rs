@@ -50,6 +50,8 @@ struct Options {
     disagg: Option<(usize, usize)>,
     kv_link_gbps: f64,
     pairing: PairingPolicyKind,
+    kv_bucket: usize,
+    iter_memo: bool,
 }
 
 impl Default for Options {
@@ -80,6 +82,8 @@ impl Default for Options {
             disagg: None,
             kv_link_gbps: 128.0,
             pairing: PairingPolicyKind::LeastKvLoad,
+            kv_bucket: 1,
+            iter_memo: true,
         }
     }
 }
@@ -114,6 +118,11 @@ OPTIONS (artifact-compatible):
   --fast-run            alias of computation reuse (always on unless
                         --no-reuse)
   --no-reuse            disable computation-reuse caches
+  --kv-bucket N         KV-length bucket for iteration memoization, in
+                        tokens; 1 = exact (bit-identical reports),
+                        larger = bounded fidelity for more reuse   [1]
+  --no-iter-memo        disable whole-iteration outcome memoization
+                        (op-level reuse caches stay on)
   -h, --help            show this help
 
 CLUSTER MODE (multi-replica serving behind a router):
@@ -196,6 +205,13 @@ fn parse_args() -> Result<(Options, bool), String> {
                 }
             }
             "--pairing" => opts.pairing = value("--pairing")?.parse()?,
+            "--kv-bucket" => {
+                opts.kv_bucket = value("--kv-bucket")?.parse().map_err(|e| format!("{e}"))?;
+                if opts.kv_bucket == 0 {
+                    return Err("--kv-bucket must be at least 1 token".into());
+                }
+            }
+            "--no-iter-memo" => opts.iter_memo = false,
             "--gen" => opts.gen_only = true,
             "--fast-run" => opts.fast_run = true,
             "--no-reuse" => reuse = false,
@@ -219,7 +235,7 @@ fn build_config(opts: &Options, reuse: bool) -> Result<SimConfig, String> {
     cfg.npu_group = opts.npu_group;
     cfg.npu_mem_gib = opts.npu_mem_gib;
     cfg.sub_batch = opts.sub_batch;
-    cfg = cfg.reuse(reuse);
+    cfg = cfg.reuse(reuse).iteration_memo(opts.iter_memo).kv_bucket(opts.kv_bucket);
     cfg.scheduling = match opts.scheduling.as_str() {
         "orca" => SchedulingPolicy::IterationLevel,
         "request" => SchedulingPolicy::RequestLevel,

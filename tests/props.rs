@@ -4,7 +4,8 @@ use proptest::prelude::*;
 
 use llmservingsim::core::{DeviceKind, EngineStack};
 use llmservingsim::model::{
-    IterationWorkload, ModelSpec, Op, OpDims, OpKind, Roofline, SeqSlot,
+    BatchSignature, IterationWorkload, ModelSpec, Op, OpDims, OpKind, Roofline, SeqSlot,
+    SigLayout,
 };
 use llmservingsim::net::{simulate_graph, ExecGraph, ExecPayload, LinkSpec, Topology};
 use llmservingsim::npu::{enumerate_candidates, NpuConfig};
@@ -184,5 +185,83 @@ proptest! {
             prefills.iter().sum::<usize>() + decodes.len()
         );
         prop_assert!(w.total_flops() > 0);
+    }
+
+    /// Two batches whose KV lengths fall in the same bucket (everything
+    /// else equal) must share one signature — the cache never keys
+    /// distinct entries within a bucket.
+    #[test]
+    fn same_bucket_kv_lengths_share_one_signature(
+        kvs in proptest::collection::vec(1usize..4096, 1..24),
+        bucket in 1u32..128,
+        jitters in proptest::collection::vec(0usize..128, 1..24),
+    ) {
+        let layout = SigLayout::exact().kv_bucket(bucket);
+        let slots: Vec<SeqSlot> = kvs
+            .iter()
+            .enumerate()
+            .map(|(i, &kv)| SeqSlot::decode(i as u64, kv))
+            .collect();
+        // Jitter every KV length anywhere within its own bucket.
+        let jittered: Vec<SeqSlot> = slots
+            .iter()
+            .zip(jitters.iter().cycle())
+            .map(|(s, &j)| {
+                let lo = (s.kv_past as u32 / bucket) * bucket;
+                let hi = lo + bucket - 1;
+                SeqSlot::decode(s.request, (lo + j as u32 % bucket).clamp(lo, hi) as usize)
+            })
+            .collect();
+        prop_assert_eq!(
+            BatchSignature::of(&slots, &layout),
+            BatchSignature::of(&jittered, &layout)
+        );
+    }
+
+    /// In exact mode (bucket 1) the signature separates every distinct
+    /// KV profile: no two different KV-length vectors may collide.
+    #[test]
+    fn exact_mode_signatures_are_injective_in_kv(
+        kvs in proptest::collection::vec(1usize..4096, 1..24),
+        which in 0usize..24,
+        delta in 1usize..64,
+    ) {
+        let layout = SigLayout::exact();
+        let slots: Vec<SeqSlot> = kvs
+            .iter()
+            .enumerate()
+            .map(|(i, &kv)| SeqSlot::decode(i as u64, kv))
+            .collect();
+        let mut perturbed = slots.clone();
+        let i = which % perturbed.len();
+        perturbed[i] =
+            SeqSlot::decode(perturbed[i].request, perturbed[i].kv_past + delta);
+        prop_assert_ne!(
+            BatchSignature::of(&slots, &layout),
+            BatchSignature::of(&perturbed, &layout)
+        );
+    }
+
+    /// Placement classes only distinguish requests modulo the layout
+    /// modulus: shifting every request id by the modulus is invisible.
+    #[test]
+    fn placement_classes_wrap_at_the_modulus(
+        kvs in proptest::collection::vec(1usize..2048, 1..16),
+        placement_mod in 1u64..8,
+    ) {
+        let layout = SigLayout::exact().placement_mod(placement_mod);
+        let slots: Vec<SeqSlot> = kvs
+            .iter()
+            .enumerate()
+            .map(|(i, &kv)| SeqSlot::decode(i as u64, kv))
+            .collect();
+        let shifted: Vec<SeqSlot> = slots
+            .iter()
+            .map(|s| SeqSlot::decode(s.request + placement_mod, s.kv_past))
+            .collect();
+        prop_assert_eq!(
+            BatchSignature::of(&slots, &layout),
+            BatchSignature::of(&shifted, &layout)
+        );
     }
 }
