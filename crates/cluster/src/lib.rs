@@ -44,14 +44,17 @@
 mod report;
 mod route;
 mod sim;
-mod trace;
 
+/// Compatibility re-export: the bursty trace generator moved to
+/// `llmss_sched::workload` so every front-end (scheduler, cluster,
+/// disagg, scenario files) shares one traffic-source surface. Import from
+/// `llmss_sched` in new code; this alias remains for one release.
+pub use llmss_sched::{bursty_trace, BurstyTraceSpec};
 pub use report::{ClusterReport, ReplicaStats};
 pub use route::{
     LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReplicaRole, ReplicaSnapshot, RoundRobin,
     RoutingPolicy, RoutingPolicyKind, Sticky,
 };
 pub use sim::{ClusterConfig, ClusterSimulator, ReadyHeap};
-pub use trace::{bursty_trace, BurstyTraceSpec};
 
 pub use llmss_core::ServingSimulator;

@@ -1,7 +1,7 @@
 //! Cluster-level results: SLO percentiles, per-replica utilization, and
 //! load-imbalance statistics.
 
-use llmss_core::{percentiles_from_ps, PercentileSummary, SimReport};
+use llmss_core::{PercentileSummary, ReportOutput, SimReport, SloSummary};
 use llmss_sched::{Completion, TimePs};
 
 /// Per-replica aggregate statistics derived from its [`SimReport`].
@@ -40,7 +40,7 @@ impl ReplicaStats {
 ///
 /// Wraps the per-replica [`SimReport`]s and derives the cluster-level
 /// view: merged completions, SLO percentiles (via the shared
-/// [`percentiles_from_ps`] helpers), utilization, and imbalance.
+/// [`SloSummary`] pipeline), utilization, and imbalance.
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
     /// Name of the routing policy that produced this run.
@@ -77,7 +77,7 @@ impl ClusterReport {
     }
 
     /// All completions across replicas.
-    pub fn completions(&self) -> impl Iterator<Item = &Completion> {
+    pub fn completions(&self) -> impl Iterator<Item = &Completion> + Clone {
         self.replica_reports.iter().flat_map(|r| r.completions.iter())
     }
 
@@ -97,25 +97,29 @@ impl ClusterReport {
         tokens as f64 / s
     }
 
+    /// The standard SLO percentile summaries (TTFT / TPOT / latency),
+    /// cluster-wide, via the shared [`SloSummary`] pipeline.
+    pub fn slo(&self) -> SloSummary {
+        SloSummary::collect(self.completions())
+    }
+
     /// p50/p95/p99 time to first token, cluster-wide (`None` with zero
     /// completions).
     pub fn ttft_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(self.completions().map(|c| c.ttft_ps() as f64))
+        SloSummary::ttft_of(self.completions())
     }
 
     /// p50/p95/p99 time per output token, cluster-wide (single-token
     /// requests excluded, matching [`SimReport::tpot_percentiles`];
     /// `None` when no request generated more than one token).
     pub fn tpot_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(
-            self.completions().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
-        )
+        SloSummary::tpot_of(self.completions())
     }
 
     /// p50/p95/p99 end-to-end request latency, cluster-wide (`None` with
     /// zero completions).
     pub fn latency_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(self.completions().map(|c| c.latency_ps() as f64))
+        SloSummary::latency_of(self.completions())
     }
 
     /// Per-replica statistics, by replica index.
@@ -241,6 +245,16 @@ impl ClusterReport {
             per_replica.iter().map(|s| s.generated_tokens).sum::<u64>(),
         ));
         out
+    }
+}
+
+impl ReportOutput for ClusterReport {
+    fn summary(&self) -> String {
+        ClusterReport::summary(self)
+    }
+
+    fn artifacts(&self) -> Vec<(&'static str, String)> {
+        vec![("-cluster.tsv", self.to_tsv())]
     }
 }
 

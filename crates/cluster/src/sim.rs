@@ -22,7 +22,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use llmss_core::{ConfigError, ServingSimulator, SimConfig};
+use llmss_core::{ConfigError, ServingSimulator, SimConfig, Simulate};
 use llmss_sched::{Request, TimePs};
 
 use crate::{ClusterReport, ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind};
@@ -244,6 +244,41 @@ impl ClusterSimulator {
         &self.assignments
     }
 
+    /// Injects one request online: it queues at the front end and is
+    /// routed when the cluster's virtual time reaches its arrival
+    /// (immediately, if time is already past it).
+    pub fn push_request(&mut self, request: Request) {
+        let pos = self
+            .arrivals
+            .iter()
+            .position(|r| (r.arrival_ps, r.id) > (request.arrival_ps, request.id))
+            .unwrap_or(self.arrivals.len());
+        self.arrivals.insert(pos, request);
+    }
+
+    /// The earliest virtual time the next [`step`](Self::step) would act
+    /// (an arrival to route or a replica iteration), or `None` when the
+    /// cluster has fully drained.
+    pub fn next_ready_ps(&self) -> Option<TimePs> {
+        let replica_ready =
+            self.replicas.iter().filter_map(ServingSimulator::next_ready_ps).min();
+        let arrival = self.arrivals.front().map(|r| r.arrival_ps);
+        match (arrival, replica_ready) {
+            (Some(a), Some(r)) => Some(a.min(r)),
+            (a, r) => a.or(r),
+        }
+    }
+
+    /// The cluster's virtual clock: the furthest replica clock.
+    pub fn clock_ps(&self) -> TimePs {
+        self.replicas.iter().map(ServingSimulator::clock_ps).max().unwrap_or(0)
+    }
+
+    /// Requests fully served across all replicas so far.
+    pub fn completed_requests(&self) -> usize {
+        self.replicas.iter().map(|r| r.scheduler().completions().len()).sum()
+    }
+
     fn snapshot(&self, index: usize) -> ReplicaSnapshot {
         ReplicaSnapshot::capture(&self.replicas[index], index, self.roles[index])
     }
@@ -299,11 +334,45 @@ impl ClusterSimulator {
     /// Runs the cluster to completion and aggregates the report.
     pub fn run(mut self) -> ClusterReport {
         while self.step() {}
+        self.into_report()
+    }
+
+    /// Aggregates the report from the cluster's current state (a
+    /// partially drained cluster yields a partial report).
+    pub fn into_report(self) -> ClusterReport {
         let policy = self.router.name().to_owned();
         let routed = self.routed;
         let replica_reports =
             self.replicas.into_iter().map(ServingSimulator::into_report).collect();
         ClusterReport::new(policy, replica_reports, routed, self.assignments)
+    }
+}
+
+impl Simulate for ClusterSimulator {
+    type Report = ClusterReport;
+
+    fn push_request(&mut self, request: Request) {
+        ClusterSimulator::push_request(self, request);
+    }
+
+    fn next_ready_ps(&self) -> Option<TimePs> {
+        ClusterSimulator::next_ready_ps(self)
+    }
+
+    fn clock_ps(&self) -> TimePs {
+        ClusterSimulator::clock_ps(self)
+    }
+
+    fn completed_requests(&self) -> usize {
+        ClusterSimulator::completed_requests(self)
+    }
+
+    fn step(&mut self) -> bool {
+        ClusterSimulator::step(self)
+    }
+
+    fn finalize(self) -> ClusterReport {
+        self.into_report()
     }
 }
 

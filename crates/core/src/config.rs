@@ -53,6 +53,111 @@ pub enum KvManage {
     MaxLen,
 }
 
+/// KV-length bucket policy for iteration-outcome memoization.
+///
+/// The iteration cache keys batches on their KV lengths divided by a
+/// bucket granularity: bucket 1 is exact (memoized runs are bit-identical
+/// to unmemoized ones), coarser buckets trade bounded timing fidelity for
+/// much higher hit rates. [`Fixed`](KvBucket::Fixed) pins one granularity
+/// for the whole run; [`Adaptive`](KvBucket::Adaptive) *anneals* it — the
+/// run starts at `min_tokens` and doubles the bucket (up to the
+/// `max_tokens` drift budget) whenever a window of iterations falls short
+/// of the target hit rate, so each trace finds its own fidelity/speed
+/// point instead of requiring a hand-tuned global `--kv-bucket`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KvBucket {
+    /// One bucket granularity for the whole run (1 = exact).
+    Fixed {
+        /// Bucket width in tokens (>= 1).
+        tokens: usize,
+    },
+    /// Anneal the bucket from observed iteration-cache hit rates.
+    Adaptive {
+        /// Starting (and minimum) bucket width in tokens (>= 1; 1 starts
+        /// exact).
+        min_tokens: usize,
+        /// The drift budget: the bucket never grows beyond this width,
+        /// bounding how far a decode iteration's priced KV length can sit
+        /// from its true length.
+        max_tokens: usize,
+        /// Observed-window hit rate below which the bucket doubles, in
+        /// `(0, 1]`.
+        target_hit_rate: f64,
+        /// Cacheable iterations per observation window (>= 1).
+        window: u64,
+    },
+}
+
+impl KvBucket {
+    /// The exact policy: fixed unit buckets, bit-identical reports.
+    pub fn exact() -> Self {
+        KvBucket::Fixed { tokens: 1 }
+    }
+
+    /// A reasonable adaptive default: start exact, grow up to 128-token
+    /// buckets whenever a 64-iteration window hits below 60%.
+    pub fn adaptive() -> Self {
+        KvBucket::Adaptive { min_tokens: 1, max_tokens: 128, target_hit_rate: 0.6, window: 64 }
+    }
+
+    /// The bucket width the run starts with.
+    pub fn initial_tokens(&self) -> usize {
+        match *self {
+            KvBucket::Fixed { tokens } => tokens,
+            KvBucket::Adaptive { min_tokens, .. } => min_tokens,
+        }
+    }
+
+    /// Checks the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a width is zero, the adaptive range is
+    /// inverted, the target hit rate is outside `(0, 1]`, or the window is
+    /// empty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            KvBucket::Fixed { tokens } => {
+                if tokens == 0 {
+                    return Err(ConfigError::new("kv_bucket must be at least 1 token"));
+                }
+            }
+            KvBucket::Adaptive { min_tokens, max_tokens, target_hit_rate, window } => {
+                if min_tokens == 0 {
+                    return Err(ConfigError::new("adaptive kv_bucket min_tokens must be >= 1"));
+                }
+                if max_tokens < min_tokens {
+                    return Err(ConfigError::new(format!(
+                        "adaptive kv_bucket range inverted: min {min_tokens} > max {max_tokens}"
+                    )));
+                }
+                if !(target_hit_rate > 0.0 && target_hit_rate <= 1.0) {
+                    return Err(ConfigError::new(format!(
+                        "adaptive kv_bucket target_hit_rate must be in (0, 1], got \
+                         {target_hit_rate}"
+                    )));
+                }
+                if window == 0 {
+                    return Err(ConfigError::new("adaptive kv_bucket window must be >= 1"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for KvBucket {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+impl From<usize> for KvBucket {
+    fn from(tokens: usize) -> Self {
+        KvBucket::Fixed { tokens }
+    }
+}
+
 /// Errors raised when a configuration cannot be realized.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
@@ -129,12 +234,13 @@ pub struct SimConfig {
     /// Whole-iteration outcome memoization (requires `reuse`; see
     /// [`kv_bucket`](Self::kv_bucket) for the fidelity knob).
     pub iteration_memo: bool,
-    /// KV-length bucket granularity for iteration signatures, in tokens.
-    /// 1 (the default) keys iterations on exact KV lengths — memoized
-    /// runs are then bit-identical to unmemoized ones; larger buckets
-    /// price a decode iteration as its bucket representative, trading
-    /// bounded timing fidelity for much higher iteration hit rates.
-    pub kv_bucket: usize,
+    /// KV-length bucket policy for iteration signatures. The default
+    /// ([`KvBucket::exact`]) keys iterations on exact KV lengths —
+    /// memoized runs are then bit-identical to unmemoized ones; coarser
+    /// fixed buckets price a decode iteration as its bucket
+    /// representative, and [`KvBucket::Adaptive`] anneals the width per
+    /// run from observed hit rates within a drift budget.
+    pub kv_bucket: KvBucket,
     /// NPU hardware configuration.
     pub npu_config: NpuConfig,
     /// PIM hardware configuration.
@@ -166,7 +272,7 @@ impl SimConfig {
             selective_batching: true,
             reuse: true,
             iteration_memo: true,
-            kv_bucket: 1,
+            kv_bucket: KvBucket::exact(),
             npu_config: NpuConfig::table1(),
             pim_config: PimConfig::table1(),
             link: LinkSpec::pcie4_x16(),
@@ -218,15 +324,21 @@ impl SimConfig {
         self
     }
 
-    /// Sets the KV-length bucket granularity for iteration signatures
-    /// (1 = exact; larger trades bounded fidelity for hit rate).
+    /// Sets the KV-length bucket policy for iteration signatures: a
+    /// plain token count for a fixed bucket (1 = exact; larger trades
+    /// bounded fidelity for hit rate), or a full [`KvBucket`] value
+    /// (e.g. [`KvBucket::Adaptive`]).
     ///
     /// # Panics
     ///
-    /// Panics if `tokens` is zero.
-    pub fn kv_bucket(mut self, tokens: usize) -> Self {
-        assert!(tokens >= 1, "kv_bucket must be at least 1 token");
-        self.kv_bucket = tokens;
+    /// Panics on invalid parameters (zero width, inverted adaptive
+    /// range, out-of-range target, empty window).
+    pub fn kv_bucket(mut self, bucket: impl Into<KvBucket>) -> Self {
+        let bucket = bucket.into();
+        if let Err(e) = bucket.validate() {
+            panic!("{e}");
+        }
+        self.kv_bucket = bucket;
         self
     }
 
@@ -444,6 +556,42 @@ mod tests {
         let topo = cfg.topology().unwrap();
         assert_eq!(topo.n_nodes(), 6);
         assert_eq!(topo.nodes_of_class(llmss_net::NodeClass::Pim).len(), 2);
+    }
+
+    #[test]
+    fn kv_bucket_policies_validate() {
+        assert!(KvBucket::exact().validate().is_ok());
+        assert!(KvBucket::adaptive().validate().is_ok());
+        assert_eq!(KvBucket::from(64).initial_tokens(), 64);
+        assert_eq!(KvBucket::adaptive().initial_tokens(), 1);
+        assert!(KvBucket::Fixed { tokens: 0 }.validate().is_err());
+        let inverted = KvBucket::Adaptive {
+            min_tokens: 64,
+            max_tokens: 8,
+            target_hit_rate: 0.5,
+            window: 16,
+        };
+        assert!(inverted.validate().is_err());
+        let bad_target = KvBucket::Adaptive {
+            min_tokens: 1,
+            max_tokens: 64,
+            target_hit_rate: 1.5,
+            window: 16,
+        };
+        assert!(bad_target.validate().is_err());
+        let empty_window = KvBucket::Adaptive {
+            min_tokens: 1,
+            max_tokens: 64,
+            target_hit_rate: 0.5,
+            window: 0,
+        };
+        assert!(empty_window.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 token")]
+    fn zero_fixed_bucket_panics_in_builder() {
+        let _ = SimConfig::new(ModelSpec::gpt2()).kv_bucket(0);
     }
 
     #[test]

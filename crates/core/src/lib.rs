@@ -43,16 +43,22 @@ mod mapping;
 mod report;
 mod reuse;
 mod sim;
+mod simulate;
 mod stack;
 
-pub use config::{ConfigError, KvManage, ParallelismKind, ParallelismSpec, SimConfig};
+pub use config::{
+    ConfigError, KvBucket, KvManage, ParallelismKind, ParallelismSpec, SimConfig,
+};
 pub use convert::GraphConverter;
 pub use engine::{ExecutionEngine, NpuPimLocalPlugin, NpuPlugin, PimPlugin};
 pub use mapping::{map_op, DeviceKind, PimMode};
 pub use report::{
-    percentile, percentiles_from_ps, IterationRecord, PercentileSummary, SimReport,
-    ThroughputBin, WallBreakdown,
+    percentile, percentiles_from_ps, IterationRecord, PercentileSummary, ReportOutput,
+    SimReport, SloCompletion, SloSummary, ThroughputBin, WallBreakdown,
 };
-pub use reuse::{IterationCache, IterationLookup, IterationOutcome, ReuseCache, ReuseStats};
+pub use reuse::{
+    BucketAdaptivity, IterationCache, IterationLookup, IterationOutcome, ReuseCache, ReuseStats,
+};
 pub use sim::ServingSimulator;
+pub use simulate::Simulate;
 pub use stack::EngineStack;

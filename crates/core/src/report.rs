@@ -139,6 +139,145 @@ impl std::fmt::Display for PercentileSummary {
     }
 }
 
+/// A completion record that carries the standard serving-SLO signals.
+///
+/// Implemented by single-replica [`Completion`]s here and by
+/// `llmss-disagg`'s lifecycle records, so [`SloSummary::collect`] can
+/// derive one set of percentile metrics for every serving shape instead
+/// of each report crate re-plumbing `percentiles_from_ps` by hand.
+pub trait SloCompletion {
+    /// Time to first token, in picoseconds.
+    fn ttft_ps(&self) -> TimePs;
+    /// End-to-end request latency, in picoseconds.
+    fn latency_ps(&self) -> TimePs;
+    /// Mean time per output token after the first, in picoseconds.
+    fn tpot_ps(&self) -> f64;
+    /// Tokens the request generated (TPOT is undefined at 1).
+    fn output_len(&self) -> usize;
+}
+
+impl SloCompletion for Completion {
+    fn ttft_ps(&self) -> TimePs {
+        Completion::ttft_ps(self)
+    }
+
+    fn latency_ps(&self) -> TimePs {
+        Completion::latency_ps(self)
+    }
+
+    fn tpot_ps(&self) -> f64 {
+        Completion::tpot_ps(self)
+    }
+
+    fn output_len(&self) -> usize {
+        self.output_len
+    }
+}
+
+/// The three serving-SLO percentile summaries every report exposes:
+/// TTFT, TPOT, and end-to-end latency (each `None` when its sample set
+/// is empty — see [`percentiles_from_ps`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSummary {
+    /// Time to first token.
+    pub ttft: Option<PercentileSummary>,
+    /// Time per output token (single-token requests excluded).
+    pub tpot: Option<PercentileSummary>,
+    /// End-to-end request latency.
+    pub latency: Option<PercentileSummary>,
+}
+
+impl SloSummary {
+    /// Derives the summary from any completion stream. This is the one
+    /// percentile pipeline shared by single-replica, cluster, and
+    /// disaggregated reports.
+    pub fn collect<'a, C, I>(completions: I) -> Self
+    where
+        C: SloCompletion + 'a,
+        I: Iterator<Item = &'a C> + Clone,
+    {
+        Self {
+            ttft: Self::ttft_of(completions.clone()),
+            tpot: Self::tpot_of(completions.clone()),
+            latency: Self::latency_of(completions),
+        }
+    }
+
+    /// TTFT percentiles alone (for accessors that need one metric
+    /// without paying for the other two sorts).
+    pub fn ttft_of<'a, C: SloCompletion + 'a>(
+        completions: impl Iterator<Item = &'a C>,
+    ) -> Option<PercentileSummary> {
+        percentiles_from_ps(completions.map(|c| c.ttft_ps() as f64))
+    }
+
+    /// TPOT percentiles alone (single-token requests excluded).
+    pub fn tpot_of<'a, C: SloCompletion + 'a>(
+        completions: impl Iterator<Item = &'a C>,
+    ) -> Option<PercentileSummary> {
+        percentiles_from_ps(
+            completions.filter(|c| c.output_len() > 1).map(SloCompletion::tpot_ps),
+        )
+    }
+
+    /// End-to-end latency percentiles alone.
+    pub fn latency_of<'a, C: SloCompletion + 'a>(
+        completions: impl Iterator<Item = &'a C>,
+    ) -> Option<PercentileSummary> {
+        percentiles_from_ps(completions.map(|c| c.latency_ps() as f64))
+    }
+}
+
+/// A finished simulation's output surface: the one-paragraph summary and
+/// the named TSV artifacts the CLI writes.
+///
+/// Implemented by `SimReport`, `ClusterReport`, and `DisaggReport`, and
+/// delegated through the scenario layer's `AnyReport`, so the binary (and
+/// any other driver) writes results identically for every serving shape.
+pub trait ReportOutput {
+    /// One-paragraph human summary (what the CLI prints).
+    fn summary(&self) -> String;
+
+    /// `(file-name suffix, TSV content)` pairs, e.g.
+    /// `("-throughput.tsv", ...)`. Suffixes are appended to the run's
+    /// output prefix.
+    fn artifacts(&self) -> Vec<(&'static str, String)>;
+
+    /// Writes every artifact under `prefix` (creating parent directories)
+    /// and returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first filesystem error.
+    fn write_artifacts(&self, prefix: &str) -> std::io::Result<Vec<String>> {
+        if let Some(dir) = std::path::Path::new(prefix).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut paths = Vec::new();
+        for (suffix, content) in self.artifacts() {
+            let path = format!("{prefix}{suffix}");
+            std::fs::write(&path, content)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+impl ReportOutput for SimReport {
+    fn summary(&self) -> String {
+        SimReport::summary(self)
+    }
+
+    fn artifacts(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("-throughput.tsv", self.throughput_tsv(1.0)),
+            ("-simulation-time.tsv", self.wall.to_tsv()),
+        ]
+    }
+}
+
 /// Nearest-rank percentile over an unsorted sample (`p` in `[0, 1]`);
 /// zero for an empty sample. The index rule matches
 /// [`SimReport::latency_percentile_s`] so single-run and cluster metrics
@@ -245,24 +384,28 @@ impl SimReport {
         percentile(&mut lat, p) / 1e12
     }
 
+    /// The standard SLO percentile summaries (TTFT / TPOT / latency) in
+    /// one value, via the shared [`SloSummary`] pipeline.
+    pub fn slo(&self) -> SloSummary {
+        SloSummary::collect(self.completions.iter())
+    }
+
     /// p50/p95/p99 end-to-end request latency (`None` with zero
     /// completions).
     pub fn latency_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(self.completions.iter().map(|c| c.latency_ps() as f64))
+        SloSummary::latency_of(self.completions.iter())
     }
 
     /// p50/p95/p99 time to first token (`None` with zero completions).
     pub fn ttft_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(self.completions.iter().map(|c| c.ttft_ps() as f64))
+        SloSummary::ttft_of(self.completions.iter())
     }
 
     /// p50/p95/p99 mean time per output token (requests generating a
     /// single token, whose TPOT is undefined, are excluded; `None` when
     /// no request generated more than one token).
     pub fn tpot_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(
-            self.completions.iter().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
-        )
+        SloSummary::tpot_of(self.completions.iter())
     }
 
     /// Bins token production over simulated time (Figure 6's series).

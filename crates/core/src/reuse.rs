@@ -51,6 +51,10 @@ pub struct ReuseStats {
     /// Iterations that bypassed the cache (KV paging traffic in the
     /// batch, or memoization disabled).
     pub iteration_uncacheable: u64,
+    /// KV bucket granularity at the end of the run, in tokens (0 when no
+    /// iteration cache reported; annealed upward by adaptive bucketing —
+    /// fleet merges take the maximum across replicas).
+    pub kv_bucket_end: u32,
 }
 
 impl ReuseStats {
@@ -98,6 +102,7 @@ impl ReuseStats {
         self.iteration_hits += other.iteration_hits;
         self.iteration_misses += other.iteration_misses;
         self.iteration_uncacheable += other.iteration_uncacheable;
+        self.kv_bucket_end = self.kv_bucket_end.max(other.kv_bucket_end);
     }
 }
 
@@ -228,6 +233,28 @@ impl IterationOutcome {
     }
 }
 
+/// Annealing policy for the iteration-signature KV bucket (the
+/// [`KvBucket::Adaptive`](crate::KvBucket) machinery).
+///
+/// The cache starts at `min_tokens`-wide buckets. Every `window`
+/// cacheable iterations it checks the window's hit rate: below
+/// `target_hit_rate` the bucket doubles (clamped to the `max_tokens`
+/// drift budget) and the cache clears — keys built under the old
+/// granularity would alias under the new one. The bucket only grows, so
+/// a trace that settles into steady state keeps its fidelity while a
+/// signature-diverse trace anneals toward reuse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketAdaptivity {
+    /// Starting (and minimum) bucket width in tokens.
+    pub min_tokens: u32,
+    /// The drift budget: the bucket never grows beyond this width.
+    pub max_tokens: u32,
+    /// Window hit rate below which the bucket doubles.
+    pub target_hit_rate: f64,
+    /// Cacheable iterations per observation window.
+    pub window: u64,
+}
+
 /// What [`IterationCache::lookup_batch`] found for an iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IterationLookup {
@@ -279,6 +306,11 @@ pub struct IterationCache {
     hits: u64,
     misses: u64,
     uncacheable: u64,
+    /// Bucket annealing policy (`None`: the bucket stays fixed).
+    adapt: Option<BucketAdaptivity>,
+    /// Cacheable lookups and hits in the current observation window.
+    window_lookups: u64,
+    window_hits: u64,
 }
 
 impl IterationCache {
@@ -294,7 +326,49 @@ impl IterationCache {
             hits: 0,
             misses: 0,
             uncacheable: 0,
+            adapt: None,
+            window_lookups: 0,
+            window_hits: 0,
         }
+    }
+
+    /// Enables KV-bucket annealing: the layout's bucket starts at
+    /// `adapt.min_tokens` and doubles toward `adapt.max_tokens` whenever
+    /// an observation window's hit rate falls below the target.
+    pub fn with_adaptivity(mut self, adapt: BucketAdaptivity) -> Self {
+        self.layout = self.layout.kv_bucket(adapt.min_tokens);
+        self.adapt = Some(adapt);
+        self
+    }
+
+    /// The KV bucket the cache currently signs under, in tokens.
+    pub fn kv_bucket_tokens(&self) -> u32 {
+        self.layout.kv_bucket
+    }
+
+    /// Closes an observation window if it is full: doubles the bucket
+    /// (and drops the now-aliasing entries) when the window's hit rate
+    /// missed the target. Runs *before* the next signature is built, so
+    /// a lookup and its paired [`insert_current`](Self::insert_current)
+    /// always share one granularity.
+    fn maybe_adapt(&mut self) {
+        let Some(adapt) = self.adapt else {
+            return;
+        };
+        if self.window_lookups < adapt.window {
+            return;
+        }
+        let rate = self.window_hits as f64 / self.window_lookups as f64;
+        if rate < adapt.target_hit_rate && self.layout.kv_bucket < adapt.max_tokens {
+            let next = self.layout.kv_bucket.saturating_mul(2).min(adapt.max_tokens);
+            self.layout = self.layout.kv_bucket(next);
+            // Keys built under the old granularity would alias under the
+            // new one — a stale entry must never answer for a batch it
+            // does not represent.
+            self.entries.clear();
+        }
+        self.window_lookups = 0;
+        self.window_hits = 0;
     }
 
     /// Whether memoization is enabled.
@@ -314,10 +388,13 @@ impl IterationCache {
             self.uncacheable += 1;
             return IterationLookup::Uncacheable;
         }
+        self.maybe_adapt();
+        self.window_lookups += 1;
         self.builder.build_into(&batch.slots, &self.layout, &mut self.key);
         match self.entries.get(&self.key) {
             Some(out) => {
                 self.hits += 1;
+                self.window_hits += 1;
                 IterationLookup::Hit(*out)
             }
             None => {
@@ -350,6 +427,7 @@ impl IterationCache {
         stats.iteration_hits = self.hits;
         stats.iteration_misses = self.misses;
         stats.iteration_uncacheable = self.uncacheable;
+        stats.kv_bucket_end = self.layout.kv_bucket;
     }
 }
 
@@ -482,11 +560,73 @@ mod tests {
             iteration_hits: 5,
             iteration_misses: 6,
             iteration_uncacheable: 7,
+            kv_bucket_end: 8,
         };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.hits(), 2 * a.hits());
         assert_eq!(b.iterations(), 2 * a.iterations());
         assert!((a.iteration_hit_rate() - 5.0 / 18.0).abs() < 1e-12);
+        // The bucket is a granularity, not a count: merge takes the max.
+        assert_eq!(b.kv_bucket_end, 8);
+    }
+
+    #[test]
+    fn adaptive_bucket_grows_on_cold_windows_and_clears_entries() {
+        let adapt =
+            BucketAdaptivity { min_tokens: 1, max_tokens: 8, target_hit_rate: 0.9, window: 4 };
+        let mut c = IterationCache::new(true, SigLayout::exact()).with_adaptivity(adapt);
+        assert_eq!(c.kv_bucket_tokens(), 1);
+        // Four all-miss lookups with distinct KV lengths: a cold window.
+        for kv in [10, 20, 30, 40] {
+            assert_eq!(
+                c.lookup_batch(&steady(vec![SeqSlot::decode(0, kv)])),
+                IterationLookup::Miss
+            );
+            c.insert_current(outcome(kv as TimePs));
+        }
+        assert_eq!(c.len(), 4);
+        // The next lookup closes the window: bucket doubles, cache drops.
+        let _ = c.lookup_batch(&steady(vec![SeqSlot::decode(0, 50)]));
+        assert_eq!(c.kv_bucket_tokens(), 2);
+        assert_eq!(c.len(), 0, "stale exact-bucket keys must not survive the re-bucket");
+        let mut stats = ReuseStats::default();
+        c.fill_stats(&mut stats);
+        assert_eq!(stats.kv_bucket_end, 2);
+    }
+
+    #[test]
+    fn adaptive_bucket_respects_the_drift_budget() {
+        let adapt =
+            BucketAdaptivity { min_tokens: 2, max_tokens: 8, target_hit_rate: 1.0, window: 1 };
+        let mut c = IterationCache::new(true, SigLayout::exact()).with_adaptivity(adapt);
+        // Every window misses (fresh KV length each time): the bucket
+        // doubles 2 -> 4 -> 8 and then pins at the budget.
+        for (i, kv) in (0..10).map(|i| (i, 100 + 17 * i)).collect::<Vec<_>>() {
+            let _ = c.lookup_batch(&steady(vec![SeqSlot::decode(0, kv)]));
+            assert!(c.kv_bucket_tokens() <= 8, "iteration {i} exceeded the budget");
+        }
+        assert_eq!(c.kv_bucket_tokens(), 8);
+    }
+
+    #[test]
+    fn adaptive_bucket_holds_when_windows_hit() {
+        let adapt =
+            BucketAdaptivity { min_tokens: 1, max_tokens: 64, target_hit_rate: 0.5, window: 2 };
+        let mut c = IterationCache::new(true, SigLayout::exact()).with_adaptivity(adapt);
+        // Prime one signature, then hit it repeatedly: every window is
+        // warm, so the bucket must stay exact.
+        assert_eq!(
+            c.lookup_batch(&steady(vec![SeqSlot::decode(0, 64)])),
+            IterationLookup::Miss
+        );
+        c.insert_current(outcome(1));
+        for _ in 0..10 {
+            match c.lookup_batch(&steady(vec![SeqSlot::decode(0, 64)])) {
+                IterationLookup::Hit(_) => {}
+                other => panic!("expected a hit, got {other:?}"),
+            }
+        }
+        assert_eq!(c.kv_bucket_tokens(), 1);
     }
 }

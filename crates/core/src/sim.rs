@@ -25,8 +25,9 @@ use llmss_net::{ExecGraph, GraphSimulator, Topology};
 use llmss_sched::{Request, Scheduler, TimePs};
 
 use crate::{
-    ConfigError, EngineStack, GraphConverter, IterationCache, IterationLookup,
-    IterationOutcome, IterationRecord, SimConfig, SimReport, WallBreakdown,
+    BucketAdaptivity, ConfigError, EngineStack, GraphConverter, IterationCache,
+    IterationLookup, IterationOutcome, IterationRecord, KvBucket, SimConfig, SimReport,
+    Simulate, WallBreakdown,
 };
 
 /// An end-to-end LLM serving simulation.
@@ -86,10 +87,21 @@ impl ServingSimulator {
             config.reuse,
         );
         let scheduler = Scheduler::new(config.scheduler_config(), kv, requests);
-        let memo = IterationCache::new(
+        config.kv_bucket.validate()?;
+        let mut memo = IterationCache::new(
             config.reuse && config.iteration_memo,
-            converter.sig_layout(config.kv_bucket),
+            converter.sig_layout(config.kv_bucket.initial_tokens()),
         );
+        if let KvBucket::Adaptive { min_tokens, max_tokens, target_hit_rate, window } =
+            config.kv_bucket
+        {
+            memo = memo.with_adaptivity(BucketAdaptivity {
+                min_tokens: min_tokens as u32,
+                max_tokens: max_tokens as u32,
+                target_hit_rate,
+                window,
+            });
+        }
         Ok(Self {
             topology,
             converter,
@@ -257,6 +269,34 @@ impl ServingSimulator {
     }
 }
 
+impl Simulate for ServingSimulator {
+    type Report = SimReport;
+
+    fn push_request(&mut self, request: Request) {
+        ServingSimulator::push_request(self, request);
+    }
+
+    fn next_ready_ps(&self) -> Option<TimePs> {
+        ServingSimulator::next_ready_ps(self)
+    }
+
+    fn clock_ps(&self) -> TimePs {
+        ServingSimulator::clock_ps(self)
+    }
+
+    fn completed_requests(&self) -> usize {
+        self.scheduler.completions().len()
+    }
+
+    fn step(&mut self) -> bool {
+        ServingSimulator::step(self)
+    }
+
+    fn finalize(self) -> SimReport {
+        self.into_report()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +370,45 @@ mod tests {
             .sub_batch(true);
         let report = ServingSimulator::new(cfg, small_trace(4)).unwrap().run();
         assert_eq!(report.completions.len(), 4);
+    }
+
+    #[test]
+    fn adaptive_kv_bucket_anneals_and_still_serves_everything() {
+        use llmss_sched::{bursty_trace, BurstyTraceSpec};
+        let mut spec = BurstyTraceSpec::decode_heavy_mix(0.9, 7);
+        spec.bursts = 2;
+        spec.burst_size = 24;
+        spec.heavy = (32, 128);
+        spec.light = (32, 24);
+        let trace = bursty_trace(&spec);
+        let base = config().max_batch(16);
+        let exact = ServingSimulator::new(base.clone(), trace.clone()).unwrap().run();
+        let adaptive_bucket = KvBucket::Adaptive {
+            min_tokens: 1,
+            max_tokens: 64,
+            target_hit_rate: 0.8,
+            window: 32,
+        };
+        let adaptive =
+            ServingSimulator::new(base.kv_bucket(adaptive_bucket), trace).unwrap().run();
+
+        // The lockstep decode cohorts rarely repeat exact signatures, so
+        // the annealer must have grown the bucket and beaten exact reuse.
+        assert!(adaptive.reuse.kv_bucket_end > 1, "bucket never annealed");
+        assert!(adaptive.reuse.kv_bucket_end <= 64, "drift budget exceeded");
+        assert!(
+            adaptive.reuse.iteration_hit_rate() > exact.reuse.iteration_hit_rate(),
+            "adaptive ({:.2}) should beat exact ({:.2}) on this trace",
+            adaptive.reuse.iteration_hit_rate(),
+            exact.reuse.iteration_hit_rate()
+        );
+        // Fidelity stays bounded: every request completes, and the
+        // simulated duration drifts no more than coarse-bucket pricing
+        // allows.
+        assert_eq!(adaptive.completions.len(), exact.completions.len());
+        let drift = (adaptive.sim_duration_ps as f64 - exact.sim_duration_ps as f64).abs()
+            / exact.sim_duration_ps as f64;
+        assert!(drift < 0.25, "adaptive-bucket duration drift {drift:.3} out of bounds");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! TTFT split into prefill / transfer / decode components, transfer-time
 //! percentiles, and per-pool utilization.
 
-use llmss_core::{percentiles_from_ps, PercentileSummary, SimReport};
+use llmss_core::{
+    percentiles_from_ps, PercentileSummary, ReportOutput, SimReport, SloCompletion, SloSummary,
+};
 use llmss_sched::TimePs;
 
 /// Internal per-request transfer record captured at prefill completion.
@@ -83,6 +85,24 @@ impl DisaggCompletion {
     /// queueing + the first decode step).
     pub fn decode_component_ps(&self) -> TimePs {
         self.first_token_ps.saturating_sub(self.transfer_done_ps)
+    }
+}
+
+impl SloCompletion for DisaggCompletion {
+    fn ttft_ps(&self) -> TimePs {
+        DisaggCompletion::ttft_ps(self)
+    }
+
+    fn latency_ps(&self) -> TimePs {
+        DisaggCompletion::latency_ps(self)
+    }
+
+    fn tpot_ps(&self) -> f64 {
+        DisaggCompletion::tpot_ps(self)
+    }
+
+    fn output_len(&self) -> usize {
+        self.output_len
     }
 }
 
@@ -218,22 +238,26 @@ impl DisaggReport {
         tokens as f64 / s
     }
 
+    /// The standard SLO percentile summaries (TTFT / TPOT / latency) via
+    /// the shared [`SloSummary`] pipeline.
+    pub fn slo(&self) -> SloSummary {
+        SloSummary::collect(self.completions.iter())
+    }
+
     /// p50/p95/p99 time to first token (arrival → first decode token).
     pub fn ttft_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(self.completions.iter().map(|c| c.ttft_ps() as f64))
+        SloSummary::ttft_of(self.completions.iter())
     }
 
     /// p50/p95/p99 time per output token (single-token requests
     /// excluded).
     pub fn tpot_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(
-            self.completions.iter().filter(|c| c.output_len > 1).map(|c| c.tpot_ps()),
-        )
+        SloSummary::tpot_of(self.completions.iter())
     }
 
     /// p50/p95/p99 end-to-end request latency.
     pub fn latency_percentiles(&self) -> Option<PercentileSummary> {
-        percentiles_from_ps(self.completions.iter().map(|c| c.latency_ps() as f64))
+        SloSummary::latency_of(self.completions.iter())
     }
 
     /// p50/p95/p99 of TTFT's prefill component.
@@ -378,6 +402,16 @@ impl DisaggReport {
             ));
         }
         out
+    }
+}
+
+impl ReportOutput for DisaggReport {
+    fn summary(&self) -> String {
+        DisaggReport::summary(self)
+    }
+
+    fn artifacts(&self) -> Vec<(&'static str, String)> {
+        vec![("-disagg.tsv", self.to_tsv()), ("-disagg-metrics.tsv", self.metrics_tsv())]
     }
 }
 

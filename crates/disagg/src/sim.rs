@@ -20,7 +20,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use llmss_cluster::{
     ReadyHeap, ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind,
 };
-use llmss_core::{ConfigError, ServingSimulator, SimConfig};
+use llmss_core::{ConfigError, ServingSimulator, SimConfig, Simulate};
 use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
 
@@ -287,6 +287,49 @@ impl DisaggSimulator {
         self.kv_bytes_per_token
     }
 
+    /// Injects one request online: it queues at the front end and routes
+    /// to the prefill pool when virtual time reaches its arrival.
+    pub fn push_request(&mut self, request: Request) {
+        self.requests.insert(request.id, request);
+        let pos = self
+            .arrivals
+            .iter()
+            .position(|r| (r.arrival_ps, r.id) > (request.arrival_ps, request.id))
+            .unwrap_or(self.arrivals.len());
+        self.arrivals.insert(pos, request);
+    }
+
+    /// The earliest virtual time the next [`step`](Self::step) would act
+    /// (an arrival, a replica iteration in either pool, or a pending KV
+    /// transfer), or `None` when the deployment has fully drained.
+    pub fn next_ready_ps(&self) -> Option<TimePs> {
+        let replica_ready = self
+            .prefill
+            .iter()
+            .chain(&self.decode)
+            .filter_map(ServingSimulator::next_ready_ps)
+            .min();
+        let arrival = self.arrivals.front().map(|r| r.arrival_ps);
+        let transfer = self.pending.peek().map(|&Reverse((ready_ps, _, _))| ready_ps);
+        [replica_ready, arrival, transfer].into_iter().flatten().min()
+    }
+
+    /// The deployment's virtual clock: the furthest replica clock in
+    /// either pool.
+    pub fn clock_ps(&self) -> TimePs {
+        self.prefill
+            .iter()
+            .chain(&self.decode)
+            .map(ServingSimulator::clock_ps)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Requests that finished their full lifecycle (decode completed).
+    pub fn completed_requests(&self) -> usize {
+        self.decode.iter().map(|r| r.scheduler().completions().len()).sum()
+    }
+
     /// Re-keys a global replica index in the heap after a mutation.
     fn refresh(&mut self, global: usize) {
         let ready = if global < self.prefill.len() {
@@ -436,6 +479,12 @@ impl DisaggSimulator {
     /// Runs the deployment to completion and assembles the report.
     pub fn run(mut self) -> DisaggReport {
         while self.step() {}
+        self.into_report()
+    }
+
+    /// Assembles the report from the deployment's current state (a
+    /// partially drained deployment yields a partial report).
+    pub fn into_report(self) -> DisaggReport {
         let prefill_reports: Vec<_> =
             self.prefill.into_iter().map(ServingSimulator::into_report).collect();
         let decode_reports: Vec<_> =
@@ -474,6 +523,34 @@ impl DisaggSimulator {
             self.routed_prefill,
             self.routed_decode,
         )
+    }
+}
+
+impl Simulate for DisaggSimulator {
+    type Report = DisaggReport;
+
+    fn push_request(&mut self, request: Request) {
+        DisaggSimulator::push_request(self, request);
+    }
+
+    fn next_ready_ps(&self) -> Option<TimePs> {
+        DisaggSimulator::next_ready_ps(self)
+    }
+
+    fn clock_ps(&self) -> TimePs {
+        DisaggSimulator::clock_ps(self)
+    }
+
+    fn completed_requests(&self) -> usize {
+        DisaggSimulator::completed_requests(self)
+    }
+
+    fn step(&mut self) -> bool {
+        DisaggSimulator::step(self)
+    }
+
+    fn finalize(self) -> DisaggReport {
+        self.into_report()
     }
 }
 

@@ -1,0 +1,213 @@
+//! The three serving shapes behind one value: [`AnySimulator`] and its
+//! [`AnyReport`].
+//!
+//! `Scenario::build` returns an [`AnySimulator`]; callers drive it
+//! through the [`Simulate`] trait without caring whether the scenario
+//! described a single replica, a routed cluster, or a disaggregated
+//! deployment, and the resulting [`AnyReport`] writes the same artifact
+//! set the shape's native report writes.
+
+use llmss_cluster::{ClusterReport, ClusterSimulator};
+use llmss_core::{ReportOutput, ReuseStats, ServingSimulator, SimReport, Simulate, SloSummary};
+use llmss_disagg::{DisaggReport, DisaggSimulator};
+use llmss_sched::{Request, TimePs};
+
+/// A built scenario: one of the three serving shapes, driven uniformly
+/// through [`Simulate`].
+#[derive(Debug)]
+// One AnySimulator exists per run; variant size spread is irrelevant at
+// that cardinality and boxing the fleets would tax every step call.
+#[allow(clippy::large_enum_variant)]
+pub enum AnySimulator {
+    /// One unified serving replica (boxed: a `ServingSimulator` is an
+    /// order of magnitude larger than the fleet handles).
+    Single(Box<ServingSimulator>),
+    /// A multi-replica cluster behind a router.
+    Cluster(ClusterSimulator),
+    /// A disaggregated prefill/decode deployment.
+    Disagg(DisaggSimulator),
+}
+
+impl AnySimulator {
+    /// The shape's short name (`single` | `cluster` | `disagg`).
+    pub fn shape(&self) -> &'static str {
+        match self {
+            AnySimulator::Single(_) => "single",
+            AnySimulator::Cluster(_) => "cluster",
+            AnySimulator::Disagg(_) => "disagg",
+        }
+    }
+
+    /// Runs to completion and finalizes (the common whole-trace run).
+    pub fn run(self) -> AnyReport {
+        Simulate::run_to_completion(self)
+    }
+}
+
+impl Simulate for AnySimulator {
+    type Report = AnyReport;
+
+    fn push_request(&mut self, request: Request) {
+        match self {
+            AnySimulator::Single(s) => Simulate::push_request(&mut **s, request),
+            AnySimulator::Cluster(s) => Simulate::push_request(s, request),
+            AnySimulator::Disagg(s) => Simulate::push_request(s, request),
+        }
+    }
+
+    fn next_ready_ps(&self) -> Option<TimePs> {
+        match self {
+            AnySimulator::Single(s) => Simulate::next_ready_ps(&**s),
+            AnySimulator::Cluster(s) => Simulate::next_ready_ps(s),
+            AnySimulator::Disagg(s) => Simulate::next_ready_ps(s),
+        }
+    }
+
+    fn clock_ps(&self) -> TimePs {
+        match self {
+            AnySimulator::Single(s) => Simulate::clock_ps(&**s),
+            AnySimulator::Cluster(s) => Simulate::clock_ps(s),
+            AnySimulator::Disagg(s) => Simulate::clock_ps(s),
+        }
+    }
+
+    fn completed_requests(&self) -> usize {
+        match self {
+            AnySimulator::Single(s) => Simulate::completed_requests(&**s),
+            AnySimulator::Cluster(s) => Simulate::completed_requests(s),
+            AnySimulator::Disagg(s) => Simulate::completed_requests(s),
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        match self {
+            AnySimulator::Single(s) => Simulate::step(&mut **s),
+            AnySimulator::Cluster(s) => Simulate::step(s),
+            AnySimulator::Disagg(s) => Simulate::step(s),
+        }
+    }
+
+    fn finalize(self) -> AnyReport {
+        match self {
+            AnySimulator::Single(s) => AnyReport::Single(Simulate::finalize(*s)),
+            AnySimulator::Cluster(s) => AnyReport::Cluster(Simulate::finalize(s)),
+            AnySimulator::Disagg(s) => AnyReport::Disagg(Simulate::finalize(s)),
+        }
+    }
+}
+
+/// The finished report of any serving shape, with the shape's native
+/// artifacts and one shared metric surface for sweeps and comparisons.
+#[derive(Debug, Clone)]
+pub enum AnyReport {
+    /// A single-replica [`SimReport`].
+    Single(SimReport),
+    /// A cluster [`ClusterReport`].
+    Cluster(ClusterReport),
+    /// A disaggregated [`DisaggReport`].
+    Disagg(DisaggReport),
+}
+
+impl AnyReport {
+    /// The shape's short name (`single` | `cluster` | `disagg`).
+    pub fn shape(&self) -> &'static str {
+        match self {
+            AnyReport::Single(_) => "single",
+            AnyReport::Cluster(_) => "cluster",
+            AnyReport::Disagg(_) => "disagg",
+        }
+    }
+
+    /// Requests fully served.
+    pub fn total_completions(&self) -> usize {
+        match self {
+            AnyReport::Single(r) => r.completions.len(),
+            AnyReport::Cluster(r) => r.total_completions(),
+            AnyReport::Disagg(r) => r.total_completions(),
+        }
+    }
+
+    /// Simulated time until the last request finished anywhere.
+    pub fn makespan_ps(&self) -> TimePs {
+        match self {
+            AnyReport::Single(r) => r.sim_duration_ps,
+            AnyReport::Cluster(r) => r.makespan_ps(),
+            AnyReport::Disagg(r) => r.makespan_ps(),
+        }
+    }
+
+    /// Makespan in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_ps() as f64 / 1e12
+    }
+
+    /// Generation throughput in tokens per simulated second.
+    pub fn generation_throughput(&self) -> f64 {
+        match self {
+            AnyReport::Single(r) => r.generation_throughput(),
+            AnyReport::Cluster(r) => r.generation_throughput(),
+            AnyReport::Disagg(r) => r.generation_throughput(),
+        }
+    }
+
+    /// The standard SLO percentile summaries (TTFT / TPOT / latency).
+    pub fn slo(&self) -> SloSummary {
+        match self {
+            AnyReport::Single(r) => r.slo(),
+            AnyReport::Cluster(r) => r.slo(),
+            AnyReport::Disagg(r) => r.slo(),
+        }
+    }
+
+    /// Merged reuse statistics (operator- and iteration-level, all
+    /// replicas).
+    pub fn reuse(&self) -> ReuseStats {
+        match self {
+            AnyReport::Single(r) => r.reuse,
+            AnyReport::Cluster(r) => r.aggregate_reuse(),
+            AnyReport::Disagg(r) => r.aggregate_reuse(),
+        }
+    }
+
+    /// The single-replica report, if this run was one.
+    pub fn as_single(&self) -> Option<&SimReport> {
+        match self {
+            AnyReport::Single(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The cluster report, if this run was one.
+    pub fn as_cluster(&self) -> Option<&ClusterReport> {
+        match self {
+            AnyReport::Cluster(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The disaggregated report, if this run was one.
+    pub fn as_disagg(&self) -> Option<&DisaggReport> {
+        match self {
+            AnyReport::Disagg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl ReportOutput for AnyReport {
+    fn summary(&self) -> String {
+        match self {
+            AnyReport::Single(r) => ReportOutput::summary(r),
+            AnyReport::Cluster(r) => ReportOutput::summary(r),
+            AnyReport::Disagg(r) => ReportOutput::summary(r),
+        }
+    }
+
+    fn artifacts(&self) -> Vec<(&'static str, String)> {
+        match self {
+            AnyReport::Single(r) => r.artifacts(),
+            AnyReport::Cluster(r) => r.artifacts(),
+            AnyReport::Disagg(r) => r.artifacts(),
+        }
+    }
+}

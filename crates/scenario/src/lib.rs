@@ -1,0 +1,57 @@
+//! One `Scenario` API: the unified workload/simulator/report surface.
+//!
+//! LLMServingSim grew three sibling front-ends — single-replica serving
+//! (`llmss-core`), routed clusters (`llmss-cluster`), and disaggregated
+//! prefill/decode deployments (`llmss-disagg`) — each with its own config
+//! struct, report type, and CLI plumbing, so every new serving technique
+//! paid an O(front-ends) integration tax. This crate collapses that into
+//! one composable experiment surface (the direction LLMServingSim 2.0's
+//! "unified simulator" takes):
+//!
+//! * [`Scenario`] — a typed, chainable, *declarative* description of an
+//!   experiment: model, hardware, serving-technique knobs, fleet shape,
+//!   workload. Cross-field constraints are validated at
+//!   [`build`](Scenario::build) time with a typed [`ScenarioError`], and
+//!   the value round-trips losslessly to TOML and JSON scenario files
+//!   (unknown keys are schema drift and fail loudly).
+//! * [`AnySimulator`] / [`AnyReport`] — the three serving shapes behind
+//!   one value, driven through the
+//!   [`Simulate`](llmss_core::Simulate) trait and written through the
+//!   [`ReportOutput`](llmss_core::ReportOutput) writer, so drivers are
+//!   written once.
+//! * [`Sweep`] — cartesian parameter grids over a base scenario
+//!   (`[sweep]` tables of a sweep file, or the [`Sweep::axis`] builder),
+//!   one consolidated TSV row per point.
+//!
+//! # Examples
+//!
+//! Builder, file, and sweep are the same object:
+//!
+//! ```
+//! use llmss_scenario::Scenario;
+//! use llmss_sched::{Dataset, WorkloadSpec};
+//!
+//! let scenario = Scenario::model("gpt2").npus(1).tensor_parallel().workload(
+//!     WorkloadSpec::Synthetic { dataset: Dataset::Alpaca, requests: 4, rate_per_s: 50.0, seed: 1 },
+//! );
+//! // ... serialize it for the repo ...
+//! let file = scenario.to_toml();
+//! // ... and a colleague reproduces the run from the file alone.
+//! let report = Scenario::from_toml(&file)?.run()?;
+//! assert_eq!(report.total_completions(), 4);
+//! # Ok::<(), llmss_scenario::ScenarioError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod any;
+mod error;
+mod scenario;
+mod sweep;
+pub mod toml;
+
+pub use any::{AnyReport, AnySimulator};
+pub use error::ScenarioError;
+pub use scenario::{Scenario, ServingShape};
+pub use sweep::{Sweep, SweepAxis, SweepPoint, SweepReport, SweepRow};

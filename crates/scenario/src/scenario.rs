@@ -1,0 +1,1217 @@
+//! The [`Scenario`] builder: one typed, declarative description of a
+//! serving experiment, validated at build time.
+
+use llmss_cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
+use llmss_core::{KvBucket, KvManage, ParallelismKind, PimMode, ServingSimulator, SimConfig};
+use llmss_disagg::{DisaggConfig, DisaggSimulator, PairingPolicyKind};
+use llmss_model::ModelSpec;
+use llmss_sched::{Request, SchedulingPolicy, Workload, WorkloadSpec};
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::{toml, AnyReport, AnySimulator, ScenarioError};
+
+/// The serving shape a scenario describes, derived from its
+/// `replicas`/`disagg` fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingShape {
+    /// One unified replica.
+    Single,
+    /// `replicas` unified replicas behind a router.
+    Cluster {
+        /// Fleet size (>= 2 in this shape).
+        replicas: usize,
+    },
+    /// A disaggregated prefill/decode deployment.
+    Disagg {
+        /// Prefill-pool size.
+        prefill: usize,
+        /// Decode-pool size.
+        decode: usize,
+    },
+}
+
+impl std::fmt::Display for ServingShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingShape::Single => write!(f, "single"),
+            ServingShape::Cluster { replicas } => write!(f, "cluster x{replicas}"),
+            ServingShape::Disagg { prefill, decode } => {
+                write!(f, "disagg {prefill}P x {decode}D")
+            }
+        }
+    }
+}
+
+/// One serving experiment, declaratively: model, hardware shape, serving
+/// technique knobs, and workload — the whole surface the CLI flags,
+/// scenario files, and sweep grids share.
+///
+/// `Scenario` is a plain value with a chainable builder; nothing is
+/// checked until [`build`](Self::build), which validates every
+/// cross-field constraint and returns a typed [`ScenarioError`] instead
+/// of panicking deep inside a simulator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use llmss_scenario::Scenario;
+/// use llmss_cluster::RoutingPolicyKind;
+/// use llmss_sched::{BurstyTraceSpec, WorkloadSpec};
+///
+/// let report = Scenario::model("gpt2")
+///     .npus(1)
+///     .tensor_parallel()
+///     .replicas(4)
+///     .routing(RoutingPolicyKind::PowerOfTwoChoices)
+///     .workload(WorkloadSpec::from(BurstyTraceSpec::default()))
+///     .run()?;
+/// assert_eq!(report.total_completions(), 200);
+/// # Ok::<(), llmss_scenario::ScenarioError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Model name (see [`ModelSpec::by_name`]).
+    pub model: String,
+    /// NPUs per replica.
+    pub npus: usize,
+    /// Maximum batch size (0 = unlimited).
+    pub max_batch: usize,
+    /// Batching delay in milliseconds.
+    pub batch_delay_ms: f64,
+    /// Scheduling policy (`orca` iteration-level or `request`-level).
+    pub scheduling: SchedulingPolicy,
+    /// Parallelism strategy.
+    pub parallel: ParallelismKind,
+    /// Pipeline-stage count for hybrid parallelism.
+    pub npu_group: usize,
+    /// Per-NPU memory override in GiB.
+    pub npu_mem_gib: Option<f64>,
+    /// KV-cache management scheme.
+    pub kv_manage: KvManage,
+    /// PIM participation.
+    pub pim: PimMode,
+    /// PIM-pool size when `pim` is `Pool` (default: `npus`).
+    pub pim_pool_size: Option<usize>,
+    /// NeuPIMs-style sub-batch interleaving.
+    pub sub_batch: bool,
+    /// Computation-reuse caches.
+    pub reuse: bool,
+    /// Whole-iteration outcome memoization.
+    pub iteration_memo: bool,
+    /// KV-bucket policy for iteration memoization (fixed or adaptive).
+    pub kv_bucket: KvBucket,
+    /// Skip the initiation phase (prompts modeled as pre-cached).
+    pub gen_only: bool,
+    /// Seed for routing/pairing policies (and, when set through the
+    /// string-override surface, the workload generator).
+    pub seed: u64,
+    /// Path to an NPU hardware-config JSON (Table-I defaults when
+    /// absent).
+    pub network: Option<String>,
+    /// Serving replicas (>= 2 selects the cluster shape).
+    pub replicas: usize,
+    /// Front-end routing policy.
+    pub routing: RoutingPolicyKind,
+    /// `(prefill, decode)` pool sizes; `Some` selects the disaggregated
+    /// shape.
+    pub disagg: Option<(usize, usize)>,
+    /// Inter-pool KV-link bandwidth in GB/s (disaggregated shape).
+    pub kv_link_gbps: f64,
+    /// Decode-replica pairing policy (disaggregated shape).
+    pub pairing: PairingPolicyKind,
+    /// The traffic source.
+    pub workload: WorkloadSpec,
+}
+
+impl Default for Scenario {
+    /// Mirrors the artifact CLI's defaults exactly, so a flagless legacy
+    /// invocation and an empty scenario file describe the same run.
+    fn default() -> Self {
+        Self {
+            model: "gpt2".into(),
+            npus: 16,
+            max_batch: 0,
+            batch_delay_ms: 0.0,
+            scheduling: SchedulingPolicy::IterationLevel,
+            parallel: ParallelismKind::Hybrid,
+            npu_group: 1,
+            npu_mem_gib: None,
+            kv_manage: KvManage::Vllm,
+            pim: PimMode::None,
+            pim_pool_size: None,
+            sub_batch: false,
+            reuse: true,
+            iteration_memo: true,
+            kv_bucket: KvBucket::exact(),
+            gen_only: false,
+            seed: 42,
+            network: None,
+            replicas: 1,
+            routing: RoutingPolicyKind::RoundRobin,
+            disagg: None,
+            kv_link_gbps: 128.0,
+            pairing: PairingPolicyKind::LeastKvLoad,
+            workload: WorkloadSpec::default(),
+        }
+    }
+}
+
+impl Scenario {
+    /// Every top-level scenario key, in canonical file order. `set`,
+    /// the file codecs, and sweep axes all speak exactly this schema
+    /// (plus `workload.*` sub-keys).
+    pub const KEYS: [&'static str; 24] = [
+        "model",
+        "npus",
+        "max_batch",
+        "batch_delay_ms",
+        "scheduling",
+        "parallel",
+        "npu_group",
+        "npu_mem_gib",
+        "kv_manage",
+        "pim",
+        "pim_pool_size",
+        "sub_batch",
+        "reuse",
+        "iteration_memo",
+        "gen_only",
+        "seed",
+        "network",
+        "replicas",
+        "routing",
+        "disagg",
+        "kv_link_gbps",
+        "pairing",
+        "kv_bucket",
+        "workload",
+    ];
+
+    /// Starts a scenario for `model` with the artifact defaults.
+    pub fn model(name: impl Into<String>) -> Self {
+        Self { model: name.into(), ..Self::default() }
+    }
+
+    /// Sets the number of NPUs per replica.
+    pub fn npus(mut self, n: usize) -> Self {
+        self.npus = n;
+        self
+    }
+
+    /// Caps the batch size (0 = unlimited).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets the batching delay in milliseconds.
+    pub fn batch_delay_ms(mut self, ms: f64) -> Self {
+        self.batch_delay_ms = ms;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn scheduling(mut self, policy: SchedulingPolicy) -> Self {
+        self.scheduling = policy;
+        self
+    }
+
+    /// Uses pure tensor parallelism.
+    pub fn tensor_parallel(mut self) -> Self {
+        self.parallel = ParallelismKind::Tensor;
+        self
+    }
+
+    /// Uses pure pipeline parallelism.
+    pub fn pipeline_parallel(mut self) -> Self {
+        self.parallel = ParallelismKind::Pipeline;
+        self
+    }
+
+    /// Uses hybrid parallelism with `groups` pipeline stages.
+    pub fn hybrid_parallel(mut self, groups: usize) -> Self {
+        self.parallel = ParallelismKind::Hybrid;
+        self.npu_group = groups;
+        self
+    }
+
+    /// Overrides per-NPU memory in GiB.
+    pub fn npu_mem_gib(mut self, gib: f64) -> Self {
+        self.npu_mem_gib = Some(gib);
+        self
+    }
+
+    /// Uses max-length KV preallocation instead of paging.
+    pub fn kv_max_len(mut self) -> Self {
+        self.kv_manage = KvManage::MaxLen;
+        self
+    }
+
+    /// Attaches a local PIM to every NPU.
+    pub fn pim_local(mut self) -> Self {
+        self.pim = PimMode::Local;
+        self
+    }
+
+    /// Adds a PIM pool of `n` devices.
+    pub fn pim_pool(mut self, n: usize) -> Self {
+        self.pim = PimMode::Pool;
+        self.pim_pool_size = Some(n);
+        self
+    }
+
+    /// Enables NeuPIMs-style sub-batch interleaving.
+    pub fn sub_batch(mut self, enabled: bool) -> Self {
+        self.sub_batch = enabled;
+        self
+    }
+
+    /// Enables or disables the computation-reuse caches.
+    pub fn reuse(mut self, enabled: bool) -> Self {
+        self.reuse = enabled;
+        self
+    }
+
+    /// Enables or disables whole-iteration memoization.
+    pub fn iteration_memo(mut self, enabled: bool) -> Self {
+        self.iteration_memo = enabled;
+        self
+    }
+
+    /// Sets the KV-bucket policy: a token count for a fixed bucket, or a
+    /// full [`KvBucket`] (e.g. `KvBucket::Adaptive { .. }`).
+    pub fn kv_bucket(mut self, bucket: impl Into<KvBucket>) -> Self {
+        self.kv_bucket = bucket.into();
+        self
+    }
+
+    /// Skips the initiation phase (prompts modeled as pre-cached).
+    pub fn gen_only(mut self, enabled: bool) -> Self {
+        self.gen_only = enabled;
+        self
+    }
+
+    /// Seeds the routing/pairing policies *and* the workload generator
+    /// (matching the legacy `--seed` flag's reach).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.workload.reseed(seed);
+        self
+    }
+
+    /// Points at an NPU hardware-config JSON file.
+    pub fn network(mut self, path: impl Into<String>) -> Self {
+        self.network = Some(path.into());
+        self
+    }
+
+    /// Sets the fleet size (>= 2 selects the cluster shape).
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Sets the front-end routing policy.
+    pub fn routing(mut self, routing: RoutingPolicyKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Selects the disaggregated shape with the given pool sizes.
+    pub fn disagg(mut self, prefill: usize, decode: usize) -> Self {
+        self.disagg = Some((prefill, decode));
+        self
+    }
+
+    /// Sets the inter-pool KV-link bandwidth in GB/s.
+    pub fn kv_link_gbps(mut self, gbps: f64) -> Self {
+        self.kv_link_gbps = gbps;
+        self
+    }
+
+    /// Sets the decode-pairing policy.
+    pub fn pairing(mut self, pairing: PairingPolicyKind) -> Self {
+        self.pairing = pairing;
+        self
+    }
+
+    /// Sets the traffic source.
+    pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
+        self.workload = workload.into();
+        self
+    }
+
+    /// The serving shape the `replicas`/`disagg` fields select.
+    pub fn shape(&self) -> ServingShape {
+        match (self.disagg, self.replicas) {
+            (Some((prefill, decode)), _) => ServingShape::Disagg { prefill, decode },
+            (None, r) if r > 1 => ServingShape::Cluster { replicas: r },
+            _ => ServingShape::Single,
+        }
+    }
+
+    /// A one-line banner for run output.
+    pub fn describe(&self) -> String {
+        format!(
+            "model={} npus={} parallel={:?} pim={:?} shape={} workload={}",
+            self.model,
+            self.npus,
+            self.parallel,
+            self.pim,
+            self.shape(),
+            self.workload.describe(),
+        )
+    }
+
+    /// Checks every cross-field constraint without building simulators.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a typed
+    /// [`ScenarioError`].
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.field_checks()?;
+        self.validated_config().map(|_| ())
+    }
+
+    /// The pure cross-field checks (no filesystem, no simulators).
+    fn field_checks(&self) -> Result<(), ScenarioError> {
+        let invalid = |field: &str, message: String| {
+            Err(ScenarioError::InvalidValue { field: field.into(), message })
+        };
+        if ModelSpec::by_name(&self.model).is_none() {
+            return Err(ScenarioError::UnknownModel { name: self.model.clone() });
+        }
+        if self.npus == 0 {
+            return invalid("npus", "a replica needs at least one NPU".into());
+        }
+        if self.replicas == 0 {
+            return invalid("replicas", "the fleet needs at least one replica".into());
+        }
+        if let Some((p, d)) = self.disagg {
+            if p == 0 || d == 0 {
+                return invalid("disagg", "both pools need at least one replica".into());
+            }
+            if self.replicas > 1 {
+                return Err(ScenarioError::Conflict {
+                    message: format!(
+                        "disagg {p}x{d} and replicas={} are mutually exclusive: the \
+                         disaggregated shape already defines its fleet as the two pools",
+                        self.replicas
+                    ),
+                });
+            }
+        }
+        if !self.kv_link_gbps.is_finite() || self.kv_link_gbps <= 0.0 {
+            return invalid(
+                "kv_link_gbps",
+                format!("link bandwidth must be positive, got {}", self.kv_link_gbps),
+            );
+        }
+        self.kv_bucket.validate()?;
+        if matches!(self.kv_bucket, KvBucket::Adaptive { .. })
+            && !(self.reuse && self.iteration_memo)
+        {
+            return Err(ScenarioError::Conflict {
+                message: "adaptive kv_bucket anneals the iteration cache, which requires \
+                          reuse and iteration_memo to be enabled"
+                    .into(),
+            });
+        }
+        match (self.pim, self.pim_pool_size) {
+            (PimMode::Pool, Some(0)) => {
+                return invalid("pim_pool_size", "a PIM pool needs at least one device".into())
+            }
+            (PimMode::None | PimMode::Local, Some(_)) => {
+                return Err(ScenarioError::Conflict {
+                    message: "pim_pool_size is set but pim is not \"pool\"".into(),
+                })
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The per-replica [`SimConfig`] this scenario describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when validation fails or the hardware
+    /// config file cannot be read.
+    pub fn replica_config(&self) -> Result<SimConfig, ScenarioError> {
+        self.field_checks()?;
+        self.validated_config()
+    }
+
+    /// Builds the `SimConfig` and runs the layout checks on it — the one
+    /// construction path shared by `validate`, `replica_config`, and
+    /// `build`, so the hardware-config file is read exactly once per
+    /// entry point.
+    fn validated_config(&self) -> Result<SimConfig, ScenarioError> {
+        let model = ModelSpec::by_name(&self.model)
+            .ok_or_else(|| ScenarioError::UnknownModel { name: self.model.clone() })?;
+        let mut cfg = SimConfig::new(model);
+        cfg.npu_num = self.npus;
+        cfg.max_batch = self.max_batch;
+        cfg.batch_delay_ms = self.batch_delay_ms;
+        cfg.scheduling = self.scheduling;
+        cfg.parallel = self.parallel;
+        cfg.npu_group = self.npu_group;
+        cfg.npu_mem_gib = self.npu_mem_gib;
+        cfg.kv_manage = self.kv_manage;
+        cfg.sub_batch = self.sub_batch;
+        cfg.reuse = self.reuse;
+        cfg.iteration_memo = self.iteration_memo;
+        cfg.kv_bucket = self.kv_bucket;
+        match self.pim {
+            PimMode::None => {}
+            PimMode::Local => cfg = cfg.pim_local(),
+            PimMode::Pool => {
+                cfg = cfg.pim_pool(self.pim_pool_size.unwrap_or(self.npus));
+            }
+        }
+        if let Some(path) = &self.network {
+            let json = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            cfg.npu_config = llmss_npu::NpuConfig::from_json(&json).map_err(|message| {
+                ScenarioError::InvalidValue { field: "network".into(), message }
+            })?;
+        }
+        // Parallelism layout constraints (group divisibility, stages vs
+        // model depth) are pure functions of the config — fail here, not
+        // inside a half-built fleet.
+        cfg.parallelism()?;
+        Ok(cfg)
+    }
+
+    /// Materializes the workload, applying `gen_only` (prompts shrink to
+    /// one token, modeling a pre-cached initiation phase).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload errors (unreadable trace, bad parameters).
+    pub fn trace(&self) -> Result<Vec<Request>, ScenarioError> {
+        let mut trace = self.workload.materialize()?;
+        if self.gen_only {
+            for r in &mut trace {
+                *r = Request::new(r.id, 1, r.output_len, r.arrival_ps);
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Validates the scenario and builds the simulator for its shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ScenarioError`] on any invalid field, conflict,
+    /// unrealizable hardware configuration, or workload failure.
+    pub fn build(&self) -> Result<AnySimulator, ScenarioError> {
+        self.field_checks()?;
+        let cfg = self.validated_config()?;
+        let trace = self.trace()?;
+        Ok(match self.shape() {
+            ServingShape::Single => {
+                AnySimulator::Single(Box::new(ServingSimulator::new(cfg, trace)?))
+            }
+            ServingShape::Cluster { replicas } => {
+                let cluster =
+                    ClusterConfig::new(replicas).routing(self.routing).seed(self.seed);
+                AnySimulator::Cluster(ClusterSimulator::new(cfg, cluster, trace)?)
+            }
+            ServingShape::Disagg { prefill, decode } => {
+                let disagg = DisaggConfig::new(prefill, decode)
+                    .kv_link_gbps(self.kv_link_gbps)
+                    .routing(self.routing)
+                    .pairing(self.pairing)
+                    .seed(self.seed);
+                AnySimulator::Disagg(DisaggSimulator::new(cfg.clone(), cfg, disagg, trace)?)
+            }
+        })
+    }
+
+    /// Builds and runs to completion (the one-shot convenience).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`build`](Self::build) errors.
+    pub fn run(&self) -> Result<AnyReport, ScenarioError> {
+        Ok(self.build()?.run())
+    }
+
+    /// Sets one field by its serialized key — the string-override
+    /// surface shared by CLI flags, `--set key=value`, and sweep grids.
+    /// `workload.*` keys route into the workload spec; `seed` reaches
+    /// both the policies and the workload generator (matching the legacy
+    /// `--seed`).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownKey`] for keys outside the schema,
+    /// [`ScenarioError::UnknownValue`] when the value does not parse.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
+        fn parse<T: std::str::FromStr>(field: &str, value: &str) -> Result<T, ScenarioError>
+        where
+            T::Err: std::fmt::Display,
+        {
+            value.parse().map_err(|e| ScenarioError::UnknownValue {
+                field: field.into(),
+                value: value.into(),
+                expected: format!("{e}"),
+            })
+        }
+        fn parse_bool(field: &str, value: &str) -> Result<bool, ScenarioError> {
+            match value {
+                "true" | "1" | "on" => Ok(true),
+                "false" | "0" | "off" => Ok(false),
+                _ => Err(ScenarioError::UnknownValue {
+                    field: field.into(),
+                    value: value.into(),
+                    expected: "true | false".into(),
+                }),
+            }
+        }
+        if let Some(subkey) = key.strip_prefix("workload.") {
+            return self.workload.set(subkey, value).map_err(|message| {
+                ScenarioError::UnknownValue {
+                    field: key.into(),
+                    value: value.into(),
+                    expected: message,
+                }
+            });
+        }
+        match key {
+            "model" => self.model = value.to_owned(),
+            "npus" | "npu_num" => self.npus = parse(key, value)?,
+            "max_batch" => self.max_batch = parse(key, value)?,
+            "batch_delay_ms" => self.batch_delay_ms = parse(key, value)?,
+            "scheduling" => {
+                self.scheduling = match value {
+                    "orca" => SchedulingPolicy::IterationLevel,
+                    "request" => SchedulingPolicy::RequestLevel,
+                    _ => {
+                        return Err(ScenarioError::UnknownValue {
+                            field: key.into(),
+                            value: value.into(),
+                            expected: "orca | request".into(),
+                        })
+                    }
+                }
+            }
+            "parallel" => {
+                self.parallel = match value {
+                    "tensor" => ParallelismKind::Tensor,
+                    "pipeline" => ParallelismKind::Pipeline,
+                    "hybrid" => ParallelismKind::Hybrid,
+                    _ => {
+                        return Err(ScenarioError::UnknownValue {
+                            field: key.into(),
+                            value: value.into(),
+                            expected: "tensor | pipeline | hybrid".into(),
+                        })
+                    }
+                }
+            }
+            "npu_group" => self.npu_group = parse(key, value)?,
+            "npu_mem_gib" => {
+                self.npu_mem_gib = if value == "none" { None } else { Some(parse(key, value)?) }
+            }
+            "kv_manage" => {
+                self.kv_manage = match value {
+                    "vllm" => KvManage::Vllm,
+                    "max" => KvManage::MaxLen,
+                    _ => {
+                        return Err(ScenarioError::UnknownValue {
+                            field: key.into(),
+                            value: value.into(),
+                            expected: "vllm | max".into(),
+                        })
+                    }
+                }
+            }
+            "pim" | "pim_type" => {
+                self.pim = match value {
+                    "none" => PimMode::None,
+                    "local" => PimMode::Local,
+                    "pool" => PimMode::Pool,
+                    _ => {
+                        return Err(ScenarioError::UnknownValue {
+                            field: key.into(),
+                            value: value.into(),
+                            expected: "none | local | pool".into(),
+                        })
+                    }
+                }
+            }
+            "pim_pool_size" => {
+                self.pim_pool_size =
+                    if value == "none" { None } else { Some(parse(key, value)?) }
+            }
+            "sub_batch" => self.sub_batch = parse_bool(key, value)?,
+            "reuse" => self.reuse = parse_bool(key, value)?,
+            "iteration_memo" => self.iteration_memo = parse_bool(key, value)?,
+            "kv_bucket" => {
+                self.kv_bucket = if value == "adaptive" {
+                    KvBucket::adaptive()
+                } else {
+                    KvBucket::Fixed { tokens: parse(key, value)? }
+                }
+            }
+            "gen_only" => self.gen_only = parse_bool(key, value)?,
+            "seed" => {
+                let seed = parse(key, value)?;
+                self.seed = seed;
+                self.workload.reseed(seed);
+            }
+            "network" => {
+                self.network = if value == "none" { None } else { Some(value.to_owned()) }
+            }
+            "replicas" => self.replicas = parse(key, value)?,
+            "routing" => {
+                self.routing =
+                    value.parse().map_err(|e: String| ScenarioError::UnknownValue {
+                        field: key.into(),
+                        value: value.into(),
+                        expected: e,
+                    })?
+            }
+            "disagg" => {
+                self.disagg = if value == "none" { None } else { Some(parse_pools(value)?) }
+            }
+            "kv_link_gbps" => self.kv_link_gbps = parse(key, value)?,
+            "pairing" => {
+                self.pairing =
+                    value.parse().map_err(|e: String| ScenarioError::UnknownValue {
+                        field: key.into(),
+                        value: value.into(),
+                        expected: e,
+                    })?
+            }
+            "workload" => {
+                return Err(ScenarioError::UnknownValue {
+                    field: key.into(),
+                    value: value.into(),
+                    expected: "workload sub-keys, e.g. workload.kind or workload.rate".into(),
+                })
+            }
+            other => return Err(ScenarioError::UnknownKey { key: other.into() }),
+        }
+        Ok(())
+    }
+
+    /// Serializes as a TOML scenario file (the canonical on-disk form).
+    pub fn to_toml(&self) -> String {
+        toml::emit(&self.to_value()).expect("scenario values are TOML-expressible")
+    }
+
+    /// Serializes as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serialization is infallible")
+    }
+
+    /// Parses a TOML scenario document: defaults first, then every
+    /// present key. Unknown keys are schema drift and fail loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] for syntax errors and typed
+    /// errors for schema violations.
+    pub fn from_toml(text: &str) -> Result<Self, ScenarioError> {
+        let value = toml::parse(text).map_err(|message| ScenarioError::Parse { message })?;
+        Self::from_value_checked(&value)
+    }
+
+    /// Parses a JSON scenario document (same schema as the TOML form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] on malformed JSON or schema
+    /// violations.
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(text).map_err(|e| ScenarioError::Parse { message: e.to_string() })
+    }
+
+    /// Loads a scenario file, dispatching on extension (`.json` is JSON,
+    /// anything else TOML).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] when the file cannot be read and
+    /// parse/schema errors otherwise.
+    pub fn from_path(path: &str) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io { path: path.into(), message: e.to_string() })?;
+        if path.ends_with(".json") { Self::from_json(&text) } else { Self::from_toml(&text) }
+            .map_err(|e| match e {
+                ScenarioError::Parse { message } => {
+                    ScenarioError::Parse { message: format!("{path}: {message}") }
+                }
+                other => other,
+            })
+    }
+
+    /// Rebuilds a scenario from a value tree with typed errors (the
+    /// checked core behind both file codecs and the sweep loader).
+    pub(crate) fn from_value_checked(v: &Value) -> Result<Self, ScenarioError> {
+        let Value::Object(fields) = v else {
+            return Err(ScenarioError::Parse {
+                message: format!("scenario: expected an object, got {v:?}"),
+            });
+        };
+        let mut scenario = Scenario::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "workload" => {
+                    scenario.workload = WorkloadSpec::from_value(value)
+                        .map_err(|e| ScenarioError::Parse { message: e.to_string() })?;
+                }
+                "kv_bucket" => scenario.kv_bucket = kv_bucket_from_value(value)?,
+                "npu_mem_gib" => {
+                    scenario.npu_mem_gib = match value {
+                        Value::Null => None,
+                        Value::Float(f) => Some(*f),
+                        Value::Int(i) => Some(*i as f64),
+                        other => {
+                            return Err(ScenarioError::UnknownValue {
+                                field: "npu_mem_gib".into(),
+                                value: format!("{other:?}"),
+                                expected: "a number of GiB".into(),
+                            })
+                        }
+                    }
+                }
+                "pim_pool_size" => {
+                    scenario.pim_pool_size = match value {
+                        Value::Null => None,
+                        other => Some(usize::from_value(other).map_err(|e| {
+                            ScenarioError::UnknownValue {
+                                field: "pim_pool_size".into(),
+                                value: format!("{other:?}"),
+                                expected: e.to_string(),
+                            }
+                        })?),
+                    }
+                }
+                "network" | "disagg" if matches!(value, Value::Null) => {
+                    // Optional fields spelled out as null (JSON form).
+                    if key == "network" {
+                        scenario.network = None;
+                    } else {
+                        scenario.disagg = None;
+                    }
+                }
+                // `seed` must not re-seed the workload here: the file may
+                // carry an explicit workload seed, and field order must
+                // not matter. The coupling is a CLI/sweep convenience.
+                "seed" => {
+                    scenario.seed =
+                        u64::from_value(value).map_err(|e| ScenarioError::UnknownValue {
+                            field: "seed".into(),
+                            value: format!("{value:?}"),
+                            expected: e.to_string(),
+                        })?
+                }
+                _ => {
+                    let text = scalar_to_string(key, value)?;
+                    scenario.set(key, &text)?;
+                }
+            }
+        }
+        Ok(scenario)
+    }
+
+    /// Renders the scenario as a value tree in canonical key order.
+    fn to_value(&self) -> Value {
+        let opt_str = |s: &Option<String>| match s {
+            Some(s) => Value::Str(s.clone()),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("model".into(), Value::Str(self.model.clone())),
+            ("npus".into(), Value::Int(self.npus as i128)),
+            ("max_batch".into(), Value::Int(self.max_batch as i128)),
+            ("batch_delay_ms".into(), Value::Float(self.batch_delay_ms)),
+            (
+                "scheduling".into(),
+                Value::Str(
+                    match self.scheduling {
+                        SchedulingPolicy::IterationLevel => "orca",
+                        SchedulingPolicy::RequestLevel => "request",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "parallel".into(),
+                Value::Str(
+                    match self.parallel {
+                        ParallelismKind::Tensor => "tensor",
+                        ParallelismKind::Pipeline => "pipeline",
+                        ParallelismKind::Hybrid => "hybrid",
+                    }
+                    .into(),
+                ),
+            ),
+            ("npu_group".into(), Value::Int(self.npu_group as i128)),
+            (
+                "npu_mem_gib".into(),
+                match self.npu_mem_gib {
+                    Some(gib) => Value::Float(gib),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "kv_manage".into(),
+                Value::Str(
+                    match self.kv_manage {
+                        KvManage::Vllm => "vllm",
+                        KvManage::MaxLen => "max",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "pim".into(),
+                Value::Str(
+                    match self.pim {
+                        PimMode::None => "none",
+                        PimMode::Local => "local",
+                        PimMode::Pool => "pool",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "pim_pool_size".into(),
+                match self.pim_pool_size {
+                    Some(n) => Value::Int(n as i128),
+                    None => Value::Null,
+                },
+            ),
+            ("sub_batch".into(), Value::Bool(self.sub_batch)),
+            ("reuse".into(), Value::Bool(self.reuse)),
+            ("iteration_memo".into(), Value::Bool(self.iteration_memo)),
+            ("gen_only".into(), Value::Bool(self.gen_only)),
+            ("seed".into(), Value::Int(self.seed as i128)),
+            ("network".into(), opt_str(&self.network)),
+            ("replicas".into(), Value::Int(self.replicas as i128)),
+            ("routing".into(), Value::Str(self.routing.as_str().into())),
+            (
+                "disagg".into(),
+                match self.disagg {
+                    Some((p, d)) => Value::Str(format!("{p}x{d}")),
+                    None => Value::Null,
+                },
+            ),
+            ("kv_link_gbps".into(), Value::Float(self.kv_link_gbps)),
+            ("pairing".into(), Value::Str(self.pairing.as_str().into())),
+            ("kv_bucket".into(), kv_bucket_to_value(self.kv_bucket)),
+            ("workload".into(), self.workload.to_value()),
+        ])
+    }
+}
+
+fn parse_pools(value: &str) -> Result<(usize, usize), ScenarioError> {
+    let err = || ScenarioError::UnknownValue {
+        field: "disagg".into(),
+        value: value.into(),
+        expected: "PxD pool sizes, e.g. 2x2".into(),
+    };
+    let (p, d) = value.split_once('x').ok_or_else(err)?;
+    Ok((p.parse().map_err(|_| err())?, d.parse().map_err(|_| err())?))
+}
+
+fn scalar_to_string(key: &str, value: &Value) -> Result<String, ScenarioError> {
+    match value {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::Float(f) => Ok(format!("{f:?}")),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(ScenarioError::UnknownValue {
+            field: key.into(),
+            value: format!("{other:?}"),
+            expected: "a scalar".into(),
+        }),
+    }
+}
+
+fn kv_bucket_to_value(bucket: KvBucket) -> Value {
+    match bucket {
+        KvBucket::Fixed { tokens } => Value::Int(tokens as i128),
+        KvBucket::Adaptive { min_tokens, max_tokens, target_hit_rate, window } => {
+            Value::Object(vec![
+                ("min_tokens".into(), Value::Int(min_tokens as i128)),
+                ("max_tokens".into(), Value::Int(max_tokens as i128)),
+                ("target_hit_rate".into(), Value::Float(target_hit_rate)),
+                ("window".into(), Value::Int(window as i128)),
+            ])
+        }
+    }
+}
+
+fn kv_bucket_from_value(value: &Value) -> Result<KvBucket, ScenarioError> {
+    let bad = |expected: &str| ScenarioError::UnknownValue {
+        field: "kv_bucket".into(),
+        value: format!("{value:?}"),
+        expected: expected.into(),
+    };
+    match value {
+        Value::Int(tokens) => Ok(KvBucket::Fixed {
+            tokens: usize::try_from(*tokens).map_err(|_| bad("a positive token count"))?,
+        }),
+        Value::Str(s) if s == "adaptive" => Ok(KvBucket::adaptive()),
+        Value::Object(fields) => {
+            let KvBucket::Adaptive {
+                mut min_tokens,
+                mut max_tokens,
+                mut target_hit_rate,
+                mut window,
+            } = KvBucket::adaptive()
+            else {
+                unreachable!("adaptive() is Adaptive");
+            };
+            for (key, v) in fields {
+                match key.as_str() {
+                    "min_tokens" => {
+                        min_tokens = usize::from_value(v)
+                            .map_err(|_| bad("min_tokens: a token count"))?
+                    }
+                    "max_tokens" => {
+                        max_tokens = usize::from_value(v)
+                            .map_err(|_| bad("max_tokens: a token count"))?
+                    }
+                    "target_hit_rate" => {
+                        target_hit_rate = f64::from_value(v)
+                            .map_err(|_| bad("target_hit_rate: a rate in (0, 1]"))?
+                    }
+                    "window" => {
+                        window =
+                            u64::from_value(v).map_err(|_| bad("window: an iteration count"))?
+                    }
+                    other => {
+                        return Err(ScenarioError::UnknownKey {
+                            key: format!("kv_bucket.{other}"),
+                        })
+                    }
+                }
+            }
+            Ok(KvBucket::Adaptive { min_tokens, max_tokens, target_hit_rate, window })
+        }
+        _ => Err(bad("a token count, \"adaptive\", or an adaptive table")),
+    }
+}
+
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        Scenario::to_value(self)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Scenario::from_value_checked(v).map_err(|e| Error::custom(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_sched::{BurstyTraceSpec, Dataset};
+
+    fn small() -> Scenario {
+        Scenario::model("gpt2").npus(1).tensor_parallel().workload(WorkloadSpec::Synthetic {
+            dataset: Dataset::Alpaca,
+            requests: 4,
+            rate_per_s: 50.0,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn shape_follows_replicas_and_disagg() {
+        assert_eq!(small().shape(), ServingShape::Single);
+        assert_eq!(small().replicas(3).shape(), ServingShape::Cluster { replicas: 3 });
+        assert_eq!(
+            small().disagg(2, 2).shape(),
+            ServingShape::Disagg { prefill: 2, decode: 2 }
+        );
+    }
+
+    #[test]
+    fn builder_chain_builds_and_runs_every_shape() {
+        for scenario in [small(), small().replicas(2), small().disagg(1, 1)] {
+            let report = scenario.run().unwrap();
+            assert_eq!(report.total_completions(), 4, "{}", scenario.shape());
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_typed() {
+        let err = Scenario::model("gpt5-999t").build().unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownModel { name: "gpt5-999t".into() });
+    }
+
+    #[test]
+    fn conflicting_shapes_are_rejected() {
+        let err = small().replicas(2).disagg(1, 1).build().unwrap_err();
+        assert!(matches!(err, ScenarioError::Conflict { .. }), "{err}");
+    }
+
+    #[test]
+    fn adaptive_bucket_without_memo_is_a_conflict() {
+        let err =
+            small().kv_bucket(KvBucket::adaptive()).iteration_memo(false).build().unwrap_err();
+        assert!(matches!(err, ScenarioError::Conflict { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_layouts_fail_validation_not_simulation() {
+        // 16 pipeline stages on a 12-layer model: caught by validate.
+        let err = Scenario::model("gpt2").npus(16).pipeline_parallel().validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::Config(_)), "{err}");
+        let err = small().npus(0).validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidValue { .. }), "{err}");
+        let err = small().disagg(0, 1).validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidValue { .. }), "{err}");
+        let err = small().kv_link_gbps(0.0).disagg(1, 1).validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidValue { .. }), "{err}");
+    }
+
+    #[test]
+    fn stray_pool_size_is_a_conflict() {
+        let mut s = small();
+        s.pim_pool_size = Some(2);
+        assert!(matches!(s.validate(), Err(ScenarioError::Conflict { .. })));
+    }
+
+    #[test]
+    fn set_covers_every_documented_key() {
+        let mut s = Scenario::default();
+        for (key, value) in [
+            ("model", "gpt3-7b"),
+            ("npus", "4"),
+            ("max_batch", "16"),
+            ("batch_delay_ms", "2.5"),
+            ("scheduling", "request"),
+            ("parallel", "tensor"),
+            ("npu_group", "2"),
+            ("npu_mem_gib", "48"),
+            ("kv_manage", "max"),
+            ("pim", "pool"),
+            ("pim_pool_size", "8"),
+            ("sub_batch", "true"),
+            ("reuse", "false"),
+            ("iteration_memo", "false"),
+            ("kv_bucket", "64"),
+            ("gen_only", "true"),
+            ("seed", "7"),
+            ("network", "hw.json"),
+            ("replicas", "4"),
+            ("routing", "power-of-two"),
+            ("disagg", "2x3"),
+            ("kv_link_gbps", "32"),
+            ("pairing", "sticky"),
+            ("workload.kind", "bursty"),
+            ("workload.bursts", "2"),
+        ] {
+            s.set(key, value).unwrap_or_else(|e| panic!("{key}={value}: {e}"));
+        }
+        assert_eq!(s.model, "gpt3-7b");
+        assert_eq!(s.npus, 4);
+        assert_eq!(s.scheduling, SchedulingPolicy::RequestLevel);
+        assert_eq!(s.pim, PimMode::Pool);
+        assert_eq!(s.pim_pool_size, Some(8));
+        assert_eq!(s.kv_bucket, KvBucket::Fixed { tokens: 64 });
+        assert_eq!(s.disagg, Some((2, 3)));
+        assert!(matches!(s.workload, WorkloadSpec::Bursty { .. }));
+
+        assert!(matches!(s.set("not_a_key", "1"), Err(ScenarioError::UnknownKey { .. })));
+        assert!(matches!(s.set("routing", "nope"), Err(ScenarioError::UnknownValue { .. })));
+    }
+
+    #[test]
+    fn set_seed_reaches_the_workload() {
+        let mut s = Scenario::default();
+        s.set("seed", "9").unwrap();
+        assert_eq!(s.seed, 9);
+        assert!(matches!(s.workload, WorkloadSpec::Synthetic { seed: 9, .. }));
+    }
+
+    #[test]
+    fn toml_and_json_round_trips_are_lossless() {
+        let scenarios = [
+            Scenario::default(),
+            small()
+                .replicas(4)
+                .routing(RoutingPolicyKind::PowerOfTwoChoices)
+                .kv_bucket(KvBucket::adaptive())
+                .npu_mem_gib(48.0),
+            small()
+                .disagg(2, 2)
+                .kv_link_gbps(32.0)
+                .pairing(PairingPolicyKind::Sticky)
+                .workload(WorkloadSpec::from(BurstyTraceSpec::prefill_heavy_mix(0.4, 7))),
+        ];
+        for s in scenarios {
+            let toml_back = Scenario::from_toml(&s.to_toml()).unwrap();
+            assert_eq!(toml_back, s, "TOML round trip:\n{}", s.to_toml());
+            let json_back = Scenario::from_json(&s.to_json()).unwrap();
+            assert_eq!(json_back, s, "JSON round trip:\n{}", s.to_json());
+            // Canonical text is stable: emit(parse(emit(x))) == emit(x).
+            assert_eq!(toml_back.to_toml(), s.to_toml());
+        }
+    }
+
+    #[test]
+    fn sparse_files_start_from_defaults() {
+        let s = Scenario::from_toml("model = \"gpt3-7b\"\nreplicas = 2\n").unwrap();
+        assert_eq!(s.model, "gpt3-7b");
+        assert_eq!(s.replicas, 2);
+        assert_eq!(s.npus, Scenario::default().npus);
+        assert_eq!(s.workload, WorkloadSpec::default());
+    }
+
+    #[test]
+    fn unknown_file_keys_are_schema_drift() {
+        let err = Scenario::from_toml("modle = \"gpt2\"\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownKey { .. }), "{err}");
+        let err =
+            Scenario::from_toml("[kv_bucket]\nmin_tokens = 1\nmax_token = 2\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownKey { .. }), "{err}");
+        let err =
+            Scenario::from_toml("[workload]\nkind = \"synthetic\"\nrte = 1.0\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn file_field_order_does_not_couple_seed_and_workload() {
+        // Top-level seed listed *after* the workload table must not
+        // clobber the workload's own explicit seed.
+        let s = Scenario::from_toml("[workload]\nkind = \"synthetic\"\nseed = 7\n").unwrap();
+        assert!(matches!(s.workload, WorkloadSpec::Synthetic { seed: 7, .. }));
+        assert_eq!(s.seed, 42);
+    }
+
+    #[test]
+    fn kv_bucket_spellings() {
+        let fixed = Scenario::from_toml("kv_bucket = 64\n").unwrap();
+        assert_eq!(fixed.kv_bucket, KvBucket::Fixed { tokens: 64 });
+        let named = Scenario::from_toml("kv_bucket = \"adaptive\"\n").unwrap();
+        assert_eq!(named.kv_bucket, KvBucket::adaptive());
+        let table = Scenario::from_toml(
+            "[kv_bucket]\nmin_tokens = 2\nmax_tokens = 32\ntarget_hit_rate = 0.5\nwindow = 16\n",
+        )
+        .unwrap();
+        assert_eq!(
+            table.kv_bucket,
+            KvBucket::Adaptive {
+                min_tokens: 2,
+                max_tokens: 32,
+                target_hit_rate: 0.5,
+                window: 16
+            }
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Cartesian parameter sweeps over scenarios: one base [`Scenario`], a
+//! grid of string-keyed axes, one consolidated TSV row per point.
+//!
+//! A sweep file is a TOML document with two tables:
+//!
+//! ```toml
+//! [scenario]          # the base scenario (same schema as a scenario file)
+//! model = "gpt2"
+//! npus = 1
+//! parallel = "tensor"
+//!
+//! [sweep]             # each key is a scenario key, each value a list
+//! replicas = [1, 2, 4]
+//! routing = ["round-robin", "power-of-two"]
+//! ```
+//!
+//! Axes apply through [`Scenario::set`], so a sweep can touch anything a
+//! `--set` override can — including `workload.*` sub-keys — and a typo
+//! fails with [`ScenarioError::UnknownKey`] before anything runs. Rows
+//! follow the `simspeed` harness conventions: label columns first, then
+//! the metric columns, dashes (never NaN) for undefined percentiles.
+
+use llmss_core::PercentileSummary;
+use serde::Value;
+
+use crate::{toml, AnyReport, Scenario, ScenarioError};
+
+/// One sweep dimension: a scenario key and the values it takes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepAxis {
+    /// A [`Scenario::set`] key (top-level or `workload.*`).
+    pub key: String,
+    /// The override values, in grid order.
+    pub values: Vec<String>,
+}
+
+/// A cartesian sweep: every combination of axis values applied to the
+/// base scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The scenario every point starts from.
+    pub base: Scenario,
+    /// The grid dimensions, outermost first.
+    pub axes: Vec<SweepAxis>,
+}
+
+/// One grid point: the settings that produced it and the scenario to
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// `(key, value)` pairs, one per axis, in axis order.
+    pub settings: Vec<(String, String)>,
+    /// The fully overridden scenario.
+    pub scenario: Scenario,
+}
+
+impl Sweep {
+    /// A sweep over `base` with no axes yet (a single point).
+    pub fn new(base: Scenario) -> Self {
+        Self { base, axes: Vec::new() }
+    }
+
+    /// Adds a grid axis.
+    pub fn axis(
+        mut self,
+        key: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.axes.push(SweepAxis {
+            key: key.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Parses a sweep document (`[scenario]` base + `[sweep]` grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, schema violations in the base scenario, or
+    /// empty/invalid axes.
+    pub fn from_toml(text: &str) -> Result<Self, ScenarioError> {
+        let value = toml::parse(text).map_err(|message| ScenarioError::Parse { message })?;
+        let Value::Object(fields) = &value else { unreachable!("parse returns objects") };
+        let mut base = Scenario::default();
+        let mut axes = Vec::new();
+        for (key, v) in fields {
+            match key.as_str() {
+                "scenario" => base = Scenario::from_value_checked(v)?,
+                "sweep" => axes = parse_axes(v)?,
+                other => {
+                    return Err(ScenarioError::UnknownKey { key: other.into() });
+                }
+            }
+        }
+        Ok(Self { base, axes })
+    }
+
+    /// Loads a sweep file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] when the file cannot be read, plus
+    /// everything [`from_toml`](Self::from_toml) returns.
+    pub fn from_path(path: &str) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io { path: path.into(), message: e.to_string() })?;
+        Self::from_toml(&text)
+    }
+
+    /// Number of grid points (product of axis lengths; 1 with no axes).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Whether the grid is degenerate (an axis with no values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes every grid point, applying the axis overrides in
+    /// order. Fails fast on the first unknown key or bad value — before
+    /// anything runs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty grid (an axis with no values) and propagates
+    /// [`Scenario::set`] errors with the offending point's settings.
+    pub fn points(&self) -> Result<Vec<SweepPoint>, ScenarioError> {
+        if self.is_empty() {
+            return Err(ScenarioError::InvalidValue {
+                field: "sweep".into(),
+                message: "an axis has no values — the grid is empty".into(),
+            });
+        }
+        let mut points = Vec::with_capacity(self.len());
+        let mut odometer = vec![0usize; self.axes.len()];
+        loop {
+            let mut scenario = self.base.clone();
+            let mut settings = Vec::with_capacity(self.axes.len());
+            for (axis, &idx) in self.axes.iter().zip(&odometer) {
+                let value = &axis.values[idx];
+                scenario.set(&axis.key, value)?;
+                settings.push((axis.key.clone(), value.clone()));
+            }
+            points.push(SweepPoint { settings, scenario });
+            // Advance the odometer, innermost axis fastest.
+            let mut i = self.axes.len();
+            loop {
+                if i == 0 {
+                    return Ok(points);
+                }
+                i -= 1;
+                odometer[i] += 1;
+                if odometer[i] < self.axes[i].values.len() {
+                    break;
+                }
+                odometer[i] = 0;
+            }
+        }
+    }
+
+    /// Builds and runs every point, collecting one row per point.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first point that does not validate or build; points
+    /// already run are discarded (sweeps are cheap to re-run and a
+    /// partial grid is a trap in downstream analysis).
+    pub fn run(&self) -> Result<SweepReport, ScenarioError> {
+        let points = self.points()?;
+        let mut rows = Vec::with_capacity(points.len());
+        for point in points {
+            let report = point.scenario.run()?;
+            rows.push(SweepRow::collect(point.settings, &report));
+        }
+        Ok(SweepReport { axes: self.axes.iter().map(|a| a.key.clone()).collect(), rows })
+    }
+}
+
+fn parse_axes(v: &Value) -> Result<Vec<SweepAxis>, ScenarioError> {
+    let Value::Object(fields) = v else {
+        return Err(ScenarioError::Parse {
+            message: format!("[sweep] must be a table of value lists, got {v:?}"),
+        });
+    };
+    let mut axes = Vec::with_capacity(fields.len());
+    for (key, values) in fields {
+        let items = match values {
+            Value::Array(items) => items.clone(),
+            // A bare scalar is a 1-point axis — handy for pinning.
+            other => vec![other.clone()],
+        };
+        let mut axis_values = Vec::with_capacity(items.len());
+        for item in &items {
+            axis_values.push(match item {
+                Value::Str(s) => s.clone(),
+                Value::Int(i) => i.to_string(),
+                Value::Float(f) => format!("{f:?}"),
+                Value::Bool(b) => b.to_string(),
+                other => {
+                    return Err(ScenarioError::Parse {
+                        message: format!("sweep axis `{key}`: unsupported value {other:?}"),
+                    })
+                }
+            });
+        }
+        axes.push(SweepAxis { key: key.clone(), values: axis_values });
+    }
+    Ok(axes)
+}
+
+/// One finished grid point's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// `(key, value)` settings that produced the point.
+    pub settings: Vec<(String, String)>,
+    /// The serving shape the point ran as.
+    pub shape: &'static str,
+    /// Requests fully served.
+    pub completions: usize,
+    /// Simulated makespan in seconds.
+    pub makespan_s: f64,
+    /// Generation throughput in tokens per simulated second.
+    pub gen_tput: f64,
+    /// TTFT percentiles (`None` with zero completions).
+    pub ttft: Option<PercentileSummary>,
+    /// TPOT percentiles.
+    pub tpot: Option<PercentileSummary>,
+    /// End-to-end latency percentiles.
+    pub latency: Option<PercentileSummary>,
+    /// Operator-level reuse hit rate in `[0, 1]`.
+    pub op_reuse: f64,
+    /// Iteration-level reuse hit rate in `[0, 1]`.
+    pub iter_reuse: f64,
+}
+
+impl SweepRow {
+    fn collect(settings: Vec<(String, String)>, report: &AnyReport) -> Self {
+        let slo = report.slo();
+        let reuse = report.reuse();
+        Self {
+            settings,
+            shape: report.shape(),
+            completions: report.total_completions(),
+            makespan_s: report.makespan_s(),
+            gen_tput: report.generation_throughput(),
+            ttft: slo.ttft,
+            tpot: slo.tpot,
+            latency: slo.latency,
+            op_reuse: reuse.hit_rate(),
+            iter_reuse: reuse.iteration_hit_rate(),
+        }
+    }
+}
+
+/// The consolidated result of a sweep: one row per grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Axis keys, in column order.
+    pub axes: Vec<String>,
+    /// One row per point, grid order (innermost axis fastest).
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// The consolidated TSV: `point`, one column per axis, then the
+    /// metric columns (dashes for undefined percentiles, never NaN).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("point");
+        for axis in &self.axes {
+            out.push('\t');
+            out.push_str(axis);
+        }
+        out.push_str(
+            "\tshape\tcompleted\tmakespan_s\tgen_tput\
+             \tttft_p50\tttft_p95\tttft_p99\
+             \ttpot_p50\ttpot_p95\ttpot_p99\
+             \tlat_p50\tlat_p95\tlat_p99\top_reuse\titer_reuse\n",
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&i.to_string());
+            for (_, value) in &row.settings {
+                out.push('\t');
+                out.push_str(value);
+            }
+            out.push_str(&format!(
+                "\t{}\t{}\t{:.4}\t{:.2}\t{}\t{}\t{}\t{:.4}\t{:.4}\n",
+                row.shape,
+                row.completions,
+                row.makespan_s,
+                row.gen_tput,
+                PercentileSummary::tsv_fields_or_dashes(row.ttft),
+                PercentileSummary::tsv_fields_or_dashes(row.tpot),
+                PercentileSummary::tsv_fields_or_dashes(row.latency),
+                row.op_reuse,
+                row.iter_reuse,
+            ));
+        }
+        out
+    }
+
+    /// A short human summary of the grid.
+    pub fn summary(&self) -> String {
+        format!("sweep: {} points over [{}]", self.rows.len(), self.axes.join(", "),)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmss_sched::{Dataset, WorkloadSpec};
+
+    fn base() -> Scenario {
+        Scenario::model("gpt2").npus(1).tensor_parallel().workload(WorkloadSpec::Synthetic {
+            dataset: Dataset::Alpaca,
+            requests: 4,
+            rate_per_s: 50.0,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn cartesian_points_enumerate_in_odometer_order() {
+        let sweep = Sweep::new(base())
+            .axis("replicas", ["1", "2"])
+            .axis("routing", ["round-robin", "sticky"]);
+        assert_eq!(sweep.len(), 4);
+        let points = sweep.points().unwrap();
+        let labels: Vec<String> = points
+            .iter()
+            .map(|p| p.settings.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>().join("/"))
+            .collect();
+        assert_eq!(labels, ["1/round-robin", "1/sticky", "2/round-robin", "2/sticky"]);
+        assert_eq!(points[2].scenario.replicas, 2);
+    }
+
+    #[test]
+    fn no_axes_is_one_point() {
+        let sweep = Sweep::new(base());
+        assert_eq!(sweep.len(), 1);
+        let report = sweep.run().unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].completions, 4);
+    }
+
+    #[test]
+    fn bad_axis_key_fails_before_running() {
+        let sweep = Sweep::new(base()).axis("replcas", ["1"]);
+        assert!(matches!(sweep.points(), Err(ScenarioError::UnknownKey { .. })));
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let sweep = Sweep::new(base()).axis("replicas", Vec::<String>::new());
+        assert!(sweep.is_empty());
+        // Both entry points return the typed error — points() must not
+        // panic on the empty axis.
+        assert!(matches!(sweep.points(), Err(ScenarioError::InvalidValue { .. })));
+        assert!(matches!(sweep.run(), Err(ScenarioError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn sweep_runs_grid_and_emits_tsv() {
+        let report = Sweep::new(base())
+            .axis("replicas", ["1", "2"])
+            .axis("kv_bucket", ["1", "64"])
+            .run()
+            .unwrap();
+        assert_eq!(report.rows.len(), 4);
+        let tsv = report.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 5, "{tsv}");
+        assert!(lines[0].starts_with("point\treplicas\tkv_bucket\tshape"));
+        assert!(!tsv.contains("NaN"));
+        // Every point served the full trace.
+        for row in &report.rows {
+            assert_eq!(row.completions, 4);
+        }
+        assert!(report.summary().contains("4 points"));
+    }
+
+    #[test]
+    fn sweep_file_round_trip() {
+        let text = r#"
+[scenario]
+model = "gpt2"
+npus = 1
+parallel = "tensor"
+
+[scenario.workload]
+kind = "synthetic"
+requests = 4
+rate = 50.0
+seed = 11
+
+[sweep]
+replicas = [1, 2]
+routing = ["round-robin", "sticky"]
+"#;
+        let sweep = Sweep::from_toml(text).unwrap();
+        assert_eq!(sweep.base.model, "gpt2");
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep.axes[0].key, "replicas");
+        assert_eq!(sweep.axes[1].values, ["round-robin", "sticky"]);
+        // An unknown top-level table is schema drift.
+        assert!(matches!(
+            Sweep::from_toml("[scnario]\nmodel = \"gpt2\"\n"),
+            Err(ScenarioError::UnknownKey { .. })
+        ));
+    }
+}

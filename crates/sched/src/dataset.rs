@@ -99,6 +99,18 @@ pub enum Dataset {
 }
 
 impl Dataset {
+    /// The config-file/CLI spelling: `sharegpt`, `alpaca`, or
+    /// `fixed:INxOUT` (e.g. `fixed:512x64`).
+    pub fn spelling(&self) -> String {
+        match *self {
+            Dataset::ShareGpt => "sharegpt".to_owned(),
+            Dataset::Alpaca => "alpaca".to_owned(),
+            Dataset::Fixed { input_len, output_len } => {
+                format!("fixed:{input_len}x{output_len}")
+            }
+        }
+    }
+
     fn models(&self) -> (LengthModel, LengthModel) {
         match *self {
             Dataset::ShareGpt => {
@@ -109,6 +121,38 @@ impl Dataset {
                 (LengthModel::fixed(input_len), LengthModel::fixed(output_len))
             }
         }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spelling())
+    }
+}
+
+impl std::str::FromStr for Dataset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sharegpt" => return Ok(Dataset::ShareGpt),
+            "alpaca" => return Ok(Dataset::Alpaca),
+            _ => {}
+        }
+        if let Some(spec) = s.strip_prefix("fixed:") {
+            let (input, output) = spec.split_once('x').ok_or_else(|| {
+                format!("fixed dataset expects fixed:INxOUT (e.g. fixed:512x64), got '{s}'")
+            })?;
+            let input_len: usize =
+                input.parse().map_err(|e| format!("fixed input length: {e}"))?;
+            let output_len: usize =
+                output.parse().map_err(|e| format!("fixed output length: {e}"))?;
+            if input_len == 0 || output_len == 0 {
+                return Err("fixed dataset lengths must be positive".into());
+            }
+            return Ok(Dataset::Fixed { input_len, output_len });
+        }
+        Err(format!("unknown dataset '{s}' (expected sharegpt | alpaca | fixed:INxOUT)"))
     }
 }
 
@@ -296,6 +340,21 @@ mod tests {
             let err = a.arrival_ps.abs_diff(b.arrival_ps);
             assert!(err <= 1_000_000, "arrival error {err} ps");
         }
+    }
+
+    #[test]
+    fn dataset_spelling_round_trips() {
+        for d in [
+            Dataset::ShareGpt,
+            Dataset::Alpaca,
+            Dataset::Fixed { input_len: 512, output_len: 64 },
+        ] {
+            let parsed: Dataset = d.spelling().parse().unwrap();
+            assert_eq!(parsed, d);
+        }
+        assert!("nope".parse::<Dataset>().is_err());
+        assert!("fixed:512".parse::<Dataset>().is_err());
+        assert!("fixed:0x4".parse::<Dataset>().is_err());
     }
 
     #[test]

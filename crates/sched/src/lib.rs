@@ -5,6 +5,9 @@
 //!
 //! * [`Request`] / [`TraceGenerator`] — synthetic ShareGPT/Alpaca-like
 //!   request traces with Poisson arrivals, plus the artifact's TSV format.
+//! * [`Workload`] / [`WorkloadSpec`] — pluggable traffic sources as
+//!   declarative values (synthetic, bursty, trace file), so front-ends
+//!   take a workload instead of dispatching on CLI strings.
 //! * [`Scheduler`] — Orca-style iteration-level scheduling that re-forms
 //!   the batch each iteration, admits by KV-memory availability, and
 //!   evicts/reloads KV pages under pressure (vLLM-style demand paging via
@@ -40,6 +43,7 @@ mod kv_cache;
 mod memory;
 mod orca;
 mod request;
+mod workload;
 
 pub use batch::{partition_sub_batches, IterationBatch, PartitionCriteria};
 pub use dataset::{trace_from_tsv, trace_to_tsv, Dataset, LengthModel, TraceGenerator};
@@ -47,3 +51,4 @@ pub use kv_cache::{KvCache, KvCacheConfig, KvError, KvPolicy, KvTransfer};
 pub use memory::MemoryModel;
 pub use orca::{Scheduler, SchedulerConfig, SchedulerMode, SchedulingPolicy};
 pub use request::{Completion, Request, RequestState, TimePs};
+pub use workload::{bursty_trace, BurstyTraceSpec, Workload, WorkloadError, WorkloadSpec};

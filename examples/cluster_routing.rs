@@ -1,4 +1,5 @@
-//! Routing-policy shoot-out on a multi-replica cluster.
+//! Routing-policy shoot-out on a multi-replica cluster, driven through
+//! the `Scenario` builder.
 //!
 //! Serves the same bursty, size-skewed trace on a 4-replica GPT-2 cluster
 //! under each built-in routing policy and prints the cluster SLO metrics
@@ -6,17 +7,21 @@
 //! 4th request is ~10x heavier, so round-robin funnels all heavy
 //! requests to one replica while load-aware policies absorb them.
 //!
+//! The same experiment ships as a scenario file —
+//! `examples/scenarios/cluster_routing.toml` — and as a sweep over all
+//! policies (`examples/scenarios/sweep_routing.toml`); this example is
+//! the builder-API spelling of it.
+//!
 //! Run with `cargo run --release --example cluster_routing`.
 
 use llmservingsim::prelude::*;
 
 fn main() {
     let spec = BurstyTraceSpec::default();
-    let trace = bursty_trace(&spec);
     println!(
         "trace: {} requests in {} bursts, heavy request every {} \
          ({}in/{}out vs {}in/{}out tokens)\n",
-        trace.len(),
+        spec.total_requests(),
         spec.bursts,
         spec.heavy_every,
         spec.heavy.0,
@@ -30,22 +35,27 @@ fn main() {
         "policy", "ttft_p50", "ttft_p99", "lat_p99", "makespan", "imbalance"
     );
     for kind in RoutingPolicyKind::ALL {
-        let config = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
-        let cluster = ClusterConfig::new(4).routing(kind).seed(42);
-        let report = ClusterSimulator::new(config, cluster, trace.clone())
-            .expect("gpt2 fits a single Table-I NPU")
-            .run();
-        assert_eq!(report.total_completions(), trace.len());
-        let ttft = report.ttft_percentiles().expect("every run completes requests");
-        let lat = report.latency_percentiles().expect("every run completes requests");
+        // One scenario per policy: everything else identical.
+        let scenario = Scenario::model("gpt2")
+            .npus(1)
+            .tensor_parallel()
+            .replicas(4)
+            .routing(kind)
+            .seed(42)
+            .workload(WorkloadSpec::from(spec));
+        let report = scenario.run().expect("gpt2 fits a single Table-I NPU");
+        assert_eq!(report.total_completions(), spec.total_requests());
+        let cluster = report.as_cluster().expect("replicas(4) selects the cluster shape");
+        let ttft = cluster.ttft_percentiles().expect("every run completes requests");
+        let lat = cluster.latency_percentiles().expect("every run completes requests");
         println!(
             "{:<18} {:>8.3}s {:>8.3}s {:>8.3}s {:>9.3}s {:>10.2}",
             kind.to_string(),
             ttft.p50_s,
             ttft.p99_s,
             lat.p99_s,
-            report.makespan_s(),
-            report.load_imbalance(),
+            cluster.makespan_s(),
+            cluster.load_imbalance(),
         );
     }
 

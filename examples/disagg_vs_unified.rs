@@ -1,4 +1,5 @@
-//! Unified vs. disaggregated serving A/B on a prefill-heavy bursty trace.
+//! Unified vs. disaggregated serving A/B on a prefill-heavy bursty
+//! trace, driven through the `Scenario` builder.
 //!
 //! The same two GPT-2 engines serve the same trace twice: as a 2-replica
 //! *unified* cluster (each replica prefills and decodes), and as a 1+1
@@ -9,6 +10,11 @@
 //! disaggregated decode pool never sees a prefill, so its token cadence
 //! stays tight. A bandwidth-starved KV link shows the cost side of the
 //! trade: the transfer component of TTFT balloons.
+//!
+//! The two deployments are *one scenario with two shapes*: the A/B flips
+//! `disagg`/`replicas` on a shared base, exactly what
+//! `examples/scenarios/disagg_vs_unified.toml` spells with `--set`
+//! overrides.
 //!
 //! Run with `cargo run --release --example disagg_vs_unified`.
 
@@ -30,31 +36,36 @@ fn main() {
         spec.light.1,
     );
 
-    let replica = || SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+    // The shared base: same engine, same workload; only the shape flips.
+    let base = || {
+        Scenario::model("gpt2")
+            .npus(1)
+            .tensor_parallel()
+            .seed(42)
+            .workload(WorkloadSpec::from(spec))
+    };
 
     // A: unified — two replicas, each serving requests end to end.
-    let unified = ClusterSimulator::new(
-        replica(),
-        ClusterConfig::new(2).routing(RoutingPolicyKind::LeastOutstanding).seed(42),
-        trace.clone(),
-    )
-    .expect("gpt2 fits a single Table-I NPU")
-    .run();
-    assert_eq!(unified.total_completions(), trace.len());
-
-    // B: disaggregated — one prefill replica, one decode replica, CXL link.
-    let run_disagg = |gbps: f64| {
-        DisaggSimulator::new(
-            replica(),
-            replica(),
-            DisaggConfig::new(1, 1).kv_link_gbps(gbps).seed(42),
-            trace.clone(),
-        )
-        .expect("gpt2 fits a single Table-I NPU")
+    let unified_report = base()
+        .replicas(2)
+        .routing(RoutingPolicyKind::LeastOutstanding)
         .run()
+        .expect("gpt2 fits a single Table-I NPU");
+    assert_eq!(unified_report.total_completions(), trace.len());
+    let unified = unified_report.as_cluster().expect("replicas(2) is the cluster shape");
+
+    // B: disaggregated — one prefill replica, one decode replica.
+    let run_disagg = |gbps: f64| {
+        let report = base()
+            .disagg(1, 1)
+            .kv_link_gbps(gbps)
+            .run()
+            .expect("gpt2 fits a single Table-I NPU");
+        assert_eq!(report.total_completions(), trace.len());
+        report
     };
-    let disagg = run_disagg(128.0);
-    assert_eq!(disagg.total_completions(), trace.len());
+    let disagg_report = run_disagg(128.0);
+    let disagg = disagg_report.as_disagg().expect("disagg(1, 1) is the disagg shape");
 
     let u_tpot = unified.tpot_percentiles().expect("completions exist");
     let d_tpot = disagg.tpot_percentiles().expect("completions exist");
@@ -91,7 +102,8 @@ fn main() {
     );
 
     // The cost side: starve the KV link and watch the transfer component.
-    let starved = run_disagg(1.0);
+    let starved_report = run_disagg(1.0);
+    let starved = starved_report.as_disagg().expect("same shape as the fast link");
     let fast_split = split;
     let starved_split = starved.ttft_split().expect("completions exist");
     println!(

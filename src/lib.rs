@@ -16,6 +16,7 @@
 //! | [`core`] | `llmss-core` | engine stack, graph converter, serving simulator |
 //! | [`cluster`] | `llmss-cluster` | multi-replica fleet, routing policies, SLO metrics |
 //! | [`disagg`] | `llmss-disagg` | disaggregated prefill/decode pools with KV-transfer modeling |
+//! | [`scenario`] | `llmss-scenario` | the unified `Scenario` API: declarative experiments, scenario files, sweeps |
 //! | [`baselines`] | `llmss-baselines` | mNPUsim/GeneSys/NeuPIMs-like sims + reference systems |
 //!
 //! # Quickstart
@@ -42,18 +43,19 @@ pub use llmss_model as model;
 pub use llmss_net as net;
 pub use llmss_npu as npu;
 pub use llmss_pim as pim;
+pub use llmss_scenario as scenario;
 pub use llmss_sched as sched;
 
 /// Convenient single-import surface for the common workflow.
 pub mod prelude {
     pub use llmss_cluster::{
-        bursty_trace, BurstyTraceSpec, ClusterConfig, ClusterReport, ClusterSimulator,
-        ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind,
+        ClusterConfig, ClusterReport, ClusterSimulator, ReplicaRole, ReplicaSnapshot,
+        RoutingPolicy, RoutingPolicyKind,
     };
     pub use llmss_core::{
-        map_op, DeviceKind, EngineStack, ExecutionEngine, GraphConverter, KvManage,
-        ParallelismKind, ParallelismSpec, PercentileSummary, PimMode, ReuseCache,
-        ServingSimulator, SimConfig, SimReport,
+        map_op, DeviceKind, EngineStack, ExecutionEngine, GraphConverter, KvBucket, KvManage,
+        ParallelismKind, ParallelismSpec, PercentileSummary, PimMode, ReportOutput, ReuseCache,
+        ServingSimulator, SimConfig, SimReport, Simulate, SloSummary,
     };
     pub use llmss_disagg::{
         DisaggCompletion, DisaggConfig, DisaggReport, DisaggSimulator, PairingPolicyKind,
@@ -65,7 +67,11 @@ pub mod prelude {
     pub use llmss_net::{simulate_graph, ExecGraph, ExecPayload, LinkSpec, Topology};
     pub use llmss_npu::{NpuConfig, NpuEngine};
     pub use llmss_pim::{PimConfig, PimEngine};
+    pub use llmss_scenario::{
+        AnyReport, AnySimulator, Scenario, ScenarioError, ServingShape, Sweep,
+    };
     pub use llmss_sched::{
-        Dataset, KvCache, KvCacheConfig, Request, Scheduler, SchedulerConfig, TraceGenerator,
+        bursty_trace, BurstyTraceSpec, Dataset, KvCache, KvCacheConfig, Request, Scheduler,
+        SchedulerConfig, TraceGenerator, Workload, WorkloadSpec,
     };
 }

@@ -1,100 +1,44 @@
-//! The `llmservingsim` command-line simulator.
-//!
-//! Mirrors the original artifact's interface: the same 16 parameters
-//! (model, npu_num, max_batch, batch_delay, scheduling, parallel,
-//! npu_group, npu_mem, kv_manage, pim_type, sub_batch, dataset, network,
-//! output, gen, fast_run) and the same three outputs — a standard-output
-//! summary, `{output}-throughput.tsv`, and `{output}-simulation-time.tsv`.
+//! The `llmservingsim` command line: a thin driver over the library's
+//! `Scenario` API.
 //!
 //! ```text
-//! llmservingsim --model gpt3-7b --npu-num 4 --parallel tensor \
-//!               --dataset trace.tsv --output results/run1
+//! llmservingsim run examples/scenarios/quickstart.toml --replicas 4
+//! llmservingsim sweep examples/scenarios/sweep_routing.toml
+//! llmservingsim gen examples/scenarios/quickstart.toml --out trace.tsv
+//! llmservingsim --model gpt3-7b --npu-num 4 --parallel tensor   # legacy flags
 //! ```
+//!
+//! Every path — scenario files, `--set` overrides, the artifact's legacy
+//! flag set — builds the same [`Scenario`] value and runs through the
+//! same [`Simulate`](llmservingsim::core::Simulate) +
+//! [`ReportOutput`](llmservingsim::core::ReportOutput) surface, so the
+//! binary owns no config model of its own: a scenario file and the
+//! equivalent flag invocation produce byte-identical reports.
 
 use std::process::ExitCode;
 
-use llmservingsim::cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
-use llmservingsim::core::{ParallelismKind, ServingSimulator, SimConfig};
-use llmservingsim::disagg::{DisaggConfig, DisaggSimulator, PairingPolicyKind};
-use llmservingsim::model::ModelSpec;
-use llmservingsim::sched::{
-    trace_from_tsv, Dataset, Request, SchedulingPolicy, TraceGenerator,
-};
-
-/// Parsed command-line options (artifact parameter set).
-#[derive(Debug)]
-struct Options {
-    model: String,
-    npu_num: usize,
-    max_batch: usize,
-    batch_delay_ms: f64,
-    scheduling: String,
-    parallel: String,
-    npu_group: usize,
-    npu_mem_gib: Option<f64>,
-    kv_manage: String,
-    pim_type: String,
-    sub_batch: bool,
-    dataset: Option<String>,
-    synthetic: String,
-    n_requests: usize,
-    rate: f64,
-    seed: u64,
-    network_json: Option<String>,
-    output: String,
-    gen_only: bool,
-    fast_run: bool,
-    replicas: usize,
-    routing: RoutingPolicyKind,
-    /// `(prefill, decode)` pool sizes; `Some` enables disaggregated mode.
-    disagg: Option<(usize, usize)>,
-    kv_link_gbps: f64,
-    pairing: PairingPolicyKind,
-    kv_bucket: usize,
-    iter_memo: bool,
-}
-
-impl Default for Options {
-    fn default() -> Self {
-        Self {
-            model: "gpt2".into(),
-            npu_num: 16,
-            max_batch: 0,
-            batch_delay_ms: 0.0,
-            scheduling: "orca".into(),
-            parallel: "hybrid".into(),
-            npu_group: 1,
-            npu_mem_gib: None,
-            kv_manage: "vllm".into(),
-            pim_type: "none".into(),
-            sub_batch: false,
-            dataset: None,
-            synthetic: "alpaca".into(),
-            n_requests: 64,
-            rate: 4.0,
-            seed: 42,
-            network_json: None,
-            output: "output/llmservingsim".into(),
-            gen_only: false,
-            fast_run: false,
-            replicas: 1,
-            routing: RoutingPolicyKind::RoundRobin,
-            disagg: None,
-            kv_link_gbps: 128.0,
-            pairing: PairingPolicyKind::LeastKvLoad,
-            kv_bucket: 1,
-            iter_memo: true,
-        }
-    }
-}
+use llmservingsim::core::ReportOutput;
+use llmservingsim::scenario::{Scenario, Sweep};
+use llmservingsim::sched::{trace_to_tsv, Workload, WorkloadSpec};
 
 const USAGE: &str = "\
 llmservingsim — HW/SW co-simulation for LLM inference serving
 
 USAGE:
-  llmservingsim [OPTIONS]
+  llmservingsim run <scenario.{toml,json}> [OVERRIDES] [--output PREFIX]
+  llmservingsim sweep <sweep.toml> [--output PREFIX]
+  llmservingsim gen [<scenario.{toml,json}>] [OVERRIDES] [--out PATH]
+  llmservingsim [OVERRIDES]            (legacy, artifact-compatible)
 
-OPTIONS (artifact-compatible):
+COMMANDS:
+  run     build and run one scenario; flags below override file fields
+  sweep   run a cartesian parameter grid ([scenario] + [sweep] tables),
+          writing one consolidated row per point to {output}-sweep.tsv
+  gen     materialize the scenario's workload as a TSV trace
+
+OVERRIDES (each maps onto a scenario field):
+  --set KEY=VALUE       set any scenario key (see `Scenario::KEYS`;
+                        workload.* sub-keys included), repeatable
   --model NAME          gpt2 | gpt3-7b | gpt3-13b | gpt3-30b | gpt3-175b |
                         llama-7b | llama-13b | llama-30b        [gpt2]
   --npu-num N           number of NPU devices                   [16]
@@ -108,21 +52,20 @@ OPTIONS (artifact-compatible):
   --pim-type T          none | local | pool                     [none]
   --sub-batch           enable NeuPIMs-style sub-batch interleaving
   --dataset PATH        request trace TSV (input, output, arrival_ms)
-  --synthetic D         sharegpt | alpaca (when no --dataset)   [alpaca]
+  --synthetic D         sharegpt | alpaca | fixed:INxOUT (when no
+                        --dataset)                              [alpaca]
   --n-requests N        synthetic request count                 [64]
   --rate R              synthetic Poisson rate, req/s           [4]
-  --seed N              synthetic trace seed                    [42]
+  --seed N              trace + routing seed                    [42]
   --network PATH        NPU hardware config JSON (Table-I default)
   --output PREFIX       output file prefix       [output/llmservingsim]
   --gen                 skip the initiation phase (prompts pre-cached)
   --fast-run            alias of computation reuse (always on unless
                         --no-reuse)
   --no-reuse            disable computation-reuse caches
-  --kv-bucket N         KV-length bucket for iteration memoization, in
-                        tokens; 1 = exact (bit-identical reports),
-                        larger = bounded fidelity for more reuse   [1]
+  --kv-bucket N         KV bucket for iteration memoization: token
+                        count (1 = exact) or `adaptive`         [1]
   --no-iter-memo        disable whole-iteration outcome memoization
-                        (op-level reuse caches stay on)
   -h, --help            show this help
 
 CLUSTER MODE (multi-replica serving behind a router):
@@ -135,256 +78,272 @@ DISAGGREGATED MODE (prefill pool -> KV transfer -> decode pool):
   --kv-link-gbps F      inter-pool KV-link bandwidth, GB/s      [128]
   --pairing P           decode-replica pairing at prefill completion:
                         least-kv | least-outstanding | sticky [least-kv]
+
+SCENARIO FILES:
+  Declarative TOML/JSON with the same schema as --set keys; see
+  examples/scenarios/ and the README's \"Scenario files & sweeps\".
 ";
 
-fn parse_args() -> Result<(Options, bool), String> {
-    let mut opts = Options::default();
-    let mut reuse = true;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+/// Flag values that do not live on the scenario itself.
+#[derive(Debug, Default)]
+struct CliExtras {
+    /// `--output` prefix for run/sweep artifacts.
+    output: Option<String>,
+    /// `--out` path for `gen`.
+    out: Option<String>,
+    /// Legacy workload knobs, resolved after all flags are seen so the
+    /// artifact's order-independent `--dataset`-beats-`--synthetic`
+    /// semantics hold.
+    dataset_path: Option<String>,
+    synthetic: Option<String>,
+    n_requests: Option<String>,
+    rate: Option<String>,
+}
+
+/// Applies one CLI surface — legacy flags, `run` overrides, `gen`
+/// overrides — onto a scenario. Every flag funnels into
+/// [`Scenario::set`], so the flag schema cannot drift from the file
+/// schema.
+fn apply_flags(scenario: &mut Scenario, args: &[String]) -> Result<CliExtras, String> {
+    let mut extras = CliExtras::default();
+    let mut i = 0;
+    let set = |scenario: &mut Scenario, key: &str, value: &str| {
+        scenario.set(key, value).map_err(|e| e.to_string())
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
         let mut value = |what: &str| -> Result<String, String> {
-            args.next().ok_or_else(|| format!("{what} requires a value"))
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{what} requires a value"))
         };
-        match arg.as_str() {
-            "--model" => opts.model = value("--model")?,
+        match arg {
+            "--set" => {
+                let pair = value("--set")?;
+                let (key, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects KEY=VALUE, got '{pair}'"))?;
+                set(scenario, key.trim(), v.trim())?;
+            }
+            "--model" => {
+                let v = value(arg)?;
+                set(scenario, "model", &v)?;
+            }
             "--npu-num" => {
-                opts.npu_num = value("--npu-num")?.parse().map_err(|e| format!("{e}"))?
+                let v = value(arg)?;
+                set(scenario, "npus", &v)?;
             }
             "--max-batch" => {
-                opts.max_batch = value("--max-batch")?.parse().map_err(|e| format!("{e}"))?
+                let v = value(arg)?;
+                set(scenario, "max_batch", &v)?;
             }
             "--batch-delay" => {
-                opts.batch_delay_ms =
-                    value("--batch-delay")?.parse().map_err(|e| format!("{e}"))?
+                let v = value(arg)?;
+                set(scenario, "batch_delay_ms", &v)?;
             }
-            "--scheduling" => opts.scheduling = value("--scheduling")?,
-            "--parallel" => opts.parallel = value("--parallel")?,
+            "--scheduling" => {
+                let v = value(arg)?;
+                set(scenario, "scheduling", &v)?;
+            }
+            "--parallel" => {
+                let v = value(arg)?;
+                set(scenario, "parallel", &v)?;
+            }
             "--npu-group" => {
-                opts.npu_group = value("--npu-group")?.parse().map_err(|e| format!("{e}"))?
+                let v = value(arg)?;
+                set(scenario, "npu_group", &v)?;
             }
             "--npu-mem" => {
-                opts.npu_mem_gib =
-                    Some(value("--npu-mem")?.parse().map_err(|e| format!("{e}"))?)
+                let v = value(arg)?;
+                set(scenario, "npu_mem_gib", &v)?;
             }
-            "--kv-manage" => opts.kv_manage = value("--kv-manage")?,
-            "--pim-type" => opts.pim_type = value("--pim-type")?,
-            "--sub-batch" => opts.sub_batch = true,
-            "--dataset" => opts.dataset = Some(value("--dataset")?),
-            "--synthetic" => opts.synthetic = value("--synthetic")?,
-            "--n-requests" => {
-                opts.n_requests = value("--n-requests")?.parse().map_err(|e| format!("{e}"))?
+            "--kv-manage" => {
+                let v = value(arg)?;
+                set(scenario, "kv_manage", &v)?;
             }
-            "--rate" => opts.rate = value("--rate")?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--network" => opts.network_json = Some(value("--network")?),
-            "--output" => opts.output = value("--output")?,
+            "--pim-type" => {
+                let v = value(arg)?;
+                set(scenario, "pim", &v)?;
+            }
+            "--sub-batch" => set(scenario, "sub_batch", "true")?,
+            "--dataset" => extras.dataset_path = Some(value(arg)?),
+            "--synthetic" => extras.synthetic = Some(value(arg)?),
+            "--n-requests" => extras.n_requests = Some(value(arg)?),
+            "--rate" => extras.rate = Some(value(arg)?),
+            "--seed" => {
+                let v = value(arg)?;
+                set(scenario, "seed", &v)?;
+            }
+            "--network" => {
+                let v = value(arg)?;
+                set(scenario, "network", &v)?;
+            }
+            "--output" => extras.output = Some(value(arg)?),
+            "--out" => extras.out = Some(value(arg)?),
+            "--gen" => set(scenario, "gen_only", "true")?,
+            "--fast-run" => {} // reuse is on by default; kept for artifact compat
+            "--no-reuse" => set(scenario, "reuse", "false")?,
+            "--kv-bucket" => {
+                let v = value(arg)?;
+                set(scenario, "kv_bucket", &v)?;
+            }
+            "--no-iter-memo" => set(scenario, "iteration_memo", "false")?,
             "--replicas" => {
-                opts.replicas = value("--replicas")?.parse().map_err(|e| format!("{e}"))?;
-                if opts.replicas == 0 {
-                    return Err("--replicas must be at least 1".into());
-                }
+                let v = value(arg)?;
+                set(scenario, "replicas", &v)?;
             }
-            "--routing" => opts.routing = value("--routing")?.parse()?,
+            "--routing" => {
+                let v = value(arg)?;
+                set(scenario, "routing", &v)?;
+            }
             "--disagg" => {
-                let spec = value("--disagg")?;
-                let (p, d) = spec
-                    .split_once('x')
-                    .ok_or_else(|| format!("--disagg expects PxD (e.g. 2x2), got '{spec}'"))?;
-                let p: usize = p.parse().map_err(|e| format!("--disagg prefill: {e}"))?;
-                let d: usize = d.parse().map_err(|e| format!("--disagg decode: {e}"))?;
-                if p == 0 || d == 0 {
-                    return Err("--disagg pools must both be at least 1".into());
-                }
-                opts.disagg = Some((p, d));
+                let v = value(arg)?;
+                set(scenario, "disagg", &v)?;
             }
             "--kv-link-gbps" => {
-                opts.kv_link_gbps =
-                    value("--kv-link-gbps")?.parse().map_err(|e| format!("{e}"))?;
-                if opts.kv_link_gbps <= 0.0 {
-                    return Err("--kv-link-gbps must be positive".into());
-                }
+                let v = value(arg)?;
+                set(scenario, "kv_link_gbps", &v)?;
             }
-            "--pairing" => opts.pairing = value("--pairing")?.parse()?,
-            "--kv-bucket" => {
-                opts.kv_bucket = value("--kv-bucket")?.parse().map_err(|e| format!("{e}"))?;
-                if opts.kv_bucket == 0 {
-                    return Err("--kv-bucket must be at least 1 token".into());
-                }
+            "--pairing" => {
+                let v = value(arg)?;
+                set(scenario, "pairing", &v)?;
             }
-            "--no-iter-memo" => opts.iter_memo = false,
-            "--gen" => opts.gen_only = true,
-            "--fast-run" => opts.fast_run = true,
-            "--no-reuse" => reuse = false,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option: {other}")),
         }
+        i += 1;
     }
-    Ok((opts, reuse))
-}
-
-fn build_config(opts: &Options, reuse: bool) -> Result<SimConfig, String> {
-    let model = ModelSpec::by_name(&opts.model)
-        .ok_or_else(|| format!("unknown model '{}'", opts.model))?;
-    let mut cfg = SimConfig::new(model);
-    cfg.npu_num = opts.npu_num;
-    cfg.max_batch = opts.max_batch;
-    cfg.batch_delay_ms = opts.batch_delay_ms;
-    cfg.npu_group = opts.npu_group;
-    cfg.npu_mem_gib = opts.npu_mem_gib;
-    cfg.sub_batch = opts.sub_batch;
-    cfg = cfg.reuse(reuse).iteration_memo(opts.iter_memo).kv_bucket(opts.kv_bucket);
-    cfg.scheduling = match opts.scheduling.as_str() {
-        "orca" => SchedulingPolicy::IterationLevel,
-        "request" => SchedulingPolicy::RequestLevel,
-        other => return Err(format!("unknown scheduling '{other}'")),
-    };
-    cfg.parallel = match opts.parallel.as_str() {
-        "tensor" => ParallelismKind::Tensor,
-        "pipeline" => ParallelismKind::Pipeline,
-        "hybrid" => ParallelismKind::Hybrid,
-        other => return Err(format!("unknown parallelism '{other}'")),
-    };
-    cfg = match opts.kv_manage.as_str() {
-        "vllm" => cfg,
-        "max" => cfg.kv_max_len(),
-        other => return Err(format!("unknown kv_manage '{other}'")),
-    };
-    cfg = match opts.pim_type.as_str() {
-        "none" => cfg,
-        "local" => cfg.pim_local(),
-        "pool" => cfg.pim_pool(opts.npu_num),
-        other => return Err(format!("unknown pim_type '{other}'")),
-    };
-    if let Some(path) = &opts.network_json {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        cfg.npu_config = llmservingsim::npu::NpuConfig::from_json(&json)?;
-    }
-    Ok(cfg)
-}
-
-fn load_trace(opts: &Options) -> Result<Vec<Request>, String> {
-    let mut trace = match &opts.dataset {
-        Some(path) => {
-            let tsv = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            trace_from_tsv(&tsv)?
-        }
-        None => {
-            let dataset = match opts.synthetic.as_str() {
-                "sharegpt" => Dataset::ShareGpt,
-                "alpaca" => Dataset::Alpaca,
-                other => return Err(format!("unknown synthetic dataset '{other}'")),
-            };
-            TraceGenerator::new(dataset, opts.seed)
-                .rate_per_s(opts.rate)
-                .generate(opts.n_requests)
-        }
-    };
-    if opts.gen_only {
-        // The artifact's `gen` flag skips the initiation phase: model the
-        // prompts as already cached by shrinking them to a single token.
-        for r in &mut trace {
-            *r = Request::new(r.id, 1, r.output_len, r.arrival_ps);
+    // Resolve the legacy workload knobs order-independently: an explicit
+    // trace file wins; synthetic knobs otherwise apply on a synthetic
+    // workload (switching the kind if the scenario had something else).
+    if let Some(path) = extras.dataset_path.clone() {
+        scenario.set("workload.kind", "trace").map_err(|e| e.to_string())?;
+        scenario.set("workload.path", &path).map_err(|e| e.to_string())?;
+    } else {
+        let knobs = [
+            ("dataset", extras.synthetic.clone()),
+            ("requests", extras.n_requests.clone()),
+            ("rate", extras.rate.clone()),
+        ];
+        if knobs.iter().any(|(_, v)| v.is_some()) {
+            if !matches!(scenario.workload, WorkloadSpec::Synthetic { .. }) {
+                scenario.set("workload.kind", "synthetic").map_err(|e| e.to_string())?;
+                scenario.workload.reseed(scenario.seed);
+            }
+            for (key, v) in knobs.into_iter() {
+                if let Some(v) = v {
+                    scenario.set(&format!("workload.{key}"), &v).map_err(|e| e.to_string())?;
+                }
+            }
         }
     }
-    Ok(trace)
+    Ok(extras)
 }
 
-fn ensure_output_dir(output: &str) -> Result<(), String> {
-    if let Some(dir) = std::path::Path::new(output).parent() {
+/// Builds, runs, and writes one scenario (the `run` and legacy paths).
+fn run_scenario(scenario: &Scenario, output: &str) -> Result<(), String> {
+    println!("llmservingsim: {}", scenario.describe());
+    let report = scenario.run().map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    let paths = report.write_artifacts(output).map_err(|e| e.to_string())?;
+    for path in paths {
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("run needs a scenario file: llmservingsim run <scenario.toml>")?;
+    let mut scenario = Scenario::from_path(path).map_err(|e| e.to_string())?;
+    let extras = apply_flags(&mut scenario, &args[1..])?;
+    run_scenario(&scenario, extras.output.as_deref().unwrap_or("output/llmservingsim"))
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("sweep needs a sweep file: llmservingsim sweep <sweep.toml>")?;
+    let mut output = "output/llmservingsim".to_owned();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--output" => {
+                i += 1;
+                output = args.get(i).cloned().ok_or("--output requires a value")?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown sweep option: {other}")),
+        }
+        i += 1;
+    }
+    let sweep = Sweep::from_path(path).map_err(|e| e.to_string())?;
+    println!(
+        "llmservingsim sweep: {} points over [{}] (base: {})",
+        sweep.len(),
+        sweep.axes.iter().map(|a| a.key.as_str()).collect::<Vec<_>>().join(", "),
+        sweep.base.describe(),
+    );
+    let report = sweep.run().map_err(|e| e.to_string())?;
+    let tsv = report.to_tsv();
+    print!("{tsv}");
+    if let Some(dir) = std::path::Path::new(&output).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         }
     }
+    let path = format!("{output}-sweep.tsv");
+    std::fs::write(&path, tsv).map_err(|e| e.to_string())?;
+    println!("wrote {path}");
     Ok(())
 }
 
-fn run_single(cfg: SimConfig, trace: Vec<Request>, output: &str) -> Result<(), String> {
-    let report = ServingSimulator::new(cfg, trace).map_err(|e| e.to_string())?.run();
-
-    println!("{}", report.summary());
-
-    ensure_output_dir(output)?;
-    let tput_path = format!("{output}-throughput.tsv");
-    std::fs::write(&tput_path, report.throughput_tsv(1.0)).map_err(|e| e.to_string())?;
-    let time_path = format!("{output}-simulation-time.tsv");
-    std::fs::write(&time_path, report.wall.to_tsv()).map_err(|e| e.to_string())?;
-    println!("wrote {tput_path}");
-    println!("wrote {time_path}");
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (mut scenario, rest) = match args.first().filter(|a| !a.starts_with('-')) {
+        Some(path) => (Scenario::from_path(path).map_err(|e| e.to_string())?, &args[1..]),
+        None => (Scenario::default(), args),
+    };
+    let extras = apply_flags(&mut scenario, rest)?;
+    let trace = scenario.workload.materialize().map_err(|e| e.to_string())?;
+    let tsv = trace_to_tsv(&trace);
+    match extras.out.or(extras.output) {
+        Some(path) => {
+            std::fs::write(&path, tsv).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} requests to {path}", trace.len());
+        }
+        None => print!("{tsv}"),
+    }
     Ok(())
 }
 
-fn run_disagg(
-    cfg: SimConfig,
-    trace: Vec<Request>,
-    opts: &Options,
-    pools: (usize, usize),
-) -> Result<(), String> {
-    let disagg_cfg = DisaggConfig::new(pools.0, pools.1)
-        .kv_link_gbps(opts.kv_link_gbps)
-        .routing(opts.routing)
-        .pairing(opts.pairing)
-        .seed(opts.seed);
-    let report = DisaggSimulator::new(cfg.clone(), cfg, disagg_cfg, trace)
-        .map_err(|e| e.to_string())?
-        .run();
-
-    println!("{}", report.summary());
-
-    ensure_output_dir(&opts.output)?;
-    let pool_path = format!("{}-disagg.tsv", opts.output);
-    std::fs::write(&pool_path, report.to_tsv()).map_err(|e| e.to_string())?;
-    let metrics_path = format!("{}-disagg-metrics.tsv", opts.output);
-    std::fs::write(&metrics_path, report.metrics_tsv()).map_err(|e| e.to_string())?;
-    println!("wrote {pool_path}");
-    println!("wrote {metrics_path}");
-    Ok(())
-}
-
-fn run_cluster(cfg: SimConfig, trace: Vec<Request>, opts: &Options) -> Result<(), String> {
-    let cluster_cfg = ClusterConfig::new(opts.replicas).routing(opts.routing).seed(opts.seed);
-    let report =
-        ClusterSimulator::new(cfg, cluster_cfg, trace).map_err(|e| e.to_string())?.run();
-
-    println!("{}", report.summary());
-
-    ensure_output_dir(&opts.output)?;
-    let cluster_path = format!("{}-cluster.tsv", opts.output);
-    std::fs::write(&cluster_path, report.to_tsv()).map_err(|e| e.to_string())?;
-    println!("wrote {cluster_path}");
-    Ok(())
+/// The artifact-compatible flag surface: no subcommand, defaults plus
+/// overrides — now a one-line shim over the scenario path.
+fn cmd_legacy(args: &[String]) -> Result<(), String> {
+    let mut scenario = Scenario::default();
+    let extras = apply_flags(&mut scenario, args)?;
+    run_scenario(&scenario, extras.output.as_deref().unwrap_or("output/llmservingsim"))
 }
 
 fn run() -> Result<(), String> {
-    let (opts, mut reuse) = parse_args()?;
-    if opts.fast_run {
-        reuse = true;
-    }
-    let cfg = build_config(&opts, reuse)?;
-    let trace = load_trace(&opts)?;
-    println!(
-        "llmservingsim: model={} npus={} parallel={:?} pim={:?} requests={} replicas={}",
-        cfg.model.name,
-        cfg.npu_num,
-        cfg.parallel,
-        cfg.pim_mode,
-        trace.len(),
-        opts.replicas,
-    );
-
-    if let Some(pools) = opts.disagg {
-        if opts.replicas > 1 {
-            return Err("--disagg and --replicas are mutually exclusive".into());
-        }
-        run_disagg(cfg, trace, &opts, pools)
-    } else if opts.replicas > 1 {
-        run_cluster(cfg, trace, &opts)
-    } else {
-        run_single(cfg, trace, &opts.output)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        // No arguments: the artifact's default run (legacy behavior).
+        None => cmd_legacy(&args),
+        Some(first) if first.starts_with('-') => cmd_legacy(&args),
+        Some(other) => Err(format!(
+            "unknown command '{other}' (expected run | sweep | gen, or legacy flags)"
+        )),
     }
 }
 

@@ -1,0 +1,304 @@
+//! The `Scenario` API surface: serde round-trips, builder-chain
+//! properties, and bit-identical equivalence between scenario-driven and
+//! legacy-constructor runs across all three serving shapes.
+
+use proptest::prelude::*;
+
+use llmservingsim::cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
+use llmservingsim::core::{KvBucket, ReportOutput, ServingSimulator, SimConfig, Simulate};
+use llmservingsim::disagg::{DisaggConfig, DisaggSimulator, PairingPolicyKind};
+use llmservingsim::model::ModelSpec;
+use llmservingsim::scenario::{Scenario, ScenarioError, Sweep};
+use llmservingsim::sched::{Dataset, TraceGenerator, WorkloadSpec};
+
+fn synthetic(requests: usize, rate: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::Synthetic { dataset: Dataset::Alpaca, requests, rate_per_s: rate, seed }
+}
+
+/// The deterministic artifacts of a report: everything except the
+/// wall-clock `-simulation-time.tsv` (which legitimately differs between
+/// any two runs).
+fn deterministic_artifacts(report: &impl ReportOutput) -> Vec<(&'static str, String)> {
+    report
+        .artifacts()
+        .into_iter()
+        .filter(|(suffix, _)| *suffix != "-simulation-time.tsv")
+        .collect()
+}
+
+#[test]
+fn scenario_matches_legacy_unified_run_bit_identically() {
+    let scenario = Scenario::model("gpt2")
+        .npus(1)
+        .tensor_parallel()
+        .max_batch(16)
+        .workload(synthetic(32, 40.0, 42));
+    let via_scenario = scenario.run().unwrap();
+
+    // The legacy path: hand-built SimConfig + TraceGenerator.
+    let cfg = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel().max_batch(16);
+    let trace = TraceGenerator::new(Dataset::Alpaca, 42).rate_per_s(40.0).generate(32);
+    let legacy = ServingSimulator::new(cfg, trace).unwrap().run();
+
+    assert_eq!(
+        deterministic_artifacts(&via_scenario),
+        deterministic_artifacts(&legacy),
+        "scenario and legacy unified runs must write byte-equal reports"
+    );
+}
+
+#[test]
+fn scenario_matches_legacy_cluster_run_bit_identically() {
+    let scenario = Scenario::model("gpt2")
+        .npus(1)
+        .tensor_parallel()
+        .replicas(3)
+        .routing(RoutingPolicyKind::PowerOfTwoChoices)
+        .seed(7)
+        .workload(synthetic(24, 100.0, 7));
+    let via_scenario = scenario.run().unwrap();
+
+    let cfg = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+    let cluster = ClusterConfig::new(3).routing(RoutingPolicyKind::PowerOfTwoChoices).seed(7);
+    let trace = TraceGenerator::new(Dataset::Alpaca, 7).rate_per_s(100.0).generate(24);
+    let legacy = ClusterSimulator::new(cfg, cluster, trace).unwrap().run();
+
+    assert_eq!(deterministic_artifacts(&via_scenario), deterministic_artifacts(&legacy));
+}
+
+#[test]
+fn scenario_matches_legacy_disagg_run_bit_identically() {
+    let scenario = Scenario::model("gpt2")
+        .npus(1)
+        .tensor_parallel()
+        .disagg(1, 1)
+        .kv_link_gbps(32.0)
+        .pairing(PairingPolicyKind::Sticky)
+        .seed(9)
+        .workload(synthetic(16, 200.0, 9));
+    let via_scenario = scenario.run().unwrap();
+
+    let cfg = SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel();
+    let disagg = DisaggConfig::new(1, 1)
+        .kv_link_gbps(32.0)
+        .routing(RoutingPolicyKind::RoundRobin)
+        .pairing(PairingPolicyKind::Sticky)
+        .seed(9);
+    let trace = TraceGenerator::new(Dataset::Alpaca, 9).rate_per_s(200.0).generate(16);
+    let legacy = DisaggSimulator::new(cfg.clone(), cfg, disagg, trace).unwrap().run();
+
+    assert_eq!(deterministic_artifacts(&via_scenario), deterministic_artifacts(&legacy));
+}
+
+#[test]
+fn checked_in_scenario_files_parse_build_and_round_trip() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/scenarios exists") {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.ends_with(".toml") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        if name.starts_with("sweep_") {
+            let sweep = Sweep::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!sweep.is_empty(), "{name}: empty grid");
+            // Every point must validate without running it.
+            for point in sweep.points().unwrap_or_else(|e| panic!("{name}: {e}")) {
+                point.scenario.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+        } else {
+            // Schema-drift gate: parse -> build -> re-serialize must be
+            // lossless, and the canonical text must be stable.
+            let scenario = Scenario::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            scenario.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let canonical = scenario.to_toml();
+            let back = Scenario::from_toml(&canonical).unwrap();
+            assert_eq!(back, scenario, "{name}: TOML round trip is lossy");
+            assert_eq!(back.to_toml(), canonical, "{name}: canonical form unstable");
+            let json_back = Scenario::from_json(&scenario.to_json()).unwrap();
+            assert_eq!(json_back, scenario, "{name}: JSON round trip is lossy");
+        }
+    }
+    assert!(seen >= 5, "expected the checked-in scenario corpus, found {seen} files");
+}
+
+#[test]
+fn simulate_trait_drives_any_shape_through_one_surface() {
+    // Push the same trace into each shape through the Simulate trait
+    // only — no shape-specific calls — and drain it. Pushed ids start at
+    // 100 so they never collide with the scenario's own workload.
+    let trace: Vec<_> = TraceGenerator::new(Dataset::Alpaca, 3)
+        .rate_per_s(80.0)
+        .generate(6)
+        .into_iter()
+        .map(|r| {
+            llmservingsim::sched::Request::new(
+                100 + r.id,
+                r.input_len,
+                r.output_len,
+                r.arrival_ps,
+            )
+        })
+        .collect();
+    let scenarios = [
+        Scenario::model("gpt2").npus(1).tensor_parallel().workload(synthetic(1, 1.0, 0)),
+        Scenario::model("gpt2")
+            .npus(1)
+            .tensor_parallel()
+            .replicas(2)
+            .workload(synthetic(1, 1.0, 0)),
+        Scenario::model("gpt2")
+            .npus(1)
+            .tensor_parallel()
+            .disagg(1, 1)
+            .workload(synthetic(1, 1.0, 0)),
+    ];
+    for scenario in scenarios {
+        let mut sim = scenario.build().unwrap();
+        for r in &trace {
+            sim.push_request(*r);
+        }
+        assert!(sim.next_ready_ps().is_some());
+        while sim.step() {}
+        // 6 pushed + 1 from the scenario's own workload.
+        assert_eq!(sim.completed_requests(), 7, "{}", scenario.shape());
+        let report = sim.finalize();
+        assert_eq!(report.total_completions(), 7);
+        assert!(report.makespan_ps() > 0);
+    }
+}
+
+#[test]
+fn adaptive_bucket_scenario_runs_and_reports_annealed_bucket() {
+    let scenario = Scenario::model("gpt2")
+        .npus(1)
+        .tensor_parallel()
+        .max_batch(16)
+        .kv_bucket(KvBucket::Adaptive {
+            min_tokens: 1,
+            max_tokens: 64,
+            target_hit_rate: 0.8,
+            window: 32,
+        })
+        .workload(WorkloadSpec::Bursty {
+            spec: llmservingsim::sched::BurstyTraceSpec {
+                bursts: 2,
+                burst_size: 24,
+                heavy_every: 0,
+                heavy_frac: 0.9,
+                heavy: (32, 128),
+                light: (32, 24),
+                poisson_rate_per_s: 5_000.0,
+                seed: 7,
+                ..Default::default()
+            },
+        });
+    let report = scenario.run().unwrap();
+    assert_eq!(report.total_completions(), 48);
+    let reuse = report.reuse();
+    assert!(reuse.kv_bucket_end > 1, "adaptive bucket never annealed");
+    assert!(reuse.kv_bucket_end <= 64, "drift budget exceeded");
+}
+
+#[test]
+fn typed_errors_cover_the_failure_modes() {
+    // Unknown model.
+    assert!(matches!(Scenario::model("nope").run(), Err(ScenarioError::UnknownModel { .. })));
+    // Conflicting shape flags.
+    assert!(matches!(
+        Scenario::model("gpt2").replicas(2).disagg(1, 1).run(),
+        Err(ScenarioError::Conflict { .. })
+    ));
+    // Unrealizable layout (16 stages on 12 layers).
+    assert!(matches!(
+        Scenario::model("gpt2").npus(16).pipeline_parallel().run(),
+        Err(ScenarioError::Config(_))
+    ));
+    // Unreadable workload trace.
+    let missing = Scenario::model("gpt2")
+        .npus(1)
+        .tensor_parallel()
+        .workload(WorkloadSpec::TraceFile { path: "/nonexistent/trace.tsv".into() });
+    assert!(matches!(missing.run(), Err(ScenarioError::Workload(_))));
+    // Unknown keys and values from the string surface.
+    let mut s = Scenario::default();
+    assert!(matches!(s.set("replcas", "2"), Err(ScenarioError::UnknownKey { .. })));
+    assert!(matches!(s.set("parallel", "diag"), Err(ScenarioError::UnknownValue { .. })));
+}
+
+/// A random-but-valid builder chain: any combination this strategy
+/// produces must validate, build, and (for small workloads) run to
+/// completion. This is the "any valid chain is runnable" contract.
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (
+            0usize..3,  // parallelism flavor
+            1usize..3,  // npu group count (hybrid splits)
+            0usize..16, // max_batch
+        ),
+        (
+            0usize..4, // shape: 0-1 single, 2 cluster, 3 disagg
+            1usize..3, // replicas / pool size
+            0usize..5, // routing policy index
+        ),
+        (
+            1usize..5, // requests
+            0u64..64,  // seed
+            0usize..3, // kv bucket flavor: exact / fixed 32 / adaptive
+        ),
+    )
+        .prop_map(
+            |((par, groups, max_batch), (shape, fleet, route), (requests, seed, bucket))| {
+                // npus chosen so every parallelism flavor is realizable
+                // on gpt2 (12 layers).
+                let npus = match par {
+                    0 => 2,
+                    1 => 4,
+                    _ => 4,
+                };
+                let mut s = Scenario::model("gpt2")
+                    .npus(npus)
+                    .max_batch(max_batch)
+                    .seed(seed)
+                    .workload(synthetic(requests, 100.0, seed));
+                s = match par {
+                    0 => s.tensor_parallel(),
+                    1 => s.pipeline_parallel(),
+                    _ => s.hybrid_parallel(groups.min(npus)),
+                };
+                s = match shape {
+                    2 => s.replicas(fleet + 1),
+                    3 => s.disagg(fleet, fleet),
+                    _ => s,
+                };
+                s = s.routing(RoutingPolicyKind::ALL[route]);
+                match bucket {
+                    0 => s,
+                    1 => s.kv_bucket(32usize),
+                    _ => s.kv_bucket(KvBucket::adaptive()),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid builder chain produces a runnable scenario whose report
+    /// serves the whole workload, and whose file form round-trips.
+    #[test]
+    fn valid_builder_chains_are_runnable_and_serializable(scenario in arb_scenario()) {
+        prop_assert!(scenario.validate().is_ok(), "validate failed: {scenario:?}");
+        let report = scenario.run().unwrap();
+        let expected = match &scenario.workload {
+            WorkloadSpec::Synthetic { requests, .. } => *requests,
+            _ => unreachable!("strategy emits synthetic workloads"),
+        };
+        prop_assert_eq!(report.total_completions(), expected);
+        let back = Scenario::from_toml(&scenario.to_toml()).unwrap();
+        prop_assert_eq!(back, scenario);
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end CLI equivalence: the checked-in scenario files must
+//! reproduce their documented legacy-flag invocations bit-identically
+//! (report files byte-equal), and the subcommands must behave.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_llmservingsim"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llmss-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn scenario_path(name: &str) -> String {
+    format!("{}/examples/scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "llmservingsim {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Report files under `prefix`, excluding the wall-clock breakdown
+/// (nondeterministic by nature), as `(suffix, bytes)` sorted by name.
+fn report_files(dir: &Path, prefix: &str) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if let Some(suffix) = name.strip_prefix(prefix) {
+            if suffix != "-simulation-time.tsv" {
+                out.push((suffix.to_owned(), std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    out.sort();
+    assert!(!out.is_empty(), "no report files under {prefix} in {dir:?}");
+    out
+}
+
+/// Runs a checked-in scenario file and its documented legacy-flag
+/// equivalent, asserting byte-equal reports.
+fn assert_file_matches_flags(tag: &str, scenario: &str, flags: &[&str]) {
+    let dir = tempdir(tag);
+    let file_prefix = dir.join("file").to_string_lossy().into_owned();
+    run_ok(&["run", &scenario_path(scenario), "--output", &file_prefix]);
+    let legacy_prefix = dir.join("legacy").to_string_lossy().into_owned();
+    let mut args: Vec<&str> = flags.to_vec();
+    args.extend_from_slice(&["--output", &legacy_prefix]);
+    run_ok(&args);
+
+    let from_file = report_files(&dir, "file");
+    let from_flags = report_files(&dir, "legacy");
+    assert_eq!(
+        from_file.iter().map(|(s, _)| s.as_str()).collect::<Vec<_>>(),
+        from_flags.iter().map(|(s, _)| s.as_str()).collect::<Vec<_>>(),
+        "{scenario}: artifact sets differ"
+    );
+    for ((suffix, a), (_, b)) in from_file.iter().zip(&from_flags) {
+        assert_eq!(a, b, "{scenario}: {suffix} differs between file and flags");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quickstart_scenario_file_equals_legacy_flags() {
+    assert_file_matches_flags(
+        "single",
+        "quickstart.toml",
+        &[
+            "--npu-num",
+            "1",
+            "--parallel",
+            "tensor",
+            "--max-batch",
+            "16",
+            "--n-requests",
+            "32",
+            "--rate",
+            "40",
+        ],
+    );
+}
+
+#[test]
+fn cluster_scenario_file_equals_legacy_flags() {
+    assert_file_matches_flags(
+        "cluster",
+        "cluster_small.toml",
+        &[
+            "--npu-num",
+            "1",
+            "--parallel",
+            "tensor",
+            "--replicas",
+            "3",
+            "--routing",
+            "power-of-two",
+            "--n-requests",
+            "24",
+            "--rate",
+            "100",
+            "--seed",
+            "7",
+        ],
+    );
+}
+
+#[test]
+fn disagg_scenario_file_equals_legacy_flags() {
+    assert_file_matches_flags(
+        "disagg",
+        "disagg_small.toml",
+        &[
+            "--npu-num",
+            "1",
+            "--parallel",
+            "tensor",
+            "--disagg",
+            "1x1",
+            "--kv-link-gbps",
+            "32",
+            "--pairing",
+            "sticky",
+            "--n-requests",
+            "16",
+            "--rate",
+            "200",
+            "--seed",
+            "9",
+        ],
+    );
+}
+
+#[test]
+fn sweep_subcommand_writes_one_row_per_grid_point() {
+    let dir = tempdir("sweep");
+    let prefix = dir.join("grid").to_string_lossy().into_owned();
+    let out = run_ok(&["sweep", &scenario_path("sweep_routing.toml"), "--output", &prefix]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 points"), "{stdout}");
+    let tsv = std::fs::read_to_string(format!("{prefix}-sweep.tsv")).unwrap();
+    let lines: Vec<&str> = tsv.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 points:\n{tsv}");
+    assert!(lines[0].starts_with("point\treplicas\trouting\t"), "{tsv}");
+    assert!(!tsv.contains("NaN"), "{tsv}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gen_subcommand_emits_the_scenario_trace() {
+    let out = run_ok(&["gen", &scenario_path("quickstart.toml")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("input_toks\toutput_toks\tarrival_ms\n"), "{stdout}");
+    // Header + the quickstart workload's 32 requests.
+    assert_eq!(stdout.lines().count(), 33, "{stdout}");
+}
+
+#[test]
+fn run_overrides_win_over_file_fields() {
+    let dir = tempdir("override");
+    let prefix = dir.join("o").to_string_lossy().into_owned();
+    let out = run_ok(&[
+        "run",
+        &scenario_path("quickstart.toml"),
+        "--set",
+        "replicas=2",
+        "--output",
+        &prefix,
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shape=cluster x2"), "{stdout}");
+    assert!(dir.join("o-cluster.tsv").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn conflicting_flags_exit_with_a_typed_message_not_a_panic() {
+    let out = bin().args(["--disagg", "2x2", "--replicas", "4"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn schema_drift_in_a_scenario_file_names_the_key() {
+    let dir = tempdir("drift");
+    let path = dir.join("bad.toml");
+    std::fs::write(&path, "modle = \"gpt2\"\n").unwrap();
+    let out = bin().args(["run", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("modle"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
