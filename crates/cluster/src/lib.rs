@@ -55,6 +55,10 @@ pub use route::{
     LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReplicaRole, ReplicaSnapshot, RoundRobin,
     RoutingPolicy, RoutingPolicyKind, Sticky,
 };
-pub use sim::{ClusterConfig, ClusterSimulator, ReadyHeap};
+pub use sim::{ClusterConfig, ClusterSimulator};
 
+/// Compatibility re-export: the lazy-invalidation ready-time heap moved
+/// into `llmss_core::fleet` next to [`FleetEngine`](llmss_core::FleetEngine)
+/// so every fleet driver shares it.
+pub use llmss_core::ReadyHeap;
 pub use llmss_core::ServingSimulator;

@@ -1,442 +1,12 @@
 //! Front-end routing policies: which replica serves the next request.
 //!
-//! The router runs at request-arrival time and sees only what a real
-//! front-end would: per-replica queue depth, KV-cache pressure, and
-//! completion counts ([`ReplicaSnapshot`]) — never the future of the
-//! trace or the internals of an iteration in flight.
+//! The routing vocabulary — [`ReplicaRole`], [`ReplicaSnapshot`],
+//! [`RoutingPolicy`] and the built-in policies — moved into
+//! `llmss_core::fleet` so the [`FleetEngine`](llmss_core::FleetEngine)
+//! and its control planes can share it; this module re-exports it all,
+//! so `llmss_cluster::{RoutingPolicy, ...}` keeps working.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use llmss_sched::{Request, SchedulerMode, TimePs};
-
-/// The serving role a replica plays in the fleet.
-///
-/// A classic cluster is all-[`Unified`](ReplicaRole::Unified); a
-/// disaggregated deployment splits the fleet into a prefill pool and a
-/// decode pool with a KV-cache handoff in between (`llmss-disagg`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ReplicaRole {
-    /// Serves requests end to end (prefill + decode).
-    Unified,
-    /// Prefill pool member: builds KV caches, completes at end-of-prefill.
-    Prefill,
-    /// Decode pool member: streams tokens from KV caches shipped to it.
-    Decode,
-}
-
-impl ReplicaRole {
-    /// Whether the front-end router may send *new* requests here. Decode
-    /// replicas only receive work through KV-cache handoff, never fresh
-    /// arrivals.
-    pub fn accepts_arrivals(&self) -> bool {
-        !matches!(self, ReplicaRole::Decode)
-    }
-}
-
-impl From<SchedulerMode> for ReplicaRole {
-    fn from(mode: SchedulerMode) -> Self {
-        match mode {
-            SchedulerMode::Unified => ReplicaRole::Unified,
-            SchedulerMode::PrefillOnly => ReplicaRole::Prefill,
-            SchedulerMode::DecodeOnly => ReplicaRole::Decode,
-        }
-    }
-}
-
-impl std::fmt::Display for ReplicaRole {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            ReplicaRole::Unified => "unified",
-            ReplicaRole::Prefill => "prefill",
-            ReplicaRole::Decode => "decode",
-        })
-    }
-}
-
-/// What the router can observe about one replica at routing time.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ReplicaSnapshot {
-    /// Replica index in the cluster.
-    pub index: usize,
-    /// The replica's serving role.
-    pub role: ReplicaRole,
-    /// The replica's simulated clock.
-    pub clock_ps: TimePs,
-    /// Requests accepted but not yet finished (queue depth).
-    pub outstanding_requests: usize,
-    /// Sequences currently in the running batch.
-    pub active_sequences: usize,
-    /// KV pages in use on the device.
-    pub kv_used_pages: usize,
-    /// Total KV pages the device holds.
-    pub kv_total_pages: usize,
-    /// Requests fully served so far.
-    pub completed_requests: usize,
-}
-
-impl ReplicaSnapshot {
-    /// Captures what a front-end can observe about `sim` right now —
-    /// the shared snapshot constructor for every driver (cluster router,
-    /// disaggregated pairing) built on
-    /// [`ServingSimulator`](llmss_core::ServingSimulator).
-    pub fn capture(
-        sim: &llmss_core::ServingSimulator,
-        index: usize,
-        role: ReplicaRole,
-    ) -> Self {
-        let sched = sim.scheduler();
-        Self {
-            index,
-            role,
-            clock_ps: sched.clock_ps(),
-            outstanding_requests: sched.outstanding(),
-            active_sequences: sched.active_len(),
-            kv_used_pages: sched.kv().used_pages(),
-            kv_total_pages: sched.kv().config().total_pages(),
-            completed_requests: sched.completions().len(),
-        }
-    }
-
-    /// Fraction of KV pages in use (`0.0` when the cache has no pages).
-    pub fn kv_load(&self) -> f64 {
-        if self.kv_total_pages == 0 {
-            return 0.0;
-        }
-        self.kv_used_pages as f64 / self.kv_total_pages as f64
-    }
-}
-
-/// A pluggable request-routing policy.
-///
-/// `route` returns the cluster index of the replica that should serve
-/// `request`; the cluster simulator injects the request there. The same
-/// trait drives decode-replica *pairing* in disaggregated serving, where
-/// the candidate set is the decode pool. Policies may keep state
-/// (round-robin cursors, RNGs) — hence `&mut self` — but must be
-/// deterministic functions of their construction seed and the observed
-/// snapshot sequence, so that cluster runs reproduce exactly.
-pub trait RoutingPolicy: std::fmt::Debug {
-    /// Human-readable policy name (used in reports and TSV output).
-    fn name(&self) -> &'static str;
-
-    /// Chooses a replica for `request`.
-    ///
-    /// `replicas` is never empty but may be a *subset* of the fleet (for
-    /// example, only the replicas whose role accepts arrivals).
-    /// Implementations must return the [`ReplicaSnapshot::index`] of one
-    /// of the provided snapshots — never a bare position in the slice.
-    fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize;
-}
-
-/// The built-in policies, as a value (CLI flags, config files, sweeps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum RoutingPolicyKind {
-    /// Cycle through replicas in order, ignoring load.
-    RoundRobin,
-    /// Send to the replica with the fewest unfinished requests.
-    LeastOutstanding,
-    /// Send to the replica with the lowest KV-cache page usage.
-    LeastKvLoad,
-    /// Sample two distinct replicas uniformly, send to the less loaded
-    /// (Mitzenmacher's "power of two choices").
-    PowerOfTwoChoices,
-    /// Session affinity: the request id picks the replica, so a request
-    /// (or retry of it) always lands on the same place regardless of load.
-    Sticky,
-}
-
-impl RoutingPolicyKind {
-    /// Every built-in policy (for sweeps and exhaustive tests).
-    pub const ALL: [RoutingPolicyKind; 5] = [
-        RoutingPolicyKind::RoundRobin,
-        RoutingPolicyKind::LeastOutstanding,
-        RoutingPolicyKind::LeastKvLoad,
-        RoutingPolicyKind::PowerOfTwoChoices,
-        RoutingPolicyKind::Sticky,
-    ];
-
-    /// Instantiates the policy. `seed` feeds randomized policies
-    /// (power-of-two-choices); deterministic policies ignore it.
-    pub fn build(self, seed: u64) -> Box<dyn RoutingPolicy> {
-        match self {
-            RoutingPolicyKind::RoundRobin => Box::new(RoundRobin::new()),
-            RoutingPolicyKind::LeastOutstanding => Box::new(LeastOutstanding),
-            RoutingPolicyKind::LeastKvLoad => Box::new(LeastKvLoad),
-            RoutingPolicyKind::PowerOfTwoChoices => Box::new(PowerOfTwoChoices::new(seed)),
-            RoutingPolicyKind::Sticky => Box::new(Sticky),
-        }
-    }
-
-    /// The CLI spelling (`--routing` flag values).
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            RoutingPolicyKind::RoundRobin => "round-robin",
-            RoutingPolicyKind::LeastOutstanding => "least-outstanding",
-            RoutingPolicyKind::LeastKvLoad => "least-kv",
-            RoutingPolicyKind::PowerOfTwoChoices => "power-of-two",
-            RoutingPolicyKind::Sticky => "sticky",
-        }
-    }
-}
-
-impl std::fmt::Display for RoutingPolicyKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-impl std::str::FromStr for RoutingPolicyKind {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "round-robin" | "rr" => Ok(RoutingPolicyKind::RoundRobin),
-            "least-outstanding" | "lor" => Ok(RoutingPolicyKind::LeastOutstanding),
-            "least-kv" | "kv" => Ok(RoutingPolicyKind::LeastKvLoad),
-            "power-of-two" | "p2c" => Ok(RoutingPolicyKind::PowerOfTwoChoices),
-            "sticky" => Ok(RoutingPolicyKind::Sticky),
-            other => Err(format!(
-                "unknown routing policy '{other}' (expected round-robin | \
-                 least-outstanding | least-kv | power-of-two | sticky)"
-            )),
-        }
-    }
-}
-
-/// Cycles through replicas in index order.
-#[derive(Debug, Default)]
-pub struct RoundRobin {
-    next: usize,
-}
-
-impl RoundRobin {
-    /// A round-robin router starting at replica 0.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl RoutingPolicy for RoundRobin {
-    fn name(&self) -> &'static str {
-        "round-robin"
-    }
-
-    fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
-        // The candidate set may be a filtered subset of the fleet, so the
-        // cursor indexes the slice but the *snapshot* names the replica.
-        let chosen = replicas[self.next % replicas.len()].index;
-        self.next = self.next.wrapping_add(1);
-        chosen
-    }
-}
-
-/// Join-the-shortest-queue on unfinished request count; ties break toward
-/// the lower KV load, then the lower index.
-#[derive(Debug, Default)]
-pub struct LeastOutstanding;
-
-fn less_loaded(a: &ReplicaSnapshot, b: &ReplicaSnapshot) -> std::cmp::Ordering {
-    a.outstanding_requests
-        .cmp(&b.outstanding_requests)
-        .then(a.kv_used_pages.cmp(&b.kv_used_pages))
-        .then(a.index.cmp(&b.index))
-}
-
-impl RoutingPolicy for LeastOutstanding {
-    fn name(&self) -> &'static str {
-        "least-outstanding"
-    }
-
-    fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
-        replicas.iter().min_by(|a, b| less_loaded(a, b)).expect("non-empty").index
-    }
-}
-
-/// Routes to the replica with the fewest KV pages in use — a memory-
-/// pressure signal that discriminates better than queue depth when
-/// sequence lengths are highly skewed; ties break toward the lower
-/// queue depth, then the lower index.
-#[derive(Debug, Default)]
-pub struct LeastKvLoad;
-
-impl RoutingPolicy for LeastKvLoad {
-    fn name(&self) -> &'static str {
-        "least-kv"
-    }
-
-    fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
-        replicas
-            .iter()
-            .min_by(|a, b| {
-                a.kv_used_pages
-                    .cmp(&b.kv_used_pages)
-                    .then(a.outstanding_requests.cmp(&b.outstanding_requests))
-                    .then(a.index.cmp(&b.index))
-            })
-            .expect("non-empty")
-            .index
-    }
-}
-
-/// Samples two distinct replicas uniformly and routes to the less loaded
-/// one — near-optimal balance at O(1) state lookups per request.
-#[derive(Debug)]
-pub struct PowerOfTwoChoices {
-    rng: StdRng,
-}
-
-impl PowerOfTwoChoices {
-    /// A power-of-two-choices router with a deterministic sampling seed.
-    pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
-    }
-}
-
-impl RoutingPolicy for PowerOfTwoChoices {
-    fn name(&self) -> &'static str {
-        "power-of-two"
-    }
-
-    fn route(&mut self, _request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
-        let n = replicas.len();
-        if n == 1 {
-            return 0;
-        }
-        let first = self.rng.gen_range(0..n);
-        // Offset sampling guarantees the second probe is distinct.
-        let second = (first + self.rng.gen_range(1..n)) % n;
-        std::cmp::min_by(&replicas[first], &replicas[second], |a, b| less_loaded(a, b)).index
-    }
-}
-
-/// Session-affinity routing: the request id alone picks the replica.
-///
-/// Every request (and any retry carrying the same id) lands on the same
-/// replica no matter the load — the classic consistent-assignment
-/// front-end, and the "sticky" decode-pairing policy for disaggregated
-/// serving (KV locality beats load balance when caches are reused).
-#[derive(Debug, Default)]
-pub struct Sticky;
-
-impl RoutingPolicy for Sticky {
-    fn name(&self) -> &'static str {
-        "sticky"
-    }
-
-    fn route(&mut self, request: &Request, replicas: &[ReplicaSnapshot]) -> usize {
-        replicas[(request.id % replicas.len() as u64) as usize].index
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn snap(index: usize, outstanding: usize, kv: usize) -> ReplicaSnapshot {
-        ReplicaSnapshot {
-            index,
-            role: ReplicaRole::Unified,
-            clock_ps: 0,
-            outstanding_requests: outstanding,
-            active_sequences: outstanding,
-            kv_used_pages: kv,
-            kv_total_pages: 100,
-            completed_requests: 0,
-        }
-    }
-
-    fn req(id: u64) -> Request {
-        Request::new(id, 16, 4, 0)
-    }
-
-    #[test]
-    fn round_robin_cycles() {
-        let mut p = RoundRobin::new();
-        let snaps = [snap(0, 9, 0), snap(1, 0, 0), snap(2, 5, 0)];
-        let picks: Vec<usize> = (0..6).map(|i| p.route(&req(i), &snaps)).collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
-    }
-
-    #[test]
-    fn least_outstanding_prefers_empty_replica() {
-        let mut p = LeastOutstanding;
-        let snaps = [snap(0, 4, 10), snap(1, 2, 90), snap(2, 2, 30)];
-        // Replicas 1 and 2 tie on queue depth; 2 has the lower KV load.
-        assert_eq!(p.route(&req(0), &snaps), 2);
-    }
-
-    #[test]
-    fn least_kv_prefers_low_memory_pressure() {
-        let mut p = LeastKvLoad;
-        let snaps = [snap(0, 1, 80), snap(1, 9, 10), snap(2, 0, 50)];
-        assert_eq!(p.route(&req(0), &snaps), 1);
-    }
-
-    #[test]
-    fn p2c_probes_are_distinct_and_deterministic() {
-        let snaps: Vec<ReplicaSnapshot> = (0..8).map(|i| snap(i, i, 0)).collect();
-        let run = || {
-            let mut p = PowerOfTwoChoices::new(7);
-            (0..64).map(|i| p.route(&req(i), &snaps)).collect::<Vec<usize>>()
-        };
-        let a = run();
-        assert_eq!(a, run(), "same seed must reproduce the same choices");
-        assert!(a.iter().all(|&i| i < 8));
-        // With load increasing in index, replica 7 can only be picked when
-        // both probes land on it — impossible with distinct probes.
-        assert!(a.iter().all(|&i| i != 7));
-    }
-
-    #[test]
-    fn p2c_single_replica_is_total() {
-        let mut p = PowerOfTwoChoices::new(1);
-        assert_eq!(p.route(&req(0), &[snap(0, 3, 3)]), 0);
-    }
-
-    #[test]
-    fn sticky_ignores_load_and_follows_request_id() {
-        let mut p = Sticky;
-        let snaps = [snap(0, 100, 100), snap(1, 0, 0), snap(2, 50, 50)];
-        assert_eq!(p.route(&req(4), &snaps), 1, "4 % 3 == 1 despite replica 1's load");
-        assert_eq!(p.route(&req(4), &snaps), 1, "same id always lands the same place");
-        assert_eq!(p.route(&req(5), &snaps), 2);
-    }
-
-    #[test]
-    fn policies_return_snapshot_indices_on_filtered_subsets() {
-        // A disaggregated front-end routes over a subset of the fleet
-        // (e.g. replicas 2 and 5 of 8): policies must answer with the
-        // snapshot's cluster index, not a position in the slice.
-        let subset = [snap(2, 1, 1), snap(5, 0, 0)];
-        for kind in RoutingPolicyKind::ALL {
-            let mut p = kind.build(9);
-            for id in 0..16 {
-                let chosen = p.route(&req(id), &subset);
-                assert!(
-                    chosen == 2 || chosen == 5,
-                    "{kind} returned {chosen}, not a snapshot index"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn decode_role_rejects_arrivals() {
-        assert!(ReplicaRole::Unified.accepts_arrivals());
-        assert!(ReplicaRole::Prefill.accepts_arrivals());
-        assert!(!ReplicaRole::Decode.accepts_arrivals());
-        assert_eq!(ReplicaRole::from(SchedulerMode::PrefillOnly), ReplicaRole::Prefill);
-        assert_eq!(ReplicaRole::from(SchedulerMode::DecodeOnly), ReplicaRole::Decode);
-        assert_eq!(ReplicaRole::from(SchedulerMode::Unified), ReplicaRole::Unified);
-    }
-
-    #[test]
-    fn kind_round_trips_through_str() {
-        for kind in RoutingPolicyKind::ALL {
-            let parsed: RoutingPolicyKind = kind.as_str().parse().unwrap();
-            assert_eq!(parsed, kind);
-        }
-        assert!("nope".parse::<RoutingPolicyKind>().is_err());
-    }
-}
+pub use llmss_core::{
+    LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReplicaRole, ReplicaSnapshot, RoundRobin,
+    RoutingPolicy, RoutingPolicyKind, Sticky,
+};

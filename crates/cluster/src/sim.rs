@@ -1,31 +1,20 @@
-//! The cluster simulator: N serving replicas interleaved in virtual time
-//! behind a routing front-end.
+//! The cluster simulator: N serving replicas behind a routing front-end,
+//! as a thin composition over the core [`FleetEngine`].
 //!
 //! Each replica is a complete [`ServingSimulator`] (scheduler → engine
-//! stack → graph converter → network DES) with its own clock. The cluster
-//! advances whichever event is earliest in *virtual* time:
-//!
-//! * **request arrival** — the router inspects replica load snapshots and
-//!   injects the request into the chosen replica
-//!   ([`ServingSimulator::push_request`]);
-//! * **replica iteration** — the replica with the smallest
-//!   [`next_ready_ps`](ServingSimulator::next_ready_ps) runs one
-//!   iteration of its serving loop.
-//!
-//! Replica ready-times live in a min-heap with lazy invalidation: every
-//! mutation bumps the replica's stamp and pushes a fresh entry; stale
-//! entries are discarded on pop. Routing happens strictly in arrival
-//! order, and never after a replica was stepped past the arrival — so a
-//! request can join, at most, after the iteration that was already in
-//! flight at its arrival instant, exactly like a real front-end queue.
+//! stack → graph converter → network DES) with its own clock; the fleet
+//! engine interleaves them in virtual time and asks the control plane to
+//! route each arrival. A classic cluster is exactly the engine with a
+//! [`StaticControl`] plane (the router) and no KV-transfer links — this
+//! type owns no event loop of its own, only the cluster-shaped
+//! constructor checks and the [`ClusterReport`] assembly.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-
-use llmss_core::{ConfigError, ServingSimulator, SimConfig, Simulate};
+use llmss_core::{
+    ConfigError, FleetEngine, ServingSimulator, SimConfig, Simulate, StaticControl,
+};
 use llmss_sched::{Request, TimePs};
 
-use crate::{ClusterReport, ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind};
+use crate::{ClusterReport, ReplicaRole, RoutingPolicyKind};
 
 /// Cluster-level configuration: fleet size and routing.
 ///
@@ -73,73 +62,15 @@ impl ClusterConfig {
     }
 }
 
-/// A min-heap of replica ready-times with lazy invalidation: every
-/// mutation re-keys the replica under a fresh stamp, and stale entries
-/// are discarded on peek. This is the interleaving core shared by the
-/// cluster and disaggregated simulators — any driver juggling N
-/// independently-clocked [`ServingSimulator`]s can use it.
-#[derive(Debug, Default)]
-pub struct ReadyHeap {
-    /// `(ready time, replica, stamp)` entries, earliest first.
-    heap: BinaryHeap<Reverse<(TimePs, usize, u64)>>,
-    /// Latest stamp per replica; heap entries with older stamps are stale.
-    stamps: Vec<u64>,
-    counter: u64,
-}
-
-impl ReadyHeap {
-    /// An empty heap over `n` replicas.
-    pub fn new(n: usize) -> Self {
-        Self { heap: BinaryHeap::new(), stamps: vec![0; n], counter: 0 }
-    }
-
-    /// Re-keys `replica` after a mutation: its previous entry (if any)
-    /// goes stale, and `ready` (when `Some`) becomes its live entry.
-    pub fn refresh(&mut self, replica: usize, ready: Option<TimePs>) {
-        self.counter += 1;
-        self.stamps[replica] = self.counter;
-        if let Some(t) = ready {
-            self.heap.push(Reverse((t, replica, self.counter)));
-        }
-    }
-
-    /// The earliest live entry, discarding stale ones.
-    pub fn peek(&mut self) -> Option<(TimePs, usize)> {
-        while let Some(&Reverse((t, idx, stamp))) = self.heap.peek() {
-            if self.stamps[idx] == stamp {
-                return Some((t, idx));
-            }
-            self.heap.pop();
-        }
-        None
-    }
-
-    /// Removes and returns the earliest live entry.
-    pub fn pop(&mut self) -> Option<(TimePs, usize)> {
-        let live = self.peek();
-        if live.is_some() {
-            self.heap.pop();
-        }
-        live
-    }
-}
-
-/// A fleet of serving replicas behind a router, advanced in virtual time.
+/// A fleet of serving replicas behind a router, advanced in virtual time
+/// by the core [`FleetEngine`].
 #[derive(Debug)]
 pub struct ClusterSimulator {
-    replicas: Vec<ServingSimulator>,
-    /// Per-replica serving role (all [`ReplicaRole::Unified`] for the
-    /// homogeneous constructor).
+    engine: FleetEngine,
+    /// Per-replica serving role, frozen at construction (a static
+    /// cluster never reshapes).
     roles: Vec<ReplicaRole>,
-    router: Box<dyn RoutingPolicy>,
-    /// Global arrival stream, earliest first (online injection source).
-    arrivals: VecDeque<Request>,
-    /// `(request id, replica index)` in routing order.
-    assignments: Vec<(u64, usize)>,
-    /// Per-replica routed-request counters.
-    routed: Vec<usize>,
-    /// Replica ready-times with lazy invalidation.
-    heap: ReadyHeap,
+    routing: RoutingPolicyKind,
 }
 
 impl ClusterSimulator {
@@ -168,7 +99,7 @@ impl ClusterSimulator {
     /// each config's scheduler mode). The router only offers replicas
     /// whose role accepts fresh arrivals; decode-role replicas take no
     /// fresh work and idle here, since only `llmss-disagg`'s
-    /// `DisaggSimulator` implements the KV-cache handoff that feeds them.
+    /// `DisaggSimulator` wires up the KV-transfer links that feed them.
     ///
     /// # Errors
     ///
@@ -185,7 +116,7 @@ impl ClusterSimulator {
     pub fn heterogeneous(
         configs: Vec<SimConfig>,
         cluster: ClusterConfig,
-        mut trace: Vec<Request>,
+        trace: Vec<Request>,
     ) -> Result<Self, ConfigError> {
         assert_eq!(
             configs.len(),
@@ -208,25 +139,19 @@ impl ClusterSimulator {
             trace.is_empty() || roles.iter().any(ReplicaRole::accepts_arrivals),
             "no replica accepts arrivals: an all-decode fleet cannot serve the trace"
         );
-        let mut replicas = Vec::with_capacity(configs.len());
-        for config in configs {
-            replicas.push(ServingSimulator::new(config, Vec::new())?);
-        }
-        trace.sort_by_key(|r| (r.arrival_ps, r.id));
-        Ok(Self {
-            router: cluster.routing.build(cluster.seed),
-            routed: vec![0; cluster.replicas],
-            heap: ReadyHeap::new(cluster.replicas),
-            replicas,
-            roles,
-            arrivals: trace.into(),
-            assignments: Vec::new(),
-        })
+        // A linkless fleet never pairs, so the pairer is unreachable; any
+        // deterministic policy satisfies StaticControl's signature.
+        let control = StaticControl::new(
+            cluster.routing.build(cluster.seed),
+            RoutingPolicyKind::LeastKvLoad.build(cluster.seed),
+        );
+        let engine = FleetEngine::new(configs, Vec::new(), Box::new(control), trace)?;
+        Ok(Self { engine, roles, routing: cluster.routing })
     }
 
     /// The routing policy driving this cluster.
     pub fn policy_name(&self) -> &'static str {
-        self.router.name()
+        self.routing.as_str()
     }
 
     /// Per-replica serving roles, by replica index.
@@ -236,99 +161,43 @@ impl ClusterSimulator {
 
     /// The replicas (for inspection between steps).
     pub fn replicas(&self) -> &[ServingSimulator] {
-        &self.replicas
+        self.engine.sims()
     }
 
     /// `(request id, replica)` assignments made so far, in routing order.
     pub fn assignments(&self) -> &[(u64, usize)] {
-        &self.assignments
+        self.engine.assignments()
     }
 
     /// Injects one request online: it queues at the front end and is
     /// routed when the cluster's virtual time reaches its arrival
     /// (immediately, if time is already past it).
     pub fn push_request(&mut self, request: Request) {
-        let pos = self
-            .arrivals
-            .iter()
-            .position(|r| (r.arrival_ps, r.id) > (request.arrival_ps, request.id))
-            .unwrap_or(self.arrivals.len());
-        self.arrivals.insert(pos, request);
+        self.engine.push_request(request);
     }
 
     /// The earliest virtual time the next [`step`](Self::step) would act
     /// (an arrival to route or a replica iteration), or `None` when the
     /// cluster has fully drained.
     pub fn next_ready_ps(&self) -> Option<TimePs> {
-        let replica_ready =
-            self.replicas.iter().filter_map(ServingSimulator::next_ready_ps).min();
-        let arrival = self.arrivals.front().map(|r| r.arrival_ps);
-        match (arrival, replica_ready) {
-            (Some(a), Some(r)) => Some(a.min(r)),
-            (a, r) => a.or(r),
-        }
+        self.engine.next_ready_ps()
     }
 
     /// The cluster's virtual clock: the furthest replica clock.
     pub fn clock_ps(&self) -> TimePs {
-        self.replicas.iter().map(ServingSimulator::clock_ps).max().unwrap_or(0)
+        self.engine.clock_ps()
     }
 
     /// Requests fully served across all replicas so far.
     pub fn completed_requests(&self) -> usize {
-        self.replicas.iter().map(|r| r.scheduler().completions().len()).sum()
-    }
-
-    fn snapshot(&self, index: usize) -> ReplicaSnapshot {
-        ReplicaSnapshot::capture(&self.replicas[index], index, self.roles[index])
-    }
-
-    /// Re-keys `replica` in the heap after a mutation.
-    fn refresh(&mut self, replica: usize) {
-        self.heap.refresh(replica, self.replicas[replica].next_ready_ps());
+        self.engine.completed_requests()
     }
 
     /// Processes the earliest virtual-time event: routes one arrival or
     /// runs one replica iteration. Returns `false` when the trace is
     /// drained and every replica is idle.
     pub fn step(&mut self) -> bool {
-        let next_ready = self.heap.peek();
-        let next_arrival = self.arrivals.front().map(|r| r.arrival_ps);
-        // Arrivals route first on ties so the router always sees the
-        // request before the replica simulates past its arrival time.
-        let route_arrival = match (next_arrival, next_ready) {
-            (Some(at), Some((rt, _))) => at <= rt,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        match (route_arrival, next_ready) {
-            (true, _) => {
-                let request = self.arrivals.pop_front().expect("checked above");
-                // Offer only the replicas whose role takes fresh work.
-                let snapshots: Vec<ReplicaSnapshot> = (0..self.replicas.len())
-                    .filter(|&i| self.roles[i].accepts_arrivals())
-                    .map(|i| self.snapshot(i))
-                    .collect();
-                let chosen = self.router.route(&request, &snapshots);
-                assert!(
-                    snapshots.iter().any(|s| s.index == chosen),
-                    "router returned replica {chosen}, not one of the {} offered",
-                    snapshots.len()
-                );
-                self.assignments.push((request.id, chosen));
-                self.routed[chosen] += 1;
-                self.replicas[chosen].push_request(request);
-                self.refresh(chosen);
-                true
-            }
-            (false, Some((_, idx))) => {
-                self.heap.pop();
-                self.replicas[idx].step();
-                self.refresh(idx);
-                true
-            }
-            (false, None) => false,
-        }
+        self.engine.step()
     }
 
     /// Runs the cluster to completion and aggregates the report.
@@ -340,11 +209,10 @@ impl ClusterSimulator {
     /// Aggregates the report from the cluster's current state (a
     /// partially drained cluster yields a partial report).
     pub fn into_report(self) -> ClusterReport {
-        let policy = self.router.name().to_owned();
-        let routed = self.routed;
-        let replica_reports =
-            self.replicas.into_iter().map(ServingSimulator::into_report).collect();
-        ClusterReport::new(policy, replica_reports, routed, self.assignments)
+        let parts = self.engine.into_parts();
+        let routed: Vec<usize> = parts.replicas.iter().map(|r| r.routed).collect();
+        let replica_reports = parts.replicas.into_iter().map(|r| r.report).collect();
+        ClusterReport::new(parts.control, replica_reports, routed, parts.assignments)
     }
 }
 

@@ -1,0 +1,707 @@
+//! The fleet engine: one virtual-time event loop for every multi-replica
+//! serving shape.
+//!
+//! A [`FleetEngine`] owns a vector of replica slots (each a
+//! [`ServingSimulator`] plus a [`ReplicaRole`] and its own
+//! [`SimConfig`]), a set of inter-replica KV-transfer [`LinkSpec`]s, and
+//! a [`ControlPlane`]. It advances whichever event is earliest in
+//! virtual time:
+//!
+//! * **request arrival** — the control plane inspects load snapshots of
+//!   the replicas whose role accepts arrivals and admits the request
+//!   ([`ControlPlane::admit`]);
+//! * **replica iteration** — the replica with the smallest
+//!   [`next_ready_ps`](ServingSimulator::next_ready_ps) runs one
+//!   iteration; a prefill-role replica's fresh completions queue for KV
+//!   handoff;
+//! * **KV transfer** — finished prefills are committed to the links in
+//!   KV-ready order (FIFO by readiness, never by event-discovery order),
+//!   paired to a decode replica ([`ControlPlane::pair`]), and injected
+//!   there at transfer completion;
+//! * **control tick** — on a configurable virtual-time period the
+//!   control plane sees a [`FleetStats`] view and may flex roles or
+//!   scale the fleet ([`FleetCommand`]), always under drain semantics.
+//!
+//! `ClusterSimulator` and `DisaggSimulator` are thin compositions over
+//! this engine (a router is an admission-side control-plane decision;
+//! disaggregation is role-filtered admission plus KV-transfer links);
+//! flexing and autoscaling are just different control planes.
+
+use std::collections::{HashMap, VecDeque};
+
+use llmss_net::LinkSpec;
+use llmss_sched::{Request, TimePs};
+
+use crate::{ConfigError, ServingSimulator, SimConfig, Simulate};
+
+use super::control::{ControlPlane, FleetCommand, FleetStats, ReplicaStatus};
+use super::heap::ReadyHeap;
+use super::report::{FleetReplica, FleetReport};
+use super::route::{ReplicaRole, ReplicaSnapshot};
+
+/// One inter-replica KV-transfer link with FIFO serialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkState {
+    spec: LinkSpec,
+    /// When the link frees up.
+    free_ps: TimePs,
+}
+
+/// One committed KV handoff, in fleet-global replica indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTransfer {
+    /// Prefill-side replica (global index).
+    pub from: usize,
+    /// Decode-side replica (global index).
+    pub to: usize,
+    /// Link that carried the transfer.
+    pub link: usize,
+    /// When the KV cache was ready to ship (end of prefill).
+    pub ready_ps: TimePs,
+    /// When the transfer won its link.
+    pub start_ps: TimePs,
+    /// When the KV cache landed on the decode replica.
+    pub done_ps: TimePs,
+    /// Bytes shipped (prompt tokens × KV bytes per token).
+    pub bytes: u64,
+}
+
+/// Per-replica engine metadata: everything about a slot that is not the
+/// simulator itself (stored struct-of-arrays so `sims` stays a plain
+/// slice for inspection APIs).
+#[derive(Debug)]
+pub struct ReplicaSlot {
+    /// The replica's own configuration (autoscale clones the template's).
+    pub config: SimConfig,
+    /// Current serving role.
+    pub role: ReplicaRole,
+    /// The role the replica was created with (flexing returns here).
+    pub home_role: ReplicaRole,
+    /// A role switch waiting on drain.
+    pub pending_role: Option<ReplicaRole>,
+    /// Virtual time from which the replica admits work (warm-up).
+    pub active_from_ps: TimePs,
+    /// Draining toward deactivation (autoscale down).
+    pub retiring: bool,
+    /// Fresh arrivals routed here.
+    pub routed: usize,
+    /// KV handoffs paired to this replica.
+    pub paired: usize,
+    /// Completions already drained for KV handoff (index into the
+    /// scheduler's completion list).
+    handed_off: usize,
+    /// `(busy_ps, clock_ps)` at the previous control tick — the
+    /// utilization-window baseline.
+    window_base: (TimePs, TimePs),
+}
+
+impl ReplicaSlot {
+    fn new(config: SimConfig) -> Self {
+        let role = ReplicaRole::from(config.mode);
+        Self {
+            config,
+            role,
+            home_role: role,
+            pending_role: None,
+            active_from_ps: 0,
+            retiring: false,
+            routed: 0,
+            paired: 0,
+            handed_off: 0,
+            window_base: (0, 0),
+        }
+    }
+
+    /// Whether the slot currently takes part in serving.
+    pub fn in_service(&self) -> bool {
+        !self.retiring && self.pending_role.is_none()
+    }
+}
+
+/// A heterogeneous fleet of serving replicas behind a control plane,
+/// advanced in one virtual-time event loop.
+#[derive(Debug)]
+pub struct FleetEngine {
+    sims: Vec<ServingSimulator>,
+    slots: Vec<ReplicaSlot>,
+    links: Vec<LinkState>,
+    control: Box<dyn ControlPlane>,
+    /// Global arrival stream, earliest first (online injection source).
+    arrivals: VecDeque<Request>,
+    /// Original requests by id (handoffs need input/output lengths);
+    /// only maintained when the fleet has links.
+    requests: HashMap<u64, Request>,
+    /// Finished prefills whose transfers haven't committed to a link
+    /// yet: `(KV-ready time, request id, prefill replica)`, earliest
+    /// first. Links serve in *ready* order, not discovery order.
+    pending: std::collections::BinaryHeap<std::cmp::Reverse<(TimePs, u64, usize)>>,
+    /// Committed transfers by request id.
+    transfers: HashMap<u64, FleetTransfer>,
+    /// `(request id, replica index)` in admission order.
+    assignments: Vec<(u64, usize)>,
+    /// Replica ready-times with lazy invalidation.
+    heap: ReadyHeap,
+    /// KV bytes shipped per prompt token (0 without links).
+    kv_bytes_per_token: u64,
+    /// The control tick period, if the plane wants ticks.
+    tick_ps: Option<TimePs>,
+    /// The next tick boundary.
+    next_tick_ps: TimePs,
+    /// Prefill completions handed off so far (end-to-end completion
+    /// accounting subtracts these).
+    handoffs_total: usize,
+}
+
+impl FleetEngine {
+    /// Builds a fleet from per-replica configurations (roles derive from
+    /// each configuration's scheduler mode), KV-transfer links, a control
+    /// plane, and a global request trace.
+    ///
+    /// The trace is *not* pre-partitioned: requests are injected online,
+    /// at their arrival times, into the replica the control plane admits
+    /// them to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when any replica configuration cannot be
+    /// realized (invalid parallelism, model does not fit, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty; if a prefill-role replica exists
+    /// without any link to ship its KV caches over; or if replicas serve
+    /// different models while links exist (the KV bytes-per-token of the
+    /// shipped caches must agree).
+    pub fn new(
+        configs: Vec<SimConfig>,
+        links: Vec<LinkSpec>,
+        control: Box<dyn ControlPlane>,
+        mut trace: Vec<Request>,
+    ) -> Result<Self, ConfigError> {
+        assert!(!configs.is_empty(), "a fleet needs at least one replica");
+        let has_prefill =
+            configs.iter().any(|c| ReplicaRole::from(c.mode) == ReplicaRole::Prefill);
+        assert!(
+            !has_prefill || !links.is_empty(),
+            "prefill-role replicas need a KV-transfer link to ship caches over"
+        );
+        let kv_bytes_per_token = if links.is_empty() {
+            0
+        } else {
+            let per_token = configs[0].model.kv_bytes_per_token();
+            assert!(
+                configs.iter().all(|c| c.model.name == configs[0].model.name),
+                "all replicas of a linked fleet must serve the same model"
+            );
+            per_token
+        };
+
+        let mut sims = Vec::with_capacity(configs.len());
+        let mut slots = Vec::with_capacity(configs.len());
+        for config in configs {
+            sims.push(ServingSimulator::new(config.clone(), Vec::new())?);
+            slots.push(ReplicaSlot::new(config));
+        }
+
+        trace.sort_by_key(|r| (r.arrival_ps, r.id));
+        let requests = if links.is_empty() {
+            HashMap::new()
+        } else {
+            trace.iter().map(|r| (r.id, *r)).collect()
+        };
+        let tick_ps = control.tick_ps();
+        assert!(tick_ps != Some(0), "a control tick period must be positive");
+        Ok(Self {
+            heap: ReadyHeap::new(sims.len()),
+            links: links.into_iter().map(|spec| LinkState { spec, free_ps: 0 }).collect(),
+            control,
+            arrivals: trace.into(),
+            requests,
+            pending: std::collections::BinaryHeap::new(),
+            transfers: HashMap::new(),
+            assignments: Vec::new(),
+            kv_bytes_per_token,
+            next_tick_ps: tick_ps.unwrap_or(0),
+            tick_ps,
+            handoffs_total: 0,
+            sims,
+            slots,
+        })
+    }
+
+    /// The replica simulators, by fleet index (for inspection between
+    /// steps).
+    pub fn sims(&self) -> &[ServingSimulator] {
+        &self.sims
+    }
+
+    /// The replica slots (role, lifecycle, routing counters), by fleet
+    /// index.
+    pub fn slots(&self) -> &[ReplicaSlot] {
+        &self.slots
+    }
+
+    /// The control plane's name.
+    pub fn control_name(&self) -> String {
+        self.control.name()
+    }
+
+    /// `(request id, replica)` admissions made so far, in routing order.
+    pub fn assignments(&self) -> &[(u64, usize)] {
+        &self.assignments
+    }
+
+    /// Committed KV transfers by request id.
+    pub fn transfers(&self) -> &HashMap<u64, FleetTransfer> {
+        &self.transfers
+    }
+
+    /// KV bytes shipped per prompt token (0 for fleets without links).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.kv_bytes_per_token
+    }
+
+    /// Replicas currently part of the serving fleet (not retiring).
+    pub fn active_replicas(&self) -> usize {
+        self.slots.iter().filter(|s| !s.retiring).count()
+    }
+
+    /// Injects one request online: it queues at the front end and is
+    /// admitted when the fleet's virtual time reaches its arrival
+    /// (immediately, if time is already past it).
+    pub fn push_request(&mut self, request: Request) {
+        if !self.links.is_empty() {
+            self.requests.insert(request.id, request);
+        }
+        let pos = self
+            .arrivals
+            .iter()
+            .position(|r| (r.arrival_ps, r.id) > (request.arrival_ps, request.id))
+            .unwrap_or(self.arrivals.len());
+        self.arrivals.insert(pos, request);
+    }
+
+    /// The earliest virtual time the next [`step`](Self::step) would act
+    /// (an arrival to admit, a replica iteration, or a pending KV
+    /// transfer), or `None` when the fleet has fully drained.
+    pub fn next_ready_ps(&self) -> Option<TimePs> {
+        let replica_ready = self.heap.min_live().map(|(t, _)| t);
+        let arrival = self.arrivals.front().map(|r| r.arrival_ps);
+        let transfer = self.pending.peek().map(|&std::cmp::Reverse((t, _, _))| t);
+        [replica_ready, arrival, transfer].into_iter().flatten().min()
+    }
+
+    /// The fleet's virtual clock: the furthest replica clock.
+    pub fn clock_ps(&self) -> TimePs {
+        self.sims.iter().map(ServingSimulator::clock_ps).max().unwrap_or(0)
+    }
+
+    /// Requests that finished their full lifecycle (prefill-side handoff
+    /// completions are bookkeeping, not served requests).
+    pub fn completed_requests(&self) -> usize {
+        let total: usize = self.sims.iter().map(|s| s.scheduler().completions().len()).sum();
+        total - self.handoffs_total
+    }
+
+    fn snapshot(&self, index: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot::capture(&self.sims[index], index, self.slots[index].role)
+    }
+
+    /// Re-keys `replica` in the heap after a mutation.
+    fn refresh(&mut self, replica: usize) {
+        self.heap.refresh(replica, self.sims[replica].next_ready_ps());
+    }
+
+    /// The fleet-wide control view at virtual time `now`.
+    fn stats(&self, now: TimePs) -> FleetStats {
+        let replicas = (0..self.sims.len())
+            .map(|i| {
+                let slot = &self.slots[i];
+                let busy = self.sims[i].busy_ps();
+                let (base_busy, base_clock) = slot.window_base;
+                let window = now.saturating_sub(base_clock);
+                let util_window = if window == 0 {
+                    0.0
+                } else {
+                    (busy.saturating_sub(base_busy)) as f64 / window as f64
+                };
+                ReplicaStatus {
+                    snapshot: self.snapshot(i),
+                    home_role: slot.home_role,
+                    pending_role: slot.pending_role,
+                    active_from_ps: slot.active_from_ps,
+                    retiring: slot.retiring,
+                    busy_ps: busy,
+                    util_window,
+                }
+            })
+            .collect();
+        // Only arrivals that have actually reached the front end by
+        // `now` are backlog; the rest of the deque is the future of the
+        // trace, which a control plane (like a real front-end) must
+        // never see. The deque is arrival-sorted, so the backlog is a
+        // prefix.
+        let queued_arrivals = self.arrivals.iter().take_while(|r| r.arrival_ps <= now).count();
+        FleetStats {
+            clock_ps: now,
+            replicas,
+            queued_arrivals,
+            pending_transfers: self.pending.len(),
+        }
+    }
+
+    /// Applies one control command under drain semantics.
+    fn apply(&mut self, command: FleetCommand, now: TimePs) {
+        match command {
+            FleetCommand::SetRole { replica, role } => {
+                assert!(replica < self.sims.len(), "SetRole names replica {replica}");
+                assert!(
+                    role != ReplicaRole::Prefill || !self.links.is_empty(),
+                    "cannot flex to the prefill role without a KV-transfer link"
+                );
+                let slot = &mut self.slots[replica];
+                if slot.role == role {
+                    slot.pending_role = None;
+                    return;
+                }
+                slot.pending_role = Some(role);
+                self.try_apply_pending_role(replica);
+            }
+            FleetCommand::ScaleUp { template, warmup_ps } => {
+                assert!(template < self.sims.len(), "ScaleUp names template {template}");
+                let active_from = now.saturating_add(warmup_ps);
+                // Reactivate a drained retired replica before growing the
+                // fleet vector: cheaper, and keeps indices dense.
+                if let Some(idx) = (0..self.slots.len()).find(|&i| {
+                    self.slots[i].retiring
+                        && self.slots[i].pending_role.is_none()
+                        && self.sims[i].scheduler().outstanding() == 0
+                }) {
+                    self.slots[idx].retiring = false;
+                    self.slots[idx].active_from_ps = active_from;
+                    return;
+                }
+                let config = self.slots[template].config.clone();
+                let sim = ServingSimulator::new(config.clone(), Vec::new())
+                    .expect("the template configuration was already realized once");
+                self.sims.push(sim);
+                let mut slot = ReplicaSlot::new(config);
+                slot.active_from_ps = active_from;
+                self.slots.push(slot);
+                self.heap.grow();
+            }
+            FleetCommand::ScaleDown { replica } => {
+                assert!(replica < self.sims.len(), "ScaleDown names replica {replica}");
+                self.slots[replica].retiring = true;
+            }
+        }
+    }
+
+    /// Completes a deferred role switch once the replica has drained.
+    fn try_apply_pending_role(&mut self, replica: usize) {
+        let Some(role) = self.slots[replica].pending_role else { return };
+        if self.sims[replica].scheduler().outstanding() > 0 {
+            return;
+        }
+        self.sims[replica].set_mode(role.scheduler_mode());
+        let slot = &mut self.slots[replica];
+        slot.role = role;
+        slot.pending_role = None;
+        // Completions produced under the old role are not handoffs of the
+        // new one.
+        slot.handed_off = self.sims[replica].scheduler().completions().len();
+    }
+
+    /// Fires every control tick due before the next event at `horizon`,
+    /// applying the commands each produces.
+    fn fire_due_ticks(&mut self, horizon: TimePs) {
+        let Some(tick) = self.tick_ps else { return };
+        while self.next_tick_ps <= horizon {
+            let now = self.next_tick_ps;
+            let stats = self.stats(now);
+            let commands = self.control.on_tick(&stats);
+            for command in commands {
+                self.apply(command, now);
+            }
+            // Reset every utilization window at the tick boundary.
+            for i in 0..self.sims.len() {
+                self.slots[i].window_base = (self.sims[i].busy_ps(), now);
+            }
+            self.next_tick_ps += tick;
+        }
+    }
+
+    /// Queues any prefills replica `index` just finished for transfer.
+    /// Links are *not* booked here: events are discovered in
+    /// iteration-start order, so an earlier-ready transfer from another
+    /// replica may still surface — booking waits until it can happen in
+    /// KV-ready order ([`commit_ready_transfers`](Self::step)).
+    fn hand_off_finished_prefills(&mut self, index: usize) {
+        let completions = self.sims[index].scheduler().completions();
+        let first_fresh = self.slots[index].handed_off;
+        self.slots[index].handed_off = completions.len();
+        for done in &completions[first_fresh..] {
+            self.pending.push(std::cmp::Reverse((done.finish_ps, done.id, index)));
+            self.handoffs_total += 1;
+        }
+    }
+
+    /// The earliest virtual time at which a *new* transfer could still
+    /// become ready: any future prefill completion lands strictly after
+    /// its replica's next event, and any unadmitted arrival strictly
+    /// after its arrival time.
+    fn transfer_horizon(&self) -> TimePs {
+        let mut horizon = self.arrivals.front().map_or(TimePs::MAX, |r| r.arrival_ps);
+        for (i, sim) in self.sims.iter().enumerate() {
+            if self.slots[i].role != ReplicaRole::Prefill {
+                continue;
+            }
+            if let Some(t) = sim.next_ready_ps() {
+                horizon = horizon.min(t);
+            }
+        }
+        horizon
+    }
+
+    /// Commits pending transfers to the links in KV-ready order: each
+    /// starts when its KV is ready *and* its link is free (FIFO by
+    /// readiness, never by event-discovery order), pairs its decode
+    /// replica through the control plane, and injects the request with
+    /// the transfer-completion arrival time. The decode pool keeps
+    /// executing underneath — only the shipped request waits on the wire.
+    fn commit_ready_transfers(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let horizon = self.transfer_horizon();
+        while let Some(&std::cmp::Reverse((ready_ps, id, from))) = self.pending.peek() {
+            if ready_ps > horizon {
+                // A not-yet-simulated prefill or arrival could still beat
+                // this transfer onto a link; commit later.
+                return;
+            }
+            self.pending.pop();
+            let request = self.requests[&id];
+            let bytes = request.input_len as u64 * self.kv_bytes_per_token;
+            // Earliest-free link, lowest index on ties (a single link
+            // degenerates to the classic shared-FIFO wire).
+            let link_idx = self
+                .links
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, l)| (l.free_ps, *i))
+                .map(|(i, _)| i)
+                .expect("linked fleets have at least one link");
+            let start_ps = ready_ps.max(self.links[link_idx].free_ps);
+            let done_ps = start_ps + self.links[link_idx].spec.transfer_ps(bytes);
+            self.links[link_idx].free_ps = done_ps;
+
+            let candidates: Vec<ReplicaSnapshot> = (0..self.sims.len())
+                .filter(|&i| {
+                    let slot = &self.slots[i];
+                    slot.role == ReplicaRole::Decode
+                        && slot.in_service()
+                        && slot.active_from_ps <= ready_ps
+                })
+                .map(|i| self.snapshot(i))
+                .collect();
+            assert!(
+                !candidates.is_empty(),
+                "no decode replica available for the KV handoff of request {id}"
+            );
+            let chosen = self.control.pair(&request, &candidates);
+            assert!(
+                candidates.iter().any(|s| s.index == chosen),
+                "control plane paired replica {chosen}, not one of the {} offered",
+                candidates.len()
+            );
+            self.slots[chosen].paired += 1;
+            self.transfers.insert(
+                id,
+                FleetTransfer {
+                    from,
+                    to: chosen,
+                    link: link_idx,
+                    ready_ps,
+                    start_ps,
+                    done_ps,
+                    bytes,
+                },
+            );
+            self.sims[chosen].push_request(Request::new(
+                id,
+                request.input_len,
+                request.output_len,
+                done_ps,
+            ));
+            self.refresh(chosen);
+        }
+    }
+
+    /// Processes the earliest virtual-time event: fires due control
+    /// ticks, commits any transfer whose KV-ready order is settled, then
+    /// admits one arrival or runs one replica iteration (queueing any
+    /// prefills it finishes). Returns `false` when everything has
+    /// drained.
+    pub fn step(&mut self) -> bool {
+        if self.tick_ps.is_some() {
+            if let Some(horizon) = self.next_ready_ps() {
+                self.fire_due_ticks(horizon);
+            }
+        }
+        self.commit_ready_transfers();
+        let next_ready = self.heap.peek();
+        let next_arrival = self.arrivals.front().map(|r| r.arrival_ps);
+        // Arrivals admit first on ties so the control plane always sees
+        // the request before any replica simulates past its arrival time.
+        let admit_arrival = match (next_arrival, next_ready) {
+            (Some(at), Some((rt, _))) => at <= rt,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        match (admit_arrival, next_ready) {
+            (true, _) => {
+                let request = self.arrivals.pop_front().expect("checked above");
+                // Offer only the in-service replicas whose role takes
+                // fresh work and whose warm-up has elapsed.
+                let candidates: Vec<ReplicaSnapshot> = (0..self.sims.len())
+                    .filter(|&i| {
+                        let slot = &self.slots[i];
+                        slot.role.accepts_arrivals()
+                            && slot.in_service()
+                            && slot.active_from_ps <= request.arrival_ps
+                    })
+                    .map(|i| self.snapshot(i))
+                    .collect();
+                assert!(
+                    !candidates.is_empty(),
+                    "no replica accepts arrivals for request {} — the control plane \
+                     drained or retired every admission candidate",
+                    request.id
+                );
+                let chosen = self.control.admit(&request, &candidates);
+                assert!(
+                    candidates.iter().any(|s| s.index == chosen),
+                    "control plane admitted to replica {chosen}, not one of the {} offered",
+                    candidates.len()
+                );
+                self.assignments.push((request.id, chosen));
+                self.slots[chosen].routed += 1;
+                self.sims[chosen].push_request(request);
+                self.refresh(chosen);
+                true
+            }
+            (false, Some((_, idx))) => {
+                self.heap.pop();
+                let before = self.sims[idx].scheduler().completions().len();
+                self.sims[idx].step();
+                let after = self.sims[idx].scheduler().completions().len();
+                if self.slots[idx].role == ReplicaRole::Prefill {
+                    self.hand_off_finished_prefills(idx);
+                }
+                self.try_apply_pending_role(idx);
+                self.refresh(idx);
+                if after > before && self.control.reactive() {
+                    let now = self.sims[idx].clock_ps();
+                    let stats = self.stats(now);
+                    let commands = self.control.on_completion(&stats);
+                    for command in commands {
+                        self.apply(command, now);
+                    }
+                }
+                true
+            }
+            (false, None) => {
+                // With no arrivals and every replica idle the horizon is
+                // unbounded, so the commit pass above drained the queue.
+                debug_assert!(self.pending.is_empty(), "drained with transfers still pending");
+                false
+            }
+        }
+    }
+
+    /// Runs the fleet to completion and assembles the engine-level
+    /// report.
+    pub fn run(mut self) -> FleetReport {
+        while self.step() {}
+        self.into_report()
+    }
+
+    /// Finalizes into the engine-level report (a partially drained fleet
+    /// yields a partial report). Shape-specific drivers use
+    /// [`into_parts`](Self::into_parts) instead and assemble their own
+    /// reports.
+    pub fn into_report(self) -> FleetReport {
+        FleetReport::from_parts(self.into_parts())
+    }
+
+    /// Dismantles the engine into the raw per-replica reports, transfer
+    /// records, and bookkeeping a shape-specific driver needs to build
+    /// its own report (`ClusterReport`, `DisaggReport`, ...).
+    pub fn into_parts(self) -> FleetParts {
+        let control = self.control.name();
+        let replicas = self
+            .sims
+            .into_iter()
+            .zip(self.slots)
+            .map(|(sim, slot)| FleetReplica {
+                report: sim.into_report(),
+                role: slot.role,
+                home_role: slot.home_role,
+                routed: slot.routed,
+                paired: slot.paired,
+                retired: slot.retiring,
+            })
+            .collect();
+        FleetParts {
+            control,
+            replicas,
+            assignments: self.assignments,
+            transfers: self.transfers,
+            requests: self.requests,
+        }
+    }
+}
+
+/// The dismantled engine: everything a report assembler needs.
+#[derive(Debug)]
+pub struct FleetParts {
+    /// The control plane's name.
+    pub control: String,
+    /// Per-replica outcome, by fleet index.
+    pub replicas: Vec<FleetReplica>,
+    /// `(request id, replica)` admissions in routing order.
+    pub assignments: Vec<(u64, usize)>,
+    /// Committed KV transfers by request id.
+    pub transfers: HashMap<u64, FleetTransfer>,
+    /// Original requests by id (empty for fleets without links).
+    pub requests: HashMap<u64, Request>,
+}
+
+impl Simulate for FleetEngine {
+    type Report = FleetReport;
+
+    fn push_request(&mut self, request: Request) {
+        FleetEngine::push_request(self, request);
+    }
+
+    fn next_ready_ps(&self) -> Option<TimePs> {
+        FleetEngine::next_ready_ps(self)
+    }
+
+    fn clock_ps(&self) -> TimePs {
+        FleetEngine::clock_ps(self)
+    }
+
+    fn completed_requests(&self) -> usize {
+        FleetEngine::completed_requests(self)
+    }
+
+    fn step(&mut self) -> bool {
+        FleetEngine::step(self)
+    }
+
+    fn finalize(self) -> FleetReport {
+        self.into_report()
+    }
+}

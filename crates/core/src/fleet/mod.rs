@@ -1,0 +1,55 @@
+//! One fleet engine for every multi-replica serving shape.
+//!
+//! The repo used to run three near-duplicate virtual-time event loops —
+//! the single-replica step loop, the cluster's router interleave, and
+//! the disaggregated pool/transfer interleave — so every fleet-level
+//! feature (heterogeneous hardware, role flexing, autoscaling) would
+//! have had to be implemented three times. This module collapses them
+//! into one core:
+//!
+//! ```text
+//!             ┌──────────────────────────────────────────────┐
+//!             │                 FleetEngine                  │
+//!             │  virtual-time loop · ReadyHeap · KV links    │
+//!             └──────┬────────────┬──────────────┬───────────┘
+//!        admit/pair  │            │ step         │ handoff
+//!             ┌──────▼─────┐ ┌────▼───────┐ ┌────▼───────┐
+//!             │ControlPlane│ │ Replica 0  │ │ Replica N  │
+//!             │ static /   │ │ Serving-   │…│ Serving-   │
+//!             │ flex /     │ │ Simulator  │ │ Simulator  │
+//!             │ autoscale  │ │ + role     │ │ + role     │
+//!             └────────────┘ └────────────┘ └────────────┘
+//! ```
+//!
+//! * [`FleetEngine`] — the event loop: replica slots, KV-transfer links,
+//!   control ticks, drain-safe reconfiguration.
+//! * [`ControlPlane`] — the policy brain: admission (routing), pairing
+//!   (KV handoff targets), and reconfiguration ([`FleetCommand`]).
+//!   Shipped planes: [`StaticControl`], [`FlexPools`],
+//!   [`AutoscaleControl`].
+//! * [`ReadyHeap`] — the shared lazy-invalidation min-heap of replica
+//!   ready-times (moved here from `llmss-cluster`).
+//! * [`RoutingPolicy`] / [`ReplicaSnapshot`] / [`ReplicaRole`] — the
+//!   router vocabulary (also moved from `llmss-cluster`; that crate
+//!   re-exports them for compatibility).
+//! * [`FleetReport`] — the engine-level report for reshaping fleets;
+//!   `ClusterSimulator` and `DisaggSimulator` instead rebuild their
+//!   legacy reports from [`FleetEngine::into_parts`].
+
+mod control;
+mod engine;
+mod heap;
+mod report;
+mod route;
+
+pub use control::{
+    AutoscaleConfig, AutoscaleControl, ControlPlane, FleetCommand, FleetStats, FlexPools,
+    FlexPoolsConfig, ReplicaStatus, StaticControl,
+};
+pub use engine::{FleetEngine, FleetParts, FleetTransfer, ReplicaSlot};
+pub use heap::ReadyHeap;
+pub use report::{FleetReplica, FleetReport};
+pub use route::{
+    LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReplicaRole, ReplicaSnapshot, RoundRobin,
+    RoutingPolicy, RoutingPolicyKind, Sticky,
+};

@@ -1,0 +1,220 @@
+//! The engine-level fleet report: per-replica outcomes, end-to-end
+//! completions (KV handoffs joined back to their original arrivals), and
+//! fleet-wide SLO metrics for control planes that reshape the fleet at
+//! runtime (flexing, autoscaling).
+//!
+//! Shape-specific drivers (`ClusterSimulator`, `DisaggSimulator`) keep
+//! their own richer report types; [`FleetReport`] is the shape-agnostic
+//! view a `[fleet]` scenario produces.
+
+use llmss_sched::{Completion, TimePs};
+
+use crate::{PercentileSummary, ReportOutput, ReuseStats, SimReport, SloSummary};
+
+use super::engine::{FleetParts, FleetTransfer};
+use super::route::ReplicaRole;
+
+/// One replica's outcome in a finished fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReplica {
+    /// The replica's full serving report.
+    pub report: SimReport,
+    /// The role the replica held when the run finished.
+    pub role: ReplicaRole,
+    /// The role the replica was created with.
+    pub home_role: ReplicaRole,
+    /// Fresh arrivals routed here.
+    pub routed: usize,
+    /// KV handoffs paired to this replica.
+    pub paired: usize,
+    /// Whether the replica was retired (scaled down) at the end.
+    pub retired: bool,
+}
+
+/// The aggregated result of one fleet-engine run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The control plane that drove the run.
+    pub control: String,
+    /// Per-replica outcomes, by fleet index (including replicas the
+    /// autoscaler added or retired mid-run).
+    pub replicas: Vec<FleetReplica>,
+    /// End-to-end completions: one per served request, with KV-handoff
+    /// requests joined back to their original front-end arrival (sorted
+    /// by request id).
+    pub completions: Vec<Completion>,
+    /// Committed KV transfers, sorted by request id.
+    pub transfers: Vec<(u64, FleetTransfer)>,
+    /// `(request id, replica)` admissions in routing order.
+    pub assignments: Vec<(u64, usize)>,
+    makespan_ps: TimePs,
+}
+
+impl FleetReport {
+    /// Assembles the report from a dismantled engine.
+    pub fn from_parts(parts: FleetParts) -> Self {
+        let makespan_ps =
+            parts.replicas.iter().map(|r| r.report.sim_duration_ps).max().unwrap_or(0);
+        // End-to-end completions: skip the prefill-side bookkeeping record
+        // of each handoff (same id, `from` replica, finishing exactly at
+        // the KV-ready instant), and restore the original arrival on the
+        // decode-side record (its scheduler-local arrival is the
+        // transfer-done time). A flexed replica can be both sides of one
+        // handoff (`from == to`), so the prefill-side record is keyed by
+        // its finish time, not the replica index alone — the decode side
+        // always finishes strictly after the transfer completed.
+        let mut completions: Vec<Completion> = Vec::new();
+        for (index, replica) in parts.replicas.iter().enumerate() {
+            for c in &replica.report.completions {
+                match parts.transfers.get(&c.id) {
+                    Some(t) if t.from == index && c.finish_ps == t.ready_ps => {}
+                    Some(t) if t.to == index => {
+                        let mut joined = *c;
+                        joined.arrival_ps = parts.requests[&c.id].arrival_ps;
+                        completions.push(joined);
+                    }
+                    Some(t) => {
+                        debug_assert!(
+                            false,
+                            "request {} completed on replica {index}, which is neither \
+                             side of its handoff {t:?}",
+                            c.id
+                        );
+                    }
+                    None => completions.push(*c),
+                }
+            }
+        }
+        completions.sort_by_key(|c| c.id);
+        let mut transfers: Vec<(u64, FleetTransfer)> = parts.transfers.into_iter().collect();
+        transfers.sort_by_key(|&(id, _)| id);
+        Self {
+            control: parts.control,
+            replicas: parts.replicas,
+            completions,
+            transfers,
+            assignments: parts.assignments,
+            makespan_ps,
+        }
+    }
+
+    /// Fleet makespan: the latest replica clock.
+    pub fn makespan_ps(&self) -> TimePs {
+        self.makespan_ps
+    }
+
+    /// Fleet makespan in seconds.
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_ps as f64 / 1e12
+    }
+
+    /// Requests served end to end.
+    pub fn total_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Generation throughput in tokens per simulated second, over
+    /// end-to-end completions.
+    pub fn generation_throughput(&self) -> f64 {
+        let s = self.makespan_s();
+        if s == 0.0 {
+            return 0.0;
+        }
+        let tokens: usize = self.completions.iter().map(|c| c.output_len).sum();
+        tokens as f64 / s
+    }
+
+    /// The standard SLO percentile summaries (TTFT / TPOT / latency),
+    /// fleet-wide over end-to-end completions.
+    pub fn slo(&self) -> SloSummary {
+        SloSummary::collect(self.completions.iter())
+    }
+
+    /// Fleet-wide reuse statistics (all replicas merged).
+    pub fn aggregate_reuse(&self) -> ReuseStats {
+        let mut total = ReuseStats::default();
+        for r in &self.replicas {
+            total.merge(&r.report.reuse);
+        }
+        total
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let slo = self.slo();
+        let ttft = PercentileSummary::display_or_na(slo.ttft);
+        let tpot = PercentileSummary::display_or_na(slo.tpot);
+        let latency = PercentileSummary::display_or_na(slo.latency);
+        let reuse = self.aggregate_reuse();
+        let retired = self.replicas.iter().filter(|r| r.retired).count();
+        format!(
+            "fleet control={} replicas={} (retired {}) requests={} transfers={} \
+             makespan={:.2}s gen_tput={:.1} tok/s ttft[{ttft}] tpot[{tpot}] \
+             latency[{latency}] op_reuse={:.1}% iter_reuse={:.1}%",
+            self.control,
+            self.replicas.len(),
+            retired,
+            self.total_completions(),
+            self.transfers.len(),
+            self.makespan_s(),
+            self.generation_throughput(),
+            reuse.hit_rate() * 100.0,
+            reuse.iteration_hit_rate() * 100.0,
+        )
+    }
+
+    /// Per-replica TSV (the CLI's `{output}-fleet.tsv`): one row per
+    /// replica plus a `fleet` totals row carrying the SLO percentiles.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "replica\trole\thome_role\tretired\trouted\tpaired\tcompleted\
+             \titerations\tbusy_s\tutilization\tttft_p50\tttft_p95\tttft_p99\
+             \tlat_p50\tlat_p95\tlat_p99\n",
+        );
+        let makespan = self.makespan_ps.max(1);
+        for (i, r) in self.replicas.iter().enumerate() {
+            let busy: TimePs = r.report.iterations.iter().map(|it| it.latency_ps).sum();
+            let ttft = PercentileSummary::tsv_fields_or_dashes(r.report.ttft_percentiles());
+            let lat = PercentileSummary::tsv_fields_or_dashes(r.report.latency_percentiles());
+            out.push_str(&format!(
+                "{i}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{ttft}\t{lat}\n",
+                r.role,
+                r.home_role,
+                r.retired,
+                r.routed,
+                r.paired,
+                r.report.completions.len(),
+                r.report.iterations.len(),
+                busy as f64 / 1e12,
+                busy as f64 / makespan as f64,
+            ));
+        }
+        let slo = self.slo();
+        let ttft = PercentileSummary::tsv_fields_or_dashes(slo.ttft);
+        let lat = PercentileSummary::tsv_fields_or_dashes(slo.latency);
+        out.push_str(&format!(
+            "fleet\t-\t-\t-\t{}\t{}\t{}\t{}\t{:.4}\t-\t{ttft}\t{lat}\n",
+            self.assignments.len(),
+            self.transfers.len(),
+            self.total_completions(),
+            self.replicas.iter().map(|r| r.report.iterations.len()).sum::<usize>(),
+            self.replicas
+                .iter()
+                .flat_map(|r| r.report.iterations.iter())
+                .map(|it| it.latency_ps)
+                .sum::<TimePs>() as f64
+                / 1e12,
+        ));
+        out
+    }
+}
+
+impl ReportOutput for FleetReport {
+    fn summary(&self) -> String {
+        FleetReport::summary(self)
+    }
+
+    fn artifacts(&self) -> Vec<(&'static str, String)> {
+        vec![("-fleet.tsv", self.to_tsv())]
+    }
+}

@@ -39,6 +39,7 @@
 mod config;
 mod convert;
 mod engine;
+mod fleet;
 mod mapping;
 mod report;
 mod reuse;
@@ -51,6 +52,13 @@ pub use config::{
 };
 pub use convert::GraphConverter;
 pub use engine::{ExecutionEngine, NpuPimLocalPlugin, NpuPlugin, PimPlugin};
+pub use fleet::{
+    AutoscaleConfig, AutoscaleControl, ControlPlane, FleetCommand, FleetEngine, FleetParts,
+    FleetReplica, FleetReport, FleetStats, FleetTransfer, FlexPools, FlexPoolsConfig,
+    LeastKvLoad, LeastOutstanding, PowerOfTwoChoices, ReadyHeap, ReplicaRole, ReplicaSlot,
+    ReplicaSnapshot, ReplicaStatus, RoundRobin, RoutingPolicy, RoutingPolicyKind,
+    StaticControl, Sticky,
+};
 pub use mapping::{map_op, DeviceKind, PimMode};
 pub use report::{
     percentile, percentiles_from_ps, IterationRecord, PercentileSummary, ReportOutput,

@@ -59,6 +59,8 @@ pub struct ServingSimulator {
     des: GraphSimulator,
     /// Whole-iteration outcome memoization.
     memo: IterationCache,
+    /// Simulated time spent executing iterations (cumulative).
+    busy_ps: TimePs,
 }
 
 impl ServingSimulator {
@@ -112,6 +114,7 @@ impl ServingSimulator {
             graph: ExecGraph::new(),
             des: GraphSimulator::new(),
             memo,
+            busy_ps: 0,
         })
     }
 
@@ -175,6 +178,7 @@ impl ServingSimulator {
         batch: &llmss_sched::IterationBatch,
         outcome: &IterationOutcome,
     ) {
+        self.busy_ps += outcome.makespan_ps;
         self.records.push(IterationRecord {
             index: self.scheduler.iterations(),
             start_ps: self.scheduler.clock_ps(),
@@ -232,6 +236,29 @@ impl ServingSimulator {
     /// The replica's current simulated clock.
     pub fn clock_ps(&self) -> TimePs {
         self.scheduler.clock_ps()
+    }
+
+    /// The replica's current serving role (derived from its scheduler
+    /// mode).
+    pub fn mode(&self) -> llmss_sched::SchedulerMode {
+        self.scheduler.mode()
+    }
+
+    /// Role-switch hook: re-targets the replica at a different serving
+    /// phase. Only legal once the replica has drained — see
+    /// [`Scheduler::set_mode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request is still pending, active, or evicted.
+    pub fn set_mode(&mut self, mode: llmss_sched::SchedulerMode) {
+        self.scheduler.set_mode(mode);
+    }
+
+    /// Simulated time this replica has spent executing iterations — the
+    /// control plane's utilization signal.
+    pub fn busy_ps(&self) -> TimePs {
+        self.busy_ps
     }
 
     /// The scheduler (for inspection between steps).

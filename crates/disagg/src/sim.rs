@@ -1,26 +1,29 @@
 //! The disaggregated serving simulator: a prefill pool and a decode pool
-//! joined by a KV-transfer link, advanced in one virtual-time event loop.
+//! joined by a KV-transfer link, as a thin composition over the core
+//! [`FleetEngine`].
 //!
-//! Requests route to the prefill pool at arrival. When a prefill replica
-//! finishes a request (its scheduler runs in
-//! [`SchedulerMode::PrefillOnly`](llmss_sched::SchedulerMode), completing
-//! at end-of-prefill), the request's KV cache — prompt tokens ×
-//! `kv_bytes_per_token` — is serialized FIFO over the inter-pool link and
-//! the request is injected into the decode replica the pairing policy
-//! picked, arriving when the transfer completes. Decode replicas run in
-//! [`SchedulerMode::DecodeOnly`](llmss_sched::SchedulerMode): admission
-//! reserves the shipped KV footprint and every iteration is a decode
-//! step. Transfers overlap decode-pool execution in virtual time: the
-//! decode replica keeps iterating on whatever it already holds while
-//! later handoffs are still in flight.
+//! Disaggregation is exactly the fleet engine with role-filtered
+//! admission plus a KV-transfer link: requests route to the prefill-role
+//! replicas at arrival; when a prefill replica finishes a request (its
+//! scheduler runs in
+//! [`SchedulerMode::PrefillOnly`](llmss_sched::SchedulerMode)), the
+//! engine serializes the request's KV cache — prompt tokens ×
+//! `kv_bytes_per_token` — FIFO over the inter-pool link in KV-ready
+//! order and injects the request into the decode replica the pairing
+//! policy picked, arriving when the transfer completes. Decode replicas
+//! run in [`SchedulerMode::DecodeOnly`](llmss_sched::SchedulerMode):
+//! admission reserves the shipped KV footprint and every iteration is a
+//! decode step. Transfers overlap decode-pool execution in virtual time.
+//!
+//! This type owns no event loop: it builds the engine (prefill replicas
+//! at fleet indices `0..P`, decode replicas at `P..P+D`), forwards the
+//! [`Simulate`] lifecycle, and re-maps the engine's global indices back
+//! to per-pool indices when assembling the [`DisaggReport`].
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-
-use llmss_cluster::{
-    ReadyHeap, ReplicaRole, ReplicaSnapshot, RoutingPolicy, RoutingPolicyKind,
+use llmss_cluster::{ReplicaRole, RoutingPolicy, RoutingPolicyKind};
+use llmss_core::{
+    ConfigError, FleetEngine, ServingSimulator, SimConfig, Simulate, StaticControl,
 };
-use llmss_core::{ConfigError, ServingSimulator, SimConfig, Simulate};
 use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
 
@@ -174,35 +177,14 @@ impl DisaggConfig {
     }
 }
 
-/// A disaggregated prefill/decode deployment, advanced in virtual time.
+/// A disaggregated prefill/decode deployment, advanced in virtual time
+/// by the core [`FleetEngine`].
 #[derive(Debug)]
 pub struct DisaggSimulator {
-    prefill: Vec<ServingSimulator>,
-    decode: Vec<ServingSimulator>,
-    router: Box<dyn RoutingPolicy>,
-    pairer: Box<dyn RoutingPolicy>,
-    kv_link: LinkSpec,
-    kv_bytes_per_token: u64,
-    /// Global arrival stream, earliest first.
-    arrivals: VecDeque<Request>,
-    /// Original requests by id (handoffs need input/output lengths).
-    requests: HashMap<u64, Request>,
-    /// Per-request transfer records, filled when a transfer commits.
-    transfers: HashMap<u64, Transfer>,
-    /// Finished prefills whose transfers haven't committed to the link
-    /// yet: `(KV-ready time, request id, prefill replica)`, earliest
-    /// first. The link serves in *ready* order, not discovery order.
-    pending: BinaryHeap<Reverse<(TimePs, u64, usize)>>,
-    /// When the shared KV link frees up (FIFO serialization).
-    link_free_ps: TimePs,
-    /// Completions already drained per prefill replica.
-    prefill_seen: Vec<usize>,
-    /// Requests routed per prefill / paired per decode replica.
-    routed_prefill: Vec<usize>,
-    routed_decode: Vec<usize>,
-    /// Replica ready-times; prefill replicas occupy global indices
-    /// `0..P`, decode replicas `P..P+D`.
-    heap: ReadyHeap,
+    engine: FleetEngine,
+    /// Prefill-pool size: the engine holds prefill replicas at fleet
+    /// indices `0..P` and decode replicas at `P..P+D`.
+    prefill_len: usize,
     routing_name: String,
     pairing_name: String,
 }
@@ -228,252 +210,75 @@ impl DisaggSimulator {
         prefill_config: SimConfig,
         decode_config: SimConfig,
         config: DisaggConfig,
-        mut trace: Vec<Request>,
+        trace: Vec<Request>,
     ) -> Result<Self, ConfigError> {
         assert_eq!(
             prefill_config.model.name, decode_config.model.name,
             "prefill and decode pools must serve the same model"
         );
-        let kv_bytes_per_token = prefill_config.model.kv_bytes_per_token();
         let prefill_config = prefill_config.prefill_only();
         let decode_config = decode_config.decode_only();
+        let mut configs = vec![prefill_config; config.prefill_replicas];
+        configs.extend(vec![decode_config; config.decode_replicas]);
 
-        let mut prefill = Vec::with_capacity(config.prefill_replicas);
-        for _ in 0..config.prefill_replicas {
-            prefill.push(ServingSimulator::new(prefill_config.clone(), Vec::new())?);
-        }
-        let mut decode = Vec::with_capacity(config.decode_replicas);
-        for _ in 0..config.decode_replicas {
-            decode.push(ServingSimulator::new(decode_config.clone(), Vec::new())?);
-        }
-
-        trace.sort_by_key(|r| (r.arrival_ps, r.id));
-        let requests = trace.iter().map(|r| (r.id, *r)).collect();
         let router = config.routing.build(config.seed);
         let pairer = config.pairing.build();
-        Ok(Self {
-            routing_name: router.name().to_owned(),
-            pairing_name: pairer.name().to_owned(),
-            router,
-            pairer,
-            kv_link: config.kv_link,
-            kv_bytes_per_token,
-            arrivals: trace.into(),
-            requests,
-            transfers: HashMap::new(),
-            pending: BinaryHeap::new(),
-            link_free_ps: 0,
-            prefill_seen: vec![0; config.prefill_replicas],
-            routed_prefill: vec![0; config.prefill_replicas],
-            routed_decode: vec![0; config.decode_replicas],
-            heap: ReadyHeap::new(config.prefill_replicas + config.decode_replicas),
-            prefill,
-            decode,
-        })
+        let routing_name = router.name().to_owned();
+        let pairing_name = pairer.name().to_owned();
+        let engine = FleetEngine::new(
+            configs,
+            vec![config.kv_link],
+            Box::new(StaticControl::new(router, pairer)),
+            trace,
+        )?;
+        Ok(Self { engine, prefill_len: config.prefill_replicas, routing_name, pairing_name })
     }
 
     /// The prefill-pool replicas (for inspection between steps).
     pub fn prefill_replicas(&self) -> &[ServingSimulator] {
-        &self.prefill
+        &self.engine.sims()[..self.prefill_len]
     }
 
     /// The decode-pool replicas (for inspection between steps).
     pub fn decode_replicas(&self) -> &[ServingSimulator] {
-        &self.decode
+        &self.engine.sims()[self.prefill_len..]
     }
 
     /// KV bytes shipped per prompt token (from the model spec).
     pub fn kv_bytes_per_token(&self) -> u64 {
-        self.kv_bytes_per_token
+        self.engine.kv_bytes_per_token()
     }
 
     /// Injects one request online: it queues at the front end and routes
     /// to the prefill pool when virtual time reaches its arrival.
     pub fn push_request(&mut self, request: Request) {
-        self.requests.insert(request.id, request);
-        let pos = self
-            .arrivals
-            .iter()
-            .position(|r| (r.arrival_ps, r.id) > (request.arrival_ps, request.id))
-            .unwrap_or(self.arrivals.len());
-        self.arrivals.insert(pos, request);
+        self.engine.push_request(request);
     }
 
     /// The earliest virtual time the next [`step`](Self::step) would act
     /// (an arrival, a replica iteration in either pool, or a pending KV
     /// transfer), or `None` when the deployment has fully drained.
     pub fn next_ready_ps(&self) -> Option<TimePs> {
-        let replica_ready = self
-            .prefill
-            .iter()
-            .chain(&self.decode)
-            .filter_map(ServingSimulator::next_ready_ps)
-            .min();
-        let arrival = self.arrivals.front().map(|r| r.arrival_ps);
-        let transfer = self.pending.peek().map(|&Reverse((ready_ps, _, _))| ready_ps);
-        [replica_ready, arrival, transfer].into_iter().flatten().min()
+        self.engine.next_ready_ps()
     }
 
     /// The deployment's virtual clock: the furthest replica clock in
     /// either pool.
     pub fn clock_ps(&self) -> TimePs {
-        self.prefill
-            .iter()
-            .chain(&self.decode)
-            .map(ServingSimulator::clock_ps)
-            .max()
-            .unwrap_or(0)
+        self.engine.clock_ps()
     }
 
     /// Requests that finished their full lifecycle (decode completed).
     pub fn completed_requests(&self) -> usize {
-        self.decode.iter().map(|r| r.scheduler().completions().len()).sum()
+        self.decode_replicas().iter().map(|r| r.scheduler().completions().len()).sum()
     }
 
-    /// Re-keys a global replica index in the heap after a mutation.
-    fn refresh(&mut self, global: usize) {
-        let ready = if global < self.prefill.len() {
-            self.prefill[global].next_ready_ps()
-        } else {
-            self.decode[global - self.prefill.len()].next_ready_ps()
-        };
-        self.heap.refresh(global, ready);
-    }
-
-    fn prefill_snapshot(&self, index: usize) -> ReplicaSnapshot {
-        ReplicaSnapshot::capture(&self.prefill[index], index, ReplicaRole::Prefill)
-    }
-
-    fn decode_snapshot(&self, index: usize) -> ReplicaSnapshot {
-        ReplicaSnapshot::capture(&self.decode[index], index, ReplicaRole::Decode)
-    }
-
-    /// Queues any prefills replica `index` just finished for transfer.
-    /// The link is *not* booked here: events are discovered in
-    /// iteration-start order, so an earlier-ready transfer from another
-    /// replica may still surface — booking waits until it can happen in
-    /// KV-ready order ([`commit_ready_transfers`](Self::step)).
-    fn hand_off_finished_prefills(&mut self, index: usize) {
-        let completions = self.prefill[index].scheduler().completions();
-        let first_fresh = self.prefill_seen[index];
-        self.prefill_seen[index] = completions.len();
-        for done in &completions[first_fresh..] {
-            self.pending.push(Reverse((done.finish_ps, done.id, index)));
-        }
-    }
-
-    /// The earliest virtual time at which a *new* transfer could still
-    /// become ready: any future prefill completion lands strictly after
-    /// its replica's next event, and any unrouted arrival strictly after
-    /// its arrival time.
-    fn transfer_horizon(&self) -> TimePs {
-        let mut horizon = self.arrivals.front().map_or(TimePs::MAX, |r| r.arrival_ps);
-        for replica in &self.prefill {
-            if let Some(t) = replica.next_ready_ps() {
-                horizon = horizon.min(t);
-            }
-        }
-        horizon
-    }
-
-    /// Commits pending transfers to the shared link in KV-ready order:
-    /// each starts when its KV is ready *and* the link is free (FIFO by
-    /// readiness, never by event-discovery order), pairs its decode
-    /// replica, and injects the request with the transfer-completion
-    /// arrival time. The decode pool keeps executing underneath — only
-    /// the shipped request waits on the wire.
-    fn commit_ready_transfers(&mut self) {
-        let horizon = self.transfer_horizon();
-        while let Some(&Reverse((ready_ps, id, from))) = self.pending.peek() {
-            if ready_ps > horizon {
-                // A not-yet-simulated prefill or arrival could still beat
-                // this transfer onto the link; commit later.
-                return;
-            }
-            self.pending.pop();
-            let request = self.requests[&id];
-            let bytes = request.input_len as u64 * self.kv_bytes_per_token;
-            let start_ps = ready_ps.max(self.link_free_ps);
-            let done_ps = start_ps + self.kv_link.transfer_ps(bytes);
-            self.link_free_ps = done_ps;
-
-            let snapshots: Vec<ReplicaSnapshot> =
-                (0..self.decode.len()).map(|i| self.decode_snapshot(i)).collect();
-            let chosen = self.pairer.route(&request, &snapshots);
-            assert!(
-                chosen < self.decode.len(),
-                "pairing policy returned decode replica {chosen} of {}",
-                self.decode.len()
-            );
-            self.routed_decode[chosen] += 1;
-            self.transfers.insert(
-                id,
-                Transfer {
-                    prefill_replica: from,
-                    decode_replica: chosen,
-                    prefill_done_ps: ready_ps,
-                    start_ps,
-                    done_ps,
-                    bytes,
-                },
-            );
-            self.decode[chosen].push_request(Request::new(
-                id,
-                request.input_len,
-                request.output_len,
-                done_ps,
-            ));
-            self.refresh(self.prefill.len() + chosen);
-        }
-    }
-
-    /// Processes the earliest virtual-time event: commits any
-    /// transfer whose KV-ready order is settled, then routes one arrival
-    /// or runs one replica iteration (queueing any prefills it
-    /// finishes). Returns `false` when everything has drained.
+    /// Processes the earliest virtual-time event: commits any transfer
+    /// whose KV-ready order is settled, then routes one arrival or runs
+    /// one replica iteration (queueing any prefills it finishes).
+    /// Returns `false` when everything has drained.
     pub fn step(&mut self) -> bool {
-        self.commit_ready_transfers();
-        let next_ready = self.heap.peek();
-        let next_arrival = self.arrivals.front().map(|r| r.arrival_ps);
-        let route_arrival = match (next_arrival, next_ready) {
-            (Some(at), Some((rt, _))) => at <= rt,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        match (route_arrival, next_ready) {
-            (true, _) => {
-                let request = self.arrivals.pop_front().expect("checked above");
-                let snapshots: Vec<ReplicaSnapshot> =
-                    (0..self.prefill.len()).map(|i| self.prefill_snapshot(i)).collect();
-                let chosen = self.router.route(&request, &snapshots);
-                assert!(
-                    chosen < self.prefill.len(),
-                    "router returned prefill replica {chosen} of {}",
-                    self.prefill.len()
-                );
-                self.routed_prefill[chosen] += 1;
-                self.prefill[chosen].push_request(request);
-                self.refresh(chosen);
-                true
-            }
-            (false, Some((_, global))) => {
-                self.heap.pop();
-                if global < self.prefill.len() {
-                    self.prefill[global].step();
-                    self.hand_off_finished_prefills(global);
-                } else {
-                    self.decode[global - self.prefill.len()].step();
-                }
-                self.refresh(global);
-                true
-            }
-            (false, None) => {
-                // With no arrivals and every replica idle the horizon is
-                // unbounded, so the commit pass above drained the queue.
-                debug_assert!(self.pending.is_empty(), "drained with transfers still pending");
-                false
-            }
-        }
+        self.engine.step()
     }
 
     /// Runs the deployment to completion and assembles the report.
@@ -483,19 +288,41 @@ impl DisaggSimulator {
     }
 
     /// Assembles the report from the deployment's current state (a
-    /// partially drained deployment yields a partial report).
+    /// partially drained deployment yields a partial report), mapping the
+    /// engine's fleet-global replica indices back to per-pool indices.
     pub fn into_report(self) -> DisaggReport {
-        let prefill_reports: Vec<_> =
-            self.prefill.into_iter().map(ServingSimulator::into_report).collect();
-        let decode_reports: Vec<_> =
-            self.decode.into_iter().map(ServingSimulator::into_report).collect();
+        let prefill_len = self.prefill_len;
+        let parts = self.engine.into_parts();
+        let routed_prefill: Vec<usize> =
+            parts.replicas[..prefill_len].iter().map(|r| r.routed).collect();
+        let routed_decode: Vec<usize> =
+            parts.replicas[prefill_len..].iter().map(|r| r.paired).collect();
+        debug_assert!(
+            parts.replicas[..prefill_len].iter().all(|r| r.role == ReplicaRole::Prefill)
+                && parts.replicas[prefill_len..].iter().all(|r| r.role == ReplicaRole::Decode),
+            "a static disaggregated fleet never reshapes"
+        );
+        let mut reports = parts.replicas.into_iter().map(|r| r.report);
+        let prefill_reports: Vec<_> = reports.by_ref().take(prefill_len).collect();
+        let decode_reports: Vec<_> = reports.collect();
 
+        let transfer_of = |id: u64| {
+            let t = parts.transfers[&id];
+            Transfer {
+                prefill_replica: t.from,
+                decode_replica: t.to - prefill_len,
+                prefill_done_ps: t.ready_ps,
+                start_ps: t.start_ps,
+                done_ps: t.done_ps,
+                bytes: t.bytes,
+            }
+        };
         let mut completions: Vec<DisaggCompletion> = decode_reports
             .iter()
             .flat_map(|r| r.completions.iter())
             .map(|c| {
-                let transfer = self.transfers[&c.id];
-                let request = self.requests[&c.id];
+                let transfer = transfer_of(c.id);
+                let request = parts.requests[&c.id];
                 DisaggCompletion {
                     id: c.id,
                     arrival_ps: request.arrival_ps,
@@ -520,8 +347,8 @@ impl DisaggSimulator {
             prefill_reports,
             decode_reports,
             completions,
-            self.routed_prefill,
-            self.routed_decode,
+            routed_prefill,
+            routed_decode,
         )
     }
 }

@@ -8,7 +8,10 @@
 //! set the shape's native report writes.
 
 use llmss_cluster::{ClusterReport, ClusterSimulator};
-use llmss_core::{ReportOutput, ReuseStats, ServingSimulator, SimReport, Simulate, SloSummary};
+use llmss_core::{
+    FleetEngine, FleetReport, ReportOutput, ReuseStats, ServingSimulator, SimReport, Simulate,
+    SloSummary,
+};
 use llmss_disagg::{DisaggReport, DisaggSimulator};
 use llmss_sched::{Request, TimePs};
 
@@ -26,6 +29,9 @@ pub enum AnySimulator {
     Cluster(ClusterSimulator),
     /// A disaggregated prefill/decode deployment.
     Disagg(DisaggSimulator),
+    /// A `[fleet]` scenario: the fleet engine under an explicit control
+    /// plane (static / flex / autoscale), optionally heterogeneous.
+    Fleet(FleetEngine),
 }
 
 impl AnySimulator {
@@ -35,6 +41,7 @@ impl AnySimulator {
             AnySimulator::Single(_) => "single",
             AnySimulator::Cluster(_) => "cluster",
             AnySimulator::Disagg(_) => "disagg",
+            AnySimulator::Fleet(_) => "fleet",
         }
     }
 
@@ -52,6 +59,7 @@ impl Simulate for AnySimulator {
             AnySimulator::Single(s) => Simulate::push_request(&mut **s, request),
             AnySimulator::Cluster(s) => Simulate::push_request(s, request),
             AnySimulator::Disagg(s) => Simulate::push_request(s, request),
+            AnySimulator::Fleet(s) => Simulate::push_request(s, request),
         }
     }
 
@@ -60,6 +68,7 @@ impl Simulate for AnySimulator {
             AnySimulator::Single(s) => Simulate::next_ready_ps(&**s),
             AnySimulator::Cluster(s) => Simulate::next_ready_ps(s),
             AnySimulator::Disagg(s) => Simulate::next_ready_ps(s),
+            AnySimulator::Fleet(s) => Simulate::next_ready_ps(s),
         }
     }
 
@@ -68,6 +77,7 @@ impl Simulate for AnySimulator {
             AnySimulator::Single(s) => Simulate::clock_ps(&**s),
             AnySimulator::Cluster(s) => Simulate::clock_ps(s),
             AnySimulator::Disagg(s) => Simulate::clock_ps(s),
+            AnySimulator::Fleet(s) => Simulate::clock_ps(s),
         }
     }
 
@@ -76,6 +86,7 @@ impl Simulate for AnySimulator {
             AnySimulator::Single(s) => Simulate::completed_requests(&**s),
             AnySimulator::Cluster(s) => Simulate::completed_requests(s),
             AnySimulator::Disagg(s) => Simulate::completed_requests(s),
+            AnySimulator::Fleet(s) => Simulate::completed_requests(s),
         }
     }
 
@@ -84,6 +95,7 @@ impl Simulate for AnySimulator {
             AnySimulator::Single(s) => Simulate::step(&mut **s),
             AnySimulator::Cluster(s) => Simulate::step(s),
             AnySimulator::Disagg(s) => Simulate::step(s),
+            AnySimulator::Fleet(s) => Simulate::step(s),
         }
     }
 
@@ -92,6 +104,7 @@ impl Simulate for AnySimulator {
             AnySimulator::Single(s) => AnyReport::Single(Simulate::finalize(*s)),
             AnySimulator::Cluster(s) => AnyReport::Cluster(Simulate::finalize(s)),
             AnySimulator::Disagg(s) => AnyReport::Disagg(Simulate::finalize(s)),
+            AnySimulator::Fleet(s) => AnyReport::Fleet(Simulate::finalize(s)),
         }
     }
 }
@@ -106,6 +119,8 @@ pub enum AnyReport {
     Cluster(ClusterReport),
     /// A disaggregated [`DisaggReport`].
     Disagg(DisaggReport),
+    /// A fleet-engine [`FleetReport`].
+    Fleet(FleetReport),
 }
 
 impl AnyReport {
@@ -115,6 +130,7 @@ impl AnyReport {
             AnyReport::Single(_) => "single",
             AnyReport::Cluster(_) => "cluster",
             AnyReport::Disagg(_) => "disagg",
+            AnyReport::Fleet(_) => "fleet",
         }
     }
 
@@ -124,6 +140,7 @@ impl AnyReport {
             AnyReport::Single(r) => r.completions.len(),
             AnyReport::Cluster(r) => r.total_completions(),
             AnyReport::Disagg(r) => r.total_completions(),
+            AnyReport::Fleet(r) => r.total_completions(),
         }
     }
 
@@ -133,6 +150,7 @@ impl AnyReport {
             AnyReport::Single(r) => r.sim_duration_ps,
             AnyReport::Cluster(r) => r.makespan_ps(),
             AnyReport::Disagg(r) => r.makespan_ps(),
+            AnyReport::Fleet(r) => r.makespan_ps(),
         }
     }
 
@@ -147,6 +165,7 @@ impl AnyReport {
             AnyReport::Single(r) => r.generation_throughput(),
             AnyReport::Cluster(r) => r.generation_throughput(),
             AnyReport::Disagg(r) => r.generation_throughput(),
+            AnyReport::Fleet(r) => r.generation_throughput(),
         }
     }
 
@@ -156,6 +175,7 @@ impl AnyReport {
             AnyReport::Single(r) => r.slo(),
             AnyReport::Cluster(r) => r.slo(),
             AnyReport::Disagg(r) => r.slo(),
+            AnyReport::Fleet(r) => r.slo(),
         }
     }
 
@@ -166,6 +186,7 @@ impl AnyReport {
             AnyReport::Single(r) => r.reuse,
             AnyReport::Cluster(r) => r.aggregate_reuse(),
             AnyReport::Disagg(r) => r.aggregate_reuse(),
+            AnyReport::Fleet(r) => r.aggregate_reuse(),
         }
     }
 
@@ -192,6 +213,14 @@ impl AnyReport {
             _ => None,
         }
     }
+
+    /// The fleet report, if this run was one.
+    pub fn as_fleet(&self) -> Option<&FleetReport> {
+        match self {
+            AnyReport::Fleet(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl ReportOutput for AnyReport {
@@ -200,6 +229,7 @@ impl ReportOutput for AnyReport {
             AnyReport::Single(r) => ReportOutput::summary(r),
             AnyReport::Cluster(r) => ReportOutput::summary(r),
             AnyReport::Disagg(r) => ReportOutput::summary(r),
+            AnyReport::Fleet(r) => ReportOutput::summary(r),
         }
     }
 
@@ -208,6 +238,7 @@ impl ReportOutput for AnyReport {
             AnyReport::Single(r) => r.artifacts(),
             AnyReport::Cluster(r) => r.artifacts(),
             AnyReport::Disagg(r) => r.artifacts(),
+            AnyReport::Fleet(r) => r.artifacts(),
         }
     }
 }

@@ -47,11 +47,13 @@
 
 mod any;
 mod error;
+mod fleet;
 mod scenario;
 mod sweep;
 pub mod toml;
 
 pub use any::{AnyReport, AnySimulator};
 pub use error::ScenarioError;
+pub use fleet::{FleetControlKind, FleetSpec, ReplicaOverride};
 pub use scenario::{Scenario, ServingShape};
 pub use sweep::{Sweep, SweepAxis, SweepPoint, SweepReport, SweepRow};

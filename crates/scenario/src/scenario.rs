@@ -2,13 +2,18 @@
 //! serving experiment, validated at build time.
 
 use llmss_cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
-use llmss_core::{KvBucket, KvManage, ParallelismKind, PimMode, ServingSimulator, SimConfig};
+use llmss_core::{
+    AutoscaleConfig, AutoscaleControl, ControlPlane, FleetEngine, FlexPools, FlexPoolsConfig,
+    KvBucket, KvManage, ParallelismKind, PimMode, ReplicaRole, ServingSimulator, SimConfig,
+    StaticControl,
+};
 use llmss_disagg::{DisaggConfig, DisaggSimulator, PairingPolicyKind};
 use llmss_model::ModelSpec;
-use llmss_sched::{Request, SchedulingPolicy, Workload, WorkloadSpec};
+use llmss_net::LinkSpec;
+use llmss_sched::{Request, SchedulingPolicy, TimePs, Workload, WorkloadSpec};
 use serde::{Deserialize, Error, Serialize, Value};
 
-use crate::{toml, AnyReport, AnySimulator, ScenarioError};
+use crate::{toml, AnyReport, AnySimulator, FleetControlKind, FleetSpec, ScenarioError};
 
 /// The serving shape a scenario describes, derived from its
 /// `replicas`/`disagg` fields.
@@ -28,6 +33,15 @@ pub enum ServingShape {
         /// Decode-pool size.
         decode: usize,
     },
+    /// A `[fleet]` scenario: the fleet engine with an explicit control
+    /// plane (static, flexing, or autoscaling) and optionally a
+    /// heterogeneous per-replica config list.
+    Fleet {
+        /// Initial fleet size.
+        replicas: usize,
+        /// The control plane driving the fleet.
+        control: FleetControlKind,
+    },
 }
 
 impl std::fmt::Display for ServingShape {
@@ -37,6 +51,9 @@ impl std::fmt::Display for ServingShape {
             ServingShape::Cluster { replicas } => write!(f, "cluster x{replicas}"),
             ServingShape::Disagg { prefill, decode } => {
                 write!(f, "disagg {prefill}P x {decode}D")
+            }
+            ServingShape::Fleet { replicas, control } => {
+                write!(f, "fleet x{replicas} ({control})")
             }
         }
     }
@@ -119,6 +136,9 @@ pub struct Scenario {
     pub kv_link_gbps: f64,
     /// Decode-replica pairing policy (disaggregated shape).
     pub pairing: PairingPolicyKind,
+    /// The `[fleet]` table: control plane and per-replica config list;
+    /// `Some` selects the fleet shape.
+    pub fleet: Option<FleetSpec>,
     /// The traffic source.
     pub workload: WorkloadSpec,
 }
@@ -151,6 +171,7 @@ impl Default for Scenario {
             disagg: None,
             kv_link_gbps: 128.0,
             pairing: PairingPolicyKind::LeastKvLoad,
+            fleet: None,
             workload: WorkloadSpec::default(),
         }
     }
@@ -160,7 +181,7 @@ impl Scenario {
     /// Every top-level scenario key, in canonical file order. `set`,
     /// the file codecs, and sweep axes all speak exactly this schema
     /// (plus `workload.*` sub-keys).
-    pub const KEYS: [&'static str; 24] = [
+    pub const KEYS: [&'static str; 25] = [
         "model",
         "npus",
         "max_batch",
@@ -184,6 +205,7 @@ impl Scenario {
         "kv_link_gbps",
         "pairing",
         "kv_bucket",
+        "fleet",
         "workload",
     ];
 
@@ -335,17 +357,27 @@ impl Scenario {
         self
     }
 
+    /// Selects the fleet shape: an explicit control plane (static /
+    /// flex / autoscale) over an optionally heterogeneous replica list.
+    pub fn fleet(mut self, spec: FleetSpec) -> Self {
+        self.fleet = Some(spec);
+        self
+    }
+
     /// Sets the traffic source.
     pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
         self.workload = workload.into();
         self
     }
 
-    /// The serving shape the `replicas`/`disagg` fields select.
+    /// The serving shape the `replicas`/`disagg`/`fleet` fields select.
     pub fn shape(&self) -> ServingShape {
-        match (self.disagg, self.replicas) {
-            (Some((prefill, decode)), _) => ServingShape::Disagg { prefill, decode },
-            (None, r) if r > 1 => ServingShape::Cluster { replicas: r },
+        match (&self.fleet, self.disagg, self.replicas) {
+            (Some(spec), _, r) => {
+                ServingShape::Fleet { replicas: spec.size(r), control: spec.control }
+            }
+            (None, Some((prefill, decode)), _) => ServingShape::Disagg { prefill, decode },
+            (None, None, r) if r > 1 => ServingShape::Cluster { replicas: r },
             _ => ServingShape::Single,
         }
     }
@@ -408,6 +440,9 @@ impl Scenario {
                 format!("link bandwidth must be positive, got {}", self.kv_link_gbps),
             );
         }
+        if let Some(fleet) = &self.fleet {
+            self.fleet_checks(fleet)?;
+        }
         self.kv_bucket.validate()?;
         if matches!(self.kv_bucket, KvBucket::Adaptive { .. })
             && !(self.reuse && self.iteration_memo)
@@ -428,6 +463,140 @@ impl Scenario {
                 })
             }
             _ => {}
+        }
+        Ok(())
+    }
+
+    /// The `[fleet]` cross-field constraints.
+    fn fleet_checks(&self, fleet: &FleetSpec) -> Result<(), ScenarioError> {
+        let invalid = |field: &str, message: String| {
+            Err(ScenarioError::InvalidValue { field: field.into(), message })
+        };
+        let conflict = |message: String| Err(ScenarioError::Conflict { message });
+        if self.disagg.is_some() {
+            return conflict(
+                "disagg and [fleet] are mutually exclusive: express the pools as \
+                 prefill/decode roles in [[fleet.replica]] entries"
+                    .into(),
+            );
+        }
+        if !fleet.replicas.is_empty() && self.replicas > 1 {
+            return conflict(format!(
+                "replicas={} conflicts with the {}-entry [[fleet.replica]] list: \
+                 the list alone defines the fleet size",
+                self.replicas,
+                fleet.replicas.len()
+            ));
+        }
+        let size = fleet.size(self.replicas);
+        if size == 0 {
+            return invalid("fleet", "the fleet needs at least one replica".into());
+        }
+        if !fleet.tick_ms.is_finite() || fleet.tick_ms <= 0.0 {
+            return invalid(
+                "fleet.tick_ms",
+                format!("the control tick must be positive, got {}", fleet.tick_ms),
+            );
+        }
+        let prefill = fleet.replicas.iter().filter(|r| r.role == ReplicaRole::Prefill).count();
+        let decode = fleet.replicas.iter().filter(|r| r.role == ReplicaRole::Decode).count();
+        if prefill > 0 && decode == 0 {
+            return invalid(
+                "fleet",
+                "prefill-role replicas need at least one decode-role replica to \
+                 receive their KV handoffs"
+                    .into(),
+            );
+        }
+        if (0..size).all(|i| !fleet.role_of(i).accepts_arrivals()) {
+            return invalid(
+                "fleet",
+                "no replica accepts arrivals: an all-decode fleet cannot serve".into(),
+            );
+        }
+        match fleet.control {
+            FleetControlKind::Static => {}
+            FleetControlKind::Flex => {
+                if prefill == 0 || decode == 0 {
+                    return conflict(
+                        "control = \"flex\" reassigns replicas between the prefill and \
+                         decode pools: declare both roles in [[fleet.replica]]"
+                            .into(),
+                    );
+                }
+                if fleet.min_prefill == 0 {
+                    return invalid(
+                        "fleet.min_prefill",
+                        "flexing must keep at least one prefill replica".into(),
+                    );
+                }
+                if prefill < fleet.min_prefill {
+                    return invalid(
+                        "fleet.min_prefill",
+                        format!(
+                            "the fleet declares {prefill} prefill replicas but \
+                             min_prefill is {}",
+                            fleet.min_prefill
+                        ),
+                    );
+                }
+            }
+            FleetControlKind::Autoscale => {
+                if prefill > 0 || decode > 0 {
+                    return conflict(
+                        "control = \"autoscale\" scales a unified fleet; prefill/decode \
+                         roles are not autoscalable (use control = \"flex\")"
+                            .into(),
+                    );
+                }
+                if fleet.min_replicas == 0 {
+                    return invalid(
+                        "fleet.min_replicas",
+                        "the fleet floor must be at least one replica".into(),
+                    );
+                }
+                if fleet.min_replicas > fleet.max_replicas {
+                    return invalid(
+                        "fleet.max_replicas",
+                        format!(
+                            "bounds are inverted: min {} > max {}",
+                            fleet.min_replicas, fleet.max_replicas
+                        ),
+                    );
+                }
+                if size < fleet.min_replicas || size > fleet.max_replicas {
+                    return invalid(
+                        "fleet",
+                        format!(
+                            "the initial fleet size {size} is outside the autoscale \
+                             bounds {}..={}",
+                            fleet.min_replicas, fleet.max_replicas
+                        ),
+                    );
+                }
+                if !fleet.queue_high.is_finite()
+                    || !fleet.queue_low.is_finite()
+                    || fleet.queue_low >= fleet.queue_high
+                {
+                    return invalid(
+                        "fleet.queue_low",
+                        format!(
+                            "queue_low ({}) must be below queue_high ({}) for \
+                             hysteresis",
+                            fleet.queue_low, fleet.queue_high
+                        ),
+                    );
+                }
+                if !fleet.warmup_ms.is_finite() || fleet.warmup_ms < 0.0 {
+                    return invalid(
+                        "fleet.warmup_ms",
+                        format!(
+                            "the warm-up delay cannot be negative, got {}",
+                            fleet.warmup_ms
+                        ),
+                    );
+                }
+            }
         }
         Ok(())
     }
@@ -529,7 +698,82 @@ impl Scenario {
                     .seed(self.seed);
                 AnySimulator::Disagg(DisaggSimulator::new(cfg.clone(), cfg, disagg, trace)?)
             }
+            ServingShape::Fleet { replicas, .. } => {
+                let fleet = self.fleet.as_ref().expect("the fleet shape has a spec");
+                AnySimulator::Fleet(self.build_fleet(fleet, replicas, trace)?)
+            }
         })
+    }
+
+    /// Builds the fleet engine for a `[fleet]` scenario: one validated
+    /// `SimConfig` per replica (base scenario + that slot's overrides +
+    /// its role), the KV link when prefill roles exist, and the selected
+    /// control plane.
+    fn build_fleet(
+        &self,
+        fleet: &FleetSpec,
+        replicas: usize,
+        trace: Vec<Request>,
+    ) -> Result<FleetEngine, ScenarioError> {
+        let ms_to_ps = |ms: f64| (ms * 1e9).round() as TimePs;
+        let mut configs = Vec::with_capacity(replicas);
+        for i in 0..replicas {
+            let mut per_replica = self.clone();
+            per_replica.fleet = None;
+            if let Some(over) = fleet.replicas.get(i) {
+                if let Some(npus) = over.npus {
+                    per_replica.npus = npus;
+                }
+                if let Some(max_batch) = over.max_batch {
+                    per_replica.max_batch = max_batch;
+                }
+                if let Some(delay) = over.batch_delay_ms {
+                    per_replica.batch_delay_ms = delay;
+                }
+                if let Some(gib) = over.npu_mem_gib {
+                    per_replica.npu_mem_gib = Some(gib);
+                }
+            }
+            per_replica.field_checks()?;
+            let cfg = per_replica.validated_config()?;
+            configs.push(match fleet.role_of(i) {
+                ReplicaRole::Unified => cfg,
+                ReplicaRole::Prefill => cfg.prefill_only(),
+                ReplicaRole::Decode => cfg.decode_only(),
+            });
+        }
+        let links = if fleet.has_prefill() {
+            vec![LinkSpec::new(self.kv_link_gbps, LinkSpec::cxl().latency_ns)]
+        } else {
+            Vec::new()
+        };
+        let control: Box<dyn ControlPlane> = match fleet.control {
+            FleetControlKind::Static => Box::new(StaticControl::new(
+                self.routing.build(self.seed),
+                self.pairing.build(),
+            )),
+            FleetControlKind::Flex => Box::new(FlexPools::new(
+                self.routing.build(self.seed),
+                self.pairing.build(),
+                FlexPoolsConfig {
+                    tick_ps: ms_to_ps(fleet.tick_ms),
+                    idle_ticks: fleet.flex_idle_ticks,
+                    min_prefill: fleet.min_prefill,
+                },
+            )),
+            FleetControlKind::Autoscale => Box::new(AutoscaleControl::new(
+                self.routing.build(self.seed),
+                AutoscaleConfig {
+                    tick_ps: ms_to_ps(fleet.tick_ms),
+                    min_replicas: fleet.min_replicas,
+                    max_replicas: fleet.max_replicas,
+                    queue_high: fleet.queue_high,
+                    queue_low: fleet.queue_low,
+                    warmup_ps: ms_to_ps(fleet.warmup_ms),
+                },
+            )),
+        };
+        Ok(FleetEngine::new(configs, links, control, trace)?)
     }
 
     /// Builds and runs to completion (the one-shot convenience).
@@ -572,6 +816,9 @@ impl Scenario {
                     expected: "true | false".into(),
                 }),
             }
+        }
+        if let Some(subkey) = key.strip_prefix("fleet.") {
+            return self.fleet.get_or_insert_with(FleetSpec::default).set(subkey, value);
         }
         if let Some(subkey) = key.strip_prefix("workload.") {
             return self.workload.set(subkey, value).map_err(|message| {
@@ -689,6 +936,18 @@ impl Scenario {
                         expected: e,
                     })?
             }
+            "fleet" => {
+                // `none` clears the table; a control kind is shorthand
+                // for a default-knobbed fleet of that control plane.
+                self.fleet = if value == "none" {
+                    None
+                } else {
+                    let control: FleetControlKind = parse(key, value)?;
+                    let mut spec = self.fleet.take().unwrap_or_default();
+                    spec.control = control;
+                    Some(spec)
+                }
+            }
             "workload" => {
                 return Err(ScenarioError::UnknownValue {
                     field: key.into(),
@@ -768,6 +1027,12 @@ impl Scenario {
                         .map_err(|e| ScenarioError::Parse { message: e.to_string() })?;
                 }
                 "kv_bucket" => scenario.kv_bucket = kv_bucket_from_value(value)?,
+                "fleet" => {
+                    scenario.fleet = match value {
+                        Value::Null => None,
+                        other => Some(FleetSpec::from_value(other)?),
+                    }
+                }
                 "npu_mem_gib" => {
                     scenario.npu_mem_gib = match value {
                         Value::Null => None,
@@ -908,6 +1173,13 @@ impl Scenario {
             ("kv_link_gbps".into(), Value::Float(self.kv_link_gbps)),
             ("pairing".into(), Value::Str(self.pairing.as_str().into())),
             ("kv_bucket".into(), kv_bucket_to_value(self.kv_bucket)),
+            (
+                "fleet".into(),
+                match &self.fleet {
+                    Some(spec) => spec.to_value(),
+                    None => Value::Null,
+                },
+            ),
             ("workload".into(), self.workload.to_value()),
         ])
     }

@@ -15,10 +15,25 @@
 //! ```
 //!
 //! Axes apply through [`Scenario::set`], so a sweep can touch anything a
-//! `--set` override can — including `workload.*` sub-keys — and a typo
-//! fails with [`ScenarioError::UnknownKey`] before anything runs. Rows
-//! follow the `simspeed` harness conventions: label columns first, then
-//! the metric columns, dashes (never NaN) for undefined percentiles.
+//! `--set` override can — including `workload.*` and `fleet.*` sub-keys
+//! — and a typo fails with [`ScenarioError::UnknownKey`] before anything
+//! runs. Rows follow the `simspeed` harness conventions: label columns
+//! first, then the metric columns, dashes (never NaN) for undefined
+//! percentiles.
+//!
+//! Two more `[sweep]` amenities:
+//!
+//! * `metrics = ["ttft_p99", "tpot_p50", ...]` (or the CLI `--metrics`
+//!   override) selects which metric columns the TSV emits instead of
+//!   always carrying every column — see [`SweepRow::METRICS`].
+//! * Grid points run across threads with
+//!   [`run_jobs`](Sweep::run_jobs) (`--jobs N`, default = available
+//!   cores); each point is an independent deterministic simulation, and
+//!   rows keep grid order by point index, so the parallel TSV is
+//!   byte-identical to the serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use llmss_core::PercentileSummary;
 use serde::Value;
@@ -42,6 +57,9 @@ pub struct Sweep {
     pub base: Scenario,
     /// The grid dimensions, outermost first.
     pub axes: Vec<SweepAxis>,
+    /// Metric columns the TSV emits (`None` = every column). Names are
+    /// validated against [`SweepRow::METRICS`] before anything runs.
+    pub metrics: Option<Vec<String>>,
 }
 
 /// One grid point: the settings that produced it and the scenario to
@@ -57,7 +75,7 @@ pub struct SweepPoint {
 impl Sweep {
     /// A sweep over `base` with no axes yet (a single point).
     pub fn new(base: Scenario) -> Self {
-        Self { base, axes: Vec::new() }
+        Self { base, axes: Vec::new(), metrics: None }
     }
 
     /// Adds a grid axis.
@@ -73,6 +91,14 @@ impl Sweep {
         self
     }
 
+    /// Restricts the TSV to the named metric columns (in the given
+    /// order). Validated by [`points`](Self::points)/[`run`](Self::run)
+    /// against [`SweepRow::METRICS`].
+    pub fn metrics(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.metrics = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
     /// Parses a sweep document (`[scenario]` base + `[sweep]` grid).
     ///
     /// # Errors
@@ -84,16 +110,17 @@ impl Sweep {
         let Value::Object(fields) = &value else { unreachable!("parse returns objects") };
         let mut base = Scenario::default();
         let mut axes = Vec::new();
+        let mut metrics = None;
         for (key, v) in fields {
             match key.as_str() {
                 "scenario" => base = Scenario::from_value_checked(v)?,
-                "sweep" => axes = parse_axes(v)?,
+                "sweep" => (axes, metrics) = parse_sweep_table(v)?,
                 other => {
                     return Err(ScenarioError::UnknownKey { key: other.into() });
                 }
             }
         }
-        Ok(Self { base, axes })
+        Ok(Self { base, axes, metrics })
     }
 
     /// Loads a sweep file from disk.
@@ -133,6 +160,24 @@ impl Sweep {
                 message: "an axis has no values — the grid is empty".into(),
             });
         }
+        if let Some(metrics) = &self.metrics {
+            if metrics.is_empty() {
+                return Err(ScenarioError::InvalidValue {
+                    field: "sweep.metrics".into(),
+                    message: "the metric selection is empty — omit it to emit every column"
+                        .into(),
+                });
+            }
+            for name in metrics {
+                if !SweepRow::METRICS.contains(&name.as_str()) {
+                    return Err(ScenarioError::UnknownValue {
+                        field: "sweep.metrics".into(),
+                        value: name.clone(),
+                        expected: format!("one of {}", SweepRow::METRICS.join(" | ")),
+                    });
+                }
+            }
+        }
         let mut points = Vec::with_capacity(self.len());
         let mut odometer = vec![0usize; self.axes.len()];
         loop {
@@ -160,7 +205,8 @@ impl Sweep {
         }
     }
 
-    /// Builds and runs every point, collecting one row per point.
+    /// Builds and runs every point serially, collecting one row per
+    /// point (equivalent to [`run_jobs(1)`](Self::run_jobs)).
     ///
     /// # Errors
     ///
@@ -168,32 +214,88 @@ impl Sweep {
     /// already run are discarded (sweeps are cheap to re-run and a
     /// partial grid is a trap in downstream analysis).
     pub fn run(&self) -> Result<SweepReport, ScenarioError> {
+        self.run_jobs(1)
+    }
+
+    /// Builds and runs every point across `jobs` worker threads.
+    ///
+    /// Each grid point is an independent, deterministic simulation, so
+    /// the only coordination is an atomic cursor over the point list;
+    /// rows are collected by point index, making the report — and its
+    /// TSV — byte-identical to a serial [`run`](Self::run) regardless of
+    /// scheduling. `jobs` is clamped to the number of points; `0` means
+    /// the number of available cores.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run); when several points fail, the error
+    /// of the lowest-indexed failing point is reported (deterministic).
+    pub fn run_jobs(&self, jobs: usize) -> Result<SweepReport, ScenarioError> {
         let points = self.points()?;
-        let mut rows = Vec::with_capacity(points.len());
-        for point in points {
-            let report = point.scenario.run()?;
-            rows.push(SweepRow::collect(point.settings, &report));
+        let axes: Vec<String> = self.axes.iter().map(|a| a.key.clone()).collect();
+        let jobs = if jobs == 0 { available_jobs() } else { jobs }.min(points.len()).max(1);
+        let mut slots: Vec<Option<Result<SweepRow, ScenarioError>>> = Vec::new();
+        if jobs == 1 {
+            for point in points {
+                slots.push(Some(
+                    point.scenario.run().map(|r| SweepRow::collect(point.settings, &r)),
+                ));
+            }
+        } else {
+            slots.resize_with(points.len(), || None);
+            let cursor = AtomicUsize::new(0);
+            let results: Vec<Mutex<Option<Result<SweepRow, ScenarioError>>>> =
+                slots.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(i) else { break };
+                        let row = point
+                            .scenario
+                            .run()
+                            .map(|r| SweepRow::collect(point.settings.clone(), &r));
+                        *results[i].lock().expect("no poisoned sweep slot") = Some(row);
+                    });
+                }
+            });
+            slots = results
+                .into_iter()
+                .map(|m| m.into_inner().expect("no poisoned sweep slot"))
+                .collect();
         }
-        Ok(SweepReport { axes: self.axes.iter().map(|a| a.key.clone()).collect(), rows })
+        let mut rows = Vec::with_capacity(slots.len());
+        for slot in slots {
+            rows.push(slot.expect("every point was run")?);
+        }
+        Ok(SweepReport { axes, rows, metrics: self.metrics.clone() })
     }
 }
 
-fn parse_axes(v: &Value) -> Result<Vec<SweepAxis>, ScenarioError> {
+/// The number of worker threads `--jobs 0`/default resolves to.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parse_sweep_table(
+    v: &Value,
+) -> Result<(Vec<SweepAxis>, Option<Vec<String>>), ScenarioError> {
     let Value::Object(fields) = v else {
         return Err(ScenarioError::Parse {
             message: format!("[sweep] must be a table of value lists, got {v:?}"),
         });
     };
     let mut axes = Vec::with_capacity(fields.len());
+    let mut metrics = None;
     for (key, values) in fields {
         let items = match values {
             Value::Array(items) => items.clone(),
             // A bare scalar is a 1-point axis — handy for pinning.
             other => vec![other.clone()],
         };
-        let mut axis_values = Vec::with_capacity(items.len());
+        let mut texts = Vec::with_capacity(items.len());
         for item in &items {
-            axis_values.push(match item {
+            texts.push(match item {
                 Value::Str(s) => s.clone(),
                 Value::Int(i) => i.to_string(),
                 Value::Float(f) => format!("{f:?}"),
@@ -205,9 +307,16 @@ fn parse_axes(v: &Value) -> Result<Vec<SweepAxis>, ScenarioError> {
                 }
             });
         }
-        axes.push(SweepAxis { key: key.clone(), values: axis_values });
+        // `metrics` is the one reserved [sweep] key: a column selection,
+        // not a grid axis (it is not a scenario key either, so nothing
+        // sweepable is shadowed).
+        if key == "metrics" {
+            metrics = Some(texts);
+        } else {
+            axes.push(SweepAxis { key: key.clone(), values: texts });
+        }
     }
-    Ok(axes)
+    Ok((axes, metrics))
 }
 
 /// One finished grid point's metrics.
@@ -236,6 +345,59 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
+    /// Every selectable metric column, in the canonical TSV order a
+    /// selection-free sweep emits. A `metrics` selection picks any
+    /// subset in any order (`shape` is selectable like the rest; omit
+    /// it to drop the column).
+    pub const METRICS: [&'static str; 15] = [
+        "shape",
+        "completed",
+        "makespan_s",
+        "gen_tput",
+        "ttft_p50",
+        "ttft_p95",
+        "ttft_p99",
+        "tpot_p50",
+        "tpot_p95",
+        "tpot_p99",
+        "lat_p50",
+        "lat_p95",
+        "lat_p99",
+        "op_reuse",
+        "iter_reuse",
+    ];
+
+    /// One metric's TSV field (dash, never NaN, for undefined
+    /// percentiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name outside [`METRICS`](Self::METRICS) — selections
+    /// are validated before any point runs.
+    pub fn metric_value(&self, name: &str) -> String {
+        let pct = |summary: Option<PercentileSummary>, pick: fn(&PercentileSummary) -> f64| {
+            summary.map_or_else(|| "-".into(), |s| format!("{:.4}", pick(&s)))
+        };
+        match name {
+            "shape" => self.shape.to_owned(),
+            "completed" => self.completions.to_string(),
+            "makespan_s" => format!("{:.4}", self.makespan_s),
+            "gen_tput" => format!("{:.2}", self.gen_tput),
+            "ttft_p50" => pct(self.ttft, |s| s.p50_s),
+            "ttft_p95" => pct(self.ttft, |s| s.p95_s),
+            "ttft_p99" => pct(self.ttft, |s| s.p99_s),
+            "tpot_p50" => pct(self.tpot, |s| s.p50_s),
+            "tpot_p95" => pct(self.tpot, |s| s.p95_s),
+            "tpot_p99" => pct(self.tpot, |s| s.p99_s),
+            "lat_p50" => pct(self.latency, |s| s.p50_s),
+            "lat_p95" => pct(self.latency, |s| s.p95_s),
+            "lat_p99" => pct(self.latency, |s| s.p99_s),
+            "op_reuse" => format!("{:.4}", self.op_reuse),
+            "iter_reuse" => format!("{:.4}", self.iter_reuse),
+            other => unreachable!("unvalidated metric name `{other}`"),
+        }
+    }
+
     fn collect(settings: Vec<(String, String)>, report: &AnyReport) -> Self {
         let slo = report.slo();
         let reuse = report.reuse();
@@ -261,41 +423,46 @@ pub struct SweepReport {
     pub axes: Vec<String>,
     /// One row per point, grid order (innermost axis fastest).
     pub rows: Vec<SweepRow>,
+    /// The metric selection the TSV honors (`None` = every column).
+    pub metrics: Option<Vec<String>>,
 }
 
 impl SweepReport {
+    /// The metric columns the TSV emits: the selection, or every column
+    /// (`shape` first) without one.
+    fn columns(&self) -> Vec<&str> {
+        match &self.metrics {
+            Some(names) => names.iter().map(String::as_str).collect(),
+            None => SweepRow::METRICS.to_vec(),
+        }
+    }
+
     /// The consolidated TSV: `point`, one column per axis, then the
-    /// metric columns (dashes for undefined percentiles, never NaN).
+    /// selected metric columns (dashes for undefined percentiles, never
+    /// NaN).
     pub fn to_tsv(&self) -> String {
+        let columns = self.columns();
         let mut out = String::from("point");
         for axis in &self.axes {
             out.push('\t');
             out.push_str(axis);
         }
-        out.push_str(
-            "\tshape\tcompleted\tmakespan_s\tgen_tput\
-             \tttft_p50\tttft_p95\tttft_p99\
-             \ttpot_p50\ttpot_p95\ttpot_p99\
-             \tlat_p50\tlat_p95\tlat_p99\top_reuse\titer_reuse\n",
-        );
+        for column in &columns {
+            out.push('\t');
+            out.push_str(column);
+        }
+        out.push('\n');
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&i.to_string());
             for (_, value) in &row.settings {
                 out.push('\t');
                 out.push_str(value);
             }
-            out.push_str(&format!(
-                "\t{}\t{}\t{:.4}\t{:.2}\t{}\t{}\t{}\t{:.4}\t{:.4}\n",
-                row.shape,
-                row.completions,
-                row.makespan_s,
-                row.gen_tput,
-                PercentileSummary::tsv_fields_or_dashes(row.ttft),
-                PercentileSummary::tsv_fields_or_dashes(row.tpot),
-                PercentileSummary::tsv_fields_or_dashes(row.latency),
-                row.op_reuse,
-                row.iter_reuse,
-            ));
+            for column in &columns {
+                out.push('\t');
+                out.push_str(&row.metric_value(column));
+            }
+            out.push('\n');
         }
         out
     }

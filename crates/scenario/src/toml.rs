@@ -2,15 +2,17 @@
 //!
 //! Scenario files are TOML; the build environment vendors no TOML crate,
 //! so this module implements the subset the scenario schema uses —
-//! tables (`[workload]`, `[kv_bucket]`, dotted paths), bare/dotted keys,
-//! basic strings, integers, floats, booleans, single- or multi-line
-//! arrays, inline tables, and `#` comments — parsing into the same
-//! [`Value`] tree the JSON codec uses, so one `from_value`/`to_value`
-//! pair serves both formats.
+//! tables (`[workload]`, `[kv_bucket]`, dotted paths), arrays of tables
+//! (`[[fleet.replica]]`), bare/dotted keys, basic strings, integers,
+//! floats, booleans, single- or multi-line arrays, inline tables, and
+//! `#` comments — parsing into the same [`Value`] tree the JSON codec
+//! uses, so one `from_value`/`to_value` pair serves both formats.
 //!
 //! Emission is the inverse: scalars and arrays first, then one `[table]`
-//! section per nested object, preserving field order. `Null` values are
-//! skipped (TOML has no null; optional scenario fields simply stay
+//! section per nested object, preserving field order. Objects inside
+//! arrays emit as inline tables (`replica = [{ role = "prefill" }]`),
+//! which the parser accepts alongside the `[[...]]` form. `Null` values
+//! are skipped (TOML has no null; optional scenario fields simply stay
 //! absent).
 
 use serde::Value;
@@ -24,6 +26,9 @@ use serde::Value;
 pub fn parse(text: &str) -> Result<Value, String> {
     let mut root = Value::Object(Vec::new());
     let mut table_path: Vec<String> = Vec::new();
+    // Whether `table_path` addresses the last element of an array of
+    // tables (`[[path]]`) instead of a plain table.
+    let mut in_array_item = false;
     let mut lines = text.lines().enumerate().peekable();
     while let Some((line_no, raw)) = lines.next() {
         let line = strip_comment(raw);
@@ -33,13 +38,35 @@ pub fn parse(text: &str) -> Result<Value, String> {
         }
         let err = |msg: String| format!("TOML line {}: {msg}", line_no + 1);
         if let Some(header) = line.strip_prefix('[') {
-            if header.starts_with('[') {
-                return Err(err("arrays of tables are not supported".into()));
+            if let Some(aot) = header.strip_prefix('[') {
+                // `[[a.b]]`: append a fresh table to the array at a.b.
+                let aot = aot
+                    .strip_suffix("]]")
+                    .ok_or_else(|| err("unterminated array-of-tables header".into()))?;
+                table_path = parse_key_path(aot).map_err(&err)?;
+                in_array_item = true;
+                let (key, parent_path) = table_path.split_last().expect("keys are non-empty");
+                let parent = ensure_table(&mut root, parent_path).map_err(&err)?;
+                let Value::Object(fields) = parent else {
+                    unreachable!("ensure_table returns objects")
+                };
+                match fields.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
+                    Some(_) => {
+                        return Err(err(format!(
+                            "array-of-tables `{key}` redefines a non-array value"
+                        )))
+                    }
+                    None => fields
+                        .push((key.clone(), Value::Array(vec![Value::Object(Vec::new())]))),
+                }
+                continue;
             }
             let header = header
                 .strip_suffix(']')
                 .ok_or_else(|| err("unterminated table header".into()))?;
             table_path = parse_key_path(header).map_err(err)?;
+            in_array_item = false;
             // Materialize the table so empty sections still round-trip.
             ensure_table(&mut root, &table_path).map_err(err)?;
             continue;
@@ -47,7 +74,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
         let (key_text, value_text) = line
             .split_once('=')
             .ok_or_else(|| err("expected `key = value` or `[table]`".into()))?;
-        let key_path = parse_key_path(key_text).map_err(err)?;
+        let key_path = parse_key_path(key_text).map_err(&err)?;
         // Multi-line arrays: keep consuming lines until brackets balance.
         let mut value_text = value_text.trim().to_owned();
         while bracket_depth(&value_text) > 0 {
@@ -57,11 +84,14 @@ pub fn parse(text: &str) -> Result<Value, String> {
             value_text.push(' ');
             value_text.push_str(strip_comment(next).trim());
         }
-        let value = parse_value(value_text.trim()).map_err(err)?;
-        let mut full_path = table_path.clone();
-        full_path.extend(key_path);
-        let (key, parent_path) = full_path.split_last().expect("keys are non-empty");
-        let table = ensure_table(&mut root, parent_path).map_err(&err)?;
+        let value = parse_value(value_text.trim()).map_err(&err)?;
+        let (key, parent_path) = key_path.split_last().expect("keys are non-empty");
+        let section = if in_array_item {
+            array_last_item(&mut root, &table_path).map_err(&err)?
+        } else {
+            ensure_table(&mut root, &table_path).map_err(&err)?
+        };
+        let table = ensure_table(section, parent_path).map_err(&err)?;
         let Value::Object(fields) = table else { unreachable!("ensure_table returns objects") };
         if fields.iter().any(|(k, _)| k == key) {
             return Err(err(format!("duplicate key `{key}`")));
@@ -69,6 +99,18 @@ pub fn parse(text: &str) -> Result<Value, String> {
         fields.push((key.clone(), value));
     }
     Ok(root)
+}
+
+/// Walks to the last element of the array of tables at `path` (which
+/// must exist — a `[[path]]` header created it).
+fn array_last_item<'a>(root: &'a mut Value, path: &[String]) -> Result<&'a mut Value, String> {
+    let (key, parent_path) = path.split_last().expect("array paths are non-empty");
+    let parent = ensure_table(root, parent_path)?;
+    let Value::Object(fields) = parent else { unreachable!("ensure_table returns objects") };
+    let Some((_, Value::Array(items))) = fields.iter_mut().find(|(k, _)| k == key) else {
+        return Err(format!("`{key}` is not an array of tables"));
+    };
+    items.last_mut().ok_or_else(|| format!("array of tables `{key}` is empty"))
 }
 
 /// Serializes a [`Value::Object`] tree as TOML.
@@ -126,25 +168,46 @@ fn bracket_depth(text: &str) -> i32 {
     depth
 }
 
-/// Splits `a.b.c` into path segments (bare or quoted).
+/// Splits `a.b.c` into path segments (bare or quoted; a quoted segment
+/// may itself contain dots — `"fleet.max_replicas" = ...` is one key).
 fn parse_key_path(text: &str) -> Result<Vec<String>, String> {
-    let mut out = Vec::new();
-    for part in text.split('.') {
-        let part = part.trim();
-        let key = if let Some(quoted) = part.strip_prefix('"') {
-            quoted
-                .strip_suffix('"')
-                .ok_or_else(|| format!("unterminated key `{part}`"))?
-                .to_owned()
-        } else {
-            if part.is_empty()
-                || !part.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
-            {
-                return Err(format!("invalid key `{text}`"));
+    // Each part carries whether any of it came from inside quotes, so
+    // validation is per segment: quoted segments are taken verbatim,
+    // bare segments must stick to the bare-key alphabet.
+    let mut parts: Vec<(String, bool)> = Vec::new();
+    let mut current = String::new();
+    let mut quoted = false;
+    let mut in_string = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                quoted = true;
             }
-            part.to_owned()
-        };
-        out.push(key);
+            '.' if !in_string => {
+                parts.push((std::mem::take(&mut current), quoted));
+                quoted = false;
+            }
+            c => current.push(c),
+        }
+    }
+    if in_string {
+        return Err(format!("unterminated key `{text}`"));
+    }
+    parts.push((current, quoted));
+    let mut out = Vec::new();
+    for (part, quoted) in parts {
+        // Whitespace around a segment (outside any quotes) is
+        // insignificant; schema keys never carry significant edge
+        // whitespace inside quotes either.
+        let part = part.trim();
+        if part.is_empty() && !quoted {
+            return Err(format!("invalid key `{text}`"));
+        }
+        if !quoted && !part.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+            return Err(format!("invalid key `{text}`"));
+        }
+        out.push(part.to_owned());
     }
     Ok(out)
 }
@@ -408,10 +471,25 @@ fn emit_inline(value: &Value, out: &mut String) -> Result<(), String> {
             out.push(']');
         }
         Value::Object(fields) => {
-            // Only reachable inside arrays; the scenario schema never
-            // nests tables in arrays, so refuse rather than mis-emit.
-            let _ = fields;
-            return Err("tables inside arrays are not supported".into());
+            // Only reachable inside arrays: emit the inline-table form
+            // (`{ k = v, ... }`), which `parse` accepts alongside the
+            // `[[...]]` array-of-tables spelling. Nulls stay absent,
+            // matching table emission.
+            out.push_str("{ ");
+            let mut first = true;
+            for (key, v) in fields {
+                if matches!(v, Value::Null) {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&emit_key(key));
+                out.push_str(" = ");
+                emit_inline(v, out)?;
+            }
+            out.push_str(" }");
         }
     }
     Ok(())
@@ -468,7 +546,11 @@ x = 1
         assert!(parse("= 3").unwrap_err().contains("line 1"));
         assert!(parse("a = ").unwrap_err().contains("line 1"));
         assert!(parse("x = 1\nx = 2").unwrap_err().contains("duplicate"));
-        assert!(parse("[[aot]]").unwrap_err().contains("not supported"));
+        assert!(parse("[[aot]").unwrap_err().contains("unterminated"));
+        assert!(parse("x = 1\n[[x]]").unwrap_err().contains("non-array"));
+        // A bare segment stays bare-validated even when another segment
+        // of the same key is quoted.
+        assert!(parse("bad key.\"x\" = 1").unwrap_err().contains("invalid key"));
         assert!(parse("k = [1, 2").unwrap_err().contains("unterminated"));
         assert!(parse("k = 1 2").unwrap_err().contains("trailing"));
     }
@@ -503,6 +585,32 @@ x = 1
         );
         // And the emitted text itself is stable (canonical form).
         assert_eq!(emit(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn arrays_of_tables_parse_and_round_trip_inline() {
+        // Both spellings parse to the same tree...
+        let headers = "[fleet]\ncontrol = \"flex\"\n\n[[fleet.replica]]\nrole = \"prefill\"\n\
+                       npus = 1\n\n[[fleet.replica]]\nrole = \"decode\"\n";
+        let inline = "[fleet]\ncontrol = \"flex\"\nreplica = [{ role = \"prefill\", \
+                      npus = 1 }, { role = \"decode\" }]\n";
+        let a = parse(headers).unwrap();
+        let b = parse(inline).unwrap();
+        let fleet = a.get("fleet").unwrap();
+        let Some(Value::Array(items)) = fleet.get("replica") else {
+            panic!("replica is not an array: {fleet:?}")
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("npus"), Some(&Value::Int(1)));
+        assert_eq!(items[1].get("role"), Some(&Value::Str("decode".into())));
+        // ...modulo field order, which both spellings preserve.
+        assert_eq!(
+            a.get("fleet").unwrap().get("replica"),
+            b.get("fleet").unwrap().get("replica")
+        );
+        // ...and the emitted canonical (inline) form re-parses identically.
+        let text = emit(&a).unwrap();
+        assert_eq!(parse(&text).unwrap(), a, "{text}");
     }
 
     #[test]

@@ -220,6 +220,38 @@ impl Scheduler {
         self.pending.len() + self.active.len() + self.evicted.len()
     }
 
+    /// The serving phases this scheduler currently runs.
+    pub fn mode(&self) -> SchedulerMode {
+        self.config.mode
+    }
+
+    /// Whether no work is queued or in flight — the only safe point for a
+    /// role switch ([`set_mode`](Self::set_mode)).
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.active.is_empty() && self.evicted.is_empty()
+    }
+
+    /// Role-switch hook: re-targets the scheduler at a different serving
+    /// phase (prefill-pool ↔ decode-pool flexing, unified ↔ pool roles).
+    ///
+    /// The switch is only legal on a *drained* scheduler: sequences
+    /// admitted under one mode carry that mode's KV accounting, so a fleet
+    /// driver must drain the replica (stop offering it work, let in-flight
+    /// requests finish) before flipping its role.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request is pending, active, or evicted — a role
+    /// switch mid-drain would strand it.
+    pub fn set_mode(&mut self, mode: SchedulerMode) {
+        assert!(
+            self.is_idle(),
+            "role switch with {} requests in flight: drain the replica first",
+            self.outstanding()
+        );
+        self.config.mode = mode;
+    }
+
     /// Requests waiting for admission.
     pub fn pending_len(&self) -> usize {
         self.pending.len()

@@ -26,7 +26,8 @@ llmservingsim — HW/SW co-simulation for LLM inference serving
 
 USAGE:
   llmservingsim run <scenario.{toml,json}> [OVERRIDES] [--output PREFIX]
-  llmservingsim sweep <sweep.toml> [--output PREFIX]
+  llmservingsim sweep <sweep.toml> [--output PREFIX] [--jobs N]
+                      [--metrics LIST]
   llmservingsim gen [<scenario.{toml,json}>] [OVERRIDES] [--out PATH]
   llmservingsim [OVERRIDES]            (legacy, artifact-compatible)
 
@@ -34,6 +35,12 @@ COMMANDS:
   run     build and run one scenario; flags below override file fields
   sweep   run a cartesian parameter grid ([scenario] + [sweep] tables),
           writing one consolidated row per point to {output}-sweep.tsv
+          --jobs N        worker threads (default: available cores);
+                          rows keep grid order, so the TSV is
+                          byte-identical to a serial run
+          --metrics LIST  comma-separated metric columns (e.g.
+                          ttft_p99,tpot_p50) instead of every column;
+                          overrides the sweep file's `metrics` list
   gen     materialize the scenario's workload as a TSV trace
 
 OVERRIDES (each maps onto a scenario field):
@@ -78,6 +85,16 @@ DISAGGREGATED MODE (prefill pool -> KV transfer -> decode pool):
   --kv-link-gbps F      inter-pool KV-link bandwidth, GB/s      [128]
   --pairing P           decode-replica pairing at prefill completion:
                         least-kv | least-outstanding | sticky [least-kv]
+
+FLEET MODE (control planes over heterogeneous fleets; [fleet] table):
+  --set fleet=C         control plane: static | flex | autoscale
+                        (none clears the table)
+  --set fleet.KEY=V     policy knobs: tick_ms, min_replicas,
+                        max_replicas, queue_high, queue_low, warmup_ms,
+                        flex_idle_ticks, min_prefill
+  Per-replica config lists ([[fleet.replica]]: role, npus, max_batch,
+  batch_delay_ms, npu_mem_gib) live in the scenario file; see
+  examples/scenarios/autoscale.toml.
 
 SCENARIO FILES:
   Declarative TOML/JSON with the same schema as --set keys; see
@@ -270,12 +287,23 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .filter(|a| !a.starts_with('-'))
         .ok_or("sweep needs a sweep file: llmservingsim sweep <sweep.toml>")?;
     let mut output = "output/llmservingsim".to_owned();
+    let mut jobs: usize = 0; // 0 = available cores
+    let mut metrics: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--output" => {
                 i += 1;
                 output = args.get(i).cloned().ok_or("--output requires a value")?;
+            }
+            "--jobs" => {
+                i += 1;
+                let v = args.get(i).ok_or("--jobs requires a value")?;
+                jobs = v.parse().map_err(|_| format!("--jobs expects a count, got '{v}'"))?;
+            }
+            "--metrics" => {
+                i += 1;
+                metrics = Some(args.get(i).cloned().ok_or("--metrics requires a value")?);
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -285,14 +313,17 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
-    let sweep = Sweep::from_path(path).map_err(|e| e.to_string())?;
+    let mut sweep = Sweep::from_path(path).map_err(|e| e.to_string())?;
+    if let Some(list) = metrics {
+        sweep.metrics = Some(list.split(',').map(|m| m.trim().to_owned()).collect());
+    }
     println!(
         "llmservingsim sweep: {} points over [{}] (base: {})",
         sweep.len(),
         sweep.axes.iter().map(|a| a.key.as_str()).collect::<Vec<_>>().join(", "),
         sweep.base.describe(),
     );
-    let report = sweep.run().map_err(|e| e.to_string())?;
+    let report = sweep.run_jobs(jobs).map_err(|e| e.to_string())?;
     let tsv = report.to_tsv();
     print!("{tsv}");
     if let Some(dir) = std::path::Path::new(&output).parent() {
