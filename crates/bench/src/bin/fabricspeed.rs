@@ -1,0 +1,141 @@
+//! fabricspeed — the fabric flow model's overhead guard.
+//!
+//! Runs the same uncongested 2×2 disaggregated bench twice: over the
+//! legacy dedicated FIFO wire, and over a fair-sharing `single` fabric.
+//! With ample bandwidth the two simulate near-identical deployments, so
+//! any wall-clock gap is pure flow-model overhead (per-commit max–min
+//! recomputes plus fabric events in the virtual-time loop). Writes
+//! `BENCH_fabricspeed.json` with both wall times and the overhead ratio.
+//!
+//! `--smoke` shrinks the trace for CI and *gates*: the run fails
+//! (exit 1) if the fair-sharing run is more than 10% slower than the
+//! FIFO baseline (plus a small absolute slack for timer noise), or if
+//! the two disciplines disagree on the completion count.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use llmss_cluster::{bursty_trace, BurstyTraceSpec};
+use llmss_core::{Fabric, FabricGraph, SimConfig};
+use llmss_disagg::{DisaggConfig, DisaggReport, DisaggSimulator};
+use llmss_model::ModelSpec;
+use llmss_sched::Request;
+
+/// CI gate: the fair fabric may cost at most this ratio over FIFO.
+const MAX_OVERHEAD: f64 = 1.10;
+/// Absolute slack for timer noise on small smoke runs.
+const SLACK_S: f64 = 0.010;
+/// Best-of-N wall times, to shave scheduler jitter.
+const REPS: usize = 3;
+
+#[derive(Debug, Serialize)]
+struct FabricspeedReport {
+    smoke: bool,
+    requests: usize,
+    fifo_wall_s: f64,
+    fair_wall_s: f64,
+    overhead: f64,
+    fifo_makespan_ps: u64,
+    fair_makespan_ps: u64,
+    completions: usize,
+}
+
+fn replica_config() -> SimConfig {
+    SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel().max_batch(32)
+}
+
+fn trace(smoke: bool) -> Vec<Request> {
+    // Decode-heavy and well spread: KV transfers are small and rarely
+    // overlap, so the fabric run measures bookkeeping, not contention.
+    let mut spec = BurstyTraceSpec::decode_heavy_mix(0.9, 42);
+    spec.heavy = (32, 256);
+    spec.light = (32, 32);
+    if smoke {
+        spec.bursts = 1;
+        spec.burst_size = 48;
+    } else {
+        spec.bursts = 4;
+        spec.burst_size = 96;
+    }
+    bursty_trace(&spec)
+}
+
+/// The ample, uncongested deployment both disciplines run.
+fn config() -> DisaggConfig {
+    DisaggConfig::new(2, 2).kv_link_gbps(256.0)
+}
+
+fn run(requests: &[Request], fair: bool) -> (f64, DisaggReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let cfg = replica_config();
+        let disagg = config();
+        let fabric = if fair {
+            Fabric::fair("single", FabricGraph::single(4, disagg.kv_link))
+        } else {
+            Fabric::fifo(vec![disagg.kv_link])
+        };
+        let t0 = Instant::now();
+        let report =
+            DisaggSimulator::with_fabric(cfg.clone(), cfg, disagg, fabric, requests.to_vec())
+                .expect("gpt2 fits one Table-I NPU")
+                .run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    (best, last.expect("REPS > 0"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests = trace(smoke);
+    let n = requests.len();
+    println!(
+        "fabricspeed — uncongested 2x2 disagg, {n} requests{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let (fifo_wall, fifo_report) = run(&requests, false);
+    let (fair_wall, fair_report) = run(&requests, true);
+    let overhead = if fifo_wall > 0.0 { fair_wall / fifo_wall } else { 1.0 };
+
+    println!("fifo wire : {fifo_wall:.3}s wall, makespan {:.3}s", fifo_report.makespan_s());
+    println!("fair flows: {fair_wall:.3}s wall, makespan {:.3}s", fair_report.makespan_s());
+    println!("flow-model overhead: {overhead:.2}x");
+
+    let report = FabricspeedReport {
+        smoke,
+        requests: n,
+        fifo_wall_s: fifo_wall,
+        fair_wall_s: fair_wall,
+        overhead,
+        fifo_makespan_ps: fifo_report.makespan_ps(),
+        fair_makespan_ps: fair_report.makespan_ps(),
+        completions: fair_report.total_completions(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_fabricspeed.json", json).expect("write BENCH_fabricspeed.json");
+    println!("wrote BENCH_fabricspeed.json");
+
+    let mut failed = false;
+    if fifo_report.total_completions() != fair_report.total_completions() {
+        eprintln!(
+            "FAIL: disciplines disagree on completions ({} fifo vs {} fair)",
+            fifo_report.total_completions(),
+            fair_report.total_completions()
+        );
+        failed = true;
+    }
+    if smoke && fair_wall > fifo_wall * MAX_OVERHEAD + SLACK_S {
+        eprintln!(
+            "FAIL: fair-sharing run {fair_wall:.3}s exceeds the {MAX_OVERHEAD:.2}x \
+             overhead budget over the {fifo_wall:.3}s FIFO baseline"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

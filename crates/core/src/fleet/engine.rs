@@ -32,20 +32,13 @@ use std::collections::{HashMap, VecDeque};
 use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
 
+use crate::fabric::{Fabric, FabricCommit, FabricStats};
 use crate::{ConfigError, ServingSimulator, SimConfig, Simulate};
 
 use super::control::{ControlPlane, FleetCommand, FleetStats, ReplicaStatus};
 use super::heap::ReadyHeap;
 use super::report::{FleetReplica, FleetReport};
 use super::route::{ReplicaRole, ReplicaSnapshot};
-
-/// One inter-replica KV-transfer link with FIFO serialization.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct LinkState {
-    spec: LinkSpec,
-    /// When the link frees up.
-    free_ps: TimePs,
-}
 
 /// One committed KV handoff, in fleet-global replica indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,16 +47,34 @@ pub struct FleetTransfer {
     pub from: usize,
     /// Decode-side replica (global index).
     pub to: usize,
-    /// Link that carried the transfer.
+    /// Link that carried the transfer (FIFO: the booked link; fair: the
+    /// flow's bottleneck link, provisional until delivery).
     pub link: usize,
     /// When the KV cache was ready to ship (end of prefill).
     pub ready_ps: TimePs,
-    /// When the transfer won its link.
+    /// When the transfer won its link (fair: entered the fabric).
     pub start_ps: TimePs,
-    /// When the KV cache landed on the decode replica.
+    /// When the KV cache landed on the decode replica. A fair-mode
+    /// transfer still in flight holds [`TimePs::MAX`] until delivery.
     pub done_ps: TimePs,
+    /// Uncontended transfer time (no queueing, no sharing) — the
+    /// denominator of the contention metric.
+    pub nominal_ps: TimePs,
     /// Bytes shipped (prompt tokens × KV bytes per token).
     pub bytes: u64,
+}
+
+impl FleetTransfer {
+    /// The contention slowdown: end-to-end transfer time (queueing and
+    /// bandwidth sharing included) over the uncontended nominal. 1.0
+    /// means the wire was all ours; `None` until delivered or for
+    /// zero-nominal transfers.
+    pub fn contention(&self) -> Option<f64> {
+        if self.done_ps == TimePs::MAX || self.nominal_ps == 0 {
+            return None;
+        }
+        Some((self.done_ps - self.ready_ps) as f64 / self.nominal_ps as f64)
+    }
 }
 
 /// Per-replica engine metadata: everything about a slot that is not the
@@ -124,16 +135,19 @@ impl ReplicaSlot {
 pub struct FleetEngine {
     sims: Vec<ServingSimulator>,
     slots: Vec<ReplicaSlot>,
-    links: Vec<LinkState>,
+    fabric: Fabric,
     control: Box<dyn ControlPlane>,
     /// Global arrival stream, earliest first (online injection source).
     arrivals: VecDeque<Request>,
     /// Original requests by id (handoffs need input/output lengths);
     /// only maintained when the fleet has links.
     requests: HashMap<u64, Request>,
-    /// Finished prefills whose transfers haven't committed to a link
-    /// yet: `(KV-ready time, request id, prefill replica)`, earliest
-    /// first. Links serve in *ready* order, not discovery order.
+    /// Finished prefills whose transfers haven't committed to the
+    /// fabric yet: `(KV-ready time, request id, prefill replica)`,
+    /// earliest first. The tuple order is the commit order contract:
+    /// transfers commit by KV-ready time, and *equal* ready times
+    /// commit in request-id order — explicitly, by the tuple's second
+    /// field, never by heap insertion or event-discovery order.
     pending: std::collections::BinaryHeap<std::cmp::Reverse<(TimePs, u64, usize)>>,
     /// Committed transfers by request id.
     transfers: HashMap<u64, FleetTransfer>,
@@ -176,16 +190,46 @@ impl FleetEngine {
         configs: Vec<SimConfig>,
         links: Vec<LinkSpec>,
         control: Box<dyn ControlPlane>,
+        trace: Vec<Request>,
+    ) -> Result<Self, ConfigError> {
+        Self::with_fabric(configs, Fabric::fifo(links), control, trace)
+    }
+
+    /// Builds a fleet whose KV transfers cross an explicit [`Fabric`]
+    /// (topology + sharing discipline) instead of the default FIFO
+    /// links. [`new`](Self::new) is exactly
+    /// `with_fabric(configs, Fabric::fifo(links), ...)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when any replica configuration cannot be
+    /// realized.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new); additionally panics when a routed fabric
+    /// covers fewer endpoints than the fleet has replicas.
+    pub fn with_fabric(
+        configs: Vec<SimConfig>,
+        fabric: Fabric,
+        control: Box<dyn ControlPlane>,
         mut trace: Vec<Request>,
     ) -> Result<Self, ConfigError> {
         assert!(!configs.is_empty(), "a fleet needs at least one replica");
         let has_prefill =
             configs.iter().any(|c| ReplicaRole::from(c.mode) == ReplicaRole::Prefill);
         assert!(
-            !has_prefill || !links.is_empty(),
+            !has_prefill || fabric.has_links(),
             "prefill-role replicas need a KV-transfer link to ship caches over"
         );
-        let kv_bytes_per_token = if links.is_empty() {
+        if let Some(endpoints) = fabric.endpoints() {
+            assert!(
+                endpoints >= configs.len(),
+                "the fabric routes {endpoints} endpoints but the fleet has {} replicas",
+                configs.len()
+            );
+        }
+        let kv_bytes_per_token = if !fabric.has_links() {
             0
         } else {
             let per_token = configs[0].model.kv_bytes_per_token();
@@ -204,7 +248,7 @@ impl FleetEngine {
         }
 
         trace.sort_by_key(|r| (r.arrival_ps, r.id));
-        let requests = if links.is_empty() {
+        let requests = if !fabric.has_links() {
             HashMap::new()
         } else {
             trace.iter().map(|r| (r.id, *r)).collect()
@@ -213,7 +257,7 @@ impl FleetEngine {
         assert!(tick_ps != Some(0), "a control tick period must be positive");
         Ok(Self {
             heap: ReadyHeap::new(sims.len()),
-            links: links.into_iter().map(|spec| LinkState { spec, free_ps: 0 }).collect(),
+            fabric,
             control,
             arrivals: trace.into(),
             requests,
@@ -270,7 +314,7 @@ impl FleetEngine {
     /// admitted when the fleet's virtual time reaches its arrival
     /// (immediately, if time is already past it).
     pub fn push_request(&mut self, request: Request) {
-        if !self.links.is_empty() {
+        if self.fabric.has_links() {
             self.requests.insert(request.id, request);
         }
         let pos = self
@@ -288,7 +332,8 @@ impl FleetEngine {
         let replica_ready = self.heap.min_live().map(|(t, _)| t);
         let arrival = self.arrivals.front().map(|r| r.arrival_ps);
         let transfer = self.pending.peek().map(|&std::cmp::Reverse((t, _, _))| t);
-        [replica_ready, arrival, transfer].into_iter().flatten().min()
+        let fabric = self.fabric.next_event_ps();
+        [replica_ready, arrival, transfer, fabric].into_iter().flatten().min()
     }
 
     /// The fleet's virtual clock: the furthest replica clock.
@@ -356,7 +401,7 @@ impl FleetEngine {
             FleetCommand::SetRole { replica, role } => {
                 assert!(replica < self.sims.len(), "SetRole names replica {replica}");
                 assert!(
-                    role != ReplicaRole::Prefill || !self.links.is_empty(),
+                    role != ReplicaRole::Prefill || self.fabric.has_links(),
                     "cannot flex to the prefill role without a KV-transfer link"
                 );
                 let slot = &mut self.slots[replica];
@@ -463,12 +508,16 @@ impl FleetEngine {
         horizon
     }
 
-    /// Commits pending transfers to the links in KV-ready order: each
-    /// starts when its KV is ready *and* its link is free (FIFO by
-    /// readiness, never by event-discovery order), pairs its decode
-    /// replica through the control plane, and injects the request with
-    /// the transfer-completion arrival time. The decode pool keeps
-    /// executing underneath — only the shipped request waits on the wire.
+    /// Commits pending transfers to the fabric in KV-ready order (ties
+    /// on the ready time commit in request-id order — the `pending`
+    /// tuple contract), pairs each to a decode replica through the
+    /// control plane, and hands the bytes to the fabric. Under the FIFO
+    /// discipline the booking resolves immediately and the request is
+    /// injected with its transfer-completion arrival; under fair
+    /// sharing the transfer stays in flight and the injection waits for
+    /// [`deliver_fabric_events`](Self::step). The decode pool keeps
+    /// executing underneath — only the shipped request waits on the
+    /// wire.
     fn commit_ready_transfers(&mut self) {
         if self.pending.is_empty() {
             return;
@@ -477,24 +526,12 @@ impl FleetEngine {
         while let Some(&std::cmp::Reverse((ready_ps, id, from))) = self.pending.peek() {
             if ready_ps > horizon {
                 // A not-yet-simulated prefill or arrival could still beat
-                // this transfer onto a link; commit later.
+                // this transfer onto the fabric; commit later.
                 return;
             }
             self.pending.pop();
             let request = self.requests[&id];
             let bytes = request.input_len as u64 * self.kv_bytes_per_token;
-            // Earliest-free link, lowest index on ties (a single link
-            // degenerates to the classic shared-FIFO wire).
-            let link_idx = self
-                .links
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, l)| (l.free_ps, *i))
-                .map(|(i, _)| i)
-                .expect("linked fleets have at least one link");
-            let start_ps = ready_ps.max(self.links[link_idx].free_ps);
-            let done_ps = start_ps + self.links[link_idx].spec.transfer_ps(bytes);
-            self.links[link_idx].free_ps = done_ps;
 
             let candidates: Vec<ReplicaSnapshot> = (0..self.sims.len())
                 .filter(|&i| {
@@ -516,33 +553,74 @@ impl FleetEngine {
                 candidates.len()
             );
             self.slots[chosen].paired += 1;
-            self.transfers.insert(
-                id,
-                FleetTransfer {
+            let transfer = match self.fabric.commit(id, from, chosen, bytes, ready_ps) {
+                FabricCommit::Booked { link, start_ps, done_ps, nominal_ps } => {
+                    // Fully booked: the request arrives at the decode
+                    // replica the moment its transfer completes.
+                    self.sims[chosen].push_request(Request::new(
+                        id,
+                        request.input_len,
+                        request.output_len,
+                        done_ps,
+                    ));
+                    self.refresh(chosen);
+                    FleetTransfer {
+                        from,
+                        to: chosen,
+                        link,
+                        ready_ps,
+                        start_ps,
+                        done_ps,
+                        nominal_ps,
+                        bytes,
+                    }
+                }
+                FabricCommit::InFlight { start_ps, nominal_ps } => FleetTransfer {
                     from,
                     to: chosen,
-                    link: link_idx,
+                    // Provisional until the flow delivers and reports
+                    // its bottleneck link.
+                    link: 0,
                     ready_ps,
                     start_ps,
-                    done_ps,
+                    done_ps: TimePs::MAX,
+                    nominal_ps,
                     bytes,
                 },
-            );
-            self.sims[chosen].push_request(Request::new(
-                id,
+            };
+            self.transfers.insert(id, transfer);
+        }
+    }
+
+    /// Advances the fair fabric to `t` and injects every delivered KV
+    /// cache into its paired decode replica, finalizing the transfer
+    /// record (delivery time + bottleneck link).
+    fn deliver_fabric_events(&mut self, t: TimePs) {
+        for done in self.fabric.advance(t) {
+            let transfer = self
+                .transfers
+                .get_mut(&done.id)
+                .expect("every in-flight flow has a committed transfer record");
+            transfer.done_ps = done.done_ps;
+            transfer.link = done.bottleneck;
+            let to = transfer.to;
+            let request = self.requests[&done.id];
+            self.sims[to].push_request(Request::new(
+                done.id,
                 request.input_len,
                 request.output_len,
-                done_ps,
+                done.done_ps,
             ));
-            self.refresh(chosen);
+            self.refresh(to);
         }
     }
 
     /// Processes the earliest virtual-time event: fires due control
-    /// ticks, commits any transfer whose KV-ready order is settled, then
-    /// admits one arrival or runs one replica iteration (queueing any
-    /// prefills it finishes). Returns `false` when everything has
-    /// drained.
+    /// ticks, commits any transfer whose KV-ready order is settled,
+    /// advances the fabric when its next flow event is the earliest
+    /// thing in the fleet, then admits one arrival or runs one replica
+    /// iteration (queueing any prefills it finishes). Returns `false`
+    /// when everything has drained.
     pub fn step(&mut self) -> bool {
         if self.tick_ps.is_some() {
             if let Some(horizon) = self.next_ready_ps() {
@@ -550,8 +628,29 @@ impl FleetEngine {
             }
         }
         self.commit_ready_transfers();
+        // A commit can jump the fabric clock forward (its ready time is
+        // only bounded by the *new*-transfer horizon, not by in-flight
+        // flows), leaving earlier deliveries overdue — drain those
+        // immediately, with their true completion times intact.
+        if self.fabric.next_event_ps().is_some_and(|t| t <= self.fabric.now_ps()) {
+            self.deliver_fabric_events(self.fabric.now_ps());
+            return true;
+        }
         let next_ready = self.heap.peek();
         let next_arrival = self.arrivals.front().map(|r| r.arrival_ps);
+        // Fair-fabric events (a flow finishing serialization or a
+        // delivery) fire before any same-instant arrival or iteration,
+        // so a delivered request is visible to its decode replica's
+        // batch formed at exactly that time — matching the FIFO
+        // discipline, where the arrival time was booked at commit.
+        if let Some(t) = self.fabric.next_event_ps() {
+            let beats_replica = next_ready.is_none_or(|(rt, _)| t <= rt);
+            let beats_arrival = next_arrival.is_none_or(|at| t <= at);
+            if beats_replica && beats_arrival {
+                self.deliver_fabric_events(t);
+                return true;
+            }
+        }
         // Arrivals admit first on ties so the control plane always sees
         // the request before any replica simulates past its arrival time.
         let admit_arrival = match (next_arrival, next_ready) {
@@ -613,8 +712,14 @@ impl FleetEngine {
             }
             (false, None) => {
                 // With no arrivals and every replica idle the horizon is
-                // unbounded, so the commit pass above drained the queue.
+                // unbounded, so the commit pass above drained the queue —
+                // and the fabric branch above drained any in-flight flow.
                 debug_assert!(self.pending.is_empty(), "drained with transfers still pending");
+                debug_assert_eq!(
+                    self.fabric.in_flight(),
+                    0,
+                    "drained with flows still in the fabric"
+                );
                 false
             }
         }
@@ -659,6 +764,7 @@ impl FleetEngine {
             assignments: self.assignments,
             transfers: self.transfers,
             requests: self.requests,
+            fabric: self.fabric.stats(),
         }
     }
 }
@@ -676,6 +782,10 @@ pub struct FleetParts {
     pub transfers: HashMap<u64, FleetTransfer>,
     /// Original requests by id (empty for fleets without links).
     pub requests: HashMap<u64, Request>,
+    /// Fabric usage, when the fleet ran over a fair-sharing fabric
+    /// (`None` keeps FIFO-configured reports byte-identical to the
+    /// pre-fabric engine).
+    pub fabric: Option<FabricStats>,
 }
 
 impl Simulate for FleetEngine {

@@ -9,7 +9,8 @@
 
 use llmss_sched::{Completion, TimePs};
 
-use crate::{PercentileSummary, ReportOutput, ReuseStats, SimReport, SloSummary};
+use crate::fabric::FabricStats;
+use crate::{percentile, PercentileSummary, ReportOutput, ReuseStats, SimReport, SloSummary};
 
 use super::engine::{FleetParts, FleetTransfer};
 use super::route::ReplicaRole;
@@ -47,6 +48,10 @@ pub struct FleetReport {
     pub transfers: Vec<(u64, FleetTransfer)>,
     /// `(request id, replica)` admissions in routing order.
     pub assignments: Vec<(u64, usize)>,
+    /// Fabric usage when the fleet ran over a fair-sharing fabric
+    /// (`None` for the legacy FIFO wire, keeping its reports
+    /// byte-identical).
+    pub fabric: Option<FabricStats>,
     makespan_ps: TimePs,
 }
 
@@ -94,8 +99,25 @@ impl FleetReport {
             completions,
             transfers,
             assignments: parts.assignments,
+            fabric: parts.fabric,
             makespan_ps,
         }
+    }
+
+    /// Contention percentiles over delivered transfers: the p50/p95/p99
+    /// of the achieved-over-nominal slowdown ratio (1.0 = uncontended).
+    /// `None` without any delivered transfer carrying a nominal.
+    pub fn contention(&self) -> Option<(f64, f64, f64)> {
+        let mut ratios: Vec<f64> =
+            self.transfers.iter().filter_map(|(_, t)| t.contention()).collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        Some((
+            percentile(&mut ratios, 0.50),
+            percentile(&mut ratios, 0.95),
+            percentile(&mut ratios, 0.99),
+        ))
     }
 
     /// Fleet makespan: the latest replica clock.
@@ -147,7 +169,7 @@ impl FleetReport {
         let latency = PercentileSummary::display_or_na(slo.latency);
         let reuse = self.aggregate_reuse();
         let retired = self.replicas.iter().filter(|r| r.retired).count();
-        format!(
+        let mut out = format!(
             "fleet control={} replicas={} (retired {}) requests={} transfers={} \
              makespan={:.2}s gen_tput={:.1} tok/s ttft[{ttft}] tpot[{tpot}] \
              latency[{latency}] op_reuse={:.1}% iter_reuse={:.1}%",
@@ -160,7 +182,14 @@ impl FleetReport {
             self.generation_throughput(),
             reuse.hit_rate() * 100.0,
             reuse.iteration_hit_rate() * 100.0,
-        )
+        );
+        if let Some(fabric) = &self.fabric {
+            out.push_str(&format!(" fabric={}", fabric.label));
+            if let Some((p50, _, p99)) = self.contention() {
+                out.push_str(&format!(" contention[p50={p50:.2}x p99={p99:.2}x]"));
+            }
+        }
+        out
     }
 
     /// Per-replica TSV (the CLI's `{output}-fleet.tsv`): one row per
@@ -205,6 +234,34 @@ impl FleetReport {
                 .sum::<TimePs>() as f64
                 / 1e12,
         ));
+        // The fabric section exists only for fair-sharing runs; the
+        // legacy FIFO wire emits exactly the pre-fabric TSV above.
+        if let Some(fabric) = &self.fabric {
+            out.push_str(&format!(
+                "\nfabric\t{}\nlink\tbw_gbps\tcarried_mb\tutilization\n",
+                fabric.label
+            ));
+            for l in &fabric.links {
+                // Capacity integral over the run, in bytes (GB/s =
+                // 1e-3 B/ps).
+                let cap_bytes = l.bw_gbps / 1000.0 * makespan as f64;
+                let util = if cap_bytes > 0.0 { l.carried_bytes / cap_bytes } else { 0.0 };
+                out.push_str(&format!(
+                    "{}\t{:.1}\t{:.3}\t{:.4}\n",
+                    l.name,
+                    l.bw_gbps,
+                    l.carried_bytes / 1e6,
+                    util,
+                ));
+            }
+            out.push_str("contention_p50\tcontention_p95\tcontention_p99\n");
+            match self.contention() {
+                Some((p50, p95, p99)) => {
+                    out.push_str(&format!("{p50:.3}\t{p95:.3}\t{p99:.3}\n"));
+                }
+                None => out.push_str("-\t-\t-\n"),
+            }
+        }
         out
     }
 }

@@ -39,6 +39,7 @@
 mod config;
 mod convert;
 mod engine;
+mod fabric;
 mod fleet;
 mod mapping;
 mod report;
@@ -52,6 +53,10 @@ pub use config::{
 };
 pub use convert::GraphConverter;
 pub use engine::{ExecutionEngine, NpuPimLocalPlugin, NpuPlugin, PimPlugin};
+pub use fabric::{
+    Fabric, FabricCommit, FabricGraph, FabricStats, FabricTopology, FlowDone, FlowModel,
+    LinkUsage, NamedLink, RouteSpec,
+};
 pub use fleet::{
     AutoscaleConfig, AutoscaleControl, ControlPlane, FleetCommand, FleetEngine, FleetParts,
     FleetReplica, FleetReport, FleetStats, FleetTransfer, FlexPools, FlexPoolsConfig,

@@ -3,7 +3,8 @@
 //! percentiles, and per-pool utilization.
 
 use llmss_core::{
-    percentiles_from_ps, PercentileSummary, ReportOutput, SimReport, SloCompletion, SloSummary,
+    percentile, percentiles_from_ps, FabricStats, PercentileSummary, ReportOutput, SimReport,
+    SloCompletion, SloSummary,
 };
 use llmss_sched::TimePs;
 
@@ -174,18 +175,28 @@ pub struct DisaggReport {
     pub decode_reports: Vec<SimReport>,
     /// Per-request lifecycle records, sorted by id.
     pub completions: Vec<DisaggCompletion>,
+    /// Fabric usage when the deployment ran over a fair-sharing fabric
+    /// (`None` on the legacy FIFO wire, keeping those reports
+    /// byte-identical).
+    pub fabric: Option<FabricStats>,
     routed_prefill: Vec<usize>,
     routed_decode: Vec<usize>,
+    /// Per-transfer achieved-over-nominal slowdown ratios (fair fabric
+    /// only).
+    contention_ratios: Vec<f64>,
     makespan_ps: TimePs,
 }
 
 impl DisaggReport {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         routing: String,
         pairing: String,
         prefill_reports: Vec<SimReport>,
         decode_reports: Vec<SimReport>,
         completions: Vec<DisaggCompletion>,
+        fabric: Option<FabricStats>,
+        contention_ratios: Vec<f64>,
         routed_prefill: Vec<usize>,
         routed_decode: Vec<usize>,
     ) -> Self {
@@ -201,10 +212,27 @@ impl DisaggReport {
             prefill_reports,
             decode_reports,
             completions,
+            fabric,
             routed_prefill,
             routed_decode,
+            contention_ratios,
             makespan_ps,
         }
+    }
+
+    /// Contention percentiles over delivered transfers: the p50/p95/p99
+    /// of the achieved-over-nominal slowdown ratio (1.0 = uncontended).
+    /// `None` without any delivered transfer.
+    pub fn contention(&self) -> Option<(f64, f64, f64)> {
+        if self.contention_ratios.is_empty() {
+            return None;
+        }
+        let mut ratios = self.contention_ratios.clone();
+        Some((
+            percentile(&mut ratios, 0.50),
+            percentile(&mut ratios, 0.95),
+            percentile(&mut ratios, 0.99),
+        ))
     }
 
     /// Deployment makespan: the latest replica clock in either pool.
@@ -319,7 +347,7 @@ impl DisaggReport {
         let transfer = PercentileSummary::display_or_na(self.transfer_percentiles());
         let split = self.ttft_split().map_or_else(|| "n/a".to_owned(), |s| s.to_string());
         let reuse = self.aggregate_reuse();
-        format!(
+        let mut out = format!(
             "disagg {}P x {}D routing={} pairing={} requests={} makespan={:.2}s \
              gen_tput={:.1} tok/s kv_shipped={:.1} MiB ttft[{ttft}] ttft_split[{split}] \
              transfer[{transfer}] tpot[{tpot}] util[prefill={:.2} decode={:.2}] \
@@ -336,7 +364,14 @@ impl DisaggReport {
             self.decode_utilization(),
             reuse.hit_rate() * 100.0,
             reuse.iteration_hit_rate() * 100.0,
-        )
+        );
+        if let Some(fabric) = &self.fabric {
+            out.push_str(&format!(" fabric={}", fabric.label));
+            if let Some((p50, _, p99)) = self.contention() {
+                out.push_str(&format!(" contention[p50={p50:.2}x p99={p99:.2}x]"));
+            }
+        }
+        out
     }
 
     /// Deployment-wide reuse statistics: both pools' operator- and
@@ -378,6 +413,34 @@ impl DisaggReport {
                 stats.iter().map(|s| s.busy_ps).sum::<TimePs>() as f64 / 1e12,
                 mean_utilization(&stats, makespan),
             ));
+        }
+        // The fabric section exists only for fair-sharing runs; the
+        // legacy FIFO wire emits exactly the pre-fabric TSV above.
+        if let Some(fabric) = &self.fabric {
+            out.push_str(&format!(
+                "\nfabric\t{}\nlink\tbw_gbps\tcarried_mb\tutilization\n",
+                fabric.label
+            ));
+            for l in &fabric.links {
+                // Capacity integral over the run, in bytes (GB/s =
+                // 1e-3 B/ps).
+                let cap_bytes = l.bw_gbps / 1000.0 * makespan as f64;
+                let util = if cap_bytes > 0.0 { l.carried_bytes / cap_bytes } else { 0.0 };
+                out.push_str(&format!(
+                    "{}\t{:.1}\t{:.3}\t{:.4}\n",
+                    l.name,
+                    l.bw_gbps,
+                    l.carried_bytes / 1e6,
+                    util,
+                ));
+            }
+            out.push_str("contention_p50\tcontention_p95\tcontention_p99\n");
+            match self.contention() {
+                Some((p50, p95, p99)) => {
+                    out.push_str(&format!("{p50:.3}\t{p95:.3}\t{p99:.3}\n"));
+                }
+                None => out.push_str("-\t-\t-\n"),
+            }
         }
         out
     }
@@ -476,6 +539,8 @@ mod tests {
             vec![empty_sim_report(3_000)],
             vec![empty_sim_report(5_500)],
             vec![completion(0), completion(1)],
+            None,
+            Vec::new(),
             vec![2],
             vec![2],
         )
@@ -534,6 +599,8 @@ mod tests {
             "sticky".into(),
             vec![empty_sim_report(0)],
             vec![empty_sim_report(0)],
+            Vec::new(),
+            None,
             Vec::new(),
             vec![0],
             vec![0],

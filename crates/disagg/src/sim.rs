@@ -22,7 +22,7 @@
 
 use llmss_cluster::{ReplicaRole, RoutingPolicy, RoutingPolicyKind};
 use llmss_core::{
-    ConfigError, FleetEngine, ServingSimulator, SimConfig, Simulate, StaticControl,
+    ConfigError, Fabric, FleetEngine, ServingSimulator, SimConfig, Simulate, StaticControl,
 };
 use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
@@ -212,6 +212,34 @@ impl DisaggSimulator {
         config: DisaggConfig,
         trace: Vec<Request>,
     ) -> Result<Self, ConfigError> {
+        // The single dedicated FIFO link — the legacy wire, pinned
+        // byte-identically by the goldens.
+        let fabric = Fabric::fifo(vec![config.kv_link]);
+        Self::with_fabric(prefill_config, decode_config, config, fabric, trace)
+    }
+
+    /// Builds a disaggregated deployment whose KV transfers cross an
+    /// explicit [`Fabric`] (topology + sharing discipline) instead of
+    /// `config.kv_link` as a single FIFO wire. Fabric endpoints are
+    /// fleet-global replica indices: prefill replicas at `0..P`, decode
+    /// replicas at `P..P+D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when either replica configuration cannot
+    /// be realized.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new); additionally panics when a routed fabric
+    /// covers fewer endpoints than `P + D`.
+    pub fn with_fabric(
+        prefill_config: SimConfig,
+        decode_config: SimConfig,
+        config: DisaggConfig,
+        fabric: Fabric,
+        trace: Vec<Request>,
+    ) -> Result<Self, ConfigError> {
         assert_eq!(
             prefill_config.model.name, decode_config.model.name,
             "prefill and decode pools must serve the same model"
@@ -225,9 +253,9 @@ impl DisaggSimulator {
         let pairer = config.pairing.build();
         let routing_name = router.name().to_owned();
         let pairing_name = pairer.name().to_owned();
-        let engine = FleetEngine::new(
+        let engine = FleetEngine::with_fabric(
             configs,
-            vec![config.kv_link],
+            fabric,
             Box::new(StaticControl::new(router, pairer)),
             trace,
         )?;
@@ -341,12 +369,16 @@ impl DisaggSimulator {
             .collect();
         completions.sort_by_key(|c| c.id);
 
+        let contention_ratios =
+            parts.transfers.values().filter_map(|t| t.contention()).collect();
         DisaggReport::new(
             self.routing_name,
             self.pairing_name,
             prefill_reports,
             decode_reports,
             completions,
+            parts.fabric,
+            contention_ratios,
             routed_prefill,
             routed_decode,
         )
@@ -481,6 +513,36 @@ mod tests {
                 c.id
             );
             link_free = c.transfer_done_ps;
+        }
+    }
+
+    #[test]
+    fn fair_single_fabric_serves_every_request_causally() {
+        // Same deployment, but the wire is a fair-sharing flow model:
+        // transfers enter the fabric the moment their KV is ready (no
+        // FIFO queueing) and deliveries stay causal.
+        let config = DisaggConfig::new(2, 2).kv_link_gbps(2.0);
+        let endpoints = config.prefill_replicas + config.decode_replicas;
+        let graph = llmss_core::FabricGraph::single(endpoints, config.kv_link);
+        let trace = small_trace();
+        let report = DisaggSimulator::with_fabric(
+            replica_config(),
+            replica_config(),
+            config,
+            Fabric::fair("single", graph),
+            trace.clone(),
+        )
+        .expect("gpt2 fits a single Table-I NPU")
+        .run();
+        assert_eq!(report.total_completions(), trace.len());
+        for c in &report.completions {
+            assert_eq!(
+                c.transfer_start_ps, c.prefill_done_ps,
+                "request {}: a fair fabric admits flows at their ready time",
+                c.id
+            );
+            assert!(c.transfer_done_ps > c.transfer_start_ps);
+            assert!(c.first_token_ps > c.transfer_done_ps, "decode before KV arrived");
         }
     }
 

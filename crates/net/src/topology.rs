@@ -56,13 +56,30 @@ impl LinkSpec {
     }
 
     /// Serialization time for `bytes` over this link, excluding latency.
+    ///
+    /// Saturates at [`TimePs::MAX`] instead of wrapping: a multi-exabyte
+    /// transfer over a slow link overflows the picosecond clock, and the
+    /// `f64 → u64` cast alone already clamps (Rust saturating casts), so
+    /// the whole pipeline is monotone in `bytes`.
     pub fn serialize_ps(&self, bytes: u64) -> TimePs {
+        // `bytes as f64` loses precision above 2^53 bytes, but the
+        // relative error (< 2^-52) is far below the 1-ps ceil granularity
+        // relative to transfers that large; the cast saturates at
+        // `TimePs::MAX` for results beyond the clock range (and maps a
+        // hypothetical NaN to 0, which `bw_gbps > 0` already rules out).
         (bytes as f64 / self.bw_gbps / 1e9 * 1e12).ceil() as TimePs
     }
 
-    /// Full transfer time: latency plus serialization.
+    /// The link's latency alone, in picoseconds.
+    pub fn latency_ps(&self) -> TimePs {
+        (self.latency_ns * 1e3).round() as TimePs
+    }
+
+    /// Full transfer time: latency plus serialization, saturating at
+    /// [`TimePs::MAX`] (a near-edge serialization time plus latency must
+    /// not wrap back to a tiny transfer).
     pub fn transfer_ps(&self, bytes: u64) -> TimePs {
-        (self.latency_ns * 1e3).round() as TimePs + self.serialize_ps(bytes)
+        self.latency_ps().saturating_add(self.serialize_ps(bytes))
     }
 }
 
@@ -251,6 +268,27 @@ mod tests {
     fn zero_bytes_costs_latency_only() {
         let l = LinkSpec::new(100.0, 500.0);
         assert_eq!(l.transfer_ps(0), 500_000);
+    }
+
+    #[test]
+    fn u64_edge_byte_counts_saturate_instead_of_wrapping() {
+        // u64::MAX bytes over a 1-MB/s-class link: ~5.8e32 ps, far past
+        // the clock range. The transfer must pin to TimePs::MAX, not wrap.
+        let slow = LinkSpec::new(0.001, 100.0);
+        assert_eq!(slow.serialize_ps(u64::MAX), TimePs::MAX);
+        assert_eq!(slow.transfer_ps(u64::MAX), TimePs::MAX);
+        // A saturated serialization plus a nonzero latency must stay
+        // saturated (the old `+` would panic or wrap here).
+        let fast = LinkSpec::new(1e9, 1e9);
+        assert!(fast.transfer_ps(u64::MAX) >= fast.serialize_ps(u64::MAX));
+        // Monotonicity across the edge: more bytes never means less time.
+        let l = LinkSpec::pcie4_x16();
+        let mut last = 0;
+        for bytes in [0, 1, 1 << 20, 1 << 40, 1 << 62, u64::MAX - 1, u64::MAX] {
+            let t = l.transfer_ps(bytes);
+            assert!(t >= last, "transfer_ps not monotone at {bytes}");
+            last = t;
+        }
     }
 
     #[test]

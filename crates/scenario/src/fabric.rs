@@ -1,0 +1,574 @@
+//! The `[fabric]` scenario table: KV-transfer topology and bandwidth
+//! sharing as declarative values.
+//!
+//! A scenario with a `[fabric]` table ships its KV handoffs over a
+//! multi-link fabric instead of the single dedicated FIFO wire:
+//!
+//! ```toml
+//! [fabric]
+//! topology = "star4"    # single | starN | cliqueN | hierPxQ | explicit
+//! sharing = "fair"      # fair (max-min flows) | fifo (legacy, single only)
+//! bw_gbps = 64.0        # access/local links (kv_link_gbps when absent)
+//! trunk_gbps = 64.0     # star trunk / hier uplinks (bw_gbps when absent)
+//! latency_ns = 150.0    # per-link latency (CXL-class when absent)
+//!
+//! [[fabric.link]]       # explicit graphs: named links + routes
+//! name = "a"
+//! gbps = 32.0
+//!
+//! [[fabric.route]]
+//! from = 0
+//! to = 1
+//! path = ["a"]
+//! ```
+//!
+//! Every scalar is reachable as a `fabric.*` key through
+//! [`Scenario::set`](crate::Scenario::set), so topology and
+//! oversubscription are sweep axes like any other knob.
+
+use llmss_core::{Fabric, FabricGraph, FabricTopology, NamedLink, RouteSpec};
+use llmss_net::LinkSpec;
+use serde::Value;
+
+use crate::ScenarioError;
+
+/// How concurrent transfers share the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FabricSharing {
+    /// Max–min fair sharing: transfers are flows, bandwidth re-divides
+    /// at every flow start/finish.
+    #[default]
+    Fair,
+    /// The legacy discipline: one transfer at a time per link, FIFO by
+    /// KV-ready order. Only meaningful on the `single` topology, where
+    /// it reproduces pre-fabric reports byte-identically.
+    Fifo,
+}
+
+impl FabricSharing {
+    /// The scenario-file spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FabricSharing::Fair => "fair",
+            FabricSharing::Fifo => "fifo",
+        }
+    }
+}
+
+impl std::fmt::Display for FabricSharing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for FabricSharing {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fair" => Ok(FabricSharing::Fair),
+            "fifo" => Ok(FabricSharing::Fifo),
+            other => Err(format!("unknown fabric sharing '{other}' (expected fair | fifo)")),
+        }
+    }
+}
+
+/// One `[[fabric.link]]` entry of an explicit graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricLink {
+    /// The link's name (route paths refer to it).
+    pub name: String,
+    /// Bandwidth in GB/s.
+    pub gbps: f64,
+    /// Latency in nanoseconds (the table's `latency_ns`, then
+    /// CXL-class, when absent).
+    pub latency_ns: Option<f64>,
+}
+
+/// One `[[fabric.route]]` entry: the link path an ordered replica pair
+/// uses. Routes are bidirectional unless the reverse pair declares its
+/// own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricRoute {
+    /// Source replica (fleet-global index).
+    pub from: usize,
+    /// Destination replica (fleet-global index).
+    pub to: usize,
+    /// Link names, in hop order.
+    pub path: Vec<String>,
+}
+
+/// The `[fabric]` table: topology selection, sharing discipline, and
+/// link parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FabricSpec {
+    /// Topology name: `single` (default), `star[N]`, `clique[N]`,
+    /// `hier[P]x[Q]`, or `explicit` (with `[[fabric.link]]` /
+    /// `[[fabric.route]]` entries).
+    pub topology: Option<String>,
+    /// How concurrent transfers share bandwidth.
+    pub sharing: FabricSharing,
+    /// Access/local-link bandwidth in GB/s (the scenario's
+    /// `kv_link_gbps` when absent).
+    pub bw_gbps: Option<f64>,
+    /// Per-link latency in nanoseconds (CXL-class when absent).
+    pub latency_ns: Option<f64>,
+    /// Star-trunk / hier-uplink bandwidth in GB/s (`bw_gbps` when
+    /// absent — a star is then `N:1` oversubscribed).
+    pub trunk_gbps: Option<f64>,
+    /// Explicit-graph links (`[[fabric.link]]`).
+    pub links: Vec<FabricLink>,
+    /// Explicit-graph routes (`[[fabric.route]]`).
+    pub routes: Vec<FabricRoute>,
+}
+
+impl FabricSpec {
+    /// A fair-sharing fabric of the named topology.
+    pub fn named(topology: impl Into<String>) -> Self {
+        Self { topology: Some(topology.into()), ..Self::default() }
+    }
+
+    /// The effective topology name (`single` when unset).
+    pub fn topology_name(&self) -> &str {
+        self.topology.as_deref().unwrap_or("single")
+    }
+
+    /// Checks the table's own constraints (no endpoint count needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a typed
+    /// [`ScenarioError`].
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let invalid = |field: &str, message: String| {
+            Err(ScenarioError::InvalidValue { field: field.into(), message })
+        };
+        let topology = self.topology_name();
+        if topology == "explicit" {
+            if self.links.is_empty() {
+                return invalid(
+                    "fabric.topology",
+                    "an explicit fabric needs at least one [[fabric.link]]".into(),
+                );
+            }
+        } else {
+            if !self.links.is_empty() || !self.routes.is_empty() {
+                return invalid(
+                    "fabric.topology",
+                    format!(
+                        "[[fabric.link]]/[[fabric.route]] entries require \
+                         topology = \"explicit\", got \"{topology}\""
+                    ),
+                );
+            }
+            if let Err(e) = topology.parse::<FabricTopology>() {
+                return invalid("fabric.topology", e);
+            }
+        }
+        if self.sharing == FabricSharing::Fifo && topology != "single" {
+            return Err(ScenarioError::Conflict {
+                message: format!(
+                    "sharing = \"fifo\" is the legacy single-wire discipline; it cannot \
+                     serialize the \"{topology}\" topology (use sharing = \"fair\")"
+                ),
+            });
+        }
+        for (field, value) in
+            [("fabric.bw_gbps", self.bw_gbps), ("fabric.trunk_gbps", self.trunk_gbps)]
+        {
+            if let Some(bw) = value {
+                if !bw.is_finite() || bw <= 0.0 {
+                    return invalid(
+                        field,
+                        format!("link bandwidth must be positive, got {bw}"),
+                    );
+                }
+            }
+        }
+        if let Some(lat) = self.latency_ns {
+            if !lat.is_finite() || lat < 0.0 {
+                return invalid(
+                    "fabric.latency_ns",
+                    format!("link latency cannot be negative, got {lat}"),
+                );
+            }
+        }
+        for link in &self.links {
+            if link.name.is_empty() {
+                return invalid("fabric.link.name", "a fabric link needs a name".into());
+            }
+            if !link.gbps.is_finite() || link.gbps <= 0.0 {
+                return invalid(
+                    "fabric.link.gbps",
+                    format!(
+                        "link '{}': bandwidth must be positive, got {}",
+                        link.name, link.gbps
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the runtime [`Fabric`] over `endpoints` replicas, with the
+    /// scenario's `kv_link_gbps` as the bandwidth fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ScenarioError`] for topology/fleet size
+    /// mismatches and malformed explicit graphs.
+    pub fn build(&self, endpoints: usize, kv_link_gbps: f64) -> Result<Fabric, ScenarioError> {
+        self.validate()?;
+        let invalid =
+            |message: String| ScenarioError::InvalidValue { field: "fabric".into(), message };
+        let latency_ns = self.latency_ns.unwrap_or(LinkSpec::cxl().latency_ns);
+        let bw = self.bw_gbps.unwrap_or(kv_link_gbps);
+        let access = LinkSpec::new(bw, latency_ns);
+        if self.sharing == FabricSharing::Fifo {
+            // `validate` pinned the topology to `single`: the one
+            // dedicated legacy wire.
+            return Ok(Fabric::fifo(vec![access]));
+        }
+        let topology = self.topology_name();
+        let graph = if topology == "explicit" {
+            let links: Vec<NamedLink> = self
+                .links
+                .iter()
+                .map(|l| {
+                    NamedLink::new(
+                        l.name.clone(),
+                        LinkSpec::new(l.gbps, l.latency_ns.unwrap_or(latency_ns)),
+                    )
+                })
+                .collect();
+            let routes: Vec<RouteSpec> = self
+                .routes
+                .iter()
+                .map(|r| RouteSpec { from: r.from, to: r.to, path: r.path.clone() })
+                .collect();
+            FabricGraph::explicit(endpoints, links, &routes).map_err(invalid)?
+        } else {
+            let parsed: FabricTopology = topology.parse().map_err(invalid)?;
+            let trunk = LinkSpec::new(self.trunk_gbps.unwrap_or(bw), latency_ns);
+            FabricGraph::build(&parsed, endpoints, access, trunk).map_err(invalid)?
+        };
+        Ok(Fabric::fair(topology, graph))
+    }
+
+    /// Sets one knob by its serialized sub-key (the `fabric.*` surface
+    /// of [`Scenario::set`](crate::Scenario::set) — sweep axes and
+    /// `--set`). The link/route lists are not string-addressable.
+    pub(crate) fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
+        fn parse<T: std::str::FromStr>(field: &str, value: &str) -> Result<T, ScenarioError>
+        where
+            T::Err: std::fmt::Display,
+        {
+            value.parse().map_err(|e| ScenarioError::UnknownValue {
+                field: format!("fabric.{field}"),
+                value: value.into(),
+                expected: format!("{e}"),
+            })
+        }
+        let opt_f64 = |field: &str, value: &str| -> Result<Option<f64>, ScenarioError> {
+            if value == "none" {
+                Ok(None)
+            } else {
+                parse(field, value).map(Some)
+            }
+        };
+        match key {
+            "topology" => {
+                self.topology = if value == "none" { None } else { Some(value.to_owned()) }
+            }
+            "sharing" => self.sharing = parse(key, value)?,
+            "bw_gbps" => self.bw_gbps = opt_f64(key, value)?,
+            "latency_ns" => self.latency_ns = opt_f64(key, value)?,
+            "trunk_gbps" => self.trunk_gbps = opt_f64(key, value)?,
+            other => return Err(ScenarioError::UnknownKey { key: format!("fabric.{other}") }),
+        }
+        Ok(())
+    }
+
+    /// Renders the table as a value tree in canonical key order.
+    pub(crate) fn to_value(&self) -> Value {
+        let opt_float = |v: Option<f64>| match v {
+            Some(f) => Value::Float(f),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            (
+                "topology".into(),
+                match &self.topology {
+                    Some(t) => Value::Str(t.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("sharing".into(), Value::Str(self.sharing.as_str().into())),
+            ("bw_gbps".into(), opt_float(self.bw_gbps)),
+            ("latency_ns".into(), opt_float(self.latency_ns)),
+            ("trunk_gbps".into(), opt_float(self.trunk_gbps)),
+            (
+                "link".into(),
+                Value::Array(
+                    self.links
+                        .iter()
+                        .map(|l| {
+                            Value::Object(vec![
+                                ("name".into(), Value::Str(l.name.clone())),
+                                ("gbps".into(), Value::Float(l.gbps)),
+                                ("latency_ns".into(), opt_float(l.latency_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "route".into(),
+                Value::Array(
+                    self.routes
+                        .iter()
+                        .map(|r| {
+                            Value::Object(vec![
+                                ("from".into(), Value::Int(r.from as i128)),
+                                ("to".into(), Value::Int(r.to as i128)),
+                                (
+                                    "path".into(),
+                                    Value::Array(
+                                        r.path.iter().map(|p| Value::Str(p.clone())).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds the table from a value tree with typed errors.
+    pub(crate) fn from_value(v: &Value) -> Result<Self, ScenarioError> {
+        let Value::Object(fields) = v else {
+            return Err(ScenarioError::Parse {
+                message: format!("fabric: expected a table, got {v:?}"),
+            });
+        };
+        let mut spec = FabricSpec::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "link" => {
+                    let Value::Array(items) = value else {
+                        return Err(ScenarioError::Parse {
+                            message: format!("fabric.link: expected an array, got {value:?}"),
+                        });
+                    };
+                    spec.links = items.iter().map(link_from_value).collect::<Result<_, _>>()?;
+                }
+                "route" => {
+                    let Value::Array(items) = value else {
+                        return Err(ScenarioError::Parse {
+                            message: format!("fabric.route: expected an array, got {value:?}"),
+                        });
+                    };
+                    spec.routes =
+                        items.iter().map(route_from_value).collect::<Result<_, _>>()?;
+                }
+                _ => {
+                    let text = match value {
+                        Value::Null => "none".to_owned(),
+                        Value::Str(s) => s.clone(),
+                        Value::Int(i) => i.to_string(),
+                        Value::Float(f) => format!("{f:?}"),
+                        Value::Bool(b) => b.to_string(),
+                        other => {
+                            return Err(ScenarioError::UnknownValue {
+                                field: format!("fabric.{key}"),
+                                value: format!("{other:?}"),
+                                expected: "a scalar".into(),
+                            })
+                        }
+                    };
+                    spec.set(key, &text)?;
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn link_from_value(v: &Value) -> Result<FabricLink, ScenarioError> {
+    let Value::Object(fields) = v else {
+        return Err(ScenarioError::Parse {
+            message: format!("fabric.link: expected a table, got {v:?}"),
+        });
+    };
+    let bad = |field: &str, v: &Value, expected: &str| ScenarioError::UnknownValue {
+        field: format!("fabric.link.{field}"),
+        value: format!("{v:?}"),
+        expected: expected.into(),
+    };
+    let mut name = None;
+    let mut gbps = None;
+    let mut latency_ns = None;
+    for (key, v) in fields {
+        match key.as_str() {
+            "name" => match v {
+                Value::Str(s) => name = Some(s.clone()),
+                other => return Err(bad("name", other, "a link name")),
+            },
+            "gbps" => match v {
+                Value::Float(f) => gbps = Some(*f),
+                Value::Int(i) => gbps = Some(*i as f64),
+                other => return Err(bad("gbps", other, "GB/s")),
+            },
+            "latency_ns" => match v {
+                Value::Null => latency_ns = None,
+                Value::Float(f) => latency_ns = Some(*f),
+                Value::Int(i) => latency_ns = Some(*i as f64),
+                other => return Err(bad("latency_ns", other, "nanoseconds")),
+            },
+            other => {
+                return Err(ScenarioError::UnknownKey { key: format!("fabric.link.{other}") })
+            }
+        }
+    }
+    let name = name.ok_or_else(|| ScenarioError::InvalidValue {
+        field: "fabric.link".into(),
+        message: "every [[fabric.link]] needs a name".into(),
+    })?;
+    let gbps = gbps.ok_or_else(|| ScenarioError::InvalidValue {
+        field: "fabric.link".into(),
+        message: format!("link '{name}' needs a gbps bandwidth"),
+    })?;
+    Ok(FabricLink { name, gbps, latency_ns })
+}
+
+fn route_from_value(v: &Value) -> Result<FabricRoute, ScenarioError> {
+    let Value::Object(fields) = v else {
+        return Err(ScenarioError::Parse {
+            message: format!("fabric.route: expected a table, got {v:?}"),
+        });
+    };
+    let bad = |field: &str, v: &Value, expected: &str| ScenarioError::UnknownValue {
+        field: format!("fabric.route.{field}"),
+        value: format!("{v:?}"),
+        expected: expected.into(),
+    };
+    let mut from = None;
+    let mut to = None;
+    let mut path = Vec::new();
+    for (key, v) in fields {
+        match key.as_str() {
+            "from" => match v {
+                Value::Int(i) if *i >= 0 => from = Some(*i as usize),
+                other => return Err(bad("from", other, "a replica index")),
+            },
+            "to" => match v {
+                Value::Int(i) if *i >= 0 => to = Some(*i as usize),
+                other => return Err(bad("to", other, "a replica index")),
+            },
+            "path" => match v {
+                Value::Array(items) => {
+                    path = items
+                        .iter()
+                        .map(|p| match p {
+                            Value::Str(s) => Ok(s.clone()),
+                            other => Err(bad("path", other, "link names")),
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                other => return Err(bad("path", other, "an array of link names")),
+            },
+            other => {
+                return Err(ScenarioError::UnknownKey { key: format!("fabric.route.{other}") })
+            }
+        }
+    }
+    let (from, to) = match (from, to) {
+        (Some(f), Some(t)) => (f, t),
+        _ => {
+            return Err(ScenarioError::InvalidValue {
+                field: "fabric.route".into(),
+                message: "every [[fabric.route]] needs from and to".into(),
+            })
+        }
+    };
+    Ok(FabricRoute { from, to, path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_round_trips() {
+        for sharing in [FabricSharing::Fair, FabricSharing::Fifo] {
+            let parsed: FabricSharing = sharing.as_str().parse().unwrap();
+            assert_eq!(parsed, sharing);
+        }
+        assert!("nope".parse::<FabricSharing>().is_err());
+    }
+
+    #[test]
+    fn value_round_trip_is_lossless() {
+        let spec = FabricSpec {
+            topology: Some("explicit".into()),
+            sharing: FabricSharing::Fair,
+            bw_gbps: Some(32.0),
+            latency_ns: None,
+            trunk_gbps: None,
+            links: vec![FabricLink { name: "a".into(), gbps: 16.0, latency_ns: Some(100.0) }],
+            routes: vec![FabricRoute { from: 0, to: 1, path: vec!["a".into()] }],
+        };
+        let back = FabricSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+        let named = FabricSpec::named("star4");
+        assert_eq!(FabricSpec::from_value(&named.to_value()).unwrap(), named);
+    }
+
+    #[test]
+    fn unknown_keys_are_schema_drift() {
+        let mut spec = FabricSpec::default();
+        assert!(matches!(spec.set("topolgy", "star"), Err(ScenarioError::UnknownKey { .. })));
+        let v = Value::Object(vec![(
+            "link".into(),
+            Value::Array(vec![Value::Object(vec![("nme".into(), Value::Str("x".into()))])]),
+        )]);
+        assert!(matches!(FabricSpec::from_value(&v), Err(ScenarioError::UnknownKey { .. })));
+    }
+
+    #[test]
+    fn fifo_sharing_requires_the_single_topology() {
+        let mut spec = FabricSpec::named("star4");
+        spec.sharing = FabricSharing::Fifo;
+        assert!(matches!(spec.validate(), Err(ScenarioError::Conflict { .. })));
+        let single = FabricSpec { sharing: FabricSharing::Fifo, ..FabricSpec::default() };
+        assert!(single.validate().is_ok());
+    }
+
+    #[test]
+    fn named_topologies_build_over_the_fleet_size() {
+        let spec = FabricSpec::named("star");
+        let fabric = spec.build(4, 64.0).unwrap();
+        assert_eq!(fabric.endpoints(), Some(4));
+        let pinned = FabricSpec::named("clique3");
+        assert!(pinned.build(4, 64.0).is_err(), "pinned size must match the fleet");
+        let bad = FabricSpec::named("ring9");
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn explicit_graphs_build_from_lists() {
+        let spec = FabricSpec {
+            topology: Some("explicit".into()),
+            links: vec![FabricLink { name: "a".into(), gbps: 16.0, latency_ns: None }],
+            routes: vec![FabricRoute { from: 0, to: 1, path: vec!["a".into()] }],
+            ..FabricSpec::default()
+        };
+        assert!(spec.build(2, 64.0).is_ok());
+        let unrouted = FabricSpec {
+            routes: vec![FabricRoute { from: 0, to: 5, path: vec!["a".into()] }],
+            ..spec
+        };
+        assert!(unrouted.build(2, 64.0).is_err(), "endpoint outside the fleet");
+    }
+}

@@ -47,6 +47,7 @@
 
 mod any;
 mod error;
+mod fabric;
 mod fleet;
 mod scenario;
 mod sweep;
@@ -54,6 +55,7 @@ pub mod toml;
 
 pub use any::{AnyReport, AnySimulator};
 pub use error::ScenarioError;
+pub use fabric::{FabricLink, FabricRoute, FabricSharing, FabricSpec};
 pub use fleet::{FleetControlKind, FleetSpec, ReplicaOverride};
 pub use scenario::{Scenario, ServingShape};
 pub use sweep::{Sweep, SweepAxis, SweepPoint, SweepReport, SweepRow};

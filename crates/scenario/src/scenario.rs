@@ -13,7 +13,9 @@ use llmss_net::LinkSpec;
 use llmss_sched::{Request, SchedulingPolicy, TimePs, Workload, WorkloadSpec};
 use serde::{Deserialize, Error, Serialize, Value};
 
-use crate::{toml, AnyReport, AnySimulator, FleetControlKind, FleetSpec, ScenarioError};
+use crate::{
+    toml, AnyReport, AnySimulator, FabricSpec, FleetControlKind, FleetSpec, ScenarioError,
+};
 
 /// The serving shape a scenario describes, derived from its
 /// `replicas`/`disagg` fields.
@@ -139,6 +141,9 @@ pub struct Scenario {
     /// The `[fleet]` table: control plane and per-replica config list;
     /// `Some` selects the fleet shape.
     pub fleet: Option<FleetSpec>,
+    /// The `[fabric]` table: KV-transfer topology and sharing
+    /// discipline; `None` keeps the legacy dedicated FIFO wire.
+    pub fabric: Option<FabricSpec>,
     /// The traffic source.
     pub workload: WorkloadSpec,
 }
@@ -172,6 +177,7 @@ impl Default for Scenario {
             kv_link_gbps: 128.0,
             pairing: PairingPolicyKind::LeastKvLoad,
             fleet: None,
+            fabric: None,
             workload: WorkloadSpec::default(),
         }
     }
@@ -181,7 +187,7 @@ impl Scenario {
     /// Every top-level scenario key, in canonical file order. `set`,
     /// the file codecs, and sweep axes all speak exactly this schema
     /// (plus `workload.*` sub-keys).
-    pub const KEYS: [&'static str; 25] = [
+    pub const KEYS: [&'static str; 26] = [
         "model",
         "npus",
         "max_batch",
@@ -206,6 +212,7 @@ impl Scenario {
         "pairing",
         "kv_bucket",
         "fleet",
+        "fabric",
         "workload",
     ];
 
@@ -364,6 +371,13 @@ impl Scenario {
         self
     }
 
+    /// Ships KV handoffs over a `[fabric]` topology instead of the
+    /// legacy dedicated FIFO wire.
+    pub fn fabric(mut self, spec: FabricSpec) -> Self {
+        self.fabric = Some(spec);
+        self
+    }
+
     /// Sets the traffic source.
     pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
         self.workload = workload.into();
@@ -442,6 +456,9 @@ impl Scenario {
         }
         if let Some(fleet) = &self.fleet {
             self.fleet_checks(fleet)?;
+        }
+        if let Some(fabric) = &self.fabric {
+            self.fabric_checks(fabric)?;
         }
         self.kv_bucket.validate()?;
         if matches!(self.kv_bucket, KvBucket::Adaptive { .. })
@@ -601,6 +618,42 @@ impl Scenario {
         Ok(())
     }
 
+    /// The `[fabric]` cross-field constraints — and a dry build of the
+    /// graph, so topology/fleet size mismatches surface at validation
+    /// time with a typed error.
+    fn fabric_checks(&self, fabric: &FabricSpec) -> Result<(), ScenarioError> {
+        fabric.validate()?;
+        let conflict = |message: String| Err(ScenarioError::Conflict { message });
+        let endpoints = match self.shape() {
+            ServingShape::Disagg { prefill, decode } => prefill + decode,
+            ServingShape::Fleet { replicas, control } => {
+                let fleet = self.fleet.as_ref().expect("the fleet shape has a spec");
+                if !fleet.has_prefill() {
+                    return conflict(
+                        "a [fabric] table needs KV transfers to carry: declare \
+                         prefill/decode roles in [[fleet.replica]] entries"
+                            .into(),
+                    );
+                }
+                if control != FleetControlKind::Static {
+                    return conflict(format!(
+                        "control = \"{control}\" resizes or re-roles the fleet; the \
+                         fabric's endpoint graph is fixed (use control = \"static\")"
+                    ));
+                }
+                replicas
+            }
+            shape => {
+                return conflict(format!(
+                    "a [fabric] table needs KV transfers to carry, but the {shape} \
+                     shape has none: use disagg = \"PxD\" or prefill/decode roles \
+                     in [fleet]"
+                ));
+            }
+        };
+        fabric.build(endpoints, self.kv_link_gbps).map(|_| ())
+    }
+
     /// The per-replica [`SimConfig`] this scenario describes.
     ///
     /// # Errors
@@ -696,7 +749,15 @@ impl Scenario {
                     .routing(self.routing)
                     .pairing(self.pairing)
                     .seed(self.seed);
-                AnySimulator::Disagg(DisaggSimulator::new(cfg.clone(), cfg, disagg, trace)?)
+                AnySimulator::Disagg(match &self.fabric {
+                    // No [fabric] table: the legacy dedicated FIFO wire,
+                    // byte-identical to pre-fabric reports.
+                    None => DisaggSimulator::new(cfg.clone(), cfg, disagg, trace)?,
+                    Some(fabric) => {
+                        let built = fabric.build(prefill + decode, self.kv_link_gbps)?;
+                        DisaggSimulator::with_fabric(cfg.clone(), cfg, disagg, built, trace)?
+                    }
+                })
             }
             ServingShape::Fleet { replicas, .. } => {
                 let fleet = self.fleet.as_ref().expect("the fleet shape has a spec");
@@ -742,6 +803,10 @@ impl Scenario {
                 ReplicaRole::Decode => cfg.decode_only(),
             });
         }
+        let fabric = match &self.fabric {
+            Some(spec) => Some(spec.build(replicas, self.kv_link_gbps)?),
+            None => None,
+        };
         let links = if fleet.has_prefill() {
             vec![LinkSpec::new(self.kv_link_gbps, LinkSpec::cxl().latency_ns)]
         } else {
@@ -773,7 +838,10 @@ impl Scenario {
                 },
             )),
         };
-        Ok(FleetEngine::new(configs, links, control, trace)?)
+        Ok(match fabric {
+            Some(fabric) => FleetEngine::with_fabric(configs, fabric, control, trace)?,
+            None => FleetEngine::new(configs, links, control, trace)?,
+        })
     }
 
     /// Builds and runs to completion (the one-shot convenience).
@@ -819,6 +887,9 @@ impl Scenario {
         }
         if let Some(subkey) = key.strip_prefix("fleet.") {
             return self.fleet.get_or_insert_with(FleetSpec::default).set(subkey, value);
+        }
+        if let Some(subkey) = key.strip_prefix("fabric.") {
+            return self.fabric.get_or_insert_with(FabricSpec::default).set(subkey, value);
         }
         if let Some(subkey) = key.strip_prefix("workload.") {
             return self.workload.set(subkey, value).map_err(|message| {
@@ -948,6 +1019,17 @@ impl Scenario {
                     Some(spec)
                 }
             }
+            "fabric" => {
+                // `none` clears the table; a topology name is shorthand
+                // for a fair-sharing fabric of that topology.
+                self.fabric = if value == "none" {
+                    None
+                } else {
+                    let mut spec = self.fabric.take().unwrap_or_default();
+                    spec.topology = Some(value.to_owned());
+                    Some(spec)
+                }
+            }
             "workload" => {
                 return Err(ScenarioError::UnknownValue {
                     field: key.into(),
@@ -1031,6 +1113,14 @@ impl Scenario {
                     scenario.fleet = match value {
                         Value::Null => None,
                         other => Some(FleetSpec::from_value(other)?),
+                    }
+                }
+                "fabric" => {
+                    scenario.fabric = match value {
+                        Value::Null => None,
+                        // `fabric = "star4"`: fair-sharing shorthand.
+                        Value::Str(topology) => Some(FabricSpec::named(topology.clone())),
+                        other => Some(FabricSpec::from_value(other)?),
                     }
                 }
                 "npu_mem_gib" => {
@@ -1176,6 +1266,13 @@ impl Scenario {
             (
                 "fleet".into(),
                 match &self.fleet {
+                    Some(spec) => spec.to_value(),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "fabric".into(),
+                match &self.fabric {
                     Some(spec) => spec.to_value(),
                     None => Value::Null,
                 },
@@ -1464,6 +1561,55 @@ mod tests {
         let s = Scenario::from_toml("[workload]\nkind = \"synthetic\"\nseed = 7\n").unwrap();
         assert!(matches!(s.workload, WorkloadSpec::Synthetic { seed: 7, .. }));
         assert_eq!(s.seed, 42);
+    }
+
+    #[test]
+    fn fabric_keys_route_into_the_table() {
+        let mut s = small().disagg(2, 2);
+        s.set("fabric.topology", "star4").unwrap();
+        s.set("fabric.trunk_gbps", "16").unwrap();
+        s.set("fabric.sharing", "fair").unwrap();
+        let fabric = s.fabric.as_ref().unwrap();
+        assert_eq!(fabric.topology.as_deref(), Some("star4"));
+        assert_eq!(fabric.trunk_gbps, Some(16.0));
+        s.validate().unwrap();
+        // The bare key is topology shorthand; `none` clears the table.
+        s.set("fabric", "clique4").unwrap();
+        assert_eq!(s.fabric.as_ref().unwrap().topology.as_deref(), Some("clique4"));
+        s.set("fabric", "none").unwrap();
+        assert!(s.fabric.is_none());
+        assert!(matches!(
+            s.set("fabric.sharing", "lottery"),
+            Err(ScenarioError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn fabric_needs_kv_transfers_to_carry() {
+        use crate::FabricSpec;
+        for s in [small(), small().replicas(2)] {
+            let err = s.fabric(FabricSpec::default()).validate().unwrap_err();
+            assert!(matches!(err, ScenarioError::Conflict { .. }), "{err}");
+        }
+        // Pinned topology sizes must match the fleet at validation time.
+        let err =
+            small().disagg(1, 1).fabric(FabricSpec::named("star4")).validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidValue { .. }), "{err}");
+    }
+
+    #[test]
+    fn fabric_scenarios_round_trip_and_run() {
+        use crate::FabricSpec;
+        let mut spec = FabricSpec::named("star2");
+        spec.trunk_gbps = Some(32.0);
+        let s = small().disagg(1, 1).fabric(spec);
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back, s, "TOML round trip:\n{}", s.to_toml());
+        let report = s.run().unwrap();
+        assert_eq!(report.total_completions(), 4);
+        // The string shorthand builds the same fair fabric.
+        let short = Scenario::from_toml("disagg = \"1x1\"\nfabric = \"star2\"\n").unwrap();
+        assert_eq!(short.fabric, Some(FabricSpec::named("star2")));
     }
 
     #[test]
