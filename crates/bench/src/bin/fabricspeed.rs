@@ -10,14 +10,17 @@
 //! `--smoke` shrinks the trace for CI and *gates*: the run fails
 //! (exit 1) if the fair-sharing run is more than 10% slower than the
 //! FIFO baseline (plus a small absolute slack for timer noise), or if
-//! the two disciplines disagree on the completion count.
+//! the two disciplines disagree on the completion count. The gate
+//! statistics (completions, makespan) are read back from the report's
+//! machine-readable `-summary.json` artifact, the same surface
+//! downstream tooling consumes.
 
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use llmss_cluster::{bursty_trace, BurstyTraceSpec};
-use llmss_core::{Fabric, FabricGraph, SimConfig};
+use llmss_core::{json, Fabric, FabricGraph, SimConfig};
 use llmss_disagg::{DisaggConfig, DisaggReport, DisaggSimulator};
 use llmss_model::ModelSpec;
 use llmss_sched::Request;
@@ -39,6 +42,36 @@ struct FabricspeedReport {
     fifo_makespan_ps: u64,
     fair_makespan_ps: u64,
     completions: usize,
+}
+
+/// Gate statistics of one discipline, parsed from `-summary.json`.
+#[derive(Debug, Clone, Copy)]
+struct SummaryStats {
+    completions: usize,
+    makespan_ps: u64,
+    makespan_s: f64,
+}
+
+impl SummaryStats {
+    fn parse(report: &DisaggReport) -> SummaryStats {
+        let value =
+            json::parse(&report.summary_json()).expect("summary artifact parses as JSON");
+        let field = |key: &str| match &value {
+            Value::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&Value::Null)
+            }
+            _ => &Value::Null,
+        };
+        let int = |key: &str| match field(key) {
+            Value::Int(i) => u64::try_from(*i).unwrap_or(0),
+            _ => 0,
+        };
+        SummaryStats {
+            completions: int("completions") as usize,
+            makespan_ps: int("makespan_ps"),
+            makespan_s: int("makespan_ps") as f64 / 1e12,
+        }
+    }
 }
 
 fn replica_config() -> SimConfig {
@@ -66,7 +99,7 @@ fn config() -> DisaggConfig {
     DisaggConfig::new(2, 2).kv_link_gbps(256.0)
 }
 
-fn run(requests: &[Request], fair: bool) -> (f64, DisaggReport) {
+fn run(requests: &[Request], fair: bool) -> (f64, SummaryStats) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..REPS {
@@ -85,7 +118,7 @@ fn run(requests: &[Request], fair: bool) -> (f64, DisaggReport) {
         best = best.min(t0.elapsed().as_secs_f64());
         last = Some(report);
     }
-    (best, last.expect("REPS > 0"))
+    (best, SummaryStats::parse(&last.expect("REPS > 0")))
 }
 
 fn main() {
@@ -97,12 +130,12 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
-    let (fifo_wall, fifo_report) = run(&requests, false);
-    let (fair_wall, fair_report) = run(&requests, true);
+    let (fifo_wall, fifo_stats) = run(&requests, false);
+    let (fair_wall, fair_stats) = run(&requests, true);
     let overhead = if fifo_wall > 0.0 { fair_wall / fifo_wall } else { 1.0 };
 
-    println!("fifo wire : {fifo_wall:.3}s wall, makespan {:.3}s", fifo_report.makespan_s());
-    println!("fair flows: {fair_wall:.3}s wall, makespan {:.3}s", fair_report.makespan_s());
+    println!("fifo wire : {fifo_wall:.3}s wall, makespan {:.3}s", fifo_stats.makespan_s);
+    println!("fair flows: {fair_wall:.3}s wall, makespan {:.3}s", fair_stats.makespan_s);
     println!("flow-model overhead: {overhead:.2}x");
 
     let report = FabricspeedReport {
@@ -111,20 +144,19 @@ fn main() {
         fifo_wall_s: fifo_wall,
         fair_wall_s: fair_wall,
         overhead,
-        fifo_makespan_ps: fifo_report.makespan_ps(),
-        fair_makespan_ps: fair_report.makespan_ps(),
-        completions: fair_report.total_completions(),
+        fifo_makespan_ps: fifo_stats.makespan_ps,
+        fair_makespan_ps: fair_stats.makespan_ps,
+        completions: fair_stats.completions,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_fabricspeed.json", json).expect("write BENCH_fabricspeed.json");
     println!("wrote BENCH_fabricspeed.json");
 
     let mut failed = false;
-    if fifo_report.total_completions() != fair_report.total_completions() {
+    if fifo_stats.completions != fair_stats.completions {
         eprintln!(
             "FAIL: disciplines disagree on completions ({} fifo vs {} fair)",
-            fifo_report.total_completions(),
-            fair_report.total_completions()
+            fifo_stats.completions, fair_stats.completions
         );
         failed = true;
     }

@@ -8,17 +8,29 @@
 //! and iteration-level reuse hit rates. This file is the perf-trajectory
 //! anchor: future PRs compare against it.
 //!
+//! Simulated-time statistics (iterations, simulated duration, reuse hit
+//! rates) are read back from the report's machine-readable
+//! `-summary.json` artifact rather than the report structs, so the bench
+//! exercises the same surface downstream tooling consumes; only the
+//! wall-clock breakdown comes from the structs (it is deliberately kept
+//! out of the deterministic summary artifact).
+//!
 //! `--smoke` shrinks the trace for CI and *gates*: the run fails (exit 1)
 //! if the bucketed iteration-reuse hit rate on the decode-heavy trace
-//! drops below 50% in any scenario, or if exact memoization changed the
-//! simulated duration (it must be bit-identical).
+//! drops below 50% in any scenario, if exact memoization changed the
+//! simulated duration (it must be bit-identical), or if the telemetry
+//! layer breaks its cost contract (an unattached handle must be free,
+//! a recording sink must stay within [`TELEMETRY_MAX_OVERHEAD`], and
+//! neither may perturb the simulated duration).
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use llmss_cluster::{bursty_trace, BurstyTraceSpec, ClusterConfig, ClusterSimulator};
-use llmss_core::{ReuseStats, SimConfig, SimReport, WallBreakdown};
+use llmss_core::{json, MemorySink, SimConfig, SimReport, Telemetry, WallBreakdown};
 use llmss_disagg::{DisaggConfig, DisaggSimulator};
 use llmss_model::ModelSpec;
 use llmss_sched::Request;
@@ -31,6 +43,16 @@ const MIN_ITER_HIT_RATE: f64 = 0.50;
 /// artifact's `max_batch`), which is also the regime where steady-state
 /// decode batches recur instead of absorbing every arrival burst.
 const MAX_BATCH: usize = 32;
+/// CI gate: a recording memory sink may cost at most this wall ratio
+/// over running with telemetry off entirely.
+const TELEMETRY_MAX_OVERHEAD: f64 = 1.05;
+/// CI gate: an attached-but-sinkless handle must be within timer noise
+/// of no handle at all (the zero-cost-when-off contract).
+const NOOP_MAX_OVERHEAD: f64 = 1.02;
+/// Absolute slack for timer noise on small smoke runs.
+const TELEMETRY_SLACK_S: f64 = 0.010;
+/// Best-of-N wall times in the telemetry phase, to shave jitter.
+const TELEMETRY_REPS: usize = 3;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Memo {
@@ -74,6 +96,17 @@ struct ScenarioResult {
 }
 
 #[derive(Debug, Serialize)]
+struct TelemetryOverhead {
+    baseline_wall_s: f64,
+    off_handle_wall_s: f64,
+    recording_wall_s: f64,
+    off_handle_overhead: f64,
+    recording_overhead: f64,
+    events: usize,
+    sim_duration_ps: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct SimspeedReport {
     smoke: bool,
     requests: usize,
@@ -83,6 +116,45 @@ struct SimspeedReport {
     speedup_single: f64,
     speedup_cluster: f64,
     speedup_disagg: f64,
+    telemetry: TelemetryOverhead,
+}
+
+/// Member lookup on a summary-JSON object (`Null` when absent).
+fn field<'a>(value: &'a Value, key: &str) -> &'a Value {
+    match value {
+        Value::Object(pairs) => {
+            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&Value::Null)
+        }
+        _ => &Value::Null,
+    }
+}
+
+fn as_u64(value: &Value) -> u64 {
+    match value {
+        Value::Int(i) => u64::try_from(*i).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+fn as_f64(value: &Value) -> f64 {
+    match value {
+        Value::Float(f) => *f,
+        Value::Int(i) => *i as f64,
+        _ => 0.0,
+    }
+}
+
+/// Sums the `iterations` member across replica-array entries.
+fn sum_iterations(pools: &[&Value]) -> u64 {
+    pools
+        .iter()
+        .filter_map(|pool| match pool {
+            Value::Array(entries) => Some(entries),
+            _ => None,
+        })
+        .flatten()
+        .map(|entry| as_u64(field(entry, "iterations")))
+        .sum()
 }
 
 fn replica_config() -> SimConfig {
@@ -105,25 +177,19 @@ fn trace(smoke: bool) -> Vec<Request> {
     bursty_trace(&spec)
 }
 
-/// Collapses one or more replica reports into a scenario row.
+/// Builds a scenario row from the parsed `-summary.json` value (the
+/// simulated-time statistics) plus the wall numbers the artifact
+/// deliberately omits.
 fn collect(
     scenario: &str,
     memo: Memo,
     wall_s: f64,
-    reports: &[&SimReport],
-    reuse: ReuseStats,
+    wall: WallBreakdown,
+    iterations: u64,
+    sim_duration_ps: u64,
+    summary: &Value,
 ) -> ScenarioResult {
-    let mut wall = WallBreakdown::default();
-    let mut iterations = 0u64;
-    let mut sim_duration_ps = 0u64;
-    for r in reports {
-        wall.scheduler += r.wall.scheduler;
-        wall.engine += r.wall.engine;
-        wall.converter += r.wall.converter;
-        wall.network += r.wall.network;
-        iterations += r.iterations.len() as u64;
-        sim_duration_ps = sim_duration_ps.max(r.sim_duration_ps);
-    }
+    let reuse = field(summary, "reuse");
     ScenarioResult {
         scenario: scenario.to_owned(),
         memo: memo.label().to_owned(),
@@ -134,10 +200,27 @@ fn collect(
         engine_s: wall.engine.as_secs_f64(),
         convert_s: wall.converter.as_secs_f64(),
         net_s: wall.network.as_secs_f64(),
-        op_hit_rate: reuse.hit_rate(),
-        iter_hit_rate: reuse.iteration_hit_rate(),
+        op_hit_rate: as_f64(field(reuse, "hit_rate")),
+        iter_hit_rate: as_f64(field(reuse, "iteration_hit_rate")),
         sim_duration_ps,
     }
+}
+
+/// Merges per-replica wall breakdowns (struct-side: wall clock is kept
+/// out of the summary artifact to preserve byte-determinism).
+fn wall_breakdown(reports: &[&SimReport]) -> WallBreakdown {
+    let mut wall = WallBreakdown::default();
+    for r in reports {
+        wall.scheduler += r.wall.scheduler;
+        wall.engine += r.wall.engine;
+        wall.converter += r.wall.converter;
+        wall.network += r.wall.network;
+    }
+    wall
+}
+
+fn parse_summary(text: &str) -> Value {
+    json::parse(text).expect("summary artifact parses as JSON")
 }
 
 fn run_single(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
@@ -147,7 +230,11 @@ fn run_single(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
         .expect("gpt2 fits one Table-I NPU")
         .run();
     let wall_s = t0.elapsed().as_secs_f64();
-    collect("single", memo, wall_s, &[&report], report.reuse)
+    let summary = parse_summary(&report.summary_json());
+    let iterations = as_u64(field(&summary, "iterations"));
+    let sim_duration_ps = as_u64(field(&summary, "sim_duration_ps"));
+    let wall = wall_breakdown(&[&report]);
+    collect("single", memo, wall_s, wall, iterations, sim_duration_ps, &summary)
 }
 
 fn run_cluster(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
@@ -157,8 +244,12 @@ fn run_cluster(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
         .expect("gpt2 fits one Table-I NPU")
         .run();
     let wall_s = t0.elapsed().as_secs_f64();
+    let summary = parse_summary(&report.summary_json());
+    let iterations = sum_iterations(&[field(&summary, "replicas")]);
+    let sim_duration_ps = as_u64(field(&summary, "makespan_ps"));
     let refs: Vec<&SimReport> = report.replica_reports.iter().collect();
-    collect("cluster-4", memo, wall_s, &refs, report.aggregate_reuse())
+    let wall = wall_breakdown(&refs);
+    collect("cluster-4", memo, wall_s, wall, iterations, sim_duration_ps, &summary)
 }
 
 fn run_disagg(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
@@ -168,9 +259,68 @@ fn run_disagg(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
         .expect("gpt2 fits one Table-I NPU")
         .run();
     let wall_s = t0.elapsed().as_secs_f64();
+    let summary = parse_summary(&report.summary_json());
+    let iterations =
+        sum_iterations(&[field(&summary, "prefill_pool"), field(&summary, "decode_pool")]);
+    let sim_duration_ps = as_u64(field(&summary, "makespan_ps"));
     let refs: Vec<&SimReport> =
         report.prefill_reports.iter().chain(&report.decode_reports).collect();
-    collect("disagg-2x2", memo, wall_s, &refs, report.aggregate_reuse())
+    let wall = wall_breakdown(&refs);
+    collect("disagg-2x2", memo, wall_s, wall, iterations, sim_duration_ps, &summary)
+}
+
+/// How the telemetry layer is attached for an overhead measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TelemetryMode {
+    /// No `set_telemetry` call at all.
+    Baseline,
+    /// `Telemetry::off()` attached: the handle exists but has no sink.
+    OffHandle,
+    /// A `MemorySink` attached and recording every event.
+    Recording,
+}
+
+/// Measures the single-replica bucketed run under the three telemetry
+/// attachments (best-of-[`TELEMETRY_REPS`] wall each).
+fn telemetry_overhead(requests: &[Request]) -> TelemetryOverhead {
+    let measure = |mode: TelemetryMode| -> (f64, u64, usize) {
+        let mut best = f64::INFINITY;
+        let mut sim_duration_ps = 0u64;
+        let mut events = 0usize;
+        for _ in 0..TELEMETRY_REPS {
+            let cfg = Memo::Bucketed.apply(replica_config());
+            let mut sim = llmss_core::ServingSimulator::new(cfg, requests.to_vec())
+                .expect("gpt2 fits one Table-I NPU");
+            let sink = Rc::new(RefCell::new(MemorySink::new()));
+            match mode {
+                TelemetryMode::Baseline => {}
+                TelemetryMode::OffHandle => sim.set_telemetry(Telemetry::off()),
+                TelemetryMode::Recording => sim.set_telemetry(Telemetry::new(sink.clone())),
+            }
+            let t0 = Instant::now();
+            let report = sim.run();
+            best = best.min(t0.elapsed().as_secs_f64());
+            sim_duration_ps = report.sim_duration_ps;
+            events = sink.borrow().events().len();
+        }
+        (best, sim_duration_ps, events)
+    };
+
+    let (baseline_wall_s, baseline_dur, _) = measure(TelemetryMode::Baseline);
+    let (off_handle_wall_s, off_dur, _) = measure(TelemetryMode::OffHandle);
+    let (recording_wall_s, rec_dur, events) = measure(TelemetryMode::Recording);
+    assert_eq!(baseline_dur, off_dur, "telemetry handle must not perturb simulated time");
+    assert_eq!(baseline_dur, rec_dur, "recording sink must not perturb simulated time");
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 1.0 };
+    TelemetryOverhead {
+        baseline_wall_s,
+        off_handle_wall_s,
+        recording_wall_s,
+        off_handle_overhead: ratio(off_handle_wall_s, baseline_wall_s),
+        recording_overhead: ratio(recording_wall_s, baseline_wall_s),
+        events,
+        sim_duration_ps: baseline_dur,
+    }
 }
 
 fn main() {
@@ -231,6 +381,12 @@ fn main() {
          cluster {speedup_cluster:.1}x, disagg {speedup_disagg:.1}x"
     );
 
+    let telemetry = telemetry_overhead(&requests);
+    println!(
+        "telemetry overhead: off-handle {:.2}x, recording {:.2}x ({} events)",
+        telemetry.off_handle_overhead, telemetry.recording_overhead, telemetry.events
+    );
+
     let report = SimspeedReport {
         smoke,
         requests: n,
@@ -239,6 +395,7 @@ fn main() {
         speedup_single,
         speedup_cluster,
         speedup_disagg,
+        telemetry,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_simspeed.json", json).expect("write BENCH_simspeed.json");
@@ -280,6 +437,30 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        // Telemetry cost gates: the unattached handle is free, a
+        // recording sink stays within its wall budget, and a recording
+        // run must actually capture events.
+        let t = &report.telemetry;
+        if t.off_handle_wall_s > t.baseline_wall_s * NOOP_MAX_OVERHEAD + TELEMETRY_SLACK_S {
+            eprintln!(
+                "FAIL: telemetry off-handle run {:.3}s exceeds the {NOOP_MAX_OVERHEAD:.2}x \
+                 zero-cost budget over the {:.3}s baseline",
+                t.off_handle_wall_s, t.baseline_wall_s
+            );
+            failed = true;
+        }
+        if t.recording_wall_s > t.baseline_wall_s * TELEMETRY_MAX_OVERHEAD + TELEMETRY_SLACK_S {
+            eprintln!(
+                "FAIL: telemetry recording run {:.3}s exceeds the \
+                 {TELEMETRY_MAX_OVERHEAD:.2}x overhead budget over the {:.3}s baseline",
+                t.recording_wall_s, t.baseline_wall_s
+            );
+            failed = true;
+        }
+        if t.events == 0 {
+            eprintln!("FAIL: recording telemetry run captured no events");
+            failed = true;
         }
     }
     if failed {

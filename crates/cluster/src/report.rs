@@ -202,6 +202,51 @@ impl ClusterReport {
         )
     }
 
+    /// Machine-readable cluster summary as pretty-printed JSON: cluster
+    /// totals, SLO percentiles, imbalance metrics, merged reuse
+    /// statistics, and one entry per replica.
+    ///
+    /// Virtual-time results only, so the artifact is byte-identical
+    /// across runs of the same seed.
+    pub fn summary_json(&self) -> String {
+        use llmss_core::json::obj;
+        use serde::Value;
+
+        let makespan = self.makespan_ps();
+        let replicas: Vec<Value> = self
+            .per_replica()
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("index", Value::Int(s.replica as i128)),
+                    ("routed", Value::Int(s.routed_requests as i128)),
+                    ("completed", Value::Int(s.completions as i128)),
+                    ("iterations", Value::Int(s.iterations as i128)),
+                    ("busy_s", Value::Float(s.busy_ps as f64 / 1e12)),
+                    ("utilization", Value::Float(s.utilization(makespan))),
+                    ("prompt_tokens", Value::Int(i128::from(s.prompt_tokens))),
+                    ("generated_tokens", Value::Int(i128::from(s.generated_tokens))),
+                ])
+            })
+            .collect();
+        let v = obj(vec![
+            ("shape", Value::Str("cluster".into())),
+            ("policy", Value::Str(self.policy.clone())),
+            ("replica_count", Value::Int(self.replica_reports.len() as i128)),
+            ("completions", Value::Int(self.total_completions() as i128)),
+            ("assignments", Value::Int(self.assignments.len() as i128)),
+            ("makespan_ps", Value::Int(self.makespan_ps() as i128)),
+            ("makespan_s", Value::Float(self.makespan_s())),
+            ("generation_tput_tok_s", Value::Float(self.generation_throughput())),
+            ("load_imbalance", Value::Float(self.load_imbalance())),
+            ("utilization_cv", Value::Float(self.utilization_imbalance())),
+            ("slo", self.slo().json_value()),
+            ("reuse", self.aggregate_reuse().json_value()),
+            ("replicas", Value::Array(replicas)),
+        ]);
+        llmss_core::json::pretty(&v) + "\n"
+    }
+
     /// Per-replica TSV (the CLI's `{output}-cluster.tsv`): one row per
     /// replica plus a `cluster` totals row carrying the SLO percentiles.
     pub fn to_tsv(&self) -> String {
@@ -254,7 +299,7 @@ impl ReportOutput for ClusterReport {
     }
 
     fn artifacts(&self) -> Vec<(&'static str, String)> {
-        vec![("-cluster.tsv", self.to_tsv())]
+        vec![("-cluster.tsv", self.to_tsv()), ("-summary.json", self.summary_json())]
     }
 }
 

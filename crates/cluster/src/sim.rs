@@ -10,7 +10,7 @@
 //! constructor checks and the [`ClusterReport`] assembly.
 
 use llmss_core::{
-    ConfigError, FleetEngine, ServingSimulator, SimConfig, Simulate, StaticControl,
+    ConfigError, FleetEngine, ServingSimulator, SimConfig, Simulate, StaticControl, Telemetry,
 };
 use llmss_sched::{Request, TimePs};
 
@@ -147,6 +147,11 @@ impl ClusterSimulator {
         );
         let engine = FleetEngine::new(configs, Vec::new(), Box::new(control), trace)?;
         Ok(Self { engine, roles, routing: cluster.routing })
+    }
+
+    /// Attaches a telemetry handle; the engine fans it out per replica.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.engine.set_telemetry(telemetry);
     }
 
     /// The routing policy driving this cluster.

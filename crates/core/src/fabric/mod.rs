@@ -29,6 +29,8 @@ pub use graph::{FabricGraph, FabricTopology, NamedLink, RouteSpec};
 use llmss_net::LinkSpec;
 use llmss_sched::TimePs;
 
+use crate::telemetry::{SimEvent, Telemetry};
+
 /// One legacy FIFO link: serves a single transfer at a time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct FifoLink {
@@ -95,6 +97,8 @@ enum FabricMode {
 #[derive(Debug)]
 pub struct Fabric {
     mode: FabricMode,
+    /// Flow/link event sink handle (off by default).
+    telemetry: Telemetry,
 }
 
 impl Fabric {
@@ -106,6 +110,7 @@ impl Fabric {
             mode: FabricMode::Fifo {
                 links: links.into_iter().map(|spec| FifoLink { spec, free_ps: 0 }).collect(),
             },
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -113,7 +118,16 @@ impl Fabric {
     /// under `label` in reports.
     pub fn fair(label: impl Into<String>, graph: FabricGraph) -> Self {
         let model = FlowModel::new(&graph.links().iter().map(|l| l.spec).collect::<Vec<_>>());
-        Self { mode: FabricMode::Fair { label: label.into(), graph, model } }
+        Self {
+            mode: FabricMode::Fair { label: label.into(), graph, model },
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Attaches an event sink: the fabric emits flow start/finish and
+    /// per-link carried-bytes (re-share) events.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Whether the fabric has any link to ship KV caches over.
@@ -164,6 +178,17 @@ impl Fabric {
                 let nominal_ps = links[link].spec.transfer_ps(bytes);
                 let done_ps = start_ps + nominal_ps;
                 links[link].free_ps = done_ps;
+                // FIFO bookings resolve at commit, so the whole flow
+                // lifecycle (and its link occupancy) is emitted here.
+                self.telemetry.emit(|| SimEvent::FlowStart { t_ps: start_ps, id, bytes });
+                self.telemetry.emit(|| SimEvent::FlowEnd { t_ps: done_ps, id });
+                self.telemetry.emit(|| SimEvent::LinkShare {
+                    from_ps: start_ps,
+                    to_ps: done_ps,
+                    link: format!("link{link}"),
+                    bw_gbps: links[link].spec.bw_gbps,
+                    bytes: bytes as f64,
+                });
                 FabricCommit::Booked { link, start_ps, done_ps, nominal_ps }
             }
             FabricMode::Fair { graph, model, .. } => {
@@ -175,6 +200,7 @@ impl Fabric {
                 // deliveries; never start behind the fabric clock.
                 let start_ps = ready_ps.max(model.now_ps());
                 model.start(id, &path, bytes, latency_ps, nominal_ps, start_ps);
+                self.telemetry.emit(|| SimEvent::FlowStart { t_ps: start_ps, id, bytes });
                 FabricCommit::InFlight { start_ps, nominal_ps }
             }
         }
@@ -195,7 +221,36 @@ impl Fabric {
     pub fn advance(&mut self, t: TimePs) -> Vec<FlowDone> {
         match &mut self.mode {
             FabricMode::Fifo { .. } => Vec::new(),
-            FabricMode::Fair { model, .. } => model.advance(t),
+            FabricMode::Fair { graph, model, .. } => {
+                if !self.telemetry.is_on() {
+                    return model.advance(t);
+                }
+                // Deltas of the carried-bytes integrals over this
+                // advance are exactly what each link shipped in
+                // [now, t] under the current fair shares.
+                let from_ps = model.now_ps();
+                let before: Vec<f64> = model.carried_bytes().to_vec();
+                let done = model.advance(t);
+                let to_ps = model.now_ps();
+                for d in &done {
+                    self.telemetry.emit(|| SimEvent::FlowEnd { t_ps: d.done_ps, id: d.id });
+                }
+                for (i, (link, &after)) in
+                    graph.links().iter().zip(model.carried_bytes()).enumerate()
+                {
+                    let delta = after - before[i];
+                    if delta > 0.0 {
+                        self.telemetry.emit(|| SimEvent::LinkShare {
+                            from_ps,
+                            to_ps,
+                            link: link.name.clone(),
+                            bw_gbps: link.spec.bw_gbps,
+                            bytes: delta,
+                        });
+                    }
+                }
+                done
+            }
         }
     }
 

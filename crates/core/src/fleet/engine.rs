@@ -33,6 +33,7 @@ use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
 
 use crate::fabric::{Fabric, FabricCommit, FabricStats};
+use crate::telemetry::{SimEvent, Telemetry};
 use crate::{ConfigError, ServingSimulator, SimConfig, Simulate};
 
 use super::control::{ControlPlane, FleetCommand, FleetStats, ReplicaStatus};
@@ -164,6 +165,9 @@ pub struct FleetEngine {
     /// Prefill completions handed off so far (end-to-end completion
     /// accounting subtracts these).
     handoffs_total: usize,
+    /// Fleet-level event sink handle (off by default; replicas carry
+    /// their own per-index handles).
+    telemetry: Telemetry,
 }
 
 impl FleetEngine {
@@ -268,9 +272,30 @@ impl FleetEngine {
             next_tick_ps: tick_ps.unwrap_or(0),
             tick_ps,
             handoffs_total: 0,
+            telemetry: Telemetry::off(),
             sims,
             slots,
         })
+    }
+
+    /// Attaches an event sink to the whole fleet: every replica gets a
+    /// handle stamped with its index, the fabric reports flow events,
+    /// and the engine itself emits arrival/admission, transfer, and
+    /// control-plane events. Emits one `ReplicaActivated` per existing
+    /// replica so consumers know the starting fleet.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for (i, sim) in self.sims.iter_mut().enumerate() {
+            sim.set_telemetry(telemetry.for_replica(i));
+        }
+        self.fabric.set_telemetry(telemetry.clone());
+        for (i, slot) in self.slots.iter().enumerate() {
+            telemetry.emit(|| SimEvent::ReplicaActivated {
+                t_ps: 0,
+                replica: i,
+                admit_from_ps: slot.active_from_ps,
+            });
+        }
+        self.telemetry = telemetry;
     }
 
     /// The replica simulators, by fleet index (for inspection between
@@ -365,7 +390,10 @@ impl FleetEngine {
                 let busy = self.sims[i].busy_ps();
                 let (base_busy, base_clock) = slot.window_base;
                 let window = now.saturating_sub(base_clock);
-                let util_window = if window == 0 {
+                // A drained retired replica executes nothing: clamp to 0
+                // instead of replaying its last live window forever.
+                let drained = slot.retiring && self.sims[i].scheduler().outstanding() == 0;
+                let util_window = if window == 0 || drained {
                     0.0
                 } else {
                     (busy.saturating_sub(base_busy)) as f64 / window as f64
@@ -397,6 +425,8 @@ impl FleetEngine {
 
     /// Applies one control command under drain semantics.
     fn apply(&mut self, command: FleetCommand, now: TimePs) {
+        self.telemetry
+            .emit(|| SimEvent::Command { t_ps: now, command: format!("{command:?}") });
         match command {
             FleetCommand::SetRole { replica, role } => {
                 assert!(replica < self.sims.len(), "SetRole names replica {replica}");
@@ -424,19 +454,34 @@ impl FleetEngine {
                 }) {
                     self.slots[idx].retiring = false;
                     self.slots[idx].active_from_ps = active_from;
+                    self.telemetry.emit(|| SimEvent::ReplicaActivated {
+                        t_ps: now,
+                        replica: idx,
+                        admit_from_ps: active_from,
+                    });
                     return;
                 }
                 let config = self.slots[template].config.clone();
-                let sim = ServingSimulator::new(config.clone(), Vec::new())
+                let mut sim = ServingSimulator::new(config.clone(), Vec::new())
                     .expect("the template configuration was already realized once");
+                let index = self.sims.len();
+                sim.set_telemetry(self.telemetry.for_replica(index));
                 self.sims.push(sim);
                 let mut slot = ReplicaSlot::new(config);
                 slot.active_from_ps = active_from;
                 self.slots.push(slot);
                 self.heap.grow();
+                self.telemetry.emit(|| SimEvent::ReplicaActivated {
+                    t_ps: now,
+                    replica: index,
+                    admit_from_ps: active_from,
+                });
             }
             FleetCommand::ScaleDown { replica } => {
                 assert!(replica < self.sims.len(), "ScaleDown names replica {replica}");
+                if !self.slots[replica].retiring {
+                    self.telemetry.emit(|| SimEvent::ReplicaRetired { t_ps: now, replica });
+                }
                 self.slots[replica].retiring = true;
             }
         }
@@ -449,6 +494,11 @@ impl FleetEngine {
             return;
         }
         self.sims[replica].set_mode(role.scheduler_mode());
+        self.telemetry.emit(|| SimEvent::RoleApplied {
+            t_ps: self.sims[replica].clock_ps(),
+            replica,
+            role: role.to_string(),
+        });
         let slot = &mut self.slots[replica];
         slot.role = role;
         slot.pending_role = None;
@@ -464,6 +514,12 @@ impl FleetEngine {
         while self.next_tick_ps <= horizon {
             let now = self.next_tick_ps;
             let stats = self.stats(now);
+            self.telemetry.emit(|| SimEvent::Tick {
+                t_ps: now,
+                live_replicas: self.slots.iter().filter(|s| !s.retiring).count(),
+                queued_arrivals: stats.queued_arrivals,
+                pending_transfers: stats.pending_transfers,
+            });
             let commands = self.control.on_tick(&stats);
             for command in commands {
                 self.apply(command, now);
@@ -488,6 +544,11 @@ impl FleetEngine {
         for done in &completions[first_fresh..] {
             self.pending.push(std::cmp::Reverse((done.finish_ps, done.id, index)));
             self.handoffs_total += 1;
+            self.telemetry.emit(|| SimEvent::TransferQueued {
+                t_ps: done.finish_ps,
+                id: done.id,
+                from: index,
+            });
         }
     }
 
@@ -564,6 +625,12 @@ impl FleetEngine {
                         done_ps,
                     ));
                     self.refresh(chosen);
+                    self.telemetry.emit(|| SimEvent::TransferEnd {
+                        t_ps: done_ps,
+                        id,
+                        from,
+                        to: chosen,
+                    });
                     FleetTransfer {
                         from,
                         to: chosen,
@@ -588,6 +655,14 @@ impl FleetEngine {
                     bytes,
                 },
             };
+            self.telemetry.emit(|| SimEvent::TransferStart {
+                t_ps: transfer.start_ps,
+                id,
+                from,
+                to: chosen,
+                bytes,
+                nominal_ps: transfer.nominal_ps,
+            });
             self.transfers.insert(id, transfer);
         }
     }
@@ -604,6 +679,13 @@ impl FleetEngine {
             transfer.done_ps = done.done_ps;
             transfer.link = done.bottleneck;
             let to = transfer.to;
+            let from = transfer.from;
+            self.telemetry.emit(|| SimEvent::TransferEnd {
+                t_ps: done.done_ps,
+                id: done.id,
+                from,
+                to,
+            });
             let request = self.requests[&done.id];
             self.sims[to].push_request(Request::new(
                 done.id,
@@ -686,6 +768,17 @@ impl FleetEngine {
                 );
                 self.assignments.push((request.id, chosen));
                 self.slots[chosen].routed += 1;
+                self.telemetry.emit(|| SimEvent::Arrival {
+                    t_ps: request.arrival_ps,
+                    id: request.id,
+                    input_len: request.input_len,
+                    output_len: request.output_len,
+                });
+                self.telemetry.emit(|| SimEvent::Admitted {
+                    t_ps: request.arrival_ps,
+                    id: request.id,
+                    replica: chosen,
+                });
                 self.sims[chosen].push_request(request);
                 self.refresh(chosen);
                 true

@@ -192,6 +192,94 @@ impl FleetReport {
         out
     }
 
+    /// Machine-readable fleet summary as pretty-printed JSON: fleet
+    /// totals, SLO percentiles, merged reuse statistics, one entry per
+    /// replica, and the fabric section (links + contention) when the run
+    /// used a fair-sharing fabric.
+    ///
+    /// Virtual-time results only, so the artifact is byte-identical
+    /// across runs of the same seed.
+    pub fn summary_json(&self) -> String {
+        use serde::Value;
+
+        use crate::json::obj;
+
+        let makespan = self.makespan_ps.max(1);
+        let replicas: Vec<Value> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let busy: TimePs = r.report.iterations.iter().map(|it| it.latency_ps).sum();
+                obj(vec![
+                    ("index", Value::Int(i as i128)),
+                    ("role", Value::Str(r.role.to_string())),
+                    ("home_role", Value::Str(r.home_role.to_string())),
+                    ("retired", Value::Bool(r.retired)),
+                    ("routed", Value::Int(r.routed as i128)),
+                    ("paired", Value::Int(r.paired as i128)),
+                    ("completed", Value::Int(r.report.completions.len() as i128)),
+                    ("iterations", Value::Int(r.report.iterations.len() as i128)),
+                    ("busy_s", Value::Float(busy as f64 / 1e12)),
+                    ("utilization", Value::Float(busy as f64 / makespan as f64)),
+                ])
+            })
+            .collect();
+        let fabric = match &self.fabric {
+            None => Value::Null,
+            Some(f) => {
+                let links: Vec<Value> = f
+                    .links
+                    .iter()
+                    .map(|l| {
+                        // Same capacity integral as `to_tsv` (GB/s =
+                        // 1e-3 B/ps).
+                        let cap_bytes = l.bw_gbps / 1000.0 * makespan as f64;
+                        let util =
+                            if cap_bytes > 0.0 { l.carried_bytes / cap_bytes } else { 0.0 };
+                        obj(vec![
+                            ("name", Value::Str(l.name.clone())),
+                            ("bw_gbps", Value::Float(l.bw_gbps)),
+                            ("carried_bytes", Value::Float(l.carried_bytes)),
+                            ("utilization", Value::Float(util)),
+                        ])
+                    })
+                    .collect();
+                let contention = match self.contention() {
+                    Some((p50, p95, p99)) => obj(vec![
+                        ("p50", Value::Float(p50)),
+                        ("p95", Value::Float(p95)),
+                        ("p99", Value::Float(p99)),
+                    ]),
+                    None => Value::Null,
+                };
+                obj(vec![
+                    ("label", Value::Str(f.label.clone())),
+                    ("links", Value::Array(links)),
+                    ("contention", contention),
+                ])
+            }
+        };
+        let retired = self.replicas.iter().filter(|r| r.retired).count();
+        let v = obj(vec![
+            ("shape", Value::Str("fleet".into())),
+            ("control", Value::Str(self.control.clone())),
+            ("replica_count", Value::Int(self.replicas.len() as i128)),
+            ("retired", Value::Int(retired as i128)),
+            ("completions", Value::Int(self.total_completions() as i128)),
+            ("transfers", Value::Int(self.transfers.len() as i128)),
+            ("assignments", Value::Int(self.assignments.len() as i128)),
+            ("makespan_ps", Value::Int(self.makespan_ps as i128)),
+            ("makespan_s", Value::Float(self.makespan_s())),
+            ("generation_tput_tok_s", Value::Float(self.generation_throughput())),
+            ("slo", self.slo().json_value()),
+            ("reuse", self.aggregate_reuse().json_value()),
+            ("replicas", Value::Array(replicas)),
+            ("fabric", fabric),
+        ]);
+        crate::json::pretty(&v) + "\n"
+    }
+
     /// Per-replica TSV (the CLI's `{output}-fleet.tsv`): one row per
     /// replica plus a `fleet` totals row carrying the SLO percentiles.
     pub fn to_tsv(&self) -> String {
@@ -272,6 +360,6 @@ impl ReportOutput for FleetReport {
     }
 
     fn artifacts(&self) -> Vec<(&'static str, String)> {
-        vec![("-fleet.tsv", self.to_tsv())]
+        vec![("-fleet.tsv", self.to_tsv()), ("-summary.json", self.summary_json())]
     }
 }

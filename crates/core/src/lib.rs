@@ -41,12 +41,14 @@ mod convert;
 mod engine;
 mod fabric;
 mod fleet;
+pub mod json;
 mod mapping;
 mod report;
 mod reuse;
 mod sim;
 mod simulate;
 mod stack;
+pub mod telemetry;
 
 pub use config::{
     ConfigError, KvBucket, KvManage, ParallelismKind, ParallelismSpec, SimConfig,
@@ -75,3 +77,7 @@ pub use reuse::{
 pub use sim::ServingSimulator;
 pub use simulate::Simulate;
 pub use stack::EngineStack;
+pub use telemetry::{
+    chrome_trace, filter_events, timeline_tsv, validate_chrome_trace, MemorySink, SimEvent,
+    Telemetry, TimelineConfig, TraceSink,
+};

@@ -10,8 +10,9 @@ use std::time::Duration;
 
 use llmss_net::TimePs;
 use llmss_sched::Completion;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
+use crate::json::obj;
 use crate::ReuseStats;
 
 /// Per-iteration record.
@@ -131,6 +132,22 @@ impl PercentileSummary {
             None => "n/a".to_owned(),
         }
     }
+
+    /// JSON object `{p50_s, p95_s, p99_s}` for machine-readable
+    /// summaries.
+    pub fn json_value(&self) -> Value {
+        obj(vec![
+            ("p50_s", Value::Float(self.p50_s)),
+            ("p95_s", Value::Float(self.p95_s)),
+            ("p99_s", Value::Float(self.p99_s)),
+        ])
+    }
+
+    /// JSON for an optional summary: `null` when the sample set was
+    /// empty, mirroring [`Self::tsv_fields_or_dashes`].
+    pub fn json_or_null(summary: Option<PercentileSummary>) -> Value {
+        summary.map_or(Value::Null, |s| s.json_value())
+    }
 }
 
 impl std::fmt::Display for PercentileSummary {
@@ -226,6 +243,16 @@ impl SloSummary {
     ) -> Option<PercentileSummary> {
         percentiles_from_ps(completions.map(|c| c.latency_ps() as f64))
     }
+
+    /// JSON object `{ttft, tpot, latency}` with `null` for metrics whose
+    /// sample set was empty.
+    pub fn json_value(&self) -> Value {
+        obj(vec![
+            ("ttft", PercentileSummary::json_or_null(self.ttft)),
+            ("tpot", PercentileSummary::json_or_null(self.tpot)),
+            ("latency", PercentileSummary::json_or_null(self.latency)),
+        ])
+    }
 }
 
 /// A finished simulation's output surface: the one-paragraph summary and
@@ -274,6 +301,7 @@ impl ReportOutput for SimReport {
         vec![
             ("-throughput.tsv", self.throughput_tsv(1.0)),
             ("-simulation-time.tsv", self.wall.to_tsv()),
+            ("-summary.json", self.summary_json()),
         ]
     }
 }
@@ -443,6 +471,29 @@ impl SimReport {
             out.push_str(&format!("{:.1}\t{:.2}\t{:.2}\n", b.t_s, b.prompt_tps, b.gen_tps));
         }
         out
+    }
+
+    /// Machine-readable run summary as pretty-printed JSON.
+    ///
+    /// Virtual-time results only — wall-clock components stay in
+    /// `-simulation-time.tsv` so this artifact is byte-identical across
+    /// runs of the same seed.
+    pub fn summary_json(&self) -> String {
+        let v = obj(vec![
+            ("shape", Value::Str("single".into())),
+            ("iterations", Value::Int(self.iterations.len() as i128)),
+            ("completions", Value::Int(self.completions.len() as i128)),
+            ("sim_duration_ps", Value::Int(self.sim_duration_ps as i128)),
+            ("sim_duration_s", Value::Float(self.sim_duration_s())),
+            ("prompt_tokens", Value::Int(self.total_prompt_tokens() as i128)),
+            ("generated_tokens", Value::Int(self.total_generated_tokens() as i128)),
+            ("generation_tput_tok_s", Value::Float(self.generation_throughput())),
+            ("prompt_tput_tok_s", Value::Float(self.prompt_throughput())),
+            ("mean_latency_s", Value::Float(self.mean_latency_s())),
+            ("slo", self.slo().json_value()),
+            ("reuse", self.reuse.json_value()),
+        ]);
+        crate::json::pretty(&v) + "\n"
     }
 
     /// One-paragraph human summary (the artifact's standard output).

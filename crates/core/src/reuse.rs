@@ -93,6 +93,24 @@ impl ReuseStats {
         self.iteration_hits as f64 / total as f64
     }
 
+    /// JSON object with raw counters and derived rates, for the
+    /// machine-readable `-summary.json` artifacts.
+    pub fn json_value(&self) -> serde::Value {
+        use serde::Value;
+        crate::json::obj(vec![
+            ("attention_hits", Value::Int(i128::from(self.attention_hits))),
+            ("attention_misses", Value::Int(i128::from(self.attention_misses))),
+            ("other_hits", Value::Int(i128::from(self.other_hits))),
+            ("other_misses", Value::Int(i128::from(self.other_misses))),
+            ("iteration_hits", Value::Int(i128::from(self.iteration_hits))),
+            ("iteration_misses", Value::Int(i128::from(self.iteration_misses))),
+            ("iteration_uncacheable", Value::Int(i128::from(self.iteration_uncacheable))),
+            ("hit_rate", Value::Float(self.hit_rate())),
+            ("iteration_hit_rate", Value::Float(self.iteration_hit_rate())),
+            ("kv_bucket_end", Value::Int(i128::from(self.kv_bucket_end))),
+        ])
+    }
+
     /// Folds another stats block into this one (fleet-level aggregation).
     pub fn merge(&mut self, other: &ReuseStats) {
         self.attention_hits += other.attention_hits;

@@ -19,11 +19,13 @@
 //!
 //! [`BatchSignature`]: llmss_model::BatchSignature
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use llmss_net::{ExecGraph, GraphSimulator, Topology};
 use llmss_sched::{Request, Scheduler, TimePs};
 
+use crate::telemetry::{SimEvent, Telemetry};
 use crate::{
     BucketAdaptivity, ConfigError, EngineStack, GraphConverter, IterationCache,
     IterationLookup, IterationOutcome, IterationRecord, KvBucket, SimConfig, SimReport,
@@ -61,6 +63,15 @@ pub struct ServingSimulator {
     memo: IterationCache,
     /// Simulated time spent executing iterations (cumulative).
     busy_ps: TimePs,
+    /// Event sink handle; off by default, in which case the tracing
+    /// hooks below reduce to an early-out branch.
+    telemetry: Telemetry,
+    /// Requests whose prefill phase has opened (traced runs only).
+    traced_prefill: HashSet<u64>,
+    /// Requests whose decode phase has opened (traced runs only).
+    traced_decode: HashSet<u64>,
+    /// Completion records already emitted as events.
+    completions_emitted: usize,
 }
 
 impl ServingSimulator {
@@ -115,7 +126,18 @@ impl ServingSimulator {
             des: GraphSimulator::new(),
             memo,
             busy_ps: 0,
+            telemetry: Telemetry::off(),
+            traced_prefill: HashSet::new(),
+            traced_decode: HashSet::new(),
+            completions_emitted: 0,
         })
+    }
+
+    /// Attaches (or detaches, with [`Telemetry::off`]) the event sink
+    /// this simulator reports to. The handle carries the replica index
+    /// stamped on every event.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Runs one iteration; returns `false` when the trace is drained.
@@ -136,7 +158,9 @@ impl ServingSimulator {
         let lookup = self.memo.lookup_batch(&batch);
         if let IterationLookup::Hit(cached) = lookup {
             self.record_iteration(&batch, &cached);
+            self.emit_iteration(&batch, cached.makespan_ps, true);
             self.scheduler.complete_iteration(cached.makespan_ps);
+            self.emit_completions();
             self.wall.scheduler += t0.elapsed();
             return true;
         }
@@ -160,9 +184,11 @@ impl ServingSimulator {
         }
 
         self.record_iteration(&batch, &iteration);
+        self.emit_iteration(&batch, iteration.makespan_ps, false);
 
         let t3 = Instant::now();
         self.scheduler.complete_iteration(iteration.makespan_ps);
+        self.emit_completions();
         self.wall.scheduler += sched_elapsed + t3.elapsed();
         self.wall.engine += engine_elapsed;
         self.wall.converter += convert_total.saturating_sub(engine_elapsed);
@@ -194,6 +220,96 @@ impl ServingSimulator {
             comm_ps: outcome.comm_ps,
             host_ps: outcome.host_ps,
         });
+    }
+
+    /// Emits the iteration's telemetry: phase opens for slots seen for
+    /// the first time, the iteration record itself (with its batch
+    /// signature and memo outcome), and prefill closes. A no-op branch
+    /// when no sink is attached.
+    fn emit_iteration(
+        &mut self,
+        batch: &llmss_sched::IterationBatch,
+        latency_ps: TimePs,
+        memo_hit: bool,
+    ) {
+        if !self.telemetry.is_on() {
+            return;
+        }
+        let telemetry = self.telemetry.clone();
+        let replica = telemetry.replica();
+        let start_ps = self.scheduler.clock_ps();
+        let end_ps = start_ps + latency_ps;
+        for slot in &batch.slots {
+            if slot.kv_past == 0 {
+                if self.traced_prefill.insert(slot.request) {
+                    telemetry.emit(|| SimEvent::PrefillStart {
+                        t_ps: start_ps,
+                        id: slot.request,
+                        replica,
+                    });
+                }
+            } else if self.traced_decode.insert(slot.request) {
+                telemetry.emit(|| SimEvent::DecodeStart {
+                    t_ps: start_ps,
+                    id: slot.request,
+                    replica,
+                });
+            }
+        }
+        let prefill_slots = batch.slots.iter().filter(|s| s.kv_past == 0).count();
+        let kv = self.scheduler.kv();
+        telemetry.emit(|| SimEvent::Iteration {
+            replica,
+            index: self.scheduler.iterations(),
+            start_ps,
+            end_ps,
+            batch_size: batch.batch_size(),
+            prefill_slots,
+            prompt_tokens: batch.prompt_tokens(),
+            gen_tokens: batch.generated_tokens(),
+            queue_depth: self.scheduler.pending_len(),
+            kv_used_pages: kv.used_pages(),
+            kv_total_pages: kv.config().total_pages(),
+            memo_hit,
+            signature: format!(
+                "{}p+{}d/{}t",
+                prefill_slots,
+                batch.batch_size() - prefill_slots,
+                batch.prompt_tokens() + batch.generated_tokens(),
+            ),
+        });
+        for slot in &batch.slots {
+            if slot.kv_past == 0 {
+                telemetry.emit(|| SimEvent::PrefillEnd {
+                    t_ps: end_ps,
+                    id: slot.request,
+                    replica,
+                });
+            }
+        }
+    }
+
+    /// Emits `Completed` events for completion records appended since
+    /// the last call.
+    fn emit_completions(&mut self) {
+        if !self.telemetry.is_on() {
+            return;
+        }
+        let telemetry = self.telemetry.clone();
+        let replica = telemetry.replica();
+        let completions = self.scheduler.completions();
+        for c in &completions[self.completions_emitted..] {
+            telemetry.emit(|| SimEvent::Completed {
+                t_ps: c.finish_ps,
+                id: c.id,
+                replica,
+                arrival_ps: c.arrival_ps,
+                first_token_ps: c.first_token_ps,
+                input_len: c.input_len,
+                output_len: c.output_len,
+            });
+        }
+        self.completions_emitted = completions.len();
     }
 
     /// Runs the simulation to completion and returns the report.

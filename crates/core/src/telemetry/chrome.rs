@@ -1,0 +1,668 @@
+//! Chrome Trace Event Format export: renders captured [`SimEvent`]s as
+//! a JSON trace loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! Track model:
+//!
+//! * **pid 0 — `fabric`**: one thread per in-flight KV flow plus
+//!   counter tracks showing per-link utilization at every bandwidth
+//!   re-share point.
+//! * **pid `r + 1` — `replica r`**: thread 0 is the iteration row
+//!   (one complete-event per scheduler iteration, named by its batch
+//!   signature, memo hits/misses in the args); thread `id + 1` carries
+//!   request `id`'s lifecycle as nested duration slices
+//!   (`queued`/`prefill`/`decode` inside the request span). A request
+//!   handed off between replicas gets a prefill-side span and a
+//!   decode-side span, connected by a flow arrow following the KV
+//!   transfer.
+//!
+//! The exporter is a pure function of the event list, so a fixed seed
+//! produces byte-identical JSON.
+
+use std::collections::BTreeMap;
+
+use llmss_sched::TimePs;
+use serde::Value;
+
+use crate::json;
+
+use super::SimEvent;
+
+/// One assembled trace event plus its deterministic sort key.
+struct Entry {
+    ts_ps: TimePs,
+    pid: i128,
+    tid: i128,
+    /// Longer slices first at equal `ts` so parents open before their
+    /// children when viewers replay the array in order.
+    neg_dur_ps: i128,
+    rank: u8,
+    value: Value,
+}
+
+/// Everything captured about one request's lifecycle.
+#[derive(Default)]
+struct Life {
+    arrival: Option<(TimePs, usize, usize)>,
+    admitted: Option<(TimePs, usize)>,
+    prefill_start: Option<(TimePs, usize)>,
+    prefill_end: Option<TimePs>,
+    decode_start: Option<(TimePs, usize)>,
+    /// `(finish, replica)` — two entries for a handed-off request (the
+    /// prefill-side bookkeeping record and the real decode-side one).
+    completions: Vec<(TimePs, usize)>,
+    queued: Option<(TimePs, usize)>,
+    transfer_start: Option<(TimePs, usize, usize, u64)>,
+    transfer_end: Option<(TimePs, usize)>,
+    flow: (Option<(TimePs, u64)>, Option<TimePs>),
+}
+
+fn us(t: TimePs) -> Value {
+    Value::Float(t as f64 / 1e6)
+}
+
+fn dur(from: TimePs, to: TimePs) -> Value {
+    us(to.saturating_sub(from))
+}
+
+fn slice(
+    name: String,
+    pid: usize,
+    tid: i128,
+    start: TimePs,
+    end: TimePs,
+    args: Vec<(&str, Value)>,
+    rank: u8,
+) -> Entry {
+    let mut fields = vec![
+        ("name", Value::Str(name)),
+        ("ph", Value::Str("X".into())),
+        ("pid", Value::Int(pid as i128)),
+        ("tid", Value::Int(tid)),
+        ("ts", us(start)),
+        ("dur", dur(start, end)),
+    ];
+    if !args.is_empty() {
+        fields.push(("args", json::obj(args)));
+    }
+    Entry {
+        ts_ps: start,
+        pid: pid as i128,
+        tid,
+        neg_dur_ps: -(end.saturating_sub(start) as i128),
+        rank,
+        value: json::obj(fields),
+    }
+}
+
+/// Renders the captured events as a Chrome Trace Event Format JSON
+/// document (the `traceEvents` object form).
+pub fn chrome_trace(events: &[SimEvent]) -> String {
+    let mut lives: BTreeMap<u64, Life> = BTreeMap::new();
+    let mut entries: Vec<Entry> = Vec::new();
+    // Display names, collected as tracks appear: pid -> process name,
+    // (pid, tid) -> thread name.
+    let mut processes: BTreeMap<i128, String> = BTreeMap::new();
+    let mut threads: BTreeMap<(i128, i128), String> = BTreeMap::new();
+    // Per-link counter bookkeeping: name -> last interval end.
+    let mut link_open: BTreeMap<String, TimePs> = BTreeMap::new();
+    let mut link_order: Vec<String> = Vec::new();
+
+    for e in events {
+        match e {
+            SimEvent::Arrival { t_ps, id, input_len, output_len } => {
+                lives.entry(*id).or_default().arrival = Some((*t_ps, *input_len, *output_len));
+            }
+            SimEvent::Admitted { t_ps, id, replica } => {
+                lives.entry(*id).or_default().admitted = Some((*t_ps, *replica));
+            }
+            SimEvent::PrefillStart { t_ps, id, replica } => {
+                let life = lives.entry(*id).or_default();
+                if life.prefill_start.is_none() {
+                    life.prefill_start = Some((*t_ps, *replica));
+                }
+            }
+            SimEvent::PrefillEnd { t_ps, id, .. } => {
+                let life = lives.entry(*id).or_default();
+                if life.prefill_end.is_none() {
+                    life.prefill_end = Some(*t_ps);
+                }
+            }
+            SimEvent::DecodeStart { t_ps, id, replica } => {
+                let life = lives.entry(*id).or_default();
+                if life.decode_start.is_none() {
+                    life.decode_start = Some((*t_ps, *replica));
+                }
+            }
+            SimEvent::Completed { t_ps, id, replica, .. } => {
+                lives.entry(*id).or_default().completions.push((*t_ps, *replica));
+            }
+            SimEvent::TransferQueued { t_ps, id, from } => {
+                lives.entry(*id).or_default().queued = Some((*t_ps, *from));
+            }
+            SimEvent::TransferStart { t_ps, id, from, to, bytes, .. } => {
+                lives.entry(*id).or_default().transfer_start =
+                    Some((*t_ps, *from, *to, *bytes));
+            }
+            SimEvent::TransferEnd { t_ps, id, to, .. } => {
+                lives.entry(*id).or_default().transfer_end = Some((*t_ps, *to));
+            }
+            SimEvent::FlowStart { t_ps, id, bytes } => {
+                lives.entry(*id).or_default().flow.0 = Some((*t_ps, *bytes));
+            }
+            SimEvent::FlowEnd { t_ps, id } => {
+                lives.entry(*id).or_default().flow.1 = Some(*t_ps);
+            }
+            SimEvent::Iteration {
+                replica,
+                index,
+                start_ps,
+                end_ps,
+                batch_size,
+                prefill_slots,
+                prompt_tokens,
+                gen_tokens,
+                queue_depth,
+                kv_used_pages,
+                kv_total_pages,
+                memo_hit,
+                signature,
+            } => {
+                let pid = replica + 1;
+                processes.entry(pid as i128).or_insert_with(|| format!("replica {replica}"));
+                threads.entry((pid as i128, 0)).or_insert_with(|| "iterations".into());
+                entries.push(slice(
+                    signature.clone(),
+                    pid,
+                    0,
+                    *start_ps,
+                    *end_ps,
+                    vec![
+                        ("index", Value::Int(*index as i128)),
+                        ("batch_size", Value::Int(*batch_size as i128)),
+                        ("prefill_slots", Value::Int(*prefill_slots as i128)),
+                        ("prompt_tokens", Value::Int(*prompt_tokens as i128)),
+                        ("gen_tokens", Value::Int(*gen_tokens as i128)),
+                        ("queue_depth", Value::Int(*queue_depth as i128)),
+                        ("kv_used_pages", Value::Int(*kv_used_pages as i128)),
+                        ("kv_total_pages", Value::Int(*kv_total_pages as i128)),
+                        ("memo_hit", Value::Bool(*memo_hit)),
+                    ],
+                    0,
+                ));
+            }
+            SimEvent::LinkShare { from_ps, to_ps, link, bw_gbps, bytes } => {
+                processes.entry(0).or_insert_with(|| "fabric".into());
+                if !link_order.contains(link) {
+                    link_order.push(link.clone());
+                }
+                link_open.insert(link.clone(), *to_ps);
+                let window = to_ps.saturating_sub(*from_ps);
+                let cap_bytes = bw_gbps / 1000.0 * window as f64;
+                let util = if cap_bytes > 0.0 { bytes / cap_bytes } else { 0.0 };
+                entries.push(Entry {
+                    ts_ps: *from_ps,
+                    pid: 0,
+                    tid: 0,
+                    neg_dur_ps: 0,
+                    rank: 0,
+                    value: json::obj(vec![
+                        ("name", Value::Str(format!("util {link}"))),
+                        ("ph", Value::Str("C".into())),
+                        ("pid", Value::Int(0)),
+                        ("ts", us(*from_ps)),
+                        ("args", json::obj(vec![("util", Value::Float(util))])),
+                    ]),
+                });
+            }
+            SimEvent::Command { t_ps, command } => {
+                entries.push(instant(*t_ps, 0, 0, format!("cmd {command}")));
+                processes.entry(0).or_insert_with(|| "fabric".into());
+            }
+            SimEvent::RoleApplied { t_ps, replica, role } => {
+                let pid = replica + 1;
+                processes.entry(pid as i128).or_insert_with(|| format!("replica {replica}"));
+                entries.push(instant(*t_ps, pid as i128, 0, format!("role={role}")));
+            }
+            SimEvent::ReplicaRetired { t_ps, replica } => {
+                let pid = replica + 1;
+                processes.entry(pid as i128).or_insert_with(|| format!("replica {replica}"));
+                entries.push(instant(*t_ps, pid as i128, 0, "retired".into()));
+            }
+            SimEvent::ReplicaActivated { replica, .. } => {
+                let pid = replica + 1;
+                processes.entry(pid as i128).or_insert_with(|| format!("replica {replica}"));
+            }
+            SimEvent::Tick { .. } => {}
+        }
+    }
+
+    // Close every link counter track at its last interval end.
+    for link in &link_order {
+        let end = link_open[link];
+        entries.push(Entry {
+            ts_ps: end,
+            pid: 0,
+            tid: 0,
+            neg_dur_ps: 0,
+            rank: 1,
+            value: json::obj(vec![
+                ("name", Value::Str(format!("util {link}"))),
+                ("ph", Value::Str("C".into())),
+                ("pid", Value::Int(0)),
+                ("ts", us(end)),
+                ("args", json::obj(vec![("util", Value::Float(0.0))])),
+            ]),
+        });
+    }
+
+    for (&id, life) in &lives {
+        render_life(id, life, &mut entries, &mut processes, &mut threads);
+    }
+
+    // Metadata first, then the event stream ordered by (ts, track,
+    // longest-slice-first) — which also makes ts monotonic per track.
+    entries.sort_by(|a, b| {
+        (a.ts_ps, a.pid, a.tid, a.neg_dur_ps, a.rank).cmp(&(
+            b.ts_ps,
+            b.pid,
+            b.tid,
+            b.neg_dur_ps,
+            b.rank,
+        ))
+    });
+    let mut out: Vec<Value> = Vec::new();
+    for (&pid, name) in &processes {
+        out.push(json::obj(vec![
+            ("name", Value::Str("process_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::Int(pid)),
+            ("args", json::obj(vec![("name", Value::Str(name.clone()))])),
+        ]));
+        out.push(json::obj(vec![
+            ("name", Value::Str("process_sort_index".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::Int(pid)),
+            ("args", json::obj(vec![("sort_index", Value::Int(pid))])),
+        ]));
+    }
+    for (&(pid, tid), name) in &threads {
+        out.push(json::obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::Int(pid)),
+            ("tid", Value::Int(tid)),
+            ("args", json::obj(vec![("name", Value::Str(name.clone()))])),
+        ]));
+    }
+    out.extend(entries.into_iter().map(|e| e.value));
+    json::pretty(&json::obj(vec![("traceEvents", Value::Array(out))]))
+}
+
+fn instant(t_ps: TimePs, pid: i128, tid: i128, name: String) -> Entry {
+    Entry {
+        ts_ps: t_ps,
+        pid,
+        tid,
+        neg_dur_ps: 0,
+        rank: 4,
+        value: json::obj(vec![
+            ("name", Value::Str(name)),
+            ("ph", Value::Str("i".into())),
+            ("pid", Value::Int(pid)),
+            ("tid", Value::Int(tid)),
+            ("ts", us(t_ps)),
+            ("s", Value::Str("t".into())),
+        ]),
+    }
+}
+
+/// Emits one request's slices (and its flow arrow when it was handed
+/// off). Lifecycles missing their closing event are skipped rather than
+/// drawn open-ended.
+fn render_life(
+    id: u64,
+    life: &Life,
+    entries: &mut Vec<Entry>,
+    processes: &mut BTreeMap<i128, String>,
+    threads: &mut BTreeMap<(i128, i128), String>,
+) {
+    let tid = id as i128 + 1;
+    let mut track = |replica: usize, processes: &mut BTreeMap<i128, String>| {
+        let pid = replica as i128 + 1;
+        processes.entry(pid).or_insert_with(|| format!("replica {replica}"));
+        threads.entry((pid, tid)).or_insert_with(|| format!("req {id}"));
+        pid as usize - 1
+    };
+    let args = |life: &Life| -> Vec<(&str, Value)> {
+        match life.arrival {
+            Some((_, input, output)) => vec![
+                ("input_len", Value::Int(input as i128)),
+                ("output_len", Value::Int(output as i128)),
+            ],
+            None => Vec::new(),
+        }
+    };
+    let handoff = life.queued.is_some() || life.transfer_start.is_some();
+    if !handoff {
+        // Unified lifecycle: one span on one replica.
+        let Some(&(finish, replica)) = life.completions.first() else { return };
+        let open = life
+            .admitted
+            .map(|(t, _)| t)
+            .or(life.prefill_start.map(|(t, _)| t))
+            .or(life.arrival.map(|(t, ..)| t))
+            .unwrap_or(finish);
+        let r = track(replica, processes);
+        entries.push(slice(format!("req {id}"), r + 1, tid, open, finish, args(life), 1));
+        if let Some((ps, _)) = life.prefill_start {
+            if ps > open {
+                entries.push(slice("queued".into(), r + 1, tid, open, ps, Vec::new(), 2));
+            }
+            if let Some(pe) = life.prefill_end {
+                entries.push(slice("prefill".into(), r + 1, tid, ps, pe, Vec::new(), 2));
+            }
+        }
+        if let Some((ds, _)) = life.decode_start {
+            entries.push(slice("decode".into(), r + 1, tid, ds, finish, Vec::new(), 2));
+        }
+        return;
+    }
+
+    // Handed-off lifecycle: a prefill-side span, a decode-side span,
+    // and a flow arrow riding the KV transfer between them.
+    let from =
+        life.queued.map(|(_, f)| f).or(life.transfer_start.map(|(_, f, ..)| f)).unwrap_or(0);
+    let prefill_close = life
+        .queued
+        .map(|(t, _)| t)
+        .or(life.prefill_end)
+        .or(life.transfer_start.map(|(t, ..)| t));
+    let open = life
+        .admitted
+        .map(|(t, _)| t)
+        .or(life.prefill_start.map(|(t, _)| t))
+        .or(life.arrival.map(|(t, ..)| t));
+    if let (Some(open), Some(close)) = (open, prefill_close) {
+        let r = track(from, processes);
+        entries.push(slice(
+            format!("req {id} (prefill)"),
+            r + 1,
+            tid,
+            open,
+            close,
+            args(life),
+            1,
+        ));
+        if let Some((ps, _)) = life.prefill_start {
+            if ps > open {
+                entries.push(slice("queued".into(), r + 1, tid, open, ps, Vec::new(), 2));
+            }
+            if let Some(pe) = life.prefill_end {
+                entries.push(slice("prefill".into(), r + 1, tid, ps, pe, Vec::new(), 2));
+            }
+        }
+    }
+    let Some((arrive, to)) = life.transfer_end else { return };
+    // The decode-side completion is the one that is not the prefill
+    // replica's bookkeeping record (same replica, finishing exactly at
+    // the KV-ready instant).
+    let queued_t = life.queued.map(|(t, _)| t);
+    let decode_finish =
+        life.completions.iter().find(|&&(t, r)| !(r == from && Some(t) == queued_t)).copied();
+    if let Some((finish, _)) = decode_finish {
+        let r = track(to, processes);
+        entries.push(slice(
+            format!("req {id} (decode)"),
+            r + 1,
+            tid,
+            arrive,
+            finish,
+            args(life),
+            1,
+        ));
+        if let Some((ds, _)) = life.decode_start {
+            entries.push(slice("decode".into(), r + 1, tid, ds, finish, Vec::new(), 2));
+        }
+    }
+    // Flow arrow: out of the prefill-side span at the KV-ready
+    // instant, into the decode-side span at delivery.
+    if let Some(close) = prefill_close {
+        let bytes = life.transfer_start.map(|(.., b)| b).unwrap_or(0);
+        let fp = from as i128 + 1;
+        let tp = to as i128 + 1;
+        entries.push(Entry {
+            ts_ps: close,
+            pid: fp,
+            tid,
+            neg_dur_ps: 0,
+            rank: 3,
+            value: json::obj(vec![
+                ("name", Value::Str("kv".into())),
+                ("cat", Value::Str("kv".into())),
+                ("ph", Value::Str("s".into())),
+                ("id", Value::Int(id as i128)),
+                ("pid", Value::Int(fp)),
+                ("tid", Value::Int(tid)),
+                ("ts", us(close)),
+                ("args", json::obj(vec![("bytes", Value::Int(bytes as i128))])),
+            ]),
+        });
+        entries.push(Entry {
+            ts_ps: arrive,
+            pid: tp,
+            tid,
+            neg_dur_ps: 0,
+            rank: 3,
+            value: json::obj(vec![
+                ("name", Value::Str("kv".into())),
+                ("cat", Value::Str("kv".into())),
+                ("ph", Value::Str("f".into())),
+                ("bp", Value::Str("e".into())),
+                ("id", Value::Int(id as i128)),
+                ("pid", Value::Int(tp)),
+                ("tid", Value::Int(tid)),
+                ("ts", us(arrive)),
+            ]),
+        });
+    }
+    // The fabric-side flow slice (only present when the fabric emitted
+    // flow events for this id).
+    if let (Some((fs, bytes)), Some(fe)) = life.flow {
+        processes.entry(0).or_insert_with(|| "fabric".into());
+        threads.entry((0, tid)).or_insert_with(|| format!("flow {id}"));
+        entries.push(slice(
+            format!("flow {id}"),
+            0,
+            tid,
+            fs,
+            fe,
+            vec![("bytes", Value::Int(bytes as i128))],
+            1,
+        ));
+    }
+}
+
+/// Structurally validates a Chrome trace JSON document: well-formed
+/// JSON, a `traceEvents` array, required fields per phase, and `ts`
+/// monotonically non-decreasing within every `(pid, tid)` track. Every
+/// flow-start (`ph: "s"`) must have a matching flow-finish (`"f"`) with
+/// a later-or-equal timestamp.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let root = json::parse(text)?;
+    let Some(Value::Array(events)) = root.get("traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    let mut last_ts: BTreeMap<(i128, i128), f64> = BTreeMap::new();
+    let mut flows: BTreeMap<i128, (usize, usize, f64, f64)> = BTreeMap::new();
+    let int = |v: Option<&Value>| -> Option<i128> {
+        match v {
+            Some(Value::Int(i)) => Some(*i),
+            _ => None,
+        }
+    };
+    let num = |v: Option<&Value>| -> Option<f64> {
+        match v {
+            Some(Value::Float(f)) => Some(*f),
+            Some(Value::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    for (i, e) in events.iter().enumerate() {
+        let Some(Value::Str(ph)) = e.get("ph") else {
+            return Err(format!("event {i}: missing ph"));
+        };
+        let Some(Value::Str(_)) = e.get("name") else {
+            return Err(format!("event {i}: missing name"));
+        };
+        let pid = int(e.get("pid")).ok_or_else(|| format!("event {i}: missing integer pid"))?;
+        if ph == "M" {
+            continue;
+        }
+        let ts = num(e.get("ts")).ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts {ts}"));
+        }
+        match ph.as_str() {
+            "X" => {
+                let tid = int(e.get("tid"))
+                    .ok_or_else(|| format!("event {i}: missing integer tid"))?;
+                let dur = num(e.get("dur"))
+                    .ok_or_else(|| format!("event {i}: X event missing dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur {dur}"));
+                }
+                let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+                if ts < *prev {
+                    return Err(format!(
+                        "event {i}: ts {ts} goes backwards on track ({pid}, {tid})"
+                    ));
+                }
+                *prev = ts;
+            }
+            "s" | "f" => {
+                let id =
+                    int(e.get("id")).ok_or_else(|| format!("event {i}: flow missing id"))?;
+                let entry = flows.entry(id).or_insert((0, 0, f64::INFINITY, f64::NEG_INFINITY));
+                if ph == "s" {
+                    entry.0 += 1;
+                    entry.2 = entry.2.min(ts);
+                } else {
+                    entry.1 += 1;
+                    entry.3 = entry.3.max(ts);
+                }
+            }
+            "C" | "i" => {}
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    for (id, (starts, finishes, first_s, last_f)) in flows {
+        if starts != finishes {
+            return Err(format!("flow {id}: {starts} starts but {finishes} finishes"));
+        }
+        if starts > 0 && last_f < first_s {
+            return Err(format!(
+                "flow {id}: finishes at {last_f} before it starts at {first_s}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handoff_events() -> Vec<SimEvent> {
+        vec![
+            SimEvent::Arrival { t_ps: 0, id: 1, input_len: 8, output_len: 4 },
+            SimEvent::Admitted { t_ps: 0, id: 1, replica: 0 },
+            SimEvent::PrefillStart { t_ps: 10, id: 1, replica: 0 },
+            SimEvent::Iteration {
+                replica: 0,
+                index: 0,
+                start_ps: 10,
+                end_ps: 50,
+                batch_size: 1,
+                prefill_slots: 1,
+                prompt_tokens: 8,
+                gen_tokens: 0,
+                queue_depth: 0,
+                kv_used_pages: 1,
+                kv_total_pages: 8,
+                memo_hit: false,
+                signature: "1p+0d/8t".into(),
+            },
+            SimEvent::PrefillEnd { t_ps: 50, id: 1, replica: 0 },
+            SimEvent::Completed {
+                t_ps: 50,
+                id: 1,
+                replica: 0,
+                arrival_ps: 0,
+                first_token_ps: 50,
+                input_len: 8,
+                output_len: 1,
+            },
+            SimEvent::TransferQueued { t_ps: 50, id: 1, from: 0 },
+            SimEvent::TransferStart {
+                t_ps: 50,
+                id: 1,
+                from: 0,
+                to: 1,
+                bytes: 64,
+                nominal_ps: 20,
+            },
+            SimEvent::FlowStart { t_ps: 50, id: 1, bytes: 64 },
+            SimEvent::FlowEnd { t_ps: 70, id: 1 },
+            SimEvent::TransferEnd { t_ps: 70, id: 1, from: 0, to: 1 },
+            SimEvent::DecodeStart { t_ps: 80, id: 1, replica: 1 },
+            SimEvent::Completed {
+                t_ps: 120,
+                id: 1,
+                replica: 1,
+                arrival_ps: 70,
+                first_token_ps: 80,
+                input_len: 8,
+                output_len: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn handoff_produces_flow_arrow_between_tracks() {
+        let text = chrome_trace(&handoff_events());
+        validate_chrome_trace(&text).unwrap();
+        assert!(text.contains("\"ph\": \"s\""), "missing flow start:\n{text}");
+        assert!(text.contains("\"ph\": \"f\""), "missing flow finish:\n{text}");
+        assert!(text.contains("req 1 (prefill)"));
+        assert!(text.contains("req 1 (decode)"));
+        assert!(text.contains("replica 1"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = handoff_events();
+        assert_eq!(chrome_trace(&events), chrome_trace(&events));
+    }
+
+    #[test]
+    fn validator_catches_backwards_ts() {
+        let bad = r#"{"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 5.0, "dur": 1.0},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 2.0, "dur": 1.0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn validator_catches_unbalanced_flows() {
+        let bad = r#"{"traceEvents": [
+            {"name": "kv", "ph": "s", "pid": 1, "tid": 1, "ts": 5.0, "id": 3}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("flow 3"));
+    }
+}

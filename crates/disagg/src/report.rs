@@ -384,6 +384,111 @@ impl DisaggReport {
         total
     }
 
+    /// Machine-readable deployment summary as pretty-printed JSON:
+    /// totals, the SLO percentiles with the disaggregation-specific TTFT
+    /// component split, per-pool replica statistics, merged reuse
+    /// statistics, and the fabric section when the run used a
+    /// fair-sharing fabric.
+    ///
+    /// Virtual-time results only, so the artifact is byte-identical
+    /// across runs of the same seed.
+    pub fn summary_json(&self) -> String {
+        use llmss_core::json::obj;
+        use serde::Value;
+
+        let makespan = self.makespan_ps;
+        let pool = |stats: Vec<PoolStats>| -> Value {
+            Value::Array(
+                stats
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("index", Value::Int(s.replica as i128)),
+                            ("routed", Value::Int(s.routed_requests as i128)),
+                            ("completed", Value::Int(s.completions as i128)),
+                            ("iterations", Value::Int(s.iterations as i128)),
+                            ("busy_s", Value::Float(s.busy_ps as f64 / 1e12)),
+                            ("utilization", Value::Float(s.utilization(makespan))),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let split = match self.ttft_split() {
+            Some(s) => obj(vec![
+                ("prefill_s", Value::Float(s.prefill_s)),
+                ("transfer_s", Value::Float(s.transfer_s)),
+                ("decode_s", Value::Float(s.decode_s)),
+            ]),
+            None => Value::Null,
+        };
+        let contention = match self.contention() {
+            Some((p50, p95, p99)) => obj(vec![
+                ("p50", Value::Float(p50)),
+                ("p95", Value::Float(p95)),
+                ("p99", Value::Float(p99)),
+            ]),
+            None => Value::Null,
+        };
+        let fabric = match &self.fabric {
+            None => Value::Null,
+            Some(f) => {
+                let links: Vec<Value> = f
+                    .links
+                    .iter()
+                    .map(|l| {
+                        // Same capacity integral as the fleet TSV (GB/s
+                        // = 1e-3 B/ps).
+                        let cap_bytes = l.bw_gbps / 1000.0 * makespan.max(1) as f64;
+                        let util =
+                            if cap_bytes > 0.0 { l.carried_bytes / cap_bytes } else { 0.0 };
+                        obj(vec![
+                            ("name", Value::Str(l.name.clone())),
+                            ("bw_gbps", Value::Float(l.bw_gbps)),
+                            ("carried_bytes", Value::Float(l.carried_bytes)),
+                            ("utilization", Value::Float(util)),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("label", Value::Str(f.label.clone())),
+                    ("links", Value::Array(links)),
+                ])
+            }
+        };
+        let v = obj(vec![
+            ("shape", Value::Str("disagg".into())),
+            ("routing", Value::Str(self.routing.clone())),
+            ("pairing", Value::Str(self.pairing.clone())),
+            ("prefill_replicas", Value::Int(self.prefill_reports.len() as i128)),
+            ("decode_replicas", Value::Int(self.decode_reports.len() as i128)),
+            ("completions", Value::Int(self.total_completions() as i128)),
+            ("kv_bytes", Value::Int(i128::from(self.total_kv_bytes()))),
+            ("makespan_ps", Value::Int(self.makespan_ps as i128)),
+            ("makespan_s", Value::Float(self.makespan_s())),
+            ("generation_tput_tok_s", Value::Float(self.generation_throughput())),
+            ("prefill_utilization", Value::Float(self.prefill_utilization())),
+            ("decode_utilization", Value::Float(self.decode_utilization())),
+            ("slo", self.slo().json_value()),
+            (
+                "ttft_prefill",
+                PercentileSummary::json_or_null(self.prefill_component_percentiles()),
+            ),
+            ("ttft_transfer", PercentileSummary::json_or_null(self.transfer_percentiles())),
+            (
+                "ttft_decode",
+                PercentileSummary::json_or_null(self.decode_component_percentiles()),
+            ),
+            ("ttft_split", split),
+            ("contention", contention),
+            ("reuse", self.aggregate_reuse().json_value()),
+            ("prefill_pool", pool(self.prefill_stats())),
+            ("decode_pool", pool(self.decode_stats())),
+            ("fabric", fabric),
+        ]);
+        llmss_core::json::pretty(&v) + "\n"
+    }
+
     /// Per-replica TSV (the CLI's `{output}-disagg.tsv`): one row per
     /// pool member plus a `total` row per pool (utilization in the
     /// totals rows is the pool mean, so it stays in `[0, 1]`).
@@ -474,7 +579,11 @@ impl ReportOutput for DisaggReport {
     }
 
     fn artifacts(&self) -> Vec<(&'static str, String)> {
-        vec![("-disagg.tsv", self.to_tsv()), ("-disagg-metrics.tsv", self.metrics_tsv())]
+        vec![
+            ("-disagg.tsv", self.to_tsv()),
+            ("-disagg-metrics.tsv", self.metrics_tsv()),
+            ("-summary.json", self.summary_json()),
+        ]
     }
 }
 

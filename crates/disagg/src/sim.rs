@@ -23,6 +23,7 @@
 use llmss_cluster::{ReplicaRole, RoutingPolicy, RoutingPolicyKind};
 use llmss_core::{
     ConfigError, Fabric, FleetEngine, ServingSimulator, SimConfig, Simulate, StaticControl,
+    Telemetry,
 };
 use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
@@ -294,6 +295,12 @@ impl DisaggSimulator {
     /// either pool.
     pub fn clock_ps(&self) -> TimePs {
         self.engine.clock_ps()
+    }
+
+    /// Attaches a telemetry handle; the engine fans it out per replica
+    /// (prefill pool first, then decode) and onto the KV fabric.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.engine.set_telemetry(telemetry);
     }
 
     /// Requests that finished their full lifecycle (decode completed).

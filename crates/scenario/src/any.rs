@@ -9,8 +9,8 @@
 
 use llmss_cluster::{ClusterReport, ClusterSimulator};
 use llmss_core::{
-    FleetEngine, FleetReport, ReportOutput, ReuseStats, ServingSimulator, SimReport, Simulate,
-    SloSummary,
+    FleetEngine, FleetReport, ReportOutput, ReuseStats, ServingSimulator, SimEvent, SimReport,
+    Simulate, SloSummary, Telemetry,
 };
 use llmss_disagg::{DisaggReport, DisaggSimulator};
 use llmss_sched::{Request, TimePs};
@@ -48,6 +48,27 @@ impl AnySimulator {
     /// Runs to completion and finalizes (the common whole-trace run).
     pub fn run(self) -> AnyReport {
         Simulate::run_to_completion(self)
+    }
+
+    /// Attaches a telemetry handle to whichever shape this is. The
+    /// multi-replica shapes fan it out per replica through their engine;
+    /// the single shape scopes it to replica 0 and announces that
+    /// replica so the timeline's live-replica series starts at one.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        match self {
+            AnySimulator::Single(s) => {
+                let scoped = telemetry.for_replica(0);
+                scoped.emit(|| SimEvent::ReplicaActivated {
+                    t_ps: 0,
+                    replica: 0,
+                    admit_from_ps: 0,
+                });
+                s.set_telemetry(scoped);
+            }
+            AnySimulator::Cluster(s) => s.set_telemetry(telemetry),
+            AnySimulator::Disagg(s) => s.set_telemetry(telemetry),
+            AnySimulator::Fleet(s) => s.set_telemetry(telemetry),
+        }
     }
 }
 

@@ -51,6 +51,7 @@ mod fabric;
 mod fleet;
 mod scenario;
 mod sweep;
+mod telemetry;
 pub mod toml;
 
 pub use any::{AnyReport, AnySimulator};
@@ -59,3 +60,4 @@ pub use fabric::{FabricLink, FabricRoute, FabricSharing, FabricSpec};
 pub use fleet::{FleetControlKind, FleetSpec, ReplicaOverride};
 pub use scenario::{Scenario, ServingShape};
 pub use sweep::{Sweep, SweepAxis, SweepPoint, SweepReport, SweepRow};
+pub use telemetry::TelemetrySpec;

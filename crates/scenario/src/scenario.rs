@@ -15,6 +15,7 @@ use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::{
     toml, AnyReport, AnySimulator, FabricSpec, FleetControlKind, FleetSpec, ScenarioError,
+    TelemetrySpec,
 };
 
 /// The serving shape a scenario describes, derived from its
@@ -144,6 +145,9 @@ pub struct Scenario {
     /// The `[fabric]` table: KV-transfer topology and sharing
     /// discipline; `None` keeps the legacy dedicated FIFO wire.
     pub fabric: Option<FabricSpec>,
+    /// The `[telemetry]` table: lifecycle tracing and windowed metrics;
+    /// `None` records nothing (the zero-cost default path).
+    pub telemetry: Option<TelemetrySpec>,
     /// The traffic source.
     pub workload: WorkloadSpec,
 }
@@ -178,6 +182,7 @@ impl Default for Scenario {
             pairing: PairingPolicyKind::LeastKvLoad,
             fleet: None,
             fabric: None,
+            telemetry: None,
             workload: WorkloadSpec::default(),
         }
     }
@@ -187,7 +192,7 @@ impl Scenario {
     /// Every top-level scenario key, in canonical file order. `set`,
     /// the file codecs, and sweep axes all speak exactly this schema
     /// (plus `workload.*` sub-keys).
-    pub const KEYS: [&'static str; 26] = [
+    pub const KEYS: [&'static str; 27] = [
         "model",
         "npus",
         "max_batch",
@@ -213,6 +218,7 @@ impl Scenario {
         "kv_bucket",
         "fleet",
         "fabric",
+        "telemetry",
         "workload",
     ];
 
@@ -378,6 +384,13 @@ impl Scenario {
         self
     }
 
+    /// Records lifecycle events during the run and exports them per the
+    /// `[telemetry]` table.
+    pub fn telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = Some(spec);
+        self
+    }
+
     /// Sets the traffic source.
     pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
         self.workload = workload.into();
@@ -459,6 +472,9 @@ impl Scenario {
         }
         if let Some(fabric) = &self.fabric {
             self.fabric_checks(fabric)?;
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate()?;
         }
         self.kv_bucket.validate()?;
         if matches!(self.kv_bucket, KvBucket::Adaptive { .. })
@@ -891,6 +907,12 @@ impl Scenario {
         if let Some(subkey) = key.strip_prefix("fabric.") {
             return self.fabric.get_or_insert_with(FabricSpec::default).set(subkey, value);
         }
+        if let Some(subkey) = key.strip_prefix("telemetry.") {
+            return self
+                .telemetry
+                .get_or_insert_with(TelemetrySpec::default)
+                .set(subkey, value);
+        }
         if let Some(subkey) = key.strip_prefix("workload.") {
             return self.workload.set(subkey, value).map_err(|message| {
                 ScenarioError::UnknownValue {
@@ -1030,6 +1052,21 @@ impl Scenario {
                     Some(spec)
                 }
             }
+            "telemetry" => {
+                // `none` clears the table; `auto` is shorthand for both
+                // exports at their derived paths.
+                self.telemetry = match value {
+                    "none" => None,
+                    "auto" => Some(TelemetrySpec::auto()),
+                    _ => {
+                        return Err(ScenarioError::UnknownValue {
+                            field: key.into(),
+                            value: value.into(),
+                            expected: "none | auto | telemetry.* sub-keys".into(),
+                        })
+                    }
+                }
+            }
             "workload" => {
                 return Err(ScenarioError::UnknownValue {
                     field: key.into(),
@@ -1121,6 +1158,15 @@ impl Scenario {
                         // `fabric = "star4"`: fair-sharing shorthand.
                         Value::Str(topology) => Some(FabricSpec::named(topology.clone())),
                         other => Some(FabricSpec::from_value(other)?),
+                    }
+                }
+                "telemetry" => {
+                    scenario.telemetry = match value {
+                        Value::Null => None,
+                        // `telemetry = "auto"`: both exports, derived
+                        // paths.
+                        Value::Str(s) if s == "auto" => Some(TelemetrySpec::auto()),
+                        other => Some(TelemetrySpec::from_value(other)?),
                     }
                 }
                 "npu_mem_gib" => {
@@ -1273,6 +1319,13 @@ impl Scenario {
             (
                 "fabric".into(),
                 match &self.fabric {
+                    Some(spec) => spec.to_value(),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "telemetry".into(),
+                match &self.telemetry {
                     Some(spec) => spec.to_value(),
                     None => Value::Null,
                 },

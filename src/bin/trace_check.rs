@@ -1,0 +1,50 @@
+//! Chrome-trace validator: checks that exported trace JSON files are
+//! well-formed Chrome Trace Event Format (the structural invariants
+//! Perfetto relies on), for CI smoke tests and local sanity checks.
+//!
+//! ```text
+//! trace_check output/run-trace.json [more.json ...]
+//! ```
+//!
+//! Exits non-zero on the first malformed file, printing the violated
+//! invariant (unknown phase, backwards timestamps within a track,
+//! unbalanced flow arrows, ...).
+
+use std::process::ExitCode;
+
+use llmservingsim::core::validate_chrome_trace;
+
+const USAGE: &str = "\
+trace_check — validate Chrome-trace JSON exports
+
+USAGE:
+  trace_check <trace.json> [<trace.json> ...]
+
+Checks each file parses as Chrome Trace Event Format with per-track
+monotonic timestamps and balanced flow arrows (what Perfetto needs to
+load it). Exits 1 on the first violation.
+";
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        return if args.is_empty() { Err("trace_check needs a file".into()) } else { Ok(()) };
+    }
+    for path in args {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

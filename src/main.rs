@@ -15,9 +15,13 @@
 //! binary owns no config model of its own: a scenario file and the
 //! equivalent flag invocation produce byte-identical reports.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use llmservingsim::core::ReportOutput;
+use llmservingsim::core::{
+    chrome_trace, filter_events, timeline_tsv, MemorySink, ReportOutput, SimEvent, Telemetry,
+};
 use llmservingsim::scenario::{Scenario, Sweep};
 use llmservingsim::sched::{trace_to_tsv, Workload, WorkloadSpec};
 
@@ -73,6 +77,12 @@ OVERRIDES (each maps onto a scenario field):
   --kv-bucket N         KV bucket for iteration memoization: token
                         count (1 = exact) or `adaptive`         [1]
   --no-iter-memo        disable whole-iteration outcome memoization
+  --trace [PATH]        record the run and export a Chrome-trace JSON
+                        (Perfetto-viewable); PATH defaults to
+                        {output}-trace.json
+  --timeline [PATH]     record the run and export windowed virtual-time
+                        metrics TSV; PATH defaults to
+                        {output}-timeline.tsv
   -h, --help            show this help
 
 CLUSTER MODE (multi-replica serving behind a router):
@@ -95,6 +105,14 @@ FLEET MODE (control planes over heterogeneous fleets; [fleet] table):
   Per-replica config lists ([[fleet.replica]]: role, npus, max_batch,
   batch_delay_ms, npu_mem_gib) live in the scenario file; see
   examples/scenarios/autoscale.toml.
+
+TELEMETRY ([telemetry] table; off by default, zero-cost when off):
+  --set telemetry=auto         both exports at their derived paths
+  --set telemetry.KEY=V        trace, timeline (path | auto | none),
+                               window_ps, slo_ttft_ms, slo_tpot_ms,
+                               requests, replicas (comma lists)
+  See examples/scenarios/telemetry.toml and the README's
+  \"Observability\".
 
 SCENARIO FILES:
   Declarative TOML/JSON with the same schema as --set keys; see
@@ -204,6 +222,19 @@ fn apply_flags(scenario: &mut Scenario, args: &[String]) -> Result<CliExtras, St
                 set(scenario, "kv_bucket", &v)?;
             }
             "--no-iter-memo" => set(scenario, "iteration_memo", "false")?,
+            "--trace" | "--timeline" => {
+                // The path operand is optional: a following flag (or
+                // end of args) means the derived default path.
+                let key = &arg[2..];
+                let path = match args.get(i + 1) {
+                    Some(next) if !next.starts_with('-') => {
+                        i += 1;
+                        next.clone()
+                    }
+                    _ => "auto".to_owned(),
+                };
+                set(scenario, &format!("telemetry.{key}"), &path)?;
+            }
             "--replicas" => {
                 let v = value(arg)?;
                 set(scenario, "replicas", &v)?;
@@ -260,15 +291,50 @@ fn apply_flags(scenario: &mut Scenario, args: &[String]) -> Result<CliExtras, St
 }
 
 /// Builds, runs, and writes one scenario (the `run` and legacy paths).
+/// With a `[telemetry]` table the run records lifecycle events into a
+/// memory sink and exports them after the report artifacts.
 fn run_scenario(scenario: &Scenario, output: &str) -> Result<(), String> {
     println!("llmservingsim: {}", scenario.describe());
-    let report = scenario.run().map_err(|e| e.to_string())?;
+    let spec = scenario.telemetry.clone().filter(|t| t.enabled());
+    let (report, events): (_, Vec<SimEvent>) = match &spec {
+        None => (scenario.run().map_err(|e| e.to_string())?, Vec::new()),
+        Some(_) => {
+            let mut sim = scenario.build().map_err(|e| e.to_string())?;
+            let sink = Rc::new(RefCell::new(MemorySink::new()));
+            sim.set_telemetry(Telemetry::new(sink.clone()));
+            let report = sim.run();
+            let events = sink.borrow_mut().take();
+            (report, events)
+        }
+    };
     println!("{}", report.summary());
-    let paths = report.write_artifacts(output).map_err(|e| e.to_string())?;
+    let mut paths = report.write_artifacts(output).map_err(|e| e.to_string())?;
+    if let Some(spec) = spec {
+        let events = filter_events(events, spec.request_filter(), spec.replica_filter());
+        if let Some(path) = spec.trace_path(output) {
+            write_export(&path, &chrome_trace(&events))?;
+            paths.push(path);
+        }
+        if let Some(path) = spec.timeline_path(output) {
+            write_export(&path, &timeline_tsv(&events, &spec.timeline_config()))?;
+            paths.push(path);
+        }
+    }
     for path in paths {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// Writes a telemetry export, creating parent directories (explicit
+/// paths may live outside the `--output` prefix directory).
+fn write_export(path: &str, content: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(path, content).map_err(|e| e.to_string())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {

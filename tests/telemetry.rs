@@ -1,0 +1,192 @@
+//! The telemetry layer's contracts: byte-identical exports for a fixed
+//! seed, complete request lifecycles in the event stream across all
+//! serving shapes, structurally valid Chrome traces, and zero
+//! perturbation of the report artifacts when a sink is attached.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use llmservingsim::core::{
+    chrome_trace, timeline_tsv, validate_chrome_trace, MemorySink, ReportOutput, SimEvent,
+    Telemetry, TimelineConfig,
+};
+use llmservingsim::scenario::{AnyReport, FleetSpec, Scenario};
+use llmservingsim::sched::{Dataset, WorkloadSpec};
+
+fn synthetic(requests: usize, rate: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::Synthetic { dataset: Dataset::Alpaca, requests, rate_per_s: rate, seed }
+}
+
+/// One scenario per serving shape, same workload knobs.
+fn shapes(requests: usize, seed: u64) -> Vec<(&'static str, Scenario)> {
+    let base = || Scenario::model("gpt2").npus(1).tensor_parallel().seed(seed);
+    vec![
+        ("single", base().max_batch(8).workload(synthetic(requests, 60.0, seed))),
+        ("cluster", base().replicas(3).workload(synthetic(requests, 120.0, seed))),
+        ("disagg", base().disagg(2, 2).workload(synthetic(requests, 120.0, seed))),
+        (
+            "fleet",
+            base().fleet(FleetSpec::flex(2, 1)).workload(synthetic(requests, 120.0, seed)),
+        ),
+    ]
+}
+
+/// Builds, attaches a memory sink, runs to completion, and returns the
+/// recorded events alongside the finished report.
+fn traced_run(scenario: &Scenario) -> (Vec<SimEvent>, AnyReport) {
+    let mut sim = scenario.build().expect("scenario builds");
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    sim.set_telemetry(Telemetry::new(sink.clone()));
+    let report = sim.run();
+    let events = sink.borrow_mut().take();
+    (events, report)
+}
+
+#[test]
+fn same_seed_exports_are_byte_identical() {
+    let scenario = &shapes(16, 11)[2].1; // disagg: exercises transfers too
+    let (a, _) = traced_run(scenario);
+    let (b, _) = traced_run(scenario);
+    let cfg = TimelineConfig::default();
+    assert!(!a.is_empty(), "a traced run must record events");
+    assert_eq!(
+        chrome_trace(&a),
+        chrome_trace(&b),
+        "same seed must export byte-identical trace JSON"
+    );
+    assert_eq!(
+        timeline_tsv(&a, &cfg),
+        timeline_tsv(&b, &cfg),
+        "same seed must export byte-identical timeline TSV"
+    );
+}
+
+#[test]
+fn chrome_trace_validates_for_every_shape() {
+    for (name, scenario) in shapes(12, 3) {
+        let (events, _) = traced_run(&scenario);
+        let json = chrome_trace(&events);
+        validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("{name}: exported trace is malformed: {e}"));
+    }
+}
+
+#[test]
+fn attaching_telemetry_leaves_report_artifacts_byte_identical() {
+    for (name, scenario) in shapes(14, 9) {
+        let plain = scenario.run().expect("plain run succeeds");
+        let (_, traced) = traced_run(&scenario);
+        let deterministic = |report: &AnyReport| -> Vec<(&'static str, String)> {
+            report
+                .artifacts()
+                .into_iter()
+                .filter(|(suffix, _)| *suffix != "-simulation-time.tsv")
+                .collect()
+        };
+        assert_eq!(
+            deterministic(&plain),
+            deterministic(&traced),
+            "{name}: recording telemetry must not perturb the report"
+        );
+    }
+}
+
+/// Checks that every completed request in `events` has a complete
+/// lifecycle — balanced prefill-start/end pairs and exactly one
+/// completion — and, where the shape routes through a front-end (the
+/// stream carries `Arrival`/`Admitted` events), that every admitted
+/// request arrived once, was admitted once, and went on to complete
+/// after its admission.
+fn assert_complete_lifecycles(name: &str, events: &[SimEvent], completions: usize) {
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct Life {
+        arrivals: usize,
+        admitted: Vec<u64>,
+        prefill_starts: usize,
+        prefill_ends: usize,
+        completed: Vec<u64>,
+        handoffs: usize,
+    }
+
+    let mut lives: BTreeMap<u64, Life> = BTreeMap::new();
+    for event in events {
+        match event {
+            SimEvent::Arrival { id, .. } => lives.entry(*id).or_default().arrivals += 1,
+            SimEvent::Admitted { t_ps, id, .. } => {
+                lives.entry(*id).or_default().admitted.push(*t_ps)
+            }
+            SimEvent::PrefillStart { id, .. } => {
+                lives.entry(*id).or_default().prefill_starts += 1
+            }
+            SimEvent::PrefillEnd { id, .. } => lives.entry(*id).or_default().prefill_ends += 1,
+            SimEvent::Completed { t_ps, id, .. } => {
+                lives.entry(*id).or_default().completed.push(*t_ps)
+            }
+            SimEvent::TransferEnd { id, .. } => lives.entry(*id).or_default().handoffs += 1,
+            _ => {}
+        }
+    }
+
+    let mut total_completed = 0usize;
+    for (id, life) in &lives {
+        assert_eq!(
+            life.prefill_starts, life.prefill_ends,
+            "{name}: request {id} has unbalanced prefill start/end events"
+        );
+        if !life.admitted.is_empty() {
+            // Routed shapes: the front-end half of the lifecycle.
+            assert_eq!(life.arrivals, 1, "{name}: request {id} must arrive exactly once");
+            assert_eq!(
+                life.admitted.len(),
+                1,
+                "{name}: request {id} must be admitted exactly once"
+            );
+            assert!(
+                !life.completed.is_empty(),
+                "{name}: admitted request {id} never completed"
+            );
+            assert!(
+                life.completed.iter().max() >= life.admitted.iter().max(),
+                "{name}: request {id} completed before it was admitted"
+            );
+        }
+        if !life.completed.is_empty() {
+            // Engine half: a disaggregated request closes once on its
+            // prefill replica and once on its decode replica, so the
+            // completion count is one plus the KV handoffs it took.
+            assert_eq!(
+                life.completed.len(),
+                1 + life.handoffs,
+                "{name}: request {id} must complete once per serving leg"
+            );
+            assert!(
+                life.prefill_starts >= 1,
+                "{name}: completed request {id} must have run a prefill"
+            );
+            total_completed += 1;
+        }
+    }
+    assert_eq!(
+        total_completed, completions,
+        "{name}: lifecycle count must match the report's completions"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_admitted_request_has_a_complete_lifecycle(
+        requests in 4usize..20,
+        seed in 0u64..1000,
+    ) {
+        for (name, scenario) in shapes(requests, seed) {
+            let (events, report) = traced_run(&scenario);
+            assert_complete_lifecycles(name, &events, report.total_completions());
+        }
+    }
+}
