@@ -1,0 +1,476 @@
+//! Deterministic, seeded fault injection for fleet simulations.
+//!
+//! A [`ChaosSchedule`] is a declarative list of replica and link faults
+//! compiled into a time-ordered queue of [`FaultEvent`]s that the
+//! [`FleetEngine`](crate::FleetEngine) consumes inside its virtual-time
+//! loop. Faults are a *pure extension* of the event order: a run with an
+//! empty schedule is byte-identical to a run without one, and two runs
+//! with the same schedule (including seeded, rate-based injection) are
+//! byte-identical to each other.
+//!
+//! Three replica fault kinds are modelled:
+//!
+//! * **Crash** — the replica loses every in-flight request and every
+//!   un-shipped KV handoff; lost requests re-enter admission through the
+//!   schedule's [`RetryPolicy`].
+//! * **Hang** — the replica freezes (no iterations complete) but keeps
+//!   its work; it resumes where it left off at recovery.
+//! * **Drain** — the replica stops accepting new work but finishes what
+//!   it holds (a graceful maintenance window).
+//!
+//! Link faults degrade a fabric link to `degrade_to_gbps` (zero = a full
+//! partition) for a window, re-pricing transfers that cross it.
+
+use llmss_sched::TimePs;
+use std::collections::VecDeque;
+
+/// What a replica fault does to the replica while it is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaFaultKind {
+    /// The replica dies: in-flight requests and un-shipped KV are lost
+    /// and must be retried (re-prefilled) elsewhere.
+    Crash,
+    /// The replica freezes but keeps its state; work resumes at
+    /// recovery. A hang without a recovery time would stall forever, so
+    /// hangs require `recover_ps`.
+    Hang,
+    /// The replica stops accepting new work but completes what it
+    /// holds — a graceful maintenance drain.
+    Drain,
+}
+
+impl std::fmt::Display for ReplicaFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Crash => "crash",
+            Self::Hang => "hang",
+            Self::Drain => "drain",
+        })
+    }
+}
+
+impl std::str::FromStr for ReplicaFaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "crash" => Ok(Self::Crash),
+            "hang" => Ok(Self::Hang),
+            "drain" => Ok(Self::Drain),
+            other => {
+                Err(format!("unknown fault kind {other:?} (expected crash | hang | drain)"))
+            }
+        }
+    }
+}
+
+/// One declarative replica fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaFault {
+    /// The replica the fault hits.
+    pub replica: usize,
+    /// What the fault does while the replica is down.
+    pub kind: ReplicaFaultKind,
+    /// When the fault strikes, in virtual picoseconds.
+    pub at_ps: TimePs,
+    /// When the replica recovers; `None` leaves it down for the rest of
+    /// the run (invalid for [`ReplicaFaultKind::Hang`]).
+    pub recover_ps: Option<TimePs>,
+}
+
+/// One declarative fabric-link fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// The fabric link index the fault hits.
+    pub link: usize,
+    /// When the degradation starts, in virtual picoseconds.
+    pub at_ps: TimePs,
+    /// When the link's original bandwidth is restored; `None` leaves it
+    /// degraded for the rest of the run (invalid for a full partition).
+    pub recover_ps: Option<TimePs>,
+    /// Bandwidth while degraded, in GB/s. Zero partitions the link
+    /// outright, which requires `recover_ps`.
+    pub degrade_to_gbps: f64,
+}
+
+/// Bounded retries with deterministic virtual-time backoff for requests
+/// a fault knocked out of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first admission before a request is
+    /// abandoned (recorded with a reason in the resilience report).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual picoseconds.
+    pub backoff_ps: TimePs,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, backoff_ps: 1_000_000_000, backoff_multiplier: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// The virtual-time backoff before retry number `attempt` (1-based).
+    pub fn backoff_for(&self, attempt: u32) -> TimePs {
+        let scale = self.backoff_multiplier.powi(attempt.saturating_sub(1) as i32);
+        (self.backoff_ps as f64 * scale).round() as TimePs
+    }
+}
+
+/// One fault transition the engine applies at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A replica goes down with the given fault semantics.
+    ReplicaDown {
+        /// The replica index.
+        replica: usize,
+        /// What the fault does while the replica is down.
+        kind: ReplicaFaultKind,
+        /// When the fault strikes.
+        t_ps: TimePs,
+    },
+    /// A replica recovers.
+    ReplicaUp {
+        /// The replica index.
+        replica: usize,
+        /// When the replica is back.
+        t_ps: TimePs,
+    },
+    /// A fabric link degrades (or partitions, at zero bandwidth).
+    LinkDown {
+        /// The fabric link index.
+        link: usize,
+        /// When the degradation starts.
+        t_ps: TimePs,
+        /// Bandwidth while degraded, in GB/s (zero = partition).
+        degrade_to_gbps: f64,
+    },
+    /// A fabric link returns to its original bandwidth.
+    LinkUp {
+        /// The fabric link index.
+        link: usize,
+        /// When the link is restored.
+        t_ps: TimePs,
+    },
+}
+
+impl FaultEvent {
+    /// When the transition fires.
+    pub fn t_ps(&self) -> TimePs {
+        match *self {
+            Self::ReplicaDown { t_ps, .. }
+            | Self::ReplicaUp { t_ps, .. }
+            | Self::LinkDown { t_ps, .. }
+            | Self::LinkUp { t_ps, .. } => t_ps,
+        }
+    }
+
+    /// Ordering rank at equal times: recoveries apply before new faults,
+    /// so a back-to-back window (recover at `t`, fail again at `t`)
+    /// resolves as two distinct outages.
+    fn rank(&self) -> u8 {
+        match self {
+            Self::ReplicaUp { .. } | Self::LinkUp { .. } => 0,
+            Self::ReplicaDown { .. } | Self::LinkDown { .. } => 1,
+        }
+    }
+}
+
+/// A declarative fault plan: replica and link fault windows plus the
+/// retry policy governing knocked-out requests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSchedule {
+    /// Replica fault windows, in declaration order.
+    pub replica_faults: Vec<ReplicaFault>,
+    /// Link fault windows, in declaration order.
+    pub link_faults: Vec<LinkFault>,
+    /// Retry policy for requests lost to a crash or a failed pairing.
+    pub retry: RetryPolicy,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule with the default retry policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a replica fault window (builder style).
+    pub fn replica_fault(mut self, fault: ReplicaFault) -> Self {
+        self.replica_faults.push(fault);
+        self
+    }
+
+    /// Adds a link fault window (builder style).
+    pub fn link_fault(mut self, fault: LinkFault) -> Self {
+        self.link_faults.push(fault);
+        self
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Whether the schedule injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.replica_faults.is_empty() && self.link_faults.is_empty()
+    }
+
+    /// Seeded rate-based crash injection: each of `replicas` draws an
+    /// independent Poisson crash process at `rate_per_s` faults per
+    /// virtual second over `[0, horizon_ps)`, each crash recovering
+    /// after `mttr_ps`. The generator is an inline splitmix64 stream, so
+    /// the same seed always produces the same schedule.
+    pub fn seeded(
+        seed: u64,
+        rate_per_s: f64,
+        mttr_ps: TimePs,
+        horizon_ps: TimePs,
+        replicas: usize,
+    ) -> Self {
+        assert!(rate_per_s.is_finite() && rate_per_s >= 0.0, "crash rate must be non-negative");
+        assert!(mttr_ps > 0, "mean time to recovery must be positive");
+        let mut schedule = Self::new();
+        if rate_per_s == 0.0 {
+            return schedule;
+        }
+        let rate_per_ps = rate_per_s / 1e12;
+        for replica in 0..replicas {
+            // One independent, replayable stream per replica.
+            let mut state = seed ^ (replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut t = 0.0f64;
+            loop {
+                let u = uniform(&mut state);
+                t += -(1.0 - u).ln() / rate_per_ps;
+                if !t.is_finite() || t >= horizon_ps as f64 {
+                    break;
+                }
+                let at_ps = t.round() as TimePs;
+                schedule.replica_faults.push(ReplicaFault {
+                    replica,
+                    kind: ReplicaFaultKind::Crash,
+                    at_ps,
+                    recover_ps: Some(at_ps.saturating_add(mttr_ps)),
+                });
+                // The replica is down until recovery; the next crash can
+                // only strike after it is back.
+                t = at_ps.saturating_add(mttr_ps) as f64;
+            }
+        }
+        schedule
+    }
+
+    /// Compiles the schedule into a time-ordered event queue. Equal-time
+    /// ties resolve recoveries before new faults, then declaration
+    /// order, so the queue — and every run consuming it — is fully
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a window that recovers at or before it starts, a hang
+    /// without a recovery time, or a full partition (zero bandwidth)
+    /// without a recovery time.
+    pub fn compile(&self) -> VecDeque<FaultEvent> {
+        let mut events = Vec::new();
+        for fault in &self.replica_faults {
+            if let Some(recover) = fault.recover_ps {
+                assert!(
+                    recover > fault.at_ps,
+                    "replica {} fault recovers at {} ps, not after it strikes at {} ps",
+                    fault.replica,
+                    recover,
+                    fault.at_ps
+                );
+                events.push(FaultEvent::ReplicaUp { replica: fault.replica, t_ps: recover });
+            } else {
+                assert!(
+                    fault.kind != ReplicaFaultKind::Hang,
+                    "replica {} hangs forever — a hang needs a recovery time",
+                    fault.replica
+                );
+            }
+            events.push(FaultEvent::ReplicaDown {
+                replica: fault.replica,
+                kind: fault.kind,
+                t_ps: fault.at_ps,
+            });
+        }
+        for fault in &self.link_faults {
+            assert!(
+                fault.degrade_to_gbps.is_finite() && fault.degrade_to_gbps >= 0.0,
+                "link {} degrades to an invalid bandwidth {}",
+                fault.link,
+                fault.degrade_to_gbps
+            );
+            if let Some(recover) = fault.recover_ps {
+                assert!(
+                    recover > fault.at_ps,
+                    "link {} fault recovers at {} ps, not after it strikes at {} ps",
+                    fault.link,
+                    recover,
+                    fault.at_ps
+                );
+                events.push(FaultEvent::LinkUp { link: fault.link, t_ps: recover });
+            } else {
+                assert!(
+                    fault.degrade_to_gbps > 0.0,
+                    "link {} partitions forever — a partition needs a recovery time",
+                    fault.link
+                );
+            }
+            events.push(FaultEvent::LinkDown {
+                link: fault.link,
+                t_ps: fault.at_ps,
+                degrade_to_gbps: fault.degrade_to_gbps,
+            });
+        }
+        let mut indexed: Vec<(usize, FaultEvent)> = events.into_iter().enumerate().collect();
+        indexed.sort_by(|(ia, a), (ib, b)| {
+            (a.t_ps(), a.rank(), *ia).cmp(&(b.t_ps(), b.rank(), *ib))
+        });
+        indexed.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+/// The next uniform draw in `[0, 1)` from a splitmix64 stream.
+fn uniform(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Everything the resilience report needs from a chaotic run: raw
+/// counters collected by the engine, aggregated into availability and
+/// SLO splits by [`FleetReport`](crate::FleetReport).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceStats {
+    /// Fault windows that actually struck (targets that never
+    /// materialized — e.g. an autoscale replica that was never spawned —
+    /// are skipped, not counted).
+    pub faults_injected: usize,
+    /// Retry admissions performed (a request retried twice counts
+    /// twice).
+    pub requests_retried: usize,
+    /// Requests that exhausted their retries or had nowhere to go.
+    pub requests_abandoned: usize,
+    /// `(request id, reason)` for every abandoned request.
+    pub abandoned: Vec<(u64, String)>,
+    /// KV-cache bytes destroyed by crashes (resident, queued, and
+    /// in-flight KV whose destination died).
+    pub kv_bytes_lost: u64,
+    /// `(request id, fault time)` for every prefill a crash destroyed —
+    /// the report turns these into re-prefill overhead.
+    pub lost_prefills: Vec<(u64, TimePs)>,
+    /// `(request id, original arrival)` for every retried request, so
+    /// report latencies span the whole retry chain.
+    pub original_arrivals: Vec<(u64, TimePs)>,
+    /// Per-replica downtime (crash + hang windows), in picoseconds.
+    pub downtime: Vec<TimePs>,
+    /// Merged-at-report-time `(start, end)` windows during which at
+    /// least one replica was down.
+    pub fault_windows: Vec<(TimePs, TimePs)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_geometrically() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff_for(1), 1_000_000_000);
+        assert_eq!(retry.backoff_for(2), 2_000_000_000);
+        assert_eq!(retry.backoff_for(3), 4_000_000_000);
+        let flat = RetryPolicy { backoff_multiplier: 1.0, ..retry };
+        assert_eq!(flat.backoff_for(5), 1_000_000_000);
+    }
+
+    #[test]
+    fn compile_orders_by_time_with_recoveries_first() {
+        let schedule = ChaosSchedule::new()
+            .replica_fault(ReplicaFault {
+                replica: 0,
+                kind: ReplicaFaultKind::Crash,
+                at_ps: 100,
+                recover_ps: Some(200),
+            })
+            .replica_fault(ReplicaFault {
+                replica: 1,
+                kind: ReplicaFaultKind::Drain,
+                at_ps: 200,
+                recover_ps: None,
+            })
+            .link_fault(LinkFault {
+                link: 0,
+                at_ps: 50,
+                recover_ps: Some(150),
+                degrade_to_gbps: 1.0,
+            });
+        let events: Vec<FaultEvent> = schedule.compile().into();
+        assert_eq!(events.len(), 5);
+        assert!(matches!(events[0], FaultEvent::LinkDown { link: 0, t_ps: 50, .. }));
+        assert!(matches!(events[1], FaultEvent::ReplicaDown { replica: 0, t_ps: 100, .. }));
+        assert!(matches!(events[2], FaultEvent::LinkUp { link: 0, t_ps: 150 }));
+        // At t=200 the recovery applies before the new fault.
+        assert!(matches!(events[3], FaultEvent::ReplicaUp { replica: 0, t_ps: 200 }));
+        assert!(matches!(events[4], FaultEvent::ReplicaDown { replica: 1, t_ps: 200, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "hang needs a recovery time")]
+    fn compile_rejects_a_hang_without_recovery() {
+        ChaosSchedule::new()
+            .replica_fault(ReplicaFault {
+                replica: 0,
+                kind: ReplicaFaultKind::Hang,
+                at_ps: 10,
+                recover_ps: None,
+            })
+            .compile();
+    }
+
+    #[test]
+    #[should_panic(expected = "partition needs a recovery time")]
+    fn compile_rejects_an_unrecovered_partition() {
+        ChaosSchedule::new()
+            .link_fault(LinkFault {
+                link: 0,
+                at_ps: 10,
+                recover_ps: None,
+                degrade_to_gbps: 0.0,
+            })
+            .compile();
+    }
+
+    #[test]
+    fn seeded_injection_is_replayable_and_bounded() {
+        let horizon = 1_000_000_000_000; // 1 s
+        let a = ChaosSchedule::seeded(7, 5.0, 10_000_000_000, horizon, 3);
+        let b = ChaosSchedule::seeded(7, 5.0, 10_000_000_000, horizon, 3);
+        assert_eq!(a, b, "same seed must reproduce the same schedule");
+        assert!(!a.is_empty(), "5 faults/s over 1 s across 3 replicas should strike");
+        for fault in &a.replica_faults {
+            assert!(fault.at_ps < horizon);
+            assert_eq!(fault.recover_ps, Some(fault.at_ps + 10_000_000_000));
+            assert_eq!(fault.kind, ReplicaFaultKind::Crash);
+        }
+        let c = ChaosSchedule::seeded(8, 5.0, 10_000_000_000, horizon, 3);
+        assert_ne!(a, c, "different seeds should diverge");
+        assert!(ChaosSchedule::seeded(7, 0.0, 1, horizon, 3).is_empty());
+    }
+
+    #[test]
+    fn fault_kinds_round_trip_through_strings() {
+        for kind in [ReplicaFaultKind::Crash, ReplicaFaultKind::Hang, ReplicaFaultKind::Drain] {
+            assert_eq!(kind.to_string().parse::<ReplicaFaultKind>().unwrap(), kind);
+        }
+        assert!("explode".parse::<ReplicaFaultKind>().is_err());
+    }
+}

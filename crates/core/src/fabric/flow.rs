@@ -129,6 +129,24 @@ impl FlowModel {
         &self.caps
     }
 
+    /// Re-prices link `link` to `gbps` mid-run (chaos degradation;
+    /// zero partitions the link) and immediately re-divides bandwidth,
+    /// so in-flight flows crossing it speed up, slow down, or stall
+    /// until a later capacity change. The caller advances the model to
+    /// the fault time first so earlier progress is integrated at the
+    /// old rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range link or a non-finite/negative
+    /// bandwidth.
+    pub fn set_capacity(&mut self, link: usize, gbps: f64) {
+        assert!(link < self.caps.len(), "link {link} outside the fabric");
+        assert!(gbps.is_finite() && gbps >= 0.0, "link {link} given invalid bandwidth {gbps}");
+        self.caps[link] = bytes_per_ps(gbps);
+        self.recompute();
+    }
+
     /// Admits a flow of `bytes` over `path` at `start_ps`, with the
     /// path's summed `latency_ps` applied after serialization and
     /// `nominal_ps` recorded for contention metrics. Advances every
@@ -231,10 +249,12 @@ impl FlowModel {
     fn flow_event_ps(&self, f: &Flow) -> TimePs {
         match f.done_ps {
             Some(done) => done.max(self.now_ps),
-            None => {
-                debug_assert!(f.rate > 0.0, "an unserialized flow always holds a rate");
-                self.now_ps.saturating_add((f.remaining / f.rate).ceil() as TimePs)
+            None if f.rate <= 0.0 => {
+                // Stalled by a zero-capacity (partitioned) link: no
+                // event until capacity returns.
+                TimePs::MAX
             }
+            None => self.now_ps.saturating_add((f.remaining / f.rate).ceil() as TimePs),
         }
     }
 
@@ -479,6 +499,35 @@ mod tests {
         // Flow 2 then owns the link: 1 ms from its admission.
         assert_eq!(m.next_event_ps(), Some(6_000_000_000));
         assert_eq!(m.advance(6_000_000_000)[0].id, 2);
+    }
+
+    #[test]
+    fn capacity_change_reprices_in_flight_flows() {
+        let mut m = FlowModel::new(&[link(1.0)]);
+        m.start(1, &[0], 1_000_000, 0, 0, 0);
+        // Halfway through, the link degrades to a quarter bandwidth: the
+        // remaining 0.5 MB takes 2 ms instead of 0.5 ms.
+        let half = 500_000_000;
+        assert!(m.advance(half).is_empty());
+        m.set_capacity(0, 0.25);
+        assert_eq!(m.next_event_ps(), Some(half + 2_000_000_000));
+        assert_eq!(m.advance(half + 2_000_000_000).len(), 1);
+    }
+
+    #[test]
+    fn partition_stalls_flows_until_capacity_returns() {
+        let mut m = FlowModel::new(&[link(1.0)]);
+        m.start(1, &[0], 1_000_000, 0, 0, 0);
+        let half = 500_000_000;
+        assert!(m.advance(half).is_empty());
+        m.set_capacity(0, 0.0);
+        assert_eq!(m.next_event_ps(), Some(TimePs::MAX), "stalled: no event until recovery");
+        // Time passes with no progress.
+        assert!(m.advance(half + 1_000_000_000).is_empty());
+        m.set_capacity(0, 1.0);
+        // The surviving 0.5 MB finishes 0.5 ms after restoration.
+        assert_eq!(m.next_event_ps(), Some(half + 1_500_000_000));
+        assert_eq!(m.advance(half + 1_500_000_000).len(), 1);
     }
 
     #[test]

@@ -37,6 +37,9 @@ struct FifoLink {
     spec: LinkSpec,
     /// When the link frees up.
     free_ps: TimePs,
+    /// Whether a chaos fault has partitioned the link (no bookings
+    /// until it recovers).
+    down: bool,
 }
 
 /// The outcome of committing a transfer to the fabric.
@@ -108,7 +111,10 @@ impl Fabric {
     pub fn fifo(links: Vec<LinkSpec>) -> Self {
         Self {
             mode: FabricMode::Fifo {
-                links: links.into_iter().map(|spec| FifoLink { spec, free_ps: 0 }).collect(),
+                links: links
+                    .into_iter()
+                    .map(|spec| FifoLink { spec, free_ps: 0, down: false })
+                    .collect(),
             },
             telemetry: Telemetry::off(),
         }
@@ -171,9 +177,10 @@ impl Fabric {
                 let link = links
                     .iter()
                     .enumerate()
+                    .filter(|(_, l)| !l.down)
                     .min_by_key(|(i, l)| (l.free_ps, *i))
                     .map(|(i, _)| i)
-                    .expect("linked fleets have at least one link");
+                    .expect("a transfer committed with every link partitioned");
                 let start_ps = ready_ps.max(links[link].free_ps);
                 let nominal_ps = links[link].spec.transfer_ps(bytes);
                 let done_ps = start_ps + nominal_ps;
@@ -271,6 +278,68 @@ impl Fabric {
         }
     }
 
+    /// How many links the fabric runs over (0 = no fabric).
+    pub fn link_count(&self) -> usize {
+        match &self.mode {
+            FabricMode::Fifo { links } => links.len(),
+            FabricMode::Fair { graph, .. } => graph.links().len(),
+        }
+    }
+
+    /// The current bandwidth of link `link` in GB/s — zero for a
+    /// partitioned FIFO link or a zero-capacity fair link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range link.
+    pub fn link_bw_gbps(&self, link: usize) -> f64 {
+        match &self.mode {
+            FabricMode::Fifo { links } => {
+                if links[link].down {
+                    0.0
+                } else {
+                    links[link].spec.bw_gbps
+                }
+            }
+            FabricMode::Fair { model, .. } => model.capacities()[link] * 1000.0,
+        }
+    }
+
+    /// Re-prices link `link` to `gbps` mid-run (chaos degradation).
+    /// Zero partitions the link: FIFO stops booking it until a non-zero
+    /// bandwidth restores it; the fair model stalls flows crossing it.
+    /// FIFO degradation re-prices future bookings only — a booked FIFO
+    /// transfer models an already-scheduled DMA.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range link or an invalid bandwidth.
+    pub fn set_link_bw_gbps(&mut self, link: usize, gbps: f64) {
+        assert!(gbps.is_finite() && gbps >= 0.0, "link {link} given invalid bandwidth {gbps}");
+        match &mut self.mode {
+            FabricMode::Fifo { links } => {
+                let l = links.get_mut(link).expect("link index inside the fabric");
+                if gbps > 0.0 {
+                    l.spec.bw_gbps = gbps;
+                    l.down = false;
+                } else {
+                    l.down = true;
+                }
+            }
+            FabricMode::Fair { model, .. } => model.set_capacity(link, gbps),
+        }
+    }
+
+    /// Whether every FIFO link is partitioned — no booking can proceed
+    /// until one recovers. Always `false` for the fair discipline,
+    /// whose commits admit flows that simply stall.
+    pub fn fully_partitioned(&self) -> bool {
+        match &self.mode {
+            FabricMode::Fifo { links } => !links.is_empty() && links.iter().all(|l| l.down),
+            FabricMode::Fair { .. } => false,
+        }
+    }
+
     /// The fabric's report contribution — `Some` only for the fair
     /// discipline, so FIFO-configured fleets keep byte-identical legacy
     /// reports.
@@ -322,6 +391,31 @@ mod tests {
         assert_eq!((l2, start_ps), (0, 1_000_000_000));
         assert!(f.stats().is_none(), "FIFO contributes no report section");
         assert_eq!(f.next_event_ps(), None);
+    }
+
+    #[test]
+    fn fifo_partition_diverts_bookings_until_restored() {
+        let link = LinkSpec::new(1.0, 0.0);
+        let mut f = Fabric::fifo(vec![link, link]);
+        f.set_link_bw_gbps(0, 0.0);
+        assert!(!f.fully_partitioned());
+        assert_eq!(f.link_bw_gbps(0), 0.0);
+        let FabricCommit::Booked { link: l, .. } = f.commit(1, 0, 1, 1_000_000, 0) else {
+            panic!()
+        };
+        assert_eq!(l, 1, "bookings avoid the partitioned link");
+        f.set_link_bw_gbps(1, 0.0);
+        assert!(f.fully_partitioned());
+        // Recovery at a degraded bandwidth re-prices future bookings.
+        f.set_link_bw_gbps(0, 2.0);
+        assert!(!f.fully_partitioned());
+        assert_eq!(f.link_bw_gbps(0), 2.0);
+        let FabricCommit::Booked { link: l, nominal_ps, .. } = f.commit(2, 0, 1, 1_000_000, 0)
+        else {
+            panic!()
+        };
+        assert_eq!(l, 0);
+        assert_eq!(nominal_ps, 500_000_000, "1 MB at 2 GB/s");
     }
 
     #[test]

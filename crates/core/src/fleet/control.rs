@@ -47,13 +47,20 @@ pub struct ReplicaStatus {
     /// replica spent executing (`0.0` on the first tick or when no
     /// virtual time has passed).
     pub util_window: f64,
+    /// Whether the replica is crashed right now (fault injection): its
+    /// in-flight work was lost and it serves nothing until recovery.
+    pub dead: bool,
+    /// Whether the replica is degraded right now (hung or draining under
+    /// fault injection): it holds or finishes existing work but takes no
+    /// new admissions or pairings.
+    pub degraded: bool,
 }
 
 impl ReplicaStatus {
     /// Whether the replica currently takes part in serving: not retired,
-    /// not mid-drain toward another role.
+    /// not mid-drain toward another role, not crashed.
     pub fn in_service(&self) -> bool {
-        !self.retiring && self.pending_role.is_none()
+        !self.retiring && self.pending_role.is_none() && !self.dead
     }
 }
 
@@ -74,9 +81,11 @@ pub struct FleetStats {
 }
 
 impl FleetStats {
-    /// Replicas currently part of the serving fleet (not retiring).
+    /// Replicas currently part of the serving fleet: not retiring and
+    /// not dead — a crashed replica is lost capacity, not spare
+    /// capacity, so pressure signals must not count it.
     pub fn active(&self) -> impl Iterator<Item = &ReplicaStatus> {
-        self.replicas.iter().filter(|r| !r.retiring)
+        self.replicas.iter().filter(|r| !r.retiring && !r.dead)
     }
 
     /// Number of replicas currently part of the serving fleet.
@@ -85,12 +94,13 @@ impl FleetStats {
     }
 
     /// Mean outstanding requests per active replica, counting the
-    /// front-end queue (the autoscaler's pressure signal). `0.0` with no
-    /// active replicas.
+    /// front-end queue (the autoscaler's pressure signal). With no
+    /// active replicas (a total outage) the backlog itself is the
+    /// pressure, so the queue length is returned as the depth.
     pub fn mean_queue_depth(&self) -> f64 {
         let active = self.active_count();
         if active == 0 {
-            return 0.0;
+            return self.queued_arrivals as f64;
         }
         let outstanding: usize =
             self.active().map(|r| r.snapshot.outstanding_requests).sum::<usize>()
@@ -452,11 +462,12 @@ impl ControlPlane for AutoscaleControl {
         if depth < self.config.queue_low && active > self.config.min_replicas {
             // Retire the highest-index active replica that is not the
             // template: deterministic, and scale-up reactivates it first.
+            // Never a dead replica — it cannot drain until it recovers.
             let victim = stats
                 .replicas
                 .iter()
                 .rev()
-                .find(|r| !r.retiring && r.snapshot.index != 0)
+                .find(|r| !r.retiring && !r.dead && r.snapshot.index != 0)
                 .map(|r| r.snapshot.index);
             if let Some(replica) = victim {
                 return vec![FleetCommand::ScaleDown { replica }];
@@ -488,6 +499,8 @@ mod tests {
             retiring: false,
             busy_ps: 0,
             util_window: 0.0,
+            dead: false,
+            degraded: false,
         }
     }
 
@@ -520,6 +533,52 @@ mod tests {
         // At the floor, idle pressure issues nothing.
         let floor = stats(vec![status(0, ReplicaRole::Unified, 0)], 0);
         assert!(plane.on_tick(&floor).is_empty());
+    }
+
+    #[test]
+    fn autoscale_counts_a_dead_replica_as_lost_capacity() {
+        let mut plane = AutoscaleControl::new(
+            super::super::route::RoutingPolicyKind::RoundRobin.build(0),
+            AutoscaleConfig::default(),
+        );
+        // Two replicas, one crashed, six queued arrivals. Over the one
+        // live replica that is depth 6 > queue_high 4, so the scale-up
+        // must fire *during* the outage; counting the dead replica as
+        // capacity (depth 3) would wrongly wait for recovery.
+        let mut dead = status(1, ReplicaRole::Unified, 0);
+        dead.dead = true;
+        let outage = stats(vec![status(0, ReplicaRole::Unified, 0), dead], 6);
+        assert!(matches!(plane.on_tick(&outage)[..], [FleetCommand::ScaleUp { .. }]));
+    }
+
+    #[test]
+    fn autoscale_backfills_through_a_total_outage() {
+        let mut plane = AutoscaleControl::new(
+            super::super::route::RoutingPolicyKind::RoundRobin.build(0),
+            AutoscaleConfig::default(),
+        );
+        // Every replica dead: the backlog alone is the pressure signal.
+        let mut dead = status(0, ReplicaRole::Unified, 0);
+        dead.dead = true;
+        let outage = stats(vec![dead], 5);
+        assert!(matches!(plane.on_tick(&outage)[..], [FleetCommand::ScaleUp { .. }]));
+    }
+
+    #[test]
+    fn autoscale_never_retires_a_dead_replica() {
+        let mut plane = AutoscaleControl::new(
+            super::super::route::RoutingPolicyKind::RoundRobin.build(0),
+            AutoscaleConfig::default(),
+        );
+        // Idle fleet, but the highest-index replica is dead: it cannot
+        // drain, so the scale-down must pick the live one below it.
+        let mut dead = status(2, ReplicaRole::Unified, 0);
+        dead.dead = true;
+        let idle = stats(
+            vec![status(0, ReplicaRole::Unified, 0), status(1, ReplicaRole::Unified, 0), dead],
+            0,
+        );
+        assert_eq!(plane.on_tick(&idle), vec![FleetCommand::ScaleDown { replica: 1 }]);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::collections::{HashMap, VecDeque};
 use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
 
+use crate::chaos::{ChaosSchedule, FaultEvent, ReplicaFaultKind, ResilienceStats, RetryPolicy};
 use crate::fabric::{Fabric, FabricCommit, FabricStats};
 use crate::telemetry::{SimEvent, Telemetry};
 use crate::{ConfigError, ServingSimulator, SimConfig, Simulate};
@@ -130,6 +131,65 @@ impl ReplicaSlot {
     }
 }
 
+/// Live fault-injection state: the compiled schedule plus every counter
+/// the resilience report aggregates. Present only when
+/// [`FleetEngine::set_chaos`] installed a schedule — a chaos-free
+/// engine takes none of these paths, keeping its event order (and all
+/// goldens) byte-identical.
+#[derive(Debug)]
+struct ChaosState {
+    /// Remaining fault transitions, earliest first.
+    events: VecDeque<FaultEvent>,
+    /// Retry policy for knocked-out requests.
+    retry: RetryPolicy,
+    /// Per-replica active fault (`None` = healthy).
+    down: Vec<Option<ReplicaFaultKind>>,
+    /// Original bandwidth to restore per degraded link.
+    link_restore: Vec<Option<f64>>,
+    /// Retry attempts consumed per request id.
+    attempts: HashMap<u64, u32>,
+    /// First-admission arrival per retried request (report latencies
+    /// span the whole retry chain).
+    original_arrival: HashMap<u64, TimePs>,
+    /// `(id, reason)` for every abandoned request, in event order.
+    abandoned: Vec<(u64, String)>,
+    /// Retry admissions performed.
+    retried: usize,
+    /// Fault windows that actually struck.
+    faults_injected: usize,
+    /// KV bytes destroyed by crashes.
+    kv_bytes_lost: u64,
+    /// `request id -> fault time` for prefills a crash destroyed.
+    lost_prefill: HashMap<u64, TimePs>,
+    /// When each replica's current crash/hang window opened.
+    down_since: Vec<Option<TimePs>>,
+    /// Accumulated per-replica downtime.
+    downtime: Vec<TimePs>,
+    /// Closed `(start, end)` outage windows.
+    fault_windows: Vec<(TimePs, TimePs)>,
+}
+
+impl ChaosState {
+    fn new(schedule: ChaosSchedule, replicas: usize, links: usize) -> Self {
+        Self {
+            events: schedule.compile(),
+            retry: schedule.retry,
+            down: vec![None; replicas],
+            link_restore: vec![None; links],
+            attempts: HashMap::new(),
+            original_arrival: HashMap::new(),
+            abandoned: Vec::new(),
+            retried: 0,
+            faults_injected: 0,
+            kv_bytes_lost: 0,
+            lost_prefill: HashMap::new(),
+            down_since: vec![None; replicas],
+            downtime: vec![0; replicas],
+            fault_windows: Vec::new(),
+        }
+    }
+}
+
 /// A heterogeneous fleet of serving replicas behind a control plane,
 /// advanced in one virtual-time event loop.
 #[derive(Debug)]
@@ -168,6 +228,9 @@ pub struct FleetEngine {
     /// Fleet-level event sink handle (off by default; replicas carry
     /// their own per-index handles).
     telemetry: Telemetry,
+    /// Fault-injection state; `None` (the default) leaves every code
+    /// path byte-identical to a chaos-free engine.
+    chaos: Option<ChaosState>,
 }
 
 impl FleetEngine {
@@ -273,9 +336,20 @@ impl FleetEngine {
             tick_ps,
             handoffs_total: 0,
             telemetry: Telemetry::off(),
+            chaos: None,
             sims,
             slots,
         })
+    }
+
+    /// Installs a fault-injection schedule. Faults targeting replicas or
+    /// links the fleet never materializes are skipped silently at their
+    /// fire time. Calling this with an empty schedule still arms the
+    /// chaos paths (the report gains an all-zero resilience section);
+    /// not calling it keeps the engine byte-identical to a chaos-free
+    /// build.
+    pub fn set_chaos(&mut self, schedule: ChaosSchedule) {
+        self.chaos = Some(ChaosState::new(schedule, self.sims.len(), self.fabric.link_count()));
     }
 
     /// Attaches an event sink to the whole fleet: every replica gets a
@@ -358,7 +432,13 @@ impl FleetEngine {
         let arrival = self.arrivals.front().map(|r| r.arrival_ps);
         let transfer = self.pending.peek().map(|&std::cmp::Reverse((t, _, _))| t);
         let fabric = self.fabric.next_event_ps();
-        [replica_ready, arrival, transfer, fabric].into_iter().flatten().min()
+        let fault = self.next_fault_ps();
+        [replica_ready, arrival, transfer, fabric, fault].into_iter().flatten().min()
+    }
+
+    /// The next pending fault transition, if a chaos schedule is armed.
+    fn next_fault_ps(&self) -> Option<TimePs> {
+        self.chaos.as_ref().and_then(|c| c.events.front().map(FaultEvent::t_ps))
     }
 
     /// The fleet's virtual clock: the furthest replica clock.
@@ -398,6 +478,7 @@ impl FleetEngine {
                 } else {
                     (busy.saturating_sub(base_busy)) as f64 / window as f64
                 };
+                let fault = self.chaos.as_ref().and_then(|c| c.down[i]);
                 ReplicaStatus {
                     snapshot: self.snapshot(i),
                     home_role: slot.home_role,
@@ -406,6 +487,11 @@ impl FleetEngine {
                     retiring: slot.retiring,
                     busy_ps: busy,
                     util_window,
+                    dead: fault == Some(ReplicaFaultKind::Crash),
+                    degraded: matches!(
+                        fault,
+                        Some(ReplicaFaultKind::Hang | ReplicaFaultKind::Drain)
+                    ),
                 }
             })
             .collect();
@@ -451,6 +537,8 @@ impl FleetEngine {
                     self.slots[i].retiring
                         && self.slots[i].pending_role.is_none()
                         && self.sims[i].scheduler().outstanding() == 0
+                        // A faulted replica cannot answer a backfill.
+                        && self.chaos.as_ref().is_none_or(|c| c.down[i].is_none())
                 }) {
                     self.slots[idx].retiring = false;
                     self.slots[idx].active_from_ps = active_from;
@@ -471,6 +559,11 @@ impl FleetEngine {
                 slot.active_from_ps = active_from;
                 self.slots.push(slot);
                 self.heap.grow();
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.down.push(None);
+                    chaos.down_since.push(None);
+                    chaos.downtime.push(0);
+                }
                 self.telemetry.emit(|| SimEvent::ReplicaActivated {
                     t_ps: now,
                     replica: index,
@@ -583,7 +676,30 @@ impl FleetEngine {
         if self.pending.is_empty() {
             return;
         }
-        let horizon = self.transfer_horizon();
+        let mut horizon = self.transfer_horizon();
+        if let Some(ft) = self.next_fault_ps() {
+            // Faults win ties: a transfer ready exactly at a fault
+            // transition commits after the fault applies.
+            horizon = horizon.min(ft.saturating_sub(1));
+        }
+        if self.chaos.is_some() && self.fabric.fully_partitioned() {
+            // No link can carry KV right now. Park every due transfer at
+            // the next fault transition (schedule validation guarantees a
+            // partition recovers); link faults spend no retry budget.
+            let next = self
+                .next_fault_ps()
+                .expect("a full partition always has a pending recovery event");
+            let mut parked = Vec::new();
+            while let Some(&std::cmp::Reverse((ready_ps, id, from))) = self.pending.peek() {
+                if ready_ps > horizon {
+                    break;
+                }
+                self.pending.pop();
+                parked.push(std::cmp::Reverse((next.max(ready_ps), id, from)));
+            }
+            self.pending.extend(parked);
+            return;
+        }
         while let Some(&std::cmp::Reverse((ready_ps, id, from))) = self.pending.peek() {
             if ready_ps > horizon {
                 // A not-yet-simulated prefill or arrival could still beat
@@ -600,13 +716,20 @@ impl FleetEngine {
                     slot.role == ReplicaRole::Decode
                         && slot.in_service()
                         && slot.active_from_ps <= ready_ps
+                        && self.chaos.as_ref().is_none_or(|c| c.down[i].is_none())
                 })
                 .map(|i| self.snapshot(i))
                 .collect();
-            assert!(
-                !candidates.is_empty(),
-                "no decode replica available for the KV handoff of request {id}"
-            );
+            if candidates.is_empty() {
+                assert!(
+                    self.chaos.is_some(),
+                    "no decode replica available for the KV handoff of request {id}"
+                );
+                // The head entry changed (re-parked or abandoned):
+                // re-enter the commit pass on a later step.
+                self.defer_or_abandon_pairing(ready_ps, id, from);
+                return;
+            }
             let chosen = self.control.pair(&request, &candidates);
             assert!(
                 candidates.iter().any(|s| s.index == chosen),
@@ -686,6 +809,34 @@ impl FleetEngine {
                 from,
                 to,
             });
+            let dest_crashed = self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.down[to] == Some(ReplicaFaultKind::Crash));
+            if dest_crashed {
+                // The wire finished, but the KV landed on a dead replica:
+                // lost on arrival. Unwind the prefill-side bookkeeping and
+                // send the request back through admission to re-prefill.
+                let tr = self.transfers.remove(&done.id).expect("just finalized above");
+                let removed = self.sims[from].retract_completions(&[done.id]);
+                self.handoffs_total -= removed;
+                if self.slots[from].role == ReplicaRole::Prefill {
+                    self.slots[from].handed_off =
+                        self.sims[from].scheduler().completions().len();
+                }
+                let request = self.requests[&done.id];
+                {
+                    let chaos = self.chaos.as_mut().expect("checked above");
+                    chaos.kv_bytes_lost += tr.bytes;
+                    chaos.lost_prefill.entry(done.id).or_insert(done.done_ps);
+                }
+                self.retry_request(
+                    request,
+                    done.done_ps,
+                    "shipped KV landed on a crashed replica",
+                );
+                continue;
+            }
             let request = self.requests[&done.id];
             self.sims[to].push_request(Request::new(
                 done.id,
@@ -695,6 +846,345 @@ impl FleetEngine {
             ));
             self.refresh(to);
         }
+    }
+
+    /// Applies every fault transition due at exactly `t`. The compile
+    /// order guarantees recoveries apply before same-instant new faults,
+    /// so a replica that recovers at `t` can absorb work displaced by a
+    /// crash at `t`.
+    fn apply_due_faults(&mut self, t: TimePs) {
+        loop {
+            let event = {
+                let chaos = self.chaos.as_mut().expect("apply_due_faults needs chaos armed");
+                if chaos.events.front().is_some_and(|e| e.t_ps() <= t) {
+                    chaos.events.pop_front()
+                } else {
+                    None
+                }
+            };
+            let Some(event) = event else { return };
+            match event {
+                FaultEvent::ReplicaDown { replica, kind, .. } => {
+                    self.fault_replica_down(replica, kind, t);
+                }
+                FaultEvent::ReplicaUp { replica, .. } => self.fault_replica_up(replica, t),
+                FaultEvent::LinkDown { link, degrade_to_gbps, .. } => {
+                    self.fault_link_down(link, degrade_to_gbps, t);
+                }
+                FaultEvent::LinkUp { link, .. } => self.fault_link_up(link, t),
+            }
+        }
+    }
+
+    /// Strikes a replica. Targets the fleet never materialized (an
+    /// autoscale index that never spawned) are skipped without counting.
+    fn fault_replica_down(&mut self, replica: usize, kind: ReplicaFaultKind, t: TimePs) {
+        {
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            if replica >= self.sims.len() || chaos.down[replica].is_some() {
+                return;
+            }
+            chaos.faults_injected += 1;
+            chaos.down[replica] = Some(kind);
+            if kind != ReplicaFaultKind::Drain {
+                chaos.down_since[replica] = Some(t);
+            }
+        }
+        self.telemetry.emit(|| SimEvent::ReplicaFault {
+            t_ps: t,
+            replica,
+            kind: kind.to_string(),
+        });
+        match kind {
+            // A drained replica keeps executing what it holds; it is only
+            // excluded from new admissions and pairings.
+            ReplicaFaultKind::Drain => {}
+            // A hung replica freezes mid-flight: its work is preserved
+            // but nothing progresses until recovery. Its NIC stays up, so
+            // already-queued KV handoffs still ship.
+            ReplicaFaultKind::Hang => self.heap.refresh(replica, None),
+            ReplicaFaultKind::Crash => {
+                self.heap.refresh(replica, None);
+                self.crash_replica(replica, t);
+            }
+        }
+    }
+
+    /// A crash loses everything volatile on the replica: in-flight
+    /// requests (their KV caches with them) and finished prefills whose
+    /// KV never shipped. Each lost request re-enters global admission
+    /// through the retry policy.
+    fn crash_replica(&mut self, replica: usize, t: TimePs) {
+        let per_token = self.slots[replica].config.model.kv_bytes_per_token();
+        // Finished prefills still queued for transfer from this replica:
+        // the KV cache they would ship just evaporated.
+        let mut kept = Vec::new();
+        let mut lost_pending = Vec::new();
+        while let Some(std::cmp::Reverse(entry)) = self.pending.pop() {
+            if entry.2 == replica {
+                lost_pending.push(entry);
+            } else {
+                kept.push(std::cmp::Reverse(entry));
+            }
+        }
+        self.pending.extend(kept);
+        if !lost_pending.is_empty() {
+            let ids: Vec<u64> = lost_pending.iter().map(|&(_, id, _)| id).collect();
+            let removed = self.sims[replica].retract_completions(&ids);
+            self.handoffs_total -= removed;
+            self.slots[replica].handed_off = self.sims[replica].scheduler().completions().len();
+            for &(_, id, _) in &lost_pending {
+                let request = self.requests[&id];
+                {
+                    let chaos = self.chaos.as_mut().expect("chaos armed");
+                    chaos.kv_bytes_lost += request.input_len as u64 * per_token;
+                    chaos.lost_prefill.entry(id).or_insert(t);
+                }
+                self.retry_request(request, t, "prefill KV lost to a crash");
+            }
+        }
+        // Everything the scheduler still held dies with the replica.
+        let lost = self.sims[replica].crash_drain();
+        for work in lost {
+            let id = work.request.id;
+            let incoming = self.transfers.get(&id).copied().filter(|tr| tr.to == replica);
+            if let Some(tr) = incoming {
+                // The decode side of a disagg pair: the shipped KV (and
+                // any decode progress) is gone. Unwind the prefill-side
+                // bookkeeping and re-prefill from the original request.
+                let removed = self.sims[tr.from].retract_completions(&[id]);
+                self.handoffs_total -= removed;
+                if self.slots[tr.from].role == ReplicaRole::Prefill {
+                    self.slots[tr.from].handed_off =
+                        self.sims[tr.from].scheduler().completions().len();
+                }
+                self.transfers.remove(&id);
+                let request = self.requests[&id];
+                {
+                    let chaos = self.chaos.as_mut().expect("chaos armed");
+                    chaos.kv_bytes_lost += tr.bytes + work.generated as u64 * per_token;
+                    chaos.lost_prefill.entry(id).or_insert(t);
+                }
+                self.retry_request(request, t, "shipped KV lost with its decode replica");
+            } else {
+                if work.prefill_done {
+                    let chaos = self.chaos.as_mut().expect("chaos armed");
+                    chaos.kv_bytes_lost +=
+                        (work.request.input_len + work.generated) as u64 * per_token;
+                    chaos.lost_prefill.entry(id).or_insert(t);
+                }
+                self.retry_request(work.request, t, "in-flight work lost to a crash");
+            }
+        }
+        // The crash drained the replica: a deferred role switch can land.
+        self.try_apply_pending_role(replica);
+    }
+
+    /// Clears a replica fault. Crash/hang recoveries close the downtime
+    /// window and rejoin the replica's clock to fleet time.
+    fn fault_replica_up(&mut self, replica: usize, t: TimePs) {
+        let kind = {
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            if replica >= self.sims.len() {
+                return;
+            }
+            let Some(kind) = chaos.down[replica].take() else { return };
+            if let Some(since) = chaos.down_since[replica].take() {
+                chaos.downtime[replica] += t - since;
+                chaos.fault_windows.push((since, t));
+            }
+            kind
+        };
+        self.telemetry.emit(|| SimEvent::ReplicaRecovered { t_ps: t, replica });
+        if kind != ReplicaFaultKind::Drain {
+            // The outage is wall time: the replica resumes at recovery,
+            // not where its clock stopped.
+            self.sims[replica].advance_clock_to(t);
+            self.refresh(replica);
+        }
+    }
+
+    /// Degrades (or partitions, at 0 Gb/s) a link. In-flight fair flows
+    /// integrate progress at the old rates up to `t`, then re-price.
+    fn fault_link_down(&mut self, link: usize, degrade_to_gbps: f64, t: TimePs) {
+        if link >= self.fabric.link_count() {
+            return;
+        }
+        self.deliver_fabric_events(t.max(self.fabric.now_ps()));
+        {
+            let restore = self.fabric.link_bw_gbps(link);
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            chaos.faults_injected += 1;
+            // Overlapping windows keep the original bandwidth.
+            if chaos.link_restore[link].is_none() {
+                chaos.link_restore[link] = Some(restore);
+            }
+        }
+        self.fabric.set_link_bw_gbps(link, degrade_to_gbps);
+        self.telemetry.emit(|| SimEvent::LinkFault { t_ps: t, link, bw_gbps: degrade_to_gbps });
+    }
+
+    /// Restores a degraded link to its pre-fault bandwidth.
+    fn fault_link_up(&mut self, link: usize, t: TimePs) {
+        if link >= self.fabric.link_count() {
+            return;
+        }
+        let restore = {
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            chaos.link_restore[link].take()
+        };
+        let Some(bw) = restore else { return };
+        self.deliver_fabric_events(t.max(self.fabric.now_ps()));
+        self.fabric.set_link_bw_gbps(link, bw);
+        self.telemetry.emit(|| SimEvent::LinkRecovered { t_ps: t, link });
+    }
+
+    /// Sends a knocked-out request back through global admission with
+    /// deterministic virtual-time backoff, or abandons it once its retry
+    /// budget is spent.
+    fn retry_request(&mut self, request: Request, now: TimePs, reason: &str) {
+        let id = request.id;
+        let (attempt, max_retries, backoff) = {
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            let entry = chaos.attempts.entry(id).or_insert(0);
+            *entry += 1;
+            (*entry, chaos.retry.max_retries, chaos.retry.backoff_for(*entry))
+        };
+        if attempt > max_retries {
+            self.abandon_request(id, now, reason);
+            return;
+        }
+        {
+            let original = self.requests.get(&id).map_or(request.arrival_ps, |r| r.arrival_ps);
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            chaos.retried += 1;
+            chaos.original_arrival.entry(id).or_insert(original);
+        }
+        let at = now.saturating_add(backoff);
+        self.telemetry.emit(|| SimEvent::RequestRetried {
+            t_ps: now,
+            id,
+            attempt,
+            retry_at_ps: at,
+        });
+        let retry = Request::new(id, request.input_len, request.output_len, at);
+        let pos = self
+            .arrivals
+            .iter()
+            .position(|r| (r.arrival_ps, r.id) > (at, id))
+            .unwrap_or(self.arrivals.len());
+        self.arrivals.insert(pos, retry);
+    }
+
+    /// Gives up on a request, recording why.
+    fn abandon_request(&mut self, id: u64, now: TimePs, reason: &str) {
+        self.telemetry.emit(|| SimEvent::RequestAbandoned {
+            t_ps: now,
+            id,
+            reason: reason.to_string(),
+        });
+        let chaos = self.chaos.as_mut().expect("chaos armed");
+        chaos.abandoned.push((id, reason.to_string()));
+    }
+
+    /// The earliest future instant at which serving capacity could
+    /// reappear: a fault transition (a recovery, or a crash freeing a
+    /// pairing for re-route), a control tick (the plane may scale up),
+    /// or a warming replica coming online.
+    fn defer_target(&self, now: TimePs) -> Option<TimePs> {
+        let mut candidates: Vec<TimePs> = Vec::new();
+        if let Some(ft) = self.next_fault_ps() {
+            candidates.push(ft);
+        }
+        if self.tick_ps.is_some() {
+            candidates.push(self.next_tick_ps);
+        }
+        for slot in &self.slots {
+            if slot.active_from_ps > now {
+                candidates.push(slot.active_from_ps);
+            }
+        }
+        candidates.into_iter().filter(|&t| t > now).min()
+    }
+
+    /// No live replica accepts this arrival: push it to the next instant
+    /// capacity could reappear, spending one retry, or abandon it.
+    fn defer_or_abandon_admission(&mut self, request: Request) {
+        let id = request.id;
+        let now = request.arrival_ps;
+        let (attempt, max_retries) = {
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            let entry = chaos.attempts.entry(id).or_insert(0);
+            *entry += 1;
+            (*entry, chaos.retry.max_retries)
+        };
+        let target = self.defer_target(now);
+        let Some(at) = target.filter(|_| attempt <= max_retries) else {
+            self.abandon_request(id, now, "no replica accepts arrivals");
+            return;
+        };
+        {
+            let original = self.requests.get(&id).map_or(now, |r| r.arrival_ps);
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            chaos.retried += 1;
+            chaos.original_arrival.entry(id).or_insert(original);
+        }
+        self.telemetry.emit(|| SimEvent::RequestRetried {
+            t_ps: now,
+            id,
+            attempt,
+            retry_at_ps: at,
+        });
+        let retry = Request::new(id, request.input_len, request.output_len, at);
+        let pos = self
+            .arrivals
+            .iter()
+            .position(|r| (r.arrival_ps, r.id) > (at, id))
+            .unwrap_or(self.arrivals.len());
+        self.arrivals.insert(pos, retry);
+    }
+
+    /// No live decode replica can take this KV handoff: re-park it at
+    /// the next instant capacity could reappear, spending one retry, or
+    /// abandon it (unwinding the prefill-side bookkeeping for KV that
+    /// will never ship).
+    fn defer_or_abandon_pairing(&mut self, ready_ps: TimePs, id: u64, from: usize) {
+        let (attempt, max_retries) = {
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            let entry = chaos.attempts.entry(id).or_insert(0);
+            *entry += 1;
+            (*entry, chaos.retry.max_retries)
+        };
+        let target = self.defer_target(ready_ps);
+        let Some(at) = target.filter(|_| attempt <= max_retries) else {
+            let removed = self.sims[from].retract_completions(&[id]);
+            self.handoffs_total -= removed;
+            if self.slots[from].role == ReplicaRole::Prefill {
+                self.slots[from].handed_off = self.sims[from].scheduler().completions().len();
+            }
+            let bytes = self.requests[&id].input_len as u64 * self.kv_bytes_per_token;
+            {
+                let chaos = self.chaos.as_mut().expect("chaos armed");
+                chaos.kv_bytes_lost += bytes;
+            }
+            self.abandon_request(
+                id,
+                ready_ps,
+                "no decode replica available for the KV handoff",
+            );
+            return;
+        };
+        {
+            let chaos = self.chaos.as_mut().expect("chaos armed");
+            chaos.retried += 1;
+        }
+        self.telemetry.emit(|| SimEvent::RequestRetried {
+            t_ps: ready_ps,
+            id,
+            attempt,
+            retry_at_ps: at,
+        });
+        self.pending.push(std::cmp::Reverse((at, id, from)));
     }
 
     /// Processes the earliest virtual-time event: fires due control
@@ -707,6 +1197,28 @@ impl FleetEngine {
         if self.tick_ps.is_some() {
             if let Some(horizon) = self.next_ready_ps() {
                 self.fire_due_ticks(horizon);
+            }
+        }
+        // Faults fire before any same-instant arrival, iteration, or
+        // fabric event: a replica that crashes at `t` never serves the
+        // batch formed at `t`. Transfers that became ready strictly
+        // before the fault still commit first (the commit horizon is
+        // capped at `fault - 1`).
+        if let Some(ft) = self.next_fault_ps() {
+            let beats_replica = self.heap.min_live().is_none_or(|(rt, _)| ft <= rt);
+            let beats_arrival = self.arrivals.front().is_none_or(|r| ft <= r.arrival_ps);
+            let beats_fabric = self.fabric.next_event_ps().is_none_or(|t| ft <= t);
+            if beats_replica && beats_arrival && beats_fabric {
+                self.commit_ready_transfers();
+                // A commit can leave earlier fabric deliveries overdue;
+                // they precede the fault (the capped horizon keeps their
+                // start times pre-fault).
+                if self.fabric.next_event_ps().is_some_and(|t| t <= self.fabric.now_ps()) {
+                    self.deliver_fabric_events(self.fabric.now_ps());
+                    return true;
+                }
+                self.apply_due_faults(ft);
+                return true;
             }
         }
         self.commit_ready_transfers();
@@ -751,15 +1263,20 @@ impl FleetEngine {
                         slot.role.accepts_arrivals()
                             && slot.in_service()
                             && slot.active_from_ps <= request.arrival_ps
+                            && self.chaos.as_ref().is_none_or(|c| c.down[i].is_none())
                     })
                     .map(|i| self.snapshot(i))
                     .collect();
-                assert!(
-                    !candidates.is_empty(),
-                    "no replica accepts arrivals for request {} — the control plane \
-                     drained or retired every admission candidate",
-                    request.id
-                );
+                if candidates.is_empty() {
+                    assert!(
+                        self.chaos.is_some(),
+                        "no replica accepts arrivals for request {} — the control plane \
+                         drained or retired every admission candidate",
+                        request.id
+                    );
+                    self.defer_or_abandon_admission(request);
+                    return true;
+                }
                 let chosen = self.control.admit(&request, &candidates);
                 assert!(
                     candidates.iter().any(|s| s.index == chosen),
@@ -836,7 +1353,36 @@ impl FleetEngine {
     /// Dismantles the engine into the raw per-replica reports, transfer
     /// records, and bookkeeping a shape-specific driver needs to build
     /// its own report (`ClusterReport`, `DisaggReport`, ...).
-    pub fn into_parts(self) -> FleetParts {
+    pub fn into_parts(mut self) -> FleetParts {
+        let clock = self.clock_ps();
+        let resilience = self.chaos.take().map(|mut chaos| {
+            // A fault window still open at the end of the run counts as
+            // downtime up to the final clock.
+            for i in 0..chaos.down_since.len() {
+                if let Some(since) = chaos.down_since[i].take() {
+                    chaos.downtime[i] += clock.max(since) - since;
+                    chaos.fault_windows.push((since, clock.max(since)));
+                }
+            }
+            let mut lost_prefills: Vec<(u64, TimePs)> =
+                chaos.lost_prefill.into_iter().collect();
+            lost_prefills.sort_unstable();
+            let mut original_arrivals: Vec<(u64, TimePs)> =
+                chaos.original_arrival.into_iter().collect();
+            original_arrivals.sort_unstable();
+            chaos.fault_windows.sort_unstable();
+            ResilienceStats {
+                faults_injected: chaos.faults_injected,
+                requests_retried: chaos.retried,
+                requests_abandoned: chaos.abandoned.len(),
+                abandoned: chaos.abandoned,
+                kv_bytes_lost: chaos.kv_bytes_lost,
+                lost_prefills,
+                original_arrivals,
+                downtime: chaos.downtime,
+                fault_windows: chaos.fault_windows,
+            }
+        });
         let control = self.control.name();
         let replicas = self
             .sims
@@ -858,6 +1404,7 @@ impl FleetEngine {
             transfers: self.transfers,
             requests: self.requests,
             fabric: self.fabric.stats(),
+            resilience,
         }
     }
 }
@@ -879,6 +1426,9 @@ pub struct FleetParts {
     /// (`None` keeps FIFO-configured reports byte-identical to the
     /// pre-fabric engine).
     pub fabric: Option<FabricStats>,
+    /// Fault-injection outcome, when a chaos schedule was armed (`None`
+    /// keeps chaos-free reports byte-identical to the pre-chaos engine).
+    pub resilience: Option<ResilienceStats>,
 }
 
 impl Simulate for FleetEngine {

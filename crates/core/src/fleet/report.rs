@@ -9,6 +9,7 @@
 
 use llmss_sched::{Completion, TimePs};
 
+use crate::chaos::ResilienceStats;
 use crate::fabric::FabricStats;
 use crate::{percentile, PercentileSummary, ReportOutput, ReuseStats, SimReport, SloSummary};
 
@@ -52,6 +53,10 @@ pub struct FleetReport {
     /// (`None` for the legacy FIFO wire, keeping its reports
     /// byte-identical).
     pub fabric: Option<FabricStats>,
+    /// Fault-injection outcome when the run armed a chaos schedule
+    /// (`None` for chaos-free runs, keeping their reports
+    /// byte-identical).
+    pub resilience: Option<ResilienceStats>,
     makespan_ps: TimePs,
 }
 
@@ -61,18 +66,20 @@ impl FleetReport {
         let makespan_ps =
             parts.replicas.iter().map(|r| r.report.sim_duration_ps).max().unwrap_or(0);
         // End-to-end completions: skip the prefill-side bookkeeping record
-        // of each handoff (same id, `from` replica, finishing exactly at
-        // the KV-ready instant), and restore the original arrival on the
-        // decode-side record (its scheduler-local arrival is the
-        // transfer-done time). A flexed replica can be both sides of one
-        // handoff (`from == to`), so the prefill-side record is keyed by
-        // its finish time, not the replica index alone — the decode side
+        // of each handoff (same id, `from` replica, finishing no later
+        // than the KV-ready instant — exactly at it normally, earlier
+        // when a partition parked the commit and stamped `ready_ps` at
+        // recovery), and restore the original arrival on the decode-side
+        // record (its scheduler-local arrival is the transfer-done
+        // time). A flexed replica can be both sides of one handoff
+        // (`from == to`), so the prefill-side record is keyed by its
+        // finish time, not the replica index alone — the decode side
         // always finishes strictly after the transfer completed.
         let mut completions: Vec<Completion> = Vec::new();
         for (index, replica) in parts.replicas.iter().enumerate() {
             for c in &replica.report.completions {
                 match parts.transfers.get(&c.id) {
-                    Some(t) if t.from == index && c.finish_ps == t.ready_ps => {}
+                    Some(t) if t.from == index && c.finish_ps <= t.ready_ps => {}
                     Some(t) if t.to == index => {
                         let mut joined = *c;
                         joined.arrival_ps = parts.requests[&c.id].arrival_ps;
@@ -90,6 +97,17 @@ impl FleetReport {
                 }
             }
         }
+        // A retried request completed with its *retry* admission as the
+        // scheduler-local arrival; latency must span the whole retry
+        // chain, so restore the first front-end arrival.
+        if let Some(res) = &parts.resilience {
+            for c in &mut completions {
+                if let Ok(i) = res.original_arrivals.binary_search_by_key(&c.id, |&(id, _)| id)
+                {
+                    c.arrival_ps = c.arrival_ps.min(res.original_arrivals[i].1);
+                }
+            }
+        }
         completions.sort_by_key(|c| c.id);
         let mut transfers: Vec<(u64, FleetTransfer)> = parts.transfers.into_iter().collect();
         transfers.sort_by_key(|&(id, _)| id);
@@ -100,6 +118,7 @@ impl FleetReport {
             transfers,
             assignments: parts.assignments,
             fabric: parts.fabric,
+            resilience: parts.resilience,
             makespan_ps,
         }
     }
@@ -152,6 +171,44 @@ impl FleetReport {
         SloSummary::collect(self.completions.iter())
     }
 
+    /// Fleet availability under fault injection: the fraction of
+    /// replica-time outside crash/hang windows, over the whole run.
+    /// `None` for chaos-free runs.
+    pub fn availability(&self) -> Option<f64> {
+        let res = self.resilience.as_ref()?;
+        let replicas = self.replicas.len().max(1) as u128;
+        let total = replicas * self.makespan_ps.max(1) as u128;
+        let down: u128 = res.downtime.iter().map(|&d| d as u128).sum();
+        Some(1.0 - down.min(total) as f64 / total as f64)
+    }
+
+    /// Re-prefill overhead: virtual time from each KV-destroying fault
+    /// to the retried request's first token, summed over lost prefills
+    /// that eventually completed. `None` for chaos-free runs.
+    pub fn re_prefill_overhead_ps(&self) -> Option<TimePs> {
+        let res = self.resilience.as_ref()?;
+        let mut total: TimePs = 0;
+        for &(id, fault_ps) in &res.lost_prefills {
+            if let Ok(i) = self.completions.binary_search_by_key(&id, |c| c.id) {
+                total += self.completions[i].first_token_ps.saturating_sub(fault_ps);
+            }
+        }
+        Some(total)
+    }
+
+    /// SLO percentiles split by fault exposure: completions finishing
+    /// inside any fault window versus in the clear. `None` for
+    /// chaos-free runs.
+    pub fn slo_by_fault_window(&self) -> Option<(SloSummary, SloSummary)> {
+        let res = self.resilience.as_ref()?;
+        let hit = |c: &Completion| {
+            res.fault_windows.iter().any(|&(s, e)| s <= c.finish_ps && c.finish_ps < e)
+        };
+        let inside = SloSummary::collect(self.completions.iter().filter(|c| hit(c)));
+        let clear = SloSummary::collect(self.completions.iter().filter(|c| !hit(c)));
+        Some((inside, clear))
+    }
+
     /// Fleet-wide reuse statistics (all replicas merged).
     pub fn aggregate_reuse(&self) -> ReuseStats {
         let mut total = ReuseStats::default();
@@ -188,6 +245,16 @@ impl FleetReport {
             if let Some((p50, _, p99)) = self.contention() {
                 out.push_str(&format!(" contention[p50={p50:.2}x p99={p99:.2}x]"));
             }
+        }
+        if let Some(res) = &self.resilience {
+            out.push_str(&format!(
+                " chaos faults={} retried={} abandoned={} kv_lost={}B availability={:.2}%",
+                res.faults_injected,
+                res.requests_retried,
+                res.requests_abandoned,
+                res.kv_bytes_lost,
+                self.availability().unwrap_or(1.0) * 100.0,
+            ));
         }
         out
     }
@@ -261,7 +328,7 @@ impl FleetReport {
             }
         };
         let retired = self.replicas.iter().filter(|r| r.retired).count();
-        let v = obj(vec![
+        let mut fields = vec![
             ("shape", Value::Str("fleet".into())),
             ("control", Value::Str(self.control.clone())),
             ("replica_count", Value::Int(self.replicas.len() as i128)),
@@ -276,7 +343,55 @@ impl FleetReport {
             ("reuse", self.aggregate_reuse().json_value()),
             ("replicas", Value::Array(replicas)),
             ("fabric", fabric),
-        ]);
+        ];
+        // The resilience key exists only for chaos runs; chaos-free
+        // summaries stay byte-identical to the pre-chaos engine.
+        if let Some(res) = &self.resilience {
+            let abandoned: Vec<Value> = res
+                .abandoned
+                .iter()
+                .map(|(id, reason)| {
+                    obj(vec![
+                        ("id", Value::Int(*id as i128)),
+                        ("reason", Value::Str(reason.clone())),
+                    ])
+                })
+                .collect();
+            let windows: Vec<Value> = res
+                .fault_windows
+                .iter()
+                .map(|&(s, e)| {
+                    obj(vec![
+                        ("start_ps", Value::Int(s as i128)),
+                        ("end_ps", Value::Int(e as i128)),
+                    ])
+                })
+                .collect();
+            let downtime: Vec<Value> =
+                res.downtime.iter().map(|&d| Value::Float(d as f64 / 1e12)).collect();
+            let (slo_in_fault, slo_clear) =
+                self.slo_by_fault_window().expect("resilience is present");
+            fields.push((
+                "resilience",
+                obj(vec![
+                    ("faults_injected", Value::Int(res.faults_injected as i128)),
+                    ("requests_retried", Value::Int(res.requests_retried as i128)),
+                    ("requests_abandoned", Value::Int(res.requests_abandoned as i128)),
+                    ("abandoned", Value::Array(abandoned)),
+                    ("kv_bytes_lost", Value::Int(res.kv_bytes_lost as i128)),
+                    (
+                        "re_prefill_overhead_s",
+                        Value::Float(self.re_prefill_overhead_ps().unwrap_or(0) as f64 / 1e12),
+                    ),
+                    ("availability", Value::Float(self.availability().unwrap_or(1.0))),
+                    ("downtime_s", Value::Array(downtime)),
+                    ("fault_windows", Value::Array(windows)),
+                    ("slo_in_fault", slo_in_fault.json_value()),
+                    ("slo_clear", slo_clear.json_value()),
+                ]),
+            ));
+        }
+        let v = obj(fields);
         crate::json::pretty(&v) + "\n"
     }
 
@@ -348,6 +463,34 @@ impl FleetReport {
                     out.push_str(&format!("{p50:.3}\t{p95:.3}\t{p99:.3}\n"));
                 }
                 None => out.push_str("-\t-\t-\n"),
+            }
+        }
+        // The resilience section exists only for chaos runs; chaos-free
+        // TSVs stay byte-identical to the pre-chaos engine.
+        if let Some(res) = &self.resilience {
+            out.push_str(&format!(
+                "\nresilience\nfaults\tretried\tabandoned\tkv_bytes_lost\
+                 \tre_prefill_s\tavailability\n{}\t{}\t{}\t{}\t{:.4}\t{:.6}\n",
+                res.faults_injected,
+                res.requests_retried,
+                res.requests_abandoned,
+                res.kv_bytes_lost,
+                self.re_prefill_overhead_ps().unwrap_or(0) as f64 / 1e12,
+                self.availability().unwrap_or(1.0),
+            ));
+            out.push_str("replica\tdowntime_s\n");
+            for (i, &d) in res.downtime.iter().enumerate() {
+                out.push_str(&format!("{i}\t{:.4}\n", d as f64 / 1e12));
+            }
+            if let Some((slo_in, slo_clear)) = self.slo_by_fault_window() {
+                out.push_str(
+                    "window\tttft_p50\tttft_p95\tttft_p99\tlat_p50\tlat_p95\tlat_p99\n",
+                );
+                for (label, slo) in [("in_fault", slo_in), ("clear", slo_clear)] {
+                    let ttft = PercentileSummary::tsv_fields_or_dashes(slo.ttft);
+                    let lat = PercentileSummary::tsv_fields_or_dashes(slo.latency);
+                    out.push_str(&format!("{label}\t{ttft}\t{lat}\n"));
+                }
             }
         }
         out

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 mod config;
 mod convert;
 mod engine;
@@ -50,6 +51,10 @@ mod simulate;
 mod stack;
 pub mod telemetry;
 
+pub use chaos::{
+    ChaosSchedule, FaultEvent, LinkFault, ReplicaFault, ReplicaFaultKind, ResilienceStats,
+    RetryPolicy,
+};
 pub use config::{
     ConfigError, KvBucket, KvManage, ParallelismKind, ParallelismSpec, SimConfig,
 };

@@ -382,6 +382,41 @@ impl ServingSimulator {
         &self.scheduler
     }
 
+    /// Crash semantics for fault injection: drops every request the
+    /// replica holds (releasing their KV) and returns them so a fleet
+    /// driver can retry them elsewhere. Request-lifecycle trace state is
+    /// forgotten too — a retried request re-emits its prefill/decode
+    /// markers wherever it lands next.
+    pub fn crash_drain(&mut self) -> Vec<llmss_sched::LostWork> {
+        let lost = self.scheduler.crash_drain();
+        for work in &lost {
+            self.traced_prefill.remove(&work.request.id);
+            self.traced_decode.remove(&work.request.id);
+        }
+        lost
+    }
+
+    /// Retracts completions by id (finished-but-unshipped prefill KV
+    /// that died with a crash). The completion-event cursor clamps so
+    /// later completions still emit exactly once.
+    pub fn retract_completions(&mut self, ids: &[u64]) -> usize {
+        let removed = self.scheduler.retract_completions(ids);
+        self.completions_emitted =
+            self.completions_emitted.min(self.scheduler.completions().len());
+        for id in ids {
+            self.traced_prefill.remove(id);
+            self.traced_decode.remove(id);
+        }
+        removed
+    }
+
+    /// Jumps the replica clock to `t` (no-op if already past it) — the
+    /// fault-recovery path: a replica back from an outage must not run
+    /// iterations in its past.
+    pub fn advance_clock_to(&mut self, t: TimePs) {
+        self.scheduler.advance_clock_to(t);
+    }
+
     /// The engine stack (for reuse statistics between steps).
     pub fn stack(&self) -> &EngineStack {
         &self.stack

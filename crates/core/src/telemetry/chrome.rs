@@ -233,6 +233,32 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
                 let pid = replica + 1;
                 processes.entry(pid as i128).or_insert_with(|| format!("replica {replica}"));
             }
+            SimEvent::ReplicaFault { t_ps, replica, kind } => {
+                let pid = replica + 1;
+                processes.entry(pid as i128).or_insert_with(|| format!("replica {replica}"));
+                entries.push(instant(*t_ps, pid as i128, 0, format!("fault={kind}")));
+            }
+            SimEvent::ReplicaRecovered { t_ps, replica } => {
+                let pid = replica + 1;
+                processes.entry(pid as i128).or_insert_with(|| format!("replica {replica}"));
+                entries.push(instant(*t_ps, pid as i128, 0, "recovered".into()));
+            }
+            SimEvent::LinkFault { t_ps, link, bw_gbps } => {
+                processes.entry(0).or_insert_with(|| "fabric".into());
+                entries.push(instant(*t_ps, 0, 0, format!("link{link} fault bw={bw_gbps}")));
+            }
+            SimEvent::LinkRecovered { t_ps, link } => {
+                processes.entry(0).or_insert_with(|| "fabric".into());
+                entries.push(instant(*t_ps, 0, 0, format!("link{link} recovered")));
+            }
+            SimEvent::RequestRetried { t_ps, id, attempt, .. } => {
+                entries.push(instant(*t_ps, 0, 0, format!("retry req {id} #{attempt}")));
+                processes.entry(0).or_insert_with(|| "fabric".into());
+            }
+            SimEvent::RequestAbandoned { t_ps, id, reason } => {
+                entries.push(instant(*t_ps, 0, 0, format!("abandon req {id}: {reason}")));
+                processes.entry(0).or_insert_with(|| "fabric".into());
+            }
             SimEvent::Tick { .. } => {}
         }
     }

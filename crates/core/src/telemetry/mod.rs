@@ -229,6 +229,60 @@ pub enum SimEvent {
         /// When it starts admitting work (after warmup).
         admit_from_ps: TimePs,
     },
+    /// A chaos fault struck a replica.
+    ReplicaFault {
+        /// When the fault struck.
+        t_ps: TimePs,
+        /// The replica it hit.
+        replica: usize,
+        /// The fault kind (`crash`, `hang`, `drain`), rendered.
+        kind: String,
+    },
+    /// A faulted replica recovered.
+    ReplicaRecovered {
+        /// The recovery time.
+        t_ps: TimePs,
+        /// The replica that came back.
+        replica: usize,
+    },
+    /// A chaos fault degraded (or partitioned) a fabric link.
+    LinkFault {
+        /// When the degradation started.
+        t_ps: TimePs,
+        /// The fabric link index.
+        link: usize,
+        /// The degraded bandwidth in GB/s (zero = partition).
+        bw_gbps: f64,
+    },
+    /// A degraded fabric link returned to its original bandwidth.
+    LinkRecovered {
+        /// The restoration time.
+        t_ps: TimePs,
+        /// The fabric link index.
+        link: usize,
+    },
+    /// A fault knocked a request out of the fleet; it re-enters
+    /// admission after a deterministic virtual-time backoff.
+    RequestRetried {
+        /// When the request was knocked out.
+        t_ps: TimePs,
+        /// Request id.
+        id: u64,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// When the retry re-enters admission.
+        retry_at_ps: TimePs,
+    },
+    /// A request exhausted its retries (or had nowhere left to go) and
+    /// was abandoned.
+    RequestAbandoned {
+        /// The abandonment time.
+        t_ps: TimePs,
+        /// Request id.
+        id: u64,
+        /// Why it was abandoned.
+        reason: String,
+    },
     /// A control-plane tick fired (drain-window boundary).
     Tick {
         /// The tick time.
@@ -261,6 +315,12 @@ impl SimEvent {
             | SimEvent::RoleApplied { t_ps, .. }
             | SimEvent::ReplicaRetired { t_ps, .. }
             | SimEvent::ReplicaActivated { t_ps, .. }
+            | SimEvent::ReplicaFault { t_ps, .. }
+            | SimEvent::ReplicaRecovered { t_ps, .. }
+            | SimEvent::LinkFault { t_ps, .. }
+            | SimEvent::LinkRecovered { t_ps, .. }
+            | SimEvent::RequestRetried { t_ps, .. }
+            | SimEvent::RequestAbandoned { t_ps, .. }
             | SimEvent::Tick { t_ps, .. } => t_ps,
             SimEvent::Iteration { start_ps, .. } => start_ps,
             SimEvent::LinkShare { from_ps, .. } => from_ps,
@@ -280,7 +340,9 @@ impl SimEvent {
             | SimEvent::TransferStart { id, .. }
             | SimEvent::TransferEnd { id, .. }
             | SimEvent::FlowStart { id, .. }
-            | SimEvent::FlowEnd { id, .. } => Some(id),
+            | SimEvent::FlowEnd { id, .. }
+            | SimEvent::RequestRetried { id, .. }
+            | SimEvent::RequestAbandoned { id, .. } => Some(id),
             _ => None,
         }
     }
@@ -296,7 +358,9 @@ impl SimEvent {
             | SimEvent::Completed { replica, .. }
             | SimEvent::RoleApplied { replica, .. }
             | SimEvent::ReplicaRetired { replica, .. }
-            | SimEvent::ReplicaActivated { replica, .. } => Some(replica),
+            | SimEvent::ReplicaActivated { replica, .. }
+            | SimEvent::ReplicaFault { replica, .. }
+            | SimEvent::ReplicaRecovered { replica, .. } => Some(replica),
             SimEvent::TransferQueued { from, .. } => Some(from),
             _ => None,
         }

@@ -1,0 +1,657 @@
+//! The `[chaos]` scenario table: deterministic fault injection as
+//! declarative values.
+//!
+//! A scenario with a `[chaos]` table arms the fleet engine's chaos
+//! subsystem: explicit replica/link fault windows, seeded rate-based
+//! crash injection, and the retry policy for requests a fault knocks
+//! out:
+//!
+//! ```toml
+//! [chaos]
+//! seed = 7                  # stream for rate-based injection
+//! crash_rate_per_s = 0.0    # Poisson crashes per replica per virtual second
+//! mttr_ms = 10.0            # recovery time for rate-injected crashes
+//! horizon_ms = 100.0        # injection horizon for rate-based crashes
+//! max_retries = 3           # retry budget per knocked-out request
+//! retry_backoff_ms = 1.0    # first retry backoff (virtual time)
+//! retry_backoff_mult = 2.0  # geometric backoff growth
+//!
+//! [[chaos.replica_fault]]   # explicit fault windows
+//! replica = 1
+//! kind = "crash"            # crash | hang | drain
+//! at_ms = 20.0
+//! recover_ms = 60.0         # omit to stay down for the rest of the run
+//!
+//! [[chaos.link_fault]]
+//! link = 0
+//! at_ms = 10.0
+//! recover_ms = 30.0
+//! degrade_to_gbps = 8.0     # 0.0 = full partition (requires recover_ms)
+//! ```
+//!
+//! Every scalar is reachable as a `chaos.*` key through
+//! [`Scenario::set`](crate::Scenario::set), so fault intensity is a sweep
+//! axis like any other knob. An absent table (or one that injects
+//! nothing) leaves every report and trace byte-identical to a chaos-free
+//! run; with faults, the same seed and table reproduce the same run
+//! byte-for-byte.
+
+use llmss_core::{ChaosSchedule, LinkFault, ReplicaFault, ReplicaFaultKind, RetryPolicy};
+use llmss_sched::TimePs;
+use serde::Value;
+
+use crate::ScenarioError;
+
+/// One `[[chaos.replica_fault]]` entry: an explicit replica fault
+/// window in scenario (millisecond) units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaFaultSpec {
+    /// The replica the fault hits.
+    pub replica: usize,
+    /// What the fault does while the replica is down.
+    pub kind: ReplicaFaultKind,
+    /// When the fault strikes, in virtual milliseconds.
+    pub at_ms: f64,
+    /// When the replica recovers; `None` leaves it down for the rest of
+    /// the run (invalid for a hang).
+    pub recover_ms: Option<f64>,
+}
+
+impl Default for ReplicaFaultSpec {
+    fn default() -> Self {
+        Self { replica: 0, kind: ReplicaFaultKind::Crash, at_ms: 0.0, recover_ms: None }
+    }
+}
+
+impl ReplicaFaultSpec {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("replica".into(), Value::Int(self.replica as i128)),
+            ("kind".into(), Value::Str(self.kind.to_string())),
+            ("at_ms".into(), Value::Float(self.at_ms)),
+            ("recover_ms".into(), opt_float(self.recover_ms)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ScenarioError> {
+        let Value::Object(fields) = v else {
+            return Err(ScenarioError::Parse {
+                message: format!("chaos.replica_fault: expected a table, got {v:?}"),
+            });
+        };
+        let bad = |field: &str, v: &Value, expected: &str| ScenarioError::UnknownValue {
+            field: format!("chaos.replica_fault.{field}"),
+            value: format!("{v:?}"),
+            expected: expected.into(),
+        };
+        let mut fault = ReplicaFaultSpec::default();
+        for (key, v) in fields {
+            match key.as_str() {
+                "replica" => {
+                    fault.replica =
+                        index_of(v).ok_or_else(|| bad("replica", v, "a replica index"))?;
+                }
+                "kind" => {
+                    let Value::Str(s) = v else {
+                        return Err(bad("kind", v, "crash | hang | drain"));
+                    };
+                    fault.kind =
+                        s.parse().map_err(|e: String| ScenarioError::UnknownValue {
+                            field: "chaos.replica_fault.kind".into(),
+                            value: s.clone(),
+                            expected: e,
+                        })?;
+                }
+                "at_ms" => {
+                    fault.at_ms = f64_of(v).ok_or_else(|| bad("at_ms", v, "milliseconds"))?;
+                }
+                "recover_ms" => {
+                    fault.recover_ms =
+                        opt_f64(v).ok_or_else(|| bad("recover_ms", v, "milliseconds"))?;
+                }
+                other => {
+                    return Err(ScenarioError::UnknownKey {
+                        key: format!("chaos.replica_fault.{other}"),
+                    })
+                }
+            }
+        }
+        Ok(fault)
+    }
+}
+
+/// One `[[chaos.link_fault]]` entry: an explicit fabric-link
+/// degradation window in scenario (millisecond) units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultSpec {
+    /// The fabric link index the fault hits.
+    pub link: usize,
+    /// When the degradation starts, in virtual milliseconds.
+    pub at_ms: f64,
+    /// When the link's original bandwidth is restored; `None` leaves it
+    /// degraded for the rest of the run (invalid for a full partition).
+    pub recover_ms: Option<f64>,
+    /// Bandwidth while degraded, in GB/s. Zero partitions the link
+    /// outright, which requires `recover_ms`.
+    pub degrade_to_gbps: f64,
+}
+
+impl Default for LinkFaultSpec {
+    fn default() -> Self {
+        Self { link: 0, at_ms: 0.0, recover_ms: None, degrade_to_gbps: 0.0 }
+    }
+}
+
+impl LinkFaultSpec {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("link".into(), Value::Int(self.link as i128)),
+            ("at_ms".into(), Value::Float(self.at_ms)),
+            ("recover_ms".into(), opt_float(self.recover_ms)),
+            ("degrade_to_gbps".into(), Value::Float(self.degrade_to_gbps)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ScenarioError> {
+        let Value::Object(fields) = v else {
+            return Err(ScenarioError::Parse {
+                message: format!("chaos.link_fault: expected a table, got {v:?}"),
+            });
+        };
+        let bad = |field: &str, v: &Value, expected: &str| ScenarioError::UnknownValue {
+            field: format!("chaos.link_fault.{field}"),
+            value: format!("{v:?}"),
+            expected: expected.into(),
+        };
+        let mut fault = LinkFaultSpec::default();
+        for (key, v) in fields {
+            match key.as_str() {
+                "link" => {
+                    fault.link = index_of(v).ok_or_else(|| bad("link", v, "a link index"))?;
+                }
+                "at_ms" => {
+                    fault.at_ms = f64_of(v).ok_or_else(|| bad("at_ms", v, "milliseconds"))?;
+                }
+                "recover_ms" => {
+                    fault.recover_ms =
+                        opt_f64(v).ok_or_else(|| bad("recover_ms", v, "milliseconds"))?;
+                }
+                "degrade_to_gbps" => {
+                    fault.degrade_to_gbps =
+                        f64_of(v).ok_or_else(|| bad("degrade_to_gbps", v, "GB/s"))?;
+                }
+                other => {
+                    return Err(ScenarioError::UnknownKey {
+                        key: format!("chaos.link_fault.{other}"),
+                    })
+                }
+            }
+        }
+        Ok(fault)
+    }
+}
+
+fn opt_float(v: Option<f64>) -> Value {
+    match v {
+        Some(f) => Value::Float(f),
+        None => Value::Null,
+    }
+}
+
+fn index_of(v: &Value) -> Option<usize> {
+    match v {
+        Value::Int(i) => usize::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn f64_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn opt_f64(v: &Value) -> Option<Option<f64>> {
+    match v {
+        Value::Null => Some(None),
+        _ => f64_of(v).map(Some),
+    }
+}
+
+/// The `[chaos]` table: explicit fault windows, seeded rate-based crash
+/// injection, and the retry policy for knocked-out requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Stream seed for rate-based injection (same seed, same faults).
+    pub seed: u64,
+    /// Poisson crash rate per replica, in faults per virtual second.
+    /// Zero disables rate-based injection.
+    pub crash_rate_per_s: f64,
+    /// Mean time to recovery for rate-injected crashes, in milliseconds.
+    pub mttr_ms: f64,
+    /// Injection horizon for rate-based crashes, in milliseconds.
+    pub horizon_ms: f64,
+    /// Retry budget per knocked-out request before it is abandoned.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub retry_backoff_ms: f64,
+    /// Multiplier applied to the backoff on each further retry.
+    pub retry_backoff_mult: f64,
+    /// Explicit replica fault windows (`[[chaos.replica_fault]]`).
+    pub replica_faults: Vec<ReplicaFaultSpec>,
+    /// Explicit link fault windows (`[[chaos.link_fault]]`).
+    pub link_faults: Vec<LinkFaultSpec>,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        let retry = RetryPolicy::default();
+        Self {
+            seed: 0,
+            crash_rate_per_s: 0.0,
+            mttr_ms: 10.0,
+            horizon_ms: 100.0,
+            max_retries: retry.max_retries,
+            retry_backoff_ms: retry.backoff_ps as f64 / 1e9,
+            retry_backoff_mult: retry.backoff_multiplier,
+            replica_faults: Vec::new(),
+            link_faults: Vec::new(),
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// Whether the table injects anything at all. A `[chaos]` table that
+    /// injects nothing leaves the run byte-identical to a chaos-free
+    /// one, so the engine is only armed when this is true.
+    pub fn enabled(&self) -> bool {
+        !self.replica_faults.is_empty()
+            || !self.link_faults.is_empty()
+            || self.crash_rate_per_s > 0.0
+    }
+
+    /// Checks the table's own constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a typed
+    /// [`ScenarioError`].
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let invalid = |field: String, message: String| {
+            Err(ScenarioError::InvalidValue { field, message })
+        };
+        if !self.crash_rate_per_s.is_finite() || self.crash_rate_per_s < 0.0 {
+            return invalid(
+                "chaos.crash_rate_per_s".into(),
+                format!("the crash rate must be non-negative, got {}", self.crash_rate_per_s),
+            );
+        }
+        for (field, value) in [
+            ("chaos.mttr_ms", self.mttr_ms),
+            ("chaos.horizon_ms", self.horizon_ms),
+            ("chaos.retry_backoff_ms", self.retry_backoff_ms),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return invalid(field.into(), format!("must be positive, got {value}"));
+            }
+        }
+        if !self.retry_backoff_mult.is_finite() || self.retry_backoff_mult < 1.0 {
+            return invalid(
+                "chaos.retry_backoff_mult".into(),
+                format!(
+                    "the backoff multiplier must be at least 1, got {}",
+                    self.retry_backoff_mult
+                ),
+            );
+        }
+        for (i, fault) in self.replica_faults.iter().enumerate() {
+            let field = |name: &str| format!("chaos.replica_fault[{i}].{name}");
+            if !fault.at_ms.is_finite() || fault.at_ms < 0.0 {
+                return invalid(
+                    field("at_ms"),
+                    format!("a fault time must be non-negative, got {}", fault.at_ms),
+                );
+            }
+            match fault.recover_ms {
+                Some(recover)
+                    if !recover.is_finite() || ms_to_ps(recover) <= ms_to_ps(fault.at_ms) =>
+                {
+                    return invalid(
+                        field("recover_ms"),
+                        format!(
+                            "recovery at {recover} ms must land after the fault at {} ms",
+                            fault.at_ms
+                        ),
+                    );
+                }
+                None if fault.kind == ReplicaFaultKind::Hang => {
+                    return invalid(
+                        field("recover_ms"),
+                        "a hang without a recovery time stalls forever".into(),
+                    );
+                }
+                _ => {}
+            }
+        }
+        for (i, fault) in self.link_faults.iter().enumerate() {
+            let field = |name: &str| format!("chaos.link_fault[{i}].{name}");
+            if !fault.at_ms.is_finite() || fault.at_ms < 0.0 {
+                return invalid(
+                    field("at_ms"),
+                    format!("a fault time must be non-negative, got {}", fault.at_ms),
+                );
+            }
+            if !fault.degrade_to_gbps.is_finite() || fault.degrade_to_gbps < 0.0 {
+                return invalid(
+                    field("degrade_to_gbps"),
+                    format!(
+                        "degraded bandwidth must be non-negative, got {}",
+                        fault.degrade_to_gbps
+                    ),
+                );
+            }
+            match fault.recover_ms {
+                Some(recover)
+                    if !recover.is_finite() || ms_to_ps(recover) <= ms_to_ps(fault.at_ms) =>
+                {
+                    return invalid(
+                        field("recover_ms"),
+                        format!(
+                            "recovery at {recover} ms must land after the fault at {} ms",
+                            fault.at_ms
+                        ),
+                    );
+                }
+                None if fault.degrade_to_gbps == 0.0 => {
+                    return invalid(
+                        field("recover_ms"),
+                        "a full partition without a recovery time stalls forever".into(),
+                    );
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the table into the engine's [`ChaosSchedule`]: seeded
+    /// rate-based crashes over `replicas`, then the explicit fault
+    /// windows, all converted to picoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidValue`] for an explicit fault
+    /// that targets a replica or link the deployment does not have.
+    pub fn build(&self, replicas: usize, links: usize) -> Result<ChaosSchedule, ScenarioError> {
+        let mut schedule = if self.crash_rate_per_s > 0.0 {
+            ChaosSchedule::seeded(
+                self.seed,
+                self.crash_rate_per_s,
+                ms_to_ps(self.mttr_ms),
+                ms_to_ps(self.horizon_ms),
+                replicas,
+            )
+        } else {
+            ChaosSchedule::new()
+        };
+        for (i, fault) in self.replica_faults.iter().enumerate() {
+            if fault.replica >= replicas {
+                return Err(ScenarioError::InvalidValue {
+                    field: format!("chaos.replica_fault[{i}].replica"),
+                    message: format!(
+                        "replica {} is out of range for a fleet that can reach {replicas} replicas",
+                        fault.replica
+                    ),
+                });
+            }
+            schedule = schedule.replica_fault(ReplicaFault {
+                replica: fault.replica,
+                kind: fault.kind,
+                at_ps: ms_to_ps(fault.at_ms),
+                recover_ps: fault.recover_ms.map(ms_to_ps),
+            });
+        }
+        for (i, fault) in self.link_faults.iter().enumerate() {
+            if fault.link >= links {
+                return Err(ScenarioError::InvalidValue {
+                    field: format!("chaos.link_fault[{i}].link"),
+                    message: format!(
+                        "link {} is out of range for a fabric with {links} link(s)",
+                        fault.link
+                    ),
+                });
+            }
+            schedule = schedule.link_fault(LinkFault {
+                link: fault.link,
+                at_ps: ms_to_ps(fault.at_ms),
+                recover_ps: fault.recover_ms.map(ms_to_ps),
+                degrade_to_gbps: fault.degrade_to_gbps,
+            });
+        }
+        Ok(schedule.retry(RetryPolicy {
+            max_retries: self.max_retries,
+            backoff_ps: ms_to_ps(self.retry_backoff_ms),
+            backoff_multiplier: self.retry_backoff_mult,
+        }))
+    }
+
+    /// Sets one knob by its serialized sub-key (the `chaos.*` surface of
+    /// [`Scenario::set`](crate::Scenario::set) — sweep axes and `--set`).
+    /// The fault lists are not string-addressable.
+    pub(crate) fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
+        fn parse<T: std::str::FromStr>(field: &str, value: &str) -> Result<T, ScenarioError>
+        where
+            T::Err: std::fmt::Display,
+        {
+            value.parse().map_err(|e| ScenarioError::UnknownValue {
+                field: format!("chaos.{field}"),
+                value: value.into(),
+                expected: format!("{e}"),
+            })
+        }
+        match key {
+            "seed" => self.seed = parse(key, value)?,
+            "crash_rate_per_s" => self.crash_rate_per_s = parse(key, value)?,
+            "mttr_ms" => self.mttr_ms = parse(key, value)?,
+            "horizon_ms" => self.horizon_ms = parse(key, value)?,
+            "max_retries" => self.max_retries = parse(key, value)?,
+            "retry_backoff_ms" => self.retry_backoff_ms = parse(key, value)?,
+            "retry_backoff_mult" => self.retry_backoff_mult = parse(key, value)?,
+            other => return Err(ScenarioError::UnknownKey { key: format!("chaos.{other}") }),
+        }
+        Ok(())
+    }
+
+    /// Renders the table as a value tree in canonical key order.
+    pub(crate) fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("seed".into(), Value::Int(i128::from(self.seed))),
+            ("crash_rate_per_s".into(), Value::Float(self.crash_rate_per_s)),
+            ("mttr_ms".into(), Value::Float(self.mttr_ms)),
+            ("horizon_ms".into(), Value::Float(self.horizon_ms)),
+            ("max_retries".into(), Value::Int(i128::from(self.max_retries))),
+            ("retry_backoff_ms".into(), Value::Float(self.retry_backoff_ms)),
+            ("retry_backoff_mult".into(), Value::Float(self.retry_backoff_mult)),
+            (
+                "replica_fault".into(),
+                Value::Array(self.replica_faults.iter().map(|f| f.to_value()).collect()),
+            ),
+            (
+                "link_fault".into(),
+                Value::Array(self.link_faults.iter().map(|f| f.to_value()).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds the table from a value tree with typed errors.
+    pub(crate) fn from_value(v: &Value) -> Result<Self, ScenarioError> {
+        let Value::Object(fields) = v else {
+            return Err(ScenarioError::Parse {
+                message: format!("chaos: expected a table, got {v:?}"),
+            });
+        };
+        let mut spec = ChaosSpec::default();
+        for (key, value) in fields {
+            if key == "replica_fault" || key == "link_fault" {
+                let Value::Array(items) = value else {
+                    return Err(ScenarioError::Parse {
+                        message: format!("chaos.{key}: expected an array, got {value:?}"),
+                    });
+                };
+                if key == "replica_fault" {
+                    spec.replica_faults = items
+                        .iter()
+                        .map(ReplicaFaultSpec::from_value)
+                        .collect::<Result<_, _>>()?;
+                } else {
+                    spec.link_faults = items
+                        .iter()
+                        .map(LinkFaultSpec::from_value)
+                        .collect::<Result<_, _>>()?;
+                }
+                continue;
+            }
+            let text = match value {
+                Value::Null => "none".to_owned(),
+                Value::Str(s) => s.clone(),
+                Value::Int(i) => i.to_string(),
+                Value::Float(f) => format!("{f:?}"),
+                Value::Bool(b) => b.to_string(),
+                other => {
+                    return Err(ScenarioError::UnknownValue {
+                        field: format!("chaos.{key}"),
+                        value: format!("{other:?}"),
+                        expected: "a scalar".into(),
+                    })
+                }
+            };
+            spec.set(key, &text)?;
+        }
+        Ok(spec)
+    }
+}
+
+/// Scenario milliseconds to engine picoseconds (the repo-wide idiom).
+fn ms_to_ps(ms: f64) -> TimePs {
+    (ms * 1e9).round() as TimePs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(replica: usize, at_ms: f64, recover_ms: Option<f64>) -> ReplicaFaultSpec {
+        ReplicaFaultSpec { replica, kind: ReplicaFaultKind::Crash, at_ms, recover_ms }
+    }
+
+    #[test]
+    fn value_round_trip_is_lossless() {
+        let spec = ChaosSpec {
+            seed: 42,
+            crash_rate_per_s: 1.5,
+            mttr_ms: 8.0,
+            horizon_ms: 60.0,
+            max_retries: 5,
+            retry_backoff_ms: 0.5,
+            retry_backoff_mult: 1.5,
+            replica_faults: vec![
+                crash(1, 20.0, Some(60.0)),
+                ReplicaFaultSpec {
+                    replica: 0,
+                    kind: ReplicaFaultKind::Hang,
+                    at_ms: 5.0,
+                    recover_ms: Some(9.0),
+                },
+            ],
+            link_faults: vec![LinkFaultSpec {
+                link: 0,
+                at_ms: 10.0,
+                recover_ms: Some(30.0),
+                degrade_to_gbps: 8.0,
+            }],
+        };
+        let back = ChaosSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+        let off = ChaosSpec::default();
+        assert_eq!(ChaosSpec::from_value(&off.to_value()).unwrap(), off);
+        assert!(!off.enabled());
+        assert!(spec.enabled());
+    }
+
+    #[test]
+    fn scalars_route_through_set() {
+        let mut spec = ChaosSpec::default();
+        spec.set("crash_rate_per_s", "2.0").unwrap();
+        spec.set("seed", "9").unwrap();
+        assert_eq!(spec.crash_rate_per_s, 2.0);
+        assert_eq!(spec.seed, 9);
+        assert!(spec.enabled(), "a positive crash rate arms injection");
+        assert!(matches!(spec.set("crash_rate", "1"), Err(ScenarioError::UnknownKey { .. })));
+        assert!(spec.set("seed", "banana").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_windows() {
+        let ok = ChaosSpec {
+            replica_faults: vec![crash(0, 10.0, Some(20.0))],
+            ..ChaosSpec::default()
+        };
+        assert!(ok.validate().is_ok());
+
+        let backwards = ChaosSpec {
+            replica_faults: vec![crash(0, 10.0, Some(10.0))],
+            ..ChaosSpec::default()
+        };
+        assert!(backwards.validate().is_err(), "recovery must land after the fault");
+
+        let eternal_hang = ChaosSpec {
+            replica_faults: vec![ReplicaFaultSpec {
+                kind: ReplicaFaultKind::Hang,
+                at_ms: 1.0,
+                ..ReplicaFaultSpec::default()
+            }],
+            ..ChaosSpec::default()
+        };
+        assert!(eternal_hang.validate().is_err(), "a hang needs a recovery time");
+
+        let eternal_partition = ChaosSpec {
+            link_faults: vec![LinkFaultSpec { at_ms: 1.0, ..LinkFaultSpec::default() }],
+            ..ChaosSpec::default()
+        };
+        assert!(eternal_partition.validate().is_err(), "a partition needs a recovery time");
+
+        let negative_rate = ChaosSpec { crash_rate_per_s: -1.0, ..ChaosSpec::default() };
+        assert!(negative_rate.validate().is_err());
+    }
+
+    #[test]
+    fn build_bounds_checks_targets_and_composes_injection() {
+        let spec = ChaosSpec {
+            crash_rate_per_s: 5.0,
+            horizon_ms: 1000.0,
+            replica_faults: vec![crash(1, 20.0, Some(60.0))],
+            ..ChaosSpec::default()
+        };
+        let schedule = spec.build(2, 0).unwrap();
+        assert!(
+            schedule.replica_faults.len() > 1,
+            "seeded crashes and the explicit window should both land"
+        );
+        assert_eq!(schedule.retry, RetryPolicy::default());
+        assert!(spec.build(1, 0).is_err(), "replica 1 does not exist in a 1-replica fleet");
+
+        let link = ChaosSpec {
+            link_faults: vec![LinkFaultSpec {
+                link: 2,
+                at_ms: 1.0,
+                recover_ms: Some(2.0),
+                degrade_to_gbps: 1.0,
+            }],
+            ..ChaosSpec::default()
+        };
+        assert!(link.build(4, 1).is_err(), "link 2 does not exist in a 1-link fabric");
+        assert!(link.build(4, 3).is_ok());
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 mod any;
+mod chaos;
 mod error;
 mod fabric;
 mod fleet;
@@ -55,6 +56,7 @@ mod telemetry;
 pub mod toml;
 
 pub use any::{AnyReport, AnySimulator};
+pub use chaos::{ChaosSpec, LinkFaultSpec, ReplicaFaultSpec};
 pub use error::ScenarioError;
 pub use fabric::{FabricLink, FabricRoute, FabricSharing, FabricSpec};
 pub use fleet::{FleetControlKind, FleetSpec, ReplicaOverride};

@@ -14,8 +14,8 @@ use llmss_sched::{Request, SchedulingPolicy, TimePs, Workload, WorkloadSpec};
 use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::{
-    toml, AnyReport, AnySimulator, FabricSpec, FleetControlKind, FleetSpec, ScenarioError,
-    TelemetrySpec,
+    toml, AnyReport, AnySimulator, ChaosSpec, FabricSpec, FleetControlKind, FleetSpec,
+    ScenarioError, TelemetrySpec,
 };
 
 /// The serving shape a scenario describes, derived from its
@@ -148,6 +148,10 @@ pub struct Scenario {
     /// The `[telemetry]` table: lifecycle tracing and windowed metrics;
     /// `None` records nothing (the zero-cost default path).
     pub telemetry: Option<TelemetrySpec>,
+    /// The `[chaos]` table: deterministic fault injection (fleet shape
+    /// only); `None` — or a table that injects nothing — keeps the run
+    /// byte-identical to a chaos-free one.
+    pub chaos: Option<ChaosSpec>,
     /// The traffic source.
     pub workload: WorkloadSpec,
 }
@@ -183,6 +187,7 @@ impl Default for Scenario {
             fleet: None,
             fabric: None,
             telemetry: None,
+            chaos: None,
             workload: WorkloadSpec::default(),
         }
     }
@@ -192,7 +197,7 @@ impl Scenario {
     /// Every top-level scenario key, in canonical file order. `set`,
     /// the file codecs, and sweep axes all speak exactly this schema
     /// (plus `workload.*` sub-keys).
-    pub const KEYS: [&'static str; 27] = [
+    pub const KEYS: [&'static str; 28] = [
         "model",
         "npus",
         "max_batch",
@@ -219,6 +224,7 @@ impl Scenario {
         "fleet",
         "fabric",
         "telemetry",
+        "chaos",
         "workload",
     ];
 
@@ -391,6 +397,13 @@ impl Scenario {
         self
     }
 
+    /// Injects faults during the run per the `[chaos]` table (fleet
+    /// shape only).
+    pub fn chaos(mut self, spec: ChaosSpec) -> Self {
+        self.chaos = Some(spec);
+        self
+    }
+
     /// Sets the traffic source.
     pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
         self.workload = workload.into();
@@ -475,6 +488,16 @@ impl Scenario {
         }
         if let Some(telemetry) = &self.telemetry {
             telemetry.validate()?;
+        }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
+            if chaos.enabled() && self.fleet.is_none() {
+                return Err(ScenarioError::Conflict {
+                    message: "[chaos] injects faults through the fleet engine, which \
+                              requires a [fleet] table"
+                        .into(),
+                });
+            }
         }
         self.kv_bucket.validate()?;
         if matches!(self.kv_bucket, KvBucket::Adaptive { .. })
@@ -797,6 +820,9 @@ impl Scenario {
         for i in 0..replicas {
             let mut per_replica = self.clone();
             per_replica.fleet = None;
+            // Chaos is fleet-level, not per-replica: the clone only
+            // exists to validate one slot's serving config.
+            per_replica.chaos = None;
             if let Some(over) = fleet.replicas.get(i) {
                 if let Some(npus) = over.npus {
                     per_replica.npus = npus;
@@ -854,10 +880,27 @@ impl Scenario {
                 },
             )),
         };
-        Ok(match fabric {
+        let link_count = match &fabric {
+            Some(fabric) => fabric.link_count(),
+            None => links.len(),
+        };
+        let mut engine = match fabric {
             Some(fabric) => FleetEngine::with_fabric(configs, fabric, control, trace)?,
             None => FleetEngine::new(configs, links, control, trace)?,
-        })
+        };
+        if let Some(chaos) = self.chaos.as_ref().filter(|c| c.enabled()) {
+            // Bounds-check fault targets against the largest fleet this
+            // deployment can reach, not just its starting size: an
+            // autoscale scenario may legitimately fault a replica that
+            // only exists after a scale-up.
+            let ceiling = if matches!(fleet.control, FleetControlKind::Autoscale) {
+                replicas.max(fleet.max_replicas)
+            } else {
+                replicas
+            };
+            engine.set_chaos(chaos.build(ceiling, link_count)?);
+        }
+        Ok(engine)
     }
 
     /// Builds and runs to completion (the one-shot convenience).
@@ -912,6 +955,9 @@ impl Scenario {
                 .telemetry
                 .get_or_insert_with(TelemetrySpec::default)
                 .set(subkey, value);
+        }
+        if let Some(subkey) = key.strip_prefix("chaos.") {
+            return self.chaos.get_or_insert_with(ChaosSpec::default).set(subkey, value);
         }
         if let Some(subkey) = key.strip_prefix("workload.") {
             return self.workload.set(subkey, value).map_err(|message| {
@@ -1067,6 +1113,20 @@ impl Scenario {
                     }
                 }
             }
+            "chaos" => {
+                // `none` clears the table; fault windows are only
+                // expressible as `[[chaos.*]]` entries in a file.
+                self.chaos = match value {
+                    "none" => None,
+                    _ => {
+                        return Err(ScenarioError::UnknownValue {
+                            field: key.into(),
+                            value: value.into(),
+                            expected: "none | chaos.* sub-keys".into(),
+                        })
+                    }
+                }
+            }
             "workload" => {
                 return Err(ScenarioError::UnknownValue {
                     field: key.into(),
@@ -1167,6 +1227,12 @@ impl Scenario {
                         // paths.
                         Value::Str(s) if s == "auto" => Some(TelemetrySpec::auto()),
                         other => Some(TelemetrySpec::from_value(other)?),
+                    }
+                }
+                "chaos" => {
+                    scenario.chaos = match value {
+                        Value::Null => None,
+                        other => Some(ChaosSpec::from_value(other)?),
                     }
                 }
                 "npu_mem_gib" => {
@@ -1326,6 +1392,13 @@ impl Scenario {
             (
                 "telemetry".into(),
                 match &self.telemetry {
+                    Some(spec) => spec.to_value(),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "chaos".into(),
+                match &self.chaos {
                     Some(spec) => spec.to_value(),
                     None => Value::Null,
                 },
@@ -1575,6 +1648,21 @@ mod tests {
                 .kv_link_gbps(32.0)
                 .pairing(PairingPolicyKind::Sticky)
                 .workload(WorkloadSpec::from(BurstyTraceSpec::prefill_heavy_mix(0.4, 7))),
+            small().replicas(2).fleet(FleetSpec::autoscale(1, 3)).chaos(crate::ChaosSpec {
+                replica_faults: vec![crate::ReplicaFaultSpec {
+                    replica: 1,
+                    kind: llmss_core::ReplicaFaultKind::Crash,
+                    at_ms: 5.0,
+                    recover_ms: Some(15.0),
+                }],
+                link_faults: vec![crate::LinkFaultSpec {
+                    link: 0,
+                    at_ms: 2.0,
+                    recover_ms: Some(4.0),
+                    degrade_to_gbps: 8.0,
+                }],
+                ..crate::ChaosSpec::default()
+            }),
         ];
         for s in scenarios {
             let toml_back = Scenario::from_toml(&s.to_toml()).unwrap();
@@ -1635,6 +1723,60 @@ mod tests {
             s.set("fabric.sharing", "lottery"),
             Err(ScenarioError::UnknownValue { .. })
         ));
+    }
+
+    #[test]
+    fn chaos_keys_route_into_the_table() {
+        let mut s = small().replicas(2).fleet(FleetSpec::autoscale(1, 3));
+        s.set("chaos.crash_rate_per_s", "2.0").unwrap();
+        s.set("chaos.seed", "9").unwrap();
+        s.set("chaos.max_retries", "5").unwrap();
+        let chaos = s.chaos.as_ref().unwrap();
+        assert_eq!(chaos.crash_rate_per_s, 2.0);
+        assert_eq!(chaos.seed, 9);
+        assert_eq!(chaos.max_retries, 5);
+        s.validate().unwrap();
+        // `none` clears the table; anything else is not a bare value.
+        assert!(matches!(s.set("chaos", "on"), Err(ScenarioError::UnknownValue { .. })));
+        s.set("chaos", "none").unwrap();
+        assert!(s.chaos.is_none());
+        assert!(matches!(
+            s.set("chaos.crash_rate", "1"),
+            Err(ScenarioError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn chaos_needs_a_fleet_to_strike() {
+        let mut s = small().replicas(2);
+        s.set("chaos.crash_rate_per_s", "1.0").unwrap();
+        let err = s.validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::Conflict { .. }), "{err}");
+        // An inert [chaos] table is fine anywhere: it injects nothing.
+        let mut inert = small().replicas(2);
+        inert.set("chaos.seed", "3").unwrap();
+        inert.validate().unwrap();
+    }
+
+    #[test]
+    fn chaos_fault_targets_are_bounds_checked_at_build() {
+        let mut s = small().replicas(2).fleet(FleetSpec::default());
+        s.chaos = Some(crate::ChaosSpec {
+            replica_faults: vec![crate::ReplicaFaultSpec {
+                replica: 7,
+                kind: llmss_core::ReplicaFaultKind::Crash,
+                at_ms: 1.0,
+                recover_ms: Some(2.0),
+            }],
+            ..crate::ChaosSpec::default()
+        });
+        s.validate().unwrap();
+        let err = s.build().unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidValue { .. }), "{err}");
+        // Autoscale raises the ceiling to max_replicas.
+        let mut auto = s.clone();
+        auto.fleet = Some(FleetSpec::autoscale(1, 8));
+        auto.build().unwrap();
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub use batch::{partition_sub_batches, IterationBatch, PartitionCriteria};
 pub use dataset::{trace_from_tsv, trace_to_tsv, Dataset, LengthModel, TraceGenerator};
 pub use kv_cache::{KvCache, KvCacheConfig, KvError, KvPolicy, KvTransfer};
 pub use memory::MemoryModel;
-pub use orca::{Scheduler, SchedulerConfig, SchedulerMode, SchedulingPolicy};
+pub use orca::{LostWork, Scheduler, SchedulerConfig, SchedulerMode, SchedulingPolicy};
 pub use request::{Completion, Request, RequestState, TimePs};
 pub use workload::{bursty_trace, BurstyTraceSpec, Workload, WorkloadError, WorkloadSpec};

@@ -104,6 +104,21 @@ impl Seq {
     }
 }
 
+/// One request a crash knocked out of a scheduler, with enough progress
+/// context for a fleet driver to price the loss and retry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostWork {
+    /// The request as the scheduler knew it (original arrival and
+    /// lengths — a retry re-enters admission from these).
+    pub request: Request,
+    /// Output tokens the crashed replica had generated (their KV died
+    /// with it).
+    pub generated: usize,
+    /// Whether the prompt's prefill had completed (its KV died too, so
+    /// the retry pays a full re-prefill).
+    pub prefill_done: bool,
+}
+
 /// The iteration-level serving scheduler.
 ///
 /// Drive it in a loop: [`next_batch`](Self::next_batch) produces the batch
@@ -545,6 +560,49 @@ impl Scheduler {
             });
         }
     }
+
+    /// Crash semantics: drops every request this scheduler holds —
+    /// pending, active, and evicted — releasing their KV, and returns
+    /// them (in pending → active → evicted order) so a fleet driver can
+    /// retry them elsewhere. Already-finished completions survive; the
+    /// request count shrinks so the scheduler reads as drained.
+    pub fn crash_drain(&mut self) -> Vec<LostWork> {
+        let mut lost = Vec::new();
+        for req in self.pending.drain(..) {
+            // Pending requests were never admitted: no KV to release.
+            lost.push(LostWork { request: req, generated: 0, prefill_done: false });
+        }
+        for seq in self.active.drain(..).chain(self.evicted.drain(..)) {
+            self.kv.release(seq.req.id);
+            lost.push(LostWork {
+                request: seq.req,
+                generated: seq.generated,
+                prefill_done: seq.first_token_ps.is_some(),
+            });
+        }
+        self.total_requests -= lost.len();
+        lost
+    }
+
+    /// Retracts completions by id — the crash path for a prefill pool
+    /// whose finished-but-unshipped KV died with the replica (the
+    /// "completion" only recorded that the KV was ready to ship).
+    /// Returns how many records were removed; the request count shrinks
+    /// to match.
+    pub fn retract_completions(&mut self, ids: &[u64]) -> usize {
+        let before = self.completions.len();
+        self.completions.retain(|c| !ids.contains(&c.id));
+        let removed = before - self.completions.len();
+        self.total_requests -= removed;
+        removed
+    }
+
+    /// Jumps the clock forward to `t` (no-op if already past it) — the
+    /// recovery path: a replica coming back from an outage must not
+    /// serve retries in its past.
+    pub fn advance_clock_to(&mut self, t: TimePs) {
+        self.clock_ps = self.clock_ps.max(t);
+    }
 }
 
 #[cfg(test)]
@@ -840,6 +898,63 @@ mod tests {
         // decode-only emits all 5, so it runs one extra decode step. The
         // kv_past progression over the shared steps is identical.
         assert_eq!(unified, decode_only[..4].to_vec());
+    }
+
+    #[test]
+    fn crash_drain_returns_everything_and_frees_kv() {
+        let reqs = vec![
+            Request::new(0, 32, 8, 0),   // will be mid-decode at the crash
+            Request::new(1, 32, 8, 0),   // ditto
+            Request::new(2, 32, 8, 900), // still pending at the crash
+        ];
+        let mut s = Scheduler::new(SchedulerConfig::default(), kv(1024), reqs);
+        s.next_batch().unwrap();
+        s.complete_iteration(10); // both prefills done, first tokens out
+        let lost = s.crash_drain();
+        assert_eq!(lost.len(), 3);
+        assert_eq!(lost[0].request.id, 2, "pending first");
+        assert!(!lost[0].prefill_done);
+        assert_eq!(lost[0].generated, 0);
+        assert!(lost[1].prefill_done, "active sequence had prefilled");
+        assert_eq!(lost[1].generated, 1);
+        assert_eq!(s.kv().used_pages(), 0, "crash releases every KV page");
+        assert_eq!(s.outstanding(), 0);
+        assert!(s.is_done(), "a crashed-and-drained scheduler reads as done");
+        assert_eq!(s.next_ready_ps(), None);
+        // The replica can serve again after recovery.
+        s.push_request(Request::new(3, 16, 1, 2_000));
+        s.next_batch().unwrap();
+        s.complete_iteration(10);
+        assert_eq!(s.completions().len(), 1);
+    }
+
+    #[test]
+    fn retract_completions_unwinds_finished_prefills() {
+        let cfg = SchedulerConfig { mode: SchedulerMode::PrefillOnly, ..Default::default() };
+        let mut s = Scheduler::new(
+            cfg,
+            kv(1024),
+            vec![Request::new(0, 64, 4, 0), Request::new(1, 64, 4, 0)],
+        );
+        s.next_batch().unwrap();
+        s.complete_iteration(10);
+        assert_eq!(s.completions().len(), 2);
+        assert!(s.is_done());
+        assert_eq!(s.retract_completions(&[1]), 1);
+        assert_eq!(s.completions().len(), 1);
+        assert!(s.is_done(), "the retracted request no longer counts toward the total");
+        assert_eq!(s.retract_completions(&[99]), 0, "unknown ids retract nothing");
+    }
+
+    #[test]
+    fn advance_clock_never_moves_backwards() {
+        let mut s = sched(vec![Request::new(0, 16, 1, 0)]);
+        s.next_batch().unwrap();
+        s.complete_iteration(1_000);
+        s.advance_clock_to(500);
+        assert_eq!(s.clock_ps(), 1_000, "recovery in the past is a no-op");
+        s.advance_clock_to(5_000);
+        assert_eq!(s.clock_ps(), 5_000);
     }
 
     #[test]
