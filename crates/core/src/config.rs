@@ -336,7 +336,7 @@ impl SimConfig {
     pub fn kv_bucket(mut self, bucket: impl Into<KvBucket>) -> Self {
         let bucket = bucket.into();
         if let Err(e) = bucket.validate() {
-            panic!("{e}");
+            panic!("{e}"); // llmss-lint: allow(p001, reason = "documented panic: an invalid bucket spec is a caller bug in this builder API")
         }
         self.kv_bucket = bucket;
         self

@@ -18,6 +18,7 @@
 //! integrals conserve bytes exactly (up to float epsilon) — a property
 //! the repo's proptests pin.
 
+// llmss-lint: allow(p001, file, reason = "flow bookkeeping asserts its own conservation invariants; a violation is a model bug, not a user error")
 use llmss_net::LinkSpec;
 use llmss_sched::TimePs;
 use std::collections::BTreeMap;
@@ -83,6 +84,12 @@ pub struct FlowModel {
     flows: BTreeMap<u64, Flow>,
     /// The last recompute point.
     now_ps: TimePs,
+    /// Sanitizer: total bytes ever admitted (`start`).
+    #[cfg(feature = "sanitize")]
+    sanitize_admitted: u64,
+    /// Sanitizer: total bytes delivered out of `advance`.
+    #[cfg(feature = "sanitize")]
+    sanitize_delivered: u64,
 }
 
 impl FlowModel {
@@ -99,6 +106,10 @@ impl FlowModel {
             carried: vec![0.0; links.len()],
             flows: BTreeMap::new(),
             now_ps: 0,
+            #[cfg(feature = "sanitize")]
+            sanitize_admitted: 0,
+            #[cfg(feature = "sanitize")]
+            sanitize_delivered: 0,
         }
     }
 
@@ -198,6 +209,10 @@ impl FlowModel {
             },
         );
         assert!(previous.is_none(), "flow {id} admitted twice");
+        #[cfg(feature = "sanitize")]
+        {
+            self.sanitize_admitted += bytes;
+        }
         self.recompute();
     }
 
@@ -226,6 +241,18 @@ impl FlowModel {
         let mut out = Vec::with_capacity(delivered.len());
         for id in delivered {
             let f = self.flows.remove(&id).expect("collected above");
+            #[cfg(feature = "sanitize")]
+            {
+                // A delivered flow has serialized its very last byte: the
+                // clamp in `advance_segment` guarantees exactness, not
+                // just epsilon-closeness.
+                debug_assert!(
+                    f.remaining == 0.0,
+                    "sanitize: flow {id} delivered with {} bytes unserialized",
+                    f.remaining
+                );
+                self.sanitize_delivered += f.bytes;
+            }
             out.push(FlowDone {
                 id,
                 start_ps: f.start_ps,
@@ -238,6 +265,19 @@ impl FlowModel {
         // Whether flows were delivered or merely finished serializing,
         // the active set may have changed — re-divide.
         self.recompute();
+        #[cfg(feature = "sanitize")]
+        {
+            // Exact KV-byte conservation in u64: every byte ever admitted
+            // is either delivered or still attached to an in-flight flow.
+            let in_flight: u64 = self.flows.values().map(|f| f.bytes).sum();
+            debug_assert!(
+                self.sanitize_admitted == self.sanitize_delivered + in_flight,
+                "sanitize: fabric bytes leaked (admitted {} != delivered {} + in-flight {})",
+                self.sanitize_admitted,
+                self.sanitize_delivered,
+                in_flight
+            );
+        }
         out
     }
 
@@ -319,7 +359,7 @@ impl FlowModel {
         // (id, path) of flows still serializing, in id order.
         let unfrozen: Vec<u64> =
             self.flows.iter().filter(|(_, f)| f.done_ps.is_none()).map(|(&id, _)| id).collect();
-        let mut frozen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut frozen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         while frozen.len() < unfrozen.len() {
             // Count unfrozen flows per link.
             let mut load = vec![0usize; self.caps.len()];
@@ -357,6 +397,15 @@ impl FlowModel {
                     self.alloc[l] += share;
                 }
             }
+        }
+        #[cfg(feature = "sanitize")]
+        for (l, (&a, &c)) in self.alloc.iter().zip(&self.caps).enumerate() {
+            // Progressive filling must never oversubscribe a link; the
+            // epsilon covers float summation of per-flow shares.
+            debug_assert!(
+                a <= c * (1.0 + 1e-9) + 1e-12,
+                "sanitize: link {l} allocated {a} B/ps over its {c} B/ps capacity"
+            );
         }
     }
 }

@@ -18,8 +18,9 @@
 //!   link for intra-pod pairs, per-pod uplinks (crossed back to back)
 //!   for inter-pod pairs.
 
+use std::collections::BTreeMap;
+
 use llmss_net::LinkSpec;
-use std::collections::HashMap;
 
 /// A link with a stable display name (reports key per-link utilization
 /// on it).
@@ -151,7 +152,7 @@ enum RouteTable {
     Hier {
         per_pod: usize,
     },
-    Explicit(HashMap<(usize, usize), Vec<usize>>),
+    Explicit(BTreeMap<(usize, usize), Vec<usize>>),
 }
 
 /// A built fabric graph: links plus a per-pair routing function over a
@@ -231,13 +232,13 @@ impl FabricGraph {
         if links.is_empty() {
             return Err("an explicit fabric needs at least one [[fabric.link]]".into());
         }
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         for (i, l) in links.iter().enumerate() {
             if by_name.insert(l.name.clone(), i).is_some() {
                 return Err(format!("duplicate fabric link name '{}'", l.name));
             }
         }
-        let mut table: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut table: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
         let mut declared: Vec<(usize, usize)> = Vec::new();
         for r in routes {
             if r.from >= endpoints || r.to >= endpoints {
@@ -387,6 +388,7 @@ impl FabricGraph {
             RouteTable::Explicit(table) => table
                 .get(&(from, to))
                 .unwrap_or_else(|| {
+                    // llmss-lint: allow(p001, reason = "explicit route tables are validated complete at construction")
                     panic!("the explicit fabric declares no route for {from} -> {to}")
                 })
                 .clone(),
@@ -406,7 +408,7 @@ impl FabricGraph {
             .iter()
             .map(|&l| &self.links[l].spec)
             .min_by(|a, b| a.bw_gbps.total_cmp(&b.bw_gbps))
-            .expect("paths are non-empty");
+            .expect("paths are non-empty"); // llmss-lint: allow(p001, reason = "routes are validated non-empty at construction")
         self.path_latency_ps(path).saturating_add(narrowest.serialize_ps(bytes))
     }
 }

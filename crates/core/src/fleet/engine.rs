@@ -27,7 +27,8 @@
 //! disaggregation is role-filtered admission plus KV-transfer links);
 //! flexing and autoscaling are just different control planes.
 
-use std::collections::{HashMap, VecDeque};
+// llmss-lint: allow(p001, file, reason = "fleet-engine invariants are asserted, not propagated: a violated invariant is a simulator bug that must halt the run")
+use std::collections::{BTreeMap, VecDeque};
 
 use llmss_net::LinkSpec;
 use llmss_sched::{Request, TimePs};
@@ -147,10 +148,10 @@ struct ChaosState {
     /// Original bandwidth to restore per degraded link.
     link_restore: Vec<Option<f64>>,
     /// Retry attempts consumed per request id.
-    attempts: HashMap<u64, u32>,
+    attempts: BTreeMap<u64, u32>,
     /// First-admission arrival per retried request (report latencies
     /// span the whole retry chain).
-    original_arrival: HashMap<u64, TimePs>,
+    original_arrival: BTreeMap<u64, TimePs>,
     /// `(id, reason)` for every abandoned request, in event order.
     abandoned: Vec<(u64, String)>,
     /// Retry admissions performed.
@@ -160,7 +161,7 @@ struct ChaosState {
     /// KV bytes destroyed by crashes.
     kv_bytes_lost: u64,
     /// `request id -> fault time` for prefills a crash destroyed.
-    lost_prefill: HashMap<u64, TimePs>,
+    lost_prefill: BTreeMap<u64, TimePs>,
     /// When each replica's current crash/hang window opened.
     down_since: Vec<Option<TimePs>>,
     /// Accumulated per-replica downtime.
@@ -176,13 +177,13 @@ impl ChaosState {
             retry: schedule.retry,
             down: vec![None; replicas],
             link_restore: vec![None; links],
-            attempts: HashMap::new(),
-            original_arrival: HashMap::new(),
+            attempts: BTreeMap::new(),
+            original_arrival: BTreeMap::new(),
             abandoned: Vec::new(),
             retried: 0,
             faults_injected: 0,
             kv_bytes_lost: 0,
-            lost_prefill: HashMap::new(),
+            lost_prefill: BTreeMap::new(),
             down_since: vec![None; replicas],
             downtime: vec![0; replicas],
             fault_windows: Vec::new(),
@@ -202,7 +203,7 @@ pub struct FleetEngine {
     arrivals: VecDeque<Request>,
     /// Original requests by id (handoffs need input/output lengths);
     /// only maintained when the fleet has links.
-    requests: HashMap<u64, Request>,
+    requests: BTreeMap<u64, Request>,
     /// Finished prefills whose transfers haven't committed to the
     /// fabric yet: `(KV-ready time, request id, prefill replica)`,
     /// earliest first. The tuple order is the commit order contract:
@@ -211,7 +212,7 @@ pub struct FleetEngine {
     /// field, never by heap insertion or event-discovery order.
     pending: std::collections::BinaryHeap<std::cmp::Reverse<(TimePs, u64, usize)>>,
     /// Committed transfers by request id.
-    transfers: HashMap<u64, FleetTransfer>,
+    transfers: BTreeMap<u64, FleetTransfer>,
     /// `(request id, replica index)` in admission order.
     assignments: Vec<(u64, usize)>,
     /// Replica ready-times with lazy invalidation.
@@ -231,6 +232,15 @@ pub struct FleetEngine {
     /// Fault-injection state; `None` (the default) leaves every code
     /// path byte-identical to a chaos-free engine.
     chaos: Option<ChaosState>,
+    /// Sanitizer mirror of each replica's last observed virtual clock:
+    /// a replica's clock must never run backwards across `step()`.
+    #[cfg(feature = "sanitize")]
+    sanitize_clocks: Vec<TimePs>,
+    /// Sanitizer mirror of the last committed `(ready time, request id)`:
+    /// the commit-order contract on `pending` (KV-ready time, then
+    /// request id) must hold globally, across commit passes.
+    #[cfg(feature = "sanitize")]
+    sanitize_last_commit: Option<(TimePs, u64)>,
 }
 
 impl FleetEngine {
@@ -316,7 +326,7 @@ impl FleetEngine {
 
         trace.sort_by_key(|r| (r.arrival_ps, r.id));
         let requests = if !fabric.has_links() {
-            HashMap::new()
+            BTreeMap::new()
         } else {
             trace.iter().map(|r| (r.id, *r)).collect()
         };
@@ -329,7 +339,7 @@ impl FleetEngine {
             arrivals: trace.into(),
             requests,
             pending: std::collections::BinaryHeap::new(),
-            transfers: HashMap::new(),
+            transfers: BTreeMap::new(),
             assignments: Vec::new(),
             kv_bytes_per_token,
             next_tick_ps: tick_ps.unwrap_or(0),
@@ -337,6 +347,10 @@ impl FleetEngine {
             handoffs_total: 0,
             telemetry: Telemetry::off(),
             chaos: None,
+            #[cfg(feature = "sanitize")]
+            sanitize_clocks: vec![0; sims.len()],
+            #[cfg(feature = "sanitize")]
+            sanitize_last_commit: None,
             sims,
             slots,
         })
@@ -395,7 +409,7 @@ impl FleetEngine {
     }
 
     /// Committed KV transfers by request id.
-    pub fn transfers(&self) -> &HashMap<u64, FleetTransfer> {
+    pub fn transfers(&self) -> &BTreeMap<u64, FleetTransfer> {
         &self.transfers
     }
 
@@ -559,6 +573,8 @@ impl FleetEngine {
                 slot.active_from_ps = active_from;
                 self.slots.push(slot);
                 self.heap.grow();
+                #[cfg(feature = "sanitize")]
+                self.sanitize_clocks.push(0);
                 if let Some(chaos) = self.chaos.as_mut() {
                     chaos.down.push(None);
                     chaos.down_since.push(None);
@@ -737,6 +753,16 @@ impl FleetEngine {
                 candidates.len()
             );
             self.slots[chosen].paired += 1;
+            #[cfg(feature = "sanitize")]
+            {
+                debug_assert!(
+                    self.sanitize_last_commit.is_none_or(|last| last <= (ready_ps, id)),
+                    "sanitize: commit-order contract violated — transfer {id} commits \
+                     at ready time {ready_ps} ps after {:?}",
+                    self.sanitize_last_commit
+                );
+                self.sanitize_last_commit = Some((ready_ps, id));
+            }
             let transfer = match self.fabric.commit(id, from, chosen, bytes, ready_ps) {
                 FabricCommit::Booked { link, start_ps, done_ps, nominal_ps } => {
                     // Fully booked: the request arrives at the decode
@@ -1305,6 +1331,17 @@ impl FleetEngine {
                 let before = self.sims[idx].scheduler().completions().len();
                 self.sims[idx].step();
                 let after = self.sims[idx].scheduler().completions().len();
+                #[cfg(feature = "sanitize")]
+                {
+                    let now = self.sims[idx].clock_ps();
+                    debug_assert!(
+                        now >= self.sanitize_clocks[idx],
+                        "sanitize: replica {idx} virtual clock ran backwards \
+                         ({} -> {now} ps)",
+                        self.sanitize_clocks[idx]
+                    );
+                    self.sanitize_clocks[idx] = now;
+                }
                 if self.slots[idx].role == ReplicaRole::Prefill {
                     self.hand_off_finished_prefills(idx);
                 }
@@ -1419,9 +1456,9 @@ pub struct FleetParts {
     /// `(request id, replica)` admissions in routing order.
     pub assignments: Vec<(u64, usize)>,
     /// Committed KV transfers by request id.
-    pub transfers: HashMap<u64, FleetTransfer>,
+    pub transfers: BTreeMap<u64, FleetTransfer>,
     /// Original requests by id (empty for fleets without links).
-    pub requests: HashMap<u64, Request>,
+    pub requests: BTreeMap<u64, Request>,
     /// Fabric usage, when the fleet ran over a fair-sharing fabric
     /// (`None` keeps FIFO-configured reports byte-identical to the
     /// pre-fabric engine).

@@ -68,18 +68,34 @@ impl ReadyHeap {
     pub fn peek(&mut self) -> Option<(TimePs, usize)> {
         while let Some(&Reverse((t, idx, stamp))) = self.heap.peek() {
             if self.stamps[idx] == stamp {
+                #[cfg(feature = "sanitize")]
+                debug_assert!(
+                    self.min_live() == Some((t, idx)),
+                    "sanitize: ReadyHeap mirror drift — heap answers ({t}, {idx}), \
+                     mirror answers {:?}",
+                    self.min_live()
+                );
                 return Some((t, idx));
             }
             self.heap.pop();
         }
+        #[cfg(feature = "sanitize")]
+        debug_assert!(
+            self.min_live().is_none(),
+            "sanitize: ReadyHeap drained but mirror still lists {:?}",
+            self.min_live()
+        );
         None
     }
 
-    /// Removes and returns the earliest live entry.
+    /// Removes and returns the earliest live entry. The popped replica
+    /// goes idle in the mirror too, so [`min_live`](Self::min_live)
+    /// never resurrects an entry that no longer exists in the heap.
     pub fn pop(&mut self) -> Option<(TimePs, usize)> {
         let live = self.peek();
-        if live.is_some() {
+        if let Some((_, idx)) = live {
             self.heap.pop();
+            self.ready[idx] = None;
         }
         live
     }

@@ -370,7 +370,7 @@ impl FleetReport {
             let downtime: Vec<Value> =
                 res.downtime.iter().map(|&d| Value::Float(d as f64 / 1e12)).collect();
             let (slo_in_fault, slo_clear) =
-                self.slo_by_fault_window().expect("resilience is present");
+                self.slo_by_fault_window().expect("resilience is present"); // llmss-lint: allow(p001, reason = "only reached when the resilience section exists")
             fields.push((
                 "resilience",
                 obj(vec![

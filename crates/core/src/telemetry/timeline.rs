@@ -24,8 +24,7 @@
 //! Like the Chrome exporter this is a pure function of the event list:
 //! same seed, same bytes.
 
-use std::collections::HashMap;
-
+use llmss_model::FnvHashMap;
 use llmss_sched::TimePs;
 
 use super::SimEvent;
@@ -86,8 +85,8 @@ pub fn timeline_tsv(events: &[SimEvent], config: &TimelineConfig) -> String {
     let mut end_ps: TimePs = 0;
     let mut replicas: Vec<usize> = Vec::new();
     let mut links: Vec<(String, f64)> = Vec::new();
-    let mut arrival_of: HashMap<u64, TimePs> = HashMap::new();
-    let mut queued_of: HashMap<u64, (usize, TimePs)> = HashMap::new();
+    let mut arrival_of: FnvHashMap<u64, TimePs> = FnvHashMap::default();
+    let mut queued_of: FnvHashMap<u64, (usize, TimePs)> = FnvHashMap::default();
     let mut any_arrival = false;
     let mut any_admitted = false;
     let mut any_activation = false;
@@ -132,7 +131,7 @@ pub fn timeline_tsv(events: &[SimEvent], config: &TimelineConfig) -> String {
         }
     }
     replicas.sort_unstable();
-    let replica_slot: HashMap<usize, usize> =
+    let replica_slot: FnvHashMap<usize, usize> =
         replicas.iter().enumerate().map(|(slot, &r)| (r, slot)).collect();
 
     let n_windows = (end_ps / w + 1) as usize;
@@ -236,7 +235,7 @@ pub fn timeline_tsv(events: &[SimEvent], config: &TimelineConfig) -> String {
                 }
             }
             SimEvent::LinkShare { from_ps, to_ps, link, bytes, .. } => {
-                let slot = links.iter().position(|(n, _)| n == link).unwrap();
+                let slot = links.iter().position(|(n, _)| n == link).unwrap(); // llmss-lint: allow(p001, reason = "LinkShare events only name links announced by the preamble pass above")
                 let span = to_ps.saturating_sub(*from_ps);
                 if span == 0 {
                     windows[at(*from_ps)].link_bytes[slot] += bytes;

@@ -1,0 +1,16 @@
+//! Bad fixture: std hash containers in simulation code. Must trigger D001
+//! and nothing else (see crates/lint/tests/fixtures.rs).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // Iterating `counts` here would visit keys in a different order on
+    // every process run — exactly the hazard D001 exists to catch.
+    counts.values().sum::<usize>() + seen.len()
+}

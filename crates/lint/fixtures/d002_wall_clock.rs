@@ -1,0 +1,10 @@
+//! Bad fixture: wall-clock reads in simulation code. Must trigger D002 and
+//! nothing else.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    (a, b)
+}

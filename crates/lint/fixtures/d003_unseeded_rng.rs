@@ -1,0 +1,8 @@
+//! Bad fixture: unseeded randomness. Must trigger D003 and nothing else.
+
+pub fn roll() -> (f64, u64) {
+    let mut rng = rand::thread_rng();
+    let a: f64 = rand::random();
+    let b = rng.gen_range(0..6);
+    (a, b)
+}

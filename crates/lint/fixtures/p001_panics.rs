@@ -1,0 +1,12 @@
+//! Bad fixture: panicking calls in library code. Must trigger P001 and
+//! nothing else.
+
+pub fn first_even(xs: &[u64]) -> u64 {
+    let found = xs.iter().find(|x| *x % 2 == 0);
+    let v = found.unwrap();
+    let w = xs.first().expect("empty slice");
+    if v != w {
+        panic!("mismatch");
+    }
+    *v
+}

@@ -1,0 +1,13 @@
+//! Bad fixture: malformed suppression comments. Must trigger S001 and
+//! nothing else.
+
+// llmss-lint: allow(d001)
+pub const A: u32 = 1;
+
+// llmss-lint: allow(d001, reason = "")
+pub const B: u32 = 2;
+
+// llmss-lint: allow(d001, d002, reason = "two rules at once")
+pub const C: u32 = 3;
+
+pub const D: u32 = 4; // llmss-lint: allow(nonsense, reason = "unknown rule")

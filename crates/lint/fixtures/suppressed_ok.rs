@@ -1,0 +1,38 @@
+//! Good fixture: every would-be finding carries a well-formed suppression,
+//! and test-only code is exempt. Must produce zero findings.
+
+// llmss-lint: allow(d001, file, reason = "fixture demonstrating file-scope suppression")
+
+use std::collections::HashMap;
+
+pub fn wall_overhead() -> u128 {
+    let t0 = std::time::Instant::now(); // llmss-lint: allow(d002, reason = "measures host wall time, never simulated time")
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(1, 2);
+    t0.elapsed().as_nanos()
+}
+
+// llmss-lint: allow(d003, reason = "demo of a standalone suppression covering the next line")
+pub fn entropy() -> f64 {
+    rand_random_stub()
+}
+
+fn rand_random_stub() -> f64 {
+    0.5
+}
+
+pub fn checked(xs: &[u64]) -> u64 {
+    // llmss-lint: allow(p001, reason = "slice verified non-empty by caller contract")
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_and_time_freely() {
+        let t = std::time::Instant::now();
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let _ = t.elapsed();
+    }
+}

@@ -1,0 +1,337 @@
+//! A minimal, panic-free Rust scanner.
+//!
+//! The determinism rules only need three things from a source file: the
+//! identifier/punctuation stream (with line numbers), the comments (to parse
+//! `// llmss-lint: allow(...)` suppressions), and nothing from inside string
+//! or character literals. A full parser — or `syn` — would be overkill and
+//! the vendor tree is offline, so this hand-rolls exactly that much lexing:
+//! line and (nested) block comments, plain/byte/C/raw string literals,
+//! character literals vs. lifetimes, identifiers, and everything else as
+//! single-character punctuation.
+//!
+//! The scanner is total: it never panics and never rejects input. On
+//! malformed source (unterminated literals, stray bytes) it degrades to
+//! consuming the rest of the input, which is the right behaviour for a
+//! linter that may be pointed at arbitrary files.
+
+/// One lexical token. Literals and whitespace are consumed but not emitted;
+/// numbers come out as [`Tok::Ident`] (harmless — no rule matches them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier, keyword, or number.
+    Ident(String),
+    /// Any other single character (operators, brackets, `#`, ...).
+    Punct(char),
+}
+
+/// A token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub line: u32,
+    pub tok: Tok,
+}
+
+/// A comment with the 1-based line it starts on. `trailing` is true when a
+/// code token precedes it on the same line — a trailing suppression applies
+/// to its own line, a standalone one to the next line of code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    pub trailing: bool,
+}
+
+/// The result of scanning one file: code tokens and comments, in order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Spanned>,
+    pub comments: Vec<Comment>,
+}
+
+/// Scan `src` into tokens and comments. Total: handles arbitrary input
+/// without panicking.
+pub fn lex(src: &str) -> Lexed {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+    // Line of the most recent code token, to mark trailing comments.
+    let mut last_code_line: u32 = 0;
+
+    while i < n {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments: `///`, `//!`).
+        if ch == '/' && i + 1 < n && c[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && c[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: c[start..j].iter().collect(),
+                trailing: last_code_line == line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, possibly nested.
+        if ch == '/' && i + 1 < n && c[i + 1] == '*' {
+            let comment_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if c[j] == '/' && j + 1 < n && c[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                    continue;
+                }
+                if c[j] == '*' && j + 1 < n && c[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                    continue;
+                }
+                if c[j] == '\n' {
+                    line += 1;
+                }
+                text.push(c[j]);
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line: comment_line,
+                text,
+                trailing: last_code_line == comment_line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain string literal.
+        if ch == '"' {
+            i = skip_escaped_string(&c, i + 1, &mut line);
+            continue;
+        }
+        // Char literal or lifetime.
+        if ch == '\'' {
+            i = skip_char_or_lifetime(&c, i, &mut line);
+            continue;
+        }
+        // Identifier / keyword / number / literal prefix.
+        if ch == '_' || ch.is_alphanumeric() {
+            let start = i;
+            let mut j = i;
+            while j < n && (c[j] == '_' || c[j].is_alphanumeric()) {
+                j += 1;
+            }
+            let word: String = c[start..j].iter().collect();
+            // String-literal prefixes: b"..", c"..", r"..", r#".."#, br".."...
+            let prefix = matches!(word.as_str(), "r" | "b" | "c" | "br" | "rb" | "cr");
+            if prefix && j < n && (c[j] == '"' || c[j] == '#') {
+                let raw = word.contains('r');
+                if c[j] == '"' {
+                    i = if raw {
+                        skip_raw_string(&c, j + 1, 0, &mut line)
+                    } else {
+                        skip_escaped_string(&c, j + 1, &mut line)
+                    };
+                    continue;
+                }
+                // c[j] == '#': count hashes; `r#"` starts a raw string,
+                // `r#ident` is a raw identifier.
+                let mut hashes = 0usize;
+                let mut k = j;
+                while k < n && c[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if raw && k < n && c[k] == '"' {
+                    i = skip_raw_string(&c, k + 1, hashes, &mut line);
+                    continue;
+                }
+                if word == "r" && hashes == 1 {
+                    // Raw identifier r#foo: emit the identifier itself.
+                    let id_start = k;
+                    while k < n && (c[k] == '_' || c[k].is_alphanumeric()) {
+                        k += 1;
+                    }
+                    out.tokens.push(Spanned {
+                        line,
+                        tok: Tok::Ident(c[id_start..k].iter().collect()),
+                    });
+                    last_code_line = line;
+                    i = k;
+                    continue;
+                }
+                // Not a literal after all (e.g. `b #[...]`): fall through.
+            }
+            out.tokens.push(Spanned { line, tok: Tok::Ident(word) });
+            last_code_line = line;
+            i = j;
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        out.tokens.push(Spanned { line, tok: Tok::Punct(ch) });
+        last_code_line = line;
+        i += 1;
+    }
+    out
+}
+
+/// Skip a `"`-delimited string body with backslash escapes; `i` points just
+/// past the opening quote. Returns the index just past the closing quote
+/// (or the end of input if unterminated).
+fn skip_escaped_string(c: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    while i < n {
+        match c[i] {
+            '\\' => {
+                // A line continuation (`\` before a newline) still ends a
+                // source line; other escapes span exactly two characters.
+                if i + 1 < n && c[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i = (i + 2).min(n);
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Skip a raw string body terminated by `"` followed by `hashes` `#`s; `i`
+/// points just past the opening quote.
+fn skip_raw_string(c: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    while i < n {
+        if c[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if c[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < n && c[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime); `i` points at
+/// the opening quote. Returns the index of the first character after the
+/// literal or lifetime.
+fn skip_char_or_lifetime(c: &[char], i: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    if i + 1 < n && c[i + 1] == '\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 3;
+        while j < n && c[j] != '\'' {
+            if c[j] == '\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    if i + 2 < n && c[i + 2] == '\'' && c[i + 1] != '\'' {
+        // Simple char literal 'x'.
+        return i + 3;
+    }
+    // Lifetime (or stray quote): consume the identifier if any.
+    let mut j = i + 1;
+    while j < n && (c[j] == '_' || c[j].is_alphanumeric()) {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(w) => Some(w),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"let x = "HashMap"; // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let y = r#"HashMap"#;"##;
+        assert!(!idents(src).iter().any(|w| w == "HashMap"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let w = idents("fn f<'a>(m: &'a HashMap<u32, u32>) {}");
+        assert!(w.iter().any(|x| x == "HashMap"));
+    }
+
+    #[test]
+    fn char_literals_are_opaque() {
+        let w = idents(r"let c = 'H'; let e = '\n'; let q = '\''; HashMap");
+        assert_eq!(w, vec!["let", "c", "let", "e", "let", "q", "HashMap"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("r#type"), vec!["type"]);
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        // A `\`-newline continuation inside a string still ends a source
+        // line; the token after the literal must land on line 3.
+        let lexed = lex("let s = \"a \\\n   b\"; after");
+        let after = lexed.tokens.iter().find(|t| t.tok == Tok::Ident("after".into()));
+        assert_eq!(after.map(|t| t.line), Some(2));
+        let lexed = lex("\"x\\\n\\\ny\"\nz");
+        let z = lexed.tokens.iter().find(|t| t.tok == Tok::Ident("z".into()));
+        assert_eq!(z.map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'a", "b\"x"] {
+            let _ = lex(src);
+        }
+    }
+}

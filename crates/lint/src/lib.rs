@@ -1,0 +1,137 @@
+//! llmss-lint — the determinism auditor for the llmss workspace.
+//!
+//! Every headline claim this simulator ships (memoization exactness,
+//! serial-vs-`--jobs` sweep equality, chaos same-seed replay, golden byte
+//! identity) rests on one invariant: nothing in the simulation path is
+//! iteration-order- or wall-clock-dependent. This crate makes that a
+//! statically checked property instead of a hope. It walks every
+//! `crates/*/src` and `src/` file with a hand-rolled lexer (no `syn` — the
+//! vendor tree is offline) and enforces the project rules:
+//!
+//! - **D001** — std `HashMap`/`HashSet` in simulation crates;
+//! - **D002** — wall clock (`Instant::now`/`SystemTime`) outside the bench
+//!   allowlist;
+//! - **D003** — unseeded randomness (`thread_rng`, `rand::random`);
+//! - **P001** — `unwrap()`/`expect()`/`panic!` in library (non-bin) code;
+//! - **S001** — a malformed suppression comment.
+//!
+//! Suppress a finding with `// llmss-lint: allow(d001, reason = "...")`
+//! (trailing → that line, standalone → the next code line, `file` flag →
+//! the whole file). Run as `cargo run -p llmss-lint`; the checked-in
+//! fixture corpus under `crates/lint/fixtures` must keep failing — that is
+//! the lint's own self-test.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Diagnostic, FileClass, Rule};
+
+use std::path::Path;
+
+/// Crates whose `src/` is simulation path: D001 (std hash containers)
+/// applies. `root` stands for the workspace facade package's own `src/`.
+const SIM_CRATES: &[&str] =
+    &["root", "core", "model", "net", "sched", "npu", "pim", "cluster", "disagg", "scenario"];
+
+/// Crates allowed to read the wall clock: the bench harness exists to
+/// measure wall time.
+const WALL_CLOCK_CRATES: &[&str] = &["bench"];
+
+/// Decide which rules are armed for a workspace-relative path, or `None`
+/// when the file is out of scope (vendored code, non-Rust files, build
+/// artifacts). Paths outside the `crates/*/src` / `src/` layout — e.g. the
+/// fixture corpus passed explicitly — are linted with every rule armed.
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    let p = rel_path.replace('\\', "/");
+    if !p.ends_with(".rs") {
+        return None;
+    }
+    let comps: Vec<&str> = p.split('/').filter(|s| !s.is_empty() && *s != ".").collect();
+    if comps.first() == Some(&"vendor") || comps.contains(&"target") {
+        return None;
+    }
+    let krate = if comps.first() == Some(&"crates") && comps.get(2) == Some(&"src") {
+        comps.get(1).copied().unwrap_or("")
+    } else if comps.first() == Some(&"src") {
+        "root"
+    } else {
+        // Explicitly passed path outside the workspace layout (the fixture
+        // corpus, scratch files): strictest class.
+        return Some(FileClass::strict());
+    };
+    let is_bin = comps.contains(&"bin")
+        || comps.last() == Some(&"main.rs")
+        || comps.last() == Some(&"build.rs");
+    Some(FileClass {
+        d001: SIM_CRATES.contains(&krate),
+        d002: !WALL_CLOCK_CRATES.contains(&krate),
+        d003: true,
+        p001: !is_bin,
+    })
+}
+
+/// Lint one file's source under its workspace-relative path. Returns no
+/// findings for out-of-scope paths.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    match classify(rel_path) {
+        Some(class) => rules::lint_tokens(&lexer::lex(src), class),
+        None => Vec::new(),
+    }
+}
+
+/// Collect every `.rs` file under `root` (a file is returned as itself),
+/// sorted for deterministic output. I/O errors on subtrees are reported in
+/// the returned error list rather than aborting the walk.
+pub fn collect_rs_files(root: &Path) -> (Vec<std::path::PathBuf>, Vec<String>) {
+    let mut files = Vec::new();
+    let mut errors = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(p) = stack.pop() {
+        if p.is_dir() {
+            match std::fs::read_dir(&p) {
+                Ok(rd) => {
+                    let mut entries: Vec<_> =
+                        rd.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+                    entries.sort();
+                    stack.extend(entries);
+                }
+                Err(e) => errors.push(format!("{}: {e}", p.display())),
+            }
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            files.push(p);
+        }
+    }
+    files.sort();
+    (files, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        // Simulation crate library file: everything armed.
+        let c = classify("crates/core/src/fleet/engine.rs").unwrap();
+        assert!(c.d001 && c.d002 && c.d003 && c.p001);
+        // Bench crate: wall clock allowed, not simulation path.
+        let c = classify("crates/bench/src/lib.rs").unwrap();
+        assert!(!c.d001 && !c.d002 && c.d003 && c.p001);
+        // Bench binary: P001 off too.
+        let c = classify("crates/bench/src/bin/simspeed.rs").unwrap();
+        assert!(!c.p001);
+        // Root facade src is simulation path; main.rs is a binary.
+        let c = classify("src/lib.rs").unwrap();
+        assert!(c.d001 && c.p001);
+        let c = classify("src/main.rs").unwrap();
+        assert!(c.d001 && !c.p001);
+        // Vendored code and non-Rust files are out of scope.
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+        assert!(classify("crates/core/Cargo.toml").is_none());
+        // Fixture corpus (explicit path): strictest class.
+        assert_eq!(classify("crates/lint/fixtures/d001_hashmap.rs"), Some(FileClass::strict()));
+        // The lint crate itself is not simulation path but is library code.
+        let c = classify("crates/lint/src/rules.rs").unwrap();
+        assert!(!c.d001 && c.p001);
+    }
+}

@@ -1,0 +1,142 @@
+//! CLI entry point: `cargo run -p llmss-lint [-- PATHS...] [--report FILE]`.
+//!
+//! With no paths, walks the workspace simulation sources (`src/` and every
+//! `crates/*/src`) from the current directory — CI runs it from the repo
+//! root. With explicit paths (files or directories), lints those instead;
+//! paths outside the workspace layout (e.g. `crates/lint/fixtures`) get
+//! every rule armed, which is how the bad-fixture corpus self-tests the
+//! tool. Exit code: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use llmss_lint::{collect_rs_files, lint_source};
+
+const USAGE: &str = "usage: llmss-lint [PATHS...] [--report FILE]\n\
+    \n\
+    Determinism auditor for the llmss workspace. With no PATHS, lints\n\
+    src/ and every crates/*/src under the current directory.\n\
+    \n\
+    rules: D001 std HashMap/HashSet in simulation crates\n\
+    \x20      D002 wall clock outside the bench allowlist\n\
+    \x20      D003 unseeded randomness (thread_rng, rand::random)\n\
+    \x20      P001 unwrap/expect/panic! in library code\n\
+    \x20      S001 malformed suppression comment\n\
+    suppress: // llmss-lint: allow(d001, reason = \"...\")  (own/next line)\n\
+    \x20         // llmss-lint: allow(p001, file, reason = \"...\")  (whole file)";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut report: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            "--report" => match args.next() {
+                Some(p) => report = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("llmss-lint: --report needs a file argument");
+                    return 2;
+                }
+            },
+            _ => paths.push(PathBuf::from(a)),
+        }
+    }
+
+    if paths.is_empty() {
+        let root = Path::new(".");
+        if !root.join("Cargo.toml").exists() {
+            eprintln!(
+                "llmss-lint: no Cargo.toml in the current directory; \
+                 run from the workspace root or pass paths"
+            );
+            return 2;
+        }
+        paths.push(PathBuf::from("src"));
+        match std::fs::read_dir(root.join("crates")) {
+            Ok(rd) => {
+                let mut crates: Vec<_> = rd.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+                crates.sort();
+                for c in crates {
+                    let src = c.join("src");
+                    if src.is_dir() {
+                        paths.push(src);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("llmss-lint: cannot read crates/: {e}");
+                return 2;
+            }
+        }
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut io_errors: Vec<String> = Vec::new();
+    for p in &paths {
+        if !p.exists() {
+            io_errors.push(format!("{}: no such file or directory", p.display()));
+            continue;
+        }
+        let (f, errs) = collect_rs_files(p);
+        files.extend(f);
+        io_errors.extend(errs);
+    }
+    files.sort();
+    files.dedup();
+
+    let mut out = String::new();
+    let mut findings = 0usize;
+    let mut files_with_findings = 0usize;
+    for f in &files {
+        let display = f.to_string_lossy().replace('\\', "/");
+        let rel = display.trim_start_matches("./");
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                io_errors.push(format!("{rel}: {e}"));
+                continue;
+            }
+        };
+        let diags = lint_source(rel, &src);
+        if !diags.is_empty() {
+            files_with_findings += 1;
+        }
+        for d in diags {
+            let _ = writeln!(out, "{rel}:{}: {} {}", d.line, d.rule.code(), d.msg);
+            findings += 1;
+        }
+    }
+
+    let summary = format!(
+        "llmss-lint: {findings} finding(s) in {files_with_findings} file(s) \
+         ({} files scanned)",
+        files.len()
+    );
+    print!("{out}");
+    println!("{summary}");
+    for e in &io_errors {
+        eprintln!("llmss-lint: error: {e}");
+    }
+    if let Some(path) = report {
+        let body = format!("{out}{summary}\n");
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("llmss-lint: cannot write report {}: {e}", path.display());
+            return 2;
+        }
+    }
+    if !io_errors.is_empty() {
+        2
+    } else if findings > 0 {
+        1
+    } else {
+        0
+    }
+}

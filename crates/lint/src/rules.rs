@@ -1,0 +1,522 @@
+//! The determinism rules, matched over the token stream.
+//!
+//! | rule | fires on | where |
+//! |------|----------|-------|
+//! | D001 | `HashMap` / `HashSet` (std, iteration-order nondeterministic) | simulation crates |
+//! | D002 | `Instant::now` / `SystemTime` (wall clock) | outside the bench allowlist |
+//! | D003 | `thread_rng` / `rand::random` (unseeded randomness) | everywhere |
+//! | P001 | `.unwrap(` / `.expect(` / `panic!` | library (non-bin) code |
+//! | S001 | malformed `llmss-lint:` suppression comment | everywhere |
+//!
+//! `#[cfg(test)]` items and `#[test]` functions are exempt from every rule:
+//! tests may hash, panic, and time freely. Suppressions are comments of the
+//! form `// llmss-lint: allow(d001, reason = "...")` — trailing comments
+//! cover their own line, standalone comments cover the next line of code,
+//! and the `file` flag (`allow(p001, file, reason = "...")`) covers the
+//! whole file. Every suppression names exactly one rule and must carry a
+//! non-empty reason; anything else is itself a finding (S001).
+
+use crate::lexer::{Comment, Lexed, Spanned, Tok};
+
+/// A rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    D001,
+    D002,
+    D003,
+    P001,
+    S001,
+}
+
+impl Rule {
+    /// The diagnostic code, as printed.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::P001 => "P001",
+            Rule::S001 => "S001",
+        }
+    }
+
+    /// Parse a rule name from a suppression comment (case-insensitive).
+    /// S001 cannot be suppressed, so it does not parse here.
+    fn parse(s: &str) -> Option<Rule> {
+        if s.eq_ignore_ascii_case("d001") {
+            Some(Rule::D001)
+        } else if s.eq_ignore_ascii_case("d002") {
+            Some(Rule::D002)
+        } else if s.eq_ignore_ascii_case("d003") {
+            Some(Rule::D003)
+        } else if s.eq_ignore_ascii_case("p001") {
+            Some(Rule::P001)
+        } else {
+            None
+        }
+    }
+}
+
+/// One finding, anchored to a 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub line: u32,
+    pub msg: String,
+}
+
+/// Which rules are armed for a file — derived from its workspace path by
+/// [`crate::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Simulation crate: std `HashMap`/`HashSet` banned.
+    pub d001: bool,
+    /// Wall clock banned (false only in the bench allowlist).
+    pub d002: bool,
+    /// Unseeded randomness banned.
+    pub d003: bool,
+    /// Library code: `unwrap`/`expect`/`panic!` banned (false in binaries).
+    pub p001: bool,
+}
+
+impl FileClass {
+    /// Every rule armed — used for explicitly passed paths (fixtures).
+    pub fn strict() -> Self {
+        FileClass { d001: true, d002: true, d003: true, p001: true }
+    }
+}
+
+/// A parsed, well-formed suppression.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: Rule,
+    file_scope: bool,
+    /// The line of code the suppression covers (unused for file scope).
+    target_line: u32,
+}
+
+const MARKER: &str = "llmss-lint:";
+
+/// Parse every `llmss-lint:` comment. Returns the well-formed suppressions
+/// plus S001 diagnostics for malformed ones. `tokens` is needed to resolve
+/// the target line of standalone comments (the next line of code).
+fn parse_suppressions(
+    comments: &[Comment],
+    tokens: &[Spanned],
+) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for comment in comments {
+        // Only a comment that *starts* with the marker is a suppression;
+        // prose that merely mentions the syntax (docs, examples) is not.
+        let trimmed = comment.text.trim_start();
+        if !trimmed.starts_with(MARKER) {
+            continue;
+        }
+        let mut bad = |msg: &str| {
+            diags.push(Diagnostic {
+                rule: Rule::S001,
+                line: comment.line,
+                msg: msg.to_string(),
+            });
+        };
+        let rest = trimmed[MARKER.len()..].trim();
+        let Some(inner) = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+            .and_then(|r| r.rfind(')').map(|close| &r[..close]))
+        else {
+            bad("malformed suppression: expected `allow(<rule>, reason = \"...\")`");
+            continue;
+        };
+        // Split off the reason clause first — the reason string may itself
+        // contain commas.
+        let (head, reason) = match inner.find("reason") {
+            Some(p) => (&inner[..p], Some(inner[p..].trim_start_matches("reason"))),
+            None => (inner, None),
+        };
+        let mut rule = None;
+        let mut file_scope = false;
+        let mut head_ok = true;
+        for part in head.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if part.eq_ignore_ascii_case("file") {
+                file_scope = true;
+            } else if let Some(r) = Rule::parse(part) {
+                if rule.replace(r).is_some() {
+                    head_ok = false; // more than one rule named
+                }
+            } else {
+                head_ok = false; // unknown rule or stray flag
+            }
+        }
+        let Some(rule) = rule else {
+            bad("suppression names no known rule (one of d001, d002, d003, p001)");
+            continue;
+        };
+        if !head_ok {
+            bad("suppression must name exactly one rule (plus optional `file` flag)");
+            continue;
+        }
+        let reason_ok = reason
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.find('"').map(|q| !r[..q].trim().is_empty()))
+            .unwrap_or(false);
+        if !reason_ok {
+            bad("suppression must carry a non-empty reason: `reason = \"...\"`");
+            continue;
+        }
+        // Resolve the covered line: a trailing comment covers its own line;
+        // a standalone one covers the next line that has any code on it.
+        let target_line = if file_scope || comment.trailing {
+            comment.line
+        } else {
+            match tokens.iter().find(|t| t.line > comment.line) {
+                Some(t) => t.line,
+                None => {
+                    bad("suppression covers no code (nothing follows it)");
+                    continue;
+                }
+            }
+        };
+        sups.push(Suppression { rule, file_scope, target_line });
+    }
+    (sups, diags)
+}
+
+/// Mark the tokens belonging to `#[cfg(test)]` / `#[test]` items. Covers
+/// the attribute through the end of the item (the matching `}` of its first
+/// brace block, or a top-level `;`). `cfg(not(test))` and `cfg_attr` do not
+/// count as test markers.
+fn test_flags(tokens: &[Spanned]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let is_punct =
+        |k: usize, ch: char| matches!(tokens.get(k), Some(s) if s.tok == Tok::Punct(ch));
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(is_punct(i, '#') && is_punct(i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute to its matching `]`, deciding whether it marks
+        // a test item.
+        let mut j = i + 2;
+        let mut depth = 1u32;
+        let mut first_ident: Option<&str> = None;
+        let mut saw_test = false;
+        let mut prev_not = false;
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Ident(w) => {
+                    if first_ident.is_none() {
+                        first_ident = Some(w);
+                    }
+                    if w == "test" && !prev_not {
+                        saw_test = true;
+                    }
+                    prev_not = w == "not";
+                    j += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if !matches!(tokens[j].tok, Tok::Punct('(')) {
+                prev_not = false;
+            }
+            j += 1;
+        }
+        let is_test_attr = match first_ident {
+            Some("cfg") => saw_test,
+            Some("test") => true,
+            // `cfg_attr(test, ...)` items are still compiled outside tests.
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while is_punct(j, '#') && is_punct(j + 1, '[') {
+            let mut d = 1u32;
+            let mut k = j + 2;
+            while k < tokens.len() && d > 0 {
+                match tokens[k].tok {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        // Consume the item: a `;` at brace depth 0, or the close of its
+        // first `{ ... }` block.
+        let item_start = i;
+        let mut bdepth = 0i64;
+        let mut saw_brace = false;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => {
+                    bdepth += 1;
+                    saw_brace = true;
+                }
+                Tok::Punct('}') => {
+                    bdepth -= 1;
+                    if bdepth <= 0 && saw_brace {
+                        j += 1;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if bdepth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for f in flags.iter_mut().take(j.min(tokens.len())).skip(item_start) {
+            *f = true;
+        }
+        i = j;
+    }
+    flags
+}
+
+/// Run every armed rule over a lexed file and apply suppressions. Returns
+/// findings sorted by line, at most one per (rule, line).
+pub fn lint_tokens(lexed: &Lexed, class: FileClass) -> Vec<Diagnostic> {
+    let toks = &lexed.tokens;
+    let in_test = test_flags(toks);
+    let (sups, mut raw) = parse_suppressions(&lexed.comments, toks);
+
+    let ident = |k: usize| match toks.get(k).map(|s| &s.tok) {
+        Some(Tok::Ident(w)) => Some(w.as_str()),
+        _ => None,
+    };
+    let punct = |k: usize, ch: char| matches!(toks.get(k), Some(s) if s.tok == Tok::Punct(ch));
+
+    for k in 0..toks.len() {
+        if in_test[k] {
+            continue;
+        }
+        let line = toks[k].line;
+        match &toks[k].tok {
+            Tok::Ident(w) => {
+                if class.d001 && (w == "HashMap" || w == "HashSet") {
+                    raw.push(Diagnostic {
+                        rule: Rule::D001,
+                        line,
+                        msg: format!(
+                            "std {w} in simulation code (iteration order is \
+                             nondeterministic); use FnvHashMap + sorted drain, \
+                             BTreeMap, or suppress with a reason"
+                        ),
+                    });
+                }
+                if class.d002 && w == "SystemTime" {
+                    raw.push(Diagnostic {
+                        rule: Rule::D002,
+                        line,
+                        msg: "wall clock (SystemTime) in simulation code; \
+                              time must come from the virtual clock"
+                            .to_string(),
+                    });
+                }
+                if class.d002
+                    && w == "Instant"
+                    && punct(k + 1, ':')
+                    && punct(k + 2, ':')
+                    && ident(k + 3) == Some("now")
+                {
+                    raw.push(Diagnostic {
+                        rule: Rule::D002,
+                        line,
+                        msg: "wall clock (Instant::now) in simulation code; \
+                              time must come from the virtual clock"
+                            .to_string(),
+                    });
+                }
+                if class.d003 && w == "thread_rng" {
+                    raw.push(Diagnostic {
+                        rule: Rule::D003,
+                        line,
+                        msg: "unseeded randomness (thread_rng); derive an RNG \
+                              from the scenario seed"
+                            .to_string(),
+                    });
+                }
+                if class.d003
+                    && w == "rand"
+                    && punct(k + 1, ':')
+                    && punct(k + 2, ':')
+                    && ident(k + 3) == Some("random")
+                {
+                    raw.push(Diagnostic {
+                        rule: Rule::D003,
+                        line,
+                        msg: "unseeded randomness (rand::random); derive an RNG \
+                              from the scenario seed"
+                            .to_string(),
+                    });
+                }
+                if class.p001 && w == "panic" && punct(k + 1, '!') {
+                    raw.push(Diagnostic {
+                        rule: Rule::P001,
+                        line,
+                        msg: "panic! in library code; return an error or \
+                              suppress with a reason"
+                            .to_string(),
+                    });
+                }
+            }
+            Tok::Punct('.') if class.p001 => {
+                if let Some(w) = ident(k + 1) {
+                    if (w == "unwrap" || w == "expect") && punct(k + 2, '(') {
+                        raw.push(Diagnostic {
+                            rule: Rule::P001,
+                            line: toks[k + 1].line,
+                            msg: format!(
+                                ".{w}() in library code; handle the error or \
+                                 suppress with a reason"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Apply suppressions (S001 is never suppressible), then sort + dedupe.
+    let suppressed = |d: &Diagnostic| {
+        d.rule != Rule::S001
+            && sups
+                .iter()
+                .any(|s| s.rule == d.rule && (s.file_scope || s.target_line == d.line))
+    };
+    raw.retain(|d| !suppressed(d));
+    raw.sort_by_key(|d| (d.line, d.rule));
+    raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        lint_tokens(&lex(src), FileClass::strict())
+    }
+
+    fn rules(src: &str) -> Vec<Rule> {
+        run(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn each_rule_fires() {
+        assert_eq!(rules("use std::collections::HashMap;"), vec![Rule::D001]);
+        assert_eq!(rules("let t = Instant::now();"), vec![Rule::D002]);
+        assert_eq!(rules("let t = SystemTime::now();"), vec![Rule::D002]);
+        assert_eq!(rules("let r = thread_rng();"), vec![Rule::D003]);
+        assert_eq!(rules("let r: f64 = rand::random();"), vec![Rule::D003]);
+        assert_eq!(rules("let v = o.unwrap();"), vec![Rule::P001]);
+        assert_eq!(rules("let v = o.expect(\"msg\");"), vec![Rule::P001]);
+        assert_eq!(rules("panic!(\"boom\");"), vec![Rule::P001]);
+    }
+
+    #[test]
+    fn class_gates_rules() {
+        let off = FileClass { d001: false, d002: false, d003: false, p001: false };
+        let src = "use std::collections::HashMap; let t = Instant::now(); \
+                   let r = thread_rng(); let v = o.unwrap();";
+        assert_eq!(lint_tokens(&lex(src), off), vec![]);
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_line() {
+        let src = "let m = HashMap::new(); // llmss-lint: allow(d001, reason = \"test\")\n\
+                   let n = HashSet::new();";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), (Rule::D001, 2));
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_code_line() {
+        let src = "// llmss-lint: allow(p001, reason = \"covered below\")\n\
+                   // another comment\n\
+                   let v = o.unwrap();\n\
+                   let w = o.unwrap();";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn file_scope_suppression_covers_everything() {
+        let src = "// llmss-lint: allow(p001, file, reason = \"asserted invariants\")\n\
+                   let v = o.unwrap();\nfn g() { panic!(\"x\") }";
+        assert_eq!(run(src), vec![]);
+    }
+
+    #[test]
+    fn suppression_silences_only_its_rule() {
+        let src =
+            "let m = HashMap::new().get(&0).unwrap(); // llmss-lint: allow(d001, reason = \"t\")";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::P001);
+    }
+
+    #[test]
+    fn malformed_suppressions_are_findings() {
+        // Missing reason.
+        assert_eq!(rules("// llmss-lint: allow(d001)"), vec![Rule::S001]);
+        // Empty reason.
+        assert_eq!(rules("// llmss-lint: allow(d001, reason = \"\")"), vec![Rule::S001]);
+        // Unknown rule.
+        assert_eq!(rules("// llmss-lint: allow(d9, reason = \"x\")"), vec![Rule::S001]);
+        // Two rules at once.
+        assert_eq!(rules("// llmss-lint: allow(d001, d002, reason = \"x\")"), vec![Rule::S001]);
+        // S001 itself cannot be suppressed.
+        assert_eq!(rules("// llmss-lint: allow(s001, reason = \"x\")"), vec![Rule::S001]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n  \
+                   fn f() { x.unwrap(); panic!(\"ok\") }\n}\n";
+        assert_eq!(run(src), vec![]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }";
+        assert_eq!(rules(src), vec![Rule::P001]);
+    }
+
+    #[test]
+    fn test_fn_attr_is_exempt() {
+        let src = "#[test]\nfn f() { x.unwrap(); }\nfn g() { y.unwrap(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        assert_eq!(run("let v = o.unwrap_or(0).unwrap_or_default();"), vec![]);
+    }
+
+    #[test]
+    fn fnv_containers_are_not_flagged() {
+        assert_eq!(run("let m: FnvHashMap<u32, u32> = FnvHashMap::default();"), vec![]);
+    }
+}

@@ -1,0 +1,67 @@
+//! The lint's self-test: every checked-in bad fixture must trigger exactly
+//! its rule (with file:line diagnostics), and the suppressed fixture must
+//! be clean. CI also runs the binary against the corpus and requires a
+//! nonzero exit — this test pins the same contract at the library level.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use llmss_lint::{lint_source, Rule};
+
+fn lint_fixture(name: &str) -> Vec<llmss_lint::Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    // The corpus is linted under its real repo path, which classifies as
+    // "outside the workspace layout" -> every rule armed.
+    lint_source(&format!("crates/lint/fixtures/{name}"), &src)
+}
+
+fn rule_set(name: &str) -> BTreeSet<Rule> {
+    lint_fixture(name).into_iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn each_bad_fixture_triggers_exactly_its_rule() {
+    let corpus = [
+        ("d001_hashmap.rs", Rule::D001),
+        ("d002_wall_clock.rs", Rule::D002),
+        ("d003_unseeded_rng.rs", Rule::D003),
+        ("p001_panics.rs", Rule::P001),
+        ("s001_bad_suppression.rs", Rule::S001),
+    ];
+    for (name, rule) in corpus {
+        let rules = rule_set(name);
+        assert_eq!(
+            rules,
+            BTreeSet::from([rule]),
+            "{name}: expected exactly {rule:?}, got {rules:?}"
+        );
+        for d in lint_fixture(name) {
+            assert!(d.line > 0, "{name}: diagnostic without a line");
+            assert!(!d.msg.is_empty(), "{name}: diagnostic without a message");
+        }
+    }
+}
+
+#[test]
+fn p001_fixture_pins_all_three_forms() {
+    // unwrap(), expect(), and panic! each produce their own finding.
+    assert_eq!(lint_fixture("p001_panics.rs").len(), 3);
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let diags = lint_fixture("suppressed_ok.rs");
+    assert!(diags.is_empty(), "expected clean, got {diags:?}");
+}
+
+#[test]
+fn fixture_lines_point_at_the_offending_code() {
+    // The D002 fixture reads the clocks on two adjacent lines inside
+    // `stamp()` (plus the SystemTime mentions in the import and the
+    // signature); the diagnostics must carry those exact lines.
+    let lines: Vec<u32> = lint_fixture("d002_wall_clock.rs").iter().map(|d| d.line).collect();
+    assert_eq!(lines.len(), 4);
+    assert_eq!(lines[3], lines[2] + 1, "Instant::now / SystemTime::now are adjacent");
+}

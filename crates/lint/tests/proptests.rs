@@ -1,0 +1,95 @@
+//! Property tests for the scanner itself.
+
+use proptest::prelude::*;
+
+use llmss_lint::{lexer, lint_source, Rule};
+
+/// The four rules, each with a one-line violation and its suppression id.
+const VIOLATIONS: &[(&str, &str, Rule)] = &[
+    ("let m: HashMap<u32, u32> = HashMap::new();", "d001", Rule::D001),
+    ("let t = Instant::now();", "d002", Rule::D002),
+    ("let r = thread_rng();", "d003", Rule::D003),
+    ("let v = o.unwrap();", "p001", Rule::P001),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lexer (and the full lint pass) is total: arbitrary byte soup —
+    /// including truncated literals, stray quotes, and non-UTF-8 sequences
+    /// patched by lossy decoding — never panics.
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = lexer::lex(&src);
+        // Line numbers stay sane: 1-based, nondecreasing never required,
+        // but bounded by the number of newlines + 1.
+        let max_line = src.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= max_line);
+        }
+        let _ = lint_source("crates/core/src/arbitrary.rs", &src);
+    }
+
+    /// A well-formed suppression silences exactly the rule it names: with
+    /// all four violations on one line, suppressing one leaves the other
+    /// three firing — in both trailing and standalone comment positions.
+    #[test]
+    fn suppression_silences_exactly_one_rule(
+        which in 0usize..4,
+        trailing in 0usize..2,
+    ) {
+        // All four violations on one line, one suppression for `which`.
+        let all: Vec<&str> = VIOLATIONS.iter().map(|v| v.0).collect();
+        let (_, id, suppressed_rule) = VIOLATIONS[which];
+        let line = all.join(" ");
+        let src = if trailing == 1 {
+            format!("{line} // llmss-lint: allow({id}, reason = \"prop\")\n")
+        } else {
+            format!("// llmss-lint: allow({id}, reason = \"prop\")\n{line}\n")
+        };
+        let diags = lint_source("crates/core/src/prop_case.rs", &src);
+        let rules: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+        // The suppressed rule is silent; every other rule still fires.
+        prop_assert!(!rules.contains(&suppressed_rule), "{src}: {rules:?}");
+        for (_, _, rule) in VIOLATIONS {
+            if *rule != suppressed_rule {
+                prop_assert!(rules.contains(rule), "{src}: {rules:?} missing {rule:?}");
+            }
+        }
+        // And without the suppression, all four fire.
+        let bare = lint_source("crates/core/src/prop_case.rs", &format!("{line}\n"));
+        prop_assert_eq!(bare.len(), 4);
+    }
+
+    /// Allowlisted paths never fire their exempted rule, no matter the
+    /// violation mix: bench sources may read the wall clock (no D002, no
+    /// D001 — not simulation path), binaries may panic (no P001). D003
+    /// applies everywhere.
+    #[test]
+    fn allowlisted_paths_never_fire(
+        mask in 1usize..16,
+    ) {
+        let mut body = String::new();
+        for (i, (stmt, _, _)) in VIOLATIONS.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                body.push_str(stmt);
+                body.push('\n');
+            }
+        }
+        let bench = lint_source("crates/bench/src/gen.rs", &body);
+        prop_assert!(bench.iter().all(|d| d.rule != Rule::D001 && d.rule != Rule::D002),
+            "bench fired a wall/hash rule: {bench:?}");
+        let bin = lint_source("crates/core/src/bin/tool.rs", &body);
+        prop_assert!(bin.iter().all(|d| d.rule != Rule::P001),
+            "binary fired P001: {bin:?}");
+        let vendor = lint_source("vendor/rand/src/lib.rs", &body);
+        prop_assert!(vendor.is_empty(), "vendored code is out of scope: {vendor:?}");
+        // The same body under a simulation lib path fires one finding per
+        // selected violation.
+        let sim = lint_source("crates/core/src/gen.rs", &body);
+        prop_assert_eq!(sim.len(), (mask as u32).count_ones() as usize);
+    }
+}

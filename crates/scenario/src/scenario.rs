@@ -1,6 +1,7 @@
 //! The [`Scenario`] builder: one typed, declarative description of a
 //! serving experiment, validated at build time.
 
+// llmss-lint: allow(p001, file, reason = "emit paths assert invariants established by validate(); serializing a validated scenario is infallible")
 use llmss_cluster::{ClusterConfig, ClusterSimulator, RoutingPolicyKind};
 use llmss_core::{
     AutoscaleConfig, AutoscaleControl, ControlPlane, FleetEngine, FlexPools, FlexPoolsConfig,

@@ -15,6 +15,7 @@
 //! are skipped (TOML has no null; optional scenario fields simply stay
 //! absent).
 
+// llmss-lint: allow(p001, file, reason = "codec internals assert parser-guaranteed non-empty key paths")
 use serde::Value;
 
 /// Parses TOML text into a [`Value::Object`] tree.

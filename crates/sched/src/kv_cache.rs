@@ -7,8 +7,7 @@
 //! max-length policy reserves `max_seq` tokens per request up front — the
 //! baseline whose fragmentation paged attention eliminates.
 
-use std::collections::HashMap;
-
+use llmss_model::FnvHashMap;
 use serde::{Deserialize, Serialize};
 
 /// Which allocation policy the cache uses.
@@ -125,7 +124,7 @@ impl std::error::Error for KvError {}
 #[derive(Debug, Clone)]
 pub struct KvCache {
     config: KvCacheConfig,
-    entries: HashMap<u64, KvEntry>,
+    entries: FnvHashMap<u64, KvEntry>,
     /// Admission order of currently-known requests (eviction picks the
     /// most recently admitted resident entry).
     order: Vec<u64>,
@@ -141,7 +140,7 @@ impl KvCache {
     pub fn new(config: KvCacheConfig) -> Self {
         let total = config.total_pages();
         assert!(total > 0, "KV capacity must hold at least one page");
-        Self { config, entries: HashMap::new(), order: Vec::new(), free_pages: total }
+        Self { config, entries: FnvHashMap::default(), order: Vec::new(), free_pages: total }
     }
 
     /// The configuration.
@@ -240,7 +239,7 @@ impl KvCache {
         let victim = self.order.iter().rev().copied().find(|id| {
             Some(*id) != except && self.entries.get(id).is_some_and(|e| !e.on_host)
         })?;
-        let entry = self.entries.get_mut(&victim).expect("victim exists");
+        let entry = self.entries.get_mut(&victim).expect("victim exists"); // llmss-lint: allow(p001, reason = "the victim id was just drawn from the resident set")
         entry.on_host = true;
         let pages = entry.pages;
         self.free_pages += pages;
