@@ -23,8 +23,7 @@
 //! a recording sink must stay within [`TELEMETRY_MAX_OVERHEAD`], and
 //! neither may perturb the simulated duration).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::{Serialize, Value};
@@ -115,6 +114,7 @@ struct SimspeedReport {
     /// Bucketed-vs-off wall-clock speedup per scenario.
     speedup_single: f64,
     speedup_cluster: f64,
+    speedup_cluster_shared: f64,
     speedup_disagg: f64,
     telemetry: TelemetryOverhead,
 }
@@ -252,6 +252,26 @@ fn run_cluster(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
     collect("cluster-4", memo, wall_s, wall, iterations, sim_duration_ps, &summary)
 }
 
+/// The cluster-4 scenario with the fleet-wide shared reuse cache armed:
+/// the four replicas warm one iteration/op cache instead of four, which
+/// removes the cold-start artifact that made cluster-4 the worst
+/// memoization win in earlier baselines.
+fn run_cluster_shared(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
+    let cfg = memo.apply(replica_config());
+    let t0 = Instant::now();
+    let mut sim = ClusterSimulator::new(cfg, ClusterConfig::new(4), requests)
+        .expect("gpt2 fits one Table-I NPU");
+    sim.enable_shared_cache();
+    let report = sim.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let summary = parse_summary(&report.summary_json());
+    let iterations = sum_iterations(&[field(&summary, "replicas")]);
+    let sim_duration_ps = as_u64(field(&summary, "makespan_ps"));
+    let refs: Vec<&SimReport> = report.replica_reports.iter().collect();
+    let wall = wall_breakdown(&refs);
+    collect("cluster-4-shared", memo, wall_s, wall, iterations, sim_duration_ps, &summary)
+}
+
 fn run_disagg(memo: Memo, requests: Vec<Request>) -> ScenarioResult {
     let cfg = memo.apply(replica_config());
     let t0 = Instant::now();
@@ -291,7 +311,7 @@ fn telemetry_overhead(requests: &[Request]) -> TelemetryOverhead {
             let cfg = Memo::Bucketed.apply(replica_config());
             let mut sim = llmss_core::ServingSimulator::new(cfg, requests.to_vec())
                 .expect("gpt2 fits one Table-I NPU");
-            let sink = Rc::new(RefCell::new(MemorySink::new()));
+            let sink = Arc::new(Mutex::new(MemorySink::new()));
             match mode {
                 TelemetryMode::Baseline => {}
                 TelemetryMode::OffHandle => sim.set_telemetry(Telemetry::off()),
@@ -301,7 +321,7 @@ fn telemetry_overhead(requests: &[Request]) -> TelemetryOverhead {
             let report = sim.run();
             best = best.min(t0.elapsed().as_secs_f64());
             sim_duration_ps = report.sim_duration_ps;
-            events = sink.borrow().events().len();
+            events = sink.lock().expect("telemetry sink lock").events().len();
         }
         (best, sim_duration_ps, events)
     };
@@ -337,8 +357,12 @@ fn main() {
     );
 
     type Runner = fn(Memo, Vec<Request>) -> ScenarioResult;
-    let runners: [(&str, Runner); 3] =
-        [("single", run_single), ("cluster-4", run_cluster), ("disagg-2x2", run_disagg)];
+    let runners: [(&str, Runner); 4] = [
+        ("single", run_single),
+        ("cluster-4", run_cluster),
+        ("cluster-4-shared", run_cluster_shared),
+        ("disagg-2x2", run_disagg),
+    ];
 
     let mut results: Vec<ScenarioResult> = Vec::new();
     for (_, runner) in &runners {
@@ -374,11 +398,16 @@ fn main() {
             0.0
         }
     };
-    let (speedup_single, speedup_cluster, speedup_disagg) =
-        (speedup("single"), speedup("cluster-4"), speedup("disagg-2x2"));
+    let (speedup_single, speedup_cluster, speedup_cluster_shared, speedup_disagg) = (
+        speedup("single"),
+        speedup("cluster-4"),
+        speedup("cluster-4-shared"),
+        speedup("disagg-2x2"),
+    );
     println!(
         "\nbucketed-vs-off speedup: single {speedup_single:.1}x, \
-         cluster {speedup_cluster:.1}x, disagg {speedup_disagg:.1}x"
+         cluster {speedup_cluster:.1}x (shared {speedup_cluster_shared:.1}x), \
+         disagg {speedup_disagg:.1}x"
     );
 
     let telemetry = telemetry_overhead(&requests);
@@ -394,6 +423,7 @@ fn main() {
         results,
         speedup_single,
         speedup_cluster,
+        speedup_cluster_shared,
         speedup_disagg,
         telemetry,
     };
@@ -437,6 +467,26 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        // Shared-cache gate: with one fleet-wide cache the cluster's
+        // iteration hit rate must sit within 10 points of the
+        // single-replica rate (the cold-start artifact it eliminates).
+        let rate = |scenario: &str| {
+            report
+                .results
+                .iter()
+                .find(|r| r.scenario == scenario && r.memo == Memo::Bucketed.label())
+                .map_or(0.0, |r| r.iter_hit_rate)
+        };
+        let (single_rate, shared_rate) = (rate("single"), rate("cluster-4-shared"));
+        if shared_rate < single_rate - 0.10 {
+            eprintln!(
+                "FAIL: cluster-4-shared bucketed hit rate {:.1}% is more than 10 points \
+                 below the single-replica {:.1}%",
+                shared_rate * 100.0,
+                single_rate * 100.0
+            );
+            failed = true;
         }
         // Telemetry cost gates: the unattached handle is free, a
         // recording sink stays within its wall budget, and a recording

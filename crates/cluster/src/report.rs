@@ -186,7 +186,7 @@ impl ClusterReport {
         let tpot = PercentileSummary::display_or_na(self.tpot_percentiles());
         let latency = PercentileSummary::display_or_na(self.latency_percentiles());
         let reuse = self.aggregate_reuse();
-        format!(
+        let mut out = format!(
             "cluster policy={} replicas={} requests={} makespan={:.2}s \
              gen_tput={:.1} tok/s ttft[{ttft}] tpot[{tpot}] latency[{latency}] \
              imbalance={:.2} util_cv={:.3} op_reuse={:.1}% iter_reuse={:.1}%",
@@ -199,7 +199,15 @@ impl ClusterReport {
             self.utilization_imbalance(),
             reuse.hit_rate() * 100.0,
             reuse.iteration_hit_rate() * 100.0,
-        )
+        );
+        if reuse.shared_armed {
+            out.push_str(&format!(
+                " shared_hits={} local_iter_reuse={:.1}%",
+                reuse.shared_hits,
+                reuse.local_iteration_hit_rate() * 100.0,
+            ));
+        }
+        out
     }
 
     /// Machine-readable cluster summary as pretty-printed JSON: cluster

@@ -154,6 +154,18 @@ impl ClusterSimulator {
         self.engine.set_telemetry(telemetry);
     }
 
+    /// Sets the worker-thread budget for windowed fleet stepping
+    /// (byte-identical outcomes under any value; 1 = serial).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.engine.set_shards(shards);
+    }
+
+    /// Arms the cluster-wide shared reuse cache: homogeneous replicas
+    /// warm one iteration/op cache instead of N private ones.
+    pub fn enable_shared_cache(&mut self) {
+        self.engine.enable_shared_cache();
+    }
+
     /// The routing policy driving this cluster.
     pub fn policy_name(&self) -> &'static str {
         self.routing.as_str()

@@ -280,6 +280,26 @@ impl SimConfig {
         }
     }
 
+    /// A deterministic 64-bit digest of every field that shapes
+    /// simulated outcomes — the namespace key for the cross-replica
+    /// [`SharedReuse`](crate::SharedReuse) tier. Two replicas may share
+    /// cached iteration outcomes only when their fingerprints agree:
+    /// identical configurations produce identical graphs, so a cached
+    /// outcome is a pure function of the batch signature within one
+    /// fingerprint. The digest is FNV-1a over the `Debug` rendering,
+    /// which covers all fields (the struct is not serde-serializable)
+    /// and stays stable for a fixed configuration within one build.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// Sets the number of NPUs.
     pub fn npu_num(mut self, n: usize) -> Self {
         self.npu_num = n;

@@ -229,6 +229,27 @@ pub struct FleetEngine {
     /// Fleet-level event sink handle (off by default; replicas carry
     /// their own per-index handles).
     telemetry: Telemetry,
+    /// Worker-thread budget for windowed stepping (1 = inline). Values
+    /// above 1 opt into the windowed path; outcomes are byte-identical
+    /// under any value.
+    shards: usize,
+    /// The fleet-wide reuse tier, when
+    /// [`enable_shared_cache`](Self::enable_shared_cache) armed it.
+    shared: Option<crate::SharedReuse>,
+    /// Scratch: replica indices runnable inside the current window
+    /// (kept on the engine to reuse its allocation across windows).
+    window: Vec<usize>,
+    /// Replicas that ran iterations since the last publish point —
+    /// exactly the set whose `fresh` shared-cache buffers can be
+    /// non-empty. Publishing walks only these (ascending), not the
+    /// whole fleet: at planet scale the full-fleet pointer chase costs
+    /// more than the simulation itself.
+    dirty: Vec<usize>,
+    /// Live count of prefill-role slots, maintained across role
+    /// switches and scale-ups. Zero on every cluster fleet, which lets
+    /// the window collector skip the O(replicas) role scan and drain
+    /// members straight off the heap.
+    prefill_slots: usize,
     /// Fault-injection state; `None` (the default) leaves every code
     /// path byte-identical to a chaos-free engine.
     chaos: Option<ChaosState>,
@@ -346,6 +367,11 @@ impl FleetEngine {
             tick_ps,
             handoffs_total: 0,
             telemetry: Telemetry::off(),
+            shards: 1,
+            shared: None,
+            window: Vec::new(),
+            dirty: Vec::new(),
+            prefill_slots: slots.iter().filter(|s| s.role == ReplicaRole::Prefill).count(),
             chaos: None,
             #[cfg(feature = "sanitize")]
             sanitize_clocks: vec![0; sims.len()],
@@ -364,6 +390,53 @@ impl FleetEngine {
     /// build.
     pub fn set_chaos(&mut self, schedule: ChaosSchedule) {
         self.chaos = Some(ChaosState::new(schedule, self.sims.len(), self.fabric.link_count()));
+    }
+
+    /// Sets the worker-thread budget for windowed stepping. Replicas
+    /// only interact at admission, transfer-commit, control-tick,
+    /// fault, and fabric boundaries; with `shards > 1` the engine
+    /// advances every replica runnable strictly before the next such
+    /// barrier in bulk, partitioned across up to `shards` threads
+    /// (capped by the host's parallelism). Virtual-time outcomes are
+    /// byte-identical to the serial loop under any shard count; `1`
+    /// (the default) keeps the per-event serial loop, preserving
+    /// goldens bit for bit. Values of `0` are treated as `1`.
+    ///
+    /// Sharding is rejected only dynamically: a step taken while
+    /// telemetry is attached or while the control plane is reactive
+    /// falls back to the serial loop (both consume the global event
+    /// interleaving, which windows do not preserve).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured worker-thread budget for windowed stepping.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Arms the fleet-wide shared reuse cache: every replica keeps its
+    /// private iteration/op cache tiers but, on a local miss, consults
+    /// a shared store namespaced by configuration fingerprint — so N
+    /// homogeneous replicas pay one cold miss per signature instead of
+    /// N. Fresh entries publish at engine-step boundaries in
+    /// replica-index order (first write wins), keeping hit/miss
+    /// counters byte-deterministic under any shard count.
+    ///
+    /// Arming the shared cache routes stepping through the windowed
+    /// path even at `shards = 1`, so shard counts never disagree on
+    /// publish timing.
+    pub fn enable_shared_cache(&mut self) {
+        let shared = self.shared.get_or_insert_with(crate::SharedReuse::new).clone();
+        for (sim, slot) in self.sims.iter_mut().zip(&self.slots) {
+            sim.attach_shared_reuse(shared.clone(), slot.config.fingerprint());
+        }
+    }
+
+    /// Whether [`enable_shared_cache`](Self::enable_shared_cache) armed
+    /// the fleet-wide reuse tier.
+    pub fn shared_cache_enabled(&self) -> bool {
+        self.shared.is_some()
     }
 
     /// Attaches an event sink to the whole fleet: every replica gets a
@@ -568,9 +641,15 @@ impl FleetEngine {
                     .expect("the template configuration was already realized once");
                 let index = self.sims.len();
                 sim.set_telemetry(self.telemetry.for_replica(index));
+                if let Some(shared) = &self.shared {
+                    sim.attach_shared_reuse(shared.clone(), config.fingerprint());
+                }
                 self.sims.push(sim);
                 let mut slot = ReplicaSlot::new(config);
                 slot.active_from_ps = active_from;
+                if slot.role == ReplicaRole::Prefill {
+                    self.prefill_slots += 1;
+                }
                 self.slots.push(slot);
                 self.heap.grow();
                 #[cfg(feature = "sanitize")]
@@ -609,6 +688,11 @@ impl FleetEngine {
             role: role.to_string(),
         });
         let slot = &mut self.slots[replica];
+        match (slot.role == ReplicaRole::Prefill, role == ReplicaRole::Prefill) {
+            (true, false) => self.prefill_slots -= 1,
+            (false, true) => self.prefill_slots += 1,
+            _ => {}
+        }
         slot.role = role;
         slot.pending_role = None;
         // Completions produced under the old role are not handoffs of the
@@ -1213,13 +1297,209 @@ impl FleetEngine {
         self.pending.push(std::cmp::Reverse((at, id, from)));
     }
 
+    /// Advances the fleet by one step. Returns `false` when everything
+    /// has drained.
+    ///
+    /// The default path is the per-event serial loop
+    /// (`step_serial`). With `shards > 1` or the
+    /// shared reuse cache armed — and neither telemetry nor a reactive
+    /// control plane consuming the global event interleaving — the
+    /// engine instead advances a whole *window*: every replica
+    /// iteration strictly before the next cross-replica interaction
+    /// point (arrival, control tick, fault, fabric event, pending
+    /// KV-transfer readiness, or a prefill replica's next completion)
+    /// runs in bulk, partitioned across worker threads when the budget
+    /// and the host allow. Replicas cannot interact inside a window,
+    /// so outcomes are byte-identical to the serial loop under any
+    /// shard count; anything at or past the barrier falls back to one
+    /// serial step.
+    pub fn step(&mut self) -> bool {
+        // Fresh shared-cache entries publish at the top of every step —
+        // a virtual-time-determined boundary, identical under any shard
+        // count and any thread timing — in replica-index order, so
+        // first-write-wins resolves deterministically. Only replicas
+        // that stepped since the last publish can hold fresh entries
+        // (`dirty` is ascending: one sorted window or one serial step).
+        if self.shared.is_some() {
+            for &i in &self.dirty {
+                self.sims[i].publish_shared_reuse();
+            }
+        }
+        self.dirty.clear();
+        if self.windowed_active() {
+            if let Some(barrier) = self.collect_window() {
+                self.run_window(barrier);
+                return true;
+            }
+        }
+        self.step_serial()
+    }
+
+    /// Whether stepping may take the windowed path right now.
+    fn windowed_active(&self) -> bool {
+        (self.shards > 1 || self.shared.is_some())
+            && !self.control.reactive()
+            && !self.telemetry.is_on()
+    }
+
+    /// Computes the next interaction barrier and collects the replicas
+    /// runnable strictly before it into `self.window`. Returns the
+    /// barrier (`None` meaning unbounded: no future interaction point
+    /// exists and runnable replicas may drain completely) when the
+    /// window is non-empty, or `None` overall when no replica can step
+    /// before the barrier — the caller then takes one serial step,
+    /// which handles the barrier event itself (and termination).
+    fn collect_window(&mut self) -> Option<Option<TimePs>> {
+        let mut barrier = [
+            self.arrivals.front().map(|r| r.arrival_ps),
+            self.tick_ps.map(|_| self.next_tick_ps),
+            self.next_fault_ps(),
+            self.fabric.next_event_ps(),
+            self.pending.peek().map(|&std::cmp::Reverse((t, _, _))| t),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        // Cheap early-out: if the earliest replica event is not strictly
+        // before the global barrier, the window is empty (prefill-ready
+        // times below only lower the barrier further) and one serial
+        // step handles the barrier event. This keeps dense-arrival
+        // phases at O(log replicas) per event instead of paying the
+        // O(replicas) membership scan just to find nothing runnable.
+        match (self.heap.peek(), barrier) {
+            (None, _) => return None,
+            (Some((t, _)), Some(b)) if t >= b => return None,
+            _ => {}
+        }
+        #[cfg(feature = "sanitize")]
+        debug_assert_eq!(
+            self.slots.iter().filter(|s| s.role == ReplicaRole::Prefill).count(),
+            self.prefill_slots,
+            "sanitize: prefill slot counter drifted from the role column"
+        );
+        self.window.clear();
+        if self.prefill_slots == 0 {
+            // Prefill-free fleet (every cluster): drain runnable members
+            // straight off the heap in ready order — O(window · log
+            // replicas), independent of fleet size. The pops park each
+            // member in the mirror; `run_window` re-keys them after
+            // stepping. Membership sorts back to replica order so the
+            // post-window bookkeeping stays deterministic.
+            while let Some((t, i)) = self.heap.peek() {
+                if barrier.is_some_and(|b| t >= b) {
+                    break;
+                }
+                self.heap.pop();
+                self.window.push(i);
+            }
+            self.window.sort_unstable();
+        } else {
+            // A prefill iteration can finish a prefill, which both
+            // queues a new pending transfer and moves the commit horizon
+            // — so every prefill replica's next event is itself a
+            // barrier. (They therefore never step inside windows; linked
+            // fleets advance their prefill side through the serial
+            // fallback.)
+            for (i, slot) in self.slots.iter().enumerate() {
+                if slot.role == ReplicaRole::Prefill {
+                    if let Some(t) = self.heap.ready_of(i) {
+                        barrier = Some(barrier.map_or(t, |b| b.min(t)));
+                    }
+                }
+            }
+            for i in 0..self.slots.len() {
+                if let Some(t) = self.heap.ready_of(i) {
+                    if barrier.is_none_or(|b| t < b) {
+                        self.window.push(i);
+                    }
+                }
+            }
+        }
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(barrier)
+        }
+    }
+
+    /// Advances every replica in `self.window` through all of its
+    /// iterations strictly before `barrier`, then re-keys the heap and
+    /// settles per-replica bookkeeping in replica-index order.
+    fn run_window(&mut self, barrier: Option<TimePs>) {
+        let window = std::mem::take(&mut self.window);
+        let workers = if self.shards > 1 {
+            host_parallelism().min(self.shards).min(window.len())
+        } else {
+            1
+        };
+        {
+            // Disjoint `&mut` access to exactly the windowed simulators:
+            // `window` is ascending, so chained `split_at_mut` carves
+            // them out in O(window) without walking the whole fleet.
+            let mut picked: Vec<&mut ServingSimulator> = Vec::with_capacity(window.len());
+            let mut rest: &mut [ServingSimulator] = &mut self.sims;
+            let mut base = 0usize;
+            for &i in &window {
+                let (member, tail) = std::mem::take(&mut rest)[i - base..].split_at_mut(1);
+                picked.push(&mut member[0]);
+                rest = tail;
+                base = i + 1;
+            }
+            if workers <= 1 {
+                for sim in picked {
+                    step_to_barrier(sim, barrier);
+                }
+            } else {
+                // Round-robin partition: deterministic, and irrelevant
+                // to outcomes — windowed replicas share no state.
+                let mut shards: Vec<Vec<&mut ServingSimulator>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (j, sim) in picked.into_iter().enumerate() {
+                    shards[j % workers].push(sim);
+                }
+                std::thread::scope(|scope| {
+                    for shard in shards {
+                        scope.spawn(move || {
+                            for sim in shard {
+                                step_to_barrier(sim, barrier);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        for &idx in &window {
+            #[cfg(feature = "sanitize")]
+            {
+                let now = self.sims[idx].clock_ps();
+                debug_assert!(
+                    now >= self.sanitize_clocks[idx],
+                    "sanitize: replica {idx} virtual clock ran backwards across a window \
+                     ({} -> {now} ps)",
+                    self.sanitize_clocks[idx]
+                );
+                self.sanitize_clocks[idx] = now;
+            }
+            debug_assert!(
+                self.slots[idx].role != ReplicaRole::Prefill,
+                "a prefill replica stepped inside a window"
+            );
+            if self.shared.is_some() {
+                self.dirty.push(idx);
+            }
+            self.try_apply_pending_role(idx);
+            self.refresh(idx);
+        }
+        self.window = window;
+    }
+
     /// Processes the earliest virtual-time event: fires due control
     /// ticks, commits any transfer whose KV-ready order is settled,
     /// advances the fabric when its next flow event is the earliest
     /// thing in the fleet, then admits one arrival or runs one replica
     /// iteration (queueing any prefills it finishes). Returns `false`
     /// when everything has drained.
-    pub fn step(&mut self) -> bool {
+    fn step_serial(&mut self) -> bool {
         if self.tick_ps.is_some() {
             if let Some(horizon) = self.next_ready_ps() {
                 self.fire_due_ticks(horizon);
@@ -1328,6 +1608,9 @@ impl FleetEngine {
             }
             (false, Some((_, idx))) => {
                 self.heap.pop();
+                if self.shared.is_some() {
+                    self.dirty.push(idx);
+                }
                 let before = self.sims[idx].scheduler().completions().len();
                 self.sims[idx].step();
                 let after = self.sims[idx].scheduler().completions().len();
@@ -1443,6 +1726,38 @@ impl FleetEngine {
             fabric: self.fabric.stats(),
             resilience,
         }
+    }
+}
+
+/// The host's thread budget, probed once. `available_parallelism`
+/// reads cgroup limits from the filesystem on Linux, far too slow to
+/// call per window.
+fn host_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Advances one replica through every iteration strictly before
+/// `barrier` (all of them when the barrier is `None`). This is the
+/// worker-thread body of a sharded window: it touches nothing but the
+/// one simulator, and the barrier guarantees no cross-replica
+/// interaction falls inside the window.
+fn step_to_barrier(sim: &mut ServingSimulator, barrier: Option<TimePs>) {
+    while sim.next_ready_ps().is_some_and(|t| barrier.is_none_or(|b| t < b)) {
+        #[cfg(feature = "sanitize")]
+        let before = sim.clock_ps();
+        if !sim.step() {
+            break;
+        }
+        #[cfg(feature = "sanitize")]
+        debug_assert!(
+            sim.clock_ps() >= before,
+            "sanitize: replica virtual clock ran backwards inside a window \
+             ({before} -> {} ps)",
+            sim.clock_ps()
+        );
     }
 }
 

@@ -107,6 +107,13 @@ impl ReadyHeap {
     pub fn min_live(&self) -> Option<(TimePs, usize)> {
         self.ready.iter().enumerate().filter_map(|(i, r)| r.map(|t| (t, i))).min()
     }
+
+    /// The live ready-time of one replica (`None` = parked/idle) — the
+    /// windowed step loop reads the whole mirror to collect the set of
+    /// replicas runnable before a barrier without disturbing the heap.
+    pub fn ready_of(&self, replica: usize) -> Option<TimePs> {
+        self.ready[replica]
+    }
 }
 
 #[cfg(test)]

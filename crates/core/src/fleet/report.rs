@@ -240,6 +240,13 @@ impl FleetReport {
             reuse.hit_rate() * 100.0,
             reuse.iteration_hit_rate() * 100.0,
         );
+        if reuse.shared_armed {
+            out.push_str(&format!(
+                " shared_hits={} local_iter_reuse={:.1}%",
+                reuse.shared_hits,
+                reuse.local_iteration_hit_rate() * 100.0,
+            ));
+        }
         if let Some(fabric) = &self.fabric {
             out.push_str(&format!(" fabric={}", fabric.label));
             if let Some((p50, _, p99)) = self.contention() {

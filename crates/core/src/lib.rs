@@ -77,7 +77,8 @@ pub use report::{
     SimReport, SloCompletion, SloSummary, ThroughputBin, WallBreakdown,
 };
 pub use reuse::{
-    BucketAdaptivity, IterationCache, IterationLookup, IterationOutcome, ReuseCache, ReuseStats,
+    BucketAdaptivity, IterationCache, IterationLookup, IterationOutcome, ReuseCache,
+    ReuseStats, SharedReuse,
 };
 pub use sim::ServingSimulator;
 pub use simulate::Simulate;

@@ -498,7 +498,7 @@ impl SimReport {
 
     /// One-paragraph human summary (the artifact's standard output).
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "iterations={} requests={} sim_time={:.2}s prompt_tok={} gen_tok={} \
              gen_tput={:.1} tok/s mean_lat={:.2}s reuse_hit_rate={:.1}% \
              iter_reuse={:.1}% wall={:.2}s \
@@ -517,7 +517,17 @@ impl SimReport {
             self.wall.engine.as_secs_f64(),
             self.wall.converter.as_secs_f64(),
             self.wall.network.as_secs_f64(),
-        )
+        );
+        // The per-replica vs fleet-wide split only means something (and
+        // only stays byte-stable) when a shared cache ran.
+        if self.reuse.shared_armed {
+            out.push_str(&format!(
+                " shared_hits={} local_iter_reuse={:.1}%",
+                self.reuse.shared_hits,
+                self.reuse.local_iteration_hit_rate() * 100.0,
+            ));
+        }
+        out
     }
 }
 

@@ -23,12 +23,98 @@
 //! keys on the hottest path in the simulator, where SipHash is wasted
 //! defense.
 
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
 use llmss_model::{BatchSignature, FnvHashMap, OpSignature, SigLayout, SignatureBuilder};
 use llmss_net::{SimOutcome, TimePs};
 use llmss_sched::IterationBatch;
 use serde::{Deserialize, Serialize};
 
 use crate::DeviceKind;
+
+/// Poison-tolerant read lock: a poisoned shared cache only means
+/// another thread panicked mid-publish, and the map itself is always
+/// left consistent (publishes are per-entry inserts) — propagating a
+/// second panic would just mask the first.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match lock.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Poison-tolerant write lock — see [`read_lock`].
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Folds a signature-layout KV bucket into a configuration fingerprint.
+///
+/// Replicas annealing under [`BucketAdaptivity`] can reach different
+/// bucket widths at the same virtual time; a signature built under a
+/// 4-token bucket must never answer for one built under 8 tokens even
+/// though the two `BatchSignature` values can collide. Namespacing the
+/// shared maps by `(config fingerprint ⊕ bucket)` makes cross-bucket
+/// aliasing structurally impossible.
+fn bucket_fingerprint(base: u64, kv_bucket: u32) -> u64 {
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut hash = base;
+    for byte in kv_bucket.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The cross-replica shared reuse tier: one iteration-outcome map and
+/// one operator-price map, shared by every replica of a fleet. Entries
+/// are namespaced by a [`SimConfig::fingerprint`](crate::SimConfig::fingerprint)
+/// (mixed with the live KV bucket width), so only replicas whose
+/// configurations agree — for which cached outcomes are pure functions
+/// of the signature — ever exchange entries.
+///
+/// # Determinism contract
+///
+/// Replicas never write through this handle mid-iteration. Locally
+/// discovered entries accumulate in a per-replica `fresh` buffer and
+/// publish (first write wins) only when the owning driver calls
+/// `publish_shared` — the fleet engine does so at its global sync
+/// points (admission, transfer commit, control ticks, faults), in
+/// replica-index order. Between sync points every lookup sees the same
+/// frozen snapshot regardless of replica stepping order or thread
+/// count, which keeps hit/miss counters byte-deterministic under
+/// sharded stepping.
+#[derive(Debug, Clone, Default)]
+pub struct SharedReuse {
+    /// `fingerprint → batch signature → iteration outcome`.
+    iterations: Arc<RwLock<FnvHashMap<u64, FnvHashMap<BatchSignature, IterationOutcome>>>>,
+    /// `fingerprint → (device, op signature) → price`.
+    ops: Arc<RwLock<FnvHashMap<u64, OpPriceMap>>>,
+}
+
+/// Published operator prices for one config fingerprint.
+type OpPriceMap = FnvHashMap<(DeviceKind, OpSignature), TimePs>;
+
+impl SharedReuse {
+    /// An empty shared tier, ready to be attached to any number of
+    /// replica caches (the handle clones cheaply — it is two `Arc`s).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iteration outcomes currently published, across all fingerprints.
+    pub fn iteration_entries(&self) -> usize {
+        read_lock(&self.iterations).values().map(FnvHashMap::len).sum()
+    }
+
+    /// Operator prices currently published, across all fingerprints.
+    pub fn op_entries(&self) -> usize {
+        read_lock(&self.ops).values().map(FnvHashMap::len).sum()
+    }
+}
 
 /// Hit/miss counters, split by attention vs non-attention operators so the
 /// evaluation can show where the savings come from, plus whole-iteration
@@ -55,6 +141,14 @@ pub struct ReuseStats {
     /// iteration cache reported; annealed upward by adaptive bucketing —
     /// fleet merges take the maximum across replicas).
     pub kv_bucket_end: u32,
+    /// Iterations answered by the fleet-wide shared tier after a local
+    /// miss — a subset of `iteration_hits`. Zero (and absent from
+    /// summaries) unless a [`SharedReuse`] handle was attached.
+    pub shared_hits: u64,
+    /// Whether a cross-replica shared cache was attached this run. Gates
+    /// the shared-tier fields out of summaries so artifacts from
+    /// un-shared runs stay byte-identical.
+    pub shared_armed: bool,
 }
 
 impl ReuseStats {
@@ -84,7 +178,10 @@ impl ReuseStats {
 
     /// Fraction of iterations served wholesale from the iteration cache
     /// (0 when no iterations ran). Uncacheable iterations count against
-    /// the rate — they paid the full miss path.
+    /// the rate — they paid the full miss path. With a shared cache
+    /// attached this is the *fleet-wide* rate (local + shared tiers);
+    /// [`local_iteration_hit_rate`](Self::local_iteration_hit_rate)
+    /// isolates what each replica's private cache answered alone.
     pub fn iteration_hit_rate(&self) -> f64 {
         let total = self.iterations();
         if total == 0 {
@@ -93,11 +190,22 @@ impl ReuseStats {
         self.iteration_hits as f64 / total as f64
     }
 
+    /// Fraction of iterations the replica-private cache tier answered by
+    /// itself (shared-tier hits excluded) — the per-replica half of the
+    /// split that shows how much of the win the shared cache added.
+    pub fn local_iteration_hit_rate(&self) -> f64 {
+        let total = self.iterations();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.iteration_hits - self.shared_hits) as f64 / total as f64
+    }
+
     /// JSON object with raw counters and derived rates, for the
     /// machine-readable `-summary.json` artifacts.
     pub fn json_value(&self) -> serde::Value {
         use serde::Value;
-        crate::json::obj(vec![
+        let mut fields = vec![
             ("attention_hits", Value::Int(i128::from(self.attention_hits))),
             ("attention_misses", Value::Int(i128::from(self.attention_misses))),
             ("other_hits", Value::Int(i128::from(self.other_hits))),
@@ -108,7 +216,17 @@ impl ReuseStats {
             ("hit_rate", Value::Float(self.hit_rate())),
             ("iteration_hit_rate", Value::Float(self.iteration_hit_rate())),
             ("kv_bucket_end", Value::Int(i128::from(self.kv_bucket_end))),
-        ])
+        ];
+        // Shared-tier fields appear only when a shared cache was armed,
+        // so artifacts from un-shared runs keep their historical bytes.
+        if self.shared_armed {
+            fields.push(("shared_hits", Value::Int(i128::from(self.shared_hits))));
+            fields.push((
+                "local_iteration_hit_rate",
+                Value::Float(self.local_iteration_hit_rate()),
+            ));
+        }
+        crate::json::obj(fields)
     }
 
     /// Folds another stats block into this one (fleet-level aggregation).
@@ -121,6 +239,8 @@ impl ReuseStats {
         self.iteration_misses += other.iteration_misses;
         self.iteration_uncacheable += other.iteration_uncacheable;
         self.kv_bucket_end = self.kv_bucket_end.max(other.kv_bucket_end);
+        self.shared_hits += other.shared_hits;
+        self.shared_armed |= other.shared_armed;
     }
 }
 
@@ -154,12 +274,52 @@ pub struct ReuseCache {
     enabled: bool,
     entries: FnvHashMap<(DeviceKind, OpSignature), TimePs>,
     stats: ReuseStats,
+    /// The cross-replica tier, consulted after a local miss. Shared op
+    /// hits count as ordinary hits — an op price is a pure function of
+    /// `(device, signature)` within one config fingerprint, so where the
+    /// answer came from is invisible to simulated outcomes.
+    shared: Option<SharedReuse>,
+    /// The fingerprint namespace this cache publishes under.
+    fingerprint: u64,
+    /// Locally executed prices not yet published to the shared tier.
+    fresh: Vec<(DeviceKind, OpSignature, TimePs)>,
 }
 
 impl ReuseCache {
     /// Creates a cache; `enabled = false` forces every lookup to miss.
     pub fn new(enabled: bool) -> Self {
-        Self { enabled, entries: FnvHashMap::default(), stats: ReuseStats::default() }
+        Self {
+            enabled,
+            entries: FnvHashMap::default(),
+            stats: ReuseStats::default(),
+            shared: None,
+            fingerprint: 0,
+            fresh: Vec::new(),
+        }
+    }
+
+    /// Attaches the cross-replica tier under `fingerprint`'s namespace.
+    /// A disabled cache ignores the tier (lookups never consult it).
+    pub fn attach_shared(&mut self, shared: SharedReuse, fingerprint: u64) {
+        self.shared = Some(shared);
+        self.fingerprint = fingerprint;
+    }
+
+    /// Publishes locally executed prices to the shared tier (first
+    /// write wins) — called by drivers at global sync points only; see
+    /// [`SharedReuse`]'s determinism contract.
+    pub fn publish_shared(&mut self) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if self.fresh.is_empty() {
+            return;
+        }
+        let mut map = write_lock(&shared.ops);
+        let namespace = map.entry(self.fingerprint).or_default();
+        for (device, signature, ps) in self.fresh.drain(..) {
+            namespace.entry((device, signature)).or_insert(ps);
+        }
     }
 
     /// Whether reuse is enabled.
@@ -184,6 +344,23 @@ impl ReuseCache {
                 }
                 return ps;
             }
+            // Local miss: the fleet may already have priced this op.
+            // Promote shared answers into the local tier so the read
+            // lock is taken at most once per (device, signature).
+            if let Some(shared) = &self.shared {
+                let answer = read_lock(&shared.ops)
+                    .get(&self.fingerprint)
+                    .and_then(|ns| ns.get(&(device, *signature)).copied());
+                if let Some(ps) = answer {
+                    self.entries.insert((device, *signature), ps);
+                    if is_attention {
+                        self.stats.attention_hits += 1;
+                    } else {
+                        self.stats.other_hits += 1;
+                    }
+                    return ps;
+                }
+            }
         }
         if is_attention {
             self.stats.attention_misses += 1;
@@ -193,6 +370,9 @@ impl ReuseCache {
         let ps = execute();
         if self.enabled {
             self.entries.insert((device, *signature), ps);
+            if self.shared.is_some() {
+                self.fresh.push((device, *signature, ps));
+            }
         }
         ps
     }
@@ -212,10 +392,12 @@ impl ReuseCache {
         self.stats
     }
 
-    /// Clears entries and statistics.
+    /// Clears entries and statistics (unpublished fresh prices too; the
+    /// shared tier itself is untouched — other replicas own it equally).
     pub fn clear(&mut self) {
         self.entries.clear();
         self.stats = ReuseStats::default();
+        self.fresh.clear();
     }
 }
 
@@ -329,6 +511,16 @@ pub struct IterationCache {
     /// Cacheable lookups and hits in the current observation window.
     window_lookups: u64,
     window_hits: u64,
+    /// The cross-replica tier, consulted after a local miss.
+    shared: Option<SharedReuse>,
+    /// The configuration fingerprint this cache shares under (mixed
+    /// with the live KV bucket — see [`bucket_fingerprint`]).
+    fingerprint: u64,
+    /// Hits answered by the shared tier (subset of `hits`).
+    shared_hits: u64,
+    /// Locally simulated outcomes not yet published to the shared tier,
+    /// stamped with the bucket fingerprint they were signed under.
+    fresh: Vec<(u64, BatchSignature, IterationOutcome)>,
 }
 
 impl IterationCache {
@@ -347,6 +539,38 @@ impl IterationCache {
             adapt: None,
             window_lookups: 0,
             window_hits: 0,
+            shared: None,
+            fingerprint: 0,
+            shared_hits: 0,
+            fresh: Vec::new(),
+        }
+    }
+
+    /// Attaches the cross-replica tier under `fingerprint`'s namespace.
+    /// A disabled cache ignores the tier (lookups never consult it).
+    pub fn attach_shared(&mut self, shared: SharedReuse, fingerprint: u64) {
+        self.shared = Some(shared);
+        self.fingerprint = fingerprint;
+    }
+
+    /// Whether a shared tier is attached.
+    pub fn shared_armed(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Publishes locally simulated outcomes to the shared tier (first
+    /// write wins) — called by drivers at global sync points only; see
+    /// [`SharedReuse`]'s determinism contract.
+    pub fn publish_shared(&mut self) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if self.fresh.is_empty() {
+            return;
+        }
+        let mut map = write_lock(&shared.iterations);
+        for (fingerprint, signature, outcome) in self.fresh.drain(..) {
+            map.entry(fingerprint).or_default().entry(signature).or_insert(outcome);
         }
     }
 
@@ -409,17 +633,29 @@ impl IterationCache {
         self.maybe_adapt();
         self.window_lookups += 1;
         self.builder.build_into(&batch.slots, &self.layout, &mut self.key);
-        match self.entries.get(&self.key) {
-            Some(out) => {
+        if let Some(out) = self.entries.get(&self.key) {
+            self.hits += 1;
+            self.window_hits += 1;
+            return IterationLookup::Hit(*out);
+        }
+        // Local miss: another replica may already have simulated this
+        // signature. A shared answer is promoted into the local tier so
+        // recurring steady-state signatures stop taking the read lock.
+        if let Some(shared) = &self.shared {
+            let namespace = bucket_fingerprint(self.fingerprint, self.layout.kv_bucket);
+            let answer = read_lock(&shared.iterations)
+                .get(&namespace)
+                .and_then(|ns| ns.get(&self.key).copied());
+            if let Some(out) = answer {
+                self.entries.insert(self.key.clone(), out);
                 self.hits += 1;
                 self.window_hits += 1;
-                IterationLookup::Hit(*out)
-            }
-            None => {
-                self.misses += 1;
-                IterationLookup::Miss
+                self.shared_hits += 1;
+                return IterationLookup::Hit(out);
             }
         }
+        self.misses += 1;
+        IterationLookup::Miss
     }
 
     /// Stores `outcome` under the signature built by the last
@@ -428,6 +664,10 @@ impl IterationCache {
     /// the one path that has to own it.
     pub fn insert_current(&mut self, outcome: IterationOutcome) {
         self.entries.insert(self.key.clone(), outcome);
+        if self.shared.is_some() {
+            let namespace = bucket_fingerprint(self.fingerprint, self.layout.kv_bucket);
+            self.fresh.push((namespace, self.key.clone(), outcome));
+        }
     }
 
     /// Cached iteration count.
@@ -446,6 +686,8 @@ impl IterationCache {
         stats.iteration_misses = self.misses;
         stats.iteration_uncacheable = self.uncacheable;
         stats.kv_bucket_end = self.layout.kv_bucket;
+        stats.shared_hits = self.shared_hits;
+        stats.shared_armed = self.shared.is_some();
     }
 }
 
@@ -579,14 +821,19 @@ mod tests {
             iteration_misses: 6,
             iteration_uncacheable: 7,
             kv_bucket_end: 8,
+            shared_hits: 2,
+            shared_armed: true,
         };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.hits(), 2 * a.hits());
         assert_eq!(b.iterations(), 2 * a.iterations());
         assert!((a.iteration_hit_rate() - 5.0 / 18.0).abs() < 1e-12);
+        assert!((a.local_iteration_hit_rate() - 3.0 / 18.0).abs() < 1e-12);
         // The bucket is a granularity, not a count: merge takes the max.
         assert_eq!(b.kv_bucket_end, 8);
+        assert_eq!(b.shared_hits, 4);
+        assert!(b.shared_armed);
     }
 
     #[test]
@@ -625,6 +872,106 @@ mod tests {
             assert!(c.kv_bucket_tokens() <= 8, "iteration {i} exceeded the budget");
         }
         assert_eq!(c.kv_bucket_tokens(), 8);
+    }
+
+    #[test]
+    fn shared_tier_answers_only_after_publish_and_within_fingerprint() {
+        let shared = SharedReuse::new();
+        let mut a = IterationCache::new(true, SigLayout::exact());
+        a.attach_shared(shared.clone(), 0xAAAA);
+        let mut b = IterationCache::new(true, SigLayout::exact());
+        b.attach_shared(shared.clone(), 0xAAAA);
+        let mut other = IterationCache::new(true, SigLayout::exact());
+        other.attach_shared(shared.clone(), 0xBBBB);
+
+        let batch = steady(vec![SeqSlot::decode(0, 100)]);
+        assert_eq!(a.lookup_batch(&batch), IterationLookup::Miss);
+        a.insert_current(outcome(42));
+        // Unpublished fresh entries are invisible fleet-wide: the map
+        // stays a frozen snapshot between sync points.
+        assert_eq!(b.lookup_batch(&batch), IterationLookup::Miss);
+        assert_eq!(shared.iteration_entries(), 0);
+
+        a.publish_shared();
+        assert_eq!(shared.iteration_entries(), 1);
+        match b.lookup_batch(&batch) {
+            IterationLookup::Hit(out) => assert_eq!(out.makespan_ps, 42),
+            got => panic!("expected a shared hit, got {got:?}"),
+        }
+        let mut stats = ReuseStats::default();
+        b.fill_stats(&mut stats);
+        assert_eq!((stats.iteration_hits, stats.shared_hits), (1, 1));
+        assert!(stats.shared_armed);
+        // A replica under a different fingerprint never sees the entry.
+        assert_eq!(other.lookup_batch(&batch), IterationLookup::Miss);
+    }
+
+    #[test]
+    fn shared_publish_is_first_write_wins() {
+        let shared = SharedReuse::new();
+        let mut a = IterationCache::new(true, SigLayout::exact());
+        a.attach_shared(shared.clone(), 7);
+        let mut b = IterationCache::new(true, SigLayout::exact());
+        b.attach_shared(shared.clone(), 7);
+        let batch = steady(vec![SeqSlot::decode(0, 50)]);
+        assert_eq!(a.lookup_batch(&batch), IterationLookup::Miss);
+        a.insert_current(outcome(10));
+        assert_eq!(b.lookup_batch(&batch), IterationLookup::Miss);
+        b.insert_current(outcome(99));
+        a.publish_shared();
+        b.publish_shared(); // loses: a's entry is already present
+        let mut probe = IterationCache::new(true, SigLayout::exact());
+        probe.attach_shared(shared, 7);
+        match probe.lookup_batch(&batch) {
+            IterationLookup::Hit(out) => assert_eq!(out.makespan_ps, 10),
+            got => panic!("expected a hit, got {got:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_tier_namespaces_by_bucket_width() {
+        // KV 100 under a 4-token bucket and KV 200 under an 8-token
+        // bucket both sign as bucket index 25 — the bucket fingerprint
+        // must keep them apart.
+        let shared = SharedReuse::new();
+        let mut coarse4 = IterationCache::new(true, SigLayout::exact().kv_bucket(4));
+        coarse4.attach_shared(shared.clone(), 1);
+        let mut coarse8 = IterationCache::new(true, SigLayout::exact().kv_bucket(8));
+        coarse8.attach_shared(shared.clone(), 1);
+        assert_eq!(
+            coarse4.lookup_batch(&steady(vec![SeqSlot::decode(0, 100)])),
+            IterationLookup::Miss
+        );
+        coarse4.insert_current(outcome(444));
+        coarse4.publish_shared();
+        assert_eq!(
+            coarse8.lookup_batch(&steady(vec![SeqSlot::decode(0, 200)])),
+            IterationLookup::Miss,
+            "a bucket-4 outcome must not answer under bucket 8"
+        );
+    }
+
+    #[test]
+    fn shared_op_tier_prices_cross_replica() {
+        let shared = SharedReuse::new();
+        let mut a = ReuseCache::new(true);
+        a.attach_shared(shared.clone(), 5);
+        let mut b = ReuseCache::new(true);
+        b.attach_shared(shared.clone(), 5);
+        let mut execs = 0;
+        a.price(DeviceKind::Npu, &sig(8), false, || {
+            execs += 1;
+            77
+        });
+        a.publish_shared();
+        assert_eq!(shared.op_entries(), 1);
+        let ps = b.price(DeviceKind::Npu, &sig(8), false, || {
+            execs += 1;
+            0
+        });
+        assert_eq!(ps, 77, "b must answer from the shared tier");
+        assert_eq!(execs, 1);
+        assert_eq!(b.stats().hits(), 1);
     }
 
     #[test]

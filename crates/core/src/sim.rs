@@ -140,6 +140,25 @@ impl ServingSimulator {
         self.telemetry = telemetry;
     }
 
+    /// Attaches the fleet-wide [`SharedReuse`](crate::SharedReuse) tier
+    /// to both cache levels (iteration outcomes and op prices) under
+    /// `fingerprint`'s namespace. Lookups fall through to the shared
+    /// snapshot after a local miss; locally simulated results stay
+    /// private until [`publish_shared_reuse`](Self::publish_shared_reuse).
+    pub fn attach_shared_reuse(&mut self, shared: crate::SharedReuse, fingerprint: u64) {
+        self.memo.attach_shared(shared.clone(), fingerprint);
+        self.stack.attach_shared(shared, fingerprint);
+    }
+
+    /// Publishes fresh cache entries to the shared tier. The fleet
+    /// engine calls this at global sync points in replica-index order,
+    /// which is what keeps shared-tier hit counters byte-deterministic
+    /// under sharded stepping.
+    pub fn publish_shared_reuse(&mut self) {
+        self.memo.publish_shared();
+        self.stack.publish_shared();
+    }
+
     /// Runs one iteration; returns `false` when the trace is drained.
     ///
     /// # Panics

@@ -103,6 +103,18 @@ impl EngineStack {
         })
     }
 
+    /// Attaches the cross-replica shared reuse tier to the op cache
+    /// under `fingerprint`'s namespace.
+    pub fn attach_shared(&mut self, shared: crate::SharedReuse, fingerprint: u64) {
+        self.cache.attach_shared(shared, fingerprint);
+    }
+
+    /// Publishes freshly executed op prices to the shared tier (driver
+    /// sync points only — see [`SharedReuse`](crate::SharedReuse)).
+    pub fn publish_shared(&mut self) {
+        self.cache.publish_shared();
+    }
+
     /// Reuse statistics.
     pub fn reuse_stats(&self) -> ReuseStats {
         self.cache.stats()

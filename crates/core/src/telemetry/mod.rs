@@ -24,8 +24,7 @@ mod timeline;
 pub use chrome::{chrome_trace, validate_chrome_trace};
 pub use timeline::{timeline_tsv, TimelineConfig};
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use llmss_sched::TimePs;
 
@@ -369,10 +368,14 @@ impl SimEvent {
 
 /// A receiver for [`SimEvent`]s.
 ///
-/// Sinks are attached behind `Rc<RefCell<..>>` so one sink observes
+/// Sinks are attached behind `Arc<Mutex<..>>` so one sink observes
 /// every replica of a fleet; the engine hands each replica a
-/// [`Telemetry`] handle cloned from the same sink.
-pub trait TraceSink: std::fmt::Debug {
+/// [`Telemetry`] handle cloned from the same sink. The `Send` bound
+/// keeps [`ServingSimulator`](crate::ServingSimulator) shippable
+/// across shard worker threads (traced runs stay serial — the fleet
+/// engine rejects `shards > 1` with telemetry on — but the type must
+/// not anchor the whole simulator to one thread).
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Receives one event.
     fn record(&mut self, event: SimEvent);
 }
@@ -412,7 +415,7 @@ impl TraceSink for MemorySink {
 /// the holder observes from.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
-    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
     replica: usize,
 }
 
@@ -423,7 +426,7 @@ impl Telemetry {
     }
 
     /// A handle recording into `sink`, scoped to replica 0.
-    pub fn new(sink: Rc<RefCell<dyn TraceSink>>) -> Self {
+    pub fn new(sink: Arc<Mutex<dyn TraceSink>>) -> Self {
         Self { sink: Some(sink), replica: 0 }
     }
 
@@ -450,7 +453,15 @@ impl Telemetry {
     #[inline]
     pub fn emit(&self, event: impl FnOnce() -> SimEvent) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(event());
+            // Traced runs are single-threaded (the engine forbids
+            // shards > 1 with telemetry), so a poisoned lock can only
+            // mean a panic already in flight — keep recording rather
+            // than compounding it with a second panic.
+            let mut guard = match sink.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.record(event());
         }
     }
 }
@@ -495,11 +506,11 @@ mod tests {
 
     #[test]
     fn memory_sink_captures_in_order() {
-        let sink = Rc::new(RefCell::new(MemorySink::new()));
+        let sink = Arc::new(Mutex::new(MemorySink::new()));
         let t = Telemetry::new(sink.clone());
         t.emit(|| SimEvent::Arrival { t_ps: 1, id: 1, input_len: 8, output_len: 4 });
         t.for_replica(2).emit(|| SimEvent::Admitted { t_ps: 2, id: 1, replica: 2 });
-        let events = sink.borrow_mut().take();
+        let events = sink.lock().unwrap().take();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].t_ps(), 1);
         assert_eq!(events[1].replica(), Some(2));

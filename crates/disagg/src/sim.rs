@@ -303,6 +303,22 @@ impl DisaggSimulator {
         self.engine.set_telemetry(telemetry);
     }
 
+    /// Sets the worker-thread budget for windowed fleet stepping
+    /// (byte-identical outcomes under any value; 1 = serial). The
+    /// prefill pool always advances through the serial path — its
+    /// completions move the KV commit horizon — so sharding accelerates
+    /// the decode pool's iteration stretches.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.engine.set_shards(shards);
+    }
+
+    /// Arms the deployment-wide shared reuse cache across both pools
+    /// (namespaced by configuration fingerprint, so prefill- and
+    /// decode-configured replicas never alias).
+    pub fn enable_shared_cache(&mut self) {
+        self.engine.enable_shared_cache();
+    }
+
     /// Requests that finished their full lifecycle (decode completed).
     pub fn completed_requests(&self) -> usize {
         self.decode_replicas().iter().map(|r| r.scheduler().completions().len()).sum()

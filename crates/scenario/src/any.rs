@@ -70,6 +70,30 @@ impl AnySimulator {
             AnySimulator::Fleet(s) => s.set_telemetry(telemetry),
         }
     }
+
+    /// Sets the worker-thread budget for windowed fleet stepping on the
+    /// multi-replica shapes (byte-identical outcomes under any value;
+    /// a single replica has nothing to shard, so `Single` ignores it).
+    pub fn set_shards(&mut self, shards: usize) {
+        match self {
+            AnySimulator::Single(_) => {}
+            AnySimulator::Cluster(s) => s.set_shards(shards),
+            AnySimulator::Disagg(s) => s.set_shards(shards),
+            AnySimulator::Fleet(s) => s.set_shards(shards),
+        }
+    }
+
+    /// Arms the fleet-wide shared reuse cache on the multi-replica
+    /// shapes (a single replica has no peer to share with, so `Single`
+    /// ignores it).
+    pub fn enable_shared_cache(&mut self) {
+        match self {
+            AnySimulator::Single(_) => {}
+            AnySimulator::Cluster(s) => s.enable_shared_cache(),
+            AnySimulator::Disagg(s) => s.enable_shared_cache(),
+            AnySimulator::Fleet(s) => s.enable_shared_cache(),
+        }
+    }
 }
 
 impl Simulate for AnySimulator {

@@ -219,6 +219,12 @@ pub struct FleetSpec {
     /// Autoscale: warm-up delay before a new replica takes work, in
     /// milliseconds.
     pub warmup_ms: f64,
+    /// Worker-thread budget for windowed fleet stepping (1 = the
+    /// per-event serial loop; outcomes are byte-identical under any
+    /// value).
+    pub shards: usize,
+    /// Whether homogeneous replicas share one fleet-wide reuse cache.
+    pub shared_cache: bool,
 }
 
 impl Default for FleetSpec {
@@ -234,6 +240,8 @@ impl Default for FleetSpec {
             queue_high: 4.0,
             queue_low: 0.5,
             warmup_ms: 5.0,
+            shards: 1,
+            shared_cache: false,
         }
     }
 }
@@ -288,14 +296,18 @@ impl FleetSpec {
             "queue_high" => self.queue_high = parse(key, value)?,
             "queue_low" => self.queue_low = parse(key, value)?,
             "warmup_ms" => self.warmup_ms = parse(key, value)?,
+            "shards" => self.shards = parse(key, value)?,
+            "shared_cache" => self.shared_cache = parse(key, value)?,
             other => return Err(ScenarioError::UnknownKey { key: format!("fleet.{other}") }),
         }
         Ok(())
     }
 
-    /// Renders the table as a value tree in canonical key order.
+    /// Renders the table as a value tree in canonical key order. The
+    /// sharding knobs appear only when set off their defaults, so value
+    /// trees of pre-sharding scenarios keep their historical bytes.
     pub(crate) fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("control".into(), Value::Str(self.control.as_str().into())),
             ("tick_ms".into(), Value::Float(self.tick_ms)),
             ("flex_idle_ticks".into(), Value::Int(self.flex_idle_ticks as i128)),
@@ -305,11 +317,18 @@ impl FleetSpec {
             ("queue_high".into(), Value::Float(self.queue_high)),
             ("queue_low".into(), Value::Float(self.queue_low)),
             ("warmup_ms".into(), Value::Float(self.warmup_ms)),
-            (
-                "replica".into(),
-                Value::Array(self.replicas.iter().map(|r| r.to_value()).collect()),
-            ),
-        ])
+        ];
+        if self.shards != 1 {
+            fields.push(("shards".into(), Value::Int(self.shards as i128)));
+        }
+        if self.shared_cache {
+            fields.push(("shared_cache".into(), Value::Bool(self.shared_cache)));
+        }
+        fields.push((
+            "replica".into(),
+            Value::Array(self.replicas.iter().map(|r| r.to_value()).collect()),
+        ));
+        Value::Object(fields)
     }
 
     /// Rebuilds the table from a value tree with typed errors.

@@ -555,6 +555,28 @@ impl Scenario {
                 format!("the control tick must be positive, got {}", fleet.tick_ms),
             );
         }
+        if fleet.shards == 0 {
+            return invalid(
+                "fleet.shards",
+                "the shard count must be at least 1 (1 = the serial loop)".into(),
+            );
+        }
+        if fleet.shards > 1 && self.telemetry.as_ref().is_some_and(TelemetrySpec::enabled) {
+            return conflict(
+                "fleet.shards > 1 and [telemetry] are mutually exclusive: the event \
+                 trace records the global interleaving, which windowed stepping does \
+                 not preserve (run with shards = 1 to trace)"
+                    .into(),
+            );
+        }
+        if fleet.shared_cache && self.telemetry.as_ref().is_some_and(TelemetrySpec::enabled) {
+            return conflict(
+                "fleet.shared_cache and [telemetry] are mutually exclusive: shared-\
+                 cache runs step through the windowed path, which does not preserve \
+                 the global event interleaving the trace records"
+                    .into(),
+            );
+        }
         let prefill = fleet.replicas.iter().filter(|r| r.role == ReplicaRole::Prefill).count();
         let decode = fleet.replicas.iter().filter(|r| r.role == ReplicaRole::Decode).count();
         if prefill > 0 && decode == 0 {
@@ -900,6 +922,10 @@ impl Scenario {
                 replicas
             };
             engine.set_chaos(chaos.build(ceiling, link_count)?);
+        }
+        engine.set_shards(fleet.shards);
+        if fleet.shared_cache {
+            engine.enable_shared_cache();
         }
         Ok(engine)
     }

@@ -15,9 +15,8 @@
 //! binary owns no config model of its own: a scenario file and the
 //! equivalent flag invocation produce byte-identical reports.
 
-use std::cell::RefCell;
 use std::process::ExitCode;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use llmservingsim::core::{
     chrome_trace, filter_events, timeline_tsv, MemorySink, ReportOutput, SimEvent, Telemetry,
@@ -101,10 +100,17 @@ FLEET MODE (control planes over heterogeneous fleets; [fleet] table):
                         (none clears the table)
   --set fleet.KEY=V     policy knobs: tick_ms, min_replicas,
                         max_replicas, queue_high, queue_low, warmup_ms,
-                        flex_idle_ticks, min_prefill
+                        flex_idle_ticks, min_prefill, shards,
+                        shared_cache
   Per-replica config lists ([[fleet.replica]]: role, npus, max_batch,
   batch_delay_ms, npu_mem_gib) live in the scenario file; see
   examples/scenarios/autoscale.toml.
+
+FLEET SCALING (any multi-replica shape; outputs byte-identical):
+  --shards N            worker threads for windowed fleet stepping
+                        (1 = the per-event serial loop)           [1]
+  --shared-cache        homogeneous replicas share one fleet-wide
+                        reuse cache (N replicas, one cold miss)
 
 TELEMETRY ([telemetry] table; off by default, zero-cost when off):
   --set telemetry=auto         both exports at their derived paths
@@ -133,6 +139,12 @@ struct CliExtras {
     synthetic: Option<String>,
     n_requests: Option<String>,
     rate: Option<String>,
+    /// `--shards N`: worker-thread budget for windowed fleet stepping,
+    /// applied to whatever multi-replica shape the scenario builds.
+    shards: Option<usize>,
+    /// `--shared-cache`: one fleet-wide reuse cache across homogeneous
+    /// replicas.
+    shared_cache: bool,
 }
 
 /// Applies one CLI surface — legacy flags, `run` overrides, `gen`
@@ -255,6 +267,17 @@ fn apply_flags(scenario: &mut Scenario, args: &[String]) -> Result<CliExtras, St
                 let v = value(arg)?;
                 set(scenario, "pairing", &v)?;
             }
+            "--shards" => {
+                let v = value(arg)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|e| format!("--shards expects a thread count, got '{v}': {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1 (1 = the serial loop)".into());
+                }
+                extras.shards = Some(n);
+            }
+            "--shared-cache" => extras.shared_cache = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -293,17 +316,32 @@ fn apply_flags(scenario: &mut Scenario, args: &[String]) -> Result<CliExtras, St
 /// Builds, runs, and writes one scenario (the `run` and legacy paths).
 /// With a `[telemetry]` table the run records lifecycle events into a
 /// memory sink and exports them after the report artifacts.
-fn run_scenario(scenario: &Scenario, output: &str) -> Result<(), String> {
+fn run_scenario(scenario: &Scenario, output: &str, extras: &CliExtras) -> Result<(), String> {
     println!("llmservingsim: {}", scenario.describe());
     let spec = scenario.telemetry.clone().filter(|t| t.enabled());
+    if spec.is_some() && (extras.shards.is_some_and(|n| n > 1) || extras.shared_cache) {
+        return Err("--shards/--shared-cache and telemetry are mutually exclusive: the \
+                    event trace records the global interleaving, which windowed \
+                    stepping does not preserve"
+            .into());
+    }
     let (report, events): (_, Vec<SimEvent>) = match &spec {
-        None => (scenario.run().map_err(|e| e.to_string())?, Vec::new()),
+        None => {
+            let mut sim = scenario.build().map_err(|e| e.to_string())?;
+            if let Some(shards) = extras.shards {
+                sim.set_shards(shards);
+            }
+            if extras.shared_cache {
+                sim.enable_shared_cache();
+            }
+            (sim.run(), Vec::new())
+        }
         Some(_) => {
             let mut sim = scenario.build().map_err(|e| e.to_string())?;
-            let sink = Rc::new(RefCell::new(MemorySink::new()));
+            let sink = Arc::new(Mutex::new(MemorySink::new()));
             sim.set_telemetry(Telemetry::new(sink.clone()));
             let report = sim.run();
-            let events = sink.borrow_mut().take();
+            let events = sink.lock().expect("telemetry sink lock").take();
             (report, events)
         }
     };
@@ -344,7 +382,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .ok_or("run needs a scenario file: llmservingsim run <scenario.toml>")?;
     let mut scenario = Scenario::from_path(path).map_err(|e| e.to_string())?;
     let extras = apply_flags(&mut scenario, &args[1..])?;
-    run_scenario(&scenario, extras.output.as_deref().unwrap_or("output/llmservingsim"))
+    run_scenario(&scenario, extras.output.as_deref().unwrap_or("output/llmservingsim"), &extras)
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
@@ -426,7 +464,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 fn cmd_legacy(args: &[String]) -> Result<(), String> {
     let mut scenario = Scenario::default();
     let extras = apply_flags(&mut scenario, args)?;
-    run_scenario(&scenario, extras.output.as_deref().unwrap_or("output/llmservingsim"))
+    run_scenario(&scenario, extras.output.as_deref().unwrap_or("output/llmservingsim"), &extras)
 }
 
 fn run() -> Result<(), String> {

@@ -1,0 +1,335 @@
+//! Sharded windowed stepping and the fleet-wide shared reuse cache.
+//!
+//! * **Shard-count invariance** — `--shards N` changes wall-clock
+//!   strategy only: every artifact a run emits must be byte-identical
+//!   under any shard count, on every multi-replica shape (cluster,
+//!   disagg, `[fleet]` with autoscale and flex control planes).
+//! * **Shared-cache semantics** — arming [`SharedReuse`] never changes
+//!   simulated timing (the shared tier memoizes outcomes the local tier
+//!   would have recomputed identically); it only converts local misses
+//!   into shared hits. The local hit-rate split must reconstruct the
+//!   un-shared counters exactly.
+//! * **Fingerprint isolation** — replicas with differing
+//!   [`SimConfig`]s must never serve each other's cached outcomes:
+//!   an all-heterogeneous fleet records `shared_hits == 0` no matter
+//!   the shard count.
+
+use proptest::prelude::*;
+
+use llmservingsim::core::{
+    FleetEngine, FlexPools, FlexPoolsConfig, ReportOutput, RoutingPolicyKind, SimConfig,
+    StaticControl,
+};
+use llmservingsim::model::ModelSpec;
+use llmservingsim::net::LinkSpec;
+use llmservingsim::scenario::{AnyReport, Scenario, ScenarioError, TelemetrySpec};
+use llmservingsim::sched::{bursty_trace, BurstyTraceSpec, Request};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn scenario(name: &str) -> Scenario {
+    let path = format!("{}/examples/scenarios/{name}.toml", env!("CARGO_MANIFEST_DIR"));
+    Scenario::from_path(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Builds and runs a checked-in scenario with the given fleet-scaling
+/// knobs applied post-build (the `--shards` / `--shared-cache` path).
+fn report_for(name: &str, shards: usize, shared: bool) -> AnyReport {
+    let mut sim = scenario(name).build().unwrap_or_else(|e| panic!("{name}: {e}"));
+    sim.set_shards(shards);
+    if shared {
+        sim.enable_shared_cache();
+    }
+    sim.run()
+}
+
+fn artifact<'a>(artifacts: &'a [(&'static str, String)], suffix: &str) -> &'a str {
+    artifacts
+        .iter()
+        .find(|(s, _)| *s == suffix)
+        .map(|(_, c)| c.as_str())
+        .unwrap_or_else(|| panic!("no {suffix} artifact"))
+}
+
+/// Every artifact of every multi-replica shape is byte-identical under
+/// any shard count — cluster, disagg, and a tick-driven autoscale
+/// fleet. (Multi-replica artifacts carry no host-time columns, so the
+/// full set is compared.)
+#[test]
+fn sharded_runs_are_byte_identical_across_shapes() {
+    for name in ["cluster_small", "cluster_routing", "disagg_small", "autoscale"] {
+        let serial = report_for(name, 1, false).artifacts();
+        for shards in [2, 4, 7] {
+            let sharded = report_for(name, shards, false).artifacts();
+            assert_eq!(serial, sharded, "{name} drifted from serial at shards={shards}");
+        }
+    }
+}
+
+/// A sharded run still reproduces the pre-refactor golden byte for byte
+/// — sharding composes with the engine-equivalence guarantee, not just
+/// with today's serial output.
+#[test]
+fn sharded_cluster_report_matches_pre_sharding_golden() {
+    let report = report_for("cluster_small", 4, false);
+    let artifacts = report.artifacts();
+    assert_eq!(
+        artifact(&artifacts, "-cluster.tsv"),
+        golden("cluster_small-cluster.tsv"),
+        "sharded cluster_small drifted from the golden"
+    );
+}
+
+/// The shared cache changes accounting, never timing: the per-request
+/// TSV is byte-identical to the un-shared run, the local/shared
+/// hit split reconstructs the un-shared counters exactly, and the
+/// summary (counters included) is invariant across shard counts.
+#[test]
+fn shared_cache_preserves_timing_and_splits_hit_accounting() {
+    let serial = report_for("cluster_routing", 1, false);
+    let shared = report_for("cluster_routing", 1, true);
+
+    let serial_arts = serial.artifacts();
+    let shared_arts = shared.artifacts();
+    assert_eq!(
+        artifact(&serial_arts, "-cluster.tsv"),
+        artifact(&shared_arts, "-cluster.tsv"),
+        "the shared cache must not change simulated timing"
+    );
+
+    let base = serial.reuse();
+    let tiered = shared.reuse();
+    assert!(tiered.shared_armed, "enable_shared_cache must arm the stats");
+    assert!(!base.shared_armed, "un-shared runs must not report the shared tier");
+    assert!(tiered.shared_hits > 0, "homogeneous replicas must share outcomes");
+    // Every shared hit is a converted local miss; nothing else moves.
+    assert_eq!(
+        tiered.iteration_hits - tiered.shared_hits,
+        base.iteration_hits,
+        "local hits must match the un-shared run"
+    );
+    assert_eq!(
+        base.iteration_misses - tiered.iteration_misses,
+        tiered.shared_hits,
+        "each shared hit must replace exactly one full simulation"
+    );
+    assert_eq!(
+        tiered.local_iteration_hit_rate(),
+        base.iteration_hit_rate(),
+        "the per-replica rate must equal the un-shared fleet rate"
+    );
+    assert!(
+        tiered.iteration_hit_rate() > base.iteration_hit_rate(),
+        "the fleet-wide rate must improve over the per-replica rate"
+    );
+
+    // The publish discipline pins counter totals: shard counts change
+    // thread assignment, never which lookups hit.
+    for shards in [2, 4, 7] {
+        let arts = report_for("cluster_routing", shards, true).artifacts();
+        assert_eq!(shared_arts, arts, "shared-cache run drifted at shards={shards}");
+    }
+}
+
+fn gpt2_replica() -> SimConfig {
+    SimConfig::new(ModelSpec::gpt2()).npu_num(1).tensor_parallel()
+}
+
+fn static_control() -> Box<StaticControl> {
+    Box::new(StaticControl::new(
+        RoutingPolicyKind::RoundRobin.build(0),
+        RoutingPolicyKind::LeastKvLoad.build(0),
+    ))
+}
+
+/// A two-phase trace (prefill-heavy burst, then a decode-heavy burst)
+/// — the workload that exercises linked prefill/decode fleets.
+fn phase_shift_trace(prefill_n: usize, decode_n: usize, seed: u64) -> Vec<Request> {
+    let mut trace = bursty_trace(&BurstyTraceSpec {
+        bursts: 1,
+        burst_size: prefill_n.max(1),
+        heavy_every: 1,
+        heavy: (256, 4),
+        seed,
+        ..BurstyTraceSpec::default()
+    });
+    let decode_phase = bursty_trace(&BurstyTraceSpec {
+        bursts: 1,
+        burst_size: decode_n.max(1),
+        heavy_every: 1,
+        heavy: (16, 48),
+        seed: seed.wrapping_add(1),
+        ..BurstyTraceSpec::default()
+    });
+    let shift = trace.last().expect("non-empty").arrival_ps + 5_000_000_000;
+    let base_id = trace.len() as u64;
+    trace.extend(decode_phase.into_iter().map(|r| {
+        Request::new(base_id + r.id, r.input_len, r.output_len, r.arrival_ps + shift)
+    }));
+    trace
+}
+
+fn flex_fleet(trace: Vec<Request>) -> FleetEngine {
+    FleetEngine::new(
+        vec![
+            gpt2_replica().prefill_only(),
+            gpt2_replica().prefill_only(),
+            gpt2_replica().decode_only(),
+        ],
+        vec![LinkSpec::new(32.0, LinkSpec::cxl().latency_ns)],
+        Box::new(FlexPools::new(
+            RoutingPolicyKind::LeastOutstanding.build(0),
+            RoutingPolicyKind::LeastKvLoad.build(0),
+            FlexPoolsConfig { tick_ps: 200_000_000, idle_ticks: 2, min_prefill: 1 },
+        )),
+        trace,
+    )
+    .expect("gpt2 fits a single Table-I NPU")
+}
+
+/// Linked prefill/decode fleets under a ticking flex control plane —
+/// the hardest shape for windowed stepping (KV transfers, role
+/// switches, and ticks all bound the window) — stay byte-identical.
+#[test]
+fn sharded_flex_fleet_matches_serial() {
+    let trace = phase_shift_trace(20, 20, 7);
+    let serial = flex_fleet(trace.clone()).run().artifacts();
+    for shards in [2, 4, 7] {
+        let mut fleet = flex_fleet(trace.clone());
+        fleet.set_shards(shards);
+        assert_eq!(serial, fleet.run().artifacts(), "flex fleet drifted at shards={shards}");
+    }
+}
+
+/// An all-heterogeneous fleet: every replica has a distinct config
+/// fingerprint, so the shared cache must never serve a hit.
+fn hetero_fleet(replicas: usize, trace: Vec<Request>) -> FleetEngine {
+    let configs: Vec<SimConfig> =
+        (0..replicas).map(|i| gpt2_replica().max_batch(2 + 2 * i)).collect();
+    FleetEngine::new(configs, Vec::new(), static_control(), trace)
+        .expect("gpt2 fits a single Table-I NPU")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random homogeneous fleets: the sharded run (with or without the
+    /// shared cache) emits byte-identical artifacts to the shards=1
+    /// run, whatever the fleet size, trace shape, or shard count.
+    #[test]
+    fn random_fleets_are_shard_invariant(
+        replicas in 2usize..6,
+        shards in 2usize..8,
+        burst_size in 4usize..12,
+        bursts in 1usize..3,
+        seed in 0u64..1_000,
+        shared in proptest::bool::ANY,
+    ) {
+        let trace = bursty_trace(&BurstyTraceSpec {
+            bursts,
+            burst_size,
+            seed,
+            ..BurstyTraceSpec::default()
+        });
+        let build = |shards: usize| {
+            let mut fleet = FleetEngine::new(
+                vec![gpt2_replica(); replicas],
+                Vec::new(),
+                static_control(),
+                trace.clone(),
+            )
+            .expect("gpt2 fits a single Table-I NPU");
+            fleet.set_shards(shards);
+            if shared {
+                fleet.enable_shared_cache();
+            }
+            fleet
+        };
+        let baseline = build(1).run();
+        let sharded = build(shards).run();
+        prop_assert_eq!(
+            baseline.artifacts(),
+            sharded.artifacts(),
+            "fleet of {} drifted at shards={} (shared={})",
+            replicas,
+            shards,
+            shared
+        );
+    }
+
+    /// The shared cache never crosses config fingerprints: a fleet of
+    /// all-distinct replicas records zero shared hits under any shard
+    /// count, and its timing is identical to the un-shared run.
+    #[test]
+    fn shared_cache_never_crosses_config_fingerprints(
+        replicas in 2usize..5,
+        burst_size in 6usize..16,
+        seed in 0u64..1_000,
+        shards in 1usize..5,
+    ) {
+        let trace = bursty_trace(&BurstyTraceSpec {
+            bursts: 2,
+            burst_size,
+            seed,
+            ..BurstyTraceSpec::default()
+        });
+        let base = hetero_fleet(replicas, trace.clone()).run();
+        let mut fleet = hetero_fleet(replicas, trace);
+        fleet.set_shards(shards);
+        fleet.enable_shared_cache();
+        let shared = fleet.run();
+        let reuse = shared.aggregate_reuse();
+        prop_assert!(reuse.shared_armed, "the shared tier must be armed");
+        prop_assert_eq!(
+            reuse.shared_hits, 0,
+            "distinct fingerprints must never share outcomes"
+        );
+        prop_assert_eq!(base.to_tsv(), shared.to_tsv(), "timing must be unchanged");
+        prop_assert_eq!(base.aggregate_reuse().iteration_hits, reuse.iteration_hits);
+        prop_assert_eq!(base.aggregate_reuse().iteration_misses, reuse.iteration_misses);
+    }
+}
+
+/// `fleet.shards` / `fleet.shared_cache` round-trip through the
+/// canonical TOML form, and scenarios that never set them serialize
+/// byte-identically to the pre-sharding schema.
+#[test]
+fn fleet_scaling_keys_round_trip_and_stay_absent_by_default() {
+    let mut s = scenario("autoscale");
+    s.set("fleet.shards", "4").unwrap();
+    s.set("fleet.shared_cache", "true").unwrap();
+    let back = Scenario::from_toml(&s.to_toml()).unwrap();
+    assert_eq!(back, s, "lossless round trip");
+    let fleet = back.fleet.as_ref().unwrap();
+    assert_eq!(fleet.shards, 4);
+    assert!(fleet.shared_cache);
+
+    let plain = scenario("autoscale").to_toml();
+    assert!(!plain.contains("shards"), "default shards must not serialize");
+    assert!(!plain.contains("shared_cache"), "default shared_cache must not serialize");
+}
+
+/// Validation: zero shards is invalid, and the fleet-scaling knobs
+/// conflict with telemetry (windowed stepping preserves no global
+/// event interleaving for a tracer to observe).
+#[test]
+fn fleet_scaling_validation() {
+    let mut s = scenario("autoscale");
+    s.set("fleet.shards", "0").unwrap();
+    assert!(matches!(s.validate(), Err(ScenarioError::InvalidValue { .. })));
+
+    let telemetry = TelemetrySpec { trace: Some("auto".into()), ..TelemetrySpec::default() };
+
+    let mut s = scenario("autoscale");
+    s.set("fleet.shards", "4").unwrap();
+    s.telemetry = Some(telemetry.clone());
+    assert!(matches!(s.validate(), Err(ScenarioError::Conflict { .. })));
+
+    let mut s = scenario("autoscale");
+    s.set("fleet.shared_cache", "true").unwrap();
+    s.telemetry = Some(telemetry);
+    assert!(matches!(s.validate(), Err(ScenarioError::Conflict { .. })));
+}

@@ -3,8 +3,7 @@
 //! serving shapes, structurally valid Chrome traces, and zero
 //! perturbation of the report artifacts when a sink is attached.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
@@ -37,10 +36,10 @@ fn shapes(requests: usize, seed: u64) -> Vec<(&'static str, Scenario)> {
 /// recorded events alongside the finished report.
 fn traced_run(scenario: &Scenario) -> (Vec<SimEvent>, AnyReport) {
     let mut sim = scenario.build().expect("scenario builds");
-    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    let sink = Arc::new(Mutex::new(MemorySink::new()));
     sim.set_telemetry(Telemetry::new(sink.clone()));
     let report = sim.run();
-    let events = sink.borrow_mut().take();
+    let events = sink.lock().expect("telemetry sink lock").take();
     (events, report)
 }
 
